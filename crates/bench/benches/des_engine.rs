@@ -1,0 +1,50 @@
+//! Discrete-event engine throughput: schedule + drain N events.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use deep_netsim::Seconds;
+use deep_simulator::Engine;
+use std::hint::black_box;
+
+fn bench_schedule_drain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_schedule_drain");
+    for n in [1_000usize, 10_000, 100_000] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut eng = Engine::new();
+                // Interleaved times stress heap ordering.
+                for i in 0..n {
+                    let t = ((i * 7919) % n) as f64;
+                    eng.schedule_at(Seconds::new(t), i);
+                }
+                let mut acc = 0usize;
+                while let Some((_, e)) = eng.next() {
+                    acc = acc.wrapping_add(e);
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cascading_events(c: &mut Criterion) {
+    // Handler-driven cascades (each event schedules a successor).
+    c.bench_function("engine_cascade_10k", |b| {
+        b.iter(|| {
+            let mut eng = Engine::new();
+            eng.schedule_at(Seconds::new(0.0), 10_000u32);
+            let mut count = 0u32;
+            eng.run(|eng, _, n| {
+                count += 1;
+                if n > 1 {
+                    eng.schedule_in(Seconds::new(0.5), n - 1);
+                }
+            });
+            black_box(count)
+        })
+    });
+}
+
+criterion_group!(benches, bench_schedule_drain, bench_cascading_events);
+criterion_main!(benches);

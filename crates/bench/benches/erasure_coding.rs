@@ -1,0 +1,62 @@
+//! Reed–Solomon erasure coding throughput — the regional registry's
+//! durability cost (DESIGN.md ablation 4: coding width vs amplification).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use deep_objectstore::ErasureCoder;
+use std::hint::black_box;
+
+fn object(len: usize) -> Vec<u8> {
+    (0..len).map(|i| ((i * 31) % 251) as u8).collect()
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let data = object(1 << 20);
+    let mut group = c.benchmark_group("rs_encode_1MiB");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    for (k, m) in [(4usize, 2usize), (8, 4), (12, 4)] {
+        let coder = ErasureCoder::new(k, m).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{k}+{m}")),
+            &coder,
+            |b, coder| b.iter(|| black_box(coder.encode(&data))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_decode_paths(c: &mut Criterion) {
+    let data = object(1 << 20);
+    let coder = ErasureCoder::minio_default();
+    let shards: Vec<Option<Vec<u8>>> = coder.encode(&data).into_iter().map(Some).collect();
+
+    // Fast path: all data shards intact.
+    c.bench_function("rs_decode_fast_path_4+2", |b| {
+        b.iter(|| black_box(coder.decode(&shards, data.len()).unwrap()))
+    });
+
+    // Reconstruction path: two data shards lost.
+    let mut degraded = shards.clone();
+    degraded[0] = None;
+    degraded[1] = None;
+    c.bench_function("rs_decode_reconstruct_4+2", |b| {
+        b.iter(|| black_box(coder.decode(&degraded, data.len()).unwrap()))
+    });
+}
+
+fn bench_heal(c: &mut Criterion) {
+    let data = object(1 << 18);
+    let coder = ErasureCoder::new(4, 2).unwrap();
+    c.bench_function("rs_reconstruct_shards_256KiB", |b| {
+        b.iter(|| {
+            let mut shards: Vec<Option<Vec<u8>>> =
+                coder.encode(&data).into_iter().map(Some).collect();
+            shards[2] = None;
+            shards[5] = None;
+            coder.reconstruct_shards(&mut shards, data.len()).unwrap();
+            black_box(shards)
+        })
+    });
+}
+
+criterion_group!(benches, bench_encode, bench_decode_paths, bench_heal);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Pull-path performance and the layer-cache ablation (DESIGN.md
+//! ablation 2): cold pulls vs sibling-deduped pulls vs fully warm pulls.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deep_netsim::{Bandwidth, DataSize, Seconds};
+use deep_registry::{HubRegistry, LayerCache, Platform, PullPlanner, Reference};
+use std::hint::black_box;
+
+fn planner() -> PullPlanner {
+    PullPlanner {
+        download_bw: Bandwidth::megabytes_per_sec(13.0),
+        extract_bw: Bandwidth::megabytes_per_sec(12.6),
+        overhead: Seconds::new(25.0),
+    }
+}
+
+fn bench_pull_paths(c: &mut Criterion) {
+    let hub = HubRegistry::with_paper_catalog();
+    let p = planner();
+    let ha = Reference::new("docker.io", "sina88/vp-ha-train", "amd64");
+    let la = Reference::new("docker.io", "sina88/vp-la-train", "amd64");
+
+    c.bench_function("pull_cold_5.78GB_image", |b| {
+        b.iter(|| {
+            let mut cache = LayerCache::new(DataSize::gigabytes(64.0));
+            black_box(p.pull(&hub, &ha, Platform::Amd64, &mut cache).unwrap())
+        })
+    });
+
+    c.bench_function("pull_sibling_deduped", |b| {
+        b.iter(|| {
+            let mut cache = LayerCache::new(DataSize::gigabytes(64.0));
+            p.pull(&hub, &la, Platform::Amd64, &mut cache).unwrap();
+            black_box(p.pull(&hub, &ha, Platform::Amd64, &mut cache).unwrap())
+        })
+    });
+
+    c.bench_function("pull_fully_warm", |b| {
+        let mut cache = LayerCache::new(DataSize::gigabytes(64.0));
+        p.pull(&hub, &ha, Platform::Amd64, &mut cache).unwrap();
+        b.iter(|| black_box(p.pull(&hub, &ha, Platform::Amd64, &mut cache).unwrap()))
+    });
+
+    c.bench_function("estimate_counterfactual", |b| {
+        let mut cache = LayerCache::new(DataSize::gigabytes(64.0));
+        p.pull(&hub, &la, Platform::Amd64, &mut cache).unwrap();
+        b.iter(|| black_box(p.estimate(&hub, &ha, Platform::Amd64, &cache).unwrap()))
+    });
+}
+
+fn bench_catalog_wide_pull(c: &mut Criterion) {
+    // Deploy the whole 12-image catalog onto one cache (the full testbed
+    // warm-up path).
+    let hub = HubRegistry::with_paper_catalog();
+    let p = planner();
+    let refs: Vec<Reference> = deep_registry::paper_catalog()
+        .iter()
+        .map(|e| e.hub_reference(Platform::Amd64))
+        .collect();
+    c.bench_function("pull_entire_catalog_amd64", |b| {
+        b.iter(|| {
+            let mut cache = LayerCache::new(DataSize::gigabytes(64.0));
+            for r in &refs {
+                p.pull(&hub, r, Platform::Amd64, &mut cache).unwrap();
+            }
+            black_box(cache.used())
+        })
+    });
+}
+
+criterion_group!(benches, bench_pull_paths, bench_catalog_wide_pull);
+criterion_main!(benches);

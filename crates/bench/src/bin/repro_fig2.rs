@@ -1,0 +1,6 @@
+//! Regenerate Figure 2: the case-study DAGs (Graphviz DOT).
+
+fn main() {
+    let exp = deep_bench::default_experiments();
+    print!("{}", exp.fig2());
+}

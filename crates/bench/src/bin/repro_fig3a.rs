@@ -1,0 +1,7 @@
+//! Regenerate Figure 3a: energy per microservice under the DEEP schedule.
+
+fn main() {
+    let exp = deep_bench::default_experiments();
+    let result = exp.fig3a();
+    print!("{}", exp.render_fig3a(&result));
+}

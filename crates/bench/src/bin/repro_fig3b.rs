@@ -1,0 +1,8 @@
+//! Regenerate Figure 3b: total energy under the three deployment methods.
+
+fn main() {
+    let exp = deep_bench::default_experiments();
+    let result = exp.fig3b();
+    println!("Figure 3b — energy consumed using three deployment methods\n");
+    print!("{}", exp.render_fig3b(&result));
+}

@@ -1,0 +1,7 @@
+//! Regenerate Table I: the image catalog on both registries.
+
+fn main() {
+    let exp = deep_bench::default_experiments();
+    println!("Table I — Docker images of microservices\n");
+    print!("{}", exp.table1());
+}

@@ -1,0 +1,9 @@
+//! Regenerate Table III: DEEP's deployment/placement distribution.
+
+fn main() {
+    let exp = deep_bench::default_experiments();
+    println!("Table III — distribution of image deployments and executions under DEEP\n");
+    print!("{}", exp.render_table3(&exp.table3()));
+    println!("\npaper: video 83 % medium/Hub + 17 % small/regional;");
+    println!("       text  17 % medium/Hub + 17 % medium/regional + 66 % small/regional.");
+}

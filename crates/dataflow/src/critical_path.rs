@@ -1,0 +1,131 @@
+//! Longest weighted path through an application DAG.
+//!
+//! The paper cites its earlier work for using the application DAG to model
+//! completion time; the critical path is the classic lower bound on
+//! makespan and is used by our baselines and by the analysis module of
+//! `deep-core` to rank microservices.
+
+use crate::dag::{Application, MicroserviceId};
+use serde::{Deserialize, Serialize};
+
+/// Result of a critical-path computation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CriticalPath {
+    /// Node sequence from a source to a sink.
+    pub path: Vec<MicroserviceId>,
+    /// Sum of node weights along the path.
+    pub length: f64,
+}
+
+/// Compute the critical path with per-microservice weights supplied by
+/// `weight` (typically estimated processing seconds, but any non-negative
+/// metric works — the caller chooses what "long" means).
+pub fn critical_path<F>(app: &Application, weight: F) -> CriticalPath
+where
+    F: Fn(MicroserviceId) -> f64,
+{
+    let n = app.len();
+    // dist[i] = best path length *ending at* i (inclusive of i's weight).
+    let mut dist = vec![0.0f64; n];
+    let mut prev: Vec<Option<MicroserviceId>> = vec![None; n];
+    for &id in app.topological_order() {
+        let w = weight(id);
+        assert!(w >= 0.0 && w.is_finite(), "weights must be finite and non-negative");
+        let (best_pred, best_len) = app
+            .predecessors(id)
+            .map(|p| (Some(p), dist[p.0]))
+            .fold((None, 0.0f64), |acc, cur| if cur.1 > acc.1 { cur } else { acc });
+        dist[id.0] = best_len + w;
+        prev[id.0] = best_pred;
+    }
+    // Walk back from the global maximum.
+    let end = (0..n)
+        .max_by(|&a, &b| dist[a].partial_cmp(&dist[b]).expect("weights are not NaN"))
+        .expect("applications are non-empty");
+    let mut path = vec![MicroserviceId(end)];
+    while let Some(p) = prev[path.last().unwrap().0] {
+        path.push(p);
+    }
+    path.reverse();
+    CriticalPath { path, length: dist[end] }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ApplicationBuilder;
+    use crate::compute::Mi;
+    use deep_netsim::DataSize;
+
+    fn weighted_app() -> Application {
+        // a(1) -> b(10) -> d(1)
+        // a(1) -> c(2)  -> d(1)
+        let mut bld = ApplicationBuilder::new("w");
+        for n in ["a", "b", "c", "d"] {
+            bld.simple(n, DataSize::ZERO, Mi::ZERO);
+        }
+        bld.flow("a", "b", DataSize::ZERO);
+        bld.flow("a", "c", DataSize::ZERO);
+        bld.flow("b", "d", DataSize::ZERO);
+        bld.flow("c", "d", DataSize::ZERO);
+        bld.build().unwrap()
+    }
+
+    fn w(app: &Application, id: MicroserviceId) -> f64 {
+        match app.microservice(id).name.as_str() {
+            "a" => 1.0,
+            "b" => 10.0,
+            "c" => 2.0,
+            "d" => 1.0,
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn picks_heavier_branch() {
+        let app = weighted_app();
+        let cp = critical_path(&app, |id| w(&app, id));
+        let names: Vec<&str> = cp.path.iter().map(|&i| app.microservice(i).name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b", "d"]);
+        assert!((cp.length - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_node_path() {
+        let mut b = ApplicationBuilder::new("one");
+        b.simple("solo", DataSize::ZERO, Mi::ZERO);
+        let app = b.build().unwrap();
+        let cp = critical_path(&app, |_| 7.0);
+        assert_eq!(cp.path.len(), 1);
+        assert!((cp.length - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_weights_yield_any_full_chain() {
+        let app = weighted_app();
+        let cp = critical_path(&app, |_| 0.0);
+        assert_eq!(cp.length, 0.0);
+        assert!(!cp.path.is_empty());
+    }
+
+    #[test]
+    fn path_is_a_connected_chain() {
+        let app = weighted_app();
+        let cp = critical_path(&app, |id| w(&app, id));
+        for pair in cp.path.windows(2) {
+            assert!(
+                app.successors(pair[0]).any(|s| s == pair[1]),
+                "{} -> {} is not an edge",
+                pair[0],
+                pair[1]
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weights_rejected() {
+        let app = weighted_app();
+        critical_path(&app, |_| -1.0);
+    }
+}

@@ -1,0 +1,329 @@
+//! Table II as a calibration database — the paper's "microservice
+//! requirement analysis" component.
+//!
+//! The paper benchmarks every microservice on both devices and feeds the
+//! measurements into its model; we embed the published numbers and derive
+//! the simulator parameters from them:
+//!
+//! * `Tp` midpoints on the medium device define `CPU(m_i)` (already baked
+//!   into `deep_dataflow::apps`); per-microservice **architecture factors**
+//!   give the small device's `Tp`. Video microservices run ~3.2× slower on
+//!   the ARM board (amd64-tuned ML stacks), except `transcode`, which uses
+//!   the Pi's hardware codec path (factor 1.0); text microservices are
+//!   I/O-bound enough to run near parity (factor 1.1).
+//! * **Deployment residuals** `Td ≈ CT − Tp` (the paper's co-located runs
+//!   make `Tc` negligible) anchor each row's imputed deployment time: the
+//!   `CT` range's low end is the medium device, its high end the small.
+//! * **Per-(microservice, device) processing powers** are solved from the
+//!   published energies:
+//!   `P_proc = (EC − P_static·CT − P_deploy·Td) / Tp`, clamped to a
+//!   physically sensible band. The medium column is RAPL package-domain
+//!   (low floor, high compute peaks); the small column is wall-meter
+//!   whole-board.
+//!
+//! [`calibrate`] applies the derived values to a testbed. Tests assert
+//! that the derived parameters reproduce the published energy midpoints
+//! by construction and that every derived power is physically plausible.
+
+use deep_energy::Watts;
+use deep_netsim::Seconds;
+use deep_simulator::{Testbed, DEVICE_MEDIUM, DEVICE_SMALL};
+use serde::{Deserialize, Serialize};
+
+/// One published Table II row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PaperRow {
+    pub application: &'static str,
+    pub microservice: &'static str,
+    pub size_gb: f64,
+    pub tp_lo: f64,
+    pub tp_hi: f64,
+    pub ct_lo: f64,
+    pub ct_hi: f64,
+    pub ec_medium_lo: f64,
+    pub ec_medium_hi: f64,
+    pub ec_small_lo: f64,
+    pub ec_small_hi: f64,
+    /// Measured small-device slowdown factor (architecture mismatch).
+    pub small_speed_factor: f64,
+}
+
+impl PaperRow {
+    pub fn tp_mid(&self) -> f64 {
+        (self.tp_lo + self.tp_hi) / 2.0
+    }
+
+    pub fn ec_medium_mid(&self) -> f64 {
+        (self.ec_medium_lo + self.ec_medium_hi) / 2.0
+    }
+
+    pub fn ec_small_mid(&self) -> f64 {
+        (self.ec_small_lo + self.ec_small_hi) / 2.0
+    }
+}
+
+/// The twelve published rows of Table II.
+pub fn paper_rows() -> Vec<PaperRow> {
+    macro_rules! row {
+        ($app:expr, $ms:expr, $size:expr, $tp:expr, $ct:expr, $ecm:expr, $ecs:expr, $f:expr) => {
+            PaperRow {
+                application: $app,
+                microservice: $ms,
+                size_gb: $size,
+                tp_lo: $tp.0,
+                tp_hi: $tp.1,
+                ct_lo: $ct.0,
+                ct_hi: $ct.1,
+                ec_medium_lo: $ecm.0,
+                ec_medium_hi: $ecm.1,
+                ec_small_lo: $ecs.0,
+                ec_small_hi: $ecs.1,
+                small_speed_factor: $f,
+            }
+        };
+    }
+    vec![
+        row!("video-processing", "transcode", 0.17, (17.5, 19.0), (82.0, 85.0), (856.0, 859.0), (340.0, 355.0), 1.0),
+        row!("video-processing", "frame", 0.70, (10.0, 20.0), (147.0, 184.0), (355.0, 378.0), (557.0, 679.0), 3.2),
+        row!("video-processing", "ha-train", 5.78, (121.0, 124.0), (1071.0, 1421.0), (3240.0, 3288.0), (4654.0, 5472.0), 3.2),
+        row!("video-processing", "la-train", 5.78, (87.0, 97.0), (1058.0, 1297.0), (1834.0, 1849.0), (3995.0, 4700.0), 3.2),
+        row!("video-processing", "ha-infer", 3.53, (38.0, 41.0), (356.0, 435.0), (849.0, 850.0), (1423.0, 1602.0), 3.2),
+        row!("video-processing", "la-infer", 3.54, (38.0, 40.0), (350.0, 429.0), (819.0, 842.0), (1400.0, 1590.0), 3.2),
+        row!("text-processing", "retrieve", 0.14, (42.0, 58.0), (331.0, 334.0), (144.0, 173.0), (1136.0, 1183.0), 1.1),
+        row!("text-processing", "decompress", 0.78, (27.0, 55.0), (290.0, 331.0), (415.0, 432.0), (1037.0, 1143.0), 1.1),
+        row!("text-processing", "ha-train", 2.36, (139.0, 144.0), (427.0, 507.0), (3482.0, 3728.0), (1638.0, 1903.0), 1.1),
+        row!("text-processing", "la-train", 2.36, (87.0, 89.0), (288.0, 363.0), (1622.0, 1642.0), (870.0, 985.0), 1.1),
+        row!("text-processing", "ha-score", 0.63, (74.0, 76.0), (177.0, 211.0), (1228.0, 1319.0), (675.0, 786.0), 1.1),
+        row!("text-processing", "la-score", 0.63, (75.0, 78.0), (175.0, 210.0), (1295.0, 1299.0), (670.0, 785.0), 1.1),
+    ]
+}
+
+/// Derived per-row calibration values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CalibratedRow {
+    pub application: String,
+    pub microservice: String,
+    /// `Tp` on each device.
+    pub tp_medium: Seconds,
+    pub tp_small: Seconds,
+    /// Imputed deployment residual on each device (`CT − Tp`).
+    pub td_medium: Seconds,
+    pub td_small: Seconds,
+    /// Solved processing draw on each device.
+    pub p_medium: Watts,
+    pub p_small: Watts,
+}
+
+/// Physically sensible clamp band for solved processing powers.
+const P_MIN: f64 = 0.2;
+/// i7-7700 package ceiling.
+const P_MAX_MEDIUM: f64 = 60.0;
+/// Raspberry Pi 4 whole-board delta ceiling.
+const P_MAX_SMALL: f64 = 8.0;
+
+/// Minimum believable deployment residual (registry negotiation alone).
+const TD_FLOOR: f64 = 5.0;
+
+/// Derive calibration values for one row given the testbed's device power
+/// floors.
+fn derive(row: &PaperRow, testbed: &Testbed) -> CalibratedRow {
+    let med = testbed.device(DEVICE_MEDIUM);
+    let small = testbed.device(DEVICE_SMALL);
+
+    let tp_med = row.tp_mid();
+    let tp_small = tp_med * row.small_speed_factor;
+    let td_med = (row.ct_lo - tp_med).max(TD_FLOOR);
+    let td_small = (row.ct_hi - tp_small).max(td_med);
+    let ct_med = td_med + tp_med;
+    let ct_small = td_small + tp_small;
+
+    let solve = |ec: f64, stat: f64, dep: f64, ct: f64, td: f64, tp: f64, pmax: f64| -> f64 {
+        ((ec - stat * ct - dep * td) / tp).clamp(P_MIN, pmax)
+    };
+    let p_medium = solve(
+        row.ec_medium_mid(),
+        med.power.static_watts.as_f64(),
+        med.power.deploy_watts.as_f64(),
+        ct_med,
+        td_med,
+        tp_med,
+        P_MAX_MEDIUM,
+    );
+    let p_small = solve(
+        row.ec_small_mid(),
+        small.power.static_watts.as_f64(),
+        small.power.deploy_watts.as_f64(),
+        ct_small,
+        td_small,
+        tp_small,
+        P_MAX_SMALL,
+    );
+
+    CalibratedRow {
+        application: row.application.to_string(),
+        microservice: row.microservice.to_string(),
+        tp_medium: Seconds::new(tp_med),
+        tp_small: Seconds::new(tp_small),
+        td_medium: Seconds::new(td_med),
+        td_small: Seconds::new(td_small),
+        p_medium: Watts::new(p_medium),
+        p_small: Watts::new(p_small),
+    }
+}
+
+/// Apply the Table II calibration to a testbed: per-microservice speed
+/// factors and processing powers on both devices. Returns the derived
+/// rows for reporting.
+pub fn calibrate(testbed: &mut Testbed) -> Vec<CalibratedRow> {
+    let rows: Vec<CalibratedRow> =
+        paper_rows().iter().map(|r| derive(r, testbed)).collect();
+    for (paper, cal) in paper_rows().iter().zip(&rows) {
+        // Keys are scoped by application: both case studies contain a
+        // microservice literally named "ha-train" with different measured
+        // behaviour.
+        let key = format!("{}/{}", paper.application, paper.microservice);
+        let med = testbed.device_mut(DEVICE_MEDIUM);
+        med.set_speed_factor(&key, 1.0);
+        med.set_process_power(&key, cal.p_medium);
+        let small = testbed.device_mut(DEVICE_SMALL);
+        small.set_speed_factor(&key, paper.small_speed_factor);
+        small.set_process_power(&key, cal.p_small);
+    }
+    rows
+}
+
+/// A fully calibrated paper testbed — the entry point everything above
+/// the substrate uses.
+pub fn calibrated_testbed() -> Testbed {
+    let mut tb = Testbed::paper();
+    calibrate(&mut tb);
+    tb
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deep_dataflow::apps;
+
+    #[test]
+    fn twelve_rows_matching_apps() {
+        let rows = paper_rows();
+        assert_eq!(rows.len(), 12);
+        let video = apps::video_processing();
+        let text = apps::text_processing();
+        for row in &rows {
+            let app = if row.application == "video-processing" { &video } else { &text };
+            assert!(app.by_name(row.microservice).is_some(), "{}", row.microservice);
+        }
+    }
+
+    #[test]
+    fn tp_midpoints_agree_with_app_cpu_loads() {
+        // apps.rs bakes CPU(m_i) = tp_mid × 40 000 MI/s; the calibration DB
+        // must stay consistent with it.
+        let video = apps::video_processing();
+        let text = apps::text_processing();
+        for row in paper_rows() {
+            let app = if row.application == "video-processing" { &video } else { &text };
+            let id = app.by_name(row.microservice).unwrap();
+            let tp = app.microservice(id).requirements.cpu / apps::medium_mips();
+            assert!(
+                (tp.as_f64() - row.tp_mid()).abs() < 1e-9,
+                "{}/{}: app {} vs table {}",
+                row.application,
+                row.microservice,
+                tp,
+                row.tp_mid()
+            );
+        }
+    }
+
+    #[test]
+    fn derived_powers_are_physical() {
+        let tb = Testbed::paper();
+        for row in paper_rows() {
+            let cal = derive(&row, &tb);
+            let pm = cal.p_medium.as_f64();
+            let ps = cal.p_small.as_f64();
+            assert!((P_MIN..=P_MAX_MEDIUM).contains(&pm), "{}: medium {pm}", row.microservice);
+            assert!((P_MIN..=P_MAX_SMALL).contains(&ps), "{}: small {ps}", row.microservice);
+        }
+    }
+
+    #[test]
+    fn energy_model_reproduces_published_midpoints() {
+        // With the imputed Td and solved powers, the device energy model
+        // must land on the published EC midpoints (clamping may introduce
+        // small deviations; allow 5 %).
+        let mut tb = Testbed::paper();
+        let cals = calibrate(&mut tb);
+        for (row, cal) in paper_rows().iter().zip(&cals) {
+            let key = format!("{}/{}", row.application, row.microservice);
+            let med = tb.device(DEVICE_MEDIUM);
+            let e = med.energy(&key, cal.td_medium, Seconds::ZERO, cal.tp_medium).as_f64();
+            let target = row.ec_medium_mid();
+            assert!(
+                (e - target).abs() / target < 0.05,
+                "{key} medium: model {e:.0} vs paper {target:.0}"
+            );
+            let small = tb.device(DEVICE_SMALL);
+            let e = small.energy(&key, cal.td_small, Seconds::ZERO, cal.tp_small).as_f64();
+            let target = row.ec_small_mid();
+            assert!(
+                (e - target).abs() / target < 0.05,
+                "{key} small: model {e:.0} vs paper {target:.0}"
+            );
+        }
+    }
+
+    #[test]
+    fn device_energy_ordering_matches_table_iii_expectations() {
+        // Table III's device split follows from EC comparisons: video runs
+        // on medium except transcode; text trains/scores prefer small.
+        for row in paper_rows() {
+            let med_cheaper = row.ec_medium_mid() < row.ec_small_mid();
+            let expect_medium = match (row.application, row.microservice) {
+                ("video-processing", "transcode") => false,
+                ("video-processing", _) => true,
+                ("text-processing", "retrieve") | ("text-processing", "decompress") => true,
+                ("text-processing", _) => false,
+                _ => unreachable!(),
+            };
+            assert_eq!(med_cheaper, expect_medium, "{}/{}", row.application, row.microservice);
+        }
+    }
+
+    #[test]
+    fn calibrated_testbed_small_tp_uses_architecture_factors() {
+        let tb = calibrated_testbed();
+        let video = apps::video_processing();
+        let transcode = video.microservice(video.by_name("transcode").unwrap());
+        let t_small = tb
+            .device(DEVICE_SMALL)
+            .processing_time("video-processing/transcode", transcode.requirements.cpu);
+        // transcode factor 1.0: same Tp as medium.
+        assert!((t_small.as_f64() - 18.25).abs() < 1e-9, "{t_small}");
+        let ha = video.microservice(video.by_name("ha-train").unwrap());
+        let t_small = tb
+            .device(DEVICE_SMALL)
+            .processing_time("video-processing/ha-train", ha.requirements.cpu);
+        assert!((t_small.as_f64() - 122.5 * 3.2).abs() < 1e-6, "{t_small}");
+        // The text app's same-named trainer keeps its own factor.
+        let text = apps::text_processing();
+        let tha = text.microservice(text.by_name("ha-train").unwrap());
+        let t_small = tb
+            .device(DEVICE_SMALL)
+            .processing_time("text-processing/ha-train", tha.requirements.cpu);
+        assert!((t_small.as_f64() - 141.5 * 1.1).abs() < 1e-6, "{t_small}");
+    }
+
+    #[test]
+    fn imputed_deployment_residuals_are_ordered() {
+        let tb = Testbed::paper();
+        for row in paper_rows() {
+            let cal = derive(&row, &tb);
+            assert!(cal.td_small >= cal.td_medium, "{}", row.microservice);
+            assert!(cal.td_medium.as_f64() >= TD_FLOOR);
+        }
+    }
+}

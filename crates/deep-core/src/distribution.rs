@@ -1,0 +1,123 @@
+//! Table III: the distribution of image deployments across registries and
+//! executions across devices.
+
+use crate::report::{fmt_pct, render_table};
+use deep_dataflow::Application;
+use deep_simulator::{RegistryChoice, Schedule, DEVICE_MEDIUM, DEVICE_SMALL};
+use serde::{Deserialize, Serialize};
+
+/// One Table III row: an application × device with its registry shares.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DistributionRow {
+    pub application: String,
+    pub device: String,
+    /// Fraction of the application's microservices on this device pulled
+    /// from Docker Hub.
+    pub hub_share: f64,
+    /// Fraction pulled from the regional registry.
+    pub regional_share: f64,
+}
+
+/// Compute Table III rows for one application's schedule.
+pub fn distribution_table(app: &Application, schedule: &Schedule) -> Vec<DistributionRow> {
+    let mut rows = Vec::with_capacity(2);
+    for (device, name) in [(DEVICE_MEDIUM, "medium"), (DEVICE_SMALL, "small")] {
+        let mut hub = 0usize;
+        let mut regional = 0usize;
+        for (_, p) in schedule.iter() {
+            if p.device == device {
+                match p.registry {
+                    RegistryChoice::Hub => hub += 1,
+                    RegistryChoice::Regional => regional += 1,
+                }
+            }
+        }
+        let n = schedule.len() as f64;
+        rows.push(DistributionRow {
+            application: app.name().to_string(),
+            device: name.to_string(),
+            hub_share: hub as f64 / n,
+            regional_share: regional as f64 / n,
+        });
+    }
+    rows
+}
+
+/// Render rows in the paper's layout.
+pub fn render_distribution(rows: &[DistributionRow]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.application.clone(),
+                r.device.clone(),
+                if r.hub_share > 0.0 { fmt_pct(r.hub_share) } else { "-".into() },
+                if r.regional_share > 0.0 { fmt_pct(r.regional_share) } else { "-".into() },
+            ]
+        })
+        .collect();
+    render_table(&["Application", "Device", "Docker Hub", "Regional Registry"], &body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibration::calibrated_testbed;
+    use crate::nash::DeepScheduler;
+    use crate::Scheduler;
+    use deep_dataflow::apps;
+
+    #[test]
+    fn video_distribution_matches_paper() {
+        let tb = calibrated_testbed();
+        let app = apps::video_processing();
+        let schedule = DeepScheduler::paper().schedule(&app, &tb);
+        let rows = distribution_table(&app, &schedule);
+        let medium = &rows[0];
+        let small = &rows[1];
+        // Paper: medium 83 % Hub / – regional; small – / 17 %.
+        assert!((medium.hub_share - 5.0 / 6.0).abs() < 1e-9, "{medium:?}");
+        assert_eq!(medium.regional_share, 0.0);
+        assert_eq!(small.hub_share, 0.0);
+        assert!((small.regional_share - 1.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn text_distribution_matches_paper() {
+        let tb = calibrated_testbed();
+        let app = apps::text_processing();
+        let schedule = DeepScheduler::paper().schedule(&app, &tb);
+        let rows = distribution_table(&app, &schedule);
+        let medium = &rows[0];
+        let small = &rows[1];
+        // Paper: medium 17 % / 17 %; small – / 66 %.
+        assert!((medium.hub_share - 1.0 / 6.0).abs() < 1e-9, "{medium:?}");
+        assert!((medium.regional_share - 1.0 / 6.0).abs() < 1e-9, "{medium:?}");
+        assert_eq!(small.hub_share, 0.0);
+        assert!((small.regional_share - 4.0 / 6.0).abs() < 1e-9, "{small:?}");
+    }
+
+    #[test]
+    fn shares_sum_to_one_per_application() {
+        let tb = calibrated_testbed();
+        for app in apps::case_studies() {
+            let schedule = DeepScheduler::paper().schedule(&app, &tb);
+            let rows = distribution_table(&app, &schedule);
+            let total: f64 = rows.iter().map(|r| r.hub_share + r.regional_share).sum();
+            assert!((total - 1.0).abs() < 1e-9, "{}", app.name());
+        }
+    }
+
+    #[test]
+    fn rendering_includes_dashes_for_zero_shares() {
+        let rows = vec![DistributionRow {
+            application: "video-processing".into(),
+            device: "medium".into(),
+            hub_share: 5.0 / 6.0,
+            regional_share: 0.0,
+        }];
+        let s = render_distribution(&rows);
+        assert!(s.contains("83 %"));
+        assert!(s.contains('-'));
+    }
+}

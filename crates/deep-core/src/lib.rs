@@ -1,0 +1,62 @@
+//! DEEP: Docker rEgistry-based Edge dataflow Processing.
+//!
+//! The paper's primary contribution: energy-aware joint selection of
+//! `regist(m_i)` (which Docker registry serves each microservice image) and
+//! `sched(m_i)` (which edge device runs it), formulated as a Nash game and
+//! minimising `EC_total(A, R, D)`.
+//!
+//! Architecture (paper Figure 1) mapped to modules:
+//!
+//! * **Microservice requirement analysis** → [`calibration`]: the measured
+//!   per-(microservice, device) benchmark profiles of Table II, from which
+//!   per-device processing powers and architecture factors are derived.
+//! * **Dependency analysis** → `deep-dataflow`'s stages + [`model`]'s
+//!   estimation context walking the DAG in barrier order.
+//! * **Scheduling (Nash game)** → [`nash`]: per-microservice bimatrix
+//!   games over (registry × device) solved with the `deep-game` toolkit,
+//!   refined into a joint pure Nash equilibrium of the n-player deployment
+//!   congestion game.
+//! * **Dataflow processing / Monitoring** → `deep-simulator`'s executor
+//!   and trace, driven by [`experiment`].
+//!
+//! [`baselines`] provides the two comparison methods of Figure 3b
+//! (exclusively-Docker-Hub, exclusively-regional) plus extra baselines for
+//! ablation (greedy decoupled, round-robin, random). [`distribution`]
+//! computes Table III. [`experiment`] regenerates every table and figure.
+
+pub mod ablation;
+pub mod baselines;
+pub mod calibration;
+pub mod continuum;
+pub mod distribution;
+pub mod experiment;
+pub mod fleet;
+pub mod model;
+pub mod nash;
+pub mod pareto;
+pub mod report;
+
+pub use ablation::{run_all as run_ablations, AblationRow};
+pub use baselines::{ExclusiveRegistry, GreedyDecoupled, RandomScheduler, RoundRobin};
+pub use calibration::{calibrate, paper_rows, CalibratedRow, PaperRow};
+pub use continuum::{compare as continuum_compare, continuum_testbed, ContinuumRow};
+pub use distribution::{distribution_table, DistributionRow};
+pub use experiment::{Experiments, Fig3aResult, Fig3bResult, HeadlineResult};
+pub use fleet::{run_fleet, run_fleet_cold, FleetConfig, FleetReport};
+pub use model::{EstimationContext, Estimate};
+pub use nash::DeepScheduler;
+pub use pareto::{distance_to_front, enumerate_profiles, pareto_front, EvaluatedProfile};
+
+use deep_dataflow::Application;
+use deep_simulator::{Schedule, Testbed};
+
+/// The uniform interface every deployment method implements.
+pub trait Scheduler {
+    /// Human-readable method name (used in tables).
+    fn name(&self) -> &str;
+
+    /// Produce a joint `(registry, device)` assignment for `app` on
+    /// `testbed`. Schedulers must not mutate the testbed; estimation works
+    /// on cloned cache state.
+    fn schedule(&self, app: &Application, testbed: &Testbed) -> Schedule;
+}

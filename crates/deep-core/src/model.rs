@@ -1,0 +1,327 @@
+//! The estimation side of the paper's completion-time and energy models.
+//!
+//! `CT(m_i, r_g, d_j) = Size/BW_gj + Size_ui/BW_kj + CPU(m_i)/CPU_j` and
+//! `EC(m_i, r_g, d_j) = Ea + Es`, evaluated *predictively* while the
+//! scheduler walks the DAG: the context tracks the layer caches and
+//! same-wave route loads that the executor will later realise, so the
+//! scheduler's payoffs and the simulator's measurements agree.
+
+use deep_dataflow::{Application, MicroserviceId};
+use deep_energy::Joules;
+use deep_netsim::{DataSize, DeviceId, Seconds};
+use deep_registry::{LayerCache, PullPlanner, Registry};
+use deep_simulator::{Placement, RegistryChoice, Testbed};
+use std::collections::HashMap;
+
+/// A predicted `(Td, Tc, Tp, EC)` for one candidate assignment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    pub td: Seconds,
+    pub tc: Seconds,
+    pub tp: Seconds,
+    pub ec: Joules,
+    /// Bytes the pull would move after cache dedup.
+    pub downloaded: DataSize,
+}
+
+impl Estimate {
+    /// `CT = Td + Tc + Tp`.
+    pub fn ct(&self) -> Seconds {
+        self.td + self.tc + self.tp
+    }
+}
+
+/// Walks the application in barrier order, mirroring the executor's cache
+/// and contention state without touching the real testbed.
+pub struct EstimationContext<'t> {
+    testbed: &'t Testbed,
+    app: &'t Application,
+    /// Estimated per-device layer caches (cloned cold or warm from the
+    /// testbed).
+    caches: Vec<LayerCache>,
+    /// Same-wave route loads, reset at each barrier.
+    route_load: HashMap<(RegistryChoice, usize), usize>,
+    /// Devices of already-committed microservices (for `Tc`).
+    assigned: Vec<Option<Placement>>,
+}
+
+impl<'t> EstimationContext<'t> {
+    /// Start a context mirroring the testbed's current cache state.
+    pub fn new(testbed: &'t Testbed, app: &'t Application) -> Self {
+        EstimationContext {
+            testbed,
+            app,
+            caches: testbed.devices.iter().map(|d| d.cache.clone()).collect(),
+            route_load: HashMap::new(),
+            assigned: vec![None; app.len()],
+        }
+    }
+
+    /// Open a new deployment wave (stage barrier): route contention
+    /// resets.
+    pub fn begin_wave(&mut self) {
+        self.route_load.clear();
+    }
+
+    /// The committed placement of a microservice, if any.
+    pub fn placement(&self, id: MicroserviceId) -> Option<Placement> {
+        self.assigned[id.0]
+    }
+
+    /// Predict `(Td, Tc, Tp, EC)` for assigning `id` to
+    /// `(registry, device)` given everything committed so far.
+    ///
+    /// Panics if the image is not published or a producer is uncommitted —
+    /// both are scheduler bugs, not runtime conditions.
+    pub fn estimate(
+        &self,
+        id: MicroserviceId,
+        registry: RegistryChoice,
+        device: DeviceId,
+    ) -> Estimate {
+        let ms = self.app.microservice(id);
+        let dev = self.testbed.device(device);
+        let entry = self
+            .testbed
+            .entry(self.app.name(), &ms.name)
+            .unwrap_or_else(|| panic!("no image published for {}/{}", self.app.name(), ms.name));
+        let reference = match registry {
+            RegistryChoice::Hub => entry.hub_reference(dev.arch),
+            RegistryChoice::Regional => entry.regional_reference(dev.arch),
+        };
+        let backend: &dyn Registry = match registry {
+            RegistryChoice::Hub => &self.testbed.hub,
+            RegistryChoice::Regional => &self.testbed.regional,
+        };
+        let load = *self.route_load.get(&(registry, device.0)).unwrap_or(&0);
+        let planner = PullPlanner {
+            download_bw: self
+                .testbed
+                .params
+                .route_bandwidth(registry, device)
+                .scale(1.0 / self.testbed.params.contention_factor(load)),
+            extract_bw: dev.extract_bw,
+            overhead: self.testbed.params.overhead(registry),
+        };
+        let outcome = planner
+            .estimate(backend, &reference, dev.arch, &self.caches[device.0])
+            .expect("catalog images resolve");
+
+        let td = outcome.deployment_time();
+        let mut tc = Seconds::ZERO;
+        for flow in self.app.incoming(id) {
+            let producer = self.assigned[flow.from.0]
+                .unwrap_or_else(|| panic!("producer {} uncommitted", flow.from))
+                .device;
+            tc += self
+                .testbed
+                .topology
+                .device_transfer_time(producer, device, flow.size)
+                .expect("testbed topology covers all devices");
+        }
+        let scoped = format!("{}/{}", self.app.name(), ms.name);
+        let tp = dev.processing_time(&scoped, ms.requirements.cpu);
+        let ec = dev.energy(&scoped, td, tc, tp);
+        Estimate { td, tc, tp, ec, downloaded: outcome.downloaded }
+    }
+
+    /// Commit an assignment: realise the pull against the estimated cache
+    /// and account its route load.
+    pub fn commit(&mut self, id: MicroserviceId, placement: Placement) {
+        let ms = self.app.microservice(id);
+        let dev = self.testbed.device(placement.device);
+        let entry = self
+            .testbed
+            .entry(self.app.name(), &ms.name)
+            .expect("estimate() validated the image");
+        let reference = match placement.registry {
+            RegistryChoice::Hub => entry.hub_reference(dev.arch),
+            RegistryChoice::Regional => entry.regional_reference(dev.arch),
+        };
+        let backend: &dyn Registry = match placement.registry {
+            RegistryChoice::Hub => &self.testbed.hub,
+            RegistryChoice::Regional => &self.testbed.regional,
+        };
+        let planner = PullPlanner {
+            download_bw: self.testbed.params.route_bandwidth(placement.registry, placement.device),
+            extract_bw: dev.extract_bw,
+            overhead: self.testbed.params.overhead(placement.registry),
+        };
+        let outcome = planner
+            .pull(backend, &reference, dev.arch, &mut self.caches[placement.device.0])
+            .expect("catalog images resolve");
+        if outcome.downloaded >= self.testbed.params.contention_threshold {
+            *self
+                .route_load
+                .entry((placement.registry, placement.device.0))
+                .or_insert(0) += 1;
+        }
+        self.assigned[id.0] = Some(placement);
+    }
+
+    /// Admissible devices for a microservice.
+    pub fn admissible_devices(&self, id: MicroserviceId) -> Vec<DeviceId> {
+        let req = &self.app.microservice(id).requirements;
+        self.testbed
+            .devices
+            .iter()
+            .filter(|d| d.admits(req))
+            .map(|d| d.id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibration::calibrated_testbed;
+    use deep_dataflow::apps;
+    use deep_simulator::{DEVICE_MEDIUM, DEVICE_SMALL};
+
+    #[test]
+    fn estimates_match_executor_for_a_fixed_schedule() {
+        // The whole point of the context: scheduler predictions must equal
+        // jitter-free executor measurements.
+        let mut tb = calibrated_testbed();
+        let app = apps::text_processing();
+        let schedule = deep_simulator::Schedule::uniform(
+            app.len(),
+            RegistryChoice::Hub,
+            DEVICE_MEDIUM,
+        );
+        // Predict.
+        let mut predictions = Vec::new();
+        {
+            let ctx_tb = &tb;
+            let mut ctx = EstimationContext::new(ctx_tb, &app);
+            for stage in deep_dataflow::stages(&app) {
+                ctx.begin_wave();
+                for &id in &stage.members {
+                    let est = ctx.estimate(id, RegistryChoice::Hub, DEVICE_MEDIUM);
+                    ctx.commit(
+                        id,
+                        Placement { registry: RegistryChoice::Hub, device: DEVICE_MEDIUM },
+                    );
+                    predictions.push(est);
+                }
+            }
+        }
+        // Execute.
+        let (report, _) = deep_simulator::execute(
+            &mut tb,
+            &app,
+            &schedule,
+            &deep_simulator::ExecutorConfig::default(),
+        )
+        .unwrap();
+        for (est, measured) in predictions.iter().zip(&report.microservices) {
+            assert!(
+                (est.td.as_f64() - measured.td.as_f64()).abs() < 1e-9,
+                "{}: td {} vs {}",
+                measured.name,
+                est.td,
+                measured.td
+            );
+            assert!((est.tp.as_f64() - measured.tp.as_f64()).abs() < 1e-9);
+            assert!((est.tc.as_f64() - measured.tc.as_f64()).abs() < 1e-9);
+            assert!(
+                (est.ec.as_f64() - measured.energy.as_f64()).abs() < 1e-6,
+                "{}: ec {} vs {}",
+                measured.name,
+                est.ec,
+                measured.energy
+            );
+        }
+    }
+
+    #[test]
+    fn cache_state_lowers_sibling_estimates() {
+        let tb = calibrated_testbed();
+        let app = apps::video_processing();
+        let mut ctx = EstimationContext::new(&tb, &app);
+        // Walk to the training stage.
+        for stage in deep_dataflow::stages(&app).iter().take(2) {
+            ctx.begin_wave();
+            for &id in &stage.members {
+                ctx.commit(id, Placement { registry: RegistryChoice::Hub, device: DEVICE_MEDIUM });
+            }
+        }
+        ctx.begin_wave();
+        let ha = app.by_name("ha-train").unwrap();
+        let la = app.by_name("la-train").unwrap();
+        let before = ctx.estimate(la, RegistryChoice::Hub, DEVICE_MEDIUM);
+        ctx.commit(ha, Placement { registry: RegistryChoice::Hub, device: DEVICE_MEDIUM });
+        let after = ctx.estimate(la, RegistryChoice::Hub, DEVICE_MEDIUM);
+        assert!(after.downloaded < before.downloaded, "sibling layers cached");
+        // Contention partially offsets dedup but dedup dominates here.
+        assert!(after.td < before.td);
+    }
+
+    #[test]
+    fn contention_raises_same_route_estimates() {
+        let tb = calibrated_testbed();
+        let app = apps::text_processing();
+        let decompress = app.by_name("decompress").unwrap();
+        let retrieve = app.by_name("retrieve").unwrap();
+        // Context A: retrieve committed on the hub→medium route (congests
+        // it). Context B: retrieve committed regionally (hub route free).
+        // Both cache the shared python:3.9-slim base, so the pulls move
+        // identical bytes — only contention differs.
+        let estimate_with = |retrieve_registry| {
+            let mut ctx = EstimationContext::new(&tb, &app);
+            ctx.begin_wave();
+            ctx.commit(retrieve, Placement { registry: retrieve_registry, device: DEVICE_MEDIUM });
+            ctx.estimate(decompress, RegistryChoice::Hub, DEVICE_MEDIUM)
+        };
+        let contended = estimate_with(RegistryChoice::Hub);
+        let free = estimate_with(RegistryChoice::Regional);
+        assert_eq!(contended.downloaded, free.downloaded);
+        assert!(
+            contended.td > free.td,
+            "shared route must be slower: {} vs {}",
+            contended.td,
+            free.td
+        );
+    }
+
+    #[test]
+    fn wave_boundaries_clear_contention() {
+        let tb = calibrated_testbed();
+        let app = apps::text_processing();
+        let mut ctx = EstimationContext::new(&tb, &app);
+        ctx.begin_wave();
+        let retrieve = app.by_name("retrieve").unwrap();
+        ctx.commit(retrieve, Placement { registry: RegistryChoice::Regional, device: DEVICE_SMALL });
+        let decompress = app.by_name("decompress").unwrap();
+        let contended = ctx.estimate(decompress, RegistryChoice::Regional, DEVICE_SMALL);
+        ctx.begin_wave();
+        let fresh = ctx.estimate(decompress, RegistryChoice::Regional, DEVICE_SMALL);
+        assert!(fresh.td < contended.td, "barrier resets route load");
+    }
+
+    #[test]
+    fn admissibility_filters_devices() {
+        let tb = calibrated_testbed();
+        let app = apps::video_processing();
+        let ctx = EstimationContext::new(&tb, &app);
+        // ha-train needs 4 cores / 4 GB: both devices qualify.
+        let ha = app.by_name("ha-train").unwrap();
+        assert_eq!(ctx.admissible_devices(ha).len(), 2);
+    }
+
+    #[test]
+    fn tc_charged_only_across_devices() {
+        let tb = calibrated_testbed();
+        let app = apps::video_processing();
+        let mut ctx = EstimationContext::new(&tb, &app);
+        ctx.begin_wave();
+        let transcode = app.by_name("transcode").unwrap();
+        ctx.commit(transcode, Placement { registry: RegistryChoice::Regional, device: DEVICE_SMALL });
+        ctx.begin_wave();
+        let frame = app.by_name("frame").unwrap();
+        let cross = ctx.estimate(frame, RegistryChoice::Hub, DEVICE_MEDIUM);
+        assert!((cross.tc.as_f64() - 3.0).abs() < 1e-9, "300 MB over 100 MB/s LAN");
+        let colocated = ctx.estimate(frame, RegistryChoice::Hub, DEVICE_SMALL);
+        assert_eq!(colocated.tc, Seconds::ZERO);
+    }
+}

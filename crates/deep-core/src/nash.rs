@@ -1,0 +1,319 @@
+//! The DEEP scheduler: nash-game-based joint registry/device assignment.
+//!
+//! Per the paper (Section III-E), deployment is "the prisoner dilemma
+//! model within the nash equilibrium to optimize energy consumption
+//! through cooperation between microservices and devices". Concretely:
+//!
+//! 1. **Per-microservice stage game** — walking the DAG in barrier order,
+//!    each microservice plays a common-interest bimatrix game: the row
+//!    player picks the registry `regist(m_i)`, the column player the
+//!    device `sched(m_i)`, and both receive `−EC(m_i, r_g, d_j)` under the
+//!    current cache/contention state. The game is solved by support
+//!    enumeration (the Nashpy algorithm); among the equilibria DEEP plays
+//!    the energy-minimal one.
+//! 2. **Joint refinement** — the per-stage choices induce an n-player
+//!    congestion game (same-wave pulls share registry→device routes, and
+//!    sibling images share layers). Best-response dynamics over the full
+//!    profile — a potential game, so it terminates — polish the sequential
+//!    solution into a pure Nash equilibrium of the joint deployment game.
+//!    This is where the prisoner's-dilemma structure bites: two
+//!    microservices that would individually pick the same route are pushed
+//!    to split across registries.
+
+use crate::model::EstimationContext;
+use crate::Scheduler;
+use deep_dataflow::{stages, Application, MicroserviceId};
+use deep_game::{support_enumeration, Bimatrix, Matrix};
+use deep_simulator::{Placement, RegistryChoice, Schedule, Testbed};
+
+/// The DEEP scheduler.
+#[derive(Debug, Clone)]
+pub struct DeepScheduler {
+    /// Run the joint best-response refinement after the sequential stage
+    /// games (ablation toggle; `true` is the paper's method).
+    pub refine: bool,
+    /// Cap on refinement passes (each pass lets every microservice revise
+    /// once; congestion games converge long before this).
+    pub max_refine_passes: usize,
+}
+
+impl Default for DeepScheduler {
+    fn default() -> Self {
+        DeepScheduler { refine: true, max_refine_passes: 32 }
+    }
+}
+
+impl DeepScheduler {
+    /// The paper's configuration.
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// Sequential-only variant (no joint refinement) for ablations.
+    pub fn without_refinement() -> Self {
+        DeepScheduler { refine: false, ..Self::default() }
+    }
+
+    /// Play the per-microservice stage games in barrier order.
+    fn sequential_assignment(&self, app: &Application, testbed: &Testbed) -> Vec<Placement> {
+        let mut ctx = EstimationContext::new(testbed, app);
+        let mut placements: Vec<Option<Placement>> = vec![None; app.len()];
+        for stage in stages(app) {
+            ctx.begin_wave();
+            for &id in &stage.members {
+                let placement = self.stage_game(&ctx, id);
+                ctx.commit(id, placement);
+                placements[id.0] = Some(placement);
+            }
+        }
+        placements.into_iter().map(|p| p.expect("all stages visited")).collect()
+    }
+
+    /// Build and solve one microservice's 2×|D| common-interest game.
+    fn stage_game(&self, ctx: &EstimationContext<'_>, id: MicroserviceId) -> Placement {
+        let registries = RegistryChoice::all();
+        let devices = ctx.admissible_devices(id);
+        assert!(
+            !devices.is_empty(),
+            "no device admits microservice {id}: the testbed cannot host the application"
+        );
+        let payoff = Matrix::from_fn(registries.len(), devices.len(), |r, c| {
+            -ctx.estimate(id, registries[r], devices[c]).ec.as_f64()
+        });
+        let game = Bimatrix::common_interest(payoff);
+        let equilibria = support_enumeration(&game);
+        // Among the Nash equilibria, cooperation selects the one with the
+        // best shared payoff (= minimum energy); mixed profiles round to
+        // their modal pure strategies.
+        let (x, y) = equilibria
+            .into_iter()
+            .max_by(|a, b| {
+                let pa = game.expected_payoffs(&a.0, &a.1).0;
+                let pb = game.expected_payoffs(&b.0, &b.1).0;
+                pa.partial_cmp(&pb).expect("payoffs are not NaN")
+            })
+            .expect("common-interest games always have a pure equilibrium");
+        Placement { registry: registries[x.mode()], device: devices[y.mode()] }
+    }
+
+    /// Evaluate every microservice's estimated energy under a full
+    /// profile, replaying the stage walk.
+    fn profile_costs(app: &Application, testbed: &Testbed, profile: &[Placement]) -> Vec<f64> {
+        let mut ctx = EstimationContext::new(testbed, app);
+        let mut costs = vec![0.0; app.len()];
+        for stage in stages(app) {
+            ctx.begin_wave();
+            for &id in &stage.members {
+                let p = profile[id.0];
+                costs[id.0] = ctx.estimate(id, p.registry, p.device).ec.as_f64();
+                ctx.commit(id, p);
+            }
+        }
+        costs
+    }
+
+    /// Joint best-response refinement to a pure Nash equilibrium.
+    fn refine_joint(
+        &self,
+        app: &Application,
+        testbed: &Testbed,
+        mut profile: Vec<Placement>,
+    ) -> Vec<Placement> {
+        let registries = RegistryChoice::all();
+        for _ in 0..self.max_refine_passes {
+            let mut changed = false;
+            for id in app.ids() {
+                let ctx = EstimationContext::new(testbed, app);
+                let devices = ctx.admissible_devices(id);
+                drop(ctx);
+                let current_cost = Self::profile_costs(app, testbed, &profile)[id.0];
+                let mut best = (current_cost, profile[id.0]);
+                for &registry in &registries {
+                    for &device in &devices {
+                        let candidate = Placement { registry, device };
+                        if candidate == profile[id.0] {
+                            continue;
+                        }
+                        let mut probe = profile.clone();
+                        probe[id.0] = candidate;
+                        let cost = Self::profile_costs(app, testbed, &probe)[id.0];
+                        if cost < best.0 - 1e-9 {
+                            best = (cost, candidate);
+                        }
+                    }
+                }
+                if best.1 != profile[id.0] {
+                    profile[id.0] = best.1;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        profile
+    }
+
+    /// Is `profile` a pure Nash equilibrium of the joint deployment game?
+    /// (Exposed for tests and the experiment drivers.)
+    pub fn is_joint_equilibrium(
+        app: &Application,
+        testbed: &Testbed,
+        schedule: &Schedule,
+    ) -> bool {
+        let profile: Vec<Placement> = app.ids().map(|id| schedule.placement(id)).collect();
+        let registries = RegistryChoice::all();
+        for id in app.ids() {
+            let ctx = EstimationContext::new(testbed, app);
+            let devices = ctx.admissible_devices(id);
+            drop(ctx);
+            let current = Self::profile_costs(app, testbed, &profile)[id.0];
+            for &registry in &registries {
+                for &device in &devices {
+                    let candidate = Placement { registry, device };
+                    if candidate == profile[id.0] {
+                        continue;
+                    }
+                    let mut probe = profile.clone();
+                    probe[id.0] = candidate;
+                    if Self::profile_costs(app, testbed, &probe)[id.0] < current - 1e-9 {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+impl Scheduler for DeepScheduler {
+    fn name(&self) -> &str {
+        "DEEP"
+    }
+
+    fn schedule(&self, app: &Application, testbed: &Testbed) -> Schedule {
+        let sequential = self.sequential_assignment(app, testbed);
+        let profile = if self.refine {
+            self.refine_joint(app, testbed, sequential)
+        } else {
+            sequential
+        };
+        Schedule::new(profile)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibration::calibrated_testbed;
+    use deep_dataflow::apps;
+    use deep_simulator::{DEVICE_MEDIUM, DEVICE_SMALL};
+
+    fn placements(app: &Application, s: &Schedule) -> Vec<(String, Placement)> {
+        app.ids()
+            .map(|id| (app.microservice(id).name.clone(), s.placement(id)))
+            .collect()
+    }
+
+    #[test]
+    fn video_reproduces_table_iii() {
+        // Table III, video processing: 83 % medium/Docker-Hub,
+        // 17 % small/regional — i.e. transcode on the small device from
+        // the regional registry, everything else medium from the Hub.
+        let tb = calibrated_testbed();
+        let app = apps::video_processing();
+        let schedule = DeepScheduler::paper().schedule(&app, &tb);
+        for (name, p) in placements(&app, &schedule) {
+            if name == "transcode" {
+                assert_eq!(p.device, DEVICE_SMALL, "{name}");
+                assert_eq!(p.registry, RegistryChoice::Regional, "{name}");
+            } else {
+                assert_eq!(p.device, DEVICE_MEDIUM, "{name}");
+                assert_eq!(p.registry, RegistryChoice::Hub, "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn text_reproduces_table_iii() {
+        // Table III, text processing: 17 % medium/Hub, 17 % medium/
+        // regional, 66 % small/regional.
+        let tb = calibrated_testbed();
+        let app = apps::text_processing();
+        let schedule = DeepScheduler::paper().schedule(&app, &tb);
+        let by_name: std::collections::HashMap<String, Placement> =
+            placements(&app, &schedule).into_iter().collect();
+        // retrieve and decompress stay on the medium device, split across
+        // registries (the PD outcome of the contended medium routes).
+        let retrieve = by_name["retrieve"];
+        let decompress = by_name["decompress"];
+        assert_eq!(retrieve.device, DEVICE_MEDIUM);
+        assert_eq!(decompress.device, DEVICE_MEDIUM);
+        assert_ne!(retrieve.registry, decompress.registry, "one Hub, one regional");
+        // Trainers and scorers run on the small device from the regional
+        // registry.
+        for name in ["ha-train", "la-train", "ha-score", "la-score"] {
+            let p = by_name[name];
+            assert_eq!(p.device, DEVICE_SMALL, "{name}");
+            assert_eq!(p.registry, RegistryChoice::Regional, "{name}");
+        }
+    }
+
+    #[test]
+    fn deep_output_is_a_joint_nash_equilibrium() {
+        let tb = calibrated_testbed();
+        for app in apps::case_studies() {
+            let schedule = DeepScheduler::paper().schedule(&app, &tb);
+            assert!(
+                DeepScheduler::is_joint_equilibrium(&app, &tb, &schedule),
+                "{} schedule is not an equilibrium",
+                app.name()
+            );
+        }
+    }
+
+    #[test]
+    fn refinement_never_worsens_total_energy() {
+        let tb = calibrated_testbed();
+        for app in apps::case_studies() {
+            let seq = DeepScheduler::without_refinement().schedule(&app, &tb);
+            let refined = DeepScheduler::paper().schedule(&app, &tb);
+            let cost = |s: &Schedule| -> f64 {
+                let profile: Vec<Placement> = app.ids().map(|id| s.placement(id)).collect();
+                DeepScheduler::profile_costs(&app, &tb, &profile).iter().sum()
+            };
+            // Best-response refinement follows the exact potential of the
+            // congestion game, which here equals each player's own cost
+            // chain; the social cost of the refined profile must not
+            // exceed the sequential one by more than the potential slack.
+            assert!(
+                cost(&refined) <= cost(&seq) + 1e-6,
+                "{}: refined {} vs sequential {}",
+                app.name(),
+                cost(&refined),
+                cost(&seq)
+            );
+        }
+    }
+
+    #[test]
+    fn schedules_are_deterministic() {
+        let tb = calibrated_testbed();
+        let app = apps::text_processing();
+        let a = DeepScheduler::paper().schedule(&app, &tb);
+        let b = DeepScheduler::paper().schedule(&app, &tb);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn generated_apps_schedule_without_panicking() {
+        let mut tb = calibrated_testbed();
+        let gen = deep_dataflow::DagGenerator::default();
+        for seed in 0..5 {
+            let app = gen.generate(seed);
+            tb.publish_application(&app);
+            let schedule = DeepScheduler::paper().schedule(&app, &tb);
+            assert_eq!(schedule.len(), app.len(), "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Labelled energy ledgers.
+//!
+//! The paper aggregates `EC_total(A, R, D) = Σ EC(m_i, r_g, d_j)` over all
+//! microservices of an application. [`EnergyAccount`] is that sum with
+//! provenance: every charge is filed under a label (microservice name,
+//! phase, device), so Figure 3a's per-microservice bars and Figure 3b's
+//! per-method totals both fall out of the same ledger.
+
+use crate::units::Joules;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// An append-only ledger of energy charges keyed by label.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct EnergyAccount {
+    entries: BTreeMap<String, Joules>,
+}
+
+impl EnergyAccount {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `amount` under `label`, creating the entry if needed.
+    pub fn charge(&mut self, label: impl Into<String>, amount: Joules) {
+        *self.entries.entry(label.into()).or_insert(Joules::ZERO) += amount;
+    }
+
+    /// Energy filed under `label` (zero if absent).
+    pub fn get(&self, label: &str) -> Joules {
+        self.entries.get(label).copied().unwrap_or(Joules::ZERO)
+    }
+
+    /// `EC_total`: sum over all labels.
+    pub fn total(&self) -> Joules {
+        self.entries.values().copied().sum()
+    }
+
+    /// Number of distinct labels.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no charges have been filed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate `(label, energy)` in label order (deterministic output for
+    /// table rendering).
+    pub fn iter(&self) -> impl Iterator<Item = (&str, Joules)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Fold another ledger into this one, label by label.
+    pub fn merge(&mut self, other: &EnergyAccount) {
+        for (label, amount) in other.iter() {
+            self.charge(label, amount);
+        }
+    }
+
+    /// The label with the highest charge, if any (Figure 3a's observation
+    /// that training microservices dominate).
+    pub fn max_entry(&self) -> Option<(&str, Joules)> {
+        self.iter().max_by(|a, b| a.1.partial_cmp(&b.1).expect("energy is never NaN"))
+    }
+
+    /// Each label's share of the total, in label order.
+    pub fn shares(&self) -> Vec<(String, f64)> {
+        let total = self.total().as_f64();
+        if total == 0.0 {
+            return self.entries.keys().map(|k| (k.clone(), 0.0)).collect();
+        }
+        self.entries
+            .iter()
+            .map(|(k, v)| (k.clone(), v.as_f64() / total))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate_per_label() {
+        let mut acc = EnergyAccount::new();
+        acc.charge("ha-train", Joules::new(3000.0));
+        acc.charge("ha-train", Joules::new(264.0));
+        acc.charge("transcode", Joules::new(857.0));
+        assert!((acc.get("ha-train").as_f64() - 3264.0).abs() < 1e-9);
+        assert!((acc.total().as_f64() - 4121.0).abs() < 1e-9);
+        assert_eq!(acc.len(), 2);
+    }
+
+    #[test]
+    fn absent_label_reads_zero() {
+        let acc = EnergyAccount::new();
+        assert_eq!(acc.get("nope"), Joules::ZERO);
+        assert!(acc.is_empty());
+        assert_eq!(acc.max_entry(), None);
+    }
+
+    #[test]
+    fn merge_combines_ledgers() {
+        let mut a = EnergyAccount::new();
+        a.charge("x", Joules::new(1.0));
+        a.charge("y", Joules::new(2.0));
+        let mut b = EnergyAccount::new();
+        b.charge("y", Joules::new(3.0));
+        b.charge("z", Joules::new(4.0));
+        a.merge(&b);
+        assert_eq!(a.get("x").as_f64(), 1.0);
+        assert_eq!(a.get("y").as_f64(), 5.0);
+        assert_eq!(a.get("z").as_f64(), 4.0);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn max_entry_finds_dominant_microservice() {
+        let mut acc = EnergyAccount::new();
+        acc.charge("transcode", Joules::new(857.0));
+        acc.charge("ha-train", Joules::new(3264.0));
+        acc.charge("la-infer", Joules::new(830.0));
+        let (label, e) = acc.max_entry().unwrap();
+        assert_eq!(label, "ha-train");
+        assert!((e.as_f64() - 3264.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let mut acc = EnergyAccount::new();
+        acc.charge("a", Joules::new(10.0));
+        acc.charge("b", Joules::new(30.0));
+        let shares = acc.shares();
+        let sum: f64 = shares.iter().map(|(_, s)| s).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!((shares[1].1 - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iteration_is_deterministic_label_order() {
+        let mut acc = EnergyAccount::new();
+        acc.charge("zeta", Joules::new(1.0));
+        acc.charge("alpha", Joules::new(1.0));
+        acc.charge("mid", Joules::new(1.0));
+        let labels: Vec<&str> = acc.iter().map(|(l, _)| l).collect();
+        assert_eq!(labels, vec!["alpha", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut acc = EnergyAccount::new();
+        acc.charge("a", Joules::new(42.0));
+        let json = serde_json::to_string(&acc).unwrap();
+        let back: EnergyAccount = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.get("a").as_f64(), 42.0);
+    }
+}

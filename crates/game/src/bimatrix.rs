@@ -1,0 +1,197 @@
+//! Two-player bimatrix games.
+
+use crate::matrix::Matrix;
+use crate::strategy::{MixedStrategy, EPS};
+use serde::{Deserialize, Serialize};
+
+/// A two-player game in strategic form: row player maximises `a`, column
+/// player maximises `b`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Bimatrix {
+    pub a: Matrix,
+    pub b: Matrix,
+}
+
+impl Bimatrix {
+    /// Construct from two equally-shaped payoff matrices.
+    pub fn new(a: Matrix, b: Matrix) -> Self {
+        assert_eq!(
+            (a.rows(), a.cols()),
+            (b.rows(), b.cols()),
+            "payoff matrices must share a shape"
+        );
+        Bimatrix { a, b }
+    }
+
+    /// Zero-sum game: `b = -a`.
+    pub fn zero_sum(a: Matrix) -> Self {
+        let b = Matrix::from_fn(a.rows(), a.cols(), |i, j| -a[(i, j)]);
+        Bimatrix { a, b }
+    }
+
+    /// Common-interest (team) game: both players receive `a`. This is the
+    /// shape DEEP uses — microservice and device "cooperate" on the shared
+    /// energy objective.
+    pub fn common_interest(a: Matrix) -> Self {
+        Bimatrix { b: a.clone(), a }
+    }
+
+    /// Row-player action count.
+    pub fn rows(&self) -> usize {
+        self.a.rows()
+    }
+
+    /// Column-player action count.
+    pub fn cols(&self) -> usize {
+        self.a.cols()
+    }
+
+    /// Expected payoffs `(row, col)` under mixed strategies.
+    pub fn expected_payoffs(&self, x: &MixedStrategy, y: &MixedStrategy) -> (f64, f64) {
+        (self.a.quad(x.probs(), y.probs()), self.b.quad(x.probs(), y.probs()))
+    }
+
+    /// Row player's best pure responses to a column mixed strategy.
+    pub fn row_best_responses(&self, y: &MixedStrategy) -> Vec<usize> {
+        let payoffs = self.a.mat_vec(y.probs());
+        argmax_set(&payoffs)
+    }
+
+    /// Column player's best pure responses to a row mixed strategy.
+    pub fn col_best_responses(&self, x: &MixedStrategy) -> Vec<usize> {
+        let payoffs = self.b.vec_mat(x.probs());
+        argmax_set(&payoffs)
+    }
+
+    /// Is `(x, y)` a Nash equilibrium (within tolerance)? Checks the
+    /// best-response property: every action in each support must attain
+    /// the maximum payoff against the opponent's strategy.
+    pub fn is_nash(&self, x: &MixedStrategy, y: &MixedStrategy) -> bool {
+        let row_payoffs = self.a.mat_vec(y.probs());
+        let row_max = row_payoffs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        for i in x.support() {
+            if row_payoffs[i] < row_max - 1e-6 {
+                return false;
+            }
+        }
+        let col_payoffs = self.b.vec_mat(x.probs());
+        let col_max = col_payoffs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        for j in y.support() {
+            if col_payoffs[j] < col_max - 1e-6 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// All pure-strategy Nash equilibria, by exhaustive best-response
+    /// check.
+    pub fn pure_equilibria(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for i in 0..self.rows() {
+            for j in 0..self.cols() {
+                let col_j = self.a.col(j);
+                let row_best = col_j.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                if self.a[(i, j)] < row_best - EPS {
+                    continue;
+                }
+                let row_i = self.b.row(i);
+                let col_best = row_i.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                if self.b[(i, j)] < col_best - EPS {
+                    continue;
+                }
+                out.push((i, j));
+            }
+        }
+        out
+    }
+}
+
+/// Indices attaining the maximum of `v` (within EPS).
+fn argmax_set(v: &[f64]) -> Vec<usize> {
+    let max = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    v.iter()
+        .enumerate()
+        .filter(|(_, &p)| p >= max - EPS)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classic;
+
+    #[test]
+    fn prisoners_dilemma_unique_pure_equilibrium() {
+        let g = classic::prisoners_dilemma();
+        // Both defect (index 1) is the unique NE despite being Pareto-worse
+        // than mutual cooperation — the paper's framing device.
+        assert_eq!(g.pure_equilibria(), vec![(1, 1)]);
+        let x = MixedStrategy::pure(1, 2);
+        let y = MixedStrategy::pure(1, 2);
+        assert!(g.is_nash(&x, &y));
+        let coop = MixedStrategy::pure(0, 2);
+        assert!(!g.is_nash(&coop, &coop));
+    }
+
+    #[test]
+    fn matching_pennies_has_no_pure_equilibrium() {
+        let g = classic::matching_pennies();
+        assert!(g.pure_equilibria().is_empty());
+        let mix = MixedStrategy::uniform(2);
+        assert!(g.is_nash(&mix, &mix));
+    }
+
+    #[test]
+    fn battle_of_sexes_two_pure_equilibria() {
+        let g = classic::battle_of_the_sexes();
+        assert_eq!(g.pure_equilibria(), vec![(0, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn coordination_game_best_responses() {
+        let g = classic::coordination(3.0, 1.0);
+        let x = MixedStrategy::pure(0, 2);
+        assert_eq!(g.col_best_responses(&x), vec![0]);
+        let y = MixedStrategy::pure(1, 2);
+        assert_eq!(g.row_best_responses(&y), vec![1]);
+    }
+
+    #[test]
+    fn expected_payoffs_zero_sum() {
+        let g = classic::matching_pennies();
+        let u = MixedStrategy::uniform(2);
+        let (r, c) = g.expected_payoffs(&u, &u);
+        assert!((r - 0.0).abs() < 1e-12);
+        assert!((r + c).abs() < 1e-12, "zero-sum");
+    }
+
+    #[test]
+    fn common_interest_shares_payoffs() {
+        let m = Matrix::from_rows(&[vec![5.0, 1.0], vec![2.0, 4.0]]);
+        let g = Bimatrix::common_interest(m);
+        let x = MixedStrategy::pure(0, 2);
+        let y = MixedStrategy::pure(0, 2);
+        let (r, c) = g.expected_payoffs(&x, &y);
+        assert_eq!(r, c);
+        // Both diagonal cells are pure equilibria of the team game.
+        assert_eq!(g.pure_equilibria(), vec![(0, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn tied_best_responses_all_reported() {
+        let a = Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, 1.0]]);
+        let g = Bimatrix::common_interest(a);
+        let y = MixedStrategy::uniform(2);
+        assert_eq!(g.row_best_responses(&y), vec![0, 1]);
+        // Every cell is an equilibrium of the constant game.
+        assert_eq!(g.pure_equilibria().len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "share a shape")]
+    fn shape_mismatch_rejected() {
+        Bimatrix::new(Matrix::zeros(2, 2), Matrix::zeros(2, 3));
+    }
+}

@@ -1,0 +1,261 @@
+//! Finite n-player games solved by best-response iteration.
+//!
+//! The DEEP deployment game is an n-player game: each microservice picks a
+//! `(registry, device)` pair and its cost depends on how many siblings
+//! share the same registry→device route (bandwidth contention). Such
+//! load-dependent-cost games are congestion games, hence exact potential
+//! games, hence best-response dynamics terminate at a pure Nash
+//! equilibrium (Monderer & Shapley 1996). This module provides the generic
+//! machinery: a cost oracle over profiles, round-robin best-response
+//! iteration with convergence detection, and exhaustive pure-equilibrium
+//! enumeration for cross-checking small instances.
+
+/// A finite n-player cost game described by an oracle.
+///
+/// `cost(player, profile)` returns player `player`'s cost under the full
+/// pure profile (lower is better — these are costs, not payoffs).
+pub struct FiniteGame<'a> {
+    /// Number of strategies available to each player.
+    pub strategy_counts: Vec<usize>,
+    /// Cost oracle.
+    pub cost: CostOracle<'a>,
+}
+
+/// Boxed cost oracle: `cost(player, profile)`.
+pub type CostOracle<'a> = Box<dyn Fn(usize, &[usize]) -> f64 + 'a>;
+
+/// Result of best-response iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BestResponseResult {
+    /// Final strategy profile.
+    pub profile: Vec<usize>,
+    /// Whether no player can improve (pure Nash equilibrium).
+    pub converged: bool,
+    /// Best-response passes performed.
+    pub passes: usize,
+}
+
+impl<'a> FiniteGame<'a> {
+    /// Build a game from per-player strategy counts and a cost oracle.
+    pub fn new(
+        strategy_counts: Vec<usize>,
+        cost: impl Fn(usize, &[usize]) -> f64 + 'a,
+    ) -> Self {
+        assert!(!strategy_counts.is_empty(), "need at least one player");
+        assert!(strategy_counts.iter().all(|&c| c > 0), "every player needs a strategy");
+        FiniteGame { strategy_counts, cost: Box::new(cost) }
+    }
+
+    /// Number of players.
+    pub fn players(&self) -> usize {
+        self.strategy_counts.len()
+    }
+
+    /// Player `p`'s best response to the rest of `profile` (lowest cost,
+    /// lowest index on ties).
+    pub fn best_response(&self, p: usize, profile: &[usize]) -> usize {
+        let mut probe = profile.to_vec();
+        let mut best = (f64::INFINITY, 0usize);
+        for s in 0..self.strategy_counts[p] {
+            probe[p] = s;
+            let c = (self.cost)(p, &probe);
+            if c < best.0 - 1e-12 {
+                best = (c, s);
+            }
+        }
+        best.1
+    }
+
+    /// Round-robin best-response dynamics from `start`.
+    ///
+    /// One *pass* lets every player revise once. Terminates when a full
+    /// pass changes nothing (pure NE) or after `max_passes`.
+    pub fn best_response_dynamics(
+        &self,
+        start: Vec<usize>,
+        max_passes: usize,
+    ) -> BestResponseResult {
+        assert_eq!(start.len(), self.players(), "profile length mismatch");
+        for (p, &s) in start.iter().enumerate() {
+            assert!(s < self.strategy_counts[p], "start strategy out of range for player {p}");
+        }
+        let mut profile = start;
+        for pass in 0..max_passes {
+            let mut changed = false;
+            for p in 0..self.players() {
+                let current_cost = (self.cost)(p, &profile);
+                let br = self.best_response(p, &profile);
+                let mut probe = profile.clone();
+                probe[p] = br;
+                if (self.cost)(p, &probe) < current_cost - 1e-12 {
+                    profile = probe;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return BestResponseResult { profile, converged: true, passes: pass + 1 };
+            }
+        }
+        BestResponseResult { profile, converged: false, passes: max_passes }
+    }
+
+    /// Is `profile` a pure Nash equilibrium?
+    pub fn is_equilibrium(&self, profile: &[usize]) -> bool {
+        for p in 0..self.players() {
+            let current = (self.cost)(p, profile);
+            let mut probe = profile.to_vec();
+            for s in 0..self.strategy_counts[p] {
+                probe[p] = s;
+                if (self.cost)(p, &probe) < current - 1e-9 {
+                    return false;
+                }
+            }
+            probe[p] = profile[p];
+        }
+        true
+    }
+
+    /// Exhaustively enumerate all pure equilibria (profile space must be
+    /// small; intended for tests and the 2-registry × 2-device games).
+    pub fn enumerate_equilibria(&self) -> Vec<Vec<usize>> {
+        let mut out = Vec::new();
+        let mut profile = vec![0usize; self.players()];
+        loop {
+            if self.is_equilibrium(&profile) {
+                out.push(profile.clone());
+            }
+            // Odometer increment.
+            let mut p = 0;
+            loop {
+                if p == self.players() {
+                    return out;
+                }
+                profile[p] += 1;
+                if profile[p] < self.strategy_counts[p] {
+                    break;
+                }
+                profile[p] = 0;
+                p += 1;
+            }
+        }
+    }
+
+    /// Total cost of a profile across players (the social objective DEEP
+    /// minimises).
+    pub fn social_cost(&self, profile: &[usize]) -> f64 {
+        (0..self.players()).map(|p| (self.cost)(p, profile)).sum()
+    }
+
+    /// The pure equilibrium with minimal social cost, if any exist.
+    pub fn best_equilibrium(&self) -> Option<Vec<usize>> {
+        self.enumerate_equilibria()
+            .into_iter()
+            .min_by(|a, b| {
+                self.social_cost(a)
+                    .partial_cmp(&self.social_cost(b))
+                    .expect("costs are not NaN")
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two players, two routes; sharing a route doubles its cost —
+    /// a minimal congestion game.
+    fn two_route_game() -> FiniteGame<'static> {
+        FiniteGame::new(vec![2, 2], |p, profile| {
+            let my_route = profile[p];
+            let sharers = profile.iter().filter(|&&r| r == my_route).count();
+            // Route 0 base cost 1.0, route 1 base cost 1.2; load multiplies.
+            let base = if my_route == 0 { 1.0 } else { 1.2 };
+            base * sharers as f64
+        })
+    }
+
+    #[test]
+    fn players_split_across_routes() {
+        let g = two_route_game();
+        let r = g.best_response_dynamics(vec![0, 0], 100);
+        assert!(r.converged);
+        assert_ne!(r.profile[0], r.profile[1], "sharing is not an equilibrium");
+    }
+
+    #[test]
+    fn equilibrium_enumeration_matches_dynamics() {
+        let g = two_route_game();
+        let eqs = g.enumerate_equilibria();
+        // (0,1) and (1,0) are the pure equilibria.
+        assert_eq!(eqs.len(), 2);
+        assert!(eqs.contains(&vec![0, 1]));
+        assert!(eqs.contains(&vec![1, 0]));
+        let r = g.best_response_dynamics(vec![1, 1], 100);
+        assert!(eqs.contains(&r.profile));
+    }
+
+    #[test]
+    fn is_equilibrium_checks_all_deviations() {
+        let g = two_route_game();
+        assert!(g.is_equilibrium(&[0, 1]));
+        assert!(!g.is_equilibrium(&[0, 0]));
+    }
+
+    #[test]
+    fn social_cost_and_best_equilibrium() {
+        let g = two_route_game();
+        // Both equilibria cost 1.0 + 1.2 = 2.2.
+        let best = g.best_equilibrium().unwrap();
+        assert!((g.social_cost(&best) - 2.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dominant_strategy_game_converges_in_one_pass() {
+        // Strategy 0 always costs 1, strategy 1 always 2: BR is trivial.
+        let g = FiniteGame::new(vec![2; 5], |p, profile| 1.0 + profile[p] as f64);
+        let r = g.best_response_dynamics(vec![1; 5], 10);
+        assert!(r.converged);
+        assert_eq!(r.profile, vec![0; 5]);
+        assert!(r.passes <= 2);
+    }
+
+    #[test]
+    fn three_player_congestion_spreads_load() {
+        // Three players, three routes, cost = sharers² (convex): the unique
+        // equilibrium pattern is one player per route.
+        let g = FiniteGame::new(vec![3; 3], |p, profile| {
+            let my = profile[p];
+            let sharers = profile.iter().filter(|&&r| r == my).count() as f64;
+            sharers * sharers
+        });
+        let r = g.best_response_dynamics(vec![0, 0, 0], 100);
+        assert!(r.converged);
+        let mut sorted = r.profile.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn potential_game_always_converges() {
+        // Random-ish congestion costs, many starts: convergence guaranteed
+        // by the potential argument; verify empirically.
+        let g = FiniteGame::new(vec![2, 2, 2, 2], |p, profile| {
+            let my = profile[p];
+            let load = profile.iter().filter(|&&r| r == my).count() as f64;
+            let base = [1.0, 1.4][my];
+            base * load + p as f64 * 0.01 * load
+        });
+        for start in 0..16 {
+            let profile: Vec<usize> = (0..4).map(|i| (start >> i) & 1).collect();
+            let r = g.best_response_dynamics(profile, 1000);
+            assert!(r.converged, "start {start:04b}");
+            assert!(g.is_equilibrium(&r.profile));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn profile_length_validated() {
+        two_route_game().best_response_dynamics(vec![0], 10);
+    }
+}

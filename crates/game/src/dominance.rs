@@ -1,0 +1,134 @@
+//! Iterated elimination of strictly dominated strategies.
+//!
+//! In the prisoner's dilemma, cooperation is strictly dominated — one
+//! round of elimination solves the game. DEEP uses elimination both as a
+//! preprocessing step before support enumeration and as an explanatory
+//! artifact (which registry/device options are never rational).
+
+use crate::bimatrix::Bimatrix;
+use crate::matrix::Matrix;
+
+/// Result of iterated elimination: the surviving action indices of each
+/// player (into the original game) and the reduced game.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reduced {
+    pub row_actions: Vec<usize>,
+    pub col_actions: Vec<usize>,
+    pub game: Bimatrix,
+}
+
+/// Eliminate strictly dominated pure strategies until a fixed point.
+///
+/// Only pure-strategy domination is checked (sufficient for the 2×2
+/// deployment games; mixed-strategy domination would eliminate more in
+/// larger games but is never *incorrect* to skip).
+pub fn iterated_elimination(game: &Bimatrix) -> Reduced {
+    let mut rows: Vec<usize> = (0..game.rows()).collect();
+    let mut cols: Vec<usize> = (0..game.cols()).collect();
+    loop {
+        let mut changed = false;
+        // Row player: i dominated by i' iff a[i'][j] > a[i][j] for all j.
+        if rows.len() > 1 {
+            if let Some(pos) = find_dominated(&rows, &cols, |i, j| game.a[(i, j)]) {
+                rows.remove(pos);
+                changed = true;
+            }
+        }
+        if cols.len() > 1 {
+            if let Some(pos) = find_dominated(&cols, &rows, |j, i| game.b[(i, j)]) {
+                cols.remove(pos);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let a = Matrix::from_fn(rows.len(), cols.len(), |i, j| game.a[(rows[i], cols[j])]);
+    let b = Matrix::from_fn(rows.len(), cols.len(), |i, j| game.b[(rows[i], cols[j])]);
+    Reduced { row_actions: rows.clone(), col_actions: cols, game: Bimatrix::new(a, b) }
+}
+
+/// Find one action in `own` strictly dominated by another, given the
+/// payoff accessor `payoff(own_action, other_action)`. Returns its
+/// position within `own`.
+fn find_dominated(
+    own: &[usize],
+    other: &[usize],
+    payoff: impl Fn(usize, usize) -> f64,
+) -> Option<usize> {
+    for (pos, &cand) in own.iter().enumerate() {
+        for &dominator in own {
+            if dominator == cand {
+                continue;
+            }
+            if other.iter().all(|&o| payoff(dominator, o) > payoff(cand, o)) {
+                return Some(pos);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classic;
+
+    #[test]
+    fn prisoners_dilemma_reduces_to_defection() {
+        let r = iterated_elimination(&classic::prisoners_dilemma());
+        assert_eq!(r.row_actions, vec![1]);
+        assert_eq!(r.col_actions, vec![1]);
+        assert_eq!(r.game.rows(), 1);
+        assert_eq!(r.game.cols(), 1);
+    }
+
+    #[test]
+    fn matching_pennies_is_irreducible() {
+        let g = classic::matching_pennies();
+        let r = iterated_elimination(&g);
+        assert_eq!(r.row_actions, vec![0, 1]);
+        assert_eq!(r.col_actions, vec![0, 1]);
+        assert_eq!(r.game, g);
+    }
+
+    #[test]
+    fn iterated_elimination_cascades() {
+        // Classic 3×3 where elimination must iterate:
+        // After col 2 goes (dominated by col 1), row 2 goes, then col 0.
+        let a = Matrix::from_rows(&[
+            vec![3.0, 2.0, 1.0],
+            vec![2.0, 1.0, 0.0],
+            vec![1.0, 0.0, -1.0],
+        ]);
+        let b = Matrix::from_rows(&[
+            vec![1.0, 2.0, 0.0],
+            vec![1.0, 2.0, 1.0],
+            vec![1.0, 2.0, 0.5],
+        ]);
+        let g = Bimatrix::new(a, b);
+        let r = iterated_elimination(&g);
+        // Row 0 strictly dominates rows 1 and 2; col 1 strictly dominates
+        // cols 0 and 2.
+        assert_eq!(r.row_actions, vec![0]);
+        assert_eq!(r.col_actions, vec![1]);
+    }
+
+    #[test]
+    fn weak_domination_not_eliminated() {
+        // Ties block *strict* domination.
+        let a = Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, 0.0]]);
+        let g = Bimatrix::common_interest(a);
+        let r = iterated_elimination(&g);
+        assert_eq!(r.row_actions.len(), 2, "weakly dominated row survives");
+    }
+
+    #[test]
+    fn reduced_game_preserves_equilibria_of_pd() {
+        let g = classic::prisoners_dilemma();
+        let r = iterated_elimination(&g);
+        // The single surviving cell is the NE of the original game.
+        assert_eq!(g.pure_equilibria(), vec![(r.row_actions[0], r.col_actions[0])]);
+    }
+}

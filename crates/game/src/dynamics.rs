@@ -1,0 +1,144 @@
+//! Learning dynamics: best-response iteration and fictitious play.
+
+use crate::bimatrix::Bimatrix;
+use crate::strategy::MixedStrategy;
+
+/// Outcome of best-response dynamics on pure profiles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BrdOutcome {
+    /// Final profile `(row action, col action)`.
+    pub profile: (usize, usize),
+    /// Whether the profile is a fixed point (pure Nash equilibrium).
+    pub converged: bool,
+    /// Rounds played.
+    pub rounds: usize,
+}
+
+/// Alternating best-response dynamics from a pure starting profile. Each
+/// round both players in turn switch to a best response (lowest-index tie
+/// break). Converges on games with pure equilibria reachable by improvement
+/// paths (all potential games); cycles are cut off at `max_rounds`.
+pub fn best_response_dynamics(
+    game: &Bimatrix,
+    start: (usize, usize),
+    max_rounds: usize,
+) -> BrdOutcome {
+    let (mut i, mut j) = start;
+    assert!(i < game.rows() && j < game.cols(), "start profile out of range");
+    for round in 0..max_rounds {
+        let y = MixedStrategy::pure(j, game.cols());
+        let bi = game.row_best_responses(&y)[0];
+        let new_i = if game.a[(bi, j)] > game.a[(i, j)] + 1e-12 { bi } else { i };
+        let x = MixedStrategy::pure(new_i, game.rows());
+        let bj = game.col_best_responses(&x)[0];
+        let new_j = if game.b[(new_i, bj)] > game.b[(new_i, j)] + 1e-12 { bj } else { j };
+        if (new_i, new_j) == (i, j) {
+            return BrdOutcome { profile: (i, j), converged: true, rounds: round };
+        }
+        i = new_i;
+        j = new_j;
+    }
+    BrdOutcome { profile: (i, j), converged: false, rounds: max_rounds }
+}
+
+/// Fictitious play: each player best-responds to the opponent's empirical
+/// action frequencies. Returns the empirical mixed strategies after
+/// `iterations` rounds — for zero-sum games these converge to equilibrium.
+pub fn fictitious_play(
+    game: &Bimatrix,
+    iterations: usize,
+) -> (MixedStrategy, MixedStrategy) {
+    assert!(iterations > 0, "need at least one iteration");
+    let mut row_counts = vec![0.0f64; game.rows()];
+    let mut col_counts = vec![0.0f64; game.cols()];
+    // Both start with action 0.
+    row_counts[0] += 1.0;
+    col_counts[0] += 1.0;
+    for _ in 1..iterations {
+        let total_c: f64 = col_counts.iter().sum();
+        let y_emp = MixedStrategy::new(col_counts.iter().map(|c| c / total_c).collect());
+        let bi = game.row_best_responses(&y_emp)[0];
+        let total_r: f64 = row_counts.iter().sum();
+        let x_emp = MixedStrategy::new(row_counts.iter().map(|c| c / total_r).collect());
+        let bj = game.col_best_responses(&x_emp)[0];
+        row_counts[bi] += 1.0;
+        col_counts[bj] += 1.0;
+    }
+    let tr: f64 = row_counts.iter().sum();
+    let tc: f64 = col_counts.iter().sum();
+    (
+        MixedStrategy::new(row_counts.iter().map(|c| c / tr).collect()),
+        MixedStrategy::new(col_counts.iter().map(|c| c / tc).collect()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classic;
+
+    #[test]
+    fn brd_finds_pd_equilibrium_from_cooperation() {
+        let g = classic::prisoners_dilemma();
+        let out = best_response_dynamics(&g, (0, 0), 100);
+        assert!(out.converged);
+        assert_eq!(out.profile, (1, 1));
+    }
+
+    #[test]
+    fn brd_fixed_point_detected_immediately() {
+        let g = classic::prisoners_dilemma();
+        let out = best_response_dynamics(&g, (1, 1), 100);
+        assert!(out.converged);
+        assert_eq!(out.rounds, 0);
+    }
+
+    #[test]
+    fn brd_converges_in_coordination_game() {
+        let g = classic::coordination(3.0, 1.0);
+        for start in [(0, 0), (0, 1), (1, 0), (1, 1)] {
+            let out = best_response_dynamics(&g, start, 100);
+            assert!(out.converged, "from {start:?}");
+            let (i, j) = out.profile;
+            assert_eq!(i, j, "must coordinate");
+        }
+    }
+
+    #[test]
+    fn brd_detects_cycling_in_matching_pennies() {
+        let g = classic::matching_pennies();
+        let out = best_response_dynamics(&g, (0, 0), 50);
+        assert!(!out.converged, "matching pennies has no pure NE");
+        assert_eq!(out.rounds, 50);
+    }
+
+    #[test]
+    fn fictitious_play_converges_in_matching_pennies() {
+        let g = classic::matching_pennies();
+        let (x, y) = fictitious_play(&g, 20_000);
+        assert!(x.approx_eq(&MixedStrategy::uniform(2), 0.01), "{x}");
+        assert!(y.approx_eq(&MixedStrategy::uniform(2), 0.01), "{y}");
+    }
+
+    #[test]
+    fn fictitious_play_on_rps_approaches_uniform() {
+        let g = classic::rock_paper_scissors();
+        let (x, y) = fictitious_play(&g, 30_000);
+        assert!(x.approx_eq(&MixedStrategy::uniform(3), 0.02), "{x}");
+        assert!(y.approx_eq(&MixedStrategy::uniform(3), 0.02), "{y}");
+    }
+
+    #[test]
+    fn fictitious_play_locks_onto_pd_defection() {
+        let g = classic::prisoners_dilemma();
+        let (x, y) = fictitious_play(&g, 5_000);
+        assert!(x.probs()[1] > 0.99, "{x}");
+        assert!(y.probs()[1] > 0.99, "{y}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn brd_start_validated() {
+        best_response_dynamics(&classic::matching_pennies(), (5, 0), 10);
+    }
+}

@@ -1,0 +1,240 @@
+//! The Lemke–Howson algorithm: one Nash equilibrium by complementary
+//! pivoting (Nashpy's `lemke_howson`).
+//!
+//! Uses the two-polytope formulation (von Stengel): with `m × n` payoff
+//! matrices `A, B > 0`,
+//!
+//! ```text
+//! P = { x ≥ 0 : Bᵀ x ≤ 1 }     labels: x_i ↦ i,   slack_j ↦ m + j
+//! Q = { y ≥ 0 : A y ≤ 1 }      labels: y_j ↦ m+j, slack_i ↦ i
+//! ```
+//!
+//! Starting from the artificial equilibrium `(0, 0)`, dropping an initial
+//! label and following the complementary pivoting path terminates at a
+//! Nash equilibrium of the (shifted) game; shifting payoffs does not
+//! change equilibria.
+
+use crate::bimatrix::Bimatrix;
+use crate::strategy::MixedStrategy;
+
+/// A tableau with a tracked basis, columns indexed by variable label
+/// `0..m+n`, last column the RHS.
+struct Tableau {
+    /// rows × (labels + 1) coefficients.
+    rows: Vec<Vec<f64>>,
+    /// Label of the basic variable of each row.
+    basis: Vec<usize>,
+}
+
+impl Tableau {
+    /// Pivot in the variable with label `entering`; returns the label of
+    /// the leaving variable.
+    fn pivot(&mut self, entering: usize) -> usize {
+        let rhs = self.rows[0].len() - 1;
+        // Min-ratio test over rows with positive coefficient.
+        let mut best: Option<(usize, f64)> = None;
+        for (r, row) in self.rows.iter().enumerate() {
+            let coef = row[entering];
+            if coef > 1e-12 {
+                let ratio = row[rhs] / coef;
+                match best {
+                    None => best = Some((r, ratio)),
+                    Some((_, b)) if ratio < b - 1e-12 => best = Some((r, ratio)),
+                    _ => {}
+                }
+            }
+        }
+        let (pivot_row, _) =
+            best.expect("LH tableau unbounded: payoff matrices must be strictly positive");
+        let leaving = self.basis[pivot_row];
+
+        // Normalise pivot row.
+        let pivot_val = self.rows[pivot_row][entering];
+        for v in &mut self.rows[pivot_row] {
+            *v /= pivot_val;
+        }
+        // Eliminate entering column from other rows.
+        for r in 0..self.rows.len() {
+            if r != pivot_row {
+                let f = self.rows[r][entering];
+                if f != 0.0 {
+                    for c in 0..=rhs {
+                        self.rows[r][c] -= f * self.rows[pivot_row][c];
+                    }
+                }
+            }
+        }
+        self.basis[pivot_row] = entering;
+        leaving
+    }
+
+    /// Value of the basic variable with `label`, 0 when nonbasic.
+    fn value(&self, label: usize) -> f64 {
+        let rhs = self.rows[0].len() - 1;
+        self.basis
+            .iter()
+            .position(|&b| b == label)
+            .map(|r| self.rows[r][rhs])
+            .unwrap_or(0.0)
+    }
+}
+
+/// Run Lemke–Howson from `initial_label` (0 ≤ label < m + n). Different
+/// initial labels may reach different equilibria.
+pub fn lemke_howson(game: &Bimatrix, initial_label: usize) -> (MixedStrategy, MixedStrategy) {
+    let m = game.rows();
+    let n = game.cols();
+    assert!(initial_label < m + n, "label out of range");
+
+    // Shift payoffs strictly positive (equilibrium-preserving).
+    let shift = 1.0 - game.a.min().min(game.b.min());
+    let a = game.a.shift(shift);
+    let b = game.b.shift(shift);
+
+    // Tableau P (n rows): Bᵀ x + s = 1. Columns: x labels 0..m, s labels m..m+n.
+    let mut tp = Tableau {
+        rows: (0..n)
+            .map(|j| {
+                let mut row = vec![0.0; m + n + 1];
+                for (i, cell) in row.iter_mut().take(m).enumerate() {
+                    *cell = b[(i, j)];
+                }
+                row[m + j] = 1.0;
+                row[m + n] = 1.0;
+                row
+            })
+            .collect(),
+        basis: (0..n).map(|j| m + j).collect(),
+    };
+    // Tableau Q (m rows): A y + r = 1. Columns: r labels 0..m, y labels m..m+n.
+    let mut tq = Tableau {
+        rows: (0..m)
+            .map(|i| {
+                let mut row = vec![0.0; m + n + 1];
+                row[i] = 1.0;
+                for j in 0..n {
+                    row[m + j] = a[(i, j)];
+                }
+                row[m + n] = 1.0;
+                row
+            })
+            .collect(),
+        basis: (0..m).collect(),
+    };
+
+    // The initial label is nonbasic in exactly one tableau: x-labels live
+    // in P, y-labels in Q.
+    let mut in_p = initial_label < m;
+    let mut entering = initial_label;
+    loop {
+        let leaving = if in_p { tp.pivot(entering) } else { tq.pivot(entering) };
+        if leaving == initial_label {
+            break;
+        }
+        entering = leaving;
+        in_p = !in_p;
+    }
+
+    // Extract and normalise.
+    let mut x: Vec<f64> = (0..m).map(|i| tp.value(i).max(0.0)).collect();
+    let mut y: Vec<f64> = (0..n).map(|j| tq.value(m + j).max(0.0)).collect();
+    let xs: f64 = x.iter().sum();
+    let ys: f64 = y.iter().sum();
+    assert!(xs > 1e-12 && ys > 1e-12, "LH terminated at the artificial equilibrium");
+    for v in &mut x {
+        *v /= xs;
+    }
+    for v in &mut y {
+        *v /= ys;
+    }
+    (MixedStrategy::new(x), MixedStrategy::new(y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classic;
+    use crate::matrix::Matrix;
+
+    #[test]
+    fn prisoners_dilemma_reaches_defect_defect() {
+        let g = classic::prisoners_dilemma();
+        for label in 0..4 {
+            let (x, y) = lemke_howson(&g, label);
+            assert_eq!(x.as_pure(), Some(1), "label {label}");
+            assert_eq!(y.as_pure(), Some(1), "label {label}");
+        }
+    }
+
+    #[test]
+    fn matching_pennies_mixed_equilibrium() {
+        let g = classic::matching_pennies();
+        let (x, y) = lemke_howson(&g, 0);
+        assert!(x.approx_eq(&MixedStrategy::uniform(2), 1e-9), "{x}");
+        assert!(y.approx_eq(&MixedStrategy::uniform(2), 1e-9), "{y}");
+    }
+
+    #[test]
+    fn every_label_yields_a_nash_equilibrium() {
+        for g in [
+            classic::prisoners_dilemma(),
+            classic::matching_pennies(),
+            classic::battle_of_the_sexes(),
+            classic::rock_paper_scissors(),
+            classic::coordination(2.0, 1.0),
+        ] {
+            for label in 0..(g.rows() + g.cols()) {
+                let (x, y) = lemke_howson(&g, label);
+                assert!(g.is_nash(&x, &y), "label {label} gave ({x}, {y})");
+            }
+        }
+    }
+
+    #[test]
+    fn battle_of_sexes_labels_reach_different_pure_equilibria() {
+        let g = classic::battle_of_the_sexes();
+        let found: std::collections::HashSet<(usize, usize)> = (0..4)
+            .filter_map(|l| {
+                let (x, y) = lemke_howson(&g, l);
+                Some((x.as_pure()?, y.as_pure()?))
+            })
+            .collect();
+        assert!(found.contains(&(0, 0)) || found.contains(&(1, 1)));
+    }
+
+    #[test]
+    fn asymmetric_game() {
+        let a = Matrix::from_rows(&[vec![3.0, 2.0, 3.0], vec![2.0, 6.0, 1.0]]);
+        let b = Matrix::from_rows(&[vec![2.0, 1.0, 3.0], vec![4.0, 5.0, 2.0]]);
+        let g = Bimatrix::new(a, b);
+        for label in 0..5 {
+            let (x, y) = lemke_howson(&g, label);
+            assert!(g.is_nash(&x, &y), "label {label}");
+        }
+    }
+
+    #[test]
+    fn negative_payoffs_handled_by_shifting() {
+        let a = Matrix::from_rows(&[vec![-5.0, -1.0], vec![-2.0, -4.0]]);
+        let g = Bimatrix::zero_sum(a);
+        let (x, y) = lemke_howson(&g, 0);
+        assert!(g.is_nash(&x, &y));
+    }
+
+    #[test]
+    fn agrees_with_support_enumeration_on_unique_equilibria() {
+        for g in [classic::prisoners_dilemma(), classic::matching_pennies(), classic::rock_paper_scissors()] {
+            let eqs = crate::support_enum::support_enumeration(&g);
+            assert_eq!(eqs.len(), 1);
+            let (x, y) = lemke_howson(&g, 0);
+            assert!(x.approx_eq(&eqs[0].0, 1e-6));
+            assert!(y.approx_eq(&eqs[0].1, 1e-6));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn label_bounds_checked() {
+        lemke_howson(&classic::matching_pennies(), 4);
+    }
+}

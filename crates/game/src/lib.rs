@@ -1,0 +1,43 @@
+//! Game-theory toolkit for DEEP — the Nashpy substitution.
+//!
+//! The paper "applies a nash equilibrium model" (solved with the Nashpy
+//! library) and frames deployment as a prisoner's dilemma "to optimize
+//! energy consumption through cooperation between microservices and
+//! devices". This crate reimplements the machinery Nashpy provides, plus
+//! the n-player congestion-game solver the deployment game needs:
+//!
+//! * [`matrix`] — dense payoff matrices;
+//! * [`strategy`] — mixed strategies with support queries;
+//! * [`bimatrix`] — two-player games: best responses, pure-equilibrium
+//!   enumeration, equilibrium verification, expected payoffs;
+//! * [`dominance`] — iterated elimination of strictly dominated strategies;
+//! * [`support_enum`] — support enumeration of all equilibria of
+//!   nondegenerate bimatrix games (Nashpy's `support_enumeration`);
+//! * [`mod@lemke_howson`] — complementary pivoting for one equilibrium
+//!   (Nashpy's `lemke_howson`);
+//! * [`dynamics`] — best-response dynamics and fictitious play;
+//! * [`congestion`] — finite n-player games with exact potential
+//!   (deployment-contention games), solved by best-response iteration;
+//! * [`classic`] — canonical games (prisoner's dilemma, matching pennies,
+//!   ...) used for validation and by the paper's model.
+
+pub mod bimatrix;
+pub mod classic;
+pub mod congestion;
+pub mod dominance;
+pub mod dynamics;
+pub mod lemke_howson;
+pub mod linalg;
+pub mod matrix;
+pub mod replicator;
+pub mod strategy;
+pub mod support_enum;
+
+pub use bimatrix::Bimatrix;
+pub use congestion::{BestResponseResult, FiniteGame};
+pub use dynamics::{best_response_dynamics, fictitious_play};
+pub use lemke_howson::lemke_howson;
+pub use matrix::Matrix;
+pub use replicator::{is_ess, replicator_dynamics, replicator_step};
+pub use strategy::MixedStrategy;
+pub use support_enum::support_enumeration;

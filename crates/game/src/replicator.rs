@@ -1,0 +1,195 @@
+//! Replicator dynamics and evolutionary stability.
+//!
+//! An evolutionary view of the deployment game: a large population of
+//! microservice instances repeatedly plays the stage game; strategies
+//! that earn above-average payoff grow. Fixed points of the discrete
+//! replicator map on symmetric games are Nash candidates, and
+//! evolutionarily stable strategies (ESS) refine them. Used by the
+//! analysis notebooks and as an independent cross-check on the
+//! equilibrium solvers.
+
+use crate::bimatrix::Bimatrix;
+use crate::matrix::Matrix;
+use crate::strategy::MixedStrategy;
+
+/// One discrete replicator step on a symmetric game with payoff `a`:
+/// `x'_i = x_i · u_i / ū`, where `u_i = (A x)_i` and `ū = xᵀ A x`.
+/// Payoffs are shifted positive internally so fitness is well-defined;
+/// note that unlike the continuous-time flow, the discrete map is *not*
+/// invariant under payoff shifts (larger shifts damp the step), so the
+/// shift is fixed deterministically at `1 − min(A, 0)`.
+pub fn replicator_step(a: &Matrix, x: &MixedStrategy) -> MixedStrategy {
+    assert_eq!(a.rows(), a.cols(), "replicator dynamics need a symmetric game");
+    assert_eq!(x.len(), a.rows(), "strategy dimension mismatch");
+    let shift = 1.0 - a.min().min(0.0);
+    let shifted = a.shift(shift);
+    let fitness = shifted.mat_vec(x.probs());
+    let avg: f64 = fitness.iter().zip(x.probs()).map(|(f, p)| f * p).sum();
+    debug_assert!(avg > 0.0, "shifted payoffs are positive");
+    let probs: Vec<f64> = x
+        .probs()
+        .iter()
+        .zip(&fitness)
+        .map(|(p, f)| p * f / avg)
+        .collect();
+    // Normalise drift.
+    let total: f64 = probs.iter().sum();
+    MixedStrategy::new(probs.into_iter().map(|p| p / total).collect())
+}
+
+/// Iterate the replicator map until movement falls below `tol` or
+/// `max_iters` is hit. Returns the final state and whether it converged.
+pub fn replicator_dynamics(
+    a: &Matrix,
+    start: &MixedStrategy,
+    max_iters: usize,
+    tol: f64,
+) -> (MixedStrategy, bool) {
+    let mut x = start.clone();
+    for _ in 0..max_iters {
+        let next = replicator_step(a, &x);
+        let moved: f64 = next
+            .probs()
+            .iter()
+            .zip(x.probs())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        x = next;
+        if moved < tol {
+            return (x, true);
+        }
+    }
+    (x, false)
+}
+
+/// Is `x` an evolutionarily stable strategy of the symmetric game `a`?
+///
+/// Checks the two ESS conditions against every pure mutant `y`:
+/// `u(x,x) ≥ u(y,x)` (Nash), and on ties `u(x,y) > u(y,y)` (stability).
+pub fn is_ess(a: &Matrix, x: &MixedStrategy, tol: f64) -> bool {
+    assert_eq!(a.rows(), a.cols(), "ESS needs a symmetric game");
+    let u = |s: &[f64], t: &[f64]| -> f64 { a.quad(s, t) };
+    let xx = u(x.probs(), x.probs());
+    for mutant in 0..a.rows() {
+        let y = MixedStrategy::pure(mutant, a.rows());
+        if x.probs()[mutant] > 1.0 - tol {
+            continue; // the mutant is x itself
+        }
+        let yx = u(y.probs(), x.probs());
+        if yx > xx + tol {
+            return false; // not even Nash
+        }
+        if (yx - xx).abs() <= tol {
+            // Tie: x must beat the mutant in the mutant's world.
+            let xy = u(x.probs(), y.probs());
+            let yy = u(y.probs(), y.probs());
+            if xy <= yy + tol {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Convenience: the row-payoff matrix of a symmetric bimatrix game
+/// (panics if the game is not symmetric, i.e. `B ≠ Aᵀ`).
+pub fn symmetric_payoff(game: &Bimatrix) -> Matrix {
+    let a = &game.a;
+    let bt = game.b.transpose();
+    assert_eq!(a, &bt, "game is not symmetric (B must equal Aᵀ)");
+    a.clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classic;
+
+    /// Hawk-dove with V=2, C=4: unique symmetric ESS at (1/2, 1/2).
+    fn hawk_dove() -> Matrix {
+        Matrix::from_rows(&[vec![-1.0, 2.0], vec![0.0, 1.0]])
+    }
+
+    #[test]
+    fn replicator_preserves_simplex() {
+        let a = hawk_dove();
+        let mut x = MixedStrategy::new(vec![0.9, 0.1]);
+        for _ in 0..50 {
+            x = replicator_step(&a, &x);
+            let sum: f64 = x.probs().iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+            assert!(x.probs().iter().all(|&p| p >= 0.0));
+        }
+    }
+
+    #[test]
+    fn hawk_dove_converges_to_mixed_ess() {
+        let a = hawk_dove();
+        let (x, converged) =
+            replicator_dynamics(&a, &MixedStrategy::new(vec![0.9, 0.1]), 10_000, 1e-12);
+        assert!(converged);
+        assert!(x.approx_eq(&MixedStrategy::uniform(2), 1e-4), "{x}");
+        assert!(is_ess(&a, &x, 1e-6));
+    }
+
+    #[test]
+    fn prisoners_dilemma_defection_is_ess() {
+        let g = classic::prisoners_dilemma();
+        let a = symmetric_payoff(&g);
+        let defect = MixedStrategy::pure(1, 2);
+        assert!(is_ess(&a, &defect, 1e-9));
+        let coop = MixedStrategy::pure(0, 2);
+        assert!(!is_ess(&a, &coop, 1e-9));
+        // Dynamics starting anywhere interior reach defection.
+        let (x, _) = replicator_dynamics(&a, &MixedStrategy::new(vec![0.99, 0.01]), 20_000, 1e-12);
+        assert!(x.probs()[1] > 0.99, "{x}");
+    }
+
+    #[test]
+    fn pure_fixed_points_are_stationary() {
+        // Pure states are fixed points of the replicator map even when
+        // unstable.
+        let a = hawk_dove();
+        let pure = MixedStrategy::pure(0, 2);
+        let next = replicator_step(&a, &pure);
+        assert!(next.approx_eq(&pure, 1e-12));
+    }
+
+    #[test]
+    fn rps_interior_is_unstable_under_discrete_dynamics() {
+        // The discrete-time replicator map spirals *away* from RPS's
+        // interior equilibrium (a classic divergence of the discretised
+        // dynamic) and is eventually absorbed at a vertex.
+        let g = classic::rock_paper_scissors();
+        let a = symmetric_payoff(&g);
+        let start = MixedStrategy::new(vec![0.5, 0.3, 0.2]);
+        let (end, _) = replicator_dynamics(&a, &start, 100_000, 1e-12);
+        assert!(
+            !end.approx_eq(&MixedStrategy::uniform(3), 0.05),
+            "interior equilibrium must repel: {end}"
+        );
+        // The uniform point itself is exactly stationary but not ESS.
+        let uniform = MixedStrategy::uniform(3);
+        let next = replicator_step(&a, &uniform);
+        assert!(next.approx_eq(&uniform, 1e-12));
+        assert!(!is_ess(&a, &uniform, 1e-9));
+    }
+
+    #[test]
+    fn coordination_ess_depends_on_which_equilibrium() {
+        let g = classic::coordination(3.0, 1.0);
+        let a = symmetric_payoff(&g);
+        // Both pure coordination points are ESS; the mixed equilibrium is
+        // not.
+        assert!(is_ess(&a, &MixedStrategy::pure(0, 2), 1e-9));
+        assert!(is_ess(&a, &MixedStrategy::pure(1, 2), 1e-9));
+        let mixed = MixedStrategy::new(vec![0.25, 0.75]);
+        assert!(!is_ess(&a, &mixed, 1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "not symmetric")]
+    fn asymmetric_games_rejected() {
+        symmetric_payoff(&classic::battle_of_the_sexes());
+    }
+}

@@ -1,0 +1,190 @@
+//! Docker Hub CDN distribution model.
+//!
+//! The paper (Section I) explains Docker Hub's delivery performance by its
+//! CDN-based distribution: images are served from a point of presence (PoP)
+//! geographically close to the client, and the effective pull bandwidth
+//! depends on which PoP class serves the request. We model a small set of
+//! PoP classes — from an in-region cache to a trans-continental origin —
+//! each scaling the client's nominal bandwidth. This is what makes
+//! "exclusively Docker Hub" competitive in the paper: the CDN hides most of
+//! the distance to the registry's origin servers, leaving only a small gap
+//! for the regional registry to close.
+
+use crate::units::Bandwidth;
+use serde::{Deserialize, Serialize};
+
+/// Which tier of the CDN serves a pull.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PopClass {
+    /// A PoP inside the client's metro region (best case).
+    Regional,
+    /// A PoP on the same continent.
+    Continental,
+    /// The origin data centre, across continents (worst case, cold cache).
+    Origin,
+}
+
+impl PopClass {
+    /// Fraction of the client's nominal bandwidth realised when served by
+    /// this PoP class. Calibrated so that a warm CDN is nearly as fast as a
+    /// LAN registry, matching the paper's observation that Docker Hub stays
+    /// competitive with the regional registry.
+    pub fn bandwidth_factor(self) -> f64 {
+        match self {
+            PopClass::Regional => 0.95,
+            PopClass::Continental => 0.70,
+            PopClass::Origin => 0.35,
+        }
+    }
+
+    /// All classes, best first.
+    pub fn all() -> [PopClass; 3] {
+        [PopClass::Regional, PopClass::Continental, PopClass::Origin]
+    }
+}
+
+/// A CDN with a configurable hit distribution over PoP classes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CdnModel {
+    /// Probability that a pull is served regionally (else it cascades).
+    regional_hit: f64,
+    /// Probability that a regional miss is served continentally.
+    continental_hit: f64,
+}
+
+impl CdnModel {
+    /// A CDN where `regional_hit` of requests are served by a regional PoP
+    /// and `continental_hit` of the remainder by a continental PoP; the
+    /// rest go to origin. Probabilities must lie in `[0, 1]`.
+    pub fn new(regional_hit: f64, continental_hit: f64) -> Self {
+        assert!((0.0..=1.0).contains(&regional_hit), "regional_hit out of [0,1]");
+        assert!((0.0..=1.0).contains(&continental_hit), "continental_hit out of [0,1]");
+        CdnModel { regional_hit, continental_hit }
+    }
+
+    /// The warm-cache CDN used for Docker Hub in the paper reproduction:
+    /// popular base images are virtually always at the nearest PoP.
+    pub fn warm() -> Self {
+        CdnModel::new(0.9, 0.8)
+    }
+
+    /// A cold CDN (first pull of a rare image).
+    pub fn cold() -> Self {
+        CdnModel::new(0.0, 0.2)
+    }
+
+    /// Deterministic PoP selection given a uniform sample in `[0, 1)`.
+    ///
+    /// Taking the sample as a parameter (instead of an RNG) keeps this crate
+    /// free of randomness; the simulator supplies seeded samples.
+    pub fn classify(&self, sample: f64) -> PopClass {
+        assert!((0.0..1.0).contains(&sample), "sample must be in [0,1)");
+        if sample < self.regional_hit {
+            PopClass::Regional
+        } else {
+            // renormalise the remaining mass
+            let rest = (sample - self.regional_hit) / (1.0 - self.regional_hit).max(f64::MIN_POSITIVE);
+            if rest < self.continental_hit {
+                PopClass::Continental
+            } else {
+                PopClass::Origin
+            }
+        }
+    }
+
+    /// Expected bandwidth factor across the hit distribution.
+    pub fn expected_factor(&self) -> f64 {
+        let p_reg = self.regional_hit;
+        let p_cont = (1.0 - p_reg) * self.continental_hit;
+        let p_orig = 1.0 - p_reg - p_cont;
+        p_reg * PopClass::Regional.bandwidth_factor()
+            + p_cont * PopClass::Continental.bandwidth_factor()
+            + p_orig * PopClass::Origin.bandwidth_factor()
+    }
+
+    /// Effective expected bandwidth for a client with the given nominal
+    /// bandwidth — the `BW_gj` the completion-time model should use for a
+    /// Hub pull.
+    pub fn expected_bandwidth(&self, nominal: Bandwidth) -> Bandwidth {
+        nominal.scale(self.expected_factor())
+    }
+
+    /// Effective bandwidth for one concrete pull served by `pop`.
+    pub fn bandwidth_via(&self, nominal: Bandwidth, pop: PopClass) -> Bandwidth {
+        nominal.scale(pop.bandwidth_factor())
+    }
+}
+
+impl Default for CdnModel {
+    fn default() -> Self {
+        CdnModel::warm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factors_are_ordered_best_first() {
+        let [a, b, c] = PopClass::all();
+        assert!(a.bandwidth_factor() > b.bandwidth_factor());
+        assert!(b.bandwidth_factor() > c.bandwidth_factor());
+    }
+
+    #[test]
+    fn classify_partitions_unit_interval() {
+        let cdn = CdnModel::new(0.5, 0.5);
+        assert_eq!(cdn.classify(0.0), PopClass::Regional);
+        assert_eq!(cdn.classify(0.49), PopClass::Regional);
+        assert_eq!(cdn.classify(0.5), PopClass::Continental);
+        assert_eq!(cdn.classify(0.74), PopClass::Continental);
+        assert_eq!(cdn.classify(0.75), PopClass::Origin);
+        assert_eq!(cdn.classify(0.99), PopClass::Origin);
+    }
+
+    #[test]
+    fn warm_cdn_expected_factor_close_to_regional() {
+        let f = CdnModel::warm().expected_factor();
+        assert!(f > 0.9, "warm CDN should retain >90% of nominal bandwidth, got {f}");
+        assert!(f < 1.0);
+    }
+
+    #[test]
+    fn cold_cdn_much_slower() {
+        assert!(CdnModel::cold().expected_factor() < 0.5);
+    }
+
+    #[test]
+    fn expected_bandwidth_scales_nominal() {
+        let cdn = CdnModel::new(1.0, 0.0); // always regional
+        let bw = cdn.expected_bandwidth(Bandwidth::megabytes_per_sec(100.0));
+        assert!((bw.as_megabytes_per_sec() - 95.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bandwidth_via_specific_pop() {
+        let cdn = CdnModel::warm();
+        let bw = cdn.bandwidth_via(Bandwidth::megabytes_per_sec(100.0), PopClass::Origin);
+        assert!((bw.as_megabytes_per_sec() - 35.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expected_factor_is_probability_weighted() {
+        // p_reg=0, cont_hit=1 => everything continental.
+        let cdn = CdnModel::new(0.0, 1.0);
+        assert!((cdn.expected_factor() - PopClass::Continental.bandwidth_factor()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0,1]")]
+    fn invalid_probability_panics() {
+        CdnModel::new(1.5, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample must be in [0,1)")]
+    fn invalid_sample_panics() {
+        CdnModel::warm().classify(1.0);
+    }
+}

@@ -1,0 +1,136 @@
+//! A single network channel with optional contention.
+//!
+//! The paper's model treats each channel as an isolated pipe of constant
+//! bandwidth. Real edge uplinks are shared; to let ablation experiments
+//! quantify how much that idealisation matters, [`Channel`] supports three
+//! contention policies. The default, [`ContentionPolicy::None`], reproduces
+//! the paper exactly.
+
+use crate::units::{Bandwidth, DataSize, Seconds};
+use serde::{Deserialize, Serialize};
+
+/// How concurrent flows share a channel's bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ContentionPolicy {
+    /// Every flow sees the full bandwidth (the paper's assumption).
+    #[default]
+    None,
+    /// `n` concurrent flows each get `BW / n` (processor-sharing).
+    FairShare,
+    /// Flows are serialized: the channel serves one flow at a time (FIFO).
+    Fifo,
+}
+
+/// A directed channel between two endpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Channel {
+    bandwidth: Bandwidth,
+    policy: ContentionPolicy,
+}
+
+impl Channel {
+    /// A channel with the given nominal bandwidth and no contention.
+    pub fn new(bandwidth: Bandwidth) -> Self {
+        Channel { bandwidth, policy: ContentionPolicy::None }
+    }
+
+    /// Override the contention policy.
+    pub fn with_policy(mut self, policy: ContentionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Nominal (uncontended) bandwidth.
+    pub fn bandwidth(&self) -> Bandwidth {
+        self.bandwidth
+    }
+
+    /// Configured contention policy.
+    pub fn policy(&self) -> ContentionPolicy {
+        self.policy
+    }
+
+    /// Effective bandwidth seen by one of `concurrent_flows` flows.
+    ///
+    /// `concurrent_flows` counts *all* flows on the channel including the
+    /// one being asked about, so it must be ≥ 1.
+    pub fn effective_bandwidth(&self, concurrent_flows: usize) -> Bandwidth {
+        assert!(concurrent_flows >= 1, "a flow cannot contend with fewer than itself");
+        match self.policy {
+            ContentionPolicy::None => self.bandwidth,
+            ContentionPolicy::FairShare => self.bandwidth.scale(1.0 / concurrent_flows as f64),
+            // Under FIFO the flow eventually gets the full pipe; the *delay*
+            // is modelled by the caller queueing transfers back-to-back.
+            ContentionPolicy::Fifo => self.bandwidth,
+        }
+    }
+
+    /// Time for one flow among `concurrent_flows` to move `size`.
+    ///
+    /// Under FIFO this is the service time only; queueing delay is the
+    /// responsibility of the event-driven layer that knows arrival order.
+    pub fn transfer_time(&self, size: DataSize, concurrent_flows: usize) -> Seconds {
+        if size.is_zero() {
+            return Seconds::ZERO;
+        }
+        let bw = self.effective_bandwidth(concurrent_flows);
+        if bw.as_bytes_per_sec().is_infinite() {
+            Seconds::ZERO
+        } else {
+            size / bw
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uncontended_transfer() {
+        let ch = Channel::new(Bandwidth::megabytes_per_sec(100.0));
+        let t = ch.transfer_time(DataSize::megabytes(500.0), 1);
+        assert!((t.as_f64() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn none_policy_ignores_contention() {
+        let ch = Channel::new(Bandwidth::megabytes_per_sec(100.0));
+        assert_eq!(ch.effective_bandwidth(8), Bandwidth::megabytes_per_sec(100.0));
+    }
+
+    #[test]
+    fn fair_share_divides_bandwidth() {
+        let ch = Channel::new(Bandwidth::megabytes_per_sec(100.0))
+            .with_policy(ContentionPolicy::FairShare);
+        assert_eq!(ch.effective_bandwidth(4), Bandwidth::megabytes_per_sec(25.0));
+        let t = ch.transfer_time(DataSize::megabytes(100.0), 4);
+        assert!((t.as_f64() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fifo_keeps_service_bandwidth() {
+        let ch = Channel::new(Bandwidth::megabytes_per_sec(50.0)).with_policy(ContentionPolicy::Fifo);
+        assert_eq!(ch.effective_bandwidth(10), Bandwidth::megabytes_per_sec(50.0));
+    }
+
+    #[test]
+    fn zero_size_is_free_even_under_contention() {
+        let ch = Channel::new(Bandwidth::megabytes_per_sec(1.0))
+            .with_policy(ContentionPolicy::FairShare);
+        assert_eq!(ch.transfer_time(DataSize::ZERO, 100), Seconds::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "fewer than itself")]
+    fn zero_flows_panics() {
+        let ch = Channel::new(Bandwidth::megabytes_per_sec(1.0));
+        ch.effective_bandwidth(0);
+    }
+
+    #[test]
+    fn infinite_channel_is_instant() {
+        let ch = Channel::new(Bandwidth::infinite());
+        assert_eq!(ch.transfer_time(DataSize::gigabytes(100.0), 1), Seconds::ZERO);
+    }
+}

@@ -1,0 +1,158 @@
+//! Round-trip-time extension — quantifying what the paper neglects.
+//!
+//! The paper's network model "neglects the network round-trip time (RTT),
+//! focusing exclusively on bandwidth". This module adds the neglected
+//! term so experiments can *measure* how much that simplification costs:
+//! a transfer of `size` in `chunks` sequential requests over a link with
+//! round-trip time `rtt` takes `size/BW + chunks·rtt`, and TCP ramp-up is
+//! approximated by a slow-start penalty on short transfers.
+
+use crate::units::{Bandwidth, DataSize, Seconds};
+use serde::{Deserialize, Serialize};
+
+/// A link with both bandwidth and latency.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatentLink {
+    pub bandwidth: Bandwidth,
+    /// One round trip.
+    pub rtt: Seconds,
+    /// TCP initial congestion window, in bytes (used by the slow-start
+    /// approximation; 10 segments ≈ 14.6 kB is the modern default).
+    pub init_cwnd: DataSize,
+}
+
+impl LatentLink {
+    /// A link with the given bandwidth and RTT, default initial window.
+    pub fn new(bandwidth: Bandwidth, rtt: Seconds) -> Self {
+        assert!(rtt.as_f64() >= 0.0, "RTT cannot be negative");
+        LatentLink { bandwidth, rtt, init_cwnd: DataSize::kilobytes(14.6) }
+    }
+
+    /// The paper's idealisation: same bandwidth, zero RTT.
+    pub fn ideal(bandwidth: Bandwidth) -> Self {
+        Self::new(bandwidth, Seconds::ZERO)
+    }
+
+    /// Transfer time with per-request round trips: `chunks` sequential
+    /// request/response exchanges (e.g. one per image layer) each pay one
+    /// RTT before their bytes flow.
+    pub fn transfer_time(&self, size: DataSize, chunks: usize) -> Seconds {
+        assert!(chunks >= 1, "a transfer is at least one request");
+        let wire = crate::transfer::transfer_time(size, self.bandwidth);
+        wire + self.rtt * chunks as f64
+    }
+
+    /// Slow-start-aware transfer time: doubling congestion windows from
+    /// `init_cwnd` until the pipe is full, then line rate. A good
+    /// approximation for short transfers where bandwidth never saturates.
+    pub fn transfer_time_slow_start(&self, size: DataSize) -> Seconds {
+        if size.is_zero() || self.bandwidth.as_bytes_per_sec().is_infinite() {
+            return crate::transfer::transfer_time(size, self.bandwidth);
+        }
+        if self.rtt == Seconds::ZERO {
+            return crate::transfer::transfer_time(size, self.bandwidth);
+        }
+        // Bandwidth-delay product: the window at which the pipe is full.
+        let bdp = self.bandwidth * self.rtt;
+        let mut window = self.init_cwnd.as_bytes().max(1);
+        let mut sent: u64 = 0;
+        let mut time = Seconds::ZERO;
+        let total = size.as_bytes();
+        // Ramp-up: each RTT sends one window.
+        while sent < total && window < bdp.as_bytes().max(1) {
+            time += self.rtt;
+            sent += window;
+            window *= 2;
+        }
+        if sent < total {
+            // Remainder at line rate.
+            time += DataSize::bytes(total - sent) / self.bandwidth;
+        }
+        time
+    }
+
+    /// Relative error of the paper's zero-RTT idealisation for a transfer
+    /// of `size` in `chunks` requests: `(t_real − t_ideal) / t_real`.
+    pub fn idealisation_error(&self, size: DataSize, chunks: usize) -> f64 {
+        let real = self.transfer_time(size, chunks).as_f64();
+        if real == 0.0 {
+            return 0.0;
+        }
+        let ideal = crate::transfer::transfer_time(size, self.bandwidth).as_f64();
+        (real - ideal) / real
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link() -> LatentLink {
+        LatentLink::new(Bandwidth::megabytes_per_sec(10.0), Seconds::new(0.05))
+    }
+
+    #[test]
+    fn zero_rtt_matches_bandwidth_model() {
+        let l = LatentLink::ideal(Bandwidth::megabytes_per_sec(10.0));
+        let t = l.transfer_time(DataSize::megabytes(100.0), 5);
+        assert!((t.as_f64() - 10.0).abs() < 1e-9);
+        assert_eq!(l.idealisation_error(DataSize::megabytes(100.0), 5), 0.0);
+    }
+
+    #[test]
+    fn per_chunk_rtt_adds_up() {
+        let l = link();
+        // 100 MB at 10 MB/s = 10 s, plus 4 layers × 50 ms.
+        let t = l.transfer_time(DataSize::megabytes(100.0), 4);
+        assert!((t.as_f64() - 10.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idealisation_error_small_for_big_images_large_for_small_ones() {
+        let l = link();
+        // 5.78 GB training image, 4 layers: RTT is noise.
+        let big = l.idealisation_error(DataSize::gigabytes(5.78), 4);
+        assert!(big < 0.001, "{big}");
+        // 1 MB manifest fetch: RTT dominates.
+        let small = l.idealisation_error(DataSize::megabytes(1.0), 3);
+        assert!(small > 0.5, "{small}");
+        // This asymmetry justifies the paper's neglect for its GB-scale
+        // images.
+    }
+
+    #[test]
+    fn slow_start_penalises_short_transfers() {
+        let l = link();
+        let short = DataSize::kilobytes(100.0);
+        let with_ss = l.transfer_time_slow_start(short).as_f64();
+        let ideal = crate::transfer::transfer_time(short, l.bandwidth).as_f64();
+        assert!(with_ss > ideal * 2.0, "slow start dominates: {with_ss} vs {ideal}");
+    }
+
+    #[test]
+    fn slow_start_converges_to_line_rate_for_long_transfers() {
+        let l = link();
+        let long = DataSize::gigabytes(1.0);
+        let with_ss = l.transfer_time_slow_start(long).as_f64();
+        let ideal = crate::transfer::transfer_time(long, l.bandwidth).as_f64();
+        assert!((with_ss - ideal) / ideal < 0.01, "{with_ss} vs {ideal}");
+        assert!(with_ss >= ideal);
+    }
+
+    #[test]
+    fn slow_start_degenerates_cleanly() {
+        let l = LatentLink::ideal(Bandwidth::megabytes_per_sec(5.0));
+        let t = l.transfer_time_slow_start(DataSize::megabytes(10.0));
+        assert!((t.as_f64() - 2.0).abs() < 1e-9);
+        assert_eq!(
+            link().transfer_time_slow_start(DataSize::ZERO),
+            Seconds::ZERO
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one request")]
+    fn zero_chunks_rejected() {
+        link().transfer_time(DataSize::megabytes(1.0), 0);
+    }
+}

@@ -1,0 +1,376 @@
+//! Device and registry interconnect topology.
+//!
+//! Models the paper's `H = {h_kj}` device-to-device bandwidth matrix and the
+//! registry-to-device bandwidths `BW_gj` (Section III-B/C). Bandwidths are
+//! directional: `BW(k → j)` may differ from `BW(j → k)` (edge uplinks are
+//! commonly asymmetric). The loopback channel `h_jj` defaults to an
+//! effectively infinite memory-speed link so co-located microservices pay no
+//! transfer cost, matching the paper's testbed where co-scheduled stages
+//! exchange data through the local filesystem.
+
+use crate::units::{Bandwidth, DataSize, Seconds};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of an edge device (`d_j` in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DeviceId(pub usize);
+
+/// Index of a Docker registry (`r_g` in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RegistryId(pub usize);
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+impl fmt::Display for RegistryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Errors raised while constructing or querying a topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// A device index was out of range.
+    UnknownDevice(DeviceId),
+    /// A registry index was out of range.
+    UnknownRegistry(RegistryId),
+    /// A required link has no bandwidth assigned.
+    MissingLink(String),
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::UnknownDevice(d) => write!(f, "unknown device {d}"),
+            TopologyError::UnknownRegistry(r) => write!(f, "unknown registry {r}"),
+            TopologyError::MissingLink(s) => write!(f, "missing link: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// Bandwidth used for a device's link to itself: data moved through local
+/// memory/disk, effectively instantaneous relative to network transfers.
+pub const LOOPBACK: Bandwidth = Bandwidth::infinite();
+
+/// The full interconnect: `n` devices, `m` registries, and the two
+/// bandwidth matrices of the paper.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Topology {
+    devices: usize,
+    registries: usize,
+    /// `device_bw[k][j]` = `BW_kj`, bandwidth from device `k` to device `j`.
+    device_bw: Vec<Vec<Bandwidth>>,
+    /// `registry_bw[g][j]` = `BW_gj`, bandwidth from registry `g` to device `j`.
+    registry_bw: Vec<Vec<Bandwidth>>,
+}
+
+impl Topology {
+    /// Number of devices `N_D`.
+    pub fn device_count(&self) -> usize {
+        self.devices
+    }
+
+    /// Number of registries `N_R`.
+    pub fn registry_count(&self) -> usize {
+        self.registries
+    }
+
+    /// Iterate over all device ids.
+    pub fn devices(&self) -> impl Iterator<Item = DeviceId> {
+        (0..self.devices).map(DeviceId)
+    }
+
+    /// Iterate over all registry ids.
+    pub fn registries(&self) -> impl Iterator<Item = RegistryId> {
+        (0..self.registries).map(RegistryId)
+    }
+
+    /// `BW_kj`: bandwidth for dataflow transfer from device `k` to device `j`.
+    pub fn device_bandwidth(&self, from: DeviceId, to: DeviceId) -> Result<Bandwidth, TopologyError> {
+        self.check_device(from)?;
+        self.check_device(to)?;
+        Ok(self.device_bw[from.0][to.0])
+    }
+
+    /// `BW_gj`: bandwidth for image pull from registry `g` to device `j`.
+    pub fn registry_bandwidth(&self, from: RegistryId, to: DeviceId) -> Result<Bandwidth, TopologyError> {
+        self.check_registry(from)?;
+        self.check_device(to)?;
+        Ok(self.registry_bw[from.0][to.0])
+    }
+
+    /// Time to move `size` from device `k` to device `j` (`Tc` term).
+    pub fn device_transfer_time(
+        &self,
+        from: DeviceId,
+        to: DeviceId,
+        size: DataSize,
+    ) -> Result<Seconds, TopologyError> {
+        let bw = self.device_bandwidth(from, to)?;
+        Ok(div_or_zero(size, bw))
+    }
+
+    /// Time to pull `size` from registry `g` onto device `j` (`Td` term).
+    pub fn registry_transfer_time(
+        &self,
+        from: RegistryId,
+        to: DeviceId,
+        size: DataSize,
+    ) -> Result<Seconds, TopologyError> {
+        let bw = self.registry_bandwidth(from, to)?;
+        Ok(div_or_zero(size, bw))
+    }
+
+    fn check_device(&self, d: DeviceId) -> Result<(), TopologyError> {
+        if d.0 < self.devices {
+            Ok(())
+        } else {
+            Err(TopologyError::UnknownDevice(d))
+        }
+    }
+
+    fn check_registry(&self, r: RegistryId) -> Result<(), TopologyError> {
+        if r.0 < self.registries {
+            Ok(())
+        } else {
+            Err(TopologyError::UnknownRegistry(r))
+        }
+    }
+}
+
+#[inline]
+fn div_or_zero(size: DataSize, bw: Bandwidth) -> Seconds {
+    if size.is_zero() || bw.as_bytes_per_sec().is_infinite() {
+        Seconds::ZERO
+    } else {
+        size / bw
+    }
+}
+
+/// Builder for [`Topology`]. Device self-links default to [`LOOPBACK`];
+/// all other links must be assigned explicitly (or via the `uniform_*`
+/// helpers) before [`TopologyBuilder::build`] succeeds.
+#[derive(Debug, Clone)]
+pub struct TopologyBuilder {
+    devices: usize,
+    registries: usize,
+    device_bw: Vec<Vec<Option<Bandwidth>>>,
+    registry_bw: Vec<Vec<Option<Bandwidth>>>,
+}
+
+impl TopologyBuilder {
+    /// Start a topology with `devices` edge devices and `registries` registries.
+    pub fn new(devices: usize, registries: usize) -> Self {
+        let mut device_bw = vec![vec![None; devices]; devices];
+        for (j, row) in device_bw.iter_mut().enumerate() {
+            row[j] = Some(LOOPBACK);
+        }
+        TopologyBuilder {
+            devices,
+            registries,
+            device_bw,
+            registry_bw: vec![vec![None; devices]; registries],
+        }
+    }
+
+    /// Set `BW_kj` for one directed device pair.
+    pub fn device_link(mut self, from: DeviceId, to: DeviceId, bw: Bandwidth) -> Self {
+        self.device_bw[from.0][to.0] = Some(bw);
+        self
+    }
+
+    /// Set `BW_kj = BW_jk = bw` for a device pair.
+    pub fn symmetric_device_link(mut self, a: DeviceId, b: DeviceId, bw: Bandwidth) -> Self {
+        self.device_bw[a.0][b.0] = Some(bw);
+        self.device_bw[b.0][a.0] = Some(bw);
+        self
+    }
+
+    /// Set `BW_gj` for one registry→device link.
+    pub fn registry_link(mut self, from: RegistryId, to: DeviceId, bw: Bandwidth) -> Self {
+        self.registry_bw[from.0][to.0] = Some(bw);
+        self
+    }
+
+    /// Assign `bw` to every device-to-device link not yet set.
+    pub fn uniform_device_bandwidth(mut self, bw: Bandwidth) -> Self {
+        for row in &mut self.device_bw {
+            for cell in row.iter_mut() {
+                if cell.is_none() {
+                    *cell = Some(bw);
+                }
+            }
+        }
+        self
+    }
+
+    /// Assign `bw` to every registry-to-device link not yet set.
+    pub fn uniform_registry_bandwidth(mut self, bw: Bandwidth) -> Self {
+        for row in &mut self.registry_bw {
+            for cell in row.iter_mut() {
+                if cell.is_none() {
+                    *cell = Some(bw);
+                }
+            }
+        }
+        self
+    }
+
+    /// Finish, verifying every link has a bandwidth.
+    pub fn build(self) -> Result<Topology, TopologyError> {
+        let mut device_bw = Vec::with_capacity(self.devices);
+        for (k, row) in self.device_bw.into_iter().enumerate() {
+            let mut out = Vec::with_capacity(row.len());
+            for (j, cell) in row.into_iter().enumerate() {
+                out.push(cell.ok_or_else(|| {
+                    TopologyError::MissingLink(format!("device d{k} -> d{j}"))
+                })?);
+            }
+            device_bw.push(out);
+        }
+        let mut registry_bw = Vec::with_capacity(self.registries);
+        for (g, row) in self.registry_bw.into_iter().enumerate() {
+            let mut out = Vec::with_capacity(row.len());
+            for (j, cell) in row.into_iter().enumerate() {
+                out.push(cell.ok_or_else(|| {
+                    TopologyError::MissingLink(format!("registry r{g} -> d{j}"))
+                })?);
+            }
+            registry_bw.push(out);
+        }
+        Ok(Topology {
+            devices: self.devices,
+            registries: self.registries,
+            device_bw,
+            registry_bw,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_by_two() -> Topology {
+        TopologyBuilder::new(2, 2)
+            .symmetric_device_link(DeviceId(0), DeviceId(1), Bandwidth::megabytes_per_sec(50.0))
+            .registry_link(RegistryId(0), DeviceId(0), Bandwidth::megabytes_per_sec(100.0))
+            .registry_link(RegistryId(0), DeviceId(1), Bandwidth::megabytes_per_sec(80.0))
+            .registry_link(RegistryId(1), DeviceId(0), Bandwidth::megabytes_per_sec(110.0))
+            .registry_link(RegistryId(1), DeviceId(1), Bandwidth::megabytes_per_sec(90.0))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn counts_and_iterators() {
+        let t = two_by_two();
+        assert_eq!(t.device_count(), 2);
+        assert_eq!(t.registry_count(), 2);
+        assert_eq!(t.devices().collect::<Vec<_>>(), vec![DeviceId(0), DeviceId(1)]);
+        assert_eq!(t.registries().count(), 2);
+    }
+
+    #[test]
+    fn loopback_is_free() {
+        let t = two_by_two();
+        let time = t
+            .device_transfer_time(DeviceId(0), DeviceId(0), DataSize::gigabytes(10.0))
+            .unwrap();
+        assert_eq!(time, Seconds::ZERO);
+    }
+
+    #[test]
+    fn cross_device_transfer_time() {
+        let t = two_by_two();
+        let time = t
+            .device_transfer_time(DeviceId(0), DeviceId(1), DataSize::megabytes(250.0))
+            .unwrap();
+        assert!((time.as_f64() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn registry_pull_time_matches_model() {
+        // Td = Size_mi / BW_gj: 5.78 GB at 80 MB/s = 72.25 s.
+        let t = two_by_two();
+        let time = t
+            .registry_transfer_time(RegistryId(0), DeviceId(1), DataSize::gigabytes(5.78))
+            .unwrap();
+        assert!((time.as_f64() - 72.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_size_transfer_is_free() {
+        let t = two_by_two();
+        let time = t
+            .registry_transfer_time(RegistryId(1), DeviceId(0), DataSize::ZERO)
+            .unwrap();
+        assert_eq!(time, Seconds::ZERO);
+    }
+
+    #[test]
+    fn unknown_indices_error() {
+        let t = two_by_two();
+        assert_eq!(
+            t.device_bandwidth(DeviceId(5), DeviceId(0)).unwrap_err(),
+            TopologyError::UnknownDevice(DeviceId(5))
+        );
+        assert_eq!(
+            t.registry_bandwidth(RegistryId(9), DeviceId(0)).unwrap_err(),
+            TopologyError::UnknownRegistry(RegistryId(9))
+        );
+    }
+
+    #[test]
+    fn missing_link_fails_build() {
+        let err = TopologyBuilder::new(2, 1)
+            .symmetric_device_link(DeviceId(0), DeviceId(1), Bandwidth::megabytes_per_sec(10.0))
+            .registry_link(RegistryId(0), DeviceId(0), Bandwidth::megabytes_per_sec(10.0))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, TopologyError::MissingLink("registry r0 -> d1".into()));
+    }
+
+    #[test]
+    fn uniform_fill_respects_explicit_links() {
+        let t = TopologyBuilder::new(2, 1)
+            .registry_link(RegistryId(0), DeviceId(0), Bandwidth::megabytes_per_sec(42.0))
+            .uniform_registry_bandwidth(Bandwidth::megabytes_per_sec(10.0))
+            .uniform_device_bandwidth(Bandwidth::megabytes_per_sec(5.0))
+            .build()
+            .unwrap();
+        assert_eq!(
+            t.registry_bandwidth(RegistryId(0), DeviceId(0)).unwrap(),
+            Bandwidth::megabytes_per_sec(42.0)
+        );
+        assert_eq!(
+            t.registry_bandwidth(RegistryId(0), DeviceId(1)).unwrap(),
+            Bandwidth::megabytes_per_sec(10.0)
+        );
+        // loopback untouched by uniform fill
+        assert!(t
+            .device_bandwidth(DeviceId(0), DeviceId(0))
+            .unwrap()
+            .as_bytes_per_sec()
+            .is_infinite());
+    }
+
+    #[test]
+    fn asymmetric_links_are_directional() {
+        let t = TopologyBuilder::new(2, 0)
+            .device_link(DeviceId(0), DeviceId(1), Bandwidth::megabytes_per_sec(100.0))
+            .device_link(DeviceId(1), DeviceId(0), Bandwidth::megabytes_per_sec(10.0))
+            .build()
+            .unwrap();
+        let down = t.device_bandwidth(DeviceId(0), DeviceId(1)).unwrap();
+        let up = t.device_bandwidth(DeviceId(1), DeviceId(0)).unwrap();
+        assert!(down.as_bytes_per_sec() > up.as_bytes_per_sec());
+    }
+}

@@ -1,0 +1,231 @@
+//! Arithmetic over GF(2^8), the field underlying Reed–Solomon coding.
+//!
+//! Uses the AES/Rijndael-adjacent primitive polynomial `x^8 + x^4 + x^3 +
+//! x^2 + 1` (0x11d), the same one used by most storage erasure coders
+//! (including the ISA-L tables MinIO builds on). Multiplication and
+//! division are table-driven via discrete logs of the generator `α = 2`.
+
+/// Primitive polynomial 0x11d (without the leading x^8 bit: 0x1d).
+const POLY: u16 = 0x11d;
+
+/// Log/antilog tables, built once at first use.
+struct Tables {
+    log: [u8; 256],
+    exp: [u8; 512],
+}
+
+#[allow(clippy::needless_range_loop)]
+fn tables() -> &'static Tables {
+    use std::sync::OnceLock;
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut log = [0u8; 256];
+        let mut exp = [0u8; 512];
+        let mut x: u16 = 1;
+        for i in 0..255 {
+            exp[i] = x as u8;
+            log[x as usize] = i as u8;
+            x <<= 1;
+            if x & 0x100 != 0 {
+                x ^= POLY;
+            }
+        }
+        // Duplicate so exp[log a + log b] never needs a mod.
+        for i in 255..512 {
+            exp[i] = exp[i - 255];
+        }
+        Tables { log, exp }
+    })
+}
+
+/// Addition in GF(2^8) is XOR.
+#[inline]
+pub fn add(a: u8, b: u8) -> u8 {
+    a ^ b
+}
+
+/// Subtraction equals addition in characteristic 2.
+#[inline]
+pub fn sub(a: u8, b: u8) -> u8 {
+    a ^ b
+}
+
+/// Multiplication via log tables.
+#[inline]
+pub fn mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    let t = tables();
+    t.exp[t.log[a as usize] as usize + t.log[b as usize] as usize]
+}
+
+/// Multiplicative inverse. Panics on zero.
+#[inline]
+pub fn inv(a: u8) -> u8 {
+    assert!(a != 0, "zero has no inverse in GF(256)");
+    let t = tables();
+    t.exp[255 - t.log[a as usize] as usize]
+}
+
+/// Division `a / b`. Panics when `b == 0`.
+#[inline]
+pub fn div(a: u8, b: u8) -> u8 {
+    assert!(b != 0, "division by zero in GF(256)");
+    if a == 0 {
+        return 0;
+    }
+    let t = tables();
+    let diff = t.log[a as usize] as i32 - t.log[b as usize] as i32;
+    let idx = if diff < 0 { diff + 255 } else { diff } as usize;
+    t.exp[idx]
+}
+
+/// Exponentiation `a^n` by repeated squaring over the log domain.
+pub fn pow(a: u8, n: u32) -> u8 {
+    if n == 0 {
+        return 1;
+    }
+    if a == 0 {
+        return 0;
+    }
+    let t = tables();
+    let l = t.log[a as usize] as u64 * n as u64 % 255;
+    t.exp[l as usize]
+}
+
+/// `dst[i] ^= c * src[i]` — the inner loop of every RS encode/decode.
+pub fn mul_acc(dst: &mut [u8], src: &[u8], c: u8) {
+    assert_eq!(dst.len(), src.len(), "mul_acc length mismatch");
+    if c == 0 {
+        return;
+    }
+    if c == 1 {
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d ^= s;
+        }
+        return;
+    }
+    let t = tables();
+    let lc = t.log[c as usize] as usize;
+    for (d, s) in dst.iter_mut().zip(src) {
+        if *s != 0 {
+            *d ^= t.exp[lc + t.log[*s as usize] as usize];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_is_xor_and_self_inverse() {
+        assert_eq!(add(0x53, 0xca), 0x99);
+        for a in 0..=255u8 {
+            assert_eq!(add(a, a), 0);
+            assert_eq!(sub(a, a), 0);
+        }
+    }
+
+    #[test]
+    fn known_multiplications() {
+        // Classic GF(2^8)/0x11d vectors.
+        assert_eq!(mul(0, 7), 0);
+        assert_eq!(mul(1, 7), 7);
+        assert_eq!(mul(2, 2), 4);
+        assert_eq!(mul(0x80, 2), 0x1d); // overflow reduces by POLY
+        assert_eq!(mul(0xff, 0xff), 0xe2);
+    }
+
+    #[test]
+    fn multiplication_is_commutative_and_associative() {
+        for a in [0u8, 1, 2, 3, 5, 87, 254, 255] {
+            for b in [0u8, 1, 2, 9, 100, 255] {
+                assert_eq!(mul(a, b), mul(b, a));
+                for c in [1u8, 7, 200] {
+                    assert_eq!(mul(mul(a, b), c), mul(a, mul(b, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distributivity() {
+        for a in [1u8, 2, 77, 255] {
+            for b in [0u8, 3, 128] {
+                for c in [1u8, 5, 250] {
+                    assert_eq!(mul(a, add(b, c)), add(mul(a, b), mul(a, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_nonzero_element_has_inverse() {
+        for a in 1..=255u8 {
+            let i = inv(a);
+            assert_eq!(mul(a, i), 1, "a={a} inv={i}");
+            assert_eq!(div(1, a), i);
+        }
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        for a in 0..=255u8 {
+            for b in [1u8, 2, 3, 100, 255] {
+                assert_eq!(div(mul(a, b), b), a);
+            }
+        }
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        for a in [0u8, 1, 2, 3, 29, 255] {
+            let mut acc = 1u8;
+            for n in 0..20u32 {
+                assert_eq!(pow(a, n), acc, "a={a} n={n}");
+                acc = mul(acc, a);
+            }
+        }
+        assert_eq!(pow(0, 0), 1); // convention
+    }
+
+    #[test]
+    fn generator_has_full_order() {
+        // α = 2 generates the multiplicative group: α^255 = 1 and no
+        // smaller positive power is 1.
+        assert_eq!(pow(2, 255), 1);
+        for n in 1..255 {
+            assert_ne!(pow(2, n), 1, "order divides {n}");
+        }
+    }
+
+    #[test]
+    fn mul_acc_accumulates() {
+        let src = [1u8, 2, 3, 4];
+        let mut dst = [10u8, 20, 30, 40];
+        let expect: Vec<u8> = dst.iter().zip(&src).map(|(d, s)| d ^ mul(7, *s)).collect();
+        mul_acc(&mut dst, &src, 7);
+        assert_eq!(dst.to_vec(), expect);
+        // c = 0 is a no-op, c = 1 is xor.
+        let before = dst;
+        mul_acc(&mut dst, &src, 0);
+        assert_eq!(dst, before);
+        mul_acc(&mut dst, &src, 1);
+        let expect2: Vec<u8> = before.iter().zip(&src).map(|(d, s)| d ^ s).collect();
+        assert_eq!(dst.to_vec(), expect2);
+    }
+
+    #[test]
+    #[should_panic(expected = "no inverse")]
+    fn zero_inverse_panics() {
+        inv(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn division_by_zero_panics() {
+        div(3, 0);
+    }
+}

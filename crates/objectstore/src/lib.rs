@@ -1,0 +1,35 @@
+//! MinIO-like S3-compatible object store.
+//!
+//! The paper's regional Docker registry is "a MinIO-based Docker registry
+//! locally deployed in our laboratory" — a registry whose blob storage is
+//! an S3-compatible object store "provisioned on a local server with a
+//! specific storage capacity according to the user's requirements (e.g.,
+//! 100 GB)". This crate is that substrate:
+//!
+//! * [`store`] — buckets and objects with ETags, capacity quotas, listing
+//!   (the S3 surface the registry uses);
+//! * [`multipart`] — S3 multipart uploads (how registries push large
+//!   layers);
+//! * [`versioning`] — per-key version history, S3-style;
+//! * [`gf256`] / [`erasure`] — GF(2^8) arithmetic and systematic
+//!   Reed–Solomon coding, MinIO's storage-redundancy mechanism;
+//! * [`drives`] — an erasure-set of simulated drives with failure and
+//!   healing, mirroring MinIO's drive model.
+//!
+//! Everything is in-memory and deterministic; latency/bandwidth are
+//! supplied by `deep-netsim` at the layer above.
+
+pub mod drives;
+pub mod erasure;
+pub mod gf256;
+pub mod multipart;
+pub mod scrub;
+pub mod store;
+pub mod versioning;
+
+pub use drives::{DriveSet, DriveSetError};
+pub use erasure::{ErasureCoder, ErasureError};
+pub use multipart::{MultipartError, MultipartUpload};
+pub use scrub::{ScrubbedSet, ScrubReport};
+pub use store::{Bucket, ObjectMeta, ObjectStore, StoreError};
+pub use versioning::VersionedBucket;

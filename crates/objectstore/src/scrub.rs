@@ -1,0 +1,242 @@
+//! Bitrot scrubbing: checksum-verified shard integrity (MinIO's bitrot
+//! protection).
+//!
+//! MinIO checksums every shard at write time and verifies on read/heal;
+//! silent corruption (bitrot) is detected and the shard treated as lost,
+//! letting erasure decoding reconstruct it. [`ScrubbedSet`] wraps a
+//! [`crate::drives::DriveSet`]-style shard layout with per-shard FNV checksums and a
+//! scrubbing pass that quarantines corrupt shards.
+
+use crate::erasure::{ErasureCoder, ErasureError};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors from the scrubbed store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScrubError {
+    NoSuchObject(String),
+    Unrecoverable(ErasureError),
+    DriveOutOfRange(usize),
+}
+
+impl fmt::Display for ScrubError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScrubError::NoSuchObject(k) => write!(f, "no such object {k:?}"),
+            ScrubError::Unrecoverable(e) => write!(f, "unrecoverable: {e}"),
+            ScrubError::DriveOutOfRange(d) => write!(f, "drive {d} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for ScrubError {}
+
+/// FNV-1a — fast, deterministic shard checksum (not cryptographic; the
+/// threat is bitrot, not an adversary).
+fn checksum(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+struct Stored {
+    shards: Vec<Option<Vec<u8>>>,
+    sums: Vec<u64>,
+    len: usize,
+}
+
+/// An erasure-coded object store with per-shard checksums.
+pub struct ScrubbedSet {
+    coder: ErasureCoder,
+    objects: BTreeMap<String, Stored>,
+}
+
+/// Result of a scrubbing pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Shards whose checksum failed (quarantined).
+    pub corrupt: usize,
+    /// Corrupt shards successfully rebuilt from survivors.
+    pub healed: usize,
+    /// Objects left unrecoverable (too much rot).
+    pub lost_objects: usize,
+}
+
+impl ScrubbedSet {
+    pub fn new(data_shards: usize, parity_shards: usize) -> Result<Self, ErasureError> {
+        Ok(ScrubbedSet { coder: ErasureCoder::new(data_shards, parity_shards)?, objects: BTreeMap::new() })
+    }
+
+    /// Store an object with checksummed shards.
+    pub fn put(&mut self, key: &str, data: &[u8]) {
+        let shards = self.coder.encode(data);
+        let sums = shards.iter().map(|s| checksum(s)).collect();
+        self.objects.insert(
+            key.to_string(),
+            Stored { shards: shards.into_iter().map(Some).collect(), sums, len: data.len() },
+        );
+    }
+
+    /// Read with verification: corrupt shards are masked before decoding,
+    /// so bitrot is transparent while ≤ parity shards rot.
+    pub fn get(&self, key: &str) -> Result<Vec<u8>, ScrubError> {
+        let obj = self
+            .objects
+            .get(key)
+            .ok_or_else(|| ScrubError::NoSuchObject(key.to_string()))?;
+        let visible: Vec<Option<Vec<u8>>> = obj
+            .shards
+            .iter()
+            .zip(&obj.sums)
+            .map(|(s, &sum)| match s {
+                Some(bytes) if checksum(bytes) == sum => Some(bytes.clone()),
+                _ => None,
+            })
+            .collect();
+        self.coder.decode(&visible, obj.len).map_err(ScrubError::Unrecoverable)
+    }
+
+    /// Flip bits in one shard of one object (test/failure injection — this
+    /// is what a decaying disk does).
+    pub fn corrupt_shard(&mut self, key: &str, drive: usize) -> Result<(), ScrubError> {
+        let obj = self
+            .objects
+            .get_mut(key)
+            .ok_or_else(|| ScrubError::NoSuchObject(key.to_string()))?;
+        if drive >= obj.shards.len() {
+            return Err(ScrubError::DriveOutOfRange(drive));
+        }
+        if let Some(shard) = obj.shards[drive].as_mut() {
+            if let Some(byte) = shard.first_mut() {
+                *byte ^= 0xff;
+            }
+        }
+        Ok(())
+    }
+
+    /// Scrub everything: verify checksums, rebuild rotted shards from
+    /// survivors, recompute checksums for healed shards.
+    pub fn scrub(&mut self) -> ScrubReport {
+        let mut corrupt = 0;
+        let mut healed = 0;
+        let mut lost = 0;
+        for obj in self.objects.values_mut() {
+            // Quarantine rotted shards.
+            let mut rotted = Vec::new();
+            for (i, (s, &sum)) in obj.shards.iter().zip(&obj.sums).enumerate() {
+                if let Some(bytes) = s {
+                    if checksum(bytes) != sum {
+                        rotted.push(i);
+                    }
+                }
+            }
+            corrupt += rotted.len();
+            for &i in &rotted {
+                obj.shards[i] = None;
+            }
+            if rotted.is_empty() {
+                continue;
+            }
+            match self.coder.reconstruct_shards(&mut obj.shards, obj.len) {
+                Ok(()) => {
+                    for &i in &rotted {
+                        obj.sums[i] =
+                            checksum(obj.shards[i].as_ref().expect("reconstructed"));
+                    }
+                    healed += rotted.len();
+                }
+                Err(_) => lost += 1,
+            }
+        }
+        ScrubReport { corrupt, healed, lost_objects: lost }
+    }
+
+    /// Number of stored objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True when the set holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn body(n: usize) -> Vec<u8> {
+        (0..n).map(|i| ((i * 37) % 251) as u8).collect()
+    }
+
+    #[test]
+    fn clean_store_round_trips() {
+        let mut set = ScrubbedSet::new(4, 2).unwrap();
+        set.put("a", &body(10_000));
+        assert_eq!(set.get("a").unwrap(), body(10_000));
+        let report = set.scrub();
+        assert_eq!(report, ScrubReport { corrupt: 0, healed: 0, lost_objects: 0 });
+    }
+
+    #[test]
+    fn bitrot_is_transparent_to_reads() {
+        let mut set = ScrubbedSet::new(4, 2).unwrap();
+        set.put("a", &body(5_000));
+        set.corrupt_shard("a", 0).unwrap();
+        set.corrupt_shard("a", 3).unwrap();
+        assert_eq!(set.get("a").unwrap(), body(5_000), "checksums mask the rot");
+    }
+
+    #[test]
+    fn scrub_heals_and_restores_redundancy() {
+        let mut set = ScrubbedSet::new(4, 2).unwrap();
+        set.put("a", &body(2_000));
+        set.corrupt_shard("a", 1).unwrap();
+        set.corrupt_shard("a", 4).unwrap();
+        let report = set.scrub();
+        assert_eq!(report.corrupt, 2);
+        assert_eq!(report.healed, 2);
+        assert_eq!(report.lost_objects, 0);
+        // Full redundancy again: two *more* corruptions survivable.
+        set.corrupt_shard("a", 0).unwrap();
+        set.corrupt_shard("a", 2).unwrap();
+        assert_eq!(set.get("a").unwrap(), body(2_000));
+    }
+
+    #[test]
+    fn excessive_rot_loses_the_object_but_scrub_reports_it() {
+        let mut set = ScrubbedSet::new(2, 1).unwrap();
+        set.put("doomed", &body(300));
+        for drive in 0..2 {
+            set.corrupt_shard("doomed", drive).unwrap();
+        }
+        assert!(matches!(set.get("doomed").unwrap_err(), ScrubError::Unrecoverable(_)));
+        let report = set.scrub();
+        assert_eq!(report.corrupt, 2);
+        assert_eq!(report.lost_objects, 1);
+    }
+
+    #[test]
+    fn scrub_is_idempotent_after_healing() {
+        let mut set = ScrubbedSet::new(4, 2).unwrap();
+        set.put("a", &body(999));
+        set.corrupt_shard("a", 5).unwrap();
+        assert_eq!(set.scrub().healed, 1);
+        let second = set.scrub();
+        assert_eq!(second, ScrubReport { corrupt: 0, healed: 0, lost_objects: 0 });
+    }
+
+    #[test]
+    fn errors_for_unknown_targets() {
+        let mut set = ScrubbedSet::new(2, 1).unwrap();
+        assert!(matches!(set.get("x").unwrap_err(), ScrubError::NoSuchObject(_)));
+        set.put("a", &body(10));
+        assert!(matches!(set.corrupt_shard("a", 9).unwrap_err(), ScrubError::DriveOutOfRange(9)));
+        assert!(!set.is_empty());
+        assert_eq!(set.len(), 1);
+    }
+}

@@ -1,0 +1,341 @@
+//! Buckets and objects: the S3 surface used by the regional registry.
+//!
+//! The store enforces a capacity quota — the paper notes the regional
+//! MinIO registry is "provisioned on a local server with a specific
+//! storage capacity according to the user's requirements (e.g., 100 GB)".
+
+use bytes::Bytes;
+use deep_netsim::DataSize;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors from bucket/object operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// Bucket already exists.
+    BucketExists(String),
+    /// Bucket not found.
+    NoSuchBucket(String),
+    /// Object key not found.
+    NoSuchKey(String),
+    /// The put would exceed the store's provisioned capacity.
+    QuotaExceeded { requested: u64, available: u64 },
+    /// Bucket still contains objects.
+    BucketNotEmpty(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::BucketExists(b) => write!(f, "bucket {b:?} already exists"),
+            StoreError::NoSuchBucket(b) => write!(f, "no such bucket {b:?}"),
+            StoreError::NoSuchKey(k) => write!(f, "no such key {k:?}"),
+            StoreError::QuotaExceeded { requested, available } => {
+                write!(f, "quota exceeded: requested {requested} B, available {available} B")
+            }
+            StoreError::BucketNotEmpty(b) => write!(f, "bucket {b:?} is not empty"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Metadata returned by stat/list operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObjectMeta {
+    pub key: String,
+    pub size: DataSize,
+    /// Content ETag (FNV-1a content hash here; the registry layer uses real
+    /// SHA-256 digests for content addressing).
+    pub etag: u64,
+}
+
+#[derive(Debug, Default)]
+struct ObjectRecord {
+    data: Bytes,
+    etag: u64,
+}
+
+/// One S3 bucket: an ordered key → object map.
+#[derive(Debug, Default)]
+pub struct Bucket {
+    objects: BTreeMap<String, ObjectRecord>,
+}
+
+impl Bucket {
+    fn used(&self) -> u64 {
+        self.objects.values().map(|o| o.data.len() as u64).sum()
+    }
+}
+
+/// FNV-1a over the object body — cheap deterministic ETag.
+fn etag_of(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// The MinIO-like store: named buckets under a global capacity quota.
+/// Cloning shares the underlying storage (like handles to one server).
+#[derive(Debug, Clone)]
+pub struct ObjectStore {
+    inner: Arc<RwLock<Inner>>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    buckets: BTreeMap<String, Bucket>,
+    capacity: DataSize,
+}
+
+impl ObjectStore {
+    /// A store provisioned with `capacity` bytes (e.g. the paper's 100 GB).
+    pub fn with_capacity(capacity: DataSize) -> Self {
+        ObjectStore {
+            inner: Arc::new(RwLock::new(Inner { buckets: BTreeMap::new(), capacity })),
+        }
+    }
+
+    /// The paper's example provisioning: 100 GB.
+    pub fn paper_default() -> Self {
+        Self::with_capacity(DataSize::gigabytes(100.0))
+    }
+
+    /// Provisioned capacity.
+    pub fn capacity(&self) -> DataSize {
+        self.inner.read().capacity
+    }
+
+    /// Bytes currently stored across all buckets.
+    pub fn used(&self) -> DataSize {
+        let inner = self.inner.read();
+        DataSize::bytes(inner.buckets.values().map(Bucket::used).sum())
+    }
+
+    /// Remaining quota.
+    pub fn available(&self) -> DataSize {
+        self.capacity().saturating_sub(self.used())
+    }
+
+    /// Create a bucket.
+    pub fn create_bucket(&self, name: &str) -> Result<(), StoreError> {
+        let mut inner = self.inner.write();
+        if inner.buckets.contains_key(name) {
+            return Err(StoreError::BucketExists(name.to_string()));
+        }
+        inner.buckets.insert(name.to_string(), Bucket::default());
+        Ok(())
+    }
+
+    /// Delete an empty bucket.
+    pub fn delete_bucket(&self, name: &str) -> Result<(), StoreError> {
+        let mut inner = self.inner.write();
+        match inner.buckets.get(name) {
+            None => Err(StoreError::NoSuchBucket(name.to_string())),
+            Some(b) if !b.objects.is_empty() => Err(StoreError::BucketNotEmpty(name.to_string())),
+            Some(_) => {
+                inner.buckets.remove(name);
+                Ok(())
+            }
+        }
+    }
+
+    /// List bucket names.
+    pub fn list_buckets(&self) -> Vec<String> {
+        self.inner.read().buckets.keys().cloned().collect()
+    }
+
+    /// Put an object, replacing any existing value under the key. The
+    /// quota check accounts for the bytes freed by the replacement.
+    pub fn put_object(&self, bucket: &str, key: &str, data: Bytes) -> Result<ObjectMeta, StoreError> {
+        let mut inner = self.inner.write();
+        let used: u64 = inner.buckets.values().map(Bucket::used).sum();
+        let capacity = inner.capacity.as_bytes();
+        let b = inner
+            .buckets
+            .get_mut(bucket)
+            .ok_or_else(|| StoreError::NoSuchBucket(bucket.to_string()))?;
+        let replaced = b.objects.get(key).map(|o| o.data.len() as u64).unwrap_or(0);
+        let new_used = used - replaced + data.len() as u64;
+        if new_used > capacity {
+            return Err(StoreError::QuotaExceeded {
+                requested: data.len() as u64,
+                available: capacity.saturating_sub(used - replaced),
+            });
+        }
+        let etag = etag_of(&data);
+        let size = DataSize::bytes(data.len() as u64);
+        b.objects.insert(key.to_string(), ObjectRecord { data, etag });
+        Ok(ObjectMeta { key: key.to_string(), size, etag })
+    }
+
+    /// Get an object's bytes.
+    pub fn get_object(&self, bucket: &str, key: &str) -> Result<Bytes, StoreError> {
+        let inner = self.inner.read();
+        let b = inner
+            .buckets
+            .get(bucket)
+            .ok_or_else(|| StoreError::NoSuchBucket(bucket.to_string()))?;
+        b.objects
+            .get(key)
+            .map(|o| o.data.clone())
+            .ok_or_else(|| StoreError::NoSuchKey(key.to_string()))
+    }
+
+    /// Stat an object.
+    pub fn head_object(&self, bucket: &str, key: &str) -> Result<ObjectMeta, StoreError> {
+        let inner = self.inner.read();
+        let b = inner
+            .buckets
+            .get(bucket)
+            .ok_or_else(|| StoreError::NoSuchBucket(bucket.to_string()))?;
+        b.objects
+            .get(key)
+            .map(|o| ObjectMeta {
+                key: key.to_string(),
+                size: DataSize::bytes(o.data.len() as u64),
+                etag: o.etag,
+            })
+            .ok_or_else(|| StoreError::NoSuchKey(key.to_string()))
+    }
+
+    /// Delete an object.
+    pub fn delete_object(&self, bucket: &str, key: &str) -> Result<(), StoreError> {
+        let mut inner = self.inner.write();
+        let b = inner
+            .buckets
+            .get_mut(bucket)
+            .ok_or_else(|| StoreError::NoSuchBucket(bucket.to_string()))?;
+        b.objects
+            .remove(key)
+            .map(|_| ())
+            .ok_or_else(|| StoreError::NoSuchKey(key.to_string()))
+    }
+
+    /// List objects in a bucket with an optional key prefix, in key order.
+    pub fn list_objects(&self, bucket: &str, prefix: &str) -> Result<Vec<ObjectMeta>, StoreError> {
+        let inner = self.inner.read();
+        let b = inner
+            .buckets
+            .get(bucket)
+            .ok_or_else(|| StoreError::NoSuchBucket(bucket.to_string()))?;
+        Ok(b
+            .objects
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, o)| ObjectMeta {
+                key: k.clone(),
+                size: DataSize::bytes(o.data.len() as u64),
+                etag: o.etag,
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> ObjectStore {
+        let s = ObjectStore::with_capacity(DataSize::megabytes(1.0));
+        s.create_bucket("images").unwrap();
+        s
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let s = store();
+        let meta = s.put_object("images", "layer/abc", Bytes::from_static(b"hello")).unwrap();
+        assert_eq!(meta.size, DataSize::bytes(5));
+        assert_eq!(s.get_object("images", "layer/abc").unwrap(), Bytes::from_static(b"hello"));
+        assert_eq!(s.head_object("images", "layer/abc").unwrap().etag, meta.etag);
+    }
+
+    #[test]
+    fn etag_tracks_content() {
+        let s = store();
+        let a = s.put_object("images", "k", Bytes::from_static(b"v1")).unwrap();
+        let b = s.put_object("images", "k", Bytes::from_static(b"v2")).unwrap();
+        assert_ne!(a.etag, b.etag);
+        let c = s.put_object("images", "k2", Bytes::from_static(b"v2")).unwrap();
+        assert_eq!(b.etag, c.etag, "same content, same etag");
+    }
+
+    #[test]
+    fn quota_enforced_and_replacement_credited() {
+        let s = ObjectStore::with_capacity(DataSize::bytes(10));
+        s.create_bucket("b").unwrap();
+        s.put_object("b", "x", Bytes::from_static(b"12345678")).unwrap();
+        // 8 used; a 3-byte new object exceeds capacity 10.
+        let err = s.put_object("b", "y", Bytes::from_static(b"abc")).unwrap_err();
+        assert!(matches!(err, StoreError::QuotaExceeded { .. }));
+        // Replacing x with 10 bytes is fine: 8 freed, 10 used.
+        s.put_object("b", "x", Bytes::from_static(b"0123456789")).unwrap();
+        assert_eq!(s.used(), DataSize::bytes(10));
+        assert_eq!(s.available(), DataSize::ZERO);
+    }
+
+    #[test]
+    fn missing_bucket_and_key_errors() {
+        let s = store();
+        assert_eq!(
+            s.get_object("nope", "k").unwrap_err(),
+            StoreError::NoSuchBucket("nope".into())
+        );
+        assert_eq!(s.get_object("images", "k").unwrap_err(), StoreError::NoSuchKey("k".into()));
+        assert_eq!(
+            s.delete_object("images", "k").unwrap_err(),
+            StoreError::NoSuchKey("k".into())
+        );
+    }
+
+    #[test]
+    fn bucket_lifecycle() {
+        let s = store();
+        assert_eq!(s.create_bucket("images").unwrap_err(), StoreError::BucketExists("images".into()));
+        s.put_object("images", "k", Bytes::from_static(b"data")).unwrap();
+        assert_eq!(
+            s.delete_bucket("images").unwrap_err(),
+            StoreError::BucketNotEmpty("images".into())
+        );
+        s.delete_object("images", "k").unwrap();
+        s.delete_bucket("images").unwrap();
+        assert!(s.list_buckets().is_empty());
+    }
+
+    #[test]
+    fn prefix_listing_is_ordered() {
+        let s = store();
+        for key in ["blobs/sha256/cc", "blobs/sha256/aa", "manifests/v1", "blobs/sha256/bb"] {
+            s.put_object("images", key, Bytes::from_static(b"x")).unwrap();
+        }
+        let listed = s.list_objects("images", "blobs/").unwrap();
+        let keys: Vec<&str> = listed.iter().map(|m| m.key.as_str()).collect();
+        assert_eq!(keys, vec!["blobs/sha256/aa", "blobs/sha256/bb", "blobs/sha256/cc"]);
+        assert_eq!(s.list_objects("images", "zzz").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let s = store();
+        let s2 = s.clone();
+        s.put_object("images", "shared", Bytes::from_static(b"1")).unwrap();
+        assert!(s2.get_object("images", "shared").is_ok());
+    }
+
+    #[test]
+    fn usage_accounting() {
+        let s = store();
+        assert_eq!(s.used(), DataSize::ZERO);
+        s.put_object("images", "a", Bytes::from(vec![0u8; 1000])).unwrap();
+        s.put_object("images", "b", Bytes::from(vec![0u8; 500])).unwrap();
+        assert_eq!(s.used(), DataSize::bytes(1500));
+        s.delete_object("images", "a").unwrap();
+        assert_eq!(s.used(), DataSize::bytes(500));
+    }
+}

@@ -1,0 +1,129 @@
+//! S3-style object versioning.
+//!
+//! A versioned bucket never destroys data on overwrite: each put appends a
+//! new version; deletes insert a delete marker; any historic version stays
+//! addressable by id. Registries use this to keep old image revisions
+//! retrievable after a tag moves.
+
+use bytes::Bytes;
+use std::collections::BTreeMap;
+
+/// One stored version of a key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Version {
+    /// A concrete object body.
+    Data(Bytes),
+    /// A delete marker: the key reads as absent at this version.
+    DeleteMarker,
+}
+
+/// A bucket with full version history per key.
+#[derive(Debug, Default)]
+pub struct VersionedBucket {
+    /// key → append-only version list (index = version id).
+    history: BTreeMap<String, Vec<Version>>,
+}
+
+impl VersionedBucket {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Put a new version; returns its version id.
+    pub fn put(&mut self, key: &str, data: Bytes) -> u64 {
+        let versions = self.history.entry(key.to_string()).or_default();
+        versions.push(Version::Data(data));
+        (versions.len() - 1) as u64
+    }
+
+    /// Insert a delete marker; returns its version id, or `None` if the key
+    /// never existed.
+    pub fn delete(&mut self, key: &str) -> Option<u64> {
+        let versions = self.history.get_mut(key)?;
+        versions.push(Version::DeleteMarker);
+        Some((versions.len() - 1) as u64)
+    }
+
+    /// Latest readable value: `None` when absent or delete-marked.
+    pub fn get(&self, key: &str) -> Option<Bytes> {
+        match self.history.get(key)?.last()? {
+            Version::Data(d) => Some(d.clone()),
+            Version::DeleteMarker => None,
+        }
+    }
+
+    /// Read a specific historic version id.
+    pub fn get_version(&self, key: &str, version: u64) -> Option<Bytes> {
+        match self.history.get(key)?.get(version as usize)? {
+            Version::Data(d) => Some(d.clone()),
+            Version::DeleteMarker => None,
+        }
+    }
+
+    /// Number of stored versions (including delete markers) for a key.
+    pub fn version_count(&self, key: &str) -> usize {
+        self.history.get(key).map(Vec::len).unwrap_or(0)
+    }
+
+    /// Keys that currently read as present.
+    pub fn live_keys(&self) -> Vec<&str> {
+        self.history
+            .iter()
+            .filter(|(_, v)| matches!(v.last(), Some(Version::Data(_))))
+            .map(|(k, _)| k.as_str())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overwrite_preserves_history() {
+        let mut b = VersionedBucket::new();
+        let v0 = b.put("manifest", Bytes::from_static(b"rev1"));
+        let v1 = b.put("manifest", Bytes::from_static(b"rev2"));
+        assert_eq!((v0, v1), (0, 1));
+        assert_eq!(b.get("manifest").unwrap(), Bytes::from_static(b"rev2"));
+        assert_eq!(b.get_version("manifest", 0).unwrap(), Bytes::from_static(b"rev1"));
+        assert_eq!(b.version_count("manifest"), 2);
+    }
+
+    #[test]
+    fn delete_marker_hides_but_keeps_data() {
+        let mut b = VersionedBucket::new();
+        b.put("k", Bytes::from_static(b"v"));
+        let marker = b.delete("k").unwrap();
+        assert_eq!(marker, 1);
+        assert!(b.get("k").is_none());
+        assert_eq!(b.get_version("k", 0).unwrap(), Bytes::from_static(b"v"));
+        // Putting again resurrects the key.
+        b.put("k", Bytes::from_static(b"v2"));
+        assert_eq!(b.get("k").unwrap(), Bytes::from_static(b"v2"));
+        assert_eq!(b.version_count("k"), 3);
+    }
+
+    #[test]
+    fn delete_of_missing_key_is_none() {
+        let mut b = VersionedBucket::new();
+        assert!(b.delete("ghost").is_none());
+    }
+
+    #[test]
+    fn live_keys_excludes_deleted() {
+        let mut b = VersionedBucket::new();
+        b.put("a", Bytes::from_static(b"1"));
+        b.put("b", Bytes::from_static(b"2"));
+        b.delete("a");
+        assert_eq!(b.live_keys(), vec!["b"]);
+    }
+
+    #[test]
+    fn unknown_version_is_none() {
+        let mut b = VersionedBucket::new();
+        b.put("k", Bytes::from_static(b"v"));
+        assert!(b.get_version("k", 5).is_none());
+        assert!(b.get_version("zz", 0).is_none());
+    }
+}

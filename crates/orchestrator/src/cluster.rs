@@ -1,0 +1,146 @@
+//! Cluster state: registered nodes, binding and admission.
+
+use crate::node::Node;
+use deep_dataflow::Requirements;
+use deep_netsim::DeviceId;
+use std::fmt;
+
+/// Cluster-level failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// Binding targeted an unregistered node.
+    UnknownNode(DeviceId),
+    /// The target node lacks allocatable resources.
+    Inadmissible { node: DeviceId, pod: String },
+    /// A node with this id is already registered.
+    DuplicateNode(DeviceId),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            ClusterError::Inadmissible { node, pod } => {
+                write!(f, "pod {pod:?} does not fit on node {node}")
+            }
+            ClusterError::DuplicateNode(n) => write!(f, "node {n} already registered"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// The node registry plus admission/binding.
+#[derive(Debug, Clone, Default)]
+pub struct Cluster {
+    nodes: Vec<Node>,
+}
+
+impl Cluster {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A cluster mirroring a simulated testbed's devices.
+    pub fn from_testbed(testbed: &deep_simulator::Testbed) -> Self {
+        let mut c = Cluster::new();
+        for d in &testbed.devices {
+            c.register(Node::new(d.id, &d.name, d.cores, d.memory, d.storage))
+                .expect("testbed devices have unique ids");
+        }
+        c
+    }
+
+    /// Register a node.
+    pub fn register(&mut self, node: Node) -> Result<(), ClusterError> {
+        if self.nodes.iter().any(|n| n.id == node.id) {
+            return Err(ClusterError::DuplicateNode(node.id));
+        }
+        self.nodes.push(node);
+        Ok(())
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Node by id.
+    pub fn node(&self, id: DeviceId) -> Option<&Node> {
+        self.nodes.iter().find(|n| n.id == id)
+    }
+
+    fn node_mut(&mut self, id: DeviceId) -> Option<&mut Node> {
+        self.nodes.iter_mut().find(|n| n.id == id)
+    }
+
+    /// Admit and bind a pod to a node, reserving resources.
+    pub fn bind(&mut self, pod: &str, node: DeviceId, req: &Requirements) -> Result<(), ClusterError> {
+        let n = self.node_mut(node).ok_or(ClusterError::UnknownNode(node))?;
+        if !n.allocate(req) {
+            return Err(ClusterError::Inadmissible { node, pod: pod.to_string() });
+        }
+        Ok(())
+    }
+
+    /// Release a finished pod's resources.
+    pub fn unbind(&mut self, node: DeviceId, req: &Requirements) -> Result<(), ClusterError> {
+        let n = self.node_mut(node).ok_or(ClusterError::UnknownNode(node))?;
+        n.release(req);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deep_dataflow::Mi;
+    use deep_netsim::DataSize;
+
+    fn req(cores: u32) -> Requirements {
+        Requirements::new(cores, Mi::new(1.0), DataSize::megabytes(100.0), DataSize::megabytes(100.0))
+    }
+
+    fn cluster() -> Cluster {
+        let mut c = Cluster::new();
+        c.register(Node::new(DeviceId(0), "medium", 8, DataSize::gigabytes(16.0), DataSize::gigabytes(64.0)))
+            .unwrap();
+        c.register(Node::new(DeviceId(1), "small", 4, DataSize::gigabytes(8.0), DataSize::gigabytes(32.0)))
+            .unwrap();
+        c
+    }
+
+    #[test]
+    fn bind_reserves_and_unbind_releases() {
+        let mut c = cluster();
+        c.bind("p1", DeviceId(1), &req(3)).unwrap();
+        assert_eq!(c.node(DeviceId(1)).unwrap().allocatable().0, 1);
+        c.unbind(DeviceId(1), &req(3)).unwrap();
+        assert_eq!(c.node(DeviceId(1)).unwrap().allocatable().0, 4);
+    }
+
+    #[test]
+    fn admission_rejects_overcommit() {
+        let mut c = cluster();
+        c.bind("p1", DeviceId(1), &req(4)).unwrap();
+        let err = c.bind("p2", DeviceId(1), &req(1)).unwrap_err();
+        assert_eq!(err, ClusterError::Inadmissible { node: DeviceId(1), pod: "p2".into() });
+    }
+
+    #[test]
+    fn unknown_and_duplicate_nodes() {
+        let mut c = cluster();
+        assert_eq!(c.bind("p", DeviceId(7), &req(1)).unwrap_err(), ClusterError::UnknownNode(DeviceId(7)));
+        let dup = Node::new(DeviceId(0), "again", 1, DataSize::ZERO, DataSize::ZERO);
+        assert_eq!(c.register(dup).unwrap_err(), ClusterError::DuplicateNode(DeviceId(0)));
+    }
+
+    #[test]
+    fn from_testbed_mirrors_devices() {
+        let tb = deep_simulator::Testbed::paper();
+        let c = Cluster::from_testbed(&tb);
+        assert_eq!(c.nodes().len(), 2);
+        assert_eq!(c.node(DeviceId(0)).unwrap().cores, 8);
+        assert_eq!(c.node(DeviceId(1)).unwrap().name, "small");
+    }
+}

@@ -1,0 +1,278 @@
+//! The reconcile loop: desired state (an application + a binding policy)
+//! to observed state (succeeded pods with a measured timeline).
+
+use crate::cluster::{Cluster, ClusterError};
+use crate::events::{EventKind, EventLog};
+use crate::spec::{PodPhase, PodSpec, PodStatus};
+use deep_dataflow::Application;
+use deep_netsim::Seconds;
+use deep_simulator::{execute, ExecError, ExecutorConfig, RunReport, Schedule, Testbed};
+use std::fmt;
+
+/// What a submission produced: pod records, the measured run report, and
+/// the orchestrator event log.
+#[derive(Debug)]
+pub struct DeploymentReport {
+    pub pods: Vec<(PodSpec, PodStatus)>,
+    pub run: RunReport,
+    pub events: EventLog,
+}
+
+/// Orchestrator failures.
+#[derive(Debug)]
+pub enum OrchestratorError {
+    Cluster(ClusterError),
+    Execution(ExecError),
+}
+
+impl fmt::Display for OrchestratorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OrchestratorError::Cluster(e) => write!(f, "cluster: {e}"),
+            OrchestratorError::Execution(e) => write!(f, "execution: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OrchestratorError {}
+
+impl From<ClusterError> for OrchestratorError {
+    fn from(e: ClusterError) -> Self {
+        OrchestratorError::Cluster(e)
+    }
+}
+
+impl From<ExecError> for OrchestratorError {
+    fn from(e: ExecError) -> Self {
+        OrchestratorError::Execution(e)
+    }
+}
+
+/// The orchestrator: owns the cluster view and drives the testbed.
+pub struct Orchestrator {
+    cluster: Cluster,
+    events: EventLog,
+}
+
+impl Orchestrator {
+    /// Stand up an orchestrator over a testbed's devices.
+    pub fn new(testbed: &Testbed) -> Self {
+        let cluster = Cluster::from_testbed(testbed);
+        let mut events = EventLog::new();
+        for node in cluster.nodes() {
+            events.push(Seconds::ZERO, EventKind::NodeRegistered, &node.name, "node ready");
+        }
+        Orchestrator { cluster, events }
+    }
+
+    /// The cluster view (for inspection).
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Submit an application with a binding policy (any scheduler adapts
+    /// via a closure `(&Application, &Testbed) -> Schedule`).
+    ///
+    /// The controller: creates pod specs, admits + binds them (reserving
+    /// node resources), executes the run on the testbed, replays the
+    /// measured timeline into pod phase transitions, then releases
+    /// resources.
+    pub fn submit(
+        &mut self,
+        testbed: &mut Testbed,
+        app: &Application,
+        bind: impl FnOnce(&Application, &Testbed) -> Schedule,
+        cfg: &ExecutorConfig,
+    ) -> Result<DeploymentReport, OrchestratorError> {
+        let schedule = bind(app, testbed);
+
+        // Create pod specs (all Pending).
+        let mut pods: Vec<(PodSpec, PodStatus)> = Vec::with_capacity(app.len());
+        for id in app.ids() {
+            let ms = app.microservice(id);
+            let placement = schedule.placement(id);
+            let name = format!("{}/{}", app.name(), ms.name);
+            self.events.push(Seconds::ZERO, EventKind::PodSubmitted, &name, "created");
+            pods.push((
+                PodSpec {
+                    name,
+                    requirements: ms.requirements,
+                    registry: placement.registry,
+                    node: placement.device,
+                },
+                PodStatus::pending(),
+            ));
+        }
+
+        // Admit pods one at a time: the paper's execution model is
+        // non-concurrent (stage members run sequentially), so a pod only
+        // holds its cores during its own execution window. Image pulls are
+        // concurrent per stage but consume storage (checked by the
+        // requirement tuple), not cores. Each pod is bound, validated,
+        // and released in barrier order.
+        for stage in deep_dataflow::stages(app) {
+            for &id in &stage.members {
+                let (spec, status) = &mut pods[id.0];
+                match self.cluster.bind(&spec.name, spec.node, &spec.requirements) {
+                    Ok(()) => {
+                        self.events.push(
+                            Seconds::ZERO,
+                            EventKind::PodBound,
+                            &spec.name,
+                            format!("bound to {} from {}", spec.node, spec.registry),
+                        );
+                        status.advance(PodPhase::Pulling, Seconds::ZERO);
+                        let (s, _) = &pods[id.0];
+                        self.cluster.unbind(s.node, &s.requirements)?;
+                    }
+                    Err(e) => {
+                        self.events.push(
+                            Seconds::ZERO,
+                            EventKind::AdmissionRejected,
+                            &spec.name,
+                            e.to_string(),
+                        );
+                        return Err(e.into());
+                    }
+                }
+            }
+        }
+
+        // Execute on the testbed.
+        let (run, trace) = execute(testbed, app, &schedule, cfg)?;
+
+        // Replay the measured timeline into pod transitions.
+        for (spec, status) in pods.iter_mut() {
+            let ms_name = spec.name.rsplit('/').next().expect("name has a slash");
+            let pulled = trace
+                .for_label(ms_name)
+                .find(|e| e.kind == deep_simulator::TraceKind::ProcessingStarted)
+                .map(|e| e.at)
+                .unwrap_or(Seconds::ZERO);
+            let finished = trace
+                .for_label(ms_name)
+                .find(|e| e.kind == deep_simulator::TraceKind::ProcessingFinished)
+                .map(|e| e.at)
+                .unwrap_or(pulled);
+            self.events.push(pulled, EventKind::ImagePulled, &spec.name, "image ready");
+            status.advance(PodPhase::Running, pulled);
+            self.events.push(pulled, EventKind::PodStarted, &spec.name, "running");
+            status.advance(PodPhase::Succeeded, finished);
+            self.events.push(finished, EventKind::PodSucceeded, &spec.name, "done");
+        }
+
+        Ok(DeploymentReport { pods, run, events: self.events.clone() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deep_dataflow::apps;
+    use deep_simulator::{RegistryChoice, DEVICE_MEDIUM};
+
+    fn uniform_bind(app: &Application, _tb: &Testbed) -> Schedule {
+        Schedule::uniform(app.len(), RegistryChoice::Hub, DEVICE_MEDIUM)
+    }
+
+    #[test]
+    fn submission_succeeds_with_full_lifecycle() {
+        let mut tb = Testbed::paper();
+        let mut orch = Orchestrator::new(&tb);
+        let app = apps::text_processing();
+        let report = orch
+            .submit(&mut tb, &app, uniform_bind, &ExecutorConfig::default())
+            .unwrap();
+        assert_eq!(report.pods.len(), 6);
+        for (spec, status) in &report.pods {
+            assert_eq!(status.phase, PodPhase::Succeeded, "{}", spec.name);
+            assert!(status.finished_at.unwrap().as_f64() >= status.started_at.unwrap().as_f64());
+        }
+        assert!(report.run.total_energy().as_f64() > 0.0);
+        // Node resources fully released.
+        let medium = orch.cluster().node(DEVICE_MEDIUM).unwrap();
+        assert_eq!(medium.allocatable().0, medium.cores);
+    }
+
+    #[test]
+    fn events_cover_the_lifecycle() {
+        let mut tb = Testbed::paper();
+        let mut orch = Orchestrator::new(&tb);
+        let app = apps::video_processing();
+        let report = orch
+            .submit(&mut tb, &app, uniform_bind, &ExecutorConfig::default())
+            .unwrap();
+        assert_eq!(report.events.of_kind(EventKind::NodeRegistered).count(), 2);
+        assert_eq!(report.events.of_kind(EventKind::PodSubmitted).count(), 6);
+        assert_eq!(report.events.of_kind(EventKind::PodBound).count(), 6);
+        assert_eq!(report.events.of_kind(EventKind::PodSucceeded).count(), 6);
+        assert_eq!(report.events.of_kind(EventKind::AdmissionRejected).count(), 0);
+    }
+
+    #[test]
+    fn pod_timelines_are_ordered() {
+        let mut tb = Testbed::paper();
+        let mut orch = Orchestrator::new(&tb);
+        let app = apps::text_processing();
+        let report = orch
+            .submit(&mut tb, &app, uniform_bind, &ExecutorConfig::default())
+            .unwrap();
+        // Stage order: retrieve finishes before decompress starts, etc.
+        let find = |name: &str| {
+            report
+                .pods
+                .iter()
+                .find(|(s, _)| s.name.ends_with(name))
+                .map(|(_, st)| st.clone())
+                .unwrap()
+        };
+        let retrieve = find("retrieve");
+        let decompress = find("decompress");
+        assert!(
+            decompress.started_at.unwrap().as_f64() >= retrieve.finished_at.unwrap().as_f64(),
+            "barrier ordering"
+        );
+    }
+
+    #[test]
+    fn inadmissible_binding_fails_cleanly() {
+        let mut tb = Testbed::paper();
+        let mut orch = Orchestrator::new(&tb);
+        // An application demanding 16 cores fits no testbed device.
+        let mut b = deep_dataflow::ApplicationBuilder::new("monster");
+        b.microservice(
+            "hungry",
+            deep_netsim::DataSize::gigabytes(0.1),
+            deep_dataflow::Requirements::new(
+                16,
+                deep_dataflow::Mi::new(1.0),
+                deep_netsim::DataSize::gigabytes(1.0),
+                deep_netsim::DataSize::gigabytes(1.0),
+            ),
+        );
+        let app = b.build().unwrap();
+        tb.publish_application(&app);
+        let bind = |app: &Application, _tb: &Testbed| {
+            Schedule::uniform(app.len(), RegistryChoice::Hub, DEVICE_MEDIUM)
+        };
+        let err = orch.submit(&mut tb, &app, bind, &ExecutorConfig::default());
+        assert!(matches!(err, Err(OrchestratorError::Cluster(_))));
+        // Resources rolled back.
+        let medium = orch.cluster().node(DEVICE_MEDIUM).unwrap();
+        assert_eq!(medium.allocatable().0, medium.cores);
+    }
+
+    #[test]
+    fn sequential_submissions_share_cached_layers() {
+        let mut tb = Testbed::paper();
+        let mut orch = Orchestrator::new(&tb);
+        let app = apps::text_processing();
+        let first = orch
+            .submit(&mut tb, &app, uniform_bind, &ExecutorConfig::default())
+            .unwrap();
+        let second = orch
+            .submit(&mut tb, &app, uniform_bind, &ExecutorConfig::default())
+            .unwrap();
+        assert!(second.run.makespan < first.run.makespan, "warm caches");
+    }
+}

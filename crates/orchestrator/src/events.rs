@@ -1,0 +1,79 @@
+//! Orchestrator event log (the `kubectl get events` analogue).
+
+use deep_netsim::Seconds;
+use serde::{Deserialize, Serialize};
+
+/// Kinds of orchestrator events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventKind {
+    NodeRegistered,
+    PodSubmitted,
+    PodBound,
+    ImagePulled,
+    PodStarted,
+    PodSucceeded,
+    PodFailed,
+    AdmissionRejected,
+}
+
+/// One event with its subject and wall time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    pub at: Seconds,
+    pub kind: EventKind,
+    pub subject: String,
+    pub message: String,
+}
+
+/// Append-only event log.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct EventLog {
+    events: Vec<Event>,
+}
+
+impl EventLog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn push(&mut self, at: Seconds, kind: EventKind, subject: &str, message: impl Into<String>) {
+        self.events.push(Event { at, kind, subject: subject.to_string(), message: message.into() });
+    }
+
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    pub fn of_kind(&self, kind: EventKind) -> impl Iterator<Item = &Event> {
+        self.events.iter().filter(move |e| e.kind == kind)
+    }
+
+    pub fn for_subject<'a>(&'a self, subject: &'a str) -> impl Iterator<Item = &'a Event> {
+        self.events.iter().filter(move |e| e.subject == subject)
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_filter() {
+        let mut log = EventLog::new();
+        log.push(Seconds::ZERO, EventKind::PodSubmitted, "pod-a", "submitted");
+        log.push(Seconds::new(1.0), EventKind::PodBound, "pod-a", "bound to medium");
+        log.push(Seconds::new(1.0), EventKind::PodSubmitted, "pod-b", "submitted");
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.of_kind(EventKind::PodSubmitted).count(), 2);
+        assert_eq!(log.for_subject("pod-a").count(), 2);
+        assert!(!log.is_empty());
+    }
+}

@@ -1,0 +1,29 @@
+//! Orchestration substrate — the Kubernetes substitution.
+//!
+//! Figure 1 shows DEEP's scheduler "loosely coupled with Docker registries
+//! and an orchestrator, such as the open-source Kubernetes". This crate is
+//! that orchestrator: a declarative pod model over the simulated testbed.
+//!
+//! * [`spec`] — pod specs (microservice + image references + requirement
+//!   tuple) and the pod lifecycle (`Pending → Pulling → Running →
+//!   Succeeded`);
+//! * [`node`] — node state with allocatable-resource accounting;
+//! * [`cluster`] — node registry, binding, admission;
+//! * [`events`] — the orchestrator's event log (scheduling decisions, pod
+//!   transitions), complementing the simulator's Monitoring trace;
+//! * [`controller`] — the reconcile loop: takes an application and a
+//!   binding function (any `deep-core` scheduler adapts via a closure),
+//!   admits and binds pods, drives the simulated execution, and replays
+//!   the measured timeline into pod lifecycle transitions.
+
+pub mod cluster;
+pub mod controller;
+pub mod events;
+pub mod node;
+pub mod spec;
+
+pub use cluster::{Cluster, ClusterError};
+pub use controller::{DeploymentReport, Orchestrator};
+pub use events::{Event, EventKind, EventLog};
+pub use node::Node;
+pub use spec::{PodPhase, PodSpec, PodStatus};

@@ -1,0 +1,119 @@
+//! Node state with allocatable-resource accounting.
+
+use deep_dataflow::Requirements;
+use deep_netsim::{DataSize, DeviceId};
+use serde::{Deserialize, Serialize};
+
+/// An orchestrator-side view of one edge device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    pub id: DeviceId,
+    pub name: String,
+    /// Total capacity.
+    pub cores: u32,
+    pub memory: DataSize,
+    pub storage: DataSize,
+    /// Currently allocatable (capacity minus running pods' requests).
+    alloc_cores: u32,
+    alloc_memory: DataSize,
+    alloc_storage: DataSize,
+}
+
+impl Node {
+    pub fn new(id: DeviceId, name: &str, cores: u32, memory: DataSize, storage: DataSize) -> Self {
+        Node {
+            id,
+            name: name.to_string(),
+            cores,
+            memory,
+            storage,
+            alloc_cores: cores,
+            alloc_memory: memory,
+            alloc_storage: storage,
+        }
+    }
+
+    /// Remaining allocatable resources.
+    pub fn allocatable(&self) -> (u32, DataSize, DataSize) {
+        (self.alloc_cores, self.alloc_memory, self.alloc_storage)
+    }
+
+    /// Can this node currently host `req`?
+    pub fn fits(&self, req: &Requirements) -> bool {
+        req.fits(self.alloc_cores, self.alloc_memory, self.alloc_storage)
+    }
+
+    /// Reserve resources for a pod. Returns false (unchanged) if it does
+    /// not fit.
+    pub fn allocate(&mut self, req: &Requirements) -> bool {
+        if !self.fits(req) {
+            return false;
+        }
+        self.alloc_cores -= req.cores;
+        self.alloc_memory = self.alloc_memory.saturating_sub(req.memory);
+        self.alloc_storage = self.alloc_storage.saturating_sub(req.storage);
+        true
+    }
+
+    /// Release a pod's resources (clamped to capacity).
+    pub fn release(&mut self, req: &Requirements) {
+        self.alloc_cores = (self.alloc_cores + req.cores).min(self.cores);
+        self.alloc_memory = (self.alloc_memory + req.memory).min(self.memory);
+        self.alloc_storage = (self.alloc_storage + req.storage).min(self.storage);
+    }
+
+    /// Fraction of cores currently in use.
+    pub fn core_utilization(&self) -> f64 {
+        1.0 - self.alloc_cores as f64 / self.cores as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deep_dataflow::Mi;
+
+    fn node() -> Node {
+        Node::new(DeviceId(0), "medium", 8, DataSize::gigabytes(16.0), DataSize::gigabytes(64.0))
+    }
+
+    fn req(cores: u32, mem_gb: f64) -> Requirements {
+        Requirements::new(cores, Mi::new(1.0), DataSize::gigabytes(mem_gb), DataSize::gigabytes(1.0))
+    }
+
+    #[test]
+    fn allocate_and_release_round_trip() {
+        let mut n = node();
+        assert!(n.allocate(&req(4, 8.0)));
+        assert_eq!(n.allocatable().0, 4);
+        assert!((n.core_utilization() - 0.5).abs() < 1e-12);
+        n.release(&req(4, 8.0));
+        assert_eq!(n.allocatable(), (8, DataSize::gigabytes(16.0), DataSize::gigabytes(64.0)));
+    }
+
+    #[test]
+    fn over_allocation_rejected_without_mutation() {
+        let mut n = node();
+        assert!(n.allocate(&req(6, 4.0)));
+        let before = n.allocatable();
+        assert!(!n.allocate(&req(4, 1.0)), "only 2 cores left");
+        assert_eq!(n.allocatable(), before);
+    }
+
+    #[test]
+    fn concurrent_pods_accumulate() {
+        let mut n = node();
+        assert!(n.allocate(&req(2, 2.0)));
+        assert!(n.allocate(&req(2, 2.0)));
+        assert!(n.allocate(&req(2, 2.0)));
+        assert!(n.allocate(&req(2, 2.0)));
+        assert!(!n.allocate(&req(1, 0.1)), "cores exhausted");
+    }
+
+    #[test]
+    fn release_clamps_to_capacity() {
+        let mut n = node();
+        n.release(&req(4, 4.0)); // spurious release
+        assert_eq!(n.allocatable().0, 8, "never exceeds capacity");
+    }
+}

@@ -1,0 +1,132 @@
+//! Pod specs and lifecycle.
+
+use deep_dataflow::Requirements;
+use deep_netsim::{DeviceId, Seconds};
+use deep_simulator::RegistryChoice;
+use serde::{Deserialize, Serialize};
+
+/// Lifecycle of a pod, Kubernetes-style (with an explicit image-pull
+/// phase, since deployment time is the paper's central quantity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PodPhase {
+    /// Created, not yet bound to a node.
+    Pending,
+    /// Bound; image pull in progress.
+    Pulling,
+    /// Executing its dataflow work.
+    Running,
+    /// Finished successfully.
+    Succeeded,
+    /// Rejected or failed.
+    Failed,
+}
+
+/// Desired state: one microservice to place.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PodSpec {
+    /// `application/microservice`, unique within a submission.
+    pub name: String,
+    /// Resource requirement tuple from the application model.
+    pub requirements: Requirements,
+    /// Registry the image must be pulled from (set by the scheduler).
+    pub registry: RegistryChoice,
+    /// Node the pod is bound to (set by the scheduler).
+    pub node: DeviceId,
+}
+
+/// Observed state of a pod.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PodStatus {
+    pub phase: PodPhase,
+    /// Timeline, filled in as phases complete.
+    pub bound_at: Option<Seconds>,
+    pub pulled_at: Option<Seconds>,
+    pub started_at: Option<Seconds>,
+    pub finished_at: Option<Seconds>,
+}
+
+impl PodStatus {
+    pub fn pending() -> Self {
+        PodStatus {
+            phase: PodPhase::Pending,
+            bound_at: None,
+            pulled_at: None,
+            started_at: None,
+            finished_at: None,
+        }
+    }
+
+    /// Phase transitions must move forward; returns false on an illegal
+    /// transition (callers treat that as a controller bug).
+    pub fn advance(&mut self, to: PodPhase, at: Seconds) -> bool {
+        use PodPhase::*;
+        let ok = matches!(
+            (self.phase, to),
+            (Pending, Pulling) | (Pending, Failed) | (Pulling, Running) | (Pulling, Failed)
+                | (Running, Succeeded) | (Running, Failed)
+        );
+        if !ok {
+            return false;
+        }
+        match to {
+            Pulling => self.bound_at = Some(at),
+            Running => {
+                self.pulled_at = Some(at);
+                self.started_at = Some(at);
+            }
+            Succeeded | Failed => self.finished_at = Some(at),
+            Pending => unreachable!("no transition back to Pending"),
+        }
+        self.phase = to;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deep_dataflow::Mi;
+
+    fn spec() -> PodSpec {
+        PodSpec {
+            name: "video-processing/transcode".into(),
+            requirements: Requirements::minimal(Mi::new(100.0)),
+            registry: RegistryChoice::Regional,
+            node: DeviceId(1),
+        }
+    }
+
+    #[test]
+    fn normal_lifecycle() {
+        let _ = spec();
+        let mut st = PodStatus::pending();
+        assert!(st.advance(PodPhase::Pulling, Seconds::new(0.0)));
+        assert!(st.advance(PodPhase::Running, Seconds::new(10.0)));
+        assert!(st.advance(PodPhase::Succeeded, Seconds::new(30.0)));
+        assert_eq!(st.phase, PodPhase::Succeeded);
+        assert_eq!(st.bound_at, Some(Seconds::new(0.0)));
+        assert_eq!(st.pulled_at, Some(Seconds::new(10.0)));
+        assert_eq!(st.finished_at, Some(Seconds::new(30.0)));
+    }
+
+    #[test]
+    fn illegal_transitions_rejected() {
+        let mut st = PodStatus::pending();
+        assert!(!st.advance(PodPhase::Running, Seconds::ZERO), "cannot skip pulling");
+        assert!(!st.advance(PodPhase::Succeeded, Seconds::ZERO));
+        st.advance(PodPhase::Pulling, Seconds::ZERO);
+        assert!(!st.advance(PodPhase::Pulling, Seconds::ZERO), "no self-loop");
+        st.advance(PodPhase::Running, Seconds::new(1.0));
+        st.advance(PodPhase::Succeeded, Seconds::new(2.0));
+        assert!(!st.advance(PodPhase::Failed, Seconds::new(3.0)), "terminal is terminal");
+    }
+
+    #[test]
+    fn failure_paths() {
+        let mut st = PodStatus::pending();
+        assert!(st.advance(PodPhase::Failed, Seconds::ZERO), "admission rejection");
+        let mut st = PodStatus::pending();
+        st.advance(PodPhase::Pulling, Seconds::ZERO);
+        assert!(st.advance(PodPhase::Failed, Seconds::new(1.0)), "pull failure");
+    }
+}

@@ -1,0 +1,66 @@
+//! Docker registry substrate for the DEEP reproduction.
+//!
+//! The paper deploys microservice images from two registries: the public
+//! Docker Hub (CDN-backed) and a regional MinIO-based registry on the lab
+//! LAN (Table I lists the image catalog on both). This crate provides the
+//! whole pull path:
+//!
+//! * [`sha256`] — from-scratch SHA-256 (FIPS 180-4), validated against the
+//!   NIST test vectors; the content-address function of everything below;
+//! * [`digest`] — `sha256:<hex>` content digests;
+//! * [`image`] — image references (`registry/repo:tag`) and platforms
+//!   (`amd64` / `arm64`, the two tags the paper publishes);
+//! * [`manifest`] — layered image manifests with per-layer digests and
+//!   sizes, enabling cross-image layer dedup (the `ha-*`/`la-*` sibling
+//!   images of the case studies share most of their bytes);
+//! * [`hub`] / [`regional`] — the two registry backends: an in-memory
+//!   catalog behind a CDN model vs. an object-store-backed regional
+//!   registry;
+//! * [`catalog`] — Table I: all twelve images published to both registries;
+//! * [`cache`] — per-device layer cache with LRU eviction under a storage
+//!   quota;
+//! * [`pull`] — the pull protocol: resolve manifest → diff against cache →
+//!   fetch missing layers → extract, yielding the deployment time `Td` the
+//!   completion-time model consumes.
+
+pub mod cache;
+pub mod catalog;
+pub mod digest;
+pub mod gc;
+pub mod hub;
+pub mod image;
+pub mod manifest;
+pub mod pull;
+pub mod regional;
+pub mod retry;
+pub mod sha256;
+
+pub use cache::LayerCache;
+pub use catalog::{paper_catalog, CatalogEntry};
+pub use digest::Digest;
+pub use gc::{collect as gc_collect, GcReport};
+pub use hub::HubRegistry;
+pub use image::{Platform, Reference};
+pub use manifest::{ImageManifest, LayerDescriptor};
+pub use pull::{PullOutcome, PullPlanner, RegistryError};
+pub use regional::RegionalRegistry;
+pub use retry::{pull_with_retry, FlakyRegistry, RetriedPull, RetryPolicy};
+
+/// The uniform interface both registries expose to the pull planner.
+pub trait Registry {
+    /// Registry display name ("docker.io", "dcloud2.itec.aau.at").
+    fn host(&self) -> &str;
+
+    /// Resolve a reference + platform to its manifest.
+    fn resolve(
+        &self,
+        reference: &Reference,
+        platform: Platform,
+    ) -> Result<ImageManifest, RegistryError>;
+
+    /// Whether the registry can serve a blob.
+    fn has_blob(&self, digest: &Digest) -> bool;
+
+    /// Repositories the registry hosts (for Table I regeneration).
+    fn repositories(&self) -> Vec<String>;
+}

@@ -1,0 +1,305 @@
+//! The pull protocol: resolve → diff → fetch → extract.
+//!
+//! Produces the deployment time `Td` of the paper's completion-time model.
+//! `Td` is not just `Size_mi / BW_gj`: layers already cached on the device
+//! are skipped, and fetched layers must also be *extracted* onto the
+//! device's disk (the dominant cost of large pulls on slow storage — which
+//! is how Table II's multi-hundred-second deployments of 5.78 GB images
+//! arise on the testbed). A fixed per-pull overhead models registry
+//! negotiation and container creation.
+
+use crate::cache::LayerCache;
+use crate::digest::Digest;
+use crate::image::{Platform, Reference};
+use crate::Registry;
+use deep_netsim::{transfer_time, Bandwidth, DataSize, Seconds};
+use deep_objectstore::StoreError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors across the registry substrate.
+#[derive(Debug)]
+pub enum RegistryError {
+    /// The reference names a different registry host.
+    WrongRegistry { expected: String, got: String },
+    /// No manifest under the reference.
+    ManifestNotFound(String),
+    /// Manifest exists but for another platform.
+    PlatformMismatch {
+        reference: String,
+        requested: Platform,
+        available: Platform,
+    },
+    /// Stored manifest failed to deserialize.
+    CorruptManifest(String),
+    /// Object-store failure (regional registry backend).
+    Storage(StoreError),
+    /// A layer referenced by the manifest is not served by the registry.
+    MissingBlob(Digest),
+    /// A transient network/registry failure — retryable (see
+    /// [`crate::retry`]).
+    Transient(String),
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::WrongRegistry { expected, got } => {
+                write!(f, "reference targets {got:?}, registry is {expected:?}")
+            }
+            RegistryError::ManifestNotFound(r) => write!(f, "manifest not found: {r}"),
+            RegistryError::PlatformMismatch { reference, requested, available } => write!(
+                f,
+                "{reference}: requested platform {requested}, available {available}"
+            ),
+            RegistryError::CorruptManifest(e) => write!(f, "corrupt manifest: {e}"),
+            RegistryError::Storage(e) => write!(f, "storage: {e}"),
+            RegistryError::MissingBlob(d) => write!(f, "missing blob {d}"),
+            RegistryError::Transient(msg) => write!(f, "transient registry failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// Link/device parameters for one pull.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PullPlanner {
+    /// Effective registry→device bandwidth (`BW_gj`, CDN-adjusted for Hub).
+    pub download_bw: Bandwidth,
+    /// Device disk bandwidth for layer extraction (SD cards are slow).
+    pub extract_bw: Bandwidth,
+    /// Fixed per-pull overhead: auth, manifest round-trips, container
+    /// create/start.
+    pub overhead: Seconds,
+}
+
+/// What a pull did and how long it took.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PullOutcome {
+    /// Bytes fetched over the network.
+    pub downloaded: DataSize,
+    /// Bytes served from the device's layer cache.
+    pub cached: DataSize,
+    /// Layers fetched / layers skipped.
+    pub layers_fetched: usize,
+    pub cache_hits: usize,
+    /// Network transfer time.
+    pub download_time: Seconds,
+    /// Extraction time for fetched layers.
+    pub extract_time: Seconds,
+    /// Fixed overhead charged.
+    pub overhead: Seconds,
+}
+
+impl PullOutcome {
+    /// Total deployment time `Td`.
+    pub fn deployment_time(&self) -> Seconds {
+        self.download_time + self.extract_time + self.overhead
+    }
+
+    /// Fraction of the image served from cache, by bytes.
+    pub fn cache_ratio(&self) -> f64 {
+        let total = (self.downloaded + self.cached).as_bytes();
+        if total == 0 {
+            return 1.0;
+        }
+        self.cached.as_bytes() as f64 / total as f64
+    }
+}
+
+impl PullPlanner {
+    /// Plan (and execute against `cache`) a pull of `reference` for
+    /// `platform` from `registry`.
+    pub fn pull(
+        &self,
+        registry: &dyn Registry,
+        reference: &Reference,
+        platform: Platform,
+        cache: &mut LayerCache,
+    ) -> Result<PullOutcome, RegistryError> {
+        let manifest = registry.resolve(reference, platform)?;
+        let mut downloaded = DataSize::ZERO;
+        let mut cached = DataSize::ZERO;
+        let mut layers_fetched = 0usize;
+        let mut cache_hits = 0usize;
+        for layer in &manifest.layers {
+            if cache.touch(&layer.digest) {
+                cached += layer.size;
+                cache_hits += 1;
+            } else {
+                if !registry.has_blob(&layer.digest) {
+                    return Err(RegistryError::MissingBlob(layer.digest.clone()));
+                }
+                downloaded += layer.size;
+                layers_fetched += 1;
+                cache.insert(layer.digest.clone(), layer.size);
+            }
+        }
+        Ok(PullOutcome {
+            downloaded,
+            cached,
+            layers_fetched,
+            cache_hits,
+            download_time: transfer_time(downloaded, self.download_bw),
+            extract_time: transfer_time(downloaded, self.extract_bw),
+            overhead: self.overhead,
+        })
+    }
+
+    /// Estimate a pull without mutating the cache — used by the scheduler
+    /// to evaluate counterfactual `(registry, device)` assignments.
+    pub fn estimate(
+        &self,
+        registry: &dyn Registry,
+        reference: &Reference,
+        platform: Platform,
+        cache: &LayerCache,
+    ) -> Result<PullOutcome, RegistryError> {
+        let manifest = registry.resolve(reference, platform)?;
+        let mut downloaded = DataSize::ZERO;
+        let mut cached = DataSize::ZERO;
+        let mut layers_fetched = 0usize;
+        let mut cache_hits = 0usize;
+        for layer in &manifest.layers {
+            if cache.contains(&layer.digest) {
+                cached += layer.size;
+                cache_hits += 1;
+            } else {
+                downloaded += layer.size;
+                layers_fetched += 1;
+            }
+        }
+        Ok(PullOutcome {
+            downloaded,
+            cached,
+            layers_fetched,
+            cache_hits,
+            download_time: transfer_time(downloaded, self.download_bw),
+            extract_time: transfer_time(downloaded, self.extract_bw),
+            overhead: self.overhead,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hub::HubRegistry;
+    use crate::regional::RegionalRegistry;
+
+    fn planner() -> PullPlanner {
+        PullPlanner {
+            download_bw: Bandwidth::megabytes_per_sec(10.0),
+            extract_bw: Bandwidth::megabytes_per_sec(50.0),
+            overhead: Seconds::new(5.0),
+        }
+    }
+
+    fn cache() -> LayerCache {
+        LayerCache::new(DataSize::gigabytes(64.0))
+    }
+
+    #[test]
+    fn cold_pull_fetches_everything() {
+        let hub = HubRegistry::with_paper_catalog();
+        let mut cache = cache();
+        let r = Reference::new("docker.io", "sina88/vp-transcode", "amd64");
+        let out = planner().pull(&hub, &r, Platform::Amd64, &mut cache).unwrap();
+        assert_eq!(out.downloaded, DataSize::gigabytes(0.17));
+        assert_eq!(out.cached, DataSize::ZERO);
+        assert_eq!(out.layers_fetched, 3);
+        // 170 MB at 10 MB/s = 17 s download, at 50 MB/s = 3.4 s extract.
+        assert!((out.download_time.as_f64() - 17.0).abs() < 1e-9);
+        assert!((out.extract_time.as_f64() - 3.4).abs() < 1e-9);
+        assert!((out.deployment_time().as_f64() - 25.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warm_pull_is_overhead_only() {
+        let hub = HubRegistry::with_paper_catalog();
+        let mut cache = cache();
+        let r = Reference::new("docker.io", "sina88/vp-transcode", "amd64");
+        let p = planner();
+        p.pull(&hub, &r, Platform::Amd64, &mut cache).unwrap();
+        let again = p.pull(&hub, &r, Platform::Amd64, &mut cache).unwrap();
+        assert_eq!(again.downloaded, DataSize::ZERO);
+        assert_eq!(again.cache_hits, 3);
+        assert!((again.deployment_time().as_f64() - 5.0).abs() < 1e-9);
+        assert!((again.cache_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sibling_image_pull_transfers_only_unique_layers() {
+        // The crux of layer-aware deployment: after vp-la-train, pulling
+        // vp-ha-train moves only its unique app layer (580 MB of 5.78 GB).
+        let hub = HubRegistry::with_paper_catalog();
+        let mut cache = cache();
+        let p = planner();
+        let la = Reference::new("docker.io", "sina88/vp-la-train", "amd64");
+        let ha = Reference::new("docker.io", "sina88/vp-ha-train", "amd64");
+        p.pull(&hub, &la, Platform::Amd64, &mut cache).unwrap();
+        let out = p.pull(&hub, &ha, Platform::Amd64, &mut cache).unwrap();
+        assert_eq!(out.downloaded, DataSize::megabytes(580.0));
+        assert_eq!(out.cached, DataSize::megabytes(5200.0));
+        assert!(out.cache_ratio() > 0.89);
+    }
+
+    #[test]
+    fn cross_registry_cache_hits() {
+        // Layers are content-addressed: a layer pulled from the Hub is a
+        // cache hit when the same image is later pulled regionally.
+        let hub = HubRegistry::with_paper_catalog();
+        let regional = RegionalRegistry::with_paper_catalog();
+        let mut cache = cache();
+        let p = planner();
+        let hub_ref = Reference::new("docker.io", "sina88/tp-ha-train", "arm64");
+        p.pull(&hub, &hub_ref, Platform::Arm64, &mut cache).unwrap();
+        let reg_ref = Reference::new("dcloud2.itec.aau.at", "aau/tp-ha-train", "arm64");
+        let out = p.pull(&regional, &reg_ref, Platform::Arm64, &mut cache).unwrap();
+        assert_eq!(out.downloaded, DataSize::ZERO, "all layers already present");
+    }
+
+    #[test]
+    fn estimate_matches_pull_without_mutation() {
+        let hub = HubRegistry::with_paper_catalog();
+        let mut cache = cache();
+        let p = planner();
+        let r = Reference::new("docker.io", "sina88/tp-decompress", "amd64");
+        let est = p.estimate(&hub, &r, Platform::Amd64, &cache).unwrap();
+        let real = p.pull(&hub, &r, Platform::Amd64, &mut cache).unwrap();
+        assert_eq!(est, real);
+        // Estimating again now sees the cache hit; the first estimate did
+        // not mutate anything.
+        let est2 = p.estimate(&hub, &r, Platform::Amd64, &cache).unwrap();
+        assert_eq!(est2.downloaded, DataSize::ZERO);
+    }
+
+    #[test]
+    fn platform_variants_do_not_cross_pollinate() {
+        let hub = HubRegistry::with_paper_catalog();
+        let mut cache = cache();
+        let p = planner();
+        let amd = Reference::new("docker.io", "sina88/tp-retrieve", "amd64");
+        let arm = Reference::new("docker.io", "sina88/tp-retrieve", "arm64");
+        p.pull(&hub, &amd, Platform::Amd64, &mut cache).unwrap();
+        let out = p.pull(&hub, &arm, Platform::Arm64, &mut cache).unwrap();
+        assert_eq!(out.cached, DataSize::ZERO, "arm64 blobs differ from amd64");
+    }
+
+    #[test]
+    fn deployment_time_scales_with_bandwidth() {
+        // Td = Size/BW shape check at the pull level.
+        let hub = HubRegistry::with_paper_catalog();
+        let r = Reference::new("docker.io", "sina88/vp-ha-infer", "amd64");
+        let fast = PullPlanner {
+            download_bw: Bandwidth::megabytes_per_sec(100.0),
+            extract_bw: Bandwidth::infinite(),
+            overhead: Seconds::ZERO,
+        };
+        let slow = PullPlanner { download_bw: Bandwidth::megabytes_per_sec(10.0), ..fast };
+        let tf = fast.pull(&hub, &r, Platform::Amd64, &mut cache()).unwrap().deployment_time();
+        let ts = slow.pull(&hub, &r, Platform::Amd64, &mut cache()).unwrap().deployment_time();
+        assert!((ts.as_f64() / tf.as_f64() - 10.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,289 @@
+//! The regional registry: a Docker registry backed by the MinIO-like
+//! object store.
+//!
+//! Mirrors the paper's deployment (footnotes 3–5): a registry service whose
+//! blob and manifest storage lives in S3-compatible buckets on a local
+//! server with a provisioned capacity (e.g. 100 GB). Manifests are stored
+//! as JSON objects under `manifests/<repo>/<tag>`; blob *descriptors* under
+//! `blobs/<digest>` (the simulation stores descriptor records, not
+//! gigabytes of layer bytes — see `manifest` module docs).
+
+use crate::catalog::CatalogEntry;
+use crate::digest::Digest;
+use crate::image::{Platform, Reference};
+use crate::manifest::ImageManifest;
+use crate::pull::RegistryError;
+use crate::Registry;
+use bytes::Bytes;
+use deep_netsim::DataSize;
+use deep_objectstore::{ObjectStore, StoreError};
+
+/// Bucket names used by the registry layout.
+const MANIFEST_BUCKET: &str = "registry-manifests";
+const BLOB_BUCKET: &str = "registry-blobs";
+
+/// The MinIO-backed regional registry.
+pub struct RegionalRegistry {
+    host: String,
+    store: ObjectStore,
+}
+
+impl RegionalRegistry {
+    /// Create the registry layout on `store` (idempotent on bucket
+    /// existence).
+    pub fn new(host: &str, store: ObjectStore) -> Self {
+        for bucket in [MANIFEST_BUCKET, BLOB_BUCKET] {
+            match store.create_bucket(bucket) {
+                Ok(()) | Err(StoreError::BucketExists(_)) => {}
+                Err(e) => panic!("registry bucket setup failed: {e}"),
+            }
+        }
+        RegionalRegistry { host: host.to_string(), store }
+    }
+
+    /// The AAU registry of the paper, on a fresh 100 GB store, pre-loaded
+    /// with the Table I catalog.
+    pub fn with_paper_catalog() -> Self {
+        let store = ObjectStore::paper_default();
+        let mut reg = RegionalRegistry::new(crate::catalog::REGIONAL_HOST, store);
+        for entry in crate::catalog::paper_catalog() {
+            reg.publish(&entry).expect("catalog fits in 100 GB of descriptors");
+        }
+        reg
+    }
+
+    /// Backing object store handle.
+    pub fn store(&self) -> &ObjectStore {
+        &self.store
+    }
+
+    /// Publish a catalog entry (both platform manifests).
+    pub fn publish(&mut self, entry: &CatalogEntry) -> Result<(), RegistryError> {
+        for m in &entry.manifests {
+            self.push_manifest(&entry.regional_repository, m.platform.tag(), m)?;
+        }
+        Ok(())
+    }
+
+    /// Push one manifest plus its blob descriptors.
+    pub fn push_manifest(
+        &mut self,
+        repository: &str,
+        tag: &str,
+        manifest: &ImageManifest,
+    ) -> Result<(), RegistryError> {
+        // Blob descriptors first (a real registry uploads layers before the
+        // manifest so the manifest never dangles).
+        for l in &manifest.layers {
+            let record = serde_json::to_vec(l).expect("descriptor serializes");
+            self.store
+                .put_object(BLOB_BUCKET, &format!("blobs/{}", l.digest.hex()), Bytes::from(record))
+                .map_err(RegistryError::Storage)?;
+        }
+        let body = serde_json::to_vec(manifest).expect("manifest serializes");
+        self.store
+            .put_object(
+                MANIFEST_BUCKET,
+                &format!("manifests/{repository}/{tag}"),
+                Bytes::from(body),
+            )
+            .map_err(RegistryError::Storage)?;
+        Ok(())
+    }
+
+    /// All `(repository, tag)` pairs with a stored manifest.
+    pub fn manifest_keys(&self) -> Result<Vec<(String, String)>, RegistryError> {
+        Ok(self
+            .store
+            .list_objects(MANIFEST_BUCKET, "manifests/")
+            .map_err(RegistryError::Storage)?
+            .into_iter()
+            .filter_map(|m| {
+                let path = m.key.strip_prefix("manifests/")?.to_string();
+                let (repo, tag) = path.rsplit_once('/')?;
+                Some((repo.to_string(), tag.to_string()))
+            })
+            .collect())
+    }
+
+    /// Load a manifest directly by repository and tag (GC path; bypasses
+    /// host/platform checks).
+    pub fn load_manifest(&self, repository: &str, tag: &str) -> Result<ImageManifest, RegistryError> {
+        let key = format!("manifests/{repository}/{tag}");
+        let body = self
+            .store
+            .get_object(MANIFEST_BUCKET, &key)
+            .map_err(RegistryError::Storage)?;
+        serde_json::from_slice(&body).map_err(|e| RegistryError::CorruptManifest(e.to_string()))
+    }
+
+    /// Delete a manifest (the tag disappears; blobs stay until GC).
+    pub fn delete_manifest(&mut self, repository: &str, tag: &str) -> Result<(), RegistryError> {
+        let key = format!("manifests/{repository}/{tag}");
+        self.store
+            .delete_object(MANIFEST_BUCKET, &key)
+            .map_err(RegistryError::Storage)
+    }
+
+    /// All stored blob digests.
+    pub fn blob_digests(&self) -> Result<Vec<Digest>, RegistryError> {
+        Ok(self
+            .store
+            .list_objects(BLOB_BUCKET, "blobs/")
+            .map_err(RegistryError::Storage)?
+            .into_iter()
+            .filter_map(|m| {
+                let hex = m.key.strip_prefix("blobs/")?;
+                format!("sha256:{hex}").parse().ok()
+            })
+            .collect())
+    }
+
+    /// Delete one blob record (GC sweep).
+    pub fn delete_blob(&mut self, digest: &Digest) -> Result<(), RegistryError> {
+        self.store
+            .delete_object(BLOB_BUCKET, &format!("blobs/{}", digest.hex()))
+            .map_err(RegistryError::Storage)
+    }
+
+    /// Declared size of a stored blob, if present.
+    pub fn blob_size(&self, digest: &Digest) -> Option<DataSize> {
+        let bytes = self
+            .store
+            .get_object(BLOB_BUCKET, &format!("blobs/{}", digest.hex()))
+            .ok()?;
+        let desc: crate::manifest::LayerDescriptor = serde_json::from_slice(&bytes).ok()?;
+        Some(desc.size)
+    }
+}
+
+impl Registry for RegionalRegistry {
+    fn host(&self) -> &str {
+        &self.host
+    }
+
+    fn resolve(
+        &self,
+        reference: &Reference,
+        platform: Platform,
+    ) -> Result<ImageManifest, RegistryError> {
+        if reference.host != self.host {
+            return Err(RegistryError::WrongRegistry {
+                expected: self.host.clone(),
+                got: reference.host.clone(),
+            });
+        }
+        let key = format!("manifests/{}/{}", reference.repository, reference.tag);
+        let body = self.store.get_object(MANIFEST_BUCKET, &key).map_err(|e| match e {
+            StoreError::NoSuchKey(_) => RegistryError::ManifestNotFound(reference.canonical()),
+            other => RegistryError::Storage(other),
+        })?;
+        let manifest: ImageManifest = serde_json::from_slice(&body)
+            .map_err(|e| RegistryError::CorruptManifest(e.to_string()))?;
+        if manifest.platform != platform {
+            return Err(RegistryError::PlatformMismatch {
+                reference: reference.canonical(),
+                requested: platform,
+                available: manifest.platform,
+            });
+        }
+        Ok(manifest)
+    }
+
+    fn has_blob(&self, digest: &Digest) -> bool {
+        self.store
+            .head_object(BLOB_BUCKET, &format!("blobs/{}", digest.hex()))
+            .is_ok()
+    }
+
+    fn repositories(&self) -> Vec<String> {
+        let mut repos: Vec<String> = self
+            .store
+            .list_objects(MANIFEST_BUCKET, "manifests/")
+            .unwrap_or_default()
+            .into_iter()
+            .filter_map(|m| {
+                // manifests/<repo...>/<tag> — strip prefix and tag.
+                let path = m.key.strip_prefix("manifests/")?.to_string();
+                let (repo, _tag) = path.rsplit_once('/')?;
+                Some(repo.to_string())
+            })
+            .collect();
+        repos.sort_unstable();
+        repos.dedup();
+        repos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{find_entry, paper_catalog};
+
+    #[test]
+    fn resolve_round_trips_through_object_store() {
+        let reg = RegionalRegistry::with_paper_catalog();
+        let r = Reference::new("dcloud2.itec.aau.at", "aau/tp-retrieve", "arm64");
+        let m = reg.resolve(&r, Platform::Arm64).unwrap();
+        assert_eq!(m.total_size(), DataSize::gigabytes(0.14));
+        assert_eq!(m.platform, Platform::Arm64);
+    }
+
+    #[test]
+    fn blobs_queryable_with_sizes() {
+        let reg = RegionalRegistry::with_paper_catalog();
+        let cat = paper_catalog();
+        let entry = find_entry(&cat, "video-processing", "ha-train").unwrap();
+        for l in &entry.manifest(Platform::Amd64).layers {
+            assert!(reg.has_blob(&l.digest));
+            assert_eq!(reg.blob_size(&l.digest), Some(l.size));
+        }
+    }
+
+    #[test]
+    fn shared_layers_stored_once() {
+        // vp-ha-train and vp-la-train share 3 of 4 layers; the blob bucket
+        // must hold one descriptor per unique digest.
+        let reg = RegionalRegistry::with_paper_catalog();
+        let blobs = reg.store().list_objects("registry-blobs", "blobs/").unwrap();
+        let unique: std::collections::HashSet<&str> =
+            blobs.iter().map(|m| m.key.as_str()).collect();
+        assert_eq!(blobs.len(), unique.len());
+        // 12 images × 2 platforms, heavily deduped: far fewer blobs than
+        // 12 × 2 × ~3.3 layers.
+        assert!(blobs.len() < 70, "got {} blobs", blobs.len());
+    }
+
+    #[test]
+    fn wrong_host_and_missing_manifest_errors() {
+        let reg = RegionalRegistry::with_paper_catalog();
+        let wrong = Reference::new("docker.io", "sina88/vp-frame", "amd64");
+        assert!(matches!(
+            reg.resolve(&wrong, Platform::Amd64).unwrap_err(),
+            RegistryError::WrongRegistry { .. }
+        ));
+        let ghost = Reference::new("dcloud2.itec.aau.at", "aau/ghost", "amd64");
+        assert!(matches!(
+            reg.resolve(&ghost, Platform::Amd64).unwrap_err(),
+            RegistryError::ManifestNotFound(_)
+        ));
+    }
+
+    #[test]
+    fn repositories_list_matches_catalog() {
+        let reg = RegionalRegistry::with_paper_catalog();
+        let repos = reg.repositories();
+        assert_eq!(repos.len(), 12);
+        assert!(repos.iter().all(|r| r.starts_with("aau/")));
+    }
+
+    #[test]
+    fn push_is_idempotent_per_key() {
+        let mut reg = RegionalRegistry::with_paper_catalog();
+        let cat = paper_catalog();
+        let entry = find_entry(&cat, "text-processing", "la-score").unwrap();
+        let before = reg.store().used();
+        reg.publish(entry).unwrap();
+        assert_eq!(reg.store().used(), before, "re-publish replaces, not duplicates");
+    }
+}

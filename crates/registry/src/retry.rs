@@ -1,0 +1,251 @@
+//! Pull retries and failure injection.
+//!
+//! Real pulls fail: Docker Hub rate-limits, WANs drop, registries restart.
+//! [`pull_with_retry`] wraps the pull protocol with an exponential-backoff
+//! policy whose waiting time is *charged to the deployment time* — a
+//! retried pull is a slower pull, which the energy model then prices.
+//! [`FlakyRegistry`] injects deterministic transient failures for tests
+//! and resilience experiments.
+
+use crate::cache::LayerCache;
+use crate::digest::Digest;
+use crate::image::{Platform, Reference};
+use crate::manifest::ImageManifest;
+use crate::pull::{PullOutcome, PullPlanner, RegistryError};
+use crate::Registry;
+use deep_netsim::Seconds;
+use std::cell::Cell;
+
+/// Retry policy with exponential backoff.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts (≥ 1); the first attempt is not a retry.
+    pub max_attempts: usize,
+    /// Backoff before retry `k` (1-based) is `base · 2^(k-1)`.
+    pub base_backoff: Seconds,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 3, base_backoff: Seconds::new(2.0) }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff charged before the `k`-th retry (1-based).
+    pub fn backoff(&self, retry: usize) -> Seconds {
+        assert!(retry >= 1, "the first attempt has no backoff");
+        self.base_backoff * 2f64.powi(retry as i32 - 1)
+    }
+}
+
+/// Outcome of a retried pull.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetriedPull {
+    pub outcome: PullOutcome,
+    /// Attempts performed (1 = no retries needed).
+    pub attempts: usize,
+    /// Backoff time charged into the outcome's overhead.
+    pub backoff_total: Seconds,
+}
+
+/// Pull with retries on transient failures. Permanent errors (missing
+/// manifest, wrong platform, quota) surface immediately.
+pub fn pull_with_retry(
+    planner: &PullPlanner,
+    registry: &dyn Registry,
+    reference: &Reference,
+    platform: Platform,
+    cache: &mut LayerCache,
+    policy: RetryPolicy,
+) -> Result<RetriedPull, RegistryError> {
+    assert!(policy.max_attempts >= 1, "need at least one attempt");
+    let mut backoff_total = Seconds::ZERO;
+    for attempt in 1..=policy.max_attempts {
+        match planner.pull(registry, reference, platform, cache) {
+            Ok(mut outcome) => {
+                outcome.overhead += backoff_total;
+                return Ok(RetriedPull { outcome, attempts: attempt, backoff_total });
+            }
+            Err(RegistryError::Transient(_)) if attempt < policy.max_attempts => {
+                backoff_total += policy.backoff(attempt);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    unreachable!("loop always returns")
+}
+
+/// A registry wrapper that fails its first `failures` resolves with a
+/// transient error, then behaves normally. Deterministic failure
+/// injection for resilience tests.
+pub struct FlakyRegistry<R> {
+    inner: R,
+    remaining_failures: Cell<usize>,
+}
+
+impl<R: Registry> FlakyRegistry<R> {
+    pub fn new(inner: R, failures: usize) -> Self {
+        FlakyRegistry { inner, remaining_failures: Cell::new(failures) }
+    }
+
+    /// Failures still pending.
+    pub fn pending_failures(&self) -> usize {
+        self.remaining_failures.get()
+    }
+}
+
+impl<R: Registry> Registry for FlakyRegistry<R> {
+    fn host(&self) -> &str {
+        self.inner.host()
+    }
+
+    fn resolve(
+        &self,
+        reference: &Reference,
+        platform: Platform,
+    ) -> Result<ImageManifest, RegistryError> {
+        let left = self.remaining_failures.get();
+        if left > 0 {
+            self.remaining_failures.set(left - 1);
+            return Err(RegistryError::Transient(format!(
+                "injected failure ({left} remaining) for {reference}"
+            )));
+        }
+        self.inner.resolve(reference, platform)
+    }
+
+    fn has_blob(&self, digest: &Digest) -> bool {
+        self.inner.has_blob(digest)
+    }
+
+    fn repositories(&self) -> Vec<String> {
+        self.inner.repositories()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hub::HubRegistry;
+    use deep_netsim::{Bandwidth, DataSize};
+
+    fn planner() -> PullPlanner {
+        PullPlanner {
+            download_bw: Bandwidth::megabytes_per_sec(10.0),
+            extract_bw: Bandwidth::megabytes_per_sec(50.0),
+            overhead: Seconds::new(5.0),
+        }
+    }
+
+    fn cache() -> LayerCache {
+        LayerCache::new(DataSize::gigabytes(64.0))
+    }
+
+    fn reference() -> Reference {
+        Reference::new("docker.io", "sina88/vp-transcode", "amd64")
+    }
+
+    #[test]
+    fn clean_pull_takes_one_attempt() {
+        let hub = HubRegistry::with_paper_catalog();
+        let r = pull_with_retry(
+            &planner(),
+            &hub,
+            &reference(),
+            Platform::Amd64,
+            &mut cache(),
+            RetryPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(r.attempts, 1);
+        assert_eq!(r.backoff_total, Seconds::ZERO);
+    }
+
+    #[test]
+    fn transient_failures_are_retried_with_exponential_backoff() {
+        let flaky = FlakyRegistry::new(HubRegistry::with_paper_catalog(), 2);
+        let r = pull_with_retry(
+            &planner(),
+            &flaky,
+            &reference(),
+            Platform::Amd64,
+            &mut cache(),
+            RetryPolicy { max_attempts: 4, base_backoff: Seconds::new(2.0) },
+        )
+        .unwrap();
+        assert_eq!(r.attempts, 3);
+        // 2 + 4 = 6 s of backoff, charged into deployment time.
+        assert!((r.backoff_total.as_f64() - 6.0).abs() < 1e-12);
+        assert!(r.outcome.deployment_time().as_f64() > 6.0);
+        assert_eq!(flaky.pending_failures(), 0);
+    }
+
+    #[test]
+    fn retries_exhaust_into_the_transient_error() {
+        let flaky = FlakyRegistry::new(HubRegistry::with_paper_catalog(), 10);
+        let err = pull_with_retry(
+            &planner(),
+            &flaky,
+            &reference(),
+            Platform::Amd64,
+            &mut cache(),
+            RetryPolicy { max_attempts: 3, base_backoff: Seconds::new(1.0) },
+        )
+        .unwrap_err();
+        assert!(matches!(err, RegistryError::Transient(_)));
+        assert_eq!(flaky.pending_failures(), 7);
+    }
+
+    #[test]
+    fn permanent_errors_fail_fast() {
+        let flaky = FlakyRegistry::new(HubRegistry::with_paper_catalog(), 0);
+        let ghost = Reference::new("docker.io", "sina88/ghost", "amd64");
+        let err = pull_with_retry(
+            &planner(),
+            &flaky,
+            &ghost,
+            Platform::Amd64,
+            &mut cache(),
+            RetryPolicy::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, RegistryError::ManifestNotFound(_)));
+    }
+
+    #[test]
+    fn backoff_schedule_doubles() {
+        let p = RetryPolicy { max_attempts: 5, base_backoff: Seconds::new(1.5) };
+        assert!((p.backoff(1).as_f64() - 1.5).abs() < 1e-12);
+        assert!((p.backoff(2).as_f64() - 3.0).abs() < 1e-12);
+        assert!((p.backoff(3).as_f64() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn retried_pull_still_updates_cache_once() {
+        let flaky = FlakyRegistry::new(HubRegistry::with_paper_catalog(), 1);
+        let mut c = cache();
+        let r = pull_with_retry(
+            &planner(),
+            &flaky,
+            &reference(),
+            Platform::Amd64,
+            &mut c,
+            RetryPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(r.outcome.layers_fetched, 3);
+        assert_eq!(c.len(), 3);
+        // A second pull hits the cache completely.
+        let again = pull_with_retry(
+            &planner(),
+            &flaky,
+            &reference(),
+            Platform::Amd64,
+            &mut c,
+            RetryPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(again.outcome.downloaded, DataSize::ZERO);
+    }
+}

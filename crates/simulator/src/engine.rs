@@ -1,0 +1,178 @@
+//! A minimal discrete-event simulation engine.
+//!
+//! Time-ordered event heap with deterministic FIFO tie-breaking (events
+//! scheduled at equal times pop in scheduling order). The executor uses it
+//! for deployment waves; benches stress it directly.
+
+use deep_netsim::Seconds;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Entry<E> {
+    at: f64,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first, then lowest
+        // sequence number first for equal times.
+        other
+            .at
+            .partial_cmp(&self.at)
+            .expect("event times are never NaN")
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A discrete-event engine over event payloads `E`.
+pub struct Engine<E> {
+    heap: BinaryHeap<Entry<E>>,
+    now: Seconds,
+    seq: u64,
+    processed: u64,
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Engine<E> {
+    pub fn new() -> Self {
+        Engine { heap: BinaryHeap::new(), now: Seconds::ZERO, seq: 0, processed: 0 }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Seconds {
+        self.now
+    }
+
+    /// Events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Pending event count.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Schedule `event` at absolute time `at` (must not precede the clock).
+    pub fn schedule_at(&mut self, at: Seconds, event: E) {
+        assert!(
+            at.as_f64() >= self.now.as_f64(),
+            "cannot schedule into the past ({at} < {})",
+            self.now
+        );
+        self.heap.push(Entry { at: at.as_f64(), seq: self.seq, event });
+        self.seq += 1;
+    }
+
+    /// Schedule `event` after a delay from now.
+    pub fn schedule_in(&mut self, delay: Seconds, event: E) {
+        assert!(delay.as_f64() >= 0.0, "negative delay");
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Pop the next event, advancing the clock to its timestamp.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<(Seconds, E)> {
+        let entry = self.heap.pop()?;
+        self.now = Seconds::new(entry.at);
+        self.processed += 1;
+        Some((self.now, entry.event))
+    }
+
+    /// Drain all events through a handler (the handler may schedule more).
+    pub fn run(&mut self, mut handler: impl FnMut(&mut Engine<E>, Seconds, E)) {
+        while let Some((t, e)) = self.next() {
+            handler(self, t, e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut eng = Engine::new();
+        eng.schedule_at(Seconds::new(3.0), "c");
+        eng.schedule_at(Seconds::new(1.0), "a");
+        eng.schedule_at(Seconds::new(2.0), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| eng.next().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut eng = Engine::new();
+        for label in ["first", "second", "third"] {
+            eng.schedule_at(Seconds::new(5.0), label);
+        }
+        let order: Vec<&str> = std::iter::from_fn(|| eng.next().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["first", "second", "third"]);
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut eng = Engine::new();
+        eng.schedule_at(Seconds::new(2.5), ());
+        assert_eq!(eng.now(), Seconds::ZERO);
+        eng.next();
+        assert_eq!(eng.now(), Seconds::new(2.5));
+        assert_eq!(eng.processed(), 1);
+    }
+
+    #[test]
+    fn handler_can_cascade_events() {
+        let mut eng = Engine::new();
+        eng.schedule_at(Seconds::new(1.0), 3u32);
+        let mut seen = Vec::new();
+        eng.run(|eng, t, n| {
+            seen.push((t.as_f64(), n));
+            if n > 1 {
+                eng.schedule_in(Seconds::new(1.0), n - 1);
+            }
+        });
+        assert_eq!(seen, vec![(1.0, 3), (2.0, 2), (3.0, 1)]);
+        assert_eq!(eng.pending(), 0);
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut eng = Engine::new();
+        eng.schedule_at(Seconds::new(10.0), "base");
+        eng.next();
+        eng.schedule_in(Seconds::new(5.0), "later");
+        let (t, _) = eng.next().unwrap();
+        assert_eq!(t, Seconds::new(15.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn past_scheduling_rejected() {
+        let mut eng = Engine::new();
+        eng.schedule_at(Seconds::new(5.0), ());
+        eng.next();
+        eng.schedule_at(Seconds::new(1.0), ());
+    }
+}

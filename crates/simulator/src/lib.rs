@@ -1,0 +1,44 @@
+//! Discrete-event testbed simulator — the physical-testbed substitution.
+//!
+//! The paper benchmarks on two physical devices (an 8-core Intel i7-7700
+//! "medium" and a 4-core Raspberry Pi 4 "small"); this crate reproduces
+//! that testbed as a deterministic, seeded simulation:
+//!
+//! * [`engine`] — a generic discrete-event engine (time-ordered event heap)
+//!   used by the executor and available to ablation experiments;
+//! * [`device`] — simulated edge devices: cores, MI/s speed with
+//!   per-microservice architecture factors, memory/storage, per-phase power
+//!   models, layer cache, extraction bandwidth;
+//! * [`testbed`] — the two-device, two-registry testbed of Section IV with
+//!   calibrated link parameters;
+//! * [`schedule`] — the assignment type produced by schedulers and consumed
+//!   by the executor: per-microservice `(registry, device)`;
+//! * [`executor`] — runs an application under a schedule: staged
+//!   deployments with route contention and layer dedup, barrier-ordered
+//!   non-concurrent execution, per-phase energy metering through the
+//!   emulated RAPL counters (Intel device) and the sampling wall meter
+//!   (ARM device);
+//! * [`jitter`] — seeded multiplicative noise reproducing run-to-run
+//!   variance (Table II reports ranges, not points);
+//! * [`metrics`] — per-microservice `Td/Tc/Tp/CT/EC` records and run
+//!   reports;
+//! * [`trace`] — the Monitoring component of Figure 1: an event log of
+//!   every deployment and execution step.
+
+pub mod device;
+pub mod engine;
+pub mod executor;
+pub mod jitter;
+pub mod metrics;
+pub mod schedule;
+pub mod testbed;
+pub mod trace;
+
+pub use device::SimDevice;
+pub use engine::Engine;
+pub use executor::{execute, ExecError, ExecutorConfig};
+pub use jitter::Jitter;
+pub use metrics::{MicroserviceMetrics, RunReport};
+pub use schedule::{Placement, RegistryChoice, Schedule};
+pub use testbed::{Testbed, TestbedParams, DEVICE_CLOUD, DEVICE_MEDIUM, DEVICE_SMALL};
+pub use trace::{Trace, TraceEvent, TraceKind};

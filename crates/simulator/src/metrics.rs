@@ -1,0 +1,105 @@
+//! Per-microservice measurements and run reports.
+
+use crate::schedule::Placement;
+use deep_energy::Joules;
+use deep_netsim::Seconds;
+use serde::{Deserialize, Serialize};
+
+/// What the testbed measured for one microservice — one Table II row's
+/// worth of data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MicroserviceMetrics {
+    pub name: String,
+    pub placement: Placement,
+    /// Deployment time `Td` (pull + extract + overhead).
+    pub td: Seconds,
+    /// Dataflow transmission time `Tc`.
+    pub tc: Seconds,
+    /// Processing time `Tp`.
+    pub tp: Seconds,
+    /// Bytes actually downloaded (after cache dedup).
+    pub downloaded_mb: f64,
+    /// Analytic energy from the device power model.
+    pub energy: Joules,
+    /// Energy as read by the device's instrument (RAPL or wall meter).
+    pub metered_energy: Joules,
+}
+
+impl MicroserviceMetrics {
+    /// Completion time `CT = Td + Tc + Tp`.
+    pub fn ct(&self) -> Seconds {
+        self.td + self.tc + self.tp
+    }
+}
+
+/// A full application run under one schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    pub application: String,
+    pub microservices: Vec<MicroserviceMetrics>,
+    /// Simulated wall-clock length of the run.
+    pub makespan: Seconds,
+}
+
+impl RunReport {
+    /// `EC_total(A, R, D)`: sum of per-microservice energies.
+    pub fn total_energy(&self) -> Joules {
+        self.microservices.iter().map(|m| m.energy).sum()
+    }
+
+    /// Total energy as seen by the instruments.
+    pub fn total_metered_energy(&self) -> Joules {
+        self.microservices.iter().map(|m| m.metered_energy).sum()
+    }
+
+    /// Metrics for one microservice by name.
+    pub fn metrics(&self, name: &str) -> Option<&MicroserviceMetrics> {
+        self.microservices.iter().find(|m| m.name == name)
+    }
+
+    /// The microservice consuming the most energy (Figure 3a's headline).
+    pub fn max_energy_microservice(&self) -> Option<&MicroserviceMetrics> {
+        self.microservices
+            .iter()
+            .max_by(|a, b| a.energy.partial_cmp(&b.energy).expect("energy is never NaN"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::RegistryChoice;
+    use deep_netsim::DeviceId;
+
+    fn metric(name: &str, td: f64, tc: f64, tp: f64, e: f64) -> MicroserviceMetrics {
+        MicroserviceMetrics {
+            name: name.to_string(),
+            placement: Placement { registry: RegistryChoice::Hub, device: DeviceId(0) },
+            td: Seconds::new(td),
+            tc: Seconds::new(tc),
+            tp: Seconds::new(tp),
+            downloaded_mb: 0.0,
+            energy: Joules::new(e),
+            metered_energy: Joules::new(e),
+        }
+    }
+
+    #[test]
+    fn ct_is_phase_sum() {
+        let m = metric("x", 10.0, 2.0, 30.0, 100.0);
+        assert!((m.ct().as_f64() - 42.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_totals_and_lookup() {
+        let r = RunReport {
+            application: "demo".into(),
+            microservices: vec![metric("a", 1.0, 0.0, 1.0, 10.0), metric("b", 1.0, 0.0, 1.0, 30.0)],
+            makespan: Seconds::new(4.0),
+        };
+        assert!((r.total_energy().as_f64() - 40.0).abs() < 1e-12);
+        assert!(r.metrics("a").is_some());
+        assert!(r.metrics("zzz").is_none());
+        assert_eq!(r.max_energy_microservice().unwrap().name, "b");
+    }
+}

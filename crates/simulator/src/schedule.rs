@@ -1,0 +1,169 @@
+//! Schedules: the joint assignment `(regist(m_i), sched(m_i))`.
+
+use deep_netsim::{DeviceId, RegistryId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which registry a microservice's image is pulled from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RegistryChoice {
+    /// Public Docker Hub.
+    Hub,
+    /// The regional MinIO-backed registry.
+    Regional,
+}
+
+impl RegistryChoice {
+    pub fn all() -> [RegistryChoice; 2] {
+        [RegistryChoice::Hub, RegistryChoice::Regional]
+    }
+
+    /// The topology-level registry id (hub = 0, regional = 1 by
+    /// convention across the workspace).
+    pub fn registry_id(self) -> RegistryId {
+        match self {
+            RegistryChoice::Hub => RegistryId(0),
+            RegistryChoice::Regional => RegistryId(1),
+        }
+    }
+}
+
+impl fmt::Display for RegistryChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryChoice::Hub => f.write_str("docker-hub"),
+            RegistryChoice::Regional => f.write_str("regional"),
+        }
+    }
+}
+
+/// One microservice's placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placement {
+    pub registry: RegistryChoice,
+    pub device: DeviceId,
+}
+
+/// A full schedule: placement per microservice, indexed by
+/// `MicroserviceId`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schedule {
+    placements: Vec<Placement>,
+}
+
+impl Schedule {
+    /// Build from per-microservice placements (index = microservice id).
+    pub fn new(placements: Vec<Placement>) -> Self {
+        assert!(!placements.is_empty(), "schedules cover at least one microservice");
+        Schedule { placements }
+    }
+
+    /// The uniform schedule: every microservice from `registry` onto
+    /// `device`.
+    pub fn uniform(n: usize, registry: RegistryChoice, device: DeviceId) -> Self {
+        Schedule::new(vec![Placement { registry, device }; n])
+    }
+
+    /// Placement of microservice `i`.
+    pub fn placement(&self, i: deep_dataflow::MicroserviceId) -> Placement {
+        self.placements[i.0]
+    }
+
+    /// Number of microservices covered.
+    pub fn len(&self) -> usize {
+        self.placements.len()
+    }
+
+    /// True when the schedule covers no microservices (unreachable by
+    /// construction).
+    pub fn is_empty(&self) -> bool {
+        self.placements.is_empty()
+    }
+
+    /// Iterate placements in microservice order.
+    pub fn iter(&self) -> impl Iterator<Item = (deep_dataflow::MicroserviceId, Placement)> + '_ {
+        self.placements
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (deep_dataflow::MicroserviceId(i), *p))
+    }
+
+    /// Fraction of microservices pulled from each registry onto each
+    /// device — the quantity Table III reports.
+    pub fn distribution(&self) -> Vec<((RegistryChoice, DeviceId), f64)> {
+        use std::collections::BTreeMap;
+        let mut counts: BTreeMap<(u8, usize), usize> = BTreeMap::new();
+        for p in &self.placements {
+            let r = match p.registry {
+                RegistryChoice::Hub => 0u8,
+                RegistryChoice::Regional => 1u8,
+            };
+            *counts.entry((r, p.device.0)).or_insert(0) += 1;
+        }
+        let n = self.placements.len() as f64;
+        counts
+            .into_iter()
+            .map(|((r, d), c)| {
+                let reg = if r == 0 { RegistryChoice::Hub } else { RegistryChoice::Regional };
+                ((reg, DeviceId(d)), c as f64 / n)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deep_dataflow::MicroserviceId;
+
+    #[test]
+    fn uniform_schedule() {
+        let s = Schedule::uniform(6, RegistryChoice::Hub, DeviceId(0));
+        assert_eq!(s.len(), 6);
+        assert_eq!(
+            s.placement(MicroserviceId(3)),
+            Placement { registry: RegistryChoice::Hub, device: DeviceId(0) }
+        );
+    }
+
+    #[test]
+    fn distribution_fractions_sum_to_one() {
+        let s = Schedule::new(vec![
+            Placement { registry: RegistryChoice::Hub, device: DeviceId(0) },
+            Placement { registry: RegistryChoice::Hub, device: DeviceId(0) },
+            Placement { registry: RegistryChoice::Regional, device: DeviceId(1) },
+        ]);
+        let dist = s.distribution();
+        let total: f64 = dist.iter().map(|(_, f)| f).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert_eq!(dist.len(), 2);
+        let hub_med = dist
+            .iter()
+            .find(|((r, d), _)| *r == RegistryChoice::Hub && *d == DeviceId(0))
+            .unwrap()
+            .1;
+        assert!((hub_med - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn registry_ids_are_stable() {
+        assert_eq!(RegistryChoice::Hub.registry_id(), RegistryId(0));
+        assert_eq!(RegistryChoice::Regional.registry_id(), RegistryId(1));
+    }
+
+    #[test]
+    fn iteration_covers_all() {
+        let s = Schedule::uniform(4, RegistryChoice::Regional, DeviceId(1));
+        assert_eq!(s.iter().count(), 4);
+        for (id, p) in s.iter() {
+            assert!(id.0 < 4);
+            assert_eq!(p.registry, RegistryChoice::Regional);
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(RegistryChoice::Hub.to_string(), "docker-hub");
+        assert_eq!(RegistryChoice::Regional.to_string(), "regional");
+    }
+}

@@ -1,0 +1,452 @@
+//! The two-device, two-registry testbed of Section IV.
+//!
+//! Link parameters are calibrated so simulated deployment times land in the
+//! neighbourhood of Table II's residual `Td ≈ CT − Tp` (see deep-core's
+//! calibration module and EXPERIMENTS.md for the paper-vs-measured
+//! accounting):
+//!
+//! * Effective docker-pull rates are far below nominal NIC speed — Docker
+//!   Hub throttles per-client sessions and layer extraction is
+//!   CPU/disk-bound. The hub pays a larger fixed negotiation overhead but
+//!   sustains a higher stream rate to the well-connected medium device; the
+//!   regional registry wins on overhead and on the small device (LAN
+//!   locality, no throttling).
+//! * The small device's SD-card extraction is slower than the medium's
+//!   NVMe.
+
+use crate::device::SimDevice;
+use crate::schedule::RegistryChoice;
+use deep_dataflow::{Application, Mips};
+use deep_energy::{DevicePowerModel, Watts};
+use deep_netsim::{Bandwidth, DataSize, DeviceId, Seconds, Topology, TopologyBuilder};
+use deep_registry::{CatalogEntry, HubRegistry, RegionalRegistry, Registry};
+use std::collections::HashMap;
+
+/// Device id of the Intel i7-7700 "medium" device.
+pub const DEVICE_MEDIUM: DeviceId = DeviceId(0);
+/// Device id of the Raspberry Pi 4 "small" device.
+pub const DEVICE_SMALL: DeviceId = DeviceId(1);
+/// Device id of the cloud server in the continuum testbed
+/// ([`Testbed::continuum`] only — the paper testbed has two devices).
+pub const DEVICE_CLOUD: DeviceId = DeviceId(2);
+
+/// Calibrated link and overhead parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TestbedParams {
+    /// Effective pull bandwidth hub → medium (MB/s).
+    pub hub_to_medium: Bandwidth,
+    /// Effective pull bandwidth hub → small.
+    pub hub_to_small: Bandwidth,
+    /// Effective pull bandwidth regional → medium.
+    pub regional_to_medium: Bandwidth,
+    /// Effective pull bandwidth regional → small.
+    pub regional_to_small: Bandwidth,
+    /// Device-to-device LAN bandwidth (dataflow transfers).
+    pub lan: Bandwidth,
+    /// Effective pull bandwidth hub → cloud (hub's CDN peers with cloud
+    /// datacenters; continuum testbed only).
+    pub hub_to_cloud: Bandwidth,
+    /// Effective pull bandwidth regional → cloud (traverses the lab's WAN
+    /// uplink; continuum testbed only).
+    pub regional_to_cloud: Bandwidth,
+    /// Edge ↔ cloud WAN bandwidth (dataflow transfers; continuum only).
+    pub wan: Bandwidth,
+    /// Fixed pull overhead per registry.
+    pub hub_overhead: Seconds,
+    pub regional_overhead: Seconds,
+    /// Route-contention coefficient: a pull sharing its registry→device
+    /// route with `k` earlier same-wave pulls sees its download slowed by
+    /// `1 + alpha·k`. Small because in-flight layer dedup absorbs most
+    /// contention.
+    pub contention_alpha: f64,
+    /// Pulls below this size don't count as route load (they finish too
+    /// fast to matter).
+    pub contention_threshold: DataSize,
+}
+
+impl Default for TestbedParams {
+    fn default() -> Self {
+        TestbedParams {
+            hub_to_medium: Bandwidth::megabytes_per_sec(13.0),
+            hub_to_small: Bandwidth::megabytes_per_sec(8.0),
+            regional_to_medium: Bandwidth::megabytes_per_sec(8.0),
+            regional_to_small: Bandwidth::megabytes_per_sec(9.5),
+            lan: Bandwidth::megabytes_per_sec(100.0),
+            hub_to_cloud: Bandwidth::megabytes_per_sec(60.0),
+            regional_to_cloud: Bandwidth::megabytes_per_sec(4.0),
+            wan: Bandwidth::megabytes_per_sec(20.0),
+            hub_overhead: Seconds::new(25.0),
+            regional_overhead: Seconds::new(5.0),
+            contention_alpha: 0.1,
+            contention_threshold: DataSize::megabytes(100.0),
+        }
+    }
+}
+
+impl TestbedParams {
+    /// Pull bandwidth for a `(registry, device)` route.
+    pub fn route_bandwidth(&self, registry: RegistryChoice, device: DeviceId) -> Bandwidth {
+        match (registry, device) {
+            (RegistryChoice::Hub, DEVICE_MEDIUM) => self.hub_to_medium,
+            (RegistryChoice::Hub, DEVICE_CLOUD) => self.hub_to_cloud,
+            (RegistryChoice::Hub, _) => self.hub_to_small,
+            (RegistryChoice::Regional, DEVICE_MEDIUM) => self.regional_to_medium,
+            (RegistryChoice::Regional, DEVICE_CLOUD) => self.regional_to_cloud,
+            (RegistryChoice::Regional, _) => self.regional_to_small,
+        }
+    }
+
+    /// Fixed overhead for a registry.
+    pub fn overhead(&self, registry: RegistryChoice) -> Seconds {
+        match registry {
+            RegistryChoice::Hub => self.hub_overhead,
+            RegistryChoice::Regional => self.regional_overhead,
+        }
+    }
+
+    /// Download slowdown under `load` prior same-wave pulls on the route.
+    pub fn contention_factor(&self, load: usize) -> f64 {
+        1.0 + self.contention_alpha * load as f64
+    }
+}
+
+/// The simulated testbed: devices, network, registries.
+pub struct Testbed {
+    pub devices: Vec<SimDevice>,
+    pub topology: Topology,
+    pub hub: HubRegistry,
+    pub regional: RegionalRegistry,
+    pub params: TestbedParams,
+    /// `(application, microservice)` → catalog entry, for reference lookup
+    /// by the executor.
+    pub(crate) entries: HashMap<(String, String), CatalogEntry>,
+}
+
+impl Testbed {
+    /// The paper's testbed with default calibrated parameters and the
+    /// Table I catalog published to both registries.
+    ///
+    /// Power models (see DESIGN.md): the medium device's figures are
+    /// RAPL-package-domain (pyRAPL measures only the processor package, so
+    /// its idle floor is low and network-bound phases draw little); the
+    /// small device's figures are wall-meter whole-board (PSU overhead
+    /// raises the static floor).
+    pub fn paper() -> Self {
+        Self::with_params(TestbedParams::default())
+    }
+
+    /// The paper testbed with custom link parameters (for sweeps).
+    pub fn with_params(params: TestbedParams) -> Self {
+        let medium = SimDevice::new(
+            DEVICE_MEDIUM,
+            "medium",
+            deep_registry::Platform::Amd64,
+            8,
+            Mips::new(40_000.0),
+            DataSize::gigabytes(16.0),
+            DataSize::gigabytes(64.0),
+            DevicePowerModel::per_phase(
+                Watts::new(0.3), // RAPL package idle floor
+                Watts::new(0.1), // NIC+NVMe during pull (package view)
+                Watts::new(0.1), // NIC during dataflow receive
+                Watts::new(8.0), // default package draw under load
+            ),
+            Bandwidth::megabytes_per_sec(12.6),
+        );
+        let small = SimDevice::new(
+            DEVICE_SMALL,
+            "small",
+            deep_registry::Platform::Arm64,
+            4,
+            Mips::new(40_000.0),
+            DataSize::gigabytes(8.0),
+            DataSize::gigabytes(32.0),
+            DevicePowerModel::per_phase(
+                Watts::new(1.8), // idle board + PSU at the wall
+                Watts::new(0.6), // NIC+SD during pull
+                Watts::new(0.4), // NIC during dataflow receive
+                Watts::new(2.0), // default whole-board delta under load
+            ),
+            Bandwidth::megabytes_per_sec(11.0),
+        )
+        .with_base_speed_factor(3.0);
+
+        let topology = TopologyBuilder::new(2, 2)
+            .symmetric_device_link(DEVICE_MEDIUM, DEVICE_SMALL, params.lan)
+            .registry_link(RegistryChoice::Hub.registry_id(), DEVICE_MEDIUM, params.hub_to_medium)
+            .registry_link(RegistryChoice::Hub.registry_id(), DEVICE_SMALL, params.hub_to_small)
+            .registry_link(
+                RegistryChoice::Regional.registry_id(),
+                DEVICE_MEDIUM,
+                params.regional_to_medium,
+            )
+            .registry_link(
+                RegistryChoice::Regional.registry_id(),
+                DEVICE_SMALL,
+                params.regional_to_small,
+            )
+            .build()
+            .expect("testbed topology is complete");
+
+        let entries = deep_registry::paper_catalog()
+            .into_iter()
+            .map(|e| ((e.application.clone(), e.microservice.clone()), e))
+            .collect();
+        Testbed {
+            devices: vec![medium, small],
+            topology,
+            hub: HubRegistry::with_paper_catalog(),
+            regional: RegionalRegistry::with_paper_catalog(),
+            params,
+            entries,
+        }
+    }
+
+    /// The cloud–edge continuum testbed: the paper's two edge devices plus
+    /// a cloud server — the extension the paper's conclusion announces
+    /// ("schedule the computation between cloud and edge").
+    ///
+    /// The cloud device: 32 amd64 cores at twice the medium device's MI/s,
+    /// abundant memory/storage, NVMe-fast extraction, and power figures
+    /// that model the *billed/amortised* datacenter draw (PUE-adjusted):
+    /// a high static share and a processing draw that beats the medium
+    /// device per instruction, but every dataflow to/from the edge pays
+    /// the WAN.
+    pub fn continuum() -> Self {
+        Self::continuum_with_params(TestbedParams::default())
+    }
+
+    /// [`Testbed::continuum`] with custom parameters.
+    pub fn continuum_with_params(params: TestbedParams) -> Self {
+        let mut tb = Self::with_params(params);
+        let cloud = SimDevice::new(
+            DEVICE_CLOUD,
+            "cloud",
+            deep_registry::Platform::Amd64,
+            32,
+            Mips::new(80_000.0),
+            DataSize::gigabytes(128.0),
+            DataSize::gigabytes(1000.0),
+            DevicePowerModel::per_phase(
+                Watts::new(4.0),  // amortised idle share of the server
+                Watts::new(1.0),  // NIC+NVMe during pull
+                Watts::new(1.5),  // NIC during dataflow receive
+                Watts::new(10.0), // PUE-adjusted package under load
+            ),
+            Bandwidth::megabytes_per_sec(400.0),
+        )
+        .with_class(deep_dataflow::DeviceClass::Cloud);
+        tb.devices.push(cloud);
+        // Rebuild the topology with the cloud's WAN links.
+        tb.topology = TopologyBuilder::new(3, 2)
+            .symmetric_device_link(DEVICE_MEDIUM, DEVICE_SMALL, tb.params.lan)
+            .symmetric_device_link(DEVICE_MEDIUM, DEVICE_CLOUD, tb.params.wan)
+            .symmetric_device_link(DEVICE_SMALL, DEVICE_CLOUD, tb.params.wan)
+            .registry_link(RegistryChoice::Hub.registry_id(), DEVICE_MEDIUM, tb.params.hub_to_medium)
+            .registry_link(RegistryChoice::Hub.registry_id(), DEVICE_SMALL, tb.params.hub_to_small)
+            .registry_link(RegistryChoice::Hub.registry_id(), DEVICE_CLOUD, tb.params.hub_to_cloud)
+            .registry_link(
+                RegistryChoice::Regional.registry_id(),
+                DEVICE_MEDIUM,
+                tb.params.regional_to_medium,
+            )
+            .registry_link(
+                RegistryChoice::Regional.registry_id(),
+                DEVICE_SMALL,
+                tb.params.regional_to_small,
+            )
+            .registry_link(
+                RegistryChoice::Regional.registry_id(),
+                DEVICE_CLOUD,
+                tb.params.regional_to_cloud,
+            )
+            .build()
+            .expect("continuum topology is complete");
+        tb
+    }
+
+    /// Catalog entry for `(application, microservice)`, if published.
+    pub fn entry(&self, application: &str, microservice: &str) -> Option<&CatalogEntry> {
+        self.entries.get(&(application.to_string(), microservice.to_string()))
+    }
+
+    /// Replace (or insert) the catalog entry used for reference lookup —
+    /// ablation hooks re-publish variant images under the same keys.
+    pub fn replace_entry(&mut self, entry: CatalogEntry) {
+        self.entries
+            .insert((entry.application.clone(), entry.microservice.clone()), entry);
+    }
+
+    /// Publish single-layer images for every microservice of a non-catalog
+    /// application (generated workloads) to both registries.
+    pub fn publish_application(&mut self, app: &Application) {
+        for id in app.ids() {
+            let ms = app.microservice(id);
+            let key = (app.name().to_string(), ms.name.clone());
+            if self.entries.contains_key(&key) {
+                continue;
+            }
+            let entry = CatalogEntry::single_layer(app.name(), &ms.name, ms.image_size);
+            self.hub.publish(&entry);
+            self.regional.publish(&entry).expect("synthetic publish fits capacity");
+            self.entries.insert(key, entry);
+        }
+    }
+
+    /// The registry backend for a choice.
+    pub fn registry(&self, choice: RegistryChoice) -> &dyn Registry {
+        match choice {
+            RegistryChoice::Hub => &self.hub,
+            RegistryChoice::Regional => &self.regional,
+        }
+    }
+
+    /// Device by id.
+    pub fn device(&self, id: DeviceId) -> &SimDevice {
+        &self.devices[id.0]
+    }
+
+    /// Mutable device by id.
+    pub fn device_mut(&mut self, id: DeviceId) -> &mut SimDevice {
+        &mut self.devices[id.0]
+    }
+
+    /// Reset all device caches (fresh testbed between trials).
+    pub fn reset_caches(&mut self) {
+        for d in &mut self.devices {
+            d.cache.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_testbed_shape() {
+        let t = Testbed::paper();
+        assert_eq!(t.devices.len(), 2);
+        assert_eq!(t.device(DEVICE_MEDIUM).cores, 8);
+        assert_eq!(t.device(DEVICE_SMALL).cores, 4);
+        assert_eq!(t.device(DEVICE_MEDIUM).memory, DataSize::gigabytes(16.0));
+        assert_eq!(t.device(DEVICE_SMALL).memory, DataSize::gigabytes(8.0));
+        assert_eq!(t.topology.device_count(), 2);
+        assert_eq!(t.topology.registry_count(), 2);
+    }
+
+    #[test]
+    fn registries_serve_the_catalog() {
+        let t = Testbed::paper();
+        assert_eq!(t.hub.repositories().len(), 12);
+        assert_eq!(t.regional.repositories().len(), 12);
+        assert_eq!(t.registry(RegistryChoice::Hub).host(), "docker.io");
+        assert_eq!(t.registry(RegistryChoice::Regional).host(), "dcloud2.itec.aau.at");
+    }
+
+    #[test]
+    fn route_bandwidths_favor_hub_on_medium_and_regional_on_small() {
+        let p = TestbedParams::default();
+        assert!(
+            p.route_bandwidth(RegistryChoice::Hub, DEVICE_MEDIUM)
+                > p.route_bandwidth(RegistryChoice::Regional, DEVICE_MEDIUM)
+        );
+        assert!(
+            p.route_bandwidth(RegistryChoice::Regional, DEVICE_SMALL)
+                > p.route_bandwidth(RegistryChoice::Hub, DEVICE_SMALL)
+        );
+    }
+
+    #[test]
+    fn regional_overhead_is_lower() {
+        let p = TestbedParams::default();
+        assert!(p.overhead(RegistryChoice::Regional) < p.overhead(RegistryChoice::Hub));
+    }
+
+    #[test]
+    fn contention_factor_grows_linearly() {
+        let p = TestbedParams::default();
+        assert_eq!(p.contention_factor(0), 1.0);
+        assert!((p.contention_factor(2) - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_device_is_slower_by_default() {
+        let t = Testbed::paper();
+        let cpu = deep_dataflow::Mi::new(4_000_000.0);
+        let tp_med = t.device(DEVICE_MEDIUM).processing_time("x", cpu);
+        let tp_small = t.device(DEVICE_SMALL).processing_time("x", cpu);
+        assert!((tp_small.as_f64() / tp_med.as_f64() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cache_reset() {
+        let mut t = Testbed::paper();
+        t.device_mut(DEVICE_MEDIUM)
+            .cache
+            .insert(deep_registry::Digest::of(b"x"), DataSize::megabytes(1.0));
+        t.reset_caches();
+        assert!(t.device(DEVICE_MEDIUM).cache.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod continuum_tests {
+    use super::*;
+    use deep_dataflow::DeviceClass;
+
+    #[test]
+    fn continuum_adds_a_cloud_device() {
+        let t = Testbed::continuum();
+        assert_eq!(t.devices.len(), 3);
+        let cloud = t.device(DEVICE_CLOUD);
+        assert_eq!(cloud.class, DeviceClass::Cloud);
+        assert_eq!(cloud.cores, 32);
+        assert_eq!(t.topology.device_count(), 3);
+    }
+
+    #[test]
+    fn cloud_routes_resolve() {
+        let p = TestbedParams::default();
+        assert_eq!(
+            p.route_bandwidth(RegistryChoice::Hub, DEVICE_CLOUD),
+            p.hub_to_cloud
+        );
+        assert_eq!(
+            p.route_bandwidth(RegistryChoice::Regional, DEVICE_CLOUD),
+            p.regional_to_cloud
+        );
+    }
+
+    #[test]
+    fn wan_links_are_slower_than_lan() {
+        let t = Testbed::continuum();
+        let lan = t
+            .topology
+            .device_bandwidth(DEVICE_MEDIUM, DEVICE_SMALL)
+            .unwrap();
+        let wan = t
+            .topology
+            .device_bandwidth(DEVICE_MEDIUM, DEVICE_CLOUD)
+            .unwrap();
+        assert!(wan.as_bytes_per_sec() < lan.as_bytes_per_sec());
+    }
+
+    #[test]
+    fn edge_pinned_requirements_rejected_by_cloud() {
+        let t = Testbed::continuum();
+        let req = deep_dataflow::Requirements::minimal(deep_dataflow::Mi::new(1.0))
+            .pinned_to(DeviceClass::Edge);
+        assert!(t.device(DEVICE_MEDIUM).admits(&req));
+        assert!(!t.device(DEVICE_CLOUD).admits(&req));
+    }
+
+    #[test]
+    fn cloud_is_faster_per_instruction() {
+        let t = Testbed::continuum();
+        let cpu = deep_dataflow::Mi::new(4_000_000.0);
+        let tp_cloud = t.device(DEVICE_CLOUD).processing_time("x", cpu);
+        let tp_medium = t.device(DEVICE_MEDIUM).processing_time("x", cpu);
+        assert!(tp_cloud.as_f64() < tp_medium.as_f64());
+    }
+}

@@ -1,0 +1,118 @@
+//! The Monitoring component of Figure 1: an event log of service
+//! executions on the computing devices.
+
+use deep_netsim::{DeviceId, Seconds};
+use serde::{Deserialize, Serialize};
+
+/// Kinds of monitored events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceKind {
+    DeploymentStarted,
+    DeploymentFinished,
+    TransferStarted,
+    TransferFinished,
+    ProcessingStarted,
+    ProcessingFinished,
+    StageBarrierReleased,
+}
+
+/// One monitored event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    pub at: Seconds,
+    pub kind: TraceKind,
+    pub device: DeviceId,
+    /// Microservice name, or stage label for barrier events.
+    pub label: String,
+}
+
+/// An append-only monitoring log.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an event. Events must be appended in non-decreasing time
+    /// order (the executor guarantees this; the assert catches executor
+    /// bugs).
+    pub fn record(&mut self, at: Seconds, kind: TraceKind, device: DeviceId, label: &str) {
+        if let Some(last) = self.events.last() {
+            assert!(
+                at.as_f64() >= last.at.as_f64() - 1e-9,
+                "trace went backwards: {at} after {}",
+                last.at
+            );
+        }
+        self.events.push(TraceEvent { at, kind, device, label: label.to_string() });
+    }
+
+    /// All events in time order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events of one kind.
+    pub fn of_kind(&self, kind: TraceKind) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// Events touching one microservice.
+    pub fn for_label<'a>(&'a self, label: &'a str) -> impl Iterator<Item = &'a TraceEvent> {
+        self.events.iter().filter(move |e| e.label == label)
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order() {
+        let mut t = Trace::new();
+        t.record(Seconds::new(0.0), TraceKind::DeploymentStarted, DeviceId(0), "a");
+        t.record(Seconds::new(5.0), TraceKind::DeploymentFinished, DeviceId(0), "a");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.events()[1].kind, TraceKind::DeploymentFinished);
+    }
+
+    #[test]
+    fn filters_by_kind_and_label() {
+        let mut t = Trace::new();
+        t.record(Seconds::new(0.0), TraceKind::DeploymentStarted, DeviceId(0), "a");
+        t.record(Seconds::new(1.0), TraceKind::DeploymentStarted, DeviceId(1), "b");
+        t.record(Seconds::new(2.0), TraceKind::ProcessingStarted, DeviceId(0), "a");
+        assert_eq!(t.of_kind(TraceKind::DeploymentStarted).count(), 2);
+        assert_eq!(t.for_label("a").count(), 2);
+        assert_eq!(t.for_label("b").count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn out_of_order_rejected() {
+        let mut t = Trace::new();
+        t.record(Seconds::new(5.0), TraceKind::DeploymentStarted, DeviceId(0), "a");
+        t.record(Seconds::new(1.0), TraceKind::DeploymentFinished, DeviceId(0), "a");
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace::new();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+}

@@ -1,0 +1,67 @@
+//! Reproducibility: identical seeds produce identical results across the
+//! whole pipeline (scheduling, execution, experiment drivers).
+
+use deep::core::{calibration, DeepScheduler, Experiments, Scheduler};
+use deep::dataflow::{apps, DagGenerator};
+use deep::simulator::{execute, ExecutorConfig};
+
+#[test]
+fn executor_runs_are_bit_identical_per_seed() {
+    let app = apps::video_processing();
+    let cfg = ExecutorConfig { seed: 77, jitter: 0.02, ..Default::default() };
+    let run = || {
+        let mut tb = calibration::calibrated_testbed();
+        let schedule = DeepScheduler::paper().schedule(&app, &tb);
+        let (report, trace) = execute(&mut tb, &app, &schedule, &cfg).unwrap();
+        (report, trace.len())
+    };
+    let (a, ta) = run();
+    let (b, tb_) = run();
+    assert_eq!(a, b);
+    assert_eq!(ta, tb_);
+}
+
+#[test]
+fn different_seeds_differ_but_stay_in_band() {
+    let app = apps::text_processing();
+    let energies: Vec<f64> = (0..5u64)
+        .map(|seed| {
+            let mut tb = calibration::calibrated_testbed();
+            let schedule = DeepScheduler::paper().schedule(&app, &tb);
+            let cfg = ExecutorConfig { seed, jitter: 0.02, ..Default::default() };
+            let (report, _) = execute(&mut tb, &app, &schedule, &cfg).unwrap();
+            report.total_energy().as_f64()
+        })
+        .collect();
+    let min = energies.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = energies.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    assert!(max > min, "jitter produces variation: {energies:?}");
+    assert!((max - min) / min < 0.05, "±2 % jitter keeps runs within 5 %: {energies:?}");
+}
+
+#[test]
+fn experiment_drivers_are_deterministic() {
+    let exp = Experiments { trials: 3, base_seed: 21, jitter: 0.02 };
+    assert_eq!(exp.table2(), exp.table2());
+    assert_eq!(exp.fig3a(), exp.fig3a());
+    assert_eq!(exp.fig3b(), exp.fig3b());
+    assert_eq!(exp.table3(), exp.table3());
+}
+
+#[test]
+fn generated_workload_pipeline_is_deterministic() {
+    let gen = DagGenerator::default();
+    let run = || {
+        let app = gen.generate(5);
+        let mut tb = calibration::calibrated_testbed();
+        tb.publish_application(&app);
+        let schedule = DeepScheduler::paper().schedule(&app, &tb);
+        let cfg = ExecutorConfig { seed: 9, jitter: 0.01, ..Default::default() };
+        let (report, _) = execute(&mut tb, &app, &schedule, &cfg).unwrap();
+        (schedule, report.total_energy().as_f64())
+    };
+    let (s1, e1) = run();
+    let (s2, e2) = run();
+    assert_eq!(s1, s2);
+    assert_eq!(e1, e2);
+}

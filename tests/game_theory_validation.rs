@@ -1,0 +1,150 @@
+//! Cross-validation of the game-theory toolkit: the two equilibrium
+//! solvers must agree with each other and with independent checks, on
+//! random games — the confidence basis for trusting DEEP's scheduler.
+
+use deep::game::{
+    best_response_dynamics, is_ess, lemke_howson, replicator_dynamics, support_enumeration,
+    Bimatrix, Matrix, MixedStrategy,
+};
+use proptest::prelude::*;
+// Explicit trait imports: proptest's prelude globs its own (rand 0.9)
+// `Rng`, which would otherwise shadow the workspace rand 0.8 traits.
+use rand::Rng as _;
+use rand::SeedableRng as _;
+use rand_chacha::ChaCha8Rng;
+
+fn random_game(rows: usize, cols: usize, seed: u64) -> Bimatrix {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let a = Matrix::from_fn(rows, cols, |_, _| (rng.gen_range(0..200) as f64) / 10.0);
+    let b = Matrix::from_fn(rows, cols, |_, _| (rng.gen_range(0..200) as f64) / 10.0);
+    Bimatrix::new(a, b)
+}
+
+#[test]
+fn lemke_howson_equilibria_appear_in_support_enumeration() {
+    // For nondegenerate games every LH endpoint is an exact equilibrium;
+    // support enumeration must contain it.
+    let mut checked = 0;
+    for seed in 0..40u64 {
+        let game = random_game(3, 3, seed);
+        let all = support_enumeration(&game);
+        if all.is_empty() {
+            continue; // numerically degenerate draw
+        }
+        let (x, y) = lemke_howson(&game, 0);
+        if !game.is_nash(&x, &y) {
+            continue; // degenerate pivot; LH guarantees need nondegeneracy
+        }
+        let found = all
+            .iter()
+            .any(|(ex, ey)| ex.approx_eq(&x, 1e-4) && ey.approx_eq(&y, 1e-4));
+        assert!(found, "seed {seed}: LH endpoint missing from support enumeration");
+        checked += 1;
+    }
+    assert!(checked > 25, "too many degenerate draws: {checked}");
+}
+
+#[test]
+fn support_enumeration_finds_odd_number_of_equilibria() {
+    // Wilson's oddness theorem: almost every game has an odd number of
+    // equilibria. Random continuous draws are almost surely
+    // nondegenerate.
+    let mut odd = 0;
+    let mut total = 0;
+    for seed in 100..140u64 {
+        let game = random_game(2, 2, seed * 7 + 1);
+        let n = support_enumeration(&game).len();
+        if n > 0 {
+            total += 1;
+            if n % 2 == 1 {
+                odd += 1;
+            }
+        }
+    }
+    assert!(odd * 10 >= total * 9, "oddness violated too often: {odd}/{total}");
+}
+
+#[test]
+fn best_response_fixed_points_are_pure_equilibria() {
+    for seed in 0..30u64 {
+        let game = random_game(4, 4, seed + 999);
+        let out = best_response_dynamics(&game, (0, 0), 200);
+        if out.converged {
+            let pures = game.pure_equilibria();
+            assert!(
+                pures.contains(&out.profile),
+                "seed {seed}: BRD fixed point {:?} not a pure NE {:?}",
+                out.profile,
+                pures
+            );
+        }
+    }
+}
+
+#[test]
+fn ess_implies_nash_in_symmetric_games() {
+    for seed in 0..30u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let a = Matrix::from_fn(3, 3, |_, _| (rng.gen_range(0..100) as f64) / 10.0);
+        let game = Bimatrix::new(a.clone(), a.transpose());
+        for i in 0..3 {
+            let x = MixedStrategy::pure(i, 3);
+            if is_ess(&a, &x, 1e-9) {
+                assert!(
+                    game.is_nash(&x, &x),
+                    "seed {seed}: ESS {i} is not Nash"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn replicator_converged_interior_points_verify_as_equilibria() {
+    for seed in 0..20u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed + 77);
+        let a = Matrix::from_fn(2, 2, |_, _| (rng.gen_range(0..100) as f64) / 10.0);
+        let game = Bimatrix::new(a.clone(), a.transpose());
+        let (x, converged) =
+            replicator_dynamics(&a, &MixedStrategy::new(vec![0.6, 0.4]), 50_000, 1e-13);
+        if converged {
+            // Converged points are fixed points; interior ones must be
+            // Nash of the symmetric game.
+            if x.as_pure().is_none() {
+                assert!(game.is_nash(&x, &x), "seed {seed}: {x}");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The scheduler-shaped 2×2 common-interest game always has a pure
+    /// equilibrium at the payoff maximum — the property DEEP's stage game
+    /// relies on.
+    #[test]
+    fn team_games_have_argmax_equilibrium(
+        p in proptest::collection::vec(-1000.0f64..1000.0, 4)
+    ) {
+        let a = Matrix::from_fn(2, 2, |i, j| p[i * 2 + j]);
+        let game = Bimatrix::common_interest(a.clone());
+        // The global argmax cell is a pure Nash equilibrium.
+        let mut best = (0, 0);
+        for i in 0..2 {
+            for j in 0..2 {
+                if a[(i, j)] > a[best] {
+                    best = (i, j);
+                }
+            }
+        }
+        prop_assert!(game.pure_equilibria().contains(&best));
+        // And support enumeration reports at least one equilibrium whose
+        // value equals the argmax payoff.
+        let eqs = support_enumeration(&game);
+        let attained = eqs.iter().any(|(x, y)| {
+            (game.expected_payoffs(x, y).0 - a[best]).abs() < 1e-6
+        });
+        prop_assert!(attained);
+    }
+}

@@ -1,0 +1,109 @@
+//! Cross-crate cache behaviour: layer dedup across images, applications
+//! and registries, and eviction under tight storage.
+
+use deep::core::calibration;
+use deep::dataflow::apps;
+use deep::netsim::DataSize;
+use deep::registry::{Digest, LayerCache, Platform, PullPlanner, Reference, Registry};
+use deep::simulator::{execute, ExecutorConfig, RegistryChoice, Schedule, DEVICE_MEDIUM};
+
+#[test]
+fn second_deployment_of_an_application_is_nearly_free() {
+    let mut tb = calibration::calibrated_testbed();
+    let app = apps::text_processing();
+    let schedule = Schedule::uniform(app.len(), RegistryChoice::Hub, DEVICE_MEDIUM);
+    let cfg = ExecutorConfig::default();
+    let (cold, _) = execute(&mut tb, &app, &schedule, &cfg).unwrap();
+    let (warm, _) = execute(&mut tb, &app, &schedule, &cfg).unwrap();
+    let cold_dl: f64 = cold.microservices.iter().map(|m| m.downloaded_mb).sum();
+    let warm_dl: f64 = warm.microservices.iter().map(|m| m.downloaded_mb).sum();
+    // 6.9 GB of images dedup to ~4 GB of unique layers even cold.
+    assert!(cold_dl > 3_500.0, "cold run moves gigabytes: {cold_dl} MB");
+    assert_eq!(warm_dl, 0.0, "warm run is fully cached");
+    assert!(warm.total_energy() < cold.total_energy());
+}
+
+#[test]
+fn cross_application_base_layers_dedup() {
+    // video ha-infer and text retrieve both sit on python:3.9-slim; after
+    // running video on the medium device, text's retrieve pull shrinks.
+    let mut tb = calibration::calibrated_testbed();
+    let cfg = ExecutorConfig::default();
+
+    let text = apps::text_processing();
+    let text_schedule = Schedule::uniform(text.len(), RegistryChoice::Hub, DEVICE_MEDIUM);
+
+    // Baseline: retrieve cold.
+    let (cold, _) = execute(&mut tb, &text, &text_schedule, &cfg).unwrap();
+    let cold_retrieve = cold.metrics("retrieve").unwrap().downloaded_mb;
+    assert!((cold_retrieve - 140.0).abs() < 1.0);
+
+    // Fresh testbed, video first.
+    let mut tb = calibration::calibrated_testbed();
+    let video = apps::video_processing();
+    let video_schedule = Schedule::uniform(video.len(), RegistryChoice::Hub, DEVICE_MEDIUM);
+    execute(&mut tb, &video, &video_schedule, &cfg).unwrap();
+    let (after_video, _) = execute(&mut tb, &text, &text_schedule, &cfg).unwrap();
+    let warm_retrieve = after_video.metrics("retrieve").unwrap().downloaded_mb;
+    assert!(
+        (warm_retrieve - 20.0).abs() < 1.0,
+        "python:3.9-slim (120 MB) cached by video: {warm_retrieve} MB"
+    );
+}
+
+#[test]
+fn registries_are_interchangeable_for_cached_layers() {
+    // Content addressing: pulling from the Hub then re-pulling the same
+    // image regionally transfers nothing.
+    let tb = calibration::calibrated_testbed();
+    let planner = PullPlanner {
+        download_bw: deep::netsim::Bandwidth::megabytes_per_sec(10.0),
+        extract_bw: deep::netsim::Bandwidth::megabytes_per_sec(10.0),
+        overhead: deep::netsim::Seconds::new(1.0),
+    };
+    let mut cache = LayerCache::new(DataSize::gigabytes(64.0));
+    let hub_ref = Reference::new("docker.io", "sina88/tp-decompress", "amd64");
+    planner.pull(&tb.hub, &hub_ref, Platform::Amd64, &mut cache).unwrap();
+    let reg_ref = Reference::new("dcloud2.itec.aau.at", "aau/tp-decompress", "amd64");
+    let out = planner.pull(&tb.regional, &reg_ref, Platform::Amd64, &mut cache).unwrap();
+    assert_eq!(out.downloaded, DataSize::ZERO);
+    assert_eq!(out.cache_hits, 3);
+}
+
+#[test]
+fn tight_storage_evicts_lru_layers() {
+    // A cache that can hold only one big training image thrashes between
+    // siblings once the shared stack no longer fits alongside both apps.
+    let mut cache = LayerCache::new(DataSize::gigabytes(6.0));
+    let tb = calibration::calibrated_testbed();
+    let planner = PullPlanner {
+        download_bw: deep::netsim::Bandwidth::megabytes_per_sec(10.0),
+        extract_bw: deep::netsim::Bandwidth::megabytes_per_sec(10.0),
+        overhead: deep::netsim::Seconds::new(1.0),
+    };
+    let ha = Reference::new("docker.io", "sina88/vp-ha-train", "amd64");
+    let infer = Reference::new("docker.io", "sina88/vp-ha-infer", "amd64");
+    planner.pull(&tb.hub, &ha, Platform::Amd64, &mut cache).unwrap();
+    assert!(cache.used() <= DataSize::gigabytes(6.0));
+    // Pulling the 3.53 GB infer image must evict training layers.
+    planner.pull(&tb.hub, &infer, Platform::Amd64, &mut cache).unwrap();
+    assert!(cache.used() <= DataSize::gigabytes(6.0), "quota holds: {}", cache.used());
+    // Re-pulling ha-train now re-downloads something.
+    let again = planner.pull(&tb.hub, &ha, Platform::Amd64, &mut cache).unwrap();
+    assert!(again.downloaded > DataSize::ZERO, "eviction forced re-downloads");
+}
+
+#[test]
+fn digests_are_stable_across_testbed_instances() {
+    // The content address of a layer must not depend on which testbed or
+    // registry instance produced it (pure function of the layer identity).
+    let a = calibration::calibrated_testbed();
+    let b = calibration::calibrated_testbed();
+    let ref_a = Reference::new("docker.io", "sina88/vp-frame", "arm64");
+    let m1 = a.hub.resolve(&ref_a, Platform::Arm64).unwrap();
+    let m2 = b.hub.resolve(&ref_a, Platform::Arm64).unwrap();
+    assert_eq!(m1.digest(), m2.digest());
+    let digests1: Vec<&Digest> = m1.layers.iter().map(|l| &l.digest).collect();
+    let digests2: Vec<&Digest> = m2.layers.iter().map(|l| &l.digest).collect();
+    assert_eq!(digests1, digests2);
+}
