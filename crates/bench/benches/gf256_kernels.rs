@@ -1,0 +1,93 @@
+//! GF(2^8) slice-kernel microbenches — the inner loops of RS encode and
+//! decode, measured in isolation so kernel regressions are visible
+//! independently of full-object erasure coding.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use deep_objectstore::gf256::{mul_acc, mul_acc_table, mul_slice, xor_acc, MulTable};
+use std::hint::black_box;
+
+fn buf(len: usize, seed: u64) -> Vec<u8> {
+    let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 32) as u8
+        })
+        .collect()
+}
+
+const SIZES: [(usize, &str); 3] = [(4 << 10, "4KiB"), (64 << 10, "64KiB"), (1 << 20, "1MiB")];
+
+fn bench_mul_acc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gf256_mul_acc");
+    for (len, label) in SIZES {
+        let src = buf(len, 1);
+        let mut dst = buf(len, 2);
+        let table = MulTable::new(0x8e);
+        group.throughput(Throughput::Bytes(len as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(label), &len, |b, _| {
+            b.iter(|| {
+                mul_acc_table(black_box(&mut dst), black_box(&src), &table);
+                black_box(dst[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_mul_acc_oneshot(c: &mut Criterion) {
+    // The one-shot form pays the table build per call — the delta against
+    // gf256_mul_acc is the per-coder caching win.
+    let mut group = c.benchmark_group("gf256_mul_acc_oneshot");
+    for (len, label) in SIZES {
+        let src = buf(len, 3);
+        let mut dst = buf(len, 4);
+        group.throughput(Throughput::Bytes(len as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(label), &len, |b, _| {
+            b.iter(|| {
+                mul_acc(black_box(&mut dst), black_box(&src), 0x8e);
+                black_box(dst[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_mul_slice(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gf256_mul_slice");
+    for (len, label) in SIZES {
+        let src = buf(len, 5);
+        let mut dst = vec![0u8; len];
+        group.throughput(Throughput::Bytes(len as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(label), &len, |b, _| {
+            b.iter(|| {
+                mul_slice(black_box(&mut dst), black_box(&src), 0x1d);
+                black_box(dst[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_xor_acc(c: &mut Criterion) {
+    // The c == 1 fast path (parity rows frequently carry unit
+    // coefficients in systematic codes).
+    let mut group = c.benchmark_group("gf256_xor_acc");
+    for (len, label) in SIZES {
+        let src = buf(len, 6);
+        let mut dst = buf(len, 7);
+        group.throughput(Throughput::Bytes(len as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(label), &len, |b, _| {
+            b.iter(|| {
+                xor_acc(black_box(&mut dst), black_box(&src));
+                black_box(dst[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mul_acc, bench_mul_acc_oneshot, bench_mul_slice, bench_xor_acc);
+criterion_main!(benches);

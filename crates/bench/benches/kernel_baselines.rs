@@ -1,0 +1,190 @@
+//! Seed-kernel baselines: verbatim copies of the pre-optimisation
+//! byte-at-a-time GF(2^8) multiply-accumulate and per-block-schedule
+//! SHA-256, benchmarked beside the optimised kernels so the speedup ratio
+//! in PERF.md is reproducible on any machine with one command:
+//!
+//! ```text
+//! cargo bench -p deep-bench --bench kernel_baselines
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+// ---- seed GF(2^8): log/exp tables, per-byte zero test ------------------
+
+struct Gf256Tables {
+    log: [u8; 256],
+    exp: [u8; 512],
+}
+
+fn gf_tables() -> Gf256Tables {
+    let mut log = [0u8; 256];
+    let mut exp = [0u8; 512];
+    let mut x: u16 = 1;
+    for i in 0..255 {
+        exp[i] = x as u8;
+        log[x as usize] = i as u8;
+        x <<= 1;
+        if x & 0x100 != 0 {
+            x ^= 0x11d;
+        }
+    }
+    for i in 255..512 {
+        exp[i] = exp[i - 255];
+    }
+    Gf256Tables { log, exp }
+}
+
+fn seed_mul_acc(t: &Gf256Tables, dst: &mut [u8], src: &[u8], c: u8) {
+    let lc = t.log[c as usize] as usize;
+    for (d, s) in dst.iter_mut().zip(src) {
+        if *s != 0 {
+            *d ^= t.exp[lc + t.log[*s as usize] as usize];
+        }
+    }
+}
+
+// ---- seed SHA-256: full 64-word schedule per block ---------------------
+
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+fn seed_compress(state: &mut [u32; 8], block: &[u8]) {
+    let mut w = [0u32; 64];
+    for (i, chunk) in block.chunks_exact(4).enumerate() {
+        w[i] = u32::from_be_bytes(chunk.try_into().unwrap());
+    }
+    for t in 16..64 {
+        let s0 = w[t - 15].rotate_right(7) ^ w[t - 15].rotate_right(18) ^ (w[t - 15] >> 3);
+        let s1 = w[t - 2].rotate_right(17) ^ w[t - 2].rotate_right(19) ^ (w[t - 2] >> 10);
+        w[t] = w[t - 16].wrapping_add(s0).wrapping_add(w[t - 7]).wrapping_add(s1);
+    }
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
+    for t in 0..64 {
+        let big_s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+        let ch = (e & f) ^ (!e & g);
+        let t1 = h.wrapping_add(big_s1).wrapping_add(ch).wrapping_add(K[t]).wrapping_add(w[t]);
+        let big_s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+        let maj = (a & b) ^ (a & c) ^ (b & c);
+        let t2 = big_s0.wrapping_add(maj);
+        h = g;
+        g = f;
+        f = e;
+        e = d.wrapping_add(t1);
+        d = c;
+        c = b;
+        b = a;
+        a = t1.wrapping_add(t2);
+    }
+    for (s, v) in state.iter_mut().zip([a, b, c, d, e, f, g, h]) {
+        *s = s.wrapping_add(v);
+    }
+}
+
+fn seed_sha256_blocks(data: &[u8]) -> [u32; 8] {
+    // Whole blocks only — enough for a throughput baseline.
+    let mut state = [
+        0x6a09e667u32, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+        0x5be0cd19,
+    ];
+    for block in data.chunks_exact(64) {
+        seed_compress(&mut state, block);
+    }
+    state
+}
+
+fn buf(len: usize, seed: u64) -> Vec<u8> {
+    let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 32) as u8
+        })
+        .collect()
+}
+
+fn bench_seed_gf(c: &mut Criterion) {
+    let len = 1 << 20;
+    let tables = gf_tables();
+    let src = buf(len, 1);
+    let mut dst = buf(len, 2);
+    let mut group = c.benchmark_group("seed_baseline");
+    group.throughput(Throughput::Bytes(len as u64));
+    group.bench_function("gf256_mul_acc_1MiB", |b| {
+        b.iter(|| {
+            seed_mul_acc(&tables, black_box(&mut dst), black_box(&src), 0x8e);
+            black_box(dst[0])
+        })
+    });
+    group.finish();
+}
+
+fn bench_seed_rs_encode(c: &mut Criterion) {
+    // The seed's RS encode inner work — scalar mul_acc over every
+    // (parity row × data shard) pair — on pre-split reused shard buffers,
+    // i.e. the same workload shape as the optimised `rs_encode_1MiB`
+    // bench. The `rs_encode_1MiB` / `seed_baseline/rs_encode_1MiB` ratio
+    // is the like-for-like kernel speedup.
+    let data = buf(1 << 20, 9);
+    let tables = gf_tables();
+    let mut group = c.benchmark_group("seed_baseline/rs_encode_1MiB");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    for (k, m) in [(4usize, 2usize), (8, 4), (12, 4)] {
+        let coder = deep_objectstore::ErasureCoder::new(k, m).unwrap();
+        let shard_len = coder.shard_len(data.len());
+        // Vandermonde-derived parity coefficients, same as the coder's.
+        let rows: Vec<Vec<u8>> = (0..m)
+            .map(|p| (0..k).map(|j| ((p * k + j) % 254 + 2) as u8).collect())
+            .collect();
+        let data_shards: Vec<Vec<u8>> = (0..k)
+            .map(|i| {
+                let start = (i * shard_len).min(data.len());
+                let end = (start + shard_len).min(data.len());
+                let mut s = data[start..end].to_vec();
+                s.resize(shard_len, 0);
+                s
+            })
+            .collect();
+        let mut parity: Vec<Vec<u8>> = vec![vec![0u8; shard_len]; m];
+        group.bench_with_input(
+            criterion::BenchmarkId::from_parameter(format!("{k}+{m}")),
+            &k,
+            |b, _| {
+                b.iter(|| {
+                    for (p, row) in parity.iter_mut().zip(&rows) {
+                        p.fill(0);
+                        for (shard, &coef) in data_shards.iter().zip(row) {
+                            seed_mul_acc(&tables, p, shard, coef);
+                        }
+                    }
+                    black_box(parity[0][0])
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_seed_sha(c: &mut Criterion) {
+    let len = 1 << 20;
+    let data = buf(len, 3);
+    let mut group = c.benchmark_group("seed_baseline");
+    group.throughput(Throughput::Bytes(len as u64));
+    group.bench_function("sha256_1MiB", |b| {
+        b.iter(|| black_box(seed_sha256_blocks(black_box(&data))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_seed_gf, bench_seed_rs_encode, bench_seed_sha);
+criterion_main!(benches);

@@ -85,14 +85,19 @@ impl DriveSet {
             .objects
             .get(key)
             .ok_or_else(|| DriveSetError::NoSuchObject(key.to_string()))?;
-        // A drive going offline masks its shards even if data is present.
-        let visible: Vec<Option<Vec<u8>>> = obj
+        // A drive going offline masks its shards even if data is present;
+        // borrowed-shard decode avoids cloning the surviving shards.
+        let visible: Vec<Option<&[u8]>> = obj
             .shards
             .iter()
             .enumerate()
-            .map(|(i, s)| if self.online[i] { s.clone() } else { None })
+            .map(|(i, s)| if self.online[i] { s.as_deref() } else { None })
             .collect();
-        self.coder.decode(&visible, obj.len).map_err(DriveSetError::Unrecoverable)
+        let mut out = Vec::new();
+        self.coder
+            .decode_refs(&visible, obj.len, &mut out)
+            .map_err(DriveSetError::Unrecoverable)?;
+        Ok(out)
     }
 
     /// Fail a drive: its shard of every object is lost.

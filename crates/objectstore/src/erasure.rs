@@ -7,9 +7,19 @@
 //! identity (so data shards are verbatim slices of the object), and use the
 //! remaining `m` rows to produce parity. Decoding inverts the `k × k`
 //! submatrix formed by any `k` surviving rows.
+//!
+//! ## Data-plane fast paths
+//!
+//! The parity rows' split-nibble [`MulTable`]s are built once at coder
+//! construction and cached, so the per-byte encode work is two 16-entry
+//! lookups and two XORs with no table rebuilds and no per-byte branches.
+//! [`ErasureCoder::encode_into`] / [`ErasureCoder::decode_into`] take
+//! caller-owned buffers and perform **zero allocations** once those
+//! buffers have warmed up — the shape MinIO's object write path needs when
+//! a registry sustains thousands of layer writes per second.
 
-use crate::gf256;
-use serde::{Deserialize, Serialize};
+use crate::gf256::{self, MulTable};
+use serde::{Deserialize, Serialize, Value};
 use std::fmt;
 
 /// Errors from encoding/decoding.
@@ -38,12 +48,23 @@ impl fmt::Display for ErasureError {
 impl std::error::Error for ErasureError {}
 
 /// A `k + m` systematic Reed–Solomon coder.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ErasureCoder {
     data_shards: usize,
     parity_shards: usize,
     /// Full `(k+m) × k` systematic encoding matrix, row-major.
     matrix: Vec<Vec<u8>>,
+    /// Split-nibble tables for the `m` parity rows (`matrix[k..]`), built
+    /// once so steady-state encodes never rebuild them. Derived state —
+    /// excluded from serialization and equality.
+    parity_tables: Vec<Vec<MulTable>>,
+}
+
+fn parity_tables_of(matrix: &[Vec<u8>], data_shards: usize) -> Vec<Vec<MulTable>> {
+    matrix[data_shards..]
+        .iter()
+        .map(|row| row.iter().map(|&c| MulTable::new(c)).collect())
+        .collect()
 }
 
 impl ErasureCoder {
@@ -84,7 +105,8 @@ impl ErasureCoder {
                     .collect()
             })
             .collect();
-        Ok(ErasureCoder { data_shards, parity_shards, matrix })
+        let parity_tables = parity_tables_of(&matrix, data_shards);
+        Ok(ErasureCoder { data_shards, parity_shards, matrix, parity_tables })
     }
 
     /// MinIO's common default: 4 data + 2 parity.
@@ -118,30 +140,34 @@ impl ErasureCoder {
     /// Split `data` into `k` padded data shards and compute `m` parity
     /// shards. Returns `k + m` shards of equal length.
     pub fn encode(&self, data: &[u8]) -> Vec<Vec<u8>> {
-        let shard_len = self.shard_len(data.len().max(1));
-        let mut shards: Vec<Vec<u8>> = Vec::with_capacity(self.total_shards());
-        // Data shards: verbatim systematic slices, zero-padded.
-        for i in 0..self.data_shards {
-            let start = i * shard_len;
-            let end = (start + shard_len).min(data.len());
-            let mut shard = if start < data.len() {
-                data[start..end].to_vec()
-            } else {
-                Vec::new()
-            };
-            shard.resize(shard_len, 0);
-            shards.push(shard);
-        }
-        // Parity shards from the bottom m rows.
-        for p in 0..self.parity_shards {
-            let row = &self.matrix[self.data_shards + p];
-            let mut parity = vec![0u8; shard_len];
-            for (j, shard) in shards[..self.data_shards].iter().enumerate() {
-                gf256::mul_acc(&mut parity, shard, row[j]);
-            }
-            shards.push(parity);
-        }
+        let mut shards = Vec::with_capacity(self.total_shards());
+        self.encode_into(data, &mut shards);
         shards
+    }
+
+    /// [`ErasureCoder::encode`] into caller-owned shard buffers. The
+    /// buffers are resized/reused, so a steady-state caller (same object
+    /// size every call) pays **zero allocations** per encode.
+    pub fn encode_into(&self, data: &[u8], shards: &mut Vec<Vec<u8>>) {
+        let shard_len = self.shard_len(data.len().max(1));
+        shards.resize_with(self.total_shards(), Vec::new);
+        // Data shards: verbatim systematic slices, zero-padded.
+        for (i, shard) in shards[..self.data_shards].iter_mut().enumerate() {
+            let start = (i * shard_len).min(data.len());
+            let end = (start + shard_len).min(data.len());
+            shard.clear();
+            shard.extend_from_slice(&data[start..end]);
+            shard.resize(shard_len, 0);
+        }
+        // Parity shards from the bottom m rows, via the cached tables.
+        let (data_shards, parity_shards) = shards.split_at_mut(self.data_shards);
+        for (parity, row_tables) in parity_shards.iter_mut().zip(&self.parity_tables) {
+            parity.clear();
+            parity.resize(shard_len, 0);
+            for (shard, table) in data_shards.iter().zip(row_tables) {
+                gf256::mul_acc_table(parity, shard, table);
+            }
+        }
     }
 
     /// Reconstruct the original `len`-byte object from surviving shards
@@ -151,6 +177,31 @@ impl ErasureCoder {
         shards: &[Option<Vec<u8>>],
         len: usize,
     ) -> Result<Vec<u8>, ErasureError> {
+        let mut out = Vec::new();
+        self.decode_into(shards, len, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`ErasureCoder::decode`] into a caller-owned output buffer.
+    pub fn decode_into(
+        &self,
+        shards: &[Option<Vec<u8>>],
+        len: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<(), ErasureError> {
+        let refs: Vec<Option<&[u8]>> = shards.iter().map(|s| s.as_deref()).collect();
+        self.decode_refs(&refs, len, out)
+    }
+
+    /// Core decode over borrowed shards — lets callers that already hold
+    /// shard storage (scrub sets, drive sets) decode without cloning every
+    /// surviving shard first.
+    pub fn decode_refs(
+        &self,
+        shards: &[Option<&[u8]>],
+        len: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<(), ErasureError> {
         if shards.len() != self.total_shards() {
             return Err(ErasureError::BadParameters(format!(
                 "expected {} shard slots, got {}",
@@ -164,10 +215,20 @@ impl ErasureCoder {
                 return Err(ErasureError::ShardLengthMismatch);
             }
         }
+        out.clear();
+        // Fast path: all data shards intact — a straight widening copy.
+        if shards[..self.data_shards].iter().all(Option::is_some) {
+            out.reserve(shard_len * self.data_shards);
+            for s in shards[..self.data_shards].iter() {
+                out.extend_from_slice(s.expect("checked is_some"));
+            }
+            out.truncate(len);
+            return Ok(());
+        }
         let survivors: Vec<usize> = shards
             .iter()
             .enumerate()
-            .filter_map(|(i, s)| s.as_ref().map(|_| i))
+            .filter_map(|(i, s)| s.map(|_| i))
             .collect();
         if survivors.len() < self.data_shards {
             return Err(ErasureError::TooFewShards {
@@ -175,30 +236,22 @@ impl ErasureCoder {
                 need: self.data_shards,
             });
         }
-        // Fast path: all data shards intact.
-        if survivors.iter().take(self.data_shards).eq((0..self.data_shards).collect::<Vec<_>>().iter())
-        {
-            let mut out = Vec::with_capacity(shard_len * self.data_shards);
-            for s in shards[..self.data_shards].iter() {
-                out.extend_from_slice(s.as_ref().unwrap());
-            }
-            out.truncate(len);
-            return Ok(out);
-        }
         // General path: invert the submatrix of the first k surviving rows.
         let rows: Vec<usize> = survivors[..self.data_shards].to_vec();
         let sub: Vec<Vec<u8>> = rows.iter().map(|&r| self.matrix[r].clone()).collect();
-        let sub_inv = invert(sub).expect("any k rows of a Vandermonde-derived matrix are independent");
-        // data_j = Σ_i inv[j][i] * shard[rows[i]]
-        let mut out = vec![0u8; shard_len * self.data_shards];
+        let sub_inv =
+            invert(sub).expect("any k rows of a Vandermonde-derived matrix are independent");
+        // data_j = Σ_i inv[j][i] * shard[rows[i]] — tables are built once
+        // per (j, i) cell and stream whole shards, not per byte.
+        out.resize(shard_len * self.data_shards, 0);
         for (j, inv_row) in sub_inv.iter().enumerate() {
             let dst = &mut out[j * shard_len..(j + 1) * shard_len];
-            for (i, &r) in rows.iter().enumerate() {
-                gf256::mul_acc(dst, shards[r].as_ref().unwrap(), inv_row[i]);
+            for (&c, &r) in inv_row.iter().zip(&rows) {
+                gf256::mul_acc_table(dst, shards[r].expect("survivor"), &MulTable::new(c));
             }
         }
         out.truncate(len);
-        Ok(out)
+        Ok(())
     }
 
     /// Rebuild every missing shard in place (MinIO healing). Requires ≥ k
@@ -208,14 +261,54 @@ impl ErasureCoder {
         shards: &mut [Option<Vec<u8>>],
         len: usize,
     ) -> Result<(), ErasureError> {
-        let data = self.decode(shards, self.shard_len(len.max(1)) * self.data_shards)?;
-        let rebuilt = self.encode(&data);
+        let padded = self.shard_len(len.max(1)) * self.data_shards;
+        let mut data = Vec::new();
+        self.decode_into(shards, padded, &mut data)?;
+        let mut rebuilt = Vec::new();
+        self.encode_into(&data, &mut rebuilt);
         for (slot, shard) in shards.iter_mut().zip(rebuilt) {
             if slot.is_none() {
                 *slot = Some(shard);
             }
         }
         Ok(())
+    }
+}
+
+// The cached tables are derived state: equality and serialization cover
+// only the code geometry, and deserialization rebuilds the tables.
+impl PartialEq for ErasureCoder {
+    fn eq(&self, other: &Self) -> bool {
+        self.data_shards == other.data_shards
+            && self.parity_shards == other.parity_shards
+            && self.matrix == other.matrix
+    }
+}
+
+impl Eq for ErasureCoder {}
+
+impl Serialize for ErasureCoder {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("data_shards".to_string(), self.data_shards.to_value()),
+            ("parity_shards".to_string(), self.parity_shards.to_value()),
+            ("matrix".to_string(), self.matrix.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for ErasureCoder {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let data_shards = usize::from_value(v.field("data_shards")?)?;
+        let parity_shards = usize::from_value(v.field("parity_shards")?)?;
+        let matrix = Vec::<Vec<u8>>::from_value(v.field("matrix")?)?;
+        if matrix.len() != data_shards + parity_shards
+            || matrix.iter().any(|row| row.len() != data_shards)
+        {
+            return Err(serde::Error::msg("erasure matrix shape mismatch"));
+        }
+        let parity_tables = parity_tables_of(&matrix, data_shards);
+        Ok(ErasureCoder { data_shards, parity_shards, matrix, parity_tables })
     }
 }
 
@@ -267,6 +360,30 @@ mod tests {
         (0..len).map(|_| rng.gen()).collect()
     }
 
+    /// Encode with the retained scalar oracle: the original per-call
+    /// allocation pattern and byte-at-a-time kernels.
+    fn encode_scalar(coder: &ErasureCoder, data: &[u8]) -> Vec<Vec<u8>> {
+        let shard_len = coder.shard_len(data.len().max(1));
+        let mut shards: Vec<Vec<u8>> = Vec::with_capacity(coder.total_shards());
+        for i in 0..coder.data_shards() {
+            let start = i * shard_len;
+            let end = (start + shard_len).min(data.len());
+            let mut shard =
+                if start < data.len() { data[start..end].to_vec() } else { Vec::new() };
+            shard.resize(shard_len, 0);
+            shards.push(shard);
+        }
+        for p in 0..coder.parity_shards() {
+            let row = &coder.matrix[coder.data_shards() + p];
+            let mut parity = vec![0u8; shard_len];
+            for (j, shard) in shards[..coder.data_shards()].iter().enumerate() {
+                crate::gf256::scalar::mul_acc(&mut parity, shard, row[j]);
+            }
+            shards.push(parity);
+        }
+        shards
+    }
+
     #[test]
     fn encode_is_systematic() {
         let coder = ErasureCoder::new(4, 2).unwrap();
@@ -280,6 +397,39 @@ mod tests {
             let end = (start + shard_len).min(data.len());
             assert_eq!(&shards[i][..end - start], &data[start..end], "shard {i}");
         }
+    }
+
+    #[test]
+    fn fast_encode_matches_scalar_oracle() {
+        // Differential test across geometries and awkward sizes, including
+        // sizes that don't fill the last shard and sub-word tails.
+        for (k, m) in [(1usize, 0usize), (1, 3), (2, 1), (4, 2), (8, 4), (12, 4)] {
+            let coder = ErasureCoder::new(k, m).unwrap();
+            for len in [0usize, 1, 7, k, k * 8 + 3, 1000, 4096] {
+                let data = sample(len, (k * 1000 + m * 10 + len) as u64);
+                assert_eq!(
+                    coder.encode(&data),
+                    encode_scalar(&coder, &data),
+                    "k={k} m={m} len={len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn encode_into_reuses_buffers_and_matches_encode() {
+        let coder = ErasureCoder::new(4, 2).unwrap();
+        let mut shards = Vec::new();
+        // First call warms the buffers; subsequent calls must not change
+        // capacity (zero-allocation steady state).
+        coder.encode_into(&sample(4096, 1), &mut shards);
+        let caps: Vec<usize> = shards.iter().map(Vec::capacity).collect();
+        let ptrs: Vec<*const u8> = shards.iter().map(|s| s.as_ptr()).collect();
+        let data = sample(4096, 2);
+        coder.encode_into(&data, &mut shards);
+        assert_eq!(shards, coder.encode(&data));
+        assert_eq!(caps, shards.iter().map(Vec::capacity).collect::<Vec<_>>());
+        assert_eq!(ptrs, shards.iter().map(|s| s.as_ptr()).collect::<Vec<_>>());
     }
 
     #[test]
@@ -306,6 +456,19 @@ mod tests {
                 assert_eq!(got, data, "lost shards {a},{b}");
             }
         }
+    }
+
+    #[test]
+    fn decode_refs_avoids_owning_shards() {
+        let coder = ErasureCoder::new(4, 2).unwrap();
+        let data = sample(900, 8);
+        let encoded = coder.encode(&data);
+        let mut refs: Vec<Option<&[u8]>> = encoded.iter().map(|s| Some(s.as_slice())).collect();
+        refs[1] = None;
+        refs[4] = None;
+        let mut out = Vec::new();
+        coder.decode_refs(&refs, data.len(), &mut out).unwrap();
+        assert_eq!(out, data);
     }
 
     #[test]
@@ -388,6 +551,17 @@ mod tests {
         assert!((ErasureCoder::new(4, 2).unwrap().overhead() - 1.5).abs() < 1e-12);
         assert!((ErasureCoder::new(8, 4).unwrap().overhead() - 1.5).abs() < 1e-12);
         assert!((ErasureCoder::new(1, 3).unwrap().overhead() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_roundtrip_rebuilds_cached_tables() {
+        let coder = ErasureCoder::new(4, 2).unwrap();
+        let json = serde_json::to_string(&coder).unwrap();
+        let back: ErasureCoder = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, coder);
+        // The deserialized coder must encode identically (tables rebuilt).
+        let data = sample(500, 11);
+        assert_eq!(back.encode(&data), coder.encode(&data));
     }
 
     #[test]

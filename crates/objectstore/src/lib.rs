@@ -22,6 +22,7 @@
 pub mod drives;
 pub mod erasure;
 pub mod gf256;
+pub mod hash64;
 pub mod multipart;
 pub mod scrub;
 pub mod store;
@@ -29,6 +30,7 @@ pub mod versioning;
 
 pub use drives::{DriveSet, DriveSetError};
 pub use erasure::{ErasureCoder, ErasureError};
+pub use hash64::{checksum64, Hash64};
 pub use multipart::{MultipartError, MultipartUpload};
 pub use scrub::{ScrubbedSet, ScrubReport};
 pub use store::{Bucket, ObjectMeta, ObjectStore, StoreError};

@@ -79,6 +79,18 @@ impl MultipartUpload {
         self.parts.len()
     }
 
+    /// Checksum of the object the staged parts would assemble into,
+    /// computed by streaming the parts in part-number order — no
+    /// concatenation. Matches the ETag [`MultipartUpload::complete`]
+    /// commits, so clients can verify before completing.
+    pub fn staged_checksum(&self) -> u64 {
+        let mut h = crate::hash64::Hash64::new();
+        for data in self.parts.values() {
+            h.update(data);
+        }
+        h.finish()
+    }
+
     /// Complete the upload: concatenate parts in part-number order and
     /// commit as one object (S3 `CompleteMultipartUpload`). `expected`
     /// lists the part numbers the client believes it uploaded; a mismatch
@@ -139,6 +151,17 @@ mod tests {
         assert_eq!(up.staged_parts(), 1);
         up.complete(&[1]).unwrap();
         assert_eq!(s.get_object("registry", "k").unwrap(), Bytes::from_static(b"new"));
+    }
+
+    #[test]
+    fn staged_checksum_matches_committed_etag() {
+        let s = store();
+        let mut up = MultipartUpload::initiate(&s, "registry", "layer");
+        up.upload_part(2, Bytes::from_static(b"world")).unwrap();
+        up.upload_part(1, Bytes::from_static(b"hello ")).unwrap();
+        let staged = up.staged_checksum();
+        let meta = up.complete(&[1, 2]).unwrap();
+        assert_eq!(meta.etag, staged, "streaming checksum equals committed ETag");
     }
 
     #[test]

@@ -31,15 +31,10 @@ impl fmt::Display for ScrubError {
 
 impl std::error::Error for ScrubError {}
 
-/// FNV-1a — fast, deterministic shard checksum (not cryptographic; the
-/// threat is bitrot, not an adversary).
+/// Wide-lane shard checksum (not cryptographic; the threat is bitrot, not
+/// an adversary) — see [`crate::hash64`] for the kernel.
 fn checksum(data: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf29ce484222325;
-    for &b in data {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100000001b3);
-    }
-    h
+    crate::hash64::checksum64(data)
 }
 
 struct Stored {
@@ -87,16 +82,22 @@ impl ScrubbedSet {
             .objects
             .get(key)
             .ok_or_else(|| ScrubError::NoSuchObject(key.to_string()))?;
-        let visible: Vec<Option<Vec<u8>>> = obj
+        // Borrowed-shard decode: corrupt shards are masked without cloning
+        // the healthy ones.
+        let visible: Vec<Option<&[u8]>> = obj
             .shards
             .iter()
             .zip(&obj.sums)
             .map(|(s, &sum)| match s {
-                Some(bytes) if checksum(bytes) == sum => Some(bytes.clone()),
+                Some(bytes) if checksum(bytes) == sum => Some(bytes.as_slice()),
                 _ => None,
             })
             .collect();
-        self.coder.decode(&visible, obj.len).map_err(ScrubError::Unrecoverable)
+        let mut out = Vec::new();
+        self.coder
+            .decode_refs(&visible, obj.len, &mut out)
+            .map_err(ScrubError::Unrecoverable)?;
+        Ok(out)
     }
 
     /// Flip bits in one shard of one object (test/failure injection — this

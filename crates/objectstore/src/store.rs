@@ -70,14 +70,10 @@ impl Bucket {
     }
 }
 
-/// FNV-1a over the object body — cheap deterministic ETag.
+/// Wide-lane checksum over the object body — cheap deterministic ETag
+/// (see [`crate::hash64`] for the kernel).
 fn etag_of(data: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf29ce484222325;
-    for &b in data {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100000001b3);
-    }
-    h
+    crate::hash64::checksum64(data)
 }
 
 /// The MinIO-like store: named buckets under a global capacity quota.

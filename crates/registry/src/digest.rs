@@ -1,6 +1,6 @@
 //! Content digests in Docker's `sha256:<hex>` notation.
 
-use crate::sha256::{sha256, to_hex};
+use crate::sha256::{sha256, sha256_of_parts, to_hex};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
@@ -13,6 +13,13 @@ impl Digest {
     /// Digest of `content`.
     pub fn of(content: &[u8]) -> Self {
         Digest(to_hex(&sha256(content)))
+    }
+
+    /// Digest of a logical concatenation, streamed part by part — lets the
+    /// pull/push paths hash a manifest plus its layer list without ever
+    /// assembling the concatenated buffer.
+    pub fn of_parts<'a>(parts: impl IntoIterator<Item = &'a [u8]>) -> Self {
+        Digest(to_hex(&sha256_of_parts(parts)))
     }
 
     /// The 64-char lowercase hex, without the `sha256:` prefix.

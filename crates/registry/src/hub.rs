@@ -57,6 +57,9 @@ impl HubRegistry {
             self.blobs.insert(l.digest.clone());
         }
         self.blobs.insert(manifest.config.clone());
+        // Manifests are content-addressable blobs in their own right
+        // (clients may pull by digest instead of tag).
+        self.blobs.insert(manifest.digest());
         self.manifests
             .insert((repository.to_string(), tag.to_string()), manifest);
     }
@@ -173,6 +176,7 @@ mod tests {
         for l in &m.layers {
             assert!(hub.has_blob(&l.digest));
         }
+        assert!(hub.has_blob(&m.digest()), "manifest itself is content-addressable");
         assert!(!hub.has_blob(&Digest::of(b"never published")));
     }
 

@@ -29,8 +29,15 @@ impl LayerDescriptor {
     /// of a deterministic seed string, so equal `(name, size)` pairs yield
     /// equal digests — the dedup mechanism.
     pub fn synthetic(name: &str, size: DataSize) -> Self {
-        let seed = format!("layer:{name}:{}", size.as_bytes());
-        LayerDescriptor { digest: Digest::of(seed.as_bytes()), size }
+        // Streamed parts: no concatenated seed string is materialised.
+        let size_dec = size.as_bytes().to_string();
+        let digest = Digest::of_parts([
+            b"layer:".as_slice(),
+            name.as_bytes(),
+            b":",
+            size_dec.as_bytes(),
+        ]);
+        LayerDescriptor { digest, size }
     }
 }
 
@@ -65,7 +72,10 @@ impl ImageManifest {
     }
 
     /// The manifest's own digest (over its canonical JSON), used as the
-    /// image id.
+    /// image id. This equals the SHA-256 of the exact bytes a registry
+    /// stores for the manifest, so pull-by-digest, the regional
+    /// integrity records, and client-side verification all agree on one
+    /// identity — the OCI rule.
     pub fn digest(&self) -> Digest {
         let json = serde_json::to_string(self).expect("manifest serializes");
         Digest::of(json.as_bytes())

@@ -81,11 +81,30 @@ impl RegionalRegistry {
                 .map_err(RegistryError::Storage)?;
         }
         let body = serde_json::to_vec(manifest).expect("manifest serializes");
+        // Record the body's content digest alongside it so reads can
+        // detect storage bitrot on the manifest path — the same integrity
+        // model registries apply to layer blobs. Write order keeps every
+        // partial-failure state resolvable: drop the old sidecar first
+        // (resolve treats a missing record as "verification unavailable",
+        // never as corruption), then the body, then the fresh sidecar.
+        let body_digest = Digest::of(&body);
+        let digest_key = format!("digests/{repository}/{tag}");
+        match self.store.delete_object(MANIFEST_BUCKET, &digest_key) {
+            Ok(()) | Err(StoreError::NoSuchKey(_)) => {}
+            Err(e) => return Err(RegistryError::Storage(e)),
+        }
         self.store
             .put_object(
                 MANIFEST_BUCKET,
                 &format!("manifests/{repository}/{tag}"),
                 Bytes::from(body),
+            )
+            .map_err(RegistryError::Storage)?;
+        self.store
+            .put_object(
+                MANIFEST_BUCKET,
+                &digest_key,
+                Bytes::from(body_digest.hex().to_string().into_bytes()),
             )
             .map_err(RegistryError::Storage)?;
         Ok(())
@@ -122,7 +141,12 @@ impl RegionalRegistry {
         let key = format!("manifests/{repository}/{tag}");
         self.store
             .delete_object(MANIFEST_BUCKET, &key)
-            .map_err(RegistryError::Storage)
+            .map_err(RegistryError::Storage)?;
+        // Integrity sidecar goes with it (absent for pre-digest pushes).
+        match self.store.delete_object(MANIFEST_BUCKET, &format!("digests/{repository}/{tag}")) {
+            Ok(()) | Err(StoreError::NoSuchKey(_)) => Ok(()),
+            Err(e) => Err(RegistryError::Storage(e)),
+        }
     }
 
     /// All stored blob digests.
@@ -178,6 +202,17 @@ impl Registry for RegionalRegistry {
             StoreError::NoSuchKey(_) => RegistryError::ManifestNotFound(reference.canonical()),
             other => RegistryError::Storage(other),
         })?;
+        // Verify the stored body against its recorded content digest — a
+        // rotted manifest must surface as corruption, not parse garbage.
+        let digest_key = format!("digests/{}/{}", reference.repository, reference.tag);
+        if let Ok(recorded) = self.store.get_object(MANIFEST_BUCKET, &digest_key) {
+            let actual = Digest::of(&body);
+            if actual.hex().as_bytes() != &recorded[..] {
+                return Err(RegistryError::CorruptManifest(format!(
+                    "manifest {key} digest mismatch: stored body hashes to {actual}"
+                )));
+            }
+        }
         let manifest: ImageManifest = serde_json::from_slice(&body)
             .map_err(|e| RegistryError::CorruptManifest(e.to_string()))?;
         if manifest.platform != platform {
@@ -275,6 +310,55 @@ mod tests {
         let repos = reg.repositories();
         assert_eq!(repos.len(), 12);
         assert!(repos.iter().all(|r| r.starts_with("aau/")));
+    }
+
+    #[test]
+    fn resolve_detects_manifest_bitrot() {
+        let reg = RegionalRegistry::with_paper_catalog();
+        let r = Reference::new("dcloud2.itec.aau.at", "aau/vp-frame", "amd64");
+        // Healthy resolve first.
+        reg.resolve(&r, Platform::Amd64).unwrap();
+        // Rot the stored manifest body (still valid JSON so only the
+        // digest check can catch it).
+        let key = "manifests/aau/vp-frame/amd64";
+        let body = reg.store().get_object("registry-manifests", key).unwrap();
+        let mut rotted = body.to_vec();
+        let flip = rotted.iter().position(|&b| b == b'a').unwrap();
+        rotted[flip] = b'b';
+        reg.store()
+            .put_object("registry-manifests", key, bytes::Bytes::from(rotted))
+            .unwrap();
+        assert!(matches!(
+            reg.resolve(&r, Platform::Amd64).unwrap_err(),
+            RegistryError::CorruptManifest(_)
+        ));
+    }
+
+    #[test]
+    fn sidecar_digest_equals_manifest_digest() {
+        // One identity everywhere: the recorded integrity digest is the
+        // manifest's own digest (hash of the stored bytes, OCI-style).
+        let reg = RegionalRegistry::with_paper_catalog();
+        let r = Reference::new("dcloud2.itec.aau.at", "aau/tp-retrieve", "amd64");
+        let m = reg.resolve(&r, Platform::Amd64).unwrap();
+        let recorded = reg
+            .store()
+            .get_object("registry-manifests", "digests/aau/tp-retrieve/amd64")
+            .unwrap();
+        assert_eq!(&recorded[..], m.digest().hex().as_bytes());
+    }
+
+    #[test]
+    fn missing_digest_record_degrades_to_unverified_resolve() {
+        // A push interrupted between sidecar delete and sidecar rewrite
+        // leaves no record; resolve must treat that as "verification
+        // unavailable", never as corruption.
+        let reg = RegionalRegistry::with_paper_catalog();
+        reg.store()
+            .delete_object("registry-manifests", "digests/aau/vp-frame/amd64")
+            .unwrap();
+        let r = Reference::new("dcloud2.itec.aau.at", "aau/vp-frame", "amd64");
+        assert!(reg.resolve(&r, Platform::Amd64).is_ok());
     }
 
     #[test]

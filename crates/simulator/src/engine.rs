@@ -59,6 +59,24 @@ impl<E> Engine<E> {
         Engine { heap: BinaryHeap::new(), now: Seconds::ZERO, seq: 0, processed: 0 }
     }
 
+    /// An engine whose event heap is preallocated for `capacity` pending
+    /// events — large fleets schedule whole deployment waves up front, and
+    /// a right-sized heap avoids the realloc/copy churn of growing through
+    /// every power of two.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Engine {
+            heap: BinaryHeap::with_capacity(capacity),
+            now: Seconds::ZERO,
+            seq: 0,
+            processed: 0,
+        }
+    }
+
+    /// Pending-event capacity currently reserved.
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
     /// Current simulated time.
     pub fn now(&self) -> Seconds {
         self.now
@@ -111,6 +129,18 @@ impl<E> Engine<E> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn with_capacity_preallocates_and_behaves_identically() {
+        let mut eng = Engine::with_capacity(64);
+        assert!(eng.capacity() >= 64);
+        for i in 0..64 {
+            eng.schedule_at(Seconds::new(64.0 - i as f64), i);
+        }
+        assert!(eng.capacity() >= 64, "no growth while within capacity");
+        let popped: Vec<i32> = std::iter::from_fn(|| eng.next().map(|(_, e)| e)).collect();
+        assert_eq!(popped, (0..64).rev().collect::<Vec<_>>());
+    }
 
     #[test]
     fn events_pop_in_time_order() {

@@ -15,6 +15,7 @@
 //!   the sampling wall meter (Ketotek's flow). Analytic and instrumented
 //!   energies are both reported; they agree to instrument quantisation.
 
+use crate::engine::Engine;
 use crate::jitter::Jitter;
 use crate::metrics::{MicroserviceMetrics, RunReport};
 use crate::schedule::{RegistryChoice, Schedule};
@@ -200,7 +201,10 @@ pub fn execute(
     for (wave_idx, wave) in waves.iter().enumerate() {
         // ---- Deployment wave: concurrent contended pulls. --------------
         let mut route_load: HashMap<(RegistryChoice, usize), usize> = HashMap::new();
-        let mut wave_span = Seconds::ZERO;
+        // Completion events for the wave, popped in time order from a
+        // heap preallocated to the wave width (no realloc churn when a
+        // fleet deploys hundreds of microservices per wave).
+        let mut completions: Engine<MicroserviceId> = Engine::with_capacity(wave.len());
         for &id in wave {
             let ms = app.microservice(id);
             let placement = schedule.placement(id);
@@ -236,20 +240,29 @@ pub fn execute(
             let t = jitter.apply(outcome.deployment_time());
             td[id.0] = t;
             downloaded_mb[id.0] = outcome.downloaded.as_megabytes();
-            wave_span = wave_span.max(t);
+            completions.schedule_at(t, id);
             // Instrument the deployment phase (deploy + static draw).
             if cfg.instruments {
                 let power = device.power.deploy_watts + device.power.static_watts;
                 instruments.observe(placement.device, power, t);
             }
         }
-        // Deployment is concurrent: the wave advances the clock by its
-        // longest pull.
-        clock += wave_span;
-        for &id in wave {
+        // Deployment is concurrent: drain the completion events in time
+        // order (each finish stamped when its pull actually ends), then
+        // advance the clock by the wave's longest pull.
+        let wave_start = clock;
+        let mut wave_span = Seconds::ZERO;
+        while let Some((t, id)) = completions.next() {
+            wave_span = wave_span.max(t);
             let ms = app.microservice(id);
-            trace.record(clock, TraceKind::DeploymentFinished, schedule.placement(id).device, &ms.name);
+            trace.record(
+                wave_start + t,
+                TraceKind::DeploymentFinished,
+                schedule.placement(id).device,
+                &ms.name,
+            );
         }
+        clock += wave_span;
 
         // ---- Execution: stage members sequential (non-concurrent). -----
         for &id in wave {

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 verification: release build, full test suite, and a compile check
+# of every criterion bench so the bench crate cannot silently rot.
+#
+# Usage: scripts/tier1.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo bench --no-run (bench targets must keep compiling)"
+cargo bench --no-run
+
+echo "tier-1 OK"

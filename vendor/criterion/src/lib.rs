@@ -1,0 +1,246 @@
+//! Minimal stand-in for `criterion`: same macro/builder surface, simple
+//! adaptive timing loop, human-readable one-line reports. Good enough to
+//! compare kernels before/after on one machine; not a statistics engine.
+//!
+//! Tuning via environment:
+//! * `BENCH_MEASURE_MS` — target measurement window per benchmark
+//!   (default 300 ms).
+//! * `BENCH_WARMUP_MS` — warmup window (default 100 ms).
+
+use std::time::{Duration, Instant};
+
+/// Measurement context handed to `b.iter(...)`.
+pub struct Bencher {
+    measure: Duration,
+    warmup: Duration,
+    /// (iterations, elapsed) of the measured window.
+    result: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    fn new(measure: Duration, warmup: Duration) -> Self {
+        Bencher { measure, warmup, result: None }
+    }
+
+    /// Time the closure: warm up, then run batches until the measurement
+    /// window is filled.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup, also estimating a batch size.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warmup || warm_iters == 0 {
+            std::hint::black_box(f());
+            warm_iters += 1;
+            if warm_iters >= 1 << 20 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().checked_div(warm_iters as u32).unwrap_or_default();
+        let batch: u64 = if per_iter.is_zero() {
+            1024
+        } else {
+            (self.measure.as_nanos() / per_iter.as_nanos().max(1) / 8).clamp(1, 1 << 24) as u64
+        };
+        let mut iters: u64 = 0;
+        let start = Instant::now();
+        while start.elapsed() < self.measure {
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            iters += batch;
+        }
+        self.result = Some((iters, start.elapsed()));
+    }
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Benchmark identifier: `name/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{name}/{parameter}") }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+/// Top-level driver.
+pub struct Criterion {
+    measure: Duration,
+    warmup: Duration,
+}
+
+fn env_ms(var: &str, default_ms: u64) -> Duration {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_millis)
+        .unwrap_or(Duration::from_millis(default_ms))
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measure: env_ms("BENCH_MEASURE_MS", 300),
+            warmup: env_ms("BENCH_WARMUP_MS", 100),
+        }
+    }
+}
+
+fn report(name: &str, iters: u64, elapsed: Duration, throughput: Option<Throughput>) {
+    let ns_per_iter = elapsed.as_nanos() as f64 / iters.max(1) as f64;
+    let time = if ns_per_iter >= 1e6 {
+        format!("{:.3} ms", ns_per_iter / 1e6)
+    } else if ns_per_iter >= 1e3 {
+        format!("{:.3} µs", ns_per_iter / 1e3)
+    } else {
+        format!("{ns_per_iter:.1} ns")
+    };
+    let thrpt = match throughput {
+        Some(Throughput::Bytes(bytes)) => {
+            let mib_s = bytes as f64 / (ns_per_iter / 1e9) / (1024.0 * 1024.0);
+            if mib_s >= 1024.0 {
+                format!("   thrpt: {:.3} GiB/s", mib_s / 1024.0)
+            } else {
+                format!("   thrpt: {mib_s:.1} MiB/s")
+            }
+        }
+        Some(Throughput::Elements(n)) => {
+            format!("   thrpt: {:.3} Melem/s", n as f64 / (ns_per_iter / 1e9) / 1e6)
+        }
+        None => String::new(),
+    };
+    println!("{name:<44} time: {time:>12}/iter{thrpt}");
+}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.measure, self.warmup);
+        f(&mut b);
+        if let Some((iters, elapsed)) = b.result {
+            report(id, iters, elapsed, None);
+        }
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named group sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sample-count hint — the adaptive loop ignores it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Measurement-window override for this group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.criterion.measure = t;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher::new(self.criterion.measure, self.criterion.warmup);
+        f(&mut b);
+        if let Some((iters, elapsed)) = b.result {
+            report(&format!("{}/{}", self.name, id.id), iters, elapsed, self.throughput);
+        }
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.criterion.measure, self.criterion.warmup);
+        f(&mut b, input);
+        if let Some((iters, elapsed)) = b.result {
+            report(&format!("{}/{}", self.name, id.id), iters, elapsed, self.throughput);
+        }
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Re-export for benches importing `criterion::black_box`.
+pub use std::hint::black_box;
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        std::env::set_var("BENCH_MEASURE_MS", "5");
+        std::env::set_var("BENCH_WARMUP_MS", "1");
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Bytes(1024));
+        group.bench_with_input(BenchmarkId::from_parameter("p"), &3u32, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+    }
+}

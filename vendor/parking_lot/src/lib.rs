@@ -1,0 +1,77 @@
+//! Minimal stand-in for `parking_lot`: non-poisoning lock wrappers over
+//! the std primitives with the same `read()`/`write()`/`lock()` signatures
+//! (no `Result`, matching parking_lot's API).
+
+use std::sync::{self, LockResult};
+
+/// Reader–writer lock whose guards are returned directly (poison is
+/// swallowed — a panicking writer aborts the simulation anyway).
+#[derive(Debug, Default)]
+pub struct RwLock<T> {
+    inner: sync::RwLock<T>,
+}
+
+fn unpoison<G>(r: LockResult<G>) -> G {
+    match r {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl<T> RwLock<T> {
+    pub fn new(value: T) -> Self {
+        RwLock { inner: sync::RwLock::new(value) }
+    }
+
+    pub fn read(&self) -> sync::RwLockReadGuard<'_, T> {
+        unpoison(self.inner.read())
+    }
+
+    pub fn write(&self) -> sync::RwLockWriteGuard<'_, T> {
+        unpoison(self.inner.write())
+    }
+
+    pub fn into_inner(self) -> T {
+        unpoison(self.inner.into_inner())
+    }
+}
+
+/// Mutex with a direct-guard `lock()`.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        Mutex { inner: sync::Mutex::new(value) }
+    }
+
+    pub fn lock(&self) -> sync::MutexGuard<'_, T> {
+        unpoison(self.inner.lock())
+    }
+
+    pub fn into_inner(self) -> T {
+        unpoison(self.inner.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rwlock_roundtrip() {
+        let l = RwLock::new(5);
+        assert_eq!(*l.read(), 5);
+        *l.write() += 1;
+        assert_eq!(l.into_inner(), 6);
+    }
+
+    #[test]
+    fn mutex_roundtrip() {
+        let m = Mutex::new(String::from("a"));
+        m.lock().push('b');
+        assert_eq!(m.into_inner(), "ab");
+    }
+}

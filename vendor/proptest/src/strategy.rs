@@ -1,0 +1,350 @@
+//! Strategies: deterministic samplers for the input shapes the
+//! workspace's property tests draw from.
+
+/// Deterministic per-case RNG (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from the test name and case index — stable across runs.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRng { state: h ^ ((case as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15)) }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    pub fn next_usize(&mut self, bound: usize) -> usize {
+        assert!(bound > 0);
+        self.next_u64() as usize % bound
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A source of sampled values.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+// Strategies are used by shared reference in helper compositions.
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                self.start + (self.end - self.start) * rng.unit_f64() as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                lo + (hi - lo) * rng.unit_f64() as $t
+            }
+        }
+    )*};
+}
+impl_float_range_strategy!(f32, f64);
+
+/// Types with a whole-domain default strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.unit_f64() * 2e6 - 1e6
+    }
+}
+
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// `any::<T>()` — uniform over the type's domain.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy { _marker: std::marker::PhantomData }
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// String literals are regex strategies, as in real proptest. Supports the
+/// subset the workspace's patterns use: literals, `[...]` classes with
+/// ranges, groups, alternation, and the `?`/`*`/`+`/`{m}`/`{m,n}`
+/// quantifiers (unbounded ones are capped at 8 repeats).
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let node = regex::parse(self);
+        let mut out = String::new();
+        regex::generate(&node, rng, &mut out);
+        out
+    }
+}
+
+mod regex {
+    use super::TestRng;
+
+    pub enum Node {
+        /// Concatenation of quantified atoms.
+        Seq(Vec<(Node, usize, usize)>),
+        /// Alternation.
+        Alt(Vec<Node>),
+        Literal(char),
+        Class(Vec<(char, char)>),
+    }
+
+    pub fn parse(pattern: &str) -> Node {
+        let chars: Vec<char> = pattern.chars().collect();
+        let (node, consumed) = parse_alt(&chars, 0);
+        assert!(
+            consumed == chars.len(),
+            "unsupported regex {pattern:?} (stopped at char {consumed})"
+        );
+        node
+    }
+
+    fn parse_alt(chars: &[char], mut pos: usize) -> (Node, usize) {
+        let mut branches = Vec::new();
+        let (first, next) = parse_seq(chars, pos);
+        branches.push(first);
+        pos = next;
+        while pos < chars.len() && chars[pos] == '|' {
+            let (branch, next) = parse_seq(chars, pos + 1);
+            branches.push(branch);
+            pos = next;
+        }
+        if branches.len() == 1 {
+            (branches.pop().expect("one branch"), pos)
+        } else {
+            (Node::Alt(branches), pos)
+        }
+    }
+
+    fn parse_seq(chars: &[char], mut pos: usize) -> (Node, usize) {
+        let mut atoms = Vec::new();
+        while pos < chars.len() && chars[pos] != '|' && chars[pos] != ')' {
+            let (atom, next) = parse_atom(chars, pos);
+            pos = next;
+            let (min, max, next) = parse_quantifier(chars, pos);
+            pos = next;
+            atoms.push((atom, min, max));
+        }
+        (Node::Seq(atoms), pos)
+    }
+
+    fn parse_atom(chars: &[char], pos: usize) -> (Node, usize) {
+        match chars[pos] {
+            '(' => {
+                let (node, next) = parse_alt(chars, pos + 1);
+                assert!(chars.get(next) == Some(&')'), "unclosed group in regex");
+                (node, next + 1)
+            }
+            '[' => parse_class(chars, pos + 1),
+            '\\' => (Node::Literal(chars[pos + 1]), pos + 2),
+            '.' => (Node::Class(vec![('a', 'z'), ('0', '9')]), pos + 1),
+            c => (Node::Literal(c), pos + 1),
+        }
+    }
+
+    fn parse_class(chars: &[char], mut pos: usize) -> (Node, usize) {
+        let mut ranges = Vec::new();
+        while chars[pos] != ']' {
+            let lo = if chars[pos] == '\\' {
+                pos += 1;
+                chars[pos]
+            } else {
+                chars[pos]
+            };
+            if chars.get(pos + 1) == Some(&'-') && chars.get(pos + 2).is_some_and(|&c| c != ']') {
+                ranges.push((lo, chars[pos + 2]));
+                pos += 3;
+            } else {
+                ranges.push((lo, lo));
+                pos += 1;
+            }
+        }
+        (Node::Class(ranges), pos + 1)
+    }
+
+    fn parse_quantifier(chars: &[char], pos: usize) -> (usize, usize, usize) {
+        match chars.get(pos) {
+            Some('?') => (0, 1, pos + 1),
+            Some('*') => (0, 8, pos + 1),
+            Some('+') => (1, 8, pos + 1),
+            Some('{') => {
+                let close = chars[pos..].iter().position(|&c| c == '}').expect("unclosed {}") + pos;
+                let body: String = chars[pos + 1..close].iter().collect();
+                let (min, max) = match body.split_once(',') {
+                    Some((m, "")) => (m.parse().expect("repeat count"), 8),
+                    Some((m, n)) => (m.parse().expect("repeat count"), n.parse().expect("repeat count")),
+                    None => {
+                        let n = body.parse().expect("repeat count");
+                        (n, n)
+                    }
+                };
+                (min, max, close + 1)
+            }
+            _ => (1, 1, pos),
+        }
+    }
+
+    pub fn generate(node: &Node, rng: &mut TestRng, out: &mut String) {
+        match node {
+            Node::Seq(atoms) => {
+                for (atom, min, max) in atoms {
+                    let n = min + rng.next_usize(max - min + 1);
+                    for _ in 0..n {
+                        generate(atom, rng, out);
+                    }
+                }
+            }
+            Node::Alt(branches) => {
+                let pick = rng.next_usize(branches.len());
+                generate(&branches[pick], rng, out);
+            }
+            Node::Literal(c) => out.push(*c),
+            Node::Class(ranges) => {
+                let total: usize = ranges.iter().map(|(lo, hi)| *hi as usize - *lo as usize + 1).sum();
+                let mut pick = rng.next_usize(total);
+                for (lo, hi) in ranges {
+                    let span = *hi as usize - *lo as usize + 1;
+                    if pick < span {
+                        out.push(char::from_u32(*lo as u32 + pick as u32).expect("class char"));
+                        break;
+                    }
+                    pick -= span;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_sample_in_bounds() {
+        let mut rng = TestRng::for_case("ranges", 0);
+        for _ in 0..200 {
+            let v = (5u64..10).sample(&mut rng);
+            assert!((5..10).contains(&v));
+            let f = (-1.5f64..1.5).sample(&mut rng);
+            assert!((-1.5..1.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn regex_strategy_matches_shape() {
+        let mut rng = TestRng::for_case("regex", 1);
+        for _ in 0..100 {
+            let s = "[a-z][a-z0-9-]{0,12}(/[a-z][a-z0-9-]{0,12})?".sample(&mut rng);
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            for part in s.split('/') {
+                assert!(!part.is_empty());
+                assert!(part.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'));
+            }
+            assert!(s.split('/').count() <= 2);
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_size() {
+        let mut rng = TestRng::for_case("vecs", 2);
+        for _ in 0..50 {
+            let v = crate::collection::vec(any::<u8>(), 0..256usize).sample(&mut rng);
+            assert!(v.len() < 256);
+            let fixed = crate::collection::vec(0.0f64..1.0, 4usize).sample(&mut rng);
+            assert_eq!(fixed.len(), 4);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_case() {
+        let mut a = TestRng::for_case("x", 3);
+        let mut b = TestRng::for_case("x", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let c = TestRng::for_case("x", 4);
+        assert_ne!(a.state, c.state);
+    }
+}

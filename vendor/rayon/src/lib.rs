@@ -1,0 +1,90 @@
+//! Sequential stand-in for `rayon`: the `par_iter`/`into_par_iter`
+//! surface the workspace uses, executed serially. Schedulers in this
+//! workspace are pure functions, so the parallel and serial results are
+//! identical — only wall-clock differs, and correctness tests compare
+//! against serial maps anyway.
+
+pub mod prelude {
+    /// A "parallel" iterator — a plain sequential iterator plus rayon's
+    /// extra adapter names.
+    pub struct ParIter<I>(pub I);
+
+    impl<I: Iterator> Iterator for ParIter<I> {
+        type Item = I::Item;
+
+        fn next(&mut self) -> Option<I::Item> {
+            self.0.next()
+        }
+
+        fn size_hint(&self) -> (usize, Option<usize>) {
+            self.0.size_hint()
+        }
+    }
+
+    impl<I: Iterator> ParIter<I> {
+        /// rayon's `flat_map_iter`: flat-map where the produced iterators
+        /// are consumed serially (which everything here is anyway).
+        pub fn flat_map_iter<U, F>(self, f: F) -> ParIter<std::iter::FlatMap<I, U, F>>
+        where
+            U: IntoIterator,
+            F: FnMut(I::Item) -> U,
+        {
+            ParIter(self.0.flat_map(f))
+        }
+
+        /// rayon's `with_min_len` — a scheduling hint; no-op serially.
+        pub fn with_min_len(self, _len: usize) -> Self {
+            self
+        }
+    }
+
+    /// `collection.into_par_iter()`.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        fn into_par_iter(self) -> ParIter<Self::IntoIter> {
+            ParIter(self.into_iter())
+        }
+    }
+
+    impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+    /// `slice.par_iter()` / `slice.par_iter_mut()`.
+    pub trait ParallelSlice<T> {
+        fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>>;
+        fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>> {
+            ParIter(self.iter())
+        }
+
+        fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>> {
+            ParIter(self.iter_mut())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_serial() {
+        let v = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn into_par_iter_on_ranges() {
+        let squares: Vec<usize> = (0..5usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+    }
+
+    #[test]
+    fn flat_map_iter_flattens() {
+        let nested: Vec<usize> =
+            vec![1usize, 2].par_iter().flat_map_iter(|&n| vec![n; n]).collect();
+        assert_eq!(nested, vec![1, 2, 2]);
+    }
+}

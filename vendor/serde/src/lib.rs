@@ -1,0 +1,349 @@
+//! Minimal, self-contained stand-in for the `serde` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the small slice of serde it actually uses: `#[derive(Serialize,
+//! Deserialize)]` on plain structs, tuple structs, and unit enums, routed
+//! through a self-describing [`Value`] tree that `serde_json` prints and
+//! parses. No `#[serde(...)]` attributes, no generics, no zero-copy — the
+//! workspace needs none of those.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Self-describing data tree — the single intermediate representation
+/// between Rust values and any serialized form.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Value>),
+    /// Insertion-ordered map (JSON objects preserve field order).
+    Map(Vec<(String, Value)>),
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error(pub String);
+
+impl Error {
+    pub fn msg(m: impl Into<String>) -> Self {
+        Error(m.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Value {
+    /// Map field lookup, erroring with the field name on absence.
+    pub fn field(&self, name: &str) -> Result<&Value, Error> {
+        match self {
+            Value::Map(entries) => entries
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| Error(format!("missing field `{name}`"))),
+            other => Err(Error(format!("expected map for field `{name}`, got {other:?}"))),
+        }
+    }
+
+    /// Sequence element lookup (tuple structs).
+    pub fn element(&self, idx: usize) -> Result<&Value, Error> {
+        match self {
+            Value::Seq(items) => items
+                .get(idx)
+                .ok_or_else(|| Error(format!("missing tuple element {idx}"))),
+            other => Err(Error(format!("expected sequence, got {other:?}"))),
+        }
+    }
+
+    /// Unit enum variant name.
+    pub fn variant(&self) -> Result<&str, Error> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(Error(format!("expected variant string, got {other:?}"))),
+        }
+    }
+
+    pub fn as_u64(&self) -> Result<u64, Error> {
+        match *self {
+            Value::U64(n) => Ok(n),
+            Value::I64(n) if n >= 0 => Ok(n as u64),
+            Value::F64(f) if f >= 0.0 && f.fract() == 0.0 => Ok(f as u64),
+            ref other => Err(Error(format!("expected unsigned integer, got {other:?}"))),
+        }
+    }
+
+    pub fn as_i64(&self) -> Result<i64, Error> {
+        match *self {
+            Value::I64(n) => Ok(n),
+            Value::U64(n) if n <= i64::MAX as u64 => Ok(n as i64),
+            Value::F64(f) if f.fract() == 0.0 => Ok(f as i64),
+            ref other => Err(Error(format!("expected integer, got {other:?}"))),
+        }
+    }
+
+    pub fn as_f64(&self) -> Result<f64, Error> {
+        match *self {
+            Value::F64(f) => Ok(f),
+            Value::U64(n) => Ok(n as f64),
+            Value::I64(n) => Ok(n as f64),
+            ref other => Err(Error(format!("expected number, got {other:?}"))),
+        }
+    }
+
+    pub fn as_bool(&self) -> Result<bool, Error> {
+        match *self {
+            Value::Bool(b) => Ok(b),
+            ref other => Err(Error(format!("expected bool, got {other:?}"))),
+        }
+    }
+
+    pub fn as_str(&self) -> Result<&str, Error> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(Error(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+/// Types convertible into a [`Value`].
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`].
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = v.as_u64()?;
+                <$t>::try_from(n).map_err(|_| Error(format!("{n} out of range")))
+            }
+        }
+    )*};
+}
+impl_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::I64(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = v.as_i64()?;
+                <$t>::try_from(n).map_err(|_| Error(format!("{n} out of range")))
+            }
+        }
+    )*};
+}
+impl_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+    }
+}
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.as_f64()? as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool()
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str().map(str::to_string)
+    }
+}
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+// `&'static str` fields (paper-table constants) deserialize by leaking the
+// owned copy — the only consumers are static reference tables, so at most
+// a handful of small strings ever leak.
+impl Deserialize for &'static str {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(Box::leak(v.as_str()?.to_string().into_boxed_str()))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error(format!("expected sequence, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::from_value(v)?;
+        <[T; N]>::try_from(items)
+            .map_err(|items| Error(format!("expected {N} elements, got {}", items.len())))
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+),)*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                Ok(($($t::from_value(v.element($n)?)?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+    }
+}
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            other => Err(Error(format!("expected map, got {other:?}"))),
+        }
+    }
+}
+
+impl<V: Serialize, S: std::hash::BuildHasher> Serialize for std::collections::HashMap<String, V, S> {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> =
+            self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(entries)
+    }
+}
+impl<V: Deserialize, S: std::hash::BuildHasher + Default> Deserialize
+    for std::collections::HashMap<String, V, S>
+{
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            other => Err(Error(format!("expected map, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}

@@ -1,0 +1,286 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Hand-parses the item's token stream (no `syn`/`quote` available
+//! offline) and emits `Serialize`/`Deserialize` impls against the
+//! [`serde::Value`] data model. Supported shapes — the only ones the
+//! workspace uses:
+//!
+//! * structs with named fields       → `Value::Map`
+//! * newtype structs `S(T)`          → the inner value, transparently
+//! * wider tuple structs `S(A, B)`   → `Value::Seq`
+//! * enums with only unit variants   → `Value::Str(variant_name)`
+//!
+//! Generics and `#[serde(...)]` attributes are unsupported and rejected
+//! with a compile error rather than silently mishandled.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Which::Serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Which::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Which {
+    Serialize,
+    Deserialize,
+}
+
+enum Shape {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<String>),
+}
+
+fn expand(input: TokenStream, which: Which) -> TokenStream {
+    match parse(input) {
+        Ok((name, shape)) => generate(&name, &shape, which).parse().expect("generated code parses"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().expect("error tokens parse"),
+    }
+}
+
+/// Extract the item name and field/variant layout from the derive input.
+fn parse(input: TokenStream) -> Result<(String, Shape), String> {
+    let mut iter = input.into_iter().peekable();
+    let mut is_enum = false;
+    // Skip attributes and visibility until the `struct`/`enum` keyword.
+    loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next(); // the bracketed attribute body
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" {
+                    break;
+                }
+                if s == "enum" {
+                    is_enum = true;
+                    break;
+                }
+                // `pub` / `crate` etc. — skip, plus any `(...)` restriction.
+                if s == "pub" {
+                    if let Some(TokenTree::Group(_)) = iter.peek() {
+                        iter.next();
+                    }
+                }
+            }
+            Some(_) => {}
+            None => return Err("derive input without struct/enum".into()),
+        }
+    }
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    if matches!(&iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("cannot derive serde for generic type `{name}`"));
+    }
+    let body = iter.next();
+    if is_enum {
+        let group = match body {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+            other => return Err(format!("expected enum body, got {other:?}")),
+        };
+        return Ok((name, Shape::Enum(parse_variants(group.stream())?)));
+    }
+    match body {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Ok((name, Shape::Named(parse_named_fields(g.stream())?)))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Ok((name, Shape::Tuple(count_tuple_fields(g.stream()))))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok((name, Shape::Unit)),
+        other => Err(format!("unsupported struct body: {other:?}")),
+    }
+}
+
+/// Field names from `{ a: T, pub b: U, ... }`. Commas inside `<...>` are
+/// not separators; groups (parens/brackets/braces) arrive pre-balanced as
+/// single tokens so only angle brackets need depth tracking.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Skip attributes (doc comments included) and visibility.
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    iter.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    iter.next();
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        match iter.next() {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            None => break,
+            other => return Err(format!("expected field name, got {other:?}")),
+        }
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field, got {other:?}")),
+        }
+        // Consume the type up to the next top-level comma.
+        let mut angle: i32 = 0;
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => angle += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => angle -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle == 0 => {
+                    iter.next();
+                    break;
+                }
+                None => break,
+                _ => {}
+            }
+            iter.next();
+        }
+    }
+    Ok(fields)
+}
+
+/// Field count of a tuple struct body `(pub A, B, ...)`.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut angle: i32 = 0;
+    let mut saw_any = false;
+    for tt in body {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => count += 1,
+            _ => saw_any = true,
+        }
+    }
+    if saw_any {
+        count + 1
+    } else {
+        count
+    }
+}
+
+/// Variant names of a unit-only enum; data variants are rejected.
+fn parse_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    iter.next();
+                }
+                _ => break,
+            }
+        }
+        match iter.next() {
+            Some(TokenTree::Ident(id)) => variants.push(id.to_string()),
+            None => break,
+            other => return Err(format!("expected variant name, got {other:?}")),
+        }
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(TokenTree::Group(_)) => {
+                return Err("serde derive stub supports unit enum variants only".into())
+            }
+            None => break,
+            other => return Err(format!("unexpected token after variant: {other:?}")),
+        }
+    }
+    Ok(variants)
+}
+
+fn generate(name: &str, shape: &Shape, which: Which) -> String {
+    match which {
+        Which::Serialize => gen_serialize(name, shape),
+        Which::Deserialize => gen_deserialize(name, shape),
+    }
+}
+
+fn gen_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from({v:?}))"
+                    )
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{ fn to_value(&self) -> ::serde::Value {{ {body} }} }}"
+    )
+}
+
+fn gen_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::from_value(v.field({f:?})?)?"))
+                .collect();
+            format!("::std::result::Result::Ok({name} {{ {} }})", inits.join(", "))
+        }
+        Shape::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(v.element({i})?)?"))
+                .collect();
+            format!("::std::result::Result::Ok({name}({}))", items.join(", "))
+        }
+        Shape::Unit => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{v:?} => ::std::result::Result::Ok({name}::{v})"))
+                .collect();
+            format!(
+                "match v.variant()? {{ {}, other => ::std::result::Result::Err(::serde::Error::msg(::std::format!(\"unknown variant {{other}} for {name}\"))) }}",
+                arms.join(", ")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{ fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }} }}"
+    )
+}
