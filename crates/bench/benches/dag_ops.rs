@@ -40,14 +40,17 @@ fn bench_critical_path(c: &mut Criterion) {
         let app = gen.generate(5);
         group.bench_with_input(BenchmarkId::from_parameter(label), &app, |b, app| {
             b.iter(|| {
-                black_box(critical_path(app, |id| {
-                    app.microservice(id).requirements.cpu.as_f64()
-                }))
+                black_box(critical_path(app, |id| app.microservice(id).requirements.cpu.as_f64()))
             })
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_generation_and_validation, bench_stage_decomposition, bench_critical_path);
+criterion_group!(
+    benches,
+    bench_generation_and_validation,
+    bench_stage_decomposition,
+    bench_critical_path
+);
 criterion_main!(benches);

@@ -17,6 +17,7 @@ struct Gf256Tables {
     exp: [u8; 512],
 }
 
+#[allow(clippy::needless_range_loop)] // `i` indexes `exp` and `log` together
 fn gf_tables() -> Gf256Tables {
     let mut log = [0u8; 256];
     let mut exp = [0u8; 512];
@@ -92,7 +93,13 @@ fn seed_compress(state: &mut [u32; 8], block: &[u8]) {
 fn seed_sha256_blocks(data: &[u8]) -> [u32; 8] {
     // Whole blocks only — enough for a throughput baseline.
     let mut state = [
-        0x6a09e667u32, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+        0x6a09e667u32,
+        0xbb67ae85,
+        0x3c6ef372,
+        0xa54ff53a,
+        0x510e527f,
+        0x9b05688c,
+        0x1f83d9ab,
         0x5be0cd19,
     ];
     for block in data.chunks_exact(64) {
@@ -143,9 +150,8 @@ fn bench_seed_rs_encode(c: &mut Criterion) {
         let coder = deep_objectstore::ErasureCoder::new(k, m).unwrap();
         let shard_len = coder.shard_len(data.len());
         // Vandermonde-derived parity coefficients, same as the coder's.
-        let rows: Vec<Vec<u8>> = (0..m)
-            .map(|p| (0..k).map(|j| ((p * k + j) % 254 + 2) as u8).collect())
-            .collect();
+        let rows: Vec<Vec<u8>> =
+            (0..m).map(|p| (0..k).map(|j| ((p * k + j) % 254 + 2) as u8).collect()).collect();
         let data_shards: Vec<Vec<u8>> = (0..k)
             .map(|i| {
                 let start = (i * shard_len).min(data.len());

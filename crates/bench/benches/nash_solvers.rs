@@ -39,9 +39,7 @@ fn bench_lemke_howson(c: &mut Criterion) {
 fn bench_deployment_shaped_game(c: &mut Criterion) {
     // The 2×2 (registry × device) game DEEP solves per microservice.
     let game = random_bimatrix(2, 2, 99);
-    c.bench_function("deep_stage_game_2x2", |b| {
-        b.iter(|| black_box(support_enumeration(&game)))
-    });
+    c.bench_function("deep_stage_game_2x2", |b| b.iter(|| black_box(support_enumeration(&game))));
     let pd = classic::prisoners_dilemma();
     c.bench_function("prisoners_dilemma", |b| b.iter(|| black_box(support_enumeration(&pd))));
 }

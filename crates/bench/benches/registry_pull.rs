@@ -53,10 +53,8 @@ fn bench_catalog_wide_pull(c: &mut Criterion) {
     // warm-up path).
     let hub = HubRegistry::with_paper_catalog();
     let p = planner();
-    let refs: Vec<Reference> = deep_registry::paper_catalog()
-        .iter()
-        .map(|e| e.hub_reference(Platform::Amd64))
-        .collect();
+    let refs: Vec<Reference> =
+        deep_registry::paper_catalog().iter().map(|e| e.hub_reference(Platform::Amd64)).collect();
     c.bench_function("pull_entire_catalog_amd64", |b| {
         b.iter(|| {
             let mut cache = LayerCache::new(DataSize::gigabytes(64.0));

@@ -12,7 +12,10 @@ fn main() {
     let h = exp.headline();
     println!("=== Headline ===");
     for ((app, joules), (_, frac)) in h.savings_vs_hub_j.iter().zip(&h.savings_vs_hub_frac) {
-        println!("{app}: DEEP saves {joules:.1} J ({:.2} %) vs exclusively-Docker-Hub", frac * 100.0);
+        println!(
+            "{app}: DEEP saves {joules:.1} J ({:.2} %) vs exclusively-Docker-Hub",
+            frac * 100.0
+        );
     }
     println!("text regional share: {:.0} %", h.text_regional_share * 100.0);
 }

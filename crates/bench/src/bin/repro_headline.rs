@@ -14,5 +14,7 @@ fn main() {
         "  text-processing    regional pull share: {:.0} % (paper: 83 %)",
         h.text_regional_share * 100.0
     );
-    println!("\npaper: video ~14 J (0.2 %), text ~18 J (0.34 %); shape preserved, see EXPERIMENTS.md.");
+    println!(
+        "\npaper: video ~14 J (0.2 %), text ~18 J (0.34 %); shape preserved, see EXPERIMENTS.md."
+    );
 }

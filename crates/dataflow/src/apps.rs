@@ -58,21 +58,98 @@ impl MsSpec {
 }
 
 const VIDEO_SPECS: [MsSpec; 6] = [
-    MsSpec { name: "transcode", size_gb: 0.17, tp_medium_s: 18.25, cores: 1, mem_gb: 1.0, stor_gb: 2.0 },
+    MsSpec {
+        name: "transcode",
+        size_gb: 0.17,
+        tp_medium_s: 18.25,
+        cores: 1,
+        mem_gb: 1.0,
+        stor_gb: 2.0,
+    },
     MsSpec { name: "frame", size_gb: 0.70, tp_medium_s: 15.0, cores: 1, mem_gb: 1.0, stor_gb: 4.0 },
-    MsSpec { name: "ha-train", size_gb: 5.78, tp_medium_s: 122.5, cores: 4, mem_gb: 4.0, stor_gb: 16.0 },
-    MsSpec { name: "la-train", size_gb: 5.78, tp_medium_s: 92.0, cores: 2, mem_gb: 2.0, stor_gb: 16.0 },
-    MsSpec { name: "ha-infer", size_gb: 3.53, tp_medium_s: 39.5, cores: 2, mem_gb: 2.0, stor_gb: 10.0 },
-    MsSpec { name: "la-infer", size_gb: 3.54, tp_medium_s: 39.0, cores: 1, mem_gb: 1.0, stor_gb: 10.0 },
+    MsSpec {
+        name: "ha-train",
+        size_gb: 5.78,
+        tp_medium_s: 122.5,
+        cores: 4,
+        mem_gb: 4.0,
+        stor_gb: 16.0,
+    },
+    MsSpec {
+        name: "la-train",
+        size_gb: 5.78,
+        tp_medium_s: 92.0,
+        cores: 2,
+        mem_gb: 2.0,
+        stor_gb: 16.0,
+    },
+    MsSpec {
+        name: "ha-infer",
+        size_gb: 3.53,
+        tp_medium_s: 39.5,
+        cores: 2,
+        mem_gb: 2.0,
+        stor_gb: 10.0,
+    },
+    MsSpec {
+        name: "la-infer",
+        size_gb: 3.54,
+        tp_medium_s: 39.0,
+        cores: 1,
+        mem_gb: 1.0,
+        stor_gb: 10.0,
+    },
 ];
 
 const TEXT_SPECS: [MsSpec; 6] = [
-    MsSpec { name: "retrieve", size_gb: 0.14, tp_medium_s: 50.0, cores: 1, mem_gb: 0.5, stor_gb: 2.0 },
-    MsSpec { name: "decompress", size_gb: 0.78, tp_medium_s: 41.0, cores: 1, mem_gb: 1.0, stor_gb: 4.0 },
-    MsSpec { name: "ha-train", size_gb: 2.36, tp_medium_s: 141.5, cores: 4, mem_gb: 4.0, stor_gb: 8.0 },
-    MsSpec { name: "la-train", size_gb: 2.36, tp_medium_s: 88.0, cores: 2, mem_gb: 2.0, stor_gb: 8.0 },
-    MsSpec { name: "ha-score", size_gb: 0.63, tp_medium_s: 75.0, cores: 2, mem_gb: 1.0, stor_gb: 3.0 },
-    MsSpec { name: "la-score", size_gb: 0.63, tp_medium_s: 76.5, cores: 1, mem_gb: 1.0, stor_gb: 3.0 },
+    MsSpec {
+        name: "retrieve",
+        size_gb: 0.14,
+        tp_medium_s: 50.0,
+        cores: 1,
+        mem_gb: 0.5,
+        stor_gb: 2.0,
+    },
+    MsSpec {
+        name: "decompress",
+        size_gb: 0.78,
+        tp_medium_s: 41.0,
+        cores: 1,
+        mem_gb: 1.0,
+        stor_gb: 4.0,
+    },
+    MsSpec {
+        name: "ha-train",
+        size_gb: 2.36,
+        tp_medium_s: 141.5,
+        cores: 4,
+        mem_gb: 4.0,
+        stor_gb: 8.0,
+    },
+    MsSpec {
+        name: "la-train",
+        size_gb: 2.36,
+        tp_medium_s: 88.0,
+        cores: 2,
+        mem_gb: 2.0,
+        stor_gb: 8.0,
+    },
+    MsSpec {
+        name: "ha-score",
+        size_gb: 0.63,
+        tp_medium_s: 75.0,
+        cores: 2,
+        mem_gb: 1.0,
+        stor_gb: 3.0,
+    },
+    MsSpec {
+        name: "la-score",
+        size_gb: 0.63,
+        tp_medium_s: 76.5,
+        cores: 1,
+        mem_gb: 1.0,
+        stor_gb: 3.0,
+    },
 ];
 
 /// Build the video-processing application (Figure 2a).

@@ -67,7 +67,12 @@ impl ApplicationBuilder {
     }
 
     /// Convenience: microservice with [`Requirements::minimal`].
-    pub fn simple(&mut self, name: impl Into<String>, image_size: DataSize, cpu: Mi) -> MicroserviceId {
+    pub fn simple(
+        &mut self,
+        name: impl Into<String>,
+        image_size: DataSize,
+        cpu: Mi,
+    ) -> MicroserviceId {
         self.microservice(name, image_size, Requirements::minimal(cpu))
     }
 

@@ -104,8 +104,7 @@ impl Application {
         }
         // Kahn's algorithm: topological order, cycle detection.
         let mut indeg: Vec<usize> = pred.iter().map(Vec::len).collect();
-        let mut queue: VecDeque<usize> =
-            (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut queue: VecDeque<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
         let mut topo = Vec::with_capacity(n);
         while let Some(i) = queue.pop_front() {
             topo.push(MicroserviceId(i));
@@ -151,10 +150,7 @@ impl Application {
 
     /// Find a microservice by name.
     pub fn by_name(&self, name: &str) -> Option<MicroserviceId> {
-        self.microservices
-            .iter()
-            .position(|m| m.name == name)
-            .map(MicroserviceId)
+        self.microservices.iter().position(|m| m.name == name).map(MicroserviceId)
     }
 
     /// All dataflows.
@@ -214,12 +210,7 @@ impl Application {
         writeln!(out, "digraph \"{}\" {{", self.name).unwrap();
         writeln!(out, "  rankdir=LR;").unwrap();
         for (i, m) in self.microservices.iter().enumerate() {
-            writeln!(
-                out,
-                "  m{} [label=\"{}\\n{}\"];",
-                i, m.name, m.image_size
-            )
-            .unwrap();
+            writeln!(out, "  m{} [label=\"{}\\n{}\"];", i, m.name, m.image_size).unwrap();
         }
         for f in &self.flows {
             writeln!(out, "  m{} -> m{} [label=\"{}\"];", f.from.0, f.to.0, f.size).unwrap();

@@ -102,12 +102,8 @@ mod tests {
 
     #[test]
     fn boundary_is_inclusive() {
-        let req = Requirements::new(
-            4,
-            Mi::new(1.0),
-            DataSize::gigabytes(8.0),
-            DataSize::gigabytes(32.0),
-        );
+        let req =
+            Requirements::new(4, Mi::new(1.0), DataSize::gigabytes(8.0), DataSize::gigabytes(32.0));
         // The small testbed device exactly: 4 cores, 8 GB, 32 GB.
         assert!(req.fits(4, DataSize::gigabytes(8.0), DataSize::gigabytes(32.0)));
     }
@@ -140,19 +136,30 @@ mod class_tests {
     #[test]
     fn pinned_requirements_reject_other_classes() {
         let req = Requirements::minimal(Mi::new(1.0)).pinned_to(DeviceClass::Edge);
-        assert!(req.fits_class(4, DataSize::gigabytes(1.0), DataSize::gigabytes(1.0), DeviceClass::Edge));
-        assert!(!req.fits_class(4, DataSize::gigabytes(1.0), DataSize::gigabytes(1.0), DeviceClass::Cloud));
+        assert!(req.fits_class(
+            4,
+            DataSize::gigabytes(1.0),
+            DataSize::gigabytes(1.0),
+            DeviceClass::Edge
+        ));
+        assert!(!req.fits_class(
+            4,
+            DataSize::gigabytes(1.0),
+            DataSize::gigabytes(1.0),
+            DeviceClass::Cloud
+        ));
     }
 
     #[test]
     fn class_constraint_does_not_bypass_resources() {
-        let req = Requirements::new(
-            8,
-            Mi::new(1.0),
-            DataSize::gigabytes(1.0),
-            DataSize::gigabytes(1.0),
-        )
-        .pinned_to(DeviceClass::Cloud);
-        assert!(!req.fits_class(4, DataSize::gigabytes(16.0), DataSize::gigabytes(64.0), DeviceClass::Cloud));
+        let req =
+            Requirements::new(8, Mi::new(1.0), DataSize::gigabytes(1.0), DataSize::gigabytes(1.0))
+                .pinned_to(DeviceClass::Cloud);
+        assert!(!req.fits_class(
+            4,
+            DataSize::gigabytes(16.0),
+            DataSize::gigabytes(64.0),
+            DeviceClass::Cloud
+        ));
     }
 }

@@ -30,17 +30,12 @@ pub fn stages(app: &Application) -> Vec<Stage> {
     let mut depth = vec![0usize; n];
     // Topological order guarantees producers are finalised first.
     for &id in app.topological_order() {
-        let d = app
-            .predecessors(id)
-            .map(|p| depth[p.0] + 1)
-            .max()
-            .unwrap_or(0);
+        let d = app.predecessors(id).map(|p| depth[p.0] + 1).max().unwrap_or(0);
         depth[id.0] = d;
     }
     let max_depth = depth.iter().copied().max().unwrap_or(0);
-    let mut out: Vec<Stage> = (0..=max_depth)
-        .map(|d| Stage { depth: d, members: Vec::new() })
-        .collect();
+    let mut out: Vec<Stage> =
+        (0..=max_depth).map(|d| Stage { depth: d, members: Vec::new() }).collect();
     for i in 0..n {
         out[depth[i]].members.push(MicroserviceId(i));
     }
@@ -81,14 +76,8 @@ mod tests {
         assert_eq!(st.len(), 4);
         assert_eq!(st[0].members, vec![app.by_name("a").unwrap()]);
         assert_eq!(st[1].members, vec![app.by_name("b").unwrap()]);
-        assert_eq!(
-            st[2].members,
-            vec![app.by_name("c1").unwrap(), app.by_name("c2").unwrap()]
-        );
-        assert_eq!(
-            st[3].members,
-            vec![app.by_name("d1").unwrap(), app.by_name("d2").unwrap()]
-        );
+        assert_eq!(st[2].members, vec![app.by_name("c1").unwrap(), app.by_name("c2").unwrap()]);
+        assert_eq!(st[3].members, vec![app.by_name("d1").unwrap(), app.by_name("d2").unwrap()]);
     }
 
     #[test]
@@ -138,9 +127,8 @@ mod tests {
         // Every producer must live in a strictly earlier stage.
         let app = pipeline4();
         let st = stages(&app);
-        let stage_of = |id: MicroserviceId| {
-            st.iter().position(|s| s.members.contains(&id)).unwrap()
-        };
+        let stage_of =
+            |id: MicroserviceId| st.iter().position(|s| s.members.contains(&id)).unwrap();
         for f in app.flows() {
             assert!(stage_of(f.from) < stage_of(f.to));
         }

@@ -39,7 +39,12 @@ impl AblationRow {
     }
 }
 
-fn run_energy(tb_builder: impl Fn() -> Testbed, app: &Application, schedule: &Schedule, cfg: &ExecutorConfig) -> f64 {
+fn run_energy(
+    tb_builder: impl Fn() -> Testbed,
+    app: &Application,
+    schedule: &Schedule,
+    cfg: &ExecutorConfig,
+) -> f64 {
     let mut tb = tb_builder();
     let (report, _) = execute(&mut tb, app, schedule, cfg).expect("ablation schedule executes");
     report.total_energy().as_f64()

@@ -34,9 +34,10 @@ impl ExclusiveRegistry {
 
 impl Scheduler for ExclusiveRegistry {
     fn name(&self) -> &str {
-        match self.registry {
-            RegistryChoice::Hub => "exclusively-docker-hub",
-            RegistryChoice::Regional => "exclusively-regional",
+        match self.registry.registry_id().0 {
+            0 => "exclusively-docker-hub",
+            1 => "exclusively-regional",
+            _ => "exclusively-mesh-source",
         }
     }
 
@@ -91,8 +92,7 @@ impl Scheduler for GreedyDecoupled {
                         let cost = |d| {
                             let dev = testbed.device(d);
                             let tp = dev.processing_time(&scoped, ms.requirements.cpu);
-                            ((dev.process_watts(&scoped) + dev.power.static_watts) * tp)
-                                .as_f64()
+                            ((dev.process_watts(&scoped) + dev.power.static_watts) * tp).as_f64()
                         };
                         cost(a).partial_cmp(&cost(b)).expect("not NaN")
                     })
@@ -131,11 +131,8 @@ impl Scheduler for RoundRobin {
             .map(|id| {
                 let devices = ctx.admissible_devices(id);
                 let device = devices[id.0 % devices.len()];
-                let registry = if id.0 % 2 == 0 {
-                    RegistryChoice::Hub
-                } else {
-                    RegistryChoice::Regional
-                };
+                let registry =
+                    if id.0 % 2 == 0 { RegistryChoice::Hub } else { RegistryChoice::Regional };
                 Placement { registry, device }
             })
             .collect();
@@ -162,11 +159,8 @@ impl Scheduler for RandomScheduler {
             .map(|id| {
                 let devices = ctx.admissible_devices(id);
                 let device = *devices.choose(&mut rng).expect("admissible device exists");
-                let registry = if rng.gen_bool(0.5) {
-                    RegistryChoice::Hub
-                } else {
-                    RegistryChoice::Regional
-                };
+                let registry =
+                    if rng.gen_bool(0.5) { RegistryChoice::Hub } else { RegistryChoice::Regional };
                 Placement { registry, device }
             })
             .collect();
@@ -210,14 +204,9 @@ mod tests {
         for app in apps::case_studies() {
             let deep = total_energy(&DeepScheduler::paper().schedule(&app, &tb), &app);
             let hub = total_energy(&ExclusiveRegistry::hub().schedule(&app, &tb), &app);
-            let regional =
-                total_energy(&ExclusiveRegistry::regional().schedule(&app, &tb), &app);
+            let regional = total_energy(&ExclusiveRegistry::regional().schedule(&app, &tb), &app);
             assert!(deep <= hub + 1e-6, "{}: deep {deep} vs hub {hub}", app.name());
-            assert!(
-                deep <= regional + 1e-6,
-                "{}: deep {deep} vs regional {regional}",
-                app.name()
-            );
+            assert!(deep <= regional + 1e-6, "{}: deep {deep} vs regional {regional}", app.name());
         }
     }
 

@@ -83,18 +83,126 @@ pub fn paper_rows() -> Vec<PaperRow> {
         };
     }
     vec![
-        row!("video-processing", "transcode", 0.17, (17.5, 19.0), (82.0, 85.0), (856.0, 859.0), (340.0, 355.0), 1.0),
-        row!("video-processing", "frame", 0.70, (10.0, 20.0), (147.0, 184.0), (355.0, 378.0), (557.0, 679.0), 3.2),
-        row!("video-processing", "ha-train", 5.78, (121.0, 124.0), (1071.0, 1421.0), (3240.0, 3288.0), (4654.0, 5472.0), 3.2),
-        row!("video-processing", "la-train", 5.78, (87.0, 97.0), (1058.0, 1297.0), (1834.0, 1849.0), (3995.0, 4700.0), 3.2),
-        row!("video-processing", "ha-infer", 3.53, (38.0, 41.0), (356.0, 435.0), (849.0, 850.0), (1423.0, 1602.0), 3.2),
-        row!("video-processing", "la-infer", 3.54, (38.0, 40.0), (350.0, 429.0), (819.0, 842.0), (1400.0, 1590.0), 3.2),
-        row!("text-processing", "retrieve", 0.14, (42.0, 58.0), (331.0, 334.0), (144.0, 173.0), (1136.0, 1183.0), 1.1),
-        row!("text-processing", "decompress", 0.78, (27.0, 55.0), (290.0, 331.0), (415.0, 432.0), (1037.0, 1143.0), 1.1),
-        row!("text-processing", "ha-train", 2.36, (139.0, 144.0), (427.0, 507.0), (3482.0, 3728.0), (1638.0, 1903.0), 1.1),
-        row!("text-processing", "la-train", 2.36, (87.0, 89.0), (288.0, 363.0), (1622.0, 1642.0), (870.0, 985.0), 1.1),
-        row!("text-processing", "ha-score", 0.63, (74.0, 76.0), (177.0, 211.0), (1228.0, 1319.0), (675.0, 786.0), 1.1),
-        row!("text-processing", "la-score", 0.63, (75.0, 78.0), (175.0, 210.0), (1295.0, 1299.0), (670.0, 785.0), 1.1),
+        row!(
+            "video-processing",
+            "transcode",
+            0.17,
+            (17.5, 19.0),
+            (82.0, 85.0),
+            (856.0, 859.0),
+            (340.0, 355.0),
+            1.0
+        ),
+        row!(
+            "video-processing",
+            "frame",
+            0.70,
+            (10.0, 20.0),
+            (147.0, 184.0),
+            (355.0, 378.0),
+            (557.0, 679.0),
+            3.2
+        ),
+        row!(
+            "video-processing",
+            "ha-train",
+            5.78,
+            (121.0, 124.0),
+            (1071.0, 1421.0),
+            (3240.0, 3288.0),
+            (4654.0, 5472.0),
+            3.2
+        ),
+        row!(
+            "video-processing",
+            "la-train",
+            5.78,
+            (87.0, 97.0),
+            (1058.0, 1297.0),
+            (1834.0, 1849.0),
+            (3995.0, 4700.0),
+            3.2
+        ),
+        row!(
+            "video-processing",
+            "ha-infer",
+            3.53,
+            (38.0, 41.0),
+            (356.0, 435.0),
+            (849.0, 850.0),
+            (1423.0, 1602.0),
+            3.2
+        ),
+        row!(
+            "video-processing",
+            "la-infer",
+            3.54,
+            (38.0, 40.0),
+            (350.0, 429.0),
+            (819.0, 842.0),
+            (1400.0, 1590.0),
+            3.2
+        ),
+        row!(
+            "text-processing",
+            "retrieve",
+            0.14,
+            (42.0, 58.0),
+            (331.0, 334.0),
+            (144.0, 173.0),
+            (1136.0, 1183.0),
+            1.1
+        ),
+        row!(
+            "text-processing",
+            "decompress",
+            0.78,
+            (27.0, 55.0),
+            (290.0, 331.0),
+            (415.0, 432.0),
+            (1037.0, 1143.0),
+            1.1
+        ),
+        row!(
+            "text-processing",
+            "ha-train",
+            2.36,
+            (139.0, 144.0),
+            (427.0, 507.0),
+            (3482.0, 3728.0),
+            (1638.0, 1903.0),
+            1.1
+        ),
+        row!(
+            "text-processing",
+            "la-train",
+            2.36,
+            (87.0, 89.0),
+            (288.0, 363.0),
+            (1622.0, 1642.0),
+            (870.0, 985.0),
+            1.1
+        ),
+        row!(
+            "text-processing",
+            "ha-score",
+            0.63,
+            (74.0, 76.0),
+            (177.0, 211.0),
+            (1228.0, 1319.0),
+            (675.0, 786.0),
+            1.1
+        ),
+        row!(
+            "text-processing",
+            "la-score",
+            0.63,
+            (75.0, 78.0),
+            (175.0, 210.0),
+            (1295.0, 1299.0),
+            (670.0, 785.0),
+            1.1
+        ),
     ]
 }
 
@@ -175,8 +283,7 @@ fn derive(row: &PaperRow, testbed: &Testbed) -> CalibratedRow {
 /// factors and processing powers on both devices. Returns the derived
 /// rows for reporting.
 pub fn calibrate(testbed: &mut Testbed) -> Vec<CalibratedRow> {
-    let rows: Vec<CalibratedRow> =
-        paper_rows().iter().map(|r| derive(r, testbed)).collect();
+    let rows: Vec<CalibratedRow> = paper_rows().iter().map(|r| derive(r, testbed)).collect();
     for (paper, cal) in paper_rows().iter().zip(&rows) {
         // Keys are scoped by application: both case studies contain a
         // microservice literally named "ha-train" with different measured

@@ -20,9 +20,7 @@ use crate::Scheduler;
 use deep_dataflow::{apps, Application, ApplicationBuilder, DeviceClass};
 use deep_energy::Joules;
 use deep_netsim::Seconds;
-use deep_simulator::{
-    execute, ExecutorConfig, Schedule, Testbed, DEVICE_CLOUD,
-};
+use deep_simulator::{execute, ExecutorConfig, Schedule, Testbed, DEVICE_CLOUD};
 use serde::{Deserialize, Serialize};
 
 /// A calibrated continuum testbed: the paper's calibration applied to the
@@ -89,8 +87,7 @@ pub struct ContinuumRow {
 impl ContinuumRow {
     /// Relative energy change (negative = continuum saves energy).
     pub fn energy_delta(&self) -> f64 {
-        (self.continuum_energy.as_f64() - self.edge_energy.as_f64())
-            / self.edge_energy.as_f64()
+        (self.continuum_energy.as_f64() - self.edge_energy.as_f64()) / self.edge_energy.as_f64()
     }
 }
 
@@ -245,11 +242,7 @@ mod tests {
         let tb = continuum_testbed();
         for app in continuum_case_studies() {
             let schedule = DeepScheduler::paper().schedule(&app, &tb);
-            assert!(
-                DeepScheduler::is_joint_equilibrium(&app, &tb, &schedule),
-                "{}",
-                app.name()
-            );
+            assert!(DeepScheduler::is_joint_equilibrium(&app, &tb, &schedule), "{}", app.name());
         }
     }
 

@@ -19,6 +19,11 @@ pub struct DistributionRow {
 }
 
 /// Compute Table III rows for one application's schedule.
+///
+/// Table III has exactly the paper's two registry columns; mesh sources
+/// beyond the Hub/Regional pair are not counted here (their shares would
+/// be misattributed) — use [`Schedule::distribution`] for the general
+/// per-source breakdown.
 pub fn distribution_table(app: &Application, schedule: &Schedule) -> Vec<DistributionRow> {
     let mut rows = Vec::with_capacity(2);
     for (device, name) in [(DEVICE_MEDIUM, "medium"), (DEVICE_SMALL, "small")] {
@@ -26,9 +31,10 @@ pub fn distribution_table(app: &Application, schedule: &Schedule) -> Vec<Distrib
         let mut regional = 0usize;
         for (_, p) in schedule.iter() {
             if p.device == device {
-                match p.registry {
-                    RegistryChoice::Hub => hub += 1,
-                    RegistryChoice::Regional => regional += 1,
+                if p.registry == RegistryChoice::Hub {
+                    hub += 1;
+                } else if p.registry == RegistryChoice::Regional {
+                    regional += 1;
                 }
             }
         }

@@ -88,10 +88,7 @@ pub struct Fig3bResult {
 impl Fig3bResult {
     /// Total for `(application, method)`.
     pub fn total(&self, application: &str, method: &str) -> Option<f64> {
-        self.entries
-            .iter()
-            .find(|(a, m, _)| a == application && m == method)
-            .map(|(_, _, e)| *e)
+        self.entries.iter().find(|(a, m, _)| a == application && m == method).map(|(_, _, e)| *e)
     }
 }
 
@@ -157,9 +154,7 @@ impl Experiments {
                         report
                             .microservices
                             .iter()
-                            .map(|m| {
-                                (m.tp.as_f64(), m.ct().as_f64(), m.energy.as_f64())
-                            })
+                            .map(|m| (m.tp.as_f64(), m.ct().as_f64(), m.energy.as_f64()))
                             .collect::<Vec<_>>()
                     })
                     .collect()
@@ -168,10 +163,8 @@ impl Experiments {
             let small_samples = collect(DEVICE_SMALL);
             for id in app.ids() {
                 let ms = app.microservice(id);
-                let med: Vec<(f64, f64, f64)> =
-                    med_samples.iter().map(|t| t[id.0]).collect();
-                let small: Vec<(f64, f64, f64)> =
-                    small_samples.iter().map(|t| t[id.0]).collect();
+                let med: Vec<(f64, f64, f64)> = med_samples.iter().map(|t| t[id.0]).collect();
+                let small: Vec<(f64, f64, f64)> = small_samples.iter().map(|t| t[id.0]).collect();
                 rows.push(Table2Row {
                     application: app.name().to_string(),
                     microservice: ms.name.clone(),
@@ -196,9 +189,7 @@ impl Experiments {
             .map(|r| {
                 let p = paper
                     .iter()
-                    .find(|p| {
-                        p.application == r.application && p.microservice == r.microservice
-                    })
+                    .find(|p| p.application == r.application && p.microservice == r.microservice)
                     .expect("every row has a paper counterpart");
                 vec![
                     r.application.clone(),
@@ -273,11 +264,7 @@ impl Experiments {
 
     /// Render Figure 3a as a text bar chart.
     pub fn render_fig3a(&self, result: &Fig3aResult) -> String {
-        let max = result
-            .rows
-            .iter()
-            .map(|(_, _, e)| *e)
-            .fold(f64::NEG_INFINITY, f64::max);
+        let max = result.rows.iter().map(|(_, _, e)| *e).fold(f64::NEG_INFINITY, f64::max);
         let mut out = String::from("Figure 3a — energy per microservice under DEEP [J]\n");
         for (app, ms, e) in &result.rows {
             let bar = "#".repeat(((e / max) * 40.0).round() as usize);
@@ -293,10 +280,7 @@ impl Experiments {
         let mut entries = Vec::new();
         for app in apps::case_studies() {
             let methods: Vec<(String, Schedule)> = vec![
-                (
-                    "DEEP".to_string(),
-                    DeepScheduler::paper().schedule(&app, &tb),
-                ),
+                ("DEEP".to_string(), DeepScheduler::paper().schedule(&app, &tb)),
                 (
                     "Exclusively Regional Hub".to_string(),
                     ExclusiveRegistry::regional().schedule(&app, &tb),
@@ -311,11 +295,7 @@ impl Experiments {
                 let mut run_tb = calibrated_testbed();
                 let (report, _) = execute(&mut run_tb, &app, &schedule, &self.executor_cfg(0))
                     .expect("method schedule executes");
-                entries.push((
-                    app.name().to_string(),
-                    name,
-                    report.total_energy().as_f64(),
-                ));
+                entries.push((app.name().to_string(), name, report.total_energy().as_f64()));
             }
         }
         Fig3bResult { entries }
@@ -326,9 +306,7 @@ impl Experiments {
         let body: Vec<Vec<String>> = result
             .entries
             .iter()
-            .map(|(app, method, e)| {
-                vec![app.clone(), method.clone(), format!("{:.3}", e / 1000.0)]
-            })
+            .map(|(app, method, e)| vec![app.clone(), method.clone(), format!("{:.3}", e / 1000.0)])
             .collect();
         render_table(&["Application", "Method", "Energy [kJ]"], &body)
     }

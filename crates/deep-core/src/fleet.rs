@@ -78,9 +78,8 @@ impl FleetReport {
 /// caches) a fleet of applications.
 pub fn run_fleet(config: &FleetConfig) -> FleetReport {
     // Generate the fleet.
-    let apps: Vec<Application> = (0..config.apps)
-        .map(|i| config.generator.generate(config.base_seed + i as u64))
-        .collect();
+    let apps: Vec<Application> =
+        (0..config.apps).map(|i| config.generator.generate(config.base_seed + i as u64)).collect();
 
     // Publish all images once, so scheduling sees the full catalog.
     let mut testbed = crate::calibration::calibrated_testbed();
@@ -91,9 +90,7 @@ pub fn run_fleet(config: &FleetConfig) -> FleetReport {
     // Schedule in parallel: schedulers never mutate the testbed.
     let schedules: Vec<Schedule> = {
         let tb = &testbed;
-        apps.par_iter()
-            .map(|app| DeepScheduler::without_refinement().schedule(app, tb))
-            .collect()
+        apps.par_iter().map(|app| DeepScheduler::without_refinement().schedule(app, tb)).collect()
     };
 
     // Execute sequentially on the shared testbed: caches warm across
@@ -117,18 +114,15 @@ pub fn run_fleet(config: &FleetConfig) -> FleetReport {
 /// no-dedup counterfactual quantifying what cross-application layer
 /// sharing buys.
 pub fn run_fleet_cold(config: &FleetConfig) -> FleetReport {
-    let apps: Vec<Application> = (0..config.apps)
-        .map(|i| config.generator.generate(config.base_seed + i as u64))
-        .collect();
+    let apps: Vec<Application> =
+        (0..config.apps).map(|i| config.generator.generate(config.base_seed + i as u64)).collect();
     let mut testbed = crate::calibration::calibrated_testbed();
     for app in &apps {
         testbed.publish_application(app);
     }
     let schedules: Vec<Schedule> = {
         let tb = &testbed;
-        apps.par_iter()
-            .map(|app| DeepScheduler::without_refinement().schedule(app, tb))
-            .collect()
+        apps.par_iter().map(|app| DeepScheduler::without_refinement().schedule(app, tb)).collect()
     };
     let mut entries = Vec::with_capacity(apps.len());
     for (app, schedule) in apps.iter().zip(&schedules) {
@@ -194,9 +188,7 @@ mod tests {
         let mut downloads = Vec::new();
         for _ in 0..4 {
             let (report, _) = execute(&mut testbed, &app, &schedule, &cfg).unwrap();
-            downloads.push(
-                report.microservices.iter().map(|m| m.downloaded_mb).sum::<f64>(),
-            );
+            downloads.push(report.microservices.iter().map(|m| m.downloaded_mb).sum::<f64>());
         }
         assert!(downloads[0] > 3000.0);
         assert_eq!(downloads[1], 0.0);
@@ -207,9 +199,8 @@ mod tests {
     fn parallel_scheduling_matches_sequential() {
         // rayon must not change results: compare against a serial map.
         let cfg = small_fleet();
-        let apps: Vec<Application> = (0..cfg.apps)
-            .map(|i| cfg.generator.generate(cfg.base_seed + i as u64))
-            .collect();
+        let apps: Vec<Application> =
+            (0..cfg.apps).map(|i| cfg.generator.generate(cfg.base_seed + i as u64)).collect();
         let mut tb = crate::calibration::calibrated_testbed();
         for app in &apps {
             tb.publish_application(app);
@@ -218,10 +209,8 @@ mod tests {
             .par_iter()
             .map(|app| DeepScheduler::without_refinement().schedule(app, &tb))
             .collect();
-        let serial: Vec<Schedule> = apps
-            .iter()
-            .map(|app| DeepScheduler::without_refinement().schedule(app, &tb))
-            .collect();
+        let serial: Vec<Schedule> =
+            apps.iter().map(|app| DeepScheduler::without_refinement().schedule(app, &tb)).collect();
         assert_eq!(parallel, serial);
     }
 }

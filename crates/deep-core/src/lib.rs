@@ -43,7 +43,7 @@ pub use continuum::{compare as continuum_compare, continuum_testbed, ContinuumRo
 pub use distribution::{distribution_table, DistributionRow};
 pub use experiment::{Experiments, Fig3aResult, Fig3bResult, HeadlineResult};
 pub use fleet::{run_fleet, run_fleet_cold, FleetConfig, FleetReport};
-pub use model::{EstimationContext, Estimate};
+pub use model::{Estimate, EstimationContext};
 pub use nash::DeepScheduler;
 pub use pareto::{distance_to_front, enumerate_profiles, pareto_front, EvaluatedProfile};
 

@@ -9,7 +9,7 @@
 use deep_dataflow::{Application, MicroserviceId};
 use deep_energy::Joules;
 use deep_netsim::{DataSize, DeviceId, Seconds};
-use deep_registry::{LayerCache, PullPlanner, Registry};
+use deep_registry::{LayerCache, PullSession};
 use deep_simulator::{Placement, RegistryChoice, Testbed};
 use std::collections::HashMap;
 
@@ -85,26 +85,15 @@ impl<'t> EstimationContext<'t> {
             .testbed
             .entry(self.app.name(), &ms.name)
             .unwrap_or_else(|| panic!("no image published for {}/{}", self.app.name(), ms.name));
-        let reference = match registry {
-            RegistryChoice::Hub => entry.hub_reference(dev.arch),
-            RegistryChoice::Regional => entry.regional_reference(dev.arch),
-        };
-        let backend: &dyn Registry = match registry {
-            RegistryChoice::Hub => &self.testbed.hub,
-            RegistryChoice::Regional => &self.testbed.regional,
-        };
+        let reference = self.testbed.reference(entry, registry, dev.arch);
         let load = *self.route_load.get(&(registry, device.0)).unwrap_or(&0);
-        let planner = PullPlanner {
-            download_bw: self
-                .testbed
-                .params
-                .route_bandwidth(registry, device)
-                .scale(1.0 / self.testbed.params.contention_factor(load)),
-            extract_bw: dev.extract_bw,
-            overhead: self.testbed.params.overhead(registry),
-        };
-        let outcome = planner
-            .estimate(backend, &reference, dev.arch, &self.caches[device.0])
+        let slowdown = self.testbed.params.contention_factor(load);
+        // The executor realises the same single-source mesh, so this
+        // estimate and its measurement agree bit for bit.
+        let mesh = self.testbed.pull_mesh(registry, device, slowdown);
+        let outcome = PullSession::new(&mesh, registry.registry_id())
+            .extract_bw(dev.extract_bw)
+            .estimate(&reference, dev.arch, &self.caches[device.0])
             .expect("catalog images resolve");
 
         let td = outcome.deployment_time();
@@ -130,31 +119,16 @@ impl<'t> EstimationContext<'t> {
     pub fn commit(&mut self, id: MicroserviceId, placement: Placement) {
         let ms = self.app.microservice(id);
         let dev = self.testbed.device(placement.device);
-        let entry = self
-            .testbed
-            .entry(self.app.name(), &ms.name)
-            .expect("estimate() validated the image");
-        let reference = match placement.registry {
-            RegistryChoice::Hub => entry.hub_reference(dev.arch),
-            RegistryChoice::Regional => entry.regional_reference(dev.arch),
-        };
-        let backend: &dyn Registry = match placement.registry {
-            RegistryChoice::Hub => &self.testbed.hub,
-            RegistryChoice::Regional => &self.testbed.regional,
-        };
-        let planner = PullPlanner {
-            download_bw: self.testbed.params.route_bandwidth(placement.registry, placement.device),
-            extract_bw: dev.extract_bw,
-            overhead: self.testbed.params.overhead(placement.registry),
-        };
-        let outcome = planner
-            .pull(backend, &reference, dev.arch, &mut self.caches[placement.device.0])
+        let entry =
+            self.testbed.entry(self.app.name(), &ms.name).expect("estimate() validated the image");
+        let reference = self.testbed.reference(entry, placement.registry, dev.arch);
+        let mesh = self.testbed.pull_mesh(placement.registry, placement.device, 1.0);
+        let outcome = PullSession::new(&mesh, placement.registry.registry_id())
+            .extract_bw(dev.extract_bw)
+            .pull(&reference, dev.arch, &mut self.caches[placement.device.0])
             .expect("catalog images resolve");
         if outcome.downloaded >= self.testbed.params.contention_threshold {
-            *self
-                .route_load
-                .entry((placement.registry, placement.device.0))
-                .or_insert(0) += 1;
+            *self.route_load.entry((placement.registry, placement.device.0)).or_insert(0) += 1;
         }
         self.assigned[id.0] = Some(placement);
     }
@@ -162,12 +136,7 @@ impl<'t> EstimationContext<'t> {
     /// Admissible devices for a microservice.
     pub fn admissible_devices(&self, id: MicroserviceId) -> Vec<DeviceId> {
         let req = &self.app.microservice(id).requirements;
-        self.testbed
-            .devices
-            .iter()
-            .filter(|d| d.admits(req))
-            .map(|d| d.id)
-            .collect()
+        self.testbed.devices.iter().filter(|d| d.admits(req)).map(|d| d.id).collect()
     }
 }
 
@@ -184,11 +153,8 @@ mod tests {
         // jitter-free executor measurements.
         let mut tb = calibrated_testbed();
         let app = apps::text_processing();
-        let schedule = deep_simulator::Schedule::uniform(
-            app.len(),
-            RegistryChoice::Hub,
-            DEVICE_MEDIUM,
-        );
+        let schedule =
+            deep_simulator::Schedule::uniform(app.len(), RegistryChoice::Hub, DEVICE_MEDIUM);
         // Predict.
         let mut predictions = Vec::new();
         {
@@ -291,7 +257,10 @@ mod tests {
         let mut ctx = EstimationContext::new(&tb, &app);
         ctx.begin_wave();
         let retrieve = app.by_name("retrieve").unwrap();
-        ctx.commit(retrieve, Placement { registry: RegistryChoice::Regional, device: DEVICE_SMALL });
+        ctx.commit(
+            retrieve,
+            Placement { registry: RegistryChoice::Regional, device: DEVICE_SMALL },
+        );
         let decompress = app.by_name("decompress").unwrap();
         let contended = ctx.estimate(decompress, RegistryChoice::Regional, DEVICE_SMALL);
         ctx.begin_wave();
@@ -316,7 +285,10 @@ mod tests {
         let mut ctx = EstimationContext::new(&tb, &app);
         ctx.begin_wave();
         let transcode = app.by_name("transcode").unwrap();
-        ctx.commit(transcode, Placement { registry: RegistryChoice::Regional, device: DEVICE_SMALL });
+        ctx.commit(
+            transcode,
+            Placement { registry: RegistryChoice::Regional, device: DEVICE_SMALL },
+        );
         ctx.begin_wave();
         let frame = app.by_name("frame").unwrap();
         let cross = ctx.estimate(frame, RegistryChoice::Hub, DEVICE_MEDIUM);

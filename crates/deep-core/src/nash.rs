@@ -156,11 +156,7 @@ impl DeepScheduler {
 
     /// Is `profile` a pure Nash equilibrium of the joint deployment game?
     /// (Exposed for tests and the experiment drivers.)
-    pub fn is_joint_equilibrium(
-        app: &Application,
-        testbed: &Testbed,
-        schedule: &Schedule,
-    ) -> bool {
+    pub fn is_joint_equilibrium(app: &Application, testbed: &Testbed, schedule: &Schedule) -> bool {
         let profile: Vec<Placement> = app.ids().map(|id| schedule.placement(id)).collect();
         let registries = RegistryChoice::all();
         for id in app.ids() {
@@ -193,11 +189,8 @@ impl Scheduler for DeepScheduler {
 
     fn schedule(&self, app: &Application, testbed: &Testbed) -> Schedule {
         let sequential = self.sequential_assignment(app, testbed);
-        let profile = if self.refine {
-            self.refine_joint(app, testbed, sequential)
-        } else {
-            sequential
-        };
+        let profile =
+            if self.refine { self.refine_joint(app, testbed, sequential) } else { sequential };
         Schedule::new(profile)
     }
 }
@@ -210,9 +203,7 @@ mod tests {
     use deep_simulator::{DEVICE_MEDIUM, DEVICE_SMALL};
 
     fn placements(app: &Application, s: &Schedule) -> Vec<(String, Placement)> {
-        app.ids()
-            .map(|id| (app.microservice(id).name.clone(), s.placement(id)))
-            .collect()
+        app.ids().map(|id| (app.microservice(id).name.clone(), s.placement(id))).collect()
     }
 
     #[test]

@@ -157,19 +157,12 @@ pub fn distance_to_front(
         .filter(|p| p.makespan <= me.makespan + 1e-9)
         .map(|p| me.energy - p.energy)
         .fold(f64::INFINITY, f64::min);
-    FrontDistance {
-        energy: me.energy,
-        makespan: me.makespan,
-        energy_excess: excess.max(0.0),
-    }
+    FrontDistance { energy: me.energy, makespan: me.makespan, energy_excess: excess.max(0.0) }
 }
 
 /// Devices used along the front — which trade-offs the hardware offers.
 pub fn front_devices(front: &[EvaluatedProfile]) -> Vec<Vec<DeviceId>> {
-    front
-        .iter()
-        .map(|p| p.placements.iter().map(|pl| pl.device).collect())
-        .collect()
+    front.iter().map(|p| p.placements.iter().map(|pl| pl.device).collect()).collect()
 }
 
 #[cfg(test)]
@@ -221,10 +214,7 @@ mod tests {
         let tb = calibrated_testbed();
         for app in apps::case_studies() {
             let profiles = enumerate_profiles(&app, &tb);
-            let min_energy = profiles
-                .iter()
-                .map(|p| p.energy)
-                .fold(f64::INFINITY, f64::min);
+            let min_energy = profiles.iter().map(|p| p.energy).fold(f64::INFINITY, f64::min);
             let schedule = DeepScheduler::paper().schedule(&app, &tb);
             let front = pareto_front(profiles);
             let d = distance_to_front(&app, &tb, &schedule, &front);

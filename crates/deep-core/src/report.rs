@@ -14,11 +14,8 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     }
     let mut out = String::new();
     let fmt_row = |cells: &[String], widths: &[usize]| -> String {
-        let parts: Vec<String> = cells
-            .iter()
-            .zip(widths)
-            .map(|(c, w)| format!("{c:<w$}", w = w))
-            .collect();
+        let parts: Vec<String> =
+            cells.iter().zip(widths).map(|(c, w)| format!("{c:<w$}", w = w)).collect();
         format!("| {} |", parts.join(" | "))
     };
     let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
@@ -57,10 +54,7 @@ mod tests {
     fn renders_aligned_columns() {
         let t = render_table(
             &["name", "value"],
-            &[
-                vec!["a".into(), "1".into()],
-                vec!["longer-name".into(), "22".into()],
-            ],
+            &[vec!["a".into(), "1".into()], vec!["longer-name".into(), "22".into()]],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

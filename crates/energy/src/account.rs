@@ -72,10 +72,7 @@ impl EnergyAccount {
         if total == 0.0 {
             return self.entries.keys().map(|k| (k.clone(), 0.0)).collect();
         }
-        self.entries
-            .iter()
-            .map(|(k, v)| (k.clone(), v.as_f64() / total))
-            .collect()
+        self.entries.iter().map(|(k, v)| (k.clone(), v.as_f64() / total)).collect()
     }
 }
 

@@ -116,10 +116,10 @@ impl DevicePowerModel {
     /// where pyRAPL only meters the package domain.
     pub fn intel_i7_7700() -> Self {
         DevicePowerModel::per_phase(
-            Watts::new(2.0),  // package idle floor seen by RAPL
-            Watts::new(2.5),  // NIC+disk during pull
-            Watts::new(2.0),  // NIC during dataflow receive
-            Watts::new(6.0),  // package under single-service ML load
+            Watts::new(2.0), // package idle floor seen by RAPL
+            Watts::new(2.5), // NIC+disk during pull
+            Watts::new(2.0), // NIC during dataflow receive
+            Watts::new(6.0), // package under single-service ML load
         )
     }
 
@@ -131,10 +131,10 @@ impl DevicePowerModel {
     /// device energies (e.g. video `HA Train`: ≈5 kJ over ≈1.2 ks ≈ 4 W).
     pub fn raspberry_pi_4() -> Self {
         DevicePowerModel::per_phase(
-            Watts::new(2.7),  // idle board + PSU overhead at the wall
-            Watts::new(0.9),  // NIC+SD during pull
-            Watts::new(0.7),  // NIC during dataflow receive
-            Watts::new(1.3),  // CPU under load (whole-board delta)
+            Watts::new(2.7), // idle board + PSU overhead at the wall
+            Watts::new(0.9), // NIC+SD during pull
+            Watts::new(0.7), // NIC during dataflow receive
+            Watts::new(1.3), // CPU under load (whole-board delta)
         )
     }
 }

@@ -110,11 +110,7 @@ impl Bimatrix {
 /// Indices attaining the maximum of `v` (within EPS).
 fn argmax_set(v: &[f64]) -> Vec<usize> {
     let max = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    v.iter()
-        .enumerate()
-        .filter(|(_, &p)| p >= max - EPS)
-        .map(|(i, _)| i)
-        .collect()
+    v.iter().enumerate().filter(|(_, &p)| p >= max - EPS).map(|(i, _)| i).collect()
 }
 
 #[cfg(test)]

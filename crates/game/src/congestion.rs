@@ -37,10 +37,7 @@ pub struct BestResponseResult {
 
 impl<'a> FiniteGame<'a> {
     /// Build a game from per-player strategy counts and a cost oracle.
-    pub fn new(
-        strategy_counts: Vec<usize>,
-        cost: impl Fn(usize, &[usize]) -> f64 + 'a,
-    ) -> Self {
+    pub fn new(strategy_counts: Vec<usize>, cost: impl Fn(usize, &[usize]) -> f64 + 'a) -> Self {
         assert!(!strategy_counts.is_empty(), "need at least one player");
         assert!(strategy_counts.iter().all(|&c| c > 0), "every player needs a strategy");
         FiniteGame { strategy_counts, cost: Box::new(cost) }
@@ -148,13 +145,9 @@ impl<'a> FiniteGame<'a> {
 
     /// The pure equilibrium with minimal social cost, if any exist.
     pub fn best_equilibrium(&self) -> Option<Vec<usize>> {
-        self.enumerate_equilibria()
-            .into_iter()
-            .min_by(|a, b| {
-                self.social_cost(a)
-                    .partial_cmp(&self.social_cost(b))
-                    .expect("costs are not NaN")
-            })
+        self.enumerate_equilibria().into_iter().min_by(|a, b| {
+            self.social_cost(a).partial_cmp(&self.social_cost(b)).expect("costs are not NaN")
+        })
     }
 }
 

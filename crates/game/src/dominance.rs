@@ -97,16 +97,9 @@ mod tests {
     fn iterated_elimination_cascades() {
         // Classic 3×3 where elimination must iterate:
         // After col 2 goes (dominated by col 1), row 2 goes, then col 0.
-        let a = Matrix::from_rows(&[
-            vec![3.0, 2.0, 1.0],
-            vec![2.0, 1.0, 0.0],
-            vec![1.0, 0.0, -1.0],
-        ]);
-        let b = Matrix::from_rows(&[
-            vec![1.0, 2.0, 0.0],
-            vec![1.0, 2.0, 1.0],
-            vec![1.0, 2.0, 0.5],
-        ]);
+        let a =
+            Matrix::from_rows(&[vec![3.0, 2.0, 1.0], vec![2.0, 1.0, 0.0], vec![1.0, 0.0, -1.0]]);
+        let b = Matrix::from_rows(&[vec![1.0, 2.0, 0.0], vec![1.0, 2.0, 1.0], vec![1.0, 2.0, 0.5]]);
         let g = Bimatrix::new(a, b);
         let r = iterated_elimination(&g);
         // Row 0 strictly dominates rows 1 and 2; col 1 strictly dominates

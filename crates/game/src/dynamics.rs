@@ -44,10 +44,7 @@ pub fn best_response_dynamics(
 /// Fictitious play: each player best-responds to the opponent's empirical
 /// action frequencies. Returns the empirical mixed strategies after
 /// `iterations` rounds — for zero-sum games these converge to equilibrium.
-pub fn fictitious_play(
-    game: &Bimatrix,
-    iterations: usize,
-) -> (MixedStrategy, MixedStrategy) {
+pub fn fictitious_play(game: &Bimatrix, iterations: usize) -> (MixedStrategy, MixedStrategy) {
     assert!(iterations > 0, "need at least one iteration");
     let mut row_counts = vec![0.0f64; game.rows()];
     let mut col_counts = vec![0.0f64; game.cols()];

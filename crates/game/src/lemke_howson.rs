@@ -71,11 +71,7 @@ impl Tableau {
     /// Value of the basic variable with `label`, 0 when nonbasic.
     fn value(&self, label: usize) -> f64 {
         let rhs = self.rows[0].len() - 1;
-        self.basis
-            .iter()
-            .position(|&b| b == label)
-            .map(|r| self.rows[r][rhs])
-            .unwrap_or(0.0)
+        self.basis.iter().position(|&b| b == label).map(|r| self.rows[r][rhs]).unwrap_or(0.0)
     }
 }
 
@@ -223,7 +219,11 @@ mod tests {
 
     #[test]
     fn agrees_with_support_enumeration_on_unique_equilibria() {
-        for g in [classic::prisoners_dilemma(), classic::matching_pennies(), classic::rock_paper_scissors()] {
+        for g in [
+            classic::prisoners_dilemma(),
+            classic::matching_pennies(),
+            classic::rock_paper_scissors(),
+        ] {
             let eqs = crate::support_enum::support_enumeration(&g);
             assert_eq!(eqs.len(), 1);
             let (x, y) = lemke_howson(&g, 0);

@@ -76,11 +76,7 @@ mod tests {
 
     #[test]
     fn three_by_three() {
-        let m = vec![
-            vec![2.0, 1.0, -1.0],
-            vec![-3.0, -1.0, 2.0],
-            vec![-2.0, 1.0, 2.0],
-        ];
+        let m = vec![vec![2.0, 1.0, -1.0], vec![-3.0, -1.0, 2.0], vec![-2.0, 1.0, 2.0]];
         let x = solve(m, vec![8.0, -11.0, -3.0]).unwrap();
         for (got, want) in x.iter().zip([2.0, 3.0, -1.0]) {
             assert!((got - want).abs() < 1e-10, "{got} vs {want}");

@@ -84,27 +84,19 @@ impl Matrix {
 
     /// `self + c` elementwise (payoff shifting preserves equilibria).
     pub fn shift(&self, c: f64) -> Matrix {
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|v| v + c).collect(),
-        }
+        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|v| v + c).collect() }
     }
 
     /// `M · y` for a column vector `y`.
     pub fn mat_vec(&self, y: &[f64]) -> Vec<f64> {
         assert_eq!(y.len(), self.cols, "dimension mismatch");
-        (0..self.rows)
-            .map(|i| self.row(i).iter().zip(y).map(|(a, b)| a * b).sum())
-            .collect()
+        (0..self.rows).map(|i| self.row(i).iter().zip(y).map(|(a, b)| a * b).sum()).collect()
     }
 
     /// `xᵀ · M` for a row vector `x`.
     pub fn vec_mat(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.rows, "dimension mismatch");
-        (0..self.cols)
-            .map(|j| (0..self.rows).map(|i| x[i] * self[(i, j)]).sum())
-            .collect()
+        (0..self.cols).map(|j| (0..self.rows).map(|i| x[i] * self[(i, j)]).sum()).collect()
     }
 
     /// `xᵀ · M · y` — the expected payoff under mixed strategies.

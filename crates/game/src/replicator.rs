@@ -26,12 +26,7 @@ pub fn replicator_step(a: &Matrix, x: &MixedStrategy) -> MixedStrategy {
     let fitness = shifted.mat_vec(x.probs());
     let avg: f64 = fitness.iter().zip(x.probs()).map(|(f, p)| f * p).sum();
     debug_assert!(avg > 0.0, "shifted payoffs are positive");
-    let probs: Vec<f64> = x
-        .probs()
-        .iter()
-        .zip(&fitness)
-        .map(|(p, f)| p * f / avg)
-        .collect();
+    let probs: Vec<f64> = x.probs().iter().zip(&fitness).map(|(p, f)| p * f / avg).collect();
     // Normalise drift.
     let total: f64 = probs.iter().sum();
     MixedStrategy::new(probs.into_iter().map(|p| p / total).collect())
@@ -48,12 +43,7 @@ pub fn replicator_dynamics(
     let mut x = start.clone();
     for _ in 0..max_iters {
         let next = replicator_step(a, &x);
-        let moved: f64 = next
-            .probs()
-            .iter()
-            .zip(x.probs())
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let moved: f64 = next.probs().iter().zip(x.probs()).map(|(a, b)| (a - b).abs()).sum();
         x = next;
         if moved < tol {
             return (x, true);

@@ -53,12 +53,7 @@ impl MixedStrategy {
 
     /// Actions played with probability > EPS.
     pub fn support(&self) -> Vec<usize> {
-        self.0
-            .iter()
-            .enumerate()
-            .filter(|(_, &p)| p > EPS)
-            .map(|(i, _)| i)
-            .collect()
+        self.0.iter().enumerate().filter(|(_, &p)| p > EPS).map(|(i, _)| i).collect()
     }
 
     /// `Some(i)` when the strategy is (numerically) pure.
@@ -84,11 +79,7 @@ impl MixedStrategy {
     /// Numerical equality within `tol`.
     pub fn approx_eq(&self, other: &MixedStrategy, tol: f64) -> bool {
         self.len() == other.len()
-            && self
-                .0
-                .iter()
-                .zip(other.probs())
-                .all(|(a, b)| (a - b).abs() <= tol)
+            && self.0.iter().zip(other.probs()).all(|(a, b)| (a - b).abs() <= tol)
     }
 }
 

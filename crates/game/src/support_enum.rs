@@ -183,10 +183,8 @@ mod tests {
     fn battle_of_sexes_three_equilibria() {
         let eqs = support_enumeration(&classic::battle_of_the_sexes());
         assert_eq!(eqs.len(), 3, "two pure + one mixed");
-        let pures: Vec<_> = eqs
-            .iter()
-            .filter_map(|(x, y)| Some((x.as_pure()?, y.as_pure()?)))
-            .collect();
+        let pures: Vec<_> =
+            eqs.iter().filter_map(|(x, y)| Some((x.as_pure()?, y.as_pure()?))).collect();
         assert!(pures.contains(&(0, 0)));
         assert!(pures.contains(&(1, 1)));
         // The mixed one: x = (3/5, 2/5), y = (2/5, 3/5).
@@ -235,10 +233,8 @@ mod tests {
     fn team_game_equilibria_include_both_coordination_points() {
         let g = classic::coordination(3.0, 1.0);
         let eqs = support_enumeration(&g);
-        let pures: Vec<_> = eqs
-            .iter()
-            .filter_map(|(x, y)| Some((x.as_pure()?, y.as_pure()?)))
-            .collect();
+        let pures: Vec<_> =
+            eqs.iter().filter_map(|(x, y)| Some((x.as_pure()?, y.as_pure()?))).collect();
         assert!(pures.contains(&(0, 0)));
         assert!(pures.contains(&(1, 1)));
     }

@@ -83,7 +83,8 @@ impl CdnModel {
             PopClass::Regional
         } else {
             // renormalise the remaining mass
-            let rest = (sample - self.regional_hit) / (1.0 - self.regional_hit).max(f64::MIN_POSITIVE);
+            let rest =
+                (sample - self.regional_hit) / (1.0 - self.regional_hit).max(f64::MIN_POSITIVE);
             if rest < self.continental_hit {
                 PopClass::Continental
             } else {

@@ -110,7 +110,8 @@ mod tests {
 
     #[test]
     fn fifo_keeps_service_bandwidth() {
-        let ch = Channel::new(Bandwidth::megabytes_per_sec(50.0)).with_policy(ContentionPolicy::Fifo);
+        let ch =
+            Channel::new(Bandwidth::megabytes_per_sec(50.0)).with_policy(ContentionPolicy::Fifo);
         assert_eq!(ch.effective_bandwidth(10), Bandwidth::megabytes_per_sec(50.0));
     }
 

@@ -144,10 +144,7 @@ mod tests {
         let l = LatentLink::ideal(Bandwidth::megabytes_per_sec(5.0));
         let t = l.transfer_time_slow_start(DataSize::megabytes(10.0));
         assert!((t.as_f64() - 2.0).abs() < 1e-9);
-        assert_eq!(
-            link().transfer_time_slow_start(DataSize::ZERO),
-            Seconds::ZERO
-        );
+        assert_eq!(link().transfer_time_slow_start(DataSize::ZERO), Seconds::ZERO);
     }
 
     #[test]

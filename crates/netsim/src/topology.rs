@@ -93,14 +93,22 @@ impl Topology {
     }
 
     /// `BW_kj`: bandwidth for dataflow transfer from device `k` to device `j`.
-    pub fn device_bandwidth(&self, from: DeviceId, to: DeviceId) -> Result<Bandwidth, TopologyError> {
+    pub fn device_bandwidth(
+        &self,
+        from: DeviceId,
+        to: DeviceId,
+    ) -> Result<Bandwidth, TopologyError> {
         self.check_device(from)?;
         self.check_device(to)?;
         Ok(self.device_bw[from.0][to.0])
     }
 
     /// `BW_gj`: bandwidth for image pull from registry `g` to device `j`.
-    pub fn registry_bandwidth(&self, from: RegistryId, to: DeviceId) -> Result<Bandwidth, TopologyError> {
+    pub fn registry_bandwidth(
+        &self,
+        from: RegistryId,
+        to: DeviceId,
+    ) -> Result<Bandwidth, TopologyError> {
         self.check_registry(from)?;
         self.check_device(to)?;
         Ok(self.registry_bw[from.0][to.0])
@@ -229,9 +237,9 @@ impl TopologyBuilder {
         for (k, row) in self.device_bw.into_iter().enumerate() {
             let mut out = Vec::with_capacity(row.len());
             for (j, cell) in row.into_iter().enumerate() {
-                out.push(cell.ok_or_else(|| {
-                    TopologyError::MissingLink(format!("device d{k} -> d{j}"))
-                })?);
+                out.push(
+                    cell.ok_or_else(|| TopologyError::MissingLink(format!("device d{k} -> d{j}")))?,
+                );
             }
             device_bw.push(out);
         }
@@ -239,18 +247,15 @@ impl TopologyBuilder {
         for (g, row) in self.registry_bw.into_iter().enumerate() {
             let mut out = Vec::with_capacity(row.len());
             for (j, cell) in row.into_iter().enumerate() {
-                out.push(cell.ok_or_else(|| {
-                    TopologyError::MissingLink(format!("registry r{g} -> d{j}"))
-                })?);
+                out.push(
+                    cell.ok_or_else(|| {
+                        TopologyError::MissingLink(format!("registry r{g} -> d{j}"))
+                    })?,
+                );
             }
             registry_bw.push(out);
         }
-        Ok(Topology {
-            devices: self.devices,
-            registries: self.registries,
-            device_bw,
-            registry_bw,
-        })
+        Ok(Topology { devices: self.devices, registries: self.registries, device_bw, registry_bw })
     }
 }
 
@@ -281,18 +286,16 @@ mod tests {
     #[test]
     fn loopback_is_free() {
         let t = two_by_two();
-        let time = t
-            .device_transfer_time(DeviceId(0), DeviceId(0), DataSize::gigabytes(10.0))
-            .unwrap();
+        let time =
+            t.device_transfer_time(DeviceId(0), DeviceId(0), DataSize::gigabytes(10.0)).unwrap();
         assert_eq!(time, Seconds::ZERO);
     }
 
     #[test]
     fn cross_device_transfer_time() {
         let t = two_by_two();
-        let time = t
-            .device_transfer_time(DeviceId(0), DeviceId(1), DataSize::megabytes(250.0))
-            .unwrap();
+        let time =
+            t.device_transfer_time(DeviceId(0), DeviceId(1), DataSize::megabytes(250.0)).unwrap();
         assert!((time.as_f64() - 5.0).abs() < 1e-9);
     }
 
@@ -309,9 +312,7 @@ mod tests {
     #[test]
     fn zero_size_transfer_is_free() {
         let t = two_by_two();
-        let time = t
-            .registry_transfer_time(RegistryId(1), DeviceId(0), DataSize::ZERO)
-            .unwrap();
+        let time = t.registry_transfer_time(RegistryId(1), DeviceId(0), DataSize::ZERO).unwrap();
         assert_eq!(time, Seconds::ZERO);
     }
 

@@ -68,10 +68,7 @@ impl TransferPlan {
 
     /// Total wall time: segments are sequential.
     pub fn total_time(&self) -> Seconds {
-        self.segments
-            .iter()
-            .map(|s| transfer_time(s.size, s.bandwidth))
-            .sum()
+        self.segments.iter().map(|s| transfer_time(s.size, s.bandwidth)).sum()
     }
 
     /// Iterate over segments.
@@ -89,10 +86,7 @@ mod tests {
         let t = transfer_time(DataSize::gigabytes(0.7), Bandwidth::megabytes_per_sec(70.0));
         assert!((t.as_f64() - 10.0).abs() < 1e-9);
         assert_eq!(transfer_time(DataSize::ZERO, Bandwidth::megabytes_per_sec(1.0)), Seconds::ZERO);
-        assert_eq!(
-            transfer_time(DataSize::gigabytes(3.0), Bandwidth::infinite()),
-            Seconds::ZERO
-        );
+        assert_eq!(transfer_time(DataSize::gigabytes(3.0), Bandwidth::infinite()), Seconds::ZERO);
     }
 
     #[test]

@@ -81,10 +81,8 @@ impl DriveSet {
 
     /// Read an object, reconstructing from survivors when needed.
     pub fn get(&self, key: &str) -> Result<Vec<u8>, DriveSetError> {
-        let obj = self
-            .objects
-            .get(key)
-            .ok_or_else(|| DriveSetError::NoSuchObject(key.to_string()))?;
+        let obj =
+            self.objects.get(key).ok_or_else(|| DriveSetError::NoSuchObject(key.to_string()))?;
         // A drive going offline masks its shards even if data is present;
         // borrowed-shard decode avoids cloning the surviving shards.
         let visible: Vec<Option<&[u8]>> = obj

@@ -172,11 +172,7 @@ impl ErasureCoder {
 
     /// Reconstruct the original `len`-byte object from surviving shards
     /// (`None` marks a lost shard). Any `k` survivors suffice.
-    pub fn decode(
-        &self,
-        shards: &[Option<Vec<u8>>],
-        len: usize,
-    ) -> Result<Vec<u8>, ErasureError> {
+    pub fn decode(&self, shards: &[Option<Vec<u8>>], len: usize) -> Result<Vec<u8>, ErasureError> {
         let mut out = Vec::new();
         self.decode_into(shards, len, &mut out)?;
         Ok(out)
@@ -225,11 +221,8 @@ impl ErasureCoder {
             out.truncate(len);
             return Ok(());
         }
-        let survivors: Vec<usize> = shards
-            .iter()
-            .enumerate()
-            .filter_map(|(i, s)| s.map(|_| i))
-            .collect();
+        let survivors: Vec<usize> =
+            shards.iter().enumerate().filter_map(|(i, s)| s.map(|_| i)).collect();
         if survivors.len() < self.data_shards {
             return Err(ErasureError::TooFewShards {
                 have: survivors.len(),
@@ -320,9 +313,8 @@ fn invert(mut m: Vec<Vec<u8>>) -> Option<Vec<Vec<u8>>> {
             return None;
         }
     }
-    let mut inv: Vec<Vec<u8>> = (0..n)
-        .map(|i| (0..n).map(|j| u8::from(i == j)).collect())
-        .collect();
+    let mut inv: Vec<Vec<u8>> =
+        (0..n).map(|i| (0..n).map(|j| u8::from(i == j)).collect()).collect();
     for col in 0..n {
         // Find pivot.
         let pivot = (col..n).find(|&r| m[r][col] != 0)?;
@@ -368,8 +360,7 @@ mod tests {
         for i in 0..coder.data_shards() {
             let start = i * shard_len;
             let end = (start + shard_len).min(data.len());
-            let mut shard =
-                if start < data.len() { data[start..end].to_vec() } else { Vec::new() };
+            let mut shard = if start < data.len() { data[start..end].to_vec() } else { Vec::new() };
             shard.resize(shard_len, 0);
             shards.push(shard);
         }
@@ -392,10 +383,10 @@ mod tests {
         assert_eq!(shards.len(), 6);
         let shard_len = coder.shard_len(1000);
         // Data shards are verbatim slices (with padding on the last).
-        for i in 0..4 {
+        for (i, shard) in shards.iter().enumerate().take(4) {
             let start = i * shard_len;
             let end = (start + shard_len).min(data.len());
-            assert_eq!(&shards[i][..end - start], &data[start..end], "shard {i}");
+            assert_eq!(&shard[..end - start], &data[start..end], "shard {i}");
         }
     }
 
@@ -448,8 +439,7 @@ mod tests {
         // Every pair of lost shards must be recoverable.
         for a in 0..6 {
             for b in (a + 1)..6 {
-                let mut shards: Vec<Option<Vec<u8>>> =
-                    encoded.iter().cloned().map(Some).collect();
+                let mut shards: Vec<Option<Vec<u8>>> = encoded.iter().cloned().map(Some).collect();
                 shards[a] = None;
                 shards[b] = None;
                 let got = coder.decode(&shards, data.len()).unwrap();
@@ -475,8 +465,7 @@ mod tests {
     fn fails_beyond_parity_budget() {
         let coder = ErasureCoder::new(4, 2).unwrap();
         let data = sample(100, 4);
-        let mut shards: Vec<Option<Vec<u8>>> =
-            coder.encode(&data).into_iter().map(Some).collect();
+        let mut shards: Vec<Option<Vec<u8>>> = coder.encode(&data).into_iter().map(Some).collect();
         shards[0] = None;
         shards[1] = None;
         shards[2] = None;
@@ -520,8 +509,7 @@ mod tests {
     fn tiny_and_empty_objects() {
         let coder = ErasureCoder::new(4, 2).unwrap();
         for data in [vec![], vec![0x42], sample(3, 6)] {
-            let shards: Vec<Option<Vec<u8>>> =
-                coder.encode(&data).into_iter().map(Some).collect();
+            let shards: Vec<Option<Vec<u8>>> = coder.encode(&data).into_iter().map(Some).collect();
             assert_eq!(coder.decode(&shards, data.len()).unwrap(), data);
         }
     }
@@ -530,8 +518,7 @@ mod tests {
     fn shard_length_mismatch_detected() {
         let coder = ErasureCoder::new(2, 1).unwrap();
         let data = sample(10, 7);
-        let mut shards: Vec<Option<Vec<u8>>> =
-            coder.encode(&data).into_iter().map(Some).collect();
+        let mut shards: Vec<Option<Vec<u8>>> = coder.encode(&data).into_iter().map(Some).collect();
         shards[0].as_mut().unwrap().push(0);
         assert_eq!(
             coder.decode(&shards, data.len()).unwrap_err(),
@@ -565,6 +552,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // triple-index matrix math reads best as ranges
     fn matrix_inversion_round_trips() {
         let m = vec![vec![1, 2, 3], vec![4, 5, 6], vec![7, 8, 10]];
         let inv = invert(m.clone()).unwrap();

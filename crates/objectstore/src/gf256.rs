@@ -270,10 +270,8 @@ mod x86 {
     /// Caller must ensure AVX2 is available and `dst.len() == src.len()`.
     #[target_feature(enable = "avx2")]
     pub unsafe fn mul_acc_avx2(dst: &mut [u8], src: &[u8], t: &MulTable) {
-        let lo_tbl =
-            _mm256_broadcastsi128_si256(_mm_loadu_si128(t.lo.as_ptr() as *const __m128i));
-        let hi_tbl =
-            _mm256_broadcastsi128_si256(_mm_loadu_si128(t.hi.as_ptr() as *const __m128i));
+        let lo_tbl = _mm256_broadcastsi128_si256(_mm_loadu_si128(t.lo.as_ptr() as *const __m128i));
+        let hi_tbl = _mm256_broadcastsi128_si256(_mm_loadu_si128(t.hi.as_ptr() as *const __m128i));
         let mask = _mm256_set1_epi8(0x0f);
         let whole = dst.len() & !31;
         let mut i = 0;
@@ -286,10 +284,7 @@ mod x86 {
                 _mm256_shuffle_epi8(lo_tbl, lo_n),
                 _mm256_shuffle_epi8(hi_tbl, hi_n),
             );
-            _mm256_storeu_si256(
-                dst.as_mut_ptr().add(i) as *mut __m256i,
-                _mm256_xor_si256(d, prod),
-            );
+            _mm256_storeu_si256(dst.as_mut_ptr().add(i) as *mut __m256i, _mm256_xor_si256(d, prod));
             i += 32;
         }
         super::mul_acc_table_portable(&mut dst[whole..], &src[whole..], t);
@@ -299,10 +294,8 @@ mod x86 {
     /// Caller must ensure AVX2 is available and `dst.len() == src.len()`.
     #[target_feature(enable = "avx2")]
     pub unsafe fn mul_slice_avx2(dst: &mut [u8], src: &[u8], t: &MulTable) {
-        let lo_tbl =
-            _mm256_broadcastsi128_si256(_mm_loadu_si128(t.lo.as_ptr() as *const __m128i));
-        let hi_tbl =
-            _mm256_broadcastsi128_si256(_mm_loadu_si128(t.hi.as_ptr() as *const __m128i));
+        let lo_tbl = _mm256_broadcastsi128_si256(_mm_loadu_si128(t.lo.as_ptr() as *const __m128i));
+        let hi_tbl = _mm256_broadcastsi128_si256(_mm_loadu_si128(t.hi.as_ptr() as *const __m128i));
         let mask = _mm256_set1_epi8(0x0f);
         let whole = dst.len() & !31;
         let mut i = 0;

@@ -84,10 +84,14 @@ impl Hash64 {
     #[inline]
     fn absorb_block(&mut self, block: &[u8; 32]) {
         // Four independent multiply chains — the CPU overlaps them.
-        self.lanes[0] = lane_step(self.lanes[0], u64::from_le_bytes(block[0..8].try_into().expect("8")));
-        self.lanes[1] = lane_step(self.lanes[1], u64::from_le_bytes(block[8..16].try_into().expect("8")));
-        self.lanes[2] = lane_step(self.lanes[2], u64::from_le_bytes(block[16..24].try_into().expect("8")));
-        self.lanes[3] = lane_step(self.lanes[3], u64::from_le_bytes(block[24..32].try_into().expect("8")));
+        self.lanes[0] =
+            lane_step(self.lanes[0], u64::from_le_bytes(block[0..8].try_into().expect("8")));
+        self.lanes[1] =
+            lane_step(self.lanes[1], u64::from_le_bytes(block[8..16].try_into().expect("8")));
+        self.lanes[2] =
+            lane_step(self.lanes[2], u64::from_le_bytes(block[16..24].try_into().expect("8")));
+        self.lanes[3] =
+            lane_step(self.lanes[3], u64::from_le_bytes(block[24..32].try_into().expect("8")));
     }
 
     /// Produce the digest (the hasher may keep absorbing afterwards).
@@ -100,8 +104,10 @@ impl Hash64 {
             block[..self.buffered].copy_from_slice(&self.buf[..self.buffered]);
             lanes[0] = lane_step(lanes[0], u64::from_le_bytes(block[0..8].try_into().expect("8")));
             lanes[1] = lane_step(lanes[1], u64::from_le_bytes(block[8..16].try_into().expect("8")));
-            lanes[2] = lane_step(lanes[2], u64::from_le_bytes(block[16..24].try_into().expect("8")));
-            lanes[3] = lane_step(lanes[3], u64::from_le_bytes(block[24..32].try_into().expect("8")));
+            lanes[2] =
+                lane_step(lanes[2], u64::from_le_bytes(block[16..24].try_into().expect("8")));
+            lanes[3] =
+                lane_step(lanes[3], u64::from_le_bytes(block[24..32].try_into().expect("8")));
         }
         let combined = mix(lanes[0])
             .wrapping_add(mix(lanes[1]).rotate_left(17))

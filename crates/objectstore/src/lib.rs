@@ -32,6 +32,6 @@ pub use drives::{DriveSet, DriveSetError};
 pub use erasure::{ErasureCoder, ErasureError};
 pub use hash64::{checksum64, Hash64};
 pub use multipart::{MultipartError, MultipartUpload};
-pub use scrub::{ScrubbedSet, ScrubReport};
+pub use scrub::{ScrubReport, ScrubbedSet};
 pub use store::{Bucket, ObjectMeta, ObjectStore, StoreError};
 pub use versioning::VersionedBucket;

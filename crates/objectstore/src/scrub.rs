@@ -62,7 +62,10 @@ pub struct ScrubReport {
 
 impl ScrubbedSet {
     pub fn new(data_shards: usize, parity_shards: usize) -> Result<Self, ErasureError> {
-        Ok(ScrubbedSet { coder: ErasureCoder::new(data_shards, parity_shards)?, objects: BTreeMap::new() })
+        Ok(ScrubbedSet {
+            coder: ErasureCoder::new(data_shards, parity_shards)?,
+            objects: BTreeMap::new(),
+        })
     }
 
     /// Store an object with checksummed shards.
@@ -78,10 +81,7 @@ impl ScrubbedSet {
     /// Read with verification: corrupt shards are masked before decoding,
     /// so bitrot is transparent while ≤ parity shards rot.
     pub fn get(&self, key: &str) -> Result<Vec<u8>, ScrubError> {
-        let obj = self
-            .objects
-            .get(key)
-            .ok_or_else(|| ScrubError::NoSuchObject(key.to_string()))?;
+        let obj = self.objects.get(key).ok_or_else(|| ScrubError::NoSuchObject(key.to_string()))?;
         // Borrowed-shard decode: corrupt shards are masked without cloning
         // the healthy ones.
         let visible: Vec<Option<&[u8]>> = obj
@@ -94,19 +94,15 @@ impl ScrubbedSet {
             })
             .collect();
         let mut out = Vec::new();
-        self.coder
-            .decode_refs(&visible, obj.len, &mut out)
-            .map_err(ScrubError::Unrecoverable)?;
+        self.coder.decode_refs(&visible, obj.len, &mut out).map_err(ScrubError::Unrecoverable)?;
         Ok(out)
     }
 
     /// Flip bits in one shard of one object (test/failure injection — this
     /// is what a decaying disk does).
     pub fn corrupt_shard(&mut self, key: &str, drive: usize) -> Result<(), ScrubError> {
-        let obj = self
-            .objects
-            .get_mut(key)
-            .ok_or_else(|| ScrubError::NoSuchObject(key.to_string()))?;
+        let obj =
+            self.objects.get_mut(key).ok_or_else(|| ScrubError::NoSuchObject(key.to_string()))?;
         if drive >= obj.shards.len() {
             return Err(ScrubError::DriveOutOfRange(drive));
         }
@@ -144,8 +140,7 @@ impl ScrubbedSet {
             match self.coder.reconstruct_shards(&mut obj.shards, obj.len) {
                 Ok(()) => {
                     for &i in &rotted {
-                        obj.sums[i] =
-                            checksum(obj.shards[i].as_ref().expect("reconstructed"));
+                        obj.sums[i] = checksum(obj.shards[i].as_ref().expect("reconstructed"));
                     }
                     healed += rotted.len();
                 }

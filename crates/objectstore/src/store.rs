@@ -92,9 +92,7 @@ struct Inner {
 impl ObjectStore {
     /// A store provisioned with `capacity` bytes (e.g. the paper's 100 GB).
     pub fn with_capacity(capacity: DataSize) -> Self {
-        ObjectStore {
-            inner: Arc::new(RwLock::new(Inner { buckets: BTreeMap::new(), capacity })),
-        }
+        ObjectStore { inner: Arc::new(RwLock::new(Inner { buckets: BTreeMap::new(), capacity })) }
     }
 
     /// The paper's example provisioning: 100 GB.
@@ -148,7 +146,12 @@ impl ObjectStore {
 
     /// Put an object, replacing any existing value under the key. The
     /// quota check accounts for the bytes freed by the replacement.
-    pub fn put_object(&self, bucket: &str, key: &str, data: Bytes) -> Result<ObjectMeta, StoreError> {
+    pub fn put_object(
+        &self,
+        bucket: &str,
+        key: &str,
+        data: Bytes,
+    ) -> Result<ObjectMeta, StoreError> {
         let mut inner = self.inner.write();
         let used: u64 = inner.buckets.values().map(Bucket::used).sum();
         let capacity = inner.capacity.as_bytes();
@@ -207,10 +210,7 @@ impl ObjectStore {
             .buckets
             .get_mut(bucket)
             .ok_or_else(|| StoreError::NoSuchBucket(bucket.to_string()))?;
-        b.objects
-            .remove(key)
-            .map(|_| ())
-            .ok_or_else(|| StoreError::NoSuchKey(key.to_string()))
+        b.objects.remove(key).map(|_| ()).ok_or_else(|| StoreError::NoSuchKey(key.to_string()))
     }
 
     /// List objects in a bucket with an optional key prefix, in key order.
@@ -220,8 +220,7 @@ impl ObjectStore {
             .buckets
             .get(bucket)
             .ok_or_else(|| StoreError::NoSuchBucket(bucket.to_string()))?;
-        Ok(b
-            .objects
+        Ok(b.objects
             .range(prefix.to_string()..)
             .take_while(|(k, _)| k.starts_with(prefix))
             .map(|(k, o)| ObjectMeta {
@@ -279,21 +278,18 @@ mod tests {
     #[test]
     fn missing_bucket_and_key_errors() {
         let s = store();
-        assert_eq!(
-            s.get_object("nope", "k").unwrap_err(),
-            StoreError::NoSuchBucket("nope".into())
-        );
+        assert_eq!(s.get_object("nope", "k").unwrap_err(), StoreError::NoSuchBucket("nope".into()));
         assert_eq!(s.get_object("images", "k").unwrap_err(), StoreError::NoSuchKey("k".into()));
-        assert_eq!(
-            s.delete_object("images", "k").unwrap_err(),
-            StoreError::NoSuchKey("k".into())
-        );
+        assert_eq!(s.delete_object("images", "k").unwrap_err(), StoreError::NoSuchKey("k".into()));
     }
 
     #[test]
     fn bucket_lifecycle() {
         let s = store();
-        assert_eq!(s.create_bucket("images").unwrap_err(), StoreError::BucketExists("images".into()));
+        assert_eq!(
+            s.create_bucket("images").unwrap_err(),
+            StoreError::BucketExists("images".into())
+        );
         s.put_object("images", "k", Bytes::from_static(b"data")).unwrap();
         assert_eq!(
             s.delete_bucket("images").unwrap_err(),

@@ -75,7 +75,12 @@ impl Cluster {
     }
 
     /// Admit and bind a pod to a node, reserving resources.
-    pub fn bind(&mut self, pod: &str, node: DeviceId, req: &Requirements) -> Result<(), ClusterError> {
+    pub fn bind(
+        &mut self,
+        pod: &str,
+        node: DeviceId,
+        req: &Requirements,
+    ) -> Result<(), ClusterError> {
         let n = self.node_mut(node).ok_or(ClusterError::UnknownNode(node))?;
         if !n.allocate(req) {
             return Err(ClusterError::Inadmissible { node, pod: pod.to_string() });
@@ -98,15 +103,32 @@ mod tests {
     use deep_netsim::DataSize;
 
     fn req(cores: u32) -> Requirements {
-        Requirements::new(cores, Mi::new(1.0), DataSize::megabytes(100.0), DataSize::megabytes(100.0))
+        Requirements::new(
+            cores,
+            Mi::new(1.0),
+            DataSize::megabytes(100.0),
+            DataSize::megabytes(100.0),
+        )
     }
 
     fn cluster() -> Cluster {
         let mut c = Cluster::new();
-        c.register(Node::new(DeviceId(0), "medium", 8, DataSize::gigabytes(16.0), DataSize::gigabytes(64.0)))
-            .unwrap();
-        c.register(Node::new(DeviceId(1), "small", 4, DataSize::gigabytes(8.0), DataSize::gigabytes(32.0)))
-            .unwrap();
+        c.register(Node::new(
+            DeviceId(0),
+            "medium",
+            8,
+            DataSize::gigabytes(16.0),
+            DataSize::gigabytes(64.0),
+        ))
+        .unwrap();
+        c.register(Node::new(
+            DeviceId(1),
+            "small",
+            4,
+            DataSize::gigabytes(8.0),
+            DataSize::gigabytes(32.0),
+        ))
+        .unwrap();
         c
     }
 
@@ -130,7 +152,10 @@ mod tests {
     #[test]
     fn unknown_and_duplicate_nodes() {
         let mut c = cluster();
-        assert_eq!(c.bind("p", DeviceId(7), &req(1)).unwrap_err(), ClusterError::UnknownNode(DeviceId(7)));
+        assert_eq!(
+            c.bind("p", DeviceId(7), &req(1)).unwrap_err(),
+            ClusterError::UnknownNode(DeviceId(7))
+        );
         let dup = Node::new(DeviceId(0), "again", 1, DataSize::ZERO, DataSize::ZERO);
         assert_eq!(c.register(dup).unwrap_err(), ClusterError::DuplicateNode(DeviceId(0)));
     }

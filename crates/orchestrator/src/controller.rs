@@ -180,9 +180,7 @@ mod tests {
         let mut tb = Testbed::paper();
         let mut orch = Orchestrator::new(&tb);
         let app = apps::text_processing();
-        let report = orch
-            .submit(&mut tb, &app, uniform_bind, &ExecutorConfig::default())
-            .unwrap();
+        let report = orch.submit(&mut tb, &app, uniform_bind, &ExecutorConfig::default()).unwrap();
         assert_eq!(report.pods.len(), 6);
         for (spec, status) in &report.pods {
             assert_eq!(status.phase, PodPhase::Succeeded, "{}", spec.name);
@@ -199,9 +197,7 @@ mod tests {
         let mut tb = Testbed::paper();
         let mut orch = Orchestrator::new(&tb);
         let app = apps::video_processing();
-        let report = orch
-            .submit(&mut tb, &app, uniform_bind, &ExecutorConfig::default())
-            .unwrap();
+        let report = orch.submit(&mut tb, &app, uniform_bind, &ExecutorConfig::default()).unwrap();
         assert_eq!(report.events.of_kind(EventKind::NodeRegistered).count(), 2);
         assert_eq!(report.events.of_kind(EventKind::PodSubmitted).count(), 6);
         assert_eq!(report.events.of_kind(EventKind::PodBound).count(), 6);
@@ -214,9 +210,7 @@ mod tests {
         let mut tb = Testbed::paper();
         let mut orch = Orchestrator::new(&tb);
         let app = apps::text_processing();
-        let report = orch
-            .submit(&mut tb, &app, uniform_bind, &ExecutorConfig::default())
-            .unwrap();
+        let report = orch.submit(&mut tb, &app, uniform_bind, &ExecutorConfig::default()).unwrap();
         // Stage order: retrieve finishes before decompress starts, etc.
         let find = |name: &str| {
             report
@@ -267,12 +261,8 @@ mod tests {
         let mut tb = Testbed::paper();
         let mut orch = Orchestrator::new(&tb);
         let app = apps::text_processing();
-        let first = orch
-            .submit(&mut tb, &app, uniform_bind, &ExecutorConfig::default())
-            .unwrap();
-        let second = orch
-            .submit(&mut tb, &app, uniform_bind, &ExecutorConfig::default())
-            .unwrap();
+        let first = orch.submit(&mut tb, &app, uniform_bind, &ExecutorConfig::default()).unwrap();
+        let second = orch.submit(&mut tb, &app, uniform_bind, &ExecutorConfig::default()).unwrap();
         assert!(second.run.makespan < first.run.makespan, "warm caches");
     }
 }

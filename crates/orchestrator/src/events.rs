@@ -36,7 +36,13 @@ impl EventLog {
         Self::default()
     }
 
-    pub fn push(&mut self, at: Seconds, kind: EventKind, subject: &str, message: impl Into<String>) {
+    pub fn push(
+        &mut self,
+        at: Seconds,
+        kind: EventKind,
+        subject: &str,
+        message: impl Into<String>,
+    ) {
         self.events.push(Event { at, kind, subject: subject.to_string(), message: message.into() });
     }
 

@@ -78,7 +78,12 @@ mod tests {
     }
 
     fn req(cores: u32, mem_gb: f64) -> Requirements {
-        Requirements::new(cores, Mi::new(1.0), DataSize::gigabytes(mem_gb), DataSize::gigabytes(1.0))
+        Requirements::new(
+            cores,
+            Mi::new(1.0),
+            DataSize::gigabytes(mem_gb),
+            DataSize::gigabytes(1.0),
+        )
     }
 
     #[test]

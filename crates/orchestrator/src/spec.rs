@@ -62,8 +62,12 @@ impl PodStatus {
         use PodPhase::*;
         let ok = matches!(
             (self.phase, to),
-            (Pending, Pulling) | (Pending, Failed) | (Pulling, Running) | (Pulling, Failed)
-                | (Running, Succeeded) | (Running, Failed)
+            (Pending, Pulling)
+                | (Pending, Failed)
+                | (Pulling, Running)
+                | (Pulling, Failed)
+                | (Running, Succeeded)
+                | (Running, Failed)
         );
         if !ok {
             return false;

@@ -62,6 +62,12 @@ impl LayerCache {
         self.entries.contains_key(digest)
     }
 
+    /// Iterate cached layer digests (arbitrary order, no recency
+    /// side-effect) — the snapshot a peer-cache mesh source is built from.
+    pub fn digests(&self) -> impl Iterator<Item = &Digest> {
+        self.entries.keys()
+    }
+
     /// Insert a layer, evicting least-recently-used layers as needed.
     ///
     /// Returns `false` (and caches nothing) when the layer alone exceeds

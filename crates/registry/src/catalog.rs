@@ -37,19 +37,15 @@ pub struct CatalogEntry {
 impl CatalogEntry {
     fn new(application: &str, microservice: &str, prefix: &str, layers: &[(&str, f64)]) -> Self {
         let short = format!("{prefix}-{microservice}");
-        let layer_sizes: Vec<(String, DataSize)> = layers
-            .iter()
-            .map(|(name, mb)| (name.to_string(), DataSize::megabytes(*mb)))
-            .collect();
+        let layer_sizes: Vec<(String, DataSize)> =
+            layers.iter().map(|(name, mb)| (name.to_string(), DataSize::megabytes(*mb))).collect();
         let manifests = Platform::all()
             .into_iter()
             .map(|p| {
                 // Per-platform layers: same logical stack, platform-suffixed
                 // digest seeds (arm64 and amd64 blobs differ in reality).
-                let named: Vec<(String, DataSize)> = layer_sizes
-                    .iter()
-                    .map(|(n, s)| (format!("{n}@{p}"), *s))
-                    .collect();
+                let named: Vec<(String, DataSize)> =
+                    layer_sizes.iter().map(|(n, s)| (format!("{n}@{p}"), *s)).collect();
                 let refs: Vec<(&str, DataSize)> =
                     named.iter().map(|(n, s)| (n.as_str(), *s)).collect();
                 ImageManifest::synthetic(&short, p, &refs)
@@ -199,9 +195,7 @@ pub fn find_entry<'a>(
     application: &str,
     microservice: &str,
 ) -> Option<&'a CatalogEntry> {
-    catalog
-        .iter()
-        .find(|e| e.application == application && e.microservice == microservice)
+    catalog.iter().find(|e| e.application == application && e.microservice == microservice)
 }
 
 #[cfg(test)]
@@ -265,8 +259,7 @@ mod tests {
         for app in ["video-processing", "text-processing"] {
             let ha = find_entry(&cat, app, "ha-train").unwrap().manifest(Platform::Amd64);
             let la = find_entry(&cat, app, "la-train").unwrap().manifest(Platform::Amd64);
-            let shared =
-                ha.shared_bytes(la).as_bytes() as f64 / ha.total_size().as_bytes() as f64;
+            let shared = ha.shared_bytes(la).as_bytes() as f64 / ha.total_size().as_bytes() as f64;
             assert!(shared > 0.85, "{app} trainers share only {shared:.2}");
         }
     }
@@ -286,7 +279,8 @@ mod tests {
     fn slim_base_shared_across_applications() {
         // python:3.9-slim appears in vp-infer and tp-retrieve stacks alike.
         let cat = paper_catalog();
-        let infer = find_entry(&cat, "video-processing", "ha-infer").unwrap().manifest(Platform::Amd64);
+        let infer =
+            find_entry(&cat, "video-processing", "ha-infer").unwrap().manifest(Platform::Amd64);
         let retrieve =
             find_entry(&cat, "text-processing", "retrieve").unwrap().manifest(Platform::Amd64);
         assert_eq!(infer.shared_bytes(retrieve), DataSize::megabytes(120.0));

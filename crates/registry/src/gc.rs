@@ -10,8 +10,8 @@
 
 use crate::digest::Digest;
 use crate::manifest::ImageManifest;
-use crate::regional::RegionalRegistry;
 use crate::pull::RegistryError;
+use crate::regional::RegionalRegistry;
 use std::collections::HashSet;
 
 /// What a collection pass did.
@@ -82,7 +82,7 @@ mod tests {
         let cat = paper_catalog();
         let frame = find_entry(&cat, "video-processing", "frame").unwrap();
         for l in &frame.manifest(Platform::Amd64).layers {
-            assert!(crate::Registry::has_blob(&reg, &l.digest));
+            assert!(crate::BlobSource::has_blob(&reg, &l.digest));
         }
     }
 
@@ -98,7 +98,7 @@ mod tests {
         let cat = paper_catalog();
         let la = find_entry(&cat, "video-processing", "la-train").unwrap();
         for l in &la.manifest(Platform::Amd64).layers {
-            assert!(crate::Registry::has_blob(&reg, &l.digest), "shared layer swept");
+            assert!(crate::BlobSource::has_blob(&reg, &l.digest), "shared layer swept");
         }
     }
 

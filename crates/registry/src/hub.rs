@@ -11,7 +11,7 @@ use crate::digest::Digest;
 use crate::image::{Platform, Reference};
 use crate::manifest::ImageManifest;
 use crate::pull::RegistryError;
-use crate::Registry;
+use crate::{BlobSource, ManifestSource};
 use deep_netsim::{Bandwidth, CdnModel};
 use std::collections::{HashMap, HashSet};
 
@@ -60,8 +60,7 @@ impl HubRegistry {
         // Manifests are content-addressable blobs in their own right
         // (clients may pull by digest instead of tag).
         self.blobs.insert(manifest.digest());
-        self.manifests
-            .insert((repository.to_string(), tag.to_string()), manifest);
+        self.manifests.insert((repository.to_string(), tag.to_string()), manifest);
     }
 
     /// The CDN model in front of the hub.
@@ -76,7 +75,17 @@ impl HubRegistry {
     }
 }
 
-impl Registry for HubRegistry {
+impl BlobSource for HubRegistry {
+    fn label(&self) -> &str {
+        &self.host
+    }
+
+    fn has_blob(&self, digest: &Digest) -> bool {
+        self.blobs.contains(digest)
+    }
+}
+
+impl ManifestSource for HubRegistry {
     fn host(&self) -> &str {
         &self.host
     }
@@ -109,13 +118,8 @@ impl Registry for HubRegistry {
         Ok(m.clone())
     }
 
-    fn has_blob(&self, digest: &Digest) -> bool {
-        self.blobs.contains(digest)
-    }
-
     fn repositories(&self) -> Vec<String> {
-        let mut repos: Vec<String> =
-            self.manifests.keys().map(|(r, _)| r.clone()).collect();
+        let mut repos: Vec<String> = self.manifests.keys().map(|(r, _)| r.clone()).collect();
         repos.sort_unstable();
         repos.dedup();
         repos

@@ -31,12 +31,8 @@ impl LayerDescriptor {
     pub fn synthetic(name: &str, size: DataSize) -> Self {
         // Streamed parts: no concatenated seed string is materialised.
         let size_dec = size.as_bytes().to_string();
-        let digest = Digest::of_parts([
-            b"layer:".as_slice(),
-            name.as_bytes(),
-            b":",
-            size_dec.as_bytes(),
-        ]);
+        let digest =
+            Digest::of_parts([b"layer:".as_slice(), name.as_bytes(), b":", size_dec.as_bytes()]);
         LayerDescriptor { digest, size }
     }
 }
@@ -93,11 +89,7 @@ impl ImageManifest {
     pub fn shared_bytes(&self, other: &ImageManifest) -> DataSize {
         use std::collections::HashSet;
         let theirs: HashSet<&Digest> = other.layers.iter().map(|l| &l.digest).collect();
-        self.layers
-            .iter()
-            .filter(|l| theirs.contains(&l.digest))
-            .map(|l| l.size)
-            .sum()
+        self.layers.iter().filter(|l| theirs.contains(&l.digest)).map(|l| l.size).sum()
     }
 }
 

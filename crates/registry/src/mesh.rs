@@ -1,0 +1,722 @@
+//! The registry mesh: N sources, per-layer source selection.
+//!
+//! The paper's hybrid Docker Hub + regional deployment chooses one
+//! registry per *image*. The mesh generalizes that to any number of
+//! sources and a choice per *layer*: a [`RegistryMesh`] registers full
+//! registries ([`crate::Registry`]) and blob-only sources (e.g.
+//! [`PeerCacheSource`], other edge devices serving layers out of their
+//! caches — the EdgePier direction, arXiv:2109.12983) under typed
+//! [`RegistryId`] handles, each with its route cost parameters
+//! ([`SourceParams`]). A [`PullSession`] resolves the manifest once from
+//! its *primary* source, then fetches every missing layer from the
+//! cheapest source that has it.
+//!
+//! ## Cost model
+//!
+//! Fetching a layer of size `S` from source `g` costs `S / bw_g` plus,
+//! the first time `g` is used in this pull, its fixed per-source overhead
+//! (auth + connection negotiation). The primary's overhead is always
+//! charged — it resolved the manifest and creates the container — so its
+//! marginal layer cost is pure transfer time. Greedy per-layer selection
+//! in manifest order keeps the plan deterministic (ties break toward the
+//! primary, then the lowest id).
+//!
+//! A session over a single-source mesh reproduces the seed
+//! [`crate::PullPlanner`] pull path byte for byte (property-tested in
+//! `tests/mesh_parity.rs`), so the paper's two-registry experiments are
+//! unchanged while split pulls open strictly better deployments.
+
+use crate::cache::LayerCache;
+use crate::digest::Digest;
+use crate::image::{Platform, Reference};
+use crate::manifest::ImageManifest;
+use crate::pull::{PullOutcome, RegistryError, SourcePull};
+use crate::retry::RetryPolicy;
+use crate::{BlobSource, ManifestSource, Registry};
+use deep_netsim::{transfer_time, Bandwidth, DataSize, RegistryId, Seconds};
+use std::collections::HashSet;
+
+/// Route cost parameters for one mesh source, as seen from the pulling
+/// device (the netsim cost model: route bandwidth + per-source overhead).
+#[derive(Debug, Clone, Copy)]
+pub struct SourceParams {
+    /// Effective source→device bandwidth.
+    pub download_bw: Bandwidth,
+    /// Fixed overhead charged the first time the source is used in a pull
+    /// (auth, manifest/connection round-trips).
+    pub overhead: Seconds,
+}
+
+/// One registered source: an id, its capabilities, and its route cost.
+pub struct MeshSource<'a> {
+    id: RegistryId,
+    manifests: Option<&'a dyn ManifestSource>,
+    blobs: &'a dyn BlobSource,
+    params: SourceParams,
+}
+
+impl<'a> MeshSource<'a> {
+    /// The source's mesh handle.
+    pub fn id(&self) -> RegistryId {
+        self.id
+    }
+
+    /// Display label ("docker.io", "peer-cache", …).
+    pub fn label(&self) -> &str {
+        self.blobs.label()
+    }
+
+    /// Route cost parameters.
+    pub fn params(&self) -> SourceParams {
+        self.params
+    }
+
+    /// Whether this source can resolve manifests (full registries only).
+    pub fn can_resolve(&self) -> bool {
+        self.manifests.is_some()
+    }
+
+    /// Blob availability.
+    pub fn has_blob(&self, digest: &Digest) -> bool {
+        self.blobs.has_blob(digest)
+    }
+}
+
+/// The mesh: any number of sources under explicit [`RegistryId`] handles.
+///
+/// Sources are borrowed, so a mesh is cheap to assemble per pull — the
+/// testbed's registries stay owned where they are and the mesh is a view
+/// with cost parameters for one target device.
+#[derive(Default)]
+pub struct RegistryMesh<'a> {
+    sources: Vec<MeshSource<'a>>,
+}
+
+impl<'a> RegistryMesh<'a> {
+    /// An empty mesh.
+    pub fn new() -> Self {
+        RegistryMesh { sources: Vec::new() }
+    }
+
+    /// Register a full registry (manifests + blobs) under `id`.
+    ///
+    /// Panics if `id` is already registered — mesh assembly is
+    /// programmer-controlled, so a duplicate is a bug, not a runtime
+    /// condition.
+    pub fn add_registry(
+        &mut self,
+        id: RegistryId,
+        registry: &'a dyn Registry,
+        params: SourceParams,
+    ) -> RegistryId {
+        self.insert(MeshSource { id, manifests: Some(registry), blobs: registry, params })
+    }
+
+    /// Register a blob-only source (peer cache, mirror) under `id`.
+    pub fn add_blob_source(
+        &mut self,
+        id: RegistryId,
+        blobs: &'a dyn BlobSource,
+        params: SourceParams,
+    ) -> RegistryId {
+        self.insert(MeshSource { id, manifests: None, blobs, params })
+    }
+
+    fn insert(&mut self, source: MeshSource<'a>) -> RegistryId {
+        assert!(self.source(source.id).is_none(), "mesh source {} registered twice", source.id);
+        let id = source.id;
+        self.sources.push(source);
+        id
+    }
+
+    /// Look up a source by handle.
+    pub fn source(&self, id: RegistryId) -> Option<&MeshSource<'a>> {
+        self.sources.iter().find(|s| s.id == id)
+    }
+
+    /// Iterate sources in registration order.
+    pub fn sources(&self) -> impl Iterator<Item = &MeshSource<'a>> {
+        self.sources.iter()
+    }
+
+    /// Number of registered sources.
+    pub fn len(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// True when no source is registered.
+    pub fn is_empty(&self) -> bool {
+        self.sources.is_empty()
+    }
+
+    /// Start a pull session with `primary` as the manifest resolver.
+    pub fn session(&self, primary: RegistryId) -> PullSession<'_, 'a> {
+        PullSession::new(self, primary)
+    }
+}
+
+/// A pull through the mesh: resolve once from the primary, then fetch
+/// each missing layer from the cheapest available source.
+///
+/// Built builder-style:
+///
+/// ```
+/// # use deep_registry::{HubRegistry, LayerCache, Platform, Reference};
+/// # use deep_registry::mesh::{RegistryMesh, SourceParams};
+/// # use deep_netsim::{Bandwidth, DataSize, RegistryId, Seconds};
+/// let hub = HubRegistry::with_paper_catalog();
+/// let mut mesh = RegistryMesh::new();
+/// let hub_id = mesh.add_registry(
+///     RegistryId(0),
+///     &hub,
+///     SourceParams {
+///         download_bw: Bandwidth::megabytes_per_sec(13.0),
+///         overhead: Seconds::new(25.0),
+///     },
+/// );
+/// let mut cache = LayerCache::new(DataSize::gigabytes(64.0));
+/// let reference = Reference::new("docker.io", "sina88/vp-transcode", "amd64");
+/// let outcome = mesh
+///     .session(hub_id)
+///     .extract_bw(Bandwidth::megabytes_per_sec(12.6))
+///     .pull(&reference, Platform::Amd64, &mut cache)
+///     .unwrap();
+/// assert_eq!(outcome.layers_fetched, 3);
+/// ```
+pub struct PullSession<'m, 'a> {
+    mesh: &'m RegistryMesh<'a>,
+    primary: RegistryId,
+    extract_bw: Bandwidth,
+    retry: Option<RetryPolicy>,
+}
+
+impl<'m, 'a> PullSession<'m, 'a> {
+    /// A session resolving manifests from `primary`.
+    ///
+    /// Panics if `primary` is not registered or cannot resolve manifests —
+    /// both are mesh-assembly bugs.
+    pub fn new(mesh: &'m RegistryMesh<'a>, primary: RegistryId) -> Self {
+        let source = mesh.source(primary).unwrap_or_else(|| panic!("mesh has no source {primary}"));
+        assert!(
+            source.can_resolve(),
+            "primary source {primary} ({}) cannot resolve manifests",
+            source.label()
+        );
+        PullSession { mesh, primary, extract_bw: Bandwidth::infinite(), retry: None }
+    }
+
+    /// Device disk bandwidth for layer extraction.
+    pub fn extract_bw(mut self, bw: Bandwidth) -> Self {
+        self.extract_bw = bw;
+        self
+    }
+
+    /// Attach a retry policy: transient resolve failures
+    /// ([`RegistryError::is_transient`]) are retried with backoff charged
+    /// into the outcome's `backoff_total`.
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        assert!(policy.max_attempts >= 1, "need at least one attempt");
+        self.retry = Some(policy);
+        self
+    }
+
+    /// The primary source handle.
+    pub fn primary(&self) -> RegistryId {
+        self.primary
+    }
+
+    /// Execute the pull against `cache` (fetched layers are inserted).
+    pub fn pull(
+        &self,
+        reference: &Reference,
+        platform: Platform,
+        cache: &mut LayerCache,
+    ) -> Result<PullOutcome, RegistryError> {
+        self.run(reference, platform, &mut CacheAccess::Mutate(cache))
+    }
+
+    /// Estimate the pull without mutating the cache — counterfactual
+    /// evaluation for schedulers.
+    pub fn estimate(
+        &self,
+        reference: &Reference,
+        platform: Platform,
+        cache: &LayerCache,
+    ) -> Result<PullOutcome, RegistryError> {
+        self.run(reference, platform, &mut CacheAccess::Inspect(cache))
+    }
+
+    fn run(
+        &self,
+        reference: &Reference,
+        platform: Platform,
+        cache: &mut CacheAccess<'_>,
+    ) -> Result<PullOutcome, RegistryError> {
+        let (manifest, attempts, backoff_total) = self.resolve(reference, platform)?;
+
+        let mut cached = DataSize::ZERO;
+        let mut cache_hits = 0usize;
+        // Sources used so far: the primary's overhead is sunk (it resolved
+        // the manifest), so it starts marked used.
+        let mut used: HashSet<RegistryId> = HashSet::new();
+        used.insert(self.primary);
+        // Per-source buckets in order of first use.
+        let mut buckets: Vec<SourcePull> = Vec::new();
+
+        for layer in &manifest.layers {
+            if cache.hit(&layer.digest) {
+                cached += layer.size;
+                cache_hits += 1;
+                continue;
+            }
+            let source = self
+                .cheapest_source(&layer.digest, layer.size, &used)
+                .ok_or_else(|| RegistryError::MissingBlob(layer.digest.clone()))?;
+            used.insert(source.id);
+            match buckets.iter_mut().find(|b| b.source == source.id) {
+                Some(bucket) => {
+                    bucket.downloaded += layer.size;
+                    bucket.layers += 1;
+                }
+                None => buckets.push(SourcePull {
+                    source: source.id,
+                    downloaded: layer.size,
+                    layers: 1,
+                }),
+            }
+            cache.store(layer.digest.clone(), layer.size);
+        }
+
+        let downloaded = buckets.iter().fold(DataSize::ZERO, |acc, b| acc + b.downloaded);
+        let layers_fetched = buckets.iter().map(|b| b.layers).sum();
+        // Transfers are sequential per source: the pull's download time is
+        // the sum of each source's bucket over its own route.
+        let download_time = buckets.iter().fold(Seconds::ZERO, |acc, b| {
+            let bw =
+                self.mesh.source(b.source).expect("bucket source registered").params.download_bw;
+            acc + transfer_time(b.downloaded, bw)
+        });
+        // Fixed overhead: the primary always pays (manifest negotiation +
+        // container create), every additional source used pays once.
+        // Summed in bucket order so the float total is deterministic.
+        let primary_overhead =
+            self.mesh.source(self.primary).expect("validated in new()").params.overhead;
+        let overhead = buckets.iter().fold(primary_overhead, |acc, b| {
+            if b.source == self.primary {
+                acc
+            } else {
+                acc + self.mesh.source(b.source).expect("bucket source registered").params.overhead
+            }
+        });
+
+        Ok(PullOutcome {
+            image_digest: manifest.digest(),
+            downloaded,
+            cached,
+            layers_fetched,
+            cache_hits,
+            download_time,
+            extract_time: transfer_time(downloaded, self.extract_bw),
+            overhead,
+            per_source: buckets,
+            backoff_total,
+            attempts,
+        })
+    }
+
+    /// Resolve the manifest from the primary, retrying transients when a
+    /// policy is attached.
+    fn resolve(
+        &self,
+        reference: &Reference,
+        platform: Platform,
+    ) -> Result<(ImageManifest, usize, Seconds), RegistryError> {
+        let source = self.mesh.source(self.primary).expect("validated in new()");
+        let manifests = source.manifests.expect("validated in new()");
+        let Some(policy) = self.retry else {
+            return manifests.resolve(reference, platform).map(|m| (m, 1, Seconds::ZERO));
+        };
+        let mut backoff_total = Seconds::ZERO;
+        for attempt in 1..=policy.max_attempts {
+            match manifests.resolve(reference, platform) {
+                Ok(m) => return Ok((m, attempt, backoff_total)),
+                Err(e) if e.is_transient() && attempt < policy.max_attempts => {
+                    backoff_total += policy.backoff(attempt);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        unreachable!("loop always returns")
+    }
+
+    /// The cheapest source holding `digest`, under the marginal-cost model
+    /// (transfer time + first-use overhead). Deterministic tie-break:
+    /// primary first, then lowest id.
+    fn cheapest_source(
+        &self,
+        digest: &Digest,
+        size: DataSize,
+        used: &HashSet<RegistryId>,
+    ) -> Option<&MeshSource<'a>> {
+        self.mesh.sources().filter(|s| s.has_blob(digest)).min_by(|a, b| {
+            let cost = |s: &MeshSource<'_>| {
+                let mut c = transfer_time(size, s.params.download_bw).as_f64();
+                if !used.contains(&s.id) {
+                    c += s.params.overhead.as_f64();
+                }
+                c
+            };
+            cost(a)
+                .partial_cmp(&cost(b))
+                .expect("costs are never NaN")
+                .then_with(|| (a.id != self.primary).cmp(&(b.id != self.primary)))
+                .then_with(|| a.id.cmp(&b.id))
+        })
+    }
+}
+
+/// Unified view over mutate-vs-inspect cache access so `pull` and
+/// `estimate` share one planning loop (the seed planner duplicated it).
+enum CacheAccess<'c> {
+    Mutate(&'c mut LayerCache),
+    Inspect(&'c LayerCache),
+}
+
+impl CacheAccess<'_> {
+    fn hit(&mut self, digest: &Digest) -> bool {
+        match self {
+            CacheAccess::Mutate(cache) => cache.touch(digest),
+            CacheAccess::Inspect(cache) => cache.contains(digest),
+        }
+    }
+
+    fn store(&mut self, digest: Digest, size: DataSize) {
+        if let CacheAccess::Mutate(cache) = self {
+            cache.insert(digest, size);
+        }
+    }
+}
+
+/// A blob-only mesh source backed by peer devices' layer caches: the
+/// content a fleet already holds, served over the local network instead
+/// of a registry route.
+///
+/// The source is a *snapshot* — the executor rebuilds it at each
+/// deployment wave barrier, modelling peers that advertise what they held
+/// when the wave began (a gossip round per barrier).
+#[derive(Debug, Clone, Default)]
+pub struct PeerCacheSource {
+    label: String,
+    blobs: HashSet<Digest>,
+}
+
+impl PeerCacheSource {
+    /// An empty source with a display label.
+    pub fn new(label: &str) -> Self {
+        PeerCacheSource { label: label.to_string(), blobs: HashSet::new() }
+    }
+
+    /// Snapshot every digest of `caches` into one source.
+    pub fn from_caches<'c>(label: &str, caches: impl IntoIterator<Item = &'c LayerCache>) -> Self {
+        let mut source = PeerCacheSource::new(label);
+        for cache in caches {
+            source.absorb(cache);
+        }
+        source
+    }
+
+    /// Add every layer of `cache` to the snapshot.
+    pub fn absorb(&mut self, cache: &LayerCache) {
+        self.blobs.extend(cache.digests().cloned());
+    }
+
+    /// Number of distinct layers the peers can serve.
+    pub fn len(&self) -> usize {
+        self.blobs.len()
+    }
+
+    /// True when no peer holds anything.
+    pub fn is_empty(&self) -> bool {
+        self.blobs.is_empty()
+    }
+}
+
+impl BlobSource for PeerCacheSource {
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn has_blob(&self, digest: &Digest) -> bool {
+        self.blobs.contains(digest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hub::HubRegistry;
+    use crate::pull::PullPlanner;
+    use crate::regional::RegionalRegistry;
+    use crate::retry::FlakyRegistry;
+
+    const HUB: RegistryId = RegistryId(0);
+    const REGIONAL: RegistryId = RegistryId(1);
+    const PEER: RegistryId = RegistryId(2);
+
+    fn hub_params() -> SourceParams {
+        SourceParams {
+            download_bw: Bandwidth::megabytes_per_sec(13.0),
+            overhead: Seconds::new(25.0),
+        }
+    }
+
+    fn regional_params() -> SourceParams {
+        SourceParams { download_bw: Bandwidth::megabytes_per_sec(8.0), overhead: Seconds::new(5.0) }
+    }
+
+    fn peer_params() -> SourceParams {
+        SourceParams {
+            download_bw: Bandwidth::megabytes_per_sec(80.0),
+            overhead: Seconds::new(1.0),
+        }
+    }
+
+    fn cache() -> LayerCache {
+        LayerCache::new(DataSize::gigabytes(64.0))
+    }
+
+    #[test]
+    fn single_source_mesh_matches_seed_planner() {
+        let hub = HubRegistry::with_paper_catalog();
+        let mut mesh = RegistryMesh::new();
+        mesh.add_registry(HUB, &hub, hub_params());
+        let session = mesh.session(HUB).extract_bw(Bandwidth::megabytes_per_sec(12.6));
+        let planner = PullPlanner {
+            download_bw: hub_params().download_bw,
+            extract_bw: Bandwidth::megabytes_per_sec(12.6),
+            overhead: hub_params().overhead,
+        };
+        let r = Reference::new("docker.io", "sina88/vp-ha-train", "amd64");
+        let mut c1 = cache();
+        let mut c2 = cache();
+        let mesh_out = session.pull(&r, Platform::Amd64, &mut c1).unwrap();
+        let seed_out = planner.pull(&hub, &r, Platform::Amd64, &mut c2).unwrap();
+        assert_eq!(mesh_out, seed_out);
+        // Warm pulls agree too (overhead-only, empty breakdown).
+        let mesh_warm = session.pull(&r, Platform::Amd64, &mut c1).unwrap();
+        let seed_warm = planner.pull(&hub, &r, Platform::Amd64, &mut c2).unwrap();
+        assert_eq!(mesh_warm, seed_warm);
+        assert!(mesh_warm.per_source.is_empty());
+    }
+
+    #[test]
+    fn split_pull_fetches_each_layer_from_the_cheapest_source() {
+        // Peer device already holds the 5.2 GB shared training stack; the
+        // 580 MB app layer is only on the registries. The session must
+        // split: stack from the peer, app layer from the hub (13 MB/s
+        // beats regional 8 MB/s, hub overhead already sunk as primary).
+        let hub = HubRegistry::with_paper_catalog();
+        let regional = RegionalRegistry::with_paper_catalog();
+        let mut peer_cache = cache();
+        let warm_planner = PullPlanner {
+            download_bw: hub_params().download_bw,
+            extract_bw: Bandwidth::infinite(),
+            overhead: Seconds::ZERO,
+        };
+        let la = Reference::new("docker.io", "sina88/vp-la-train", "amd64");
+        warm_planner.pull(&hub, &la, Platform::Amd64, &mut peer_cache).unwrap();
+        let peer = PeerCacheSource::from_caches("peer-cache", [&peer_cache]);
+
+        let mut mesh = RegistryMesh::new();
+        mesh.add_registry(HUB, &hub, hub_params());
+        mesh.add_registry(REGIONAL, &regional, regional_params());
+        mesh.add_blob_source(PEER, &peer, peer_params());
+
+        let ha = Reference::new("docker.io", "sina88/vp-ha-train", "amd64");
+        let mut c = cache();
+        let out = mesh.session(HUB).pull(&ha, Platform::Amd64, &mut c).unwrap();
+        assert_eq!(out.downloaded, DataSize::gigabytes(5.78), "cold pull moves everything");
+        assert_eq!(out.per_source.len(), 2, "{:?}", out.per_source);
+        let peer_bucket = out.per_source.iter().find(|b| b.source == PEER).unwrap();
+        let hub_bucket = out.per_source.iter().find(|b| b.source == HUB).unwrap();
+        assert_eq!(peer_bucket.downloaded, DataSize::megabytes(5200.0));
+        assert_eq!(hub_bucket.downloaded, DataSize::megabytes(580.0));
+        // Overheads: hub (primary, 25) + peer (first use, 1). Regional
+        // unused, unpaid.
+        assert!((out.overhead.as_f64() - 26.0).abs() < 1e-12);
+        // Download time: 5200/80 + 580/13 = 65 + 44.615…
+        assert!((out.download_time.as_f64() - (5200.0 / 80.0 + 580.0 / 13.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn split_pull_beats_every_single_source_pull() {
+        let hub = HubRegistry::with_paper_catalog();
+        let regional = RegionalRegistry::with_paper_catalog();
+        let mut peer_cache = cache();
+        let warm = PullPlanner {
+            download_bw: Bandwidth::infinite(),
+            extract_bw: Bandwidth::infinite(),
+            overhead: Seconds::ZERO,
+        };
+        let la = Reference::new("docker.io", "sina88/vp-la-train", "amd64");
+        warm.pull(&hub, &la, Platform::Amd64, &mut peer_cache).unwrap();
+        let peer = PeerCacheSource::from_caches("peer-cache", [&peer_cache]);
+
+        let ha = Reference::new("docker.io", "sina88/vp-ha-train", "amd64");
+        let ha_regional = Reference::new("dcloud2.itec.aau.at", "aau/vp-ha-train", "amd64");
+        let single = |params: SourceParams, reg: &dyn Registry, r: &Reference| {
+            let mut mesh = RegistryMesh::new();
+            mesh.add_registry(HUB, reg, params);
+            mesh.session(HUB).pull(r, Platform::Amd64, &mut cache()).unwrap().deployment_time()
+        };
+        let hub_only = single(hub_params(), &hub, &ha);
+        let regional_only = single(regional_params(), &regional, &ha_regional);
+
+        let mut mesh = RegistryMesh::new();
+        mesh.add_registry(HUB, &hub, hub_params());
+        mesh.add_registry(REGIONAL, &regional, regional_params());
+        mesh.add_blob_source(PEER, &peer, peer_params());
+        let split =
+            mesh.session(HUB).pull(&ha, Platform::Amd64, &mut cache()).unwrap().deployment_time();
+
+        assert!(
+            split.as_f64() < hub_only.as_f64().min(regional_only.as_f64()),
+            "split {split} vs hub {hub_only} / regional {regional_only}"
+        );
+    }
+
+    #[test]
+    fn estimate_matches_pull_without_mutation() {
+        let hub = HubRegistry::with_paper_catalog();
+        let regional = RegionalRegistry::with_paper_catalog();
+        let mut mesh = RegistryMesh::new();
+        mesh.add_registry(HUB, &hub, hub_params());
+        mesh.add_registry(REGIONAL, &regional, regional_params());
+        let session = mesh.session(REGIONAL);
+        let r = Reference::new("dcloud2.itec.aau.at", "aau/tp-decompress", "amd64");
+        let mut c = cache();
+        let est = session.estimate(&r, Platform::Amd64, &c).unwrap();
+        let real = session.pull(&r, Platform::Amd64, &mut c).unwrap();
+        assert_eq!(est, real);
+        let est2 = session.estimate(&r, Platform::Amd64, &c).unwrap();
+        assert_eq!(est2.downloaded, DataSize::ZERO, "estimate did not mutate");
+    }
+
+    /// A registry that resolves manifests but serves no blobs — the state
+    /// of a registry mid-replication.
+    struct ManifestOnly(HubRegistry);
+
+    impl ManifestSource for ManifestOnly {
+        fn host(&self) -> &str {
+            self.0.host()
+        }
+
+        fn resolve(
+            &self,
+            reference: &Reference,
+            platform: Platform,
+        ) -> Result<ImageManifest, RegistryError> {
+            self.0.resolve(reference, platform)
+        }
+
+        fn repositories(&self) -> Vec<String> {
+            self.0.repositories()
+        }
+    }
+
+    impl BlobSource for ManifestOnly {
+        fn label(&self) -> &str {
+            "manifest-only"
+        }
+
+        fn has_blob(&self, _digest: &Digest) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn missing_blob_errors_when_no_source_serves_it() {
+        let stub = ManifestOnly(HubRegistry::with_paper_catalog());
+        let peer = PeerCacheSource::new("empty-peer");
+        let mut mesh = RegistryMesh::new();
+        mesh.add_registry(HUB, &stub, hub_params());
+        mesh.add_blob_source(PEER, &peer, peer_params());
+        let r = Reference::new("docker.io", "sina88/vp-transcode", "amd64");
+        let err = mesh.session(HUB).pull(&r, Platform::Amd64, &mut cache()).unwrap_err();
+        assert!(matches!(err, RegistryError::MissingBlob(_)), "{err}");
+        // Adding a blob-capable source heals the pull.
+        let hub = HubRegistry::with_paper_catalog();
+        let mut healed = RegistryMesh::new();
+        healed.add_registry(HUB, &stub, hub_params());
+        healed.add_blob_source(REGIONAL, &hub, regional_params());
+        let out = healed.session(HUB).pull(&r, Platform::Amd64, &mut cache()).unwrap();
+        assert_eq!(out.per_source.len(), 1);
+        assert_eq!(out.per_source[0].source, REGIONAL);
+    }
+
+    #[test]
+    fn retry_policy_attaches_to_the_session() {
+        let flaky = FlakyRegistry::new(HubRegistry::with_paper_catalog(), 2);
+        let mut mesh = RegistryMesh::new();
+        mesh.add_registry(HUB, &flaky, hub_params());
+        let session = mesh.session(HUB).with_retry(RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Seconds::new(2.0),
+            ..Default::default()
+        });
+        let r = Reference::new("docker.io", "sina88/vp-transcode", "amd64");
+        let out = session.pull(&r, Platform::Amd64, &mut cache()).unwrap();
+        assert_eq!(out.attempts, 3);
+        assert!((out.backoff_total.as_f64() - 6.0).abs() < 1e-12);
+        // Backoff is charged to Td but not folded into overhead.
+        assert!((out.overhead.as_f64() - 25.0).abs() < 1e-12);
+        assert!(out.deployment_time().as_f64() >= 6.0 + 25.0);
+        assert_eq!(flaky.pending_failures(), 0);
+    }
+
+    #[test]
+    fn session_without_policy_surfaces_transients() {
+        let flaky = FlakyRegistry::new(HubRegistry::with_paper_catalog(), 1);
+        let mut mesh = RegistryMesh::new();
+        mesh.add_registry(HUB, &flaky, hub_params());
+        let r = Reference::new("docker.io", "sina88/vp-transcode", "amd64");
+        let err = mesh.session(HUB).pull(&r, Platform::Amd64, &mut cache()).unwrap_err();
+        assert!(err.is_transient());
+    }
+
+    #[test]
+    fn peer_cache_source_snapshots_and_absorbs() {
+        let mut a = cache();
+        let mut b = cache();
+        a.insert(Digest::of(b"layer-a"), DataSize::megabytes(10.0));
+        b.insert(Digest::of(b"layer-b"), DataSize::megabytes(10.0));
+        b.insert(Digest::of(b"layer-a"), DataSize::megabytes(10.0));
+        let peer = PeerCacheSource::from_caches("fleet", [&a, &b]);
+        assert_eq!(peer.len(), 2, "digests dedup across peers");
+        assert!(peer.has_blob(&Digest::of(b"layer-a")));
+        assert!(peer.has_blob(&Digest::of(b"layer-b")));
+        assert!(!peer.has_blob(&Digest::of(b"layer-c")));
+        assert_eq!(peer.label(), "fleet");
+        // The snapshot is decoupled from later cache evolution.
+        a.insert(Digest::of(b"layer-c"), DataSize::megabytes(10.0));
+        assert!(!peer.has_blob(&Digest::of(b"layer-c")));
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_source_ids_are_rejected() {
+        let hub = HubRegistry::with_paper_catalog();
+        let mut mesh = RegistryMesh::new();
+        mesh.add_registry(HUB, &hub, hub_params());
+        mesh.add_registry(HUB, &hub, hub_params());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot resolve manifests")]
+    fn blob_only_primary_is_rejected() {
+        let peer = PeerCacheSource::new("peer");
+        let mut mesh = RegistryMesh::new();
+        mesh.add_blob_source(PEER, &peer, peer_params());
+        let _ = mesh.session(PEER);
+    }
+}

@@ -7,12 +7,18 @@
 //! is how Table II's multi-hundred-second deployments of 5.78 GB images
 //! arise on the testbed). A fixed per-pull overhead models registry
 //! negotiation and container creation.
+//!
+//! [`PullPlanner`] is the seed single-registry pull path, retained as the
+//! parity oracle for the mesh: a [`crate::mesh::PullSession`] over a
+//! single-source mesh must reproduce its [`PullOutcome`] byte for byte
+//! (see the `mesh_parity` property tests). New code should pull through a
+//! session; the planner remains the reference semantics.
 
 use crate::cache::LayerCache;
 use crate::digest::Digest;
 use crate::image::{Platform, Reference};
 use crate::Registry;
-use deep_netsim::{transfer_time, Bandwidth, DataSize, Seconds};
+use deep_netsim::{transfer_time, Bandwidth, DataSize, RegistryId, Seconds};
 use deep_objectstore::StoreError;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -25,11 +31,7 @@ pub enum RegistryError {
     /// No manifest under the reference.
     ManifestNotFound(String),
     /// Manifest exists but for another platform.
-    PlatformMismatch {
-        reference: String,
-        requested: Platform,
-        available: Platform,
-    },
+    PlatformMismatch { reference: String, requested: Platform, available: Platform },
     /// Stored manifest failed to deserialize.
     CorruptManifest(String),
     /// Object-store failure (regional registry backend).
@@ -48,10 +50,9 @@ impl fmt::Display for RegistryError {
                 write!(f, "reference targets {got:?}, registry is {expected:?}")
             }
             RegistryError::ManifestNotFound(r) => write!(f, "manifest not found: {r}"),
-            RegistryError::PlatformMismatch { reference, requested, available } => write!(
-                f,
-                "{reference}: requested platform {requested}, available {available}"
-            ),
+            RegistryError::PlatformMismatch { reference, requested, available } => {
+                write!(f, "{reference}: requested platform {requested}, available {available}")
+            }
             RegistryError::CorruptManifest(e) => write!(f, "corrupt manifest: {e}"),
             RegistryError::Storage(e) => write!(f, "storage: {e}"),
             RegistryError::MissingBlob(d) => write!(f, "missing blob {d}"),
@@ -61,6 +62,16 @@ impl fmt::Display for RegistryError {
 }
 
 impl std::error::Error for RegistryError {}
+
+impl RegistryError {
+    /// Whether retrying the operation may succeed. Retry policies (see
+    /// [`crate::retry`] and [`crate::mesh::PullSession::with_retry`]) only
+    /// re-attempt transient failures; permanent errors (missing manifest,
+    /// wrong platform, corruption) surface immediately.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, RegistryError::Transient(_))
+    }
+}
 
 /// Link/device parameters for one pull.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -72,6 +83,17 @@ pub struct PullPlanner {
     /// Fixed per-pull overhead: auth, manifest round-trips, container
     /// create/start.
     pub overhead: Seconds,
+}
+
+/// Bytes and layers one mesh source contributed to a pull.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SourcePull {
+    /// The contributing source's mesh handle.
+    pub source: RegistryId,
+    /// Bytes fetched from this source.
+    pub downloaded: DataSize,
+    /// Layers fetched from this source.
+    pub layers: usize,
 }
 
 /// What a pull did and how long it took.
@@ -93,12 +115,21 @@ pub struct PullOutcome {
     pub extract_time: Seconds,
     /// Fixed overhead charged.
     pub overhead: Seconds,
+    /// Per-source breakdown, in order of first use (only sources that
+    /// fetched at least one layer appear; empty for fully-warm pulls).
+    pub per_source: Vec<SourcePull>,
+    /// Retry backoff charged by the session's retry policy (zero when no
+    /// retries happened). Reported separately from `overhead`; included in
+    /// [`PullOutcome::deployment_time`].
+    pub backoff_total: Seconds,
+    /// Manifest-resolve attempts performed (1 = first try succeeded).
+    pub attempts: usize,
 }
 
 impl PullOutcome {
     /// Total deployment time `Td`.
     pub fn deployment_time(&self) -> Seconds {
-        self.download_time + self.extract_time + self.overhead
+        self.download_time + self.extract_time + self.overhead + self.backoff_total
     }
 
     /// Fraction of the image served from cache, by bytes.
@@ -139,16 +170,7 @@ impl PullPlanner {
                 cache.insert(layer.digest.clone(), layer.size);
             }
         }
-        Ok(PullOutcome {
-            image_digest: manifest.digest(),
-            downloaded,
-            cached,
-            layers_fetched,
-            cache_hits,
-            download_time: transfer_time(downloaded, self.download_bw),
-            extract_time: transfer_time(downloaded, self.extract_bw),
-            overhead: self.overhead,
-        })
+        Ok(self.outcome(&manifest, downloaded, cached, layers_fetched, cache_hits))
     }
 
     /// Estimate a pull without mutating the cache — used by the scheduler
@@ -174,7 +196,25 @@ impl PullPlanner {
                 layers_fetched += 1;
             }
         }
-        Ok(PullOutcome {
+        Ok(self.outcome(&manifest, downloaded, cached, layers_fetched, cache_hits))
+    }
+
+    /// Assemble the single-source outcome. The planner has no mesh, so the
+    /// breakdown attributes everything fetched to [`PullPlanner::SOURCE`].
+    fn outcome(
+        &self,
+        manifest: &crate::manifest::ImageManifest,
+        downloaded: DataSize,
+        cached: DataSize,
+        layers_fetched: usize,
+        cache_hits: usize,
+    ) -> PullOutcome {
+        let per_source = if layers_fetched > 0 {
+            vec![SourcePull { source: Self::SOURCE, downloaded, layers: layers_fetched }]
+        } else {
+            Vec::new()
+        };
+        PullOutcome {
             image_digest: manifest.digest(),
             downloaded,
             cached,
@@ -183,8 +223,18 @@ impl PullPlanner {
             download_time: transfer_time(downloaded, self.download_bw),
             extract_time: transfer_time(downloaded, self.extract_bw),
             overhead: self.overhead,
-        })
+            per_source,
+            backoff_total: Seconds::ZERO,
+            attempts: 1,
+        }
     }
+}
+
+impl PullPlanner {
+    /// The mesh handle a planner pull reports in its breakdown: the
+    /// planner always fetches from the one registry it was handed, which a
+    /// single-source mesh registers under id 0.
+    pub const SOURCE: RegistryId = RegistryId(0);
 }
 
 #[cfg(test)]

@@ -13,7 +13,7 @@ use crate::digest::Digest;
 use crate::image::{Platform, Reference};
 use crate::manifest::ImageManifest;
 use crate::pull::RegistryError;
-use crate::Registry;
+use crate::{BlobSource, ManifestSource};
 use bytes::Bytes;
 use deep_netsim::DataSize;
 use deep_objectstore::{ObjectStore, StoreError};
@@ -127,21 +127,20 @@ impl RegionalRegistry {
 
     /// Load a manifest directly by repository and tag (GC path; bypasses
     /// host/platform checks).
-    pub fn load_manifest(&self, repository: &str, tag: &str) -> Result<ImageManifest, RegistryError> {
+    pub fn load_manifest(
+        &self,
+        repository: &str,
+        tag: &str,
+    ) -> Result<ImageManifest, RegistryError> {
         let key = format!("manifests/{repository}/{tag}");
-        let body = self
-            .store
-            .get_object(MANIFEST_BUCKET, &key)
-            .map_err(RegistryError::Storage)?;
+        let body = self.store.get_object(MANIFEST_BUCKET, &key).map_err(RegistryError::Storage)?;
         serde_json::from_slice(&body).map_err(|e| RegistryError::CorruptManifest(e.to_string()))
     }
 
     /// Delete a manifest (the tag disappears; blobs stay until GC).
     pub fn delete_manifest(&mut self, repository: &str, tag: &str) -> Result<(), RegistryError> {
         let key = format!("manifests/{repository}/{tag}");
-        self.store
-            .delete_object(MANIFEST_BUCKET, &key)
-            .map_err(RegistryError::Storage)?;
+        self.store.delete_object(MANIFEST_BUCKET, &key).map_err(RegistryError::Storage)?;
         // Integrity sidecar goes with it (absent for pre-digest pushes).
         match self.store.delete_object(MANIFEST_BUCKET, &format!("digests/{repository}/{tag}")) {
             Ok(()) | Err(StoreError::NoSuchKey(_)) => Ok(()),
@@ -172,16 +171,23 @@ impl RegionalRegistry {
 
     /// Declared size of a stored blob, if present.
     pub fn blob_size(&self, digest: &Digest) -> Option<DataSize> {
-        let bytes = self
-            .store
-            .get_object(BLOB_BUCKET, &format!("blobs/{}", digest.hex()))
-            .ok()?;
+        let bytes = self.store.get_object(BLOB_BUCKET, &format!("blobs/{}", digest.hex())).ok()?;
         let desc: crate::manifest::LayerDescriptor = serde_json::from_slice(&bytes).ok()?;
         Some(desc.size)
     }
 }
 
-impl Registry for RegionalRegistry {
+impl BlobSource for RegionalRegistry {
+    fn label(&self) -> &str {
+        &self.host
+    }
+
+    fn has_blob(&self, digest: &Digest) -> bool {
+        self.store.head_object(BLOB_BUCKET, &format!("blobs/{}", digest.hex())).is_ok()
+    }
+}
+
+impl ManifestSource for RegionalRegistry {
     fn host(&self) -> &str {
         &self.host
     }
@@ -223,12 +229,6 @@ impl Registry for RegionalRegistry {
             });
         }
         Ok(manifest)
-    }
-
-    fn has_blob(&self, digest: &Digest) -> bool {
-        self.store
-            .head_object(BLOB_BUCKET, &format!("blobs/{}", digest.hex()))
-            .is_ok()
     }
 
     fn repositories(&self) -> Vec<String> {
@@ -325,9 +325,7 @@ mod tests {
         let mut rotted = body.to_vec();
         let flip = rotted.iter().position(|&b| b == b'a').unwrap();
         rotted[flip] = b'b';
-        reg.store()
-            .put_object("registry-manifests", key, bytes::Bytes::from(rotted))
-            .unwrap();
+        reg.store().put_object("registry-manifests", key, bytes::Bytes::from(rotted)).unwrap();
         assert!(matches!(
             reg.resolve(&r, Platform::Amd64).unwrap_err(),
             RegistryError::CorruptManifest(_)
@@ -341,10 +339,8 @@ mod tests {
         let reg = RegionalRegistry::with_paper_catalog();
         let r = Reference::new("dcloud2.itec.aau.at", "aau/tp-retrieve", "amd64");
         let m = reg.resolve(&r, Platform::Amd64).unwrap();
-        let recorded = reg
-            .store()
-            .get_object("registry-manifests", "digests/aau/tp-retrieve/amd64")
-            .unwrap();
+        let recorded =
+            reg.store().get_object("registry-manifests", "digests/aau/tp-retrieve/amd64").unwrap();
         assert_eq!(&recorded[..], m.digest().hex().as_bytes());
     }
 
@@ -354,9 +350,7 @@ mod tests {
         // leaves no record; resolve must treat that as "verification
         // unavailable", never as corruption.
         let reg = RegionalRegistry::with_paper_catalog();
-        reg.store()
-            .delete_object("registry-manifests", "digests/aau/vp-frame/amd64")
-            .unwrap();
+        reg.store().delete_object("registry-manifests", "digests/aau/vp-frame/amd64").unwrap();
         let r = Reference::new("dcloud2.itec.aau.at", "aau/vp-frame", "amd64");
         assert!(reg.resolve(&r, Platform::Amd64).is_ok());
     }

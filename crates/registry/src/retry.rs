@@ -1,42 +1,89 @@
 //! Pull retries and failure injection.
 //!
 //! Real pulls fail: Docker Hub rate-limits, WANs drop, registries restart.
-//! [`pull_with_retry`] wraps the pull protocol with an exponential-backoff
-//! policy whose waiting time is *charged to the deployment time* — a
-//! retried pull is a slower pull, which the energy model then prices.
-//! [`FlakyRegistry`] injects deterministic transient failures for tests
-//! and resilience experiments.
+//! [`RetryPolicy`] is an exponential-backoff schedule with a per-retry cap
+//! and deterministic seeded jitter (decorrelating synchronized retry
+//! storms without sacrificing reproducibility). The policy attaches to a
+//! [`crate::mesh::PullSession`] via
+//! [`with_retry`](crate::mesh::PullSession::with_retry); waiting time is
+//! *charged to the deployment time* (reported separately as
+//! [`crate::pull::PullOutcome::backoff_total`]) — a retried pull is a
+//! slower pull, which the energy model then prices. [`pull_with_retry`]
+//! remains as the planner-level wrapper for the seed single-registry
+//! path. [`FlakyRegistry`] injects deterministic transient failures for
+//! tests and resilience experiments.
 
 use crate::cache::LayerCache;
 use crate::digest::Digest;
 use crate::image::{Platform, Reference};
 use crate::manifest::ImageManifest;
 use crate::pull::{PullOutcome, PullPlanner, RegistryError};
-use crate::Registry;
+use crate::{BlobSource, ManifestSource, Registry};
 use deep_netsim::Seconds;
 use std::cell::Cell;
 
-/// Retry policy with exponential backoff.
+/// Retry policy: exponential backoff with a cap and seeded jitter.
 #[derive(Debug, Clone, Copy)]
 pub struct RetryPolicy {
     /// Total attempts (≥ 1); the first attempt is not a retry.
     pub max_attempts: usize,
     /// Backoff before retry `k` (1-based) is `base · 2^(k-1)`.
     pub base_backoff: Seconds,
+    /// Per-retry cap applied to the exponential term before jitter — deep
+    /// retry chains wait `max_backoff`, not unbounded doublings.
+    pub max_backoff: Seconds,
+    /// Relative jitter amplitude in `[0, 1)`: retry `k`'s backoff is
+    /// scaled by `1 + jitter · u_k` with `u_k ∈ [-1, 1)` drawn
+    /// deterministically from `seed`. Zero disables jitter.
+    pub jitter: f64,
+    /// Seed of the deterministic jitter stream.
+    pub seed: u64,
 }
 
 impl Default for RetryPolicy {
     fn default() -> Self {
-        RetryPolicy { max_attempts: 3, base_backoff: Seconds::new(2.0) }
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Seconds::new(2.0),
+            max_backoff: Seconds::new(60.0),
+            jitter: 0.0,
+            seed: 0,
+        }
     }
 }
 
 impl RetryPolicy {
-    /// Backoff charged before the `k`-th retry (1-based).
+    /// Enable seeded jitter (builder-style).
+    pub fn with_jitter(mut self, jitter: f64, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&jitter), "jitter amplitude must be in [0, 1)");
+        self.jitter = jitter;
+        self.seed = seed;
+        self
+    }
+
+    /// Backoff charged before the `k`-th retry (1-based): capped
+    /// exponential, then jittered.
     pub fn backoff(&self, retry: usize) -> Seconds {
         assert!(retry >= 1, "the first attempt has no backoff");
-        self.base_backoff * 2f64.powi(retry as i32 - 1)
+        let exponential = self.base_backoff.as_f64() * 2f64.powi(retry as i32 - 1);
+        let capped = exponential.min(self.max_backoff.as_f64());
+        if self.jitter == 0.0 {
+            return Seconds::new(capped);
+        }
+        // Unit draw in [-1, 1) from a splitmix64 stream keyed by (seed,
+        // retry): deterministic per policy, decorrelated across retries.
+        let bits = splitmix64(self.seed ^ (retry as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let unit = (bits >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+        Seconds::new(capped * (1.0 + self.jitter * (2.0 * unit - 1.0)))
     }
+}
+
+/// The splitmix64 mixing function (public-domain constant schedule).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
 }
 
 /// Outcome of a retried pull.
@@ -45,12 +92,12 @@ pub struct RetriedPull {
     pub outcome: PullOutcome,
     /// Attempts performed (1 = no retries needed).
     pub attempts: usize,
-    /// Backoff time charged into the outcome's overhead.
+    /// Backoff time charged (mirrors `outcome.backoff_total`).
     pub backoff_total: Seconds,
 }
 
-/// Pull with retries on transient failures. Permanent errors (missing
-/// manifest, wrong platform, quota) surface immediately.
+/// Pull with retries on transient failures (classified by
+/// [`RegistryError::is_transient`]). Permanent errors surface immediately.
 pub fn pull_with_retry(
     planner: &PullPlanner,
     registry: &dyn Registry,
@@ -64,10 +111,11 @@ pub fn pull_with_retry(
     for attempt in 1..=policy.max_attempts {
         match planner.pull(registry, reference, platform, cache) {
             Ok(mut outcome) => {
-                outcome.overhead += backoff_total;
+                outcome.backoff_total = backoff_total;
+                outcome.attempts = attempt;
                 return Ok(RetriedPull { outcome, attempts: attempt, backoff_total });
             }
-            Err(RegistryError::Transient(_)) if attempt < policy.max_attempts => {
+            Err(e) if e.is_transient() && attempt < policy.max_attempts => {
                 backoff_total += policy.backoff(attempt);
             }
             Err(e) => return Err(e),
@@ -95,7 +143,7 @@ impl<R: Registry> FlakyRegistry<R> {
     }
 }
 
-impl<R: Registry> Registry for FlakyRegistry<R> {
+impl<R: Registry> ManifestSource for FlakyRegistry<R> {
     fn host(&self) -> &str {
         self.inner.host()
     }
@@ -115,12 +163,18 @@ impl<R: Registry> Registry for FlakyRegistry<R> {
         self.inner.resolve(reference, platform)
     }
 
-    fn has_blob(&self, digest: &Digest) -> bool {
-        self.inner.has_blob(digest)
-    }
-
     fn repositories(&self) -> Vec<String> {
         self.inner.repositories()
+    }
+}
+
+impl<R: Registry> BlobSource for FlakyRegistry<R> {
+    fn label(&self) -> &str {
+        self.inner.label()
+    }
+
+    fn has_blob(&self, digest: &Digest) -> bool {
+        self.inner.has_blob(digest)
     }
 }
 
@@ -160,6 +214,7 @@ mod tests {
         .unwrap();
         assert_eq!(r.attempts, 1);
         assert_eq!(r.backoff_total, Seconds::ZERO);
+        assert_eq!(r.outcome.backoff_total, Seconds::ZERO);
     }
 
     #[test]
@@ -171,12 +226,15 @@ mod tests {
             &reference(),
             Platform::Amd64,
             &mut cache(),
-            RetryPolicy { max_attempts: 4, base_backoff: Seconds::new(2.0) },
+            RetryPolicy { max_attempts: 4, base_backoff: Seconds::new(2.0), ..Default::default() },
         )
         .unwrap();
         assert_eq!(r.attempts, 3);
-        // 2 + 4 = 6 s of backoff, charged into deployment time.
+        // 2 + 4 = 6 s of backoff, charged into deployment time but
+        // reported separately from the fixed overhead.
         assert!((r.backoff_total.as_f64() - 6.0).abs() < 1e-12);
+        assert!((r.outcome.backoff_total.as_f64() - 6.0).abs() < 1e-12);
+        assert!((r.outcome.overhead.as_f64() - 5.0).abs() < 1e-12, "overhead stays fixed");
         assert!(r.outcome.deployment_time().as_f64() > 6.0);
         assert_eq!(flaky.pending_failures(), 0);
     }
@@ -190,10 +248,10 @@ mod tests {
             &reference(),
             Platform::Amd64,
             &mut cache(),
-            RetryPolicy { max_attempts: 3, base_backoff: Seconds::new(1.0) },
+            RetryPolicy { max_attempts: 3, base_backoff: Seconds::new(1.0), ..Default::default() },
         )
         .unwrap_err();
-        assert!(matches!(err, RegistryError::Transient(_)));
+        assert!(err.is_transient());
         assert_eq!(flaky.pending_failures(), 7);
     }
 
@@ -211,14 +269,53 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, RegistryError::ManifestNotFound(_)));
+        assert!(!err.is_transient());
     }
 
     #[test]
     fn backoff_schedule_doubles() {
-        let p = RetryPolicy { max_attempts: 5, base_backoff: Seconds::new(1.5) };
+        let p =
+            RetryPolicy { max_attempts: 5, base_backoff: Seconds::new(1.5), ..Default::default() };
         assert!((p.backoff(1).as_f64() - 1.5).abs() < 1e-12);
         assert!((p.backoff(2).as_f64() - 3.0).abs() < 1e-12);
         assert!((p.backoff(3).as_f64() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn backoff_is_capped() {
+        let p = RetryPolicy {
+            max_attempts: 16,
+            base_backoff: Seconds::new(2.0),
+            max_backoff: Seconds::new(30.0),
+            ..Default::default()
+        };
+        assert!((p.backoff(4).as_f64() - 16.0).abs() < 1e-12, "below the cap");
+        assert!((p.backoff(5).as_f64() - 30.0).abs() < 1e-12, "capped");
+        assert!((p.backoff(12).as_f64() - 30.0).abs() < 1e-12, "stays capped");
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_deterministic() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            base_backoff: Seconds::new(2.0),
+            max_backoff: Seconds::new(60.0),
+            ..Default::default()
+        }
+        .with_jitter(0.25, 42);
+        for retry in 1..=7 {
+            let nominal = (2.0 * 2f64.powi(retry as i32 - 1)).min(60.0);
+            let b = p.backoff(retry).as_f64();
+            assert!(
+                b >= nominal * 0.75 - 1e-12 && b <= nominal * 1.25 + 1e-12,
+                "retry {retry}: {b} outside ±25 % of {nominal}"
+            );
+            // Deterministic: same (seed, retry) ⇒ same backoff.
+            assert_eq!(p.backoff(retry), p.backoff(retry));
+        }
+        // Different seeds decorrelate.
+        let other = p.with_jitter(0.25, 43);
+        assert!((1..=7).any(|k| p.backoff(k) != other.backoff(k)));
     }
 
     #[test]

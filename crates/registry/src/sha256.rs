@@ -116,11 +116,11 @@ fn have_sha_ni() -> bool {
     {
         use std::sync::OnceLock;
         static HAVE: OnceLock<bool> = OnceLock::new();
-        return *HAVE.get_or_init(|| {
+        *HAVE.get_or_init(|| {
             std::arch::is_x86_feature_detected!("sha")
                 && std::arch::is_x86_feature_detected!("sse4.1")
                 && std::arch::is_x86_feature_detected!("ssse3")
-        });
+        })
     }
     #[cfg(not(target_arch = "x86_64"))]
     false
@@ -167,10 +167,7 @@ mod shani {
     macro_rules! sched {
         ($m0:ident, $m1:ident, $m2:ident, $m3:ident) => {{
             let tmp = _mm_alignr_epi8($m3, $m2, 4);
-            $m0 = _mm_sha256msg2_epu32(
-                _mm_add_epi32(_mm_sha256msg1_epu32($m0, $m1), tmp),
-                $m3,
-            );
+            $m0 = _mm_sha256msg2_epu32(_mm_add_epi32(_mm_sha256msg1_epu32($m0, $m1), tmp), $m3);
         }};
     }
 
@@ -267,10 +264,8 @@ impl Sha256 {
     /// Feed message bytes. Whole blocks are compressed straight from
     /// `data`; only sub-block tails touch the internal buffer.
     pub fn update(&mut self, mut data: &[u8]) {
-        self.length = self
-            .length
-            .checked_add(data.len() as u64)
-            .expect("message longer than 2^64 bytes");
+        self.length =
+            self.length.checked_add(data.len() as u64).expect("message longer than 2^64 bytes");
         // Fill a pending partial block first.
         if self.buffered > 0 {
             let take = (64 - self.buffered).min(data.len());
@@ -381,11 +376,7 @@ pub mod reference {
         for t in 0..64 {
             let big_s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
             let ch = (e & f) ^ (!e & g);
-            let t1 = h
-                .wrapping_add(big_s1)
-                .wrapping_add(ch)
-                .wrapping_add(K[t])
-                .wrapping_add(w[t]);
+            let t1 = h.wrapping_add(big_s1).wrapping_add(ch).wrapping_add(K[t]).wrapping_add(w[t]);
             let big_s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
             let maj = (a & b) ^ (a & c) ^ (b & c);
             let t2 = big_s0.wrapping_add(maj);
@@ -438,7 +429,10 @@ mod tests {
     #[test]
     fn nist_cavp_short_vectors() {
         // From SHA256ShortMsg.rsp.
-        assert_eq!(hex(&[0xd3]), "28969cdfa74a12c82f3bad960b0b000aca2ac329deea5c2328ebc6f2ba9802c1");
+        assert_eq!(
+            hex(&[0xd3]),
+            "28969cdfa74a12c82f3bad960b0b000aca2ac329deea5c2328ebc6f2ba9802c1"
+        );
         assert_eq!(
             hex(&[0x5f, 0xd4]),
             "7c4fbf484498d21b487b9d61de8914b2eadaf2698712936d47c3ada2558f6788"
@@ -560,10 +554,7 @@ mod tests {
     fn of_parts_equals_concatenation() {
         let parts: Vec<Vec<u8>> = vec![b"manifest".to_vec(), vec![], noise(200, 5), noise(64, 6)];
         let concat: Vec<u8> = parts.iter().flatten().copied().collect();
-        assert_eq!(
-            sha256_of_parts(parts.iter().map(Vec::as_slice)),
-            sha256(&concat)
-        );
+        assert_eq!(sha256_of_parts(parts.iter().map(Vec::as_slice)), sha256(&concat));
     }
 
     #[test]

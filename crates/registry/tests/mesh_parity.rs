@@ -1,0 +1,125 @@
+//! The mesh parity contract: a [`PullSession`] over a single-source mesh
+//! reproduces the seed [`PullPlanner`] pull path **byte for byte** — same
+//! `PullOutcome` fields, same serialized bytes, same cache evolution —
+//! across random images, link parameters, pre-cached layer subsets and
+//! pull sequences. This is what lets the whole workspace route through
+//! the mesh while the paper's two-registry experiments stay bit-exact.
+
+use deep_netsim::{Bandwidth, DataSize, RegistryId, Seconds};
+use deep_registry::{
+    paper_catalog, HubRegistry, LayerCache, Platform, PullPlanner, Reference, RegistryMesh,
+    SourceParams,
+};
+use proptest::prelude::*;
+
+fn catalog_reference(image: usize, platform: Platform) -> Reference {
+    let catalog = paper_catalog();
+    let entry = &catalog[image % catalog.len()];
+    entry.hub_reference(platform)
+}
+
+fn platform(arm: bool) -> Platform {
+    if arm {
+        Platform::Arm64
+    } else {
+        Platform::Amd64
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Cold/warm/partial pulls: identical outcomes and identical bytes.
+    #[test]
+    fn single_source_session_is_byte_identical_to_the_seed_planner(
+        image in 0usize..12,
+        arm in any::<bool>(),
+        bw_mbps in 1.0f64..200.0,
+        extract_mbps in 1.0f64..500.0,
+        overhead_s in 0.0f64..60.0,
+        precache in proptest::collection::vec(any::<bool>(), 8),
+        capacity_gb in 1.0f64..64.0,
+    ) {
+        let hub = HubRegistry::with_paper_catalog();
+        let reference = catalog_reference(image, platform(arm));
+        let manifest = deep_registry::ManifestSource::resolve(&hub, &reference, platform(arm))
+            .expect("catalog resolves");
+
+        // Seed both caches with the same random subset of the image's
+        // layers (plus LRU pressure from the bounded capacity).
+        let mut planner_cache = LayerCache::new(DataSize::gigabytes(capacity_gb));
+        let mut session_cache = LayerCache::new(DataSize::gigabytes(capacity_gb));
+        for (i, layer) in manifest.layers.iter().enumerate() {
+            if precache[i % precache.len()] {
+                planner_cache.insert(layer.digest.clone(), layer.size);
+                session_cache.insert(layer.digest.clone(), layer.size);
+            }
+        }
+
+        let planner = PullPlanner {
+            download_bw: Bandwidth::megabytes_per_sec(bw_mbps),
+            extract_bw: Bandwidth::megabytes_per_sec(extract_mbps),
+            overhead: Seconds::new(overhead_s),
+        };
+        let mut mesh = RegistryMesh::new();
+        // The planner attributes its breakdown to id 0 (PullPlanner::SOURCE);
+        // register the lone source under the same handle.
+        mesh.add_registry(
+            RegistryId(0),
+            &hub,
+            SourceParams { download_bw: planner.download_bw, overhead: planner.overhead },
+        );
+        let session = mesh
+            .session(RegistryId(0))
+            .extract_bw(planner.extract_bw);
+
+        // Pull twice: partial/cold then warm — cache evolution must match.
+        for round in 0..2 {
+            let seed_out = planner
+                .pull(&hub, &reference, platform(arm), &mut planner_cache)
+                .expect("catalog pull succeeds");
+            let mesh_out = session
+                .pull(&reference, platform(arm), &mut session_cache)
+                .expect("catalog pull succeeds");
+            prop_assert_eq!(&mesh_out, &seed_out, "round {}", round);
+            // Byte-identical: the serialized records agree exactly.
+            let seed_bytes = serde_json::to_vec(&seed_out).expect("outcome serializes");
+            let mesh_bytes = serde_json::to_vec(&mesh_out).expect("outcome serializes");
+            prop_assert_eq!(seed_bytes, mesh_bytes, "round {}", round);
+            // Cache evolution identical.
+            prop_assert_eq!(planner_cache.len(), session_cache.len());
+            prop_assert_eq!(planner_cache.used(), session_cache.used());
+        }
+    }
+
+    /// Estimates agree too, and estimating never mutates.
+    #[test]
+    fn single_source_estimate_matches_the_seed_estimate(
+        image in 0usize..12,
+        arm in any::<bool>(),
+        bw_mbps in 1.0f64..200.0,
+        overhead_s in 0.0f64..60.0,
+    ) {
+        let hub = HubRegistry::with_paper_catalog();
+        let reference = catalog_reference(image, platform(arm));
+        let cache = LayerCache::new(DataSize::gigabytes(64.0));
+        let planner = PullPlanner {
+            download_bw: Bandwidth::megabytes_per_sec(bw_mbps),
+            extract_bw: Bandwidth::infinite(),
+            overhead: Seconds::new(overhead_s),
+        };
+        let mut mesh = RegistryMesh::new();
+        mesh.add_registry(
+            RegistryId(0),
+            &hub,
+            SourceParams { download_bw: planner.download_bw, overhead: planner.overhead },
+        );
+        let seed_est = planner.estimate(&hub, &reference, platform(arm), &cache).unwrap();
+        let mesh_est = mesh
+            .session(RegistryId(0))
+            .estimate(&reference, platform(arm), &cache)
+            .unwrap();
+        prop_assert_eq!(mesh_est, seed_est);
+        prop_assert!(cache.is_empty(), "estimates never touch the cache");
+    }
+}

@@ -19,12 +19,12 @@ use crate::engine::Engine;
 use crate::jitter::Jitter;
 use crate::metrics::{MicroserviceMetrics, RunReport};
 use crate::schedule::{RegistryChoice, Schedule};
-use crate::testbed::Testbed;
+use crate::testbed::{Testbed, REGISTRY_PEER};
 use crate::trace::{Trace, TraceKind};
 use deep_dataflow::{stages, Application, MicroserviceId};
 use deep_energy::{Joules, PowerMeter, RaplBank, RaplMeasurement, Watts};
 use deep_netsim::{DeviceId, Seconds};
-use deep_registry::{Platform, PullPlanner, Registry};
+use deep_registry::{PeerCacheSource, Platform, PullSession, Registry, RegistryMesh, SourceParams};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -41,11 +41,23 @@ pub struct ExecutorConfig {
     /// Meter energy through the RAPL/wall-meter instruments as well as the
     /// analytic power model.
     pub instruments: bool,
+    /// Register a peer-cache blob source (id [`REGISTRY_PEER`]) in each
+    /// pull's mesh, snapshotting the *other* devices' layer caches at the
+    /// wave barrier: layers a fleet peer already holds are fetched over
+    /// the LAN instead of the registry route. `false` (paper behaviour)
+    /// keeps every pull on its placement's single registry.
+    pub peer_sharing: bool,
 }
 
 impl Default for ExecutorConfig {
     fn default() -> Self {
-        ExecutorConfig { seed: 0, jitter: 0.0, staged_deployment: true, instruments: true }
+        ExecutorConfig {
+            seed: 0,
+            jitter: 0.0,
+            staged_deployment: true,
+            instruments: true,
+            peer_sharing: false,
+        }
     }
 }
 
@@ -190,6 +202,7 @@ pub fn execute(
     let mut tc = vec![Seconds::ZERO; app.len()];
     let mut tp = vec![Seconds::ZERO; app.len()];
     let mut downloaded_mb = vec![0.0f64; app.len()];
+    let mut sources = vec![Vec::new(); app.len()];
     let mut analytic = vec![Joules::ZERO; app.len()];
     let mut metered = vec![Joules::ZERO; app.len()];
     let mut clock = Seconds::ZERO;
@@ -201,6 +214,31 @@ pub fn execute(
     for (wave_idx, wave) in waves.iter().enumerate() {
         // ---- Deployment wave: concurrent contended pulls. --------------
         let mut route_load: HashMap<(RegistryChoice, usize), usize> = HashMap::new();
+        // Peer-cache snapshots, one per device, taken at the wave barrier:
+        // peers advertise what they held when the wave began (a gossip
+        // round per barrier), decoupling the snapshot from the mutable
+        // per-pull cache borrows below.
+        // Snapshots are built only for devices this wave actually deploys
+        // to — a fleet wave touching a handful of devices must not pay
+        // O(devices²) digest clones.
+        let peer_snapshots: HashMap<usize, PeerCacheSource> = if cfg.peer_sharing {
+            let mut targets: Vec<usize> =
+                wave.iter().map(|&id| schedule.placement(id).device.0).collect();
+            targets.sort_unstable();
+            targets.dedup();
+            targets
+                .into_iter()
+                .map(|j| {
+                    let snapshot = PeerCacheSource::from_caches(
+                        "peer-cache",
+                        devices.iter().enumerate().filter(|(k, _)| *k != j).map(|(_, d)| &d.cache),
+                    );
+                    (j, snapshot)
+                })
+                .collect()
+        } else {
+            HashMap::new()
+        };
         // Completion events for the wave, popped in time order from a
         // heap preallocated to the wave width (no realloc churn when a
         // fleet deploys hundreds of microservices per wave).
@@ -208,38 +246,51 @@ pub fn execute(
         for &id in wave {
             let ms = app.microservice(id);
             let placement = schedule.placement(id);
-            let entry = entries
-                .get(&(app.name().to_string(), ms.name.clone()))
-                .ok_or_else(|| ExecError::UnknownImage {
-                    application: app.name().to_string(),
-                    microservice: ms.name.clone(),
+            let entry =
+                entries.get(&(app.name().to_string(), ms.name.clone())).ok_or_else(|| {
+                    ExecError::UnknownImage {
+                        application: app.name().to_string(),
+                        microservice: ms.name.clone(),
+                    }
                 })?;
             let device = &mut devices[placement.device.0];
-            let registry: &dyn Registry = match placement.registry {
-                RegistryChoice::Hub => hub,
-                RegistryChoice::Regional => regional,
+            let registry: &dyn Registry = match placement.registry.registry_id().0 {
+                0 => hub,
+                1 => regional,
+                n => panic!("schedule names mesh id r{n}, testbed has no such registry"),
             };
-            let reference = match placement.registry {
-                RegistryChoice::Hub => entry.hub_reference(device.arch),
-                RegistryChoice::Regional => entry.regional_reference(device.arch),
+            let reference = match placement.registry.registry_id().0 {
+                0 => entry.hub_reference(device.arch),
+                _ => entry.regional_reference(device.arch),
             };
-            let load =
-                *route_load.get(&(placement.registry, placement.device.0)).unwrap_or(&0);
-            let planner = PullPlanner {
-                download_bw: params
-                    .route_bandwidth(placement.registry, placement.device)
-                    .scale(1.0 / params.contention_factor(load)),
-                extract_bw: device.extract_bw,
-                overhead: params.overhead(placement.registry),
-            };
+            let load = *route_load.get(&(placement.registry, placement.device.0)).unwrap_or(&0);
+            let slowdown = params.contention_factor(load);
+            // The pull's mesh: the placement's registry as primary, plus
+            // the peer-cache source when fleet sharing is on.
+            let mut mesh = RegistryMesh::new();
+            mesh.add_registry(
+                placement.registry.registry_id(),
+                registry,
+                params.source_params(placement.registry, placement.device, slowdown),
+            );
+            if cfg.peer_sharing {
+                mesh.add_blob_source(
+                    REGISTRY_PEER,
+                    &peer_snapshots[&placement.device.0],
+                    SourceParams { download_bw: params.peer_bw, overhead: params.peer_overhead },
+                );
+            }
+            let session = PullSession::new(&mesh, placement.registry.registry_id())
+                .extract_bw(device.extract_bw);
             trace.record(clock, TraceKind::DeploymentStarted, placement.device, &ms.name);
-            let outcome = planner.pull(registry, &reference, device.arch, &mut device.cache)?;
+            let outcome = session.pull(&reference, device.arch, &mut device.cache)?;
             if outcome.downloaded >= params.contention_threshold {
                 *route_load.entry((placement.registry, placement.device.0)).or_insert(0) += 1;
             }
             let t = jitter.apply(outcome.deployment_time());
             td[id.0] = t;
             downloaded_mb[id.0] = outcome.downloaded.as_megabytes();
+            sources[id.0] = outcome.per_source;
             completions.schedule_at(t, id);
             // Instrument the deployment phase (deploy + static draw).
             if cfg.instruments {
@@ -343,16 +394,14 @@ pub fn execute(
                 tc: tc[id.0],
                 tp: tp[id.0],
                 downloaded_mb: downloaded_mb[id.0],
+                sources: std::mem::take(&mut sources[id.0]),
                 energy: analytic[id.0],
                 metered_energy: if cfg.instruments { metered[id.0] } else { analytic[id.0] },
             }
         })
         .collect();
 
-    Ok((
-        RunReport { application: app.name().to_string(), microservices, makespan: clock },
-        trace,
-    ))
+    Ok((RunReport { application: app.name().to_string(), microservices, makespan: clock }, trace))
 }
 
 #[cfg(test)]
@@ -398,10 +447,8 @@ mod tests {
         let mut tb = Testbed::paper();
         let app = apps::video_processing();
         // transcode on small, rest on medium: frame pays a LAN transfer.
-        let mut placements = vec![
-            Placement { registry: RegistryChoice::Hub, device: DEVICE_MEDIUM };
-            app.len()
-        ];
+        let mut placements =
+            vec![Placement { registry: RegistryChoice::Hub, device: DEVICE_MEDIUM }; app.len()];
         placements[app.by_name("transcode").unwrap().0] =
             Placement { registry: RegistryChoice::Regional, device: DEVICE_SMALL };
         let schedule = Schedule::new(placements);
@@ -439,27 +486,17 @@ mod tests {
         tb.reset_caches();
         // Compare the same pull without contention by putting la-train on
         // the regional route.
-        let mut placements = vec![
-            Placement { registry: RegistryChoice::Hub, device: DEVICE_MEDIUM };
-            app.len()
-        ];
+        let mut placements =
+            vec![Placement { registry: RegistryChoice::Hub, device: DEVICE_MEDIUM }; app.len()];
         placements[app.by_name("la-train").unwrap().0] =
             Placement { registry: RegistryChoice::Regional, device: DEVICE_MEDIUM };
-        let (split, _) = execute(
-            &mut tb,
-            &app,
-            &Schedule::new(placements),
-            &ExecutorConfig::default(),
-        )
-        .unwrap();
+        let (split, _) =
+            execute(&mut tb, &app, &Schedule::new(placements), &ExecutorConfig::default()).unwrap();
         let contended = staged.metrics("la-train").unwrap().td;
         let hub_uncontended_dl = 580.0 / 13.0;
         let contended_dl = 580.0 * 1.1 / 13.0;
         assert!(
-            (contended.as_f64()
-                - (contended_dl + 580.0 / 12.6 + 25.0))
-                .abs()
-                < 1e-6,
+            (contended.as_f64() - (contended_dl + 580.0 / 12.6 + 25.0)).abs() < 1e-6,
             "contended td = {contended}, expected {}",
             contended_dl + 580.0 / 12.6 + 25.0
         );
@@ -523,6 +560,43 @@ mod tests {
             execute(&mut tb, &app, &bad, &ExecutorConfig::default()),
             Err(ExecError::ScheduleMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn peer_sharing_splits_pulls_across_the_fleet() {
+        // The continuum testbed has two amd64 devices (medium, cloud).
+        // After the medium device deploys the video app, a cloud
+        // deployment with peer sharing fetches the already-fleet-resident
+        // layers from the peer (80 MB/s, 1 s overhead) instead of the hub
+        // route (60 MB/s) — strictly faster, and attributed to
+        // REGISTRY_PEER in the breakdown.
+        let app = apps::video_processing();
+        let all_hub = |device| Schedule::uniform(app.len(), RegistryChoice::Hub, device);
+        let run = |peer_sharing: bool| {
+            let mut tb = Testbed::continuum();
+            let cfg = ExecutorConfig::default();
+            execute(&mut tb, &app, &all_hub(DEVICE_MEDIUM), &cfg).unwrap();
+            let cloud_cfg = ExecutorConfig { peer_sharing, ..cfg };
+            let (report, _) =
+                execute(&mut tb, &app, &all_hub(crate::testbed::DEVICE_CLOUD), &cloud_cfg).unwrap();
+            report
+        };
+        let without = run(false);
+        let with = run(true);
+        let by_source = with.downloaded_by_source();
+        let peer_mb =
+            by_source.iter().find(|(id, _)| *id == REGISTRY_PEER).map(|(_, mb)| *mb).unwrap_or(0.0);
+        assert!(peer_mb > 1_000.0, "fleet-resident layers served by peers: {by_source:?}");
+        assert!(
+            without.downloaded_by_source().iter().all(|(id, _)| *id != REGISTRY_PEER),
+            "no peer source without the flag"
+        );
+        let td_with: f64 = with.microservices.iter().map(|m| m.td.as_f64()).sum();
+        let td_without: f64 = without.microservices.iter().map(|m| m.td.as_f64()).sum();
+        assert!(td_with < td_without, "peer-served pulls are faster: {td_with} vs {td_without}");
+        // Bytes moved are identical — only the source changed.
+        let dl = |r: &RunReport| -> f64 { r.microservices.iter().map(|m| m.downloaded_mb).sum() };
+        assert!((dl(&with) - dl(&without)).abs() < 1e-6);
     }
 
     #[test]

@@ -7,8 +7,8 @@
 
 use deep_netsim::Seconds;
 use rand::Rng;
-use rand_chacha::ChaCha8Rng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 
 /// A deterministic jitter source.
 #[derive(Debug, Clone)]

@@ -40,5 +40,7 @@ pub use executor::{execute, ExecError, ExecutorConfig};
 pub use jitter::Jitter;
 pub use metrics::{MicroserviceMetrics, RunReport};
 pub use schedule::{Placement, RegistryChoice, Schedule};
-pub use testbed::{Testbed, TestbedParams, DEVICE_CLOUD, DEVICE_MEDIUM, DEVICE_SMALL};
+pub use testbed::{
+    Testbed, TestbedParams, DEVICE_CLOUD, DEVICE_MEDIUM, DEVICE_SMALL, REGISTRY_PEER,
+};
 pub use trace::{Trace, TraceEvent, TraceKind};

@@ -2,7 +2,8 @@
 
 use crate::schedule::Placement;
 use deep_energy::Joules;
-use deep_netsim::Seconds;
+use deep_netsim::{RegistryId, Seconds};
+use deep_registry::SourcePull;
 use serde::{Deserialize, Serialize};
 
 /// What the testbed measured for one microservice — one Table II row's
@@ -19,6 +20,9 @@ pub struct MicroserviceMetrics {
     pub tp: Seconds,
     /// Bytes actually downloaded (after cache dedup).
     pub downloaded_mb: f64,
+    /// Which mesh sources served the pull (bytes/layers per source, in
+    /// order of first use; empty when everything was cached).
+    pub sources: Vec<SourcePull>,
     /// Analytic energy from the device power model.
     pub energy: Joules,
     /// Energy as read by the device's instrument (RAPL or wall meter).
@@ -63,6 +67,19 @@ impl RunReport {
             .iter()
             .max_by(|a, b| a.energy.partial_cmp(&b.energy).expect("energy is never NaN"))
     }
+
+    /// Total megabytes fetched per mesh source across the run, sorted by
+    /// source id — where the run's bytes actually came from.
+    pub fn downloaded_by_source(&self) -> Vec<(RegistryId, f64)> {
+        let mut totals: std::collections::BTreeMap<RegistryId, f64> =
+            std::collections::BTreeMap::new();
+        for m in &self.microservices {
+            for s in &m.sources {
+                *totals.entry(s.source).or_insert(0.0) += s.downloaded.as_megabytes();
+            }
+        }
+        totals.into_iter().collect()
+    }
 }
 
 #[cfg(test)]
@@ -79,6 +96,7 @@ mod tests {
             tc: Seconds::new(tc),
             tp: Seconds::new(tp),
             downloaded_mb: 0.0,
+            sources: Vec::new(),
             energy: Joules::new(e),
             metered_energy: Joules::new(e),
         }

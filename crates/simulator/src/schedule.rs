@@ -4,35 +4,49 @@ use deep_netsim::{DeviceId, RegistryId};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
-/// Which registry a microservice's image is pulled from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum RegistryChoice {
-    /// Public Docker Hub.
-    Hub,
-    /// The regional MinIO-backed registry.
-    Regional,
-}
+/// Which mesh source a microservice's image is pulled from: a thin typed
+/// handle into the registry mesh.
+///
+/// The paper's testbed registers exactly two sources —
+/// [`RegistryChoice::Hub`] (id 0) and [`RegistryChoice::Regional`] (id 1)
+/// by workspace convention — but a schedule can name any mesh source via
+/// [`RegistryChoice::mesh`]; N regional registries are additional ids,
+/// not new enum variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RegistryChoice(RegistryId);
 
 impl RegistryChoice {
+    /// Public Docker Hub (mesh id 0).
+    #[allow(non_upper_case_globals)]
+    pub const Hub: RegistryChoice = RegistryChoice(RegistryId(0));
+
+    /// The regional MinIO-backed registry (mesh id 1).
+    #[allow(non_upper_case_globals)]
+    pub const Regional: RegistryChoice = RegistryChoice(RegistryId(1));
+
+    /// A handle to an arbitrary mesh source.
+    pub fn mesh(id: RegistryId) -> Self {
+        RegistryChoice(id)
+    }
+
+    /// The paper testbed's strategy set: the two sources every scheduler
+    /// chooses between.
     pub fn all() -> [RegistryChoice; 2] {
         [RegistryChoice::Hub, RegistryChoice::Regional]
     }
 
-    /// The topology-level registry id (hub = 0, regional = 1 by
-    /// convention across the workspace).
+    /// The underlying mesh/topology registry id.
     pub fn registry_id(self) -> RegistryId {
-        match self {
-            RegistryChoice::Hub => RegistryId(0),
-            RegistryChoice::Regional => RegistryId(1),
-        }
+        self.0
     }
 }
 
 impl fmt::Display for RegistryChoice {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            RegistryChoice::Hub => f.write_str("docker-hub"),
-            RegistryChoice::Regional => f.write_str("regional"),
+        match self.0 .0 {
+            0 => f.write_str("docker-hub"),
+            1 => f.write_str("regional"),
+            n => write!(f, "mesh-r{n}"),
         }
     }
 }
@@ -82,32 +96,20 @@ impl Schedule {
 
     /// Iterate placements in microservice order.
     pub fn iter(&self) -> impl Iterator<Item = (deep_dataflow::MicroserviceId, Placement)> + '_ {
-        self.placements
-            .iter()
-            .enumerate()
-            .map(|(i, p)| (deep_dataflow::MicroserviceId(i), *p))
+        self.placements.iter().enumerate().map(|(i, p)| (deep_dataflow::MicroserviceId(i), *p))
     }
 
     /// Fraction of microservices pulled from each registry onto each
-    /// device — the quantity Table III reports.
+    /// device — the quantity Table III reports. Covers every mesh source
+    /// a placement names, not just the paper pair.
     pub fn distribution(&self) -> Vec<((RegistryChoice, DeviceId), f64)> {
         use std::collections::BTreeMap;
-        let mut counts: BTreeMap<(u8, usize), usize> = BTreeMap::new();
+        let mut counts: BTreeMap<(RegistryChoice, DeviceId), usize> = BTreeMap::new();
         for p in &self.placements {
-            let r = match p.registry {
-                RegistryChoice::Hub => 0u8,
-                RegistryChoice::Regional => 1u8,
-            };
-            *counts.entry((r, p.device.0)).or_insert(0) += 1;
+            *counts.entry((p.registry, p.device)).or_insert(0) += 1;
         }
         let n = self.placements.len() as f64;
-        counts
-            .into_iter()
-            .map(|((r, d), c)| {
-                let reg = if r == 0 { RegistryChoice::Hub } else { RegistryChoice::Regional };
-                ((reg, DeviceId(d)), c as f64 / n)
-            })
-            .collect()
+        counts.into_iter().map(|(key, c)| (key, c as f64 / n)).collect()
     }
 }
 
@@ -149,6 +151,19 @@ mod tests {
     fn registry_ids_are_stable() {
         assert_eq!(RegistryChoice::Hub.registry_id(), RegistryId(0));
         assert_eq!(RegistryChoice::Regional.registry_id(), RegistryId(1));
+        assert_eq!(RegistryChoice::mesh(RegistryId(7)).registry_id(), RegistryId(7));
+    }
+
+    #[test]
+    fn mesh_choices_distribute_alongside_paper_pair() {
+        let extra = RegistryChoice::mesh(RegistryId(3));
+        let s = Schedule::new(vec![
+            Placement { registry: RegistryChoice::Hub, device: DeviceId(0) },
+            Placement { registry: extra, device: DeviceId(0) },
+        ]);
+        let dist = s.distribution();
+        assert_eq!(dist.len(), 2);
+        assert!(dist.iter().any(|((r, _), f)| *r == extra && (*f - 0.5).abs() < 1e-12));
     }
 
     #[test]
@@ -165,5 +180,6 @@ mod tests {
     fn display_names() {
         assert_eq!(RegistryChoice::Hub.to_string(), "docker-hub");
         assert_eq!(RegistryChoice::Regional.to_string(), "regional");
+        assert_eq!(RegistryChoice::mesh(RegistryId(4)).to_string(), "mesh-r4");
     }
 }

@@ -18,8 +18,11 @@ use crate::device::SimDevice;
 use crate::schedule::RegistryChoice;
 use deep_dataflow::{Application, Mips};
 use deep_energy::{DevicePowerModel, Watts};
-use deep_netsim::{Bandwidth, DataSize, DeviceId, Seconds, Topology, TopologyBuilder};
-use deep_registry::{CatalogEntry, HubRegistry, RegionalRegistry, Registry};
+use deep_netsim::{Bandwidth, DataSize, DeviceId, RegistryId, Seconds, Topology, TopologyBuilder};
+use deep_registry::{
+    CatalogEntry, HubRegistry, Platform, Reference, RegionalRegistry, Registry, RegistryMesh,
+    SourceParams,
+};
 use std::collections::HashMap;
 
 /// Device id of the Intel i7-7700 "medium" device.
@@ -29,6 +32,10 @@ pub const DEVICE_SMALL: DeviceId = DeviceId(1);
 /// Device id of the cloud server in the continuum testbed
 /// ([`Testbed::continuum`] only — the paper testbed has two devices).
 pub const DEVICE_CLOUD: DeviceId = DeviceId(2);
+
+/// Mesh id under which the executor registers the peer-cache blob source
+/// (ids 0 and 1 are the paper registries).
+pub const REGISTRY_PEER: RegistryId = RegistryId(2);
 
 /// Calibrated link and overhead parameters.
 #[derive(Debug, Clone, Copy)]
@@ -54,6 +61,12 @@ pub struct TestbedParams {
     /// Fixed pull overhead per registry.
     pub hub_overhead: Seconds,
     pub regional_overhead: Seconds,
+    /// Effective bandwidth of a peer device serving cached layers over the
+    /// LAN (below the raw LAN rate: the peer reads from its own disk).
+    pub peer_bw: Bandwidth,
+    /// Fixed overhead of the first peer-served layer of a pull (peer
+    /// discovery + connection; no auth, no manifest round-trips).
+    pub peer_overhead: Seconds,
     /// Route-contention coefficient: a pull sharing its registry→device
     /// route with `k` earlier same-wave pulls sees its download slowed by
     /// `1 + alpha·k`. Small because in-flight layer dedup absorbs most
@@ -77,6 +90,8 @@ impl Default for TestbedParams {
             wan: Bandwidth::megabytes_per_sec(20.0),
             hub_overhead: Seconds::new(25.0),
             regional_overhead: Seconds::new(5.0),
+            peer_bw: Bandwidth::megabytes_per_sec(80.0),
+            peer_overhead: Seconds::new(1.0),
             contention_alpha: 0.1,
             contention_threshold: DataSize::megabytes(100.0),
         }
@@ -84,23 +99,40 @@ impl Default for TestbedParams {
 }
 
 impl TestbedParams {
-    /// Pull bandwidth for a `(registry, device)` route.
+    /// Pull bandwidth for a `(source, device)` route. Mesh ids beyond the
+    /// paper pair are peer-cache routes (LAN-bound, device-independent).
     pub fn route_bandwidth(&self, registry: RegistryChoice, device: DeviceId) -> Bandwidth {
-        match (registry, device) {
-            (RegistryChoice::Hub, DEVICE_MEDIUM) => self.hub_to_medium,
-            (RegistryChoice::Hub, DEVICE_CLOUD) => self.hub_to_cloud,
-            (RegistryChoice::Hub, _) => self.hub_to_small,
-            (RegistryChoice::Regional, DEVICE_MEDIUM) => self.regional_to_medium,
-            (RegistryChoice::Regional, DEVICE_CLOUD) => self.regional_to_cloud,
-            (RegistryChoice::Regional, _) => self.regional_to_small,
+        match (registry.registry_id().0, device) {
+            (0, DEVICE_MEDIUM) => self.hub_to_medium,
+            (0, DEVICE_CLOUD) => self.hub_to_cloud,
+            (0, _) => self.hub_to_small,
+            (1, DEVICE_MEDIUM) => self.regional_to_medium,
+            (1, DEVICE_CLOUD) => self.regional_to_cloud,
+            (1, _) => self.regional_to_small,
+            (_, _) => self.peer_bw,
         }
     }
 
-    /// Fixed overhead for a registry.
+    /// Fixed overhead for a mesh source.
     pub fn overhead(&self, registry: RegistryChoice) -> Seconds {
-        match registry {
-            RegistryChoice::Hub => self.hub_overhead,
-            RegistryChoice::Regional => self.regional_overhead,
+        match registry.registry_id().0 {
+            0 => self.hub_overhead,
+            1 => self.regional_overhead,
+            _ => self.peer_overhead,
+        }
+    }
+
+    /// [`SourceParams`] for one source→device route, with the route slowed
+    /// by `slowdown` (contention factor ≥ 1).
+    pub fn source_params(
+        &self,
+        registry: RegistryChoice,
+        device: DeviceId,
+        slowdown: f64,
+    ) -> SourceParams {
+        SourceParams {
+            download_bw: self.route_bandwidth(registry, device).scale(1.0 / slowdown),
+            overhead: self.overhead(registry),
         }
     }
 
@@ -242,7 +274,11 @@ impl Testbed {
             .symmetric_device_link(DEVICE_MEDIUM, DEVICE_SMALL, tb.params.lan)
             .symmetric_device_link(DEVICE_MEDIUM, DEVICE_CLOUD, tb.params.wan)
             .symmetric_device_link(DEVICE_SMALL, DEVICE_CLOUD, tb.params.wan)
-            .registry_link(RegistryChoice::Hub.registry_id(), DEVICE_MEDIUM, tb.params.hub_to_medium)
+            .registry_link(
+                RegistryChoice::Hub.registry_id(),
+                DEVICE_MEDIUM,
+                tb.params.hub_to_medium,
+            )
             .registry_link(RegistryChoice::Hub.registry_id(), DEVICE_SMALL, tb.params.hub_to_small)
             .registry_link(RegistryChoice::Hub.registry_id(), DEVICE_CLOUD, tb.params.hub_to_cloud)
             .registry_link(
@@ -273,8 +309,7 @@ impl Testbed {
     /// Replace (or insert) the catalog entry used for reference lookup —
     /// ablation hooks re-publish variant images under the same keys.
     pub fn replace_entry(&mut self, entry: CatalogEntry) {
-        self.entries
-            .insert((entry.application.clone(), entry.microservice.clone()), entry);
+        self.entries.insert((entry.application.clone(), entry.microservice.clone()), entry);
     }
 
     /// Publish single-layer images for every microservice of a non-catalog
@@ -293,12 +328,63 @@ impl Testbed {
         }
     }
 
-    /// The registry backend for a choice.
+    /// The full-registry backend for a choice. Panics for handles beyond
+    /// the paper pair — blob-only sources (peers) have no backend here.
     pub fn registry(&self, choice: RegistryChoice) -> &dyn Registry {
-        match choice {
-            RegistryChoice::Hub => &self.hub,
-            RegistryChoice::Regional => &self.regional,
+        match choice.registry_id().0 {
+            0 => &self.hub,
+            1 => &self.regional,
+            n => panic!("testbed has no full registry under mesh id r{n}"),
         }
+    }
+
+    /// The reference `entry` is published under on `choice`'s registry.
+    pub fn reference(
+        &self,
+        entry: &CatalogEntry,
+        choice: RegistryChoice,
+        platform: Platform,
+    ) -> Reference {
+        match choice.registry_id().0 {
+            0 => entry.hub_reference(platform),
+            1 => entry.regional_reference(platform),
+            n => panic!("no reference namespace for mesh id r{n}"),
+        }
+    }
+
+    /// A single-source mesh for pulling from `registry` onto `device`,
+    /// with the route slowed by `slowdown` (contention factor ≥ 1). This
+    /// is the seed pull path expressed through the mesh API — schedulers
+    /// estimate against it and the executor realises it, so predictions
+    /// and measurements agree bit for bit.
+    pub fn pull_mesh(
+        &self,
+        registry: RegistryChoice,
+        device: DeviceId,
+        slowdown: f64,
+    ) -> RegistryMesh<'_> {
+        let mut mesh = RegistryMesh::new();
+        mesh.add_registry(
+            registry.registry_id(),
+            self.registry(registry),
+            self.params.source_params(registry, device, slowdown),
+        );
+        mesh
+    }
+
+    /// The full paper mesh as seen from `device`: both registries at their
+    /// calibrated route parameters (no contention). Split-pull experiments
+    /// add peer sources on top.
+    pub fn mesh(&self, device: DeviceId) -> RegistryMesh<'_> {
+        let mut mesh = RegistryMesh::new();
+        for choice in RegistryChoice::all() {
+            mesh.add_registry(
+                choice.registry_id(),
+                self.registry(choice),
+                self.params.source_params(choice, device, 1.0),
+            );
+        }
+        mesh
     }
 
     /// Device by id.
@@ -322,6 +408,7 @@ impl Testbed {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use deep_registry::ManifestSource;
 
     #[test]
     fn paper_testbed_shape() {
@@ -408,27 +495,15 @@ mod continuum_tests {
     #[test]
     fn cloud_routes_resolve() {
         let p = TestbedParams::default();
-        assert_eq!(
-            p.route_bandwidth(RegistryChoice::Hub, DEVICE_CLOUD),
-            p.hub_to_cloud
-        );
-        assert_eq!(
-            p.route_bandwidth(RegistryChoice::Regional, DEVICE_CLOUD),
-            p.regional_to_cloud
-        );
+        assert_eq!(p.route_bandwidth(RegistryChoice::Hub, DEVICE_CLOUD), p.hub_to_cloud);
+        assert_eq!(p.route_bandwidth(RegistryChoice::Regional, DEVICE_CLOUD), p.regional_to_cloud);
     }
 
     #[test]
     fn wan_links_are_slower_than_lan() {
         let t = Testbed::continuum();
-        let lan = t
-            .topology
-            .device_bandwidth(DEVICE_MEDIUM, DEVICE_SMALL)
-            .unwrap();
-        let wan = t
-            .topology
-            .device_bandwidth(DEVICE_MEDIUM, DEVICE_CLOUD)
-            .unwrap();
+        let lan = t.topology.device_bandwidth(DEVICE_MEDIUM, DEVICE_SMALL).unwrap();
+        let wan = t.topology.device_bandwidth(DEVICE_MEDIUM, DEVICE_CLOUD).unwrap();
         assert!(wan.as_bytes_per_sec() < lan.as_bytes_per_sec());
     }
 

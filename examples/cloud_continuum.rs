@@ -11,10 +11,7 @@ fn main() {
     let tb = continuum::continuum_testbed();
     println!("continuum testbed devices:");
     for d in &tb.devices {
-        println!(
-            "  {:8} {:?} {} cores, {} @ {}",
-            d.name, d.class, d.cores, d.memory, d.mips
-        );
+        println!("  {:8} {:?} {} cores, {} @ {}", d.name, d.class, d.cores, d.memory, d.mips);
     }
 
     println!("\nper-application DEEP schedules on the continuum:");

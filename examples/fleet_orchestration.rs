@@ -17,12 +17,7 @@ fn main() {
     for app in apps::case_studies() {
         println!("== rolling out {} ==", app.name());
         let report = orch
-            .submit(
-                &mut testbed,
-                &app,
-                |a, tb| DeepScheduler::paper().schedule(a, tb),
-                &cfg,
-            )
+            .submit(&mut testbed, &app, |a, tb| DeepScheduler::paper().schedule(a, tb), &cfg)
             .expect("case studies are admissible");
         for (spec, status) in &report.pods {
             println!(
@@ -34,11 +29,7 @@ fn main() {
                 status.finished_at.expect("succeeded pods have a finish time"),
             );
         }
-        println!(
-            "  -> energy {} makespan {}\n",
-            report.run.total_energy(),
-            report.run.makespan
-        );
+        println!("  -> energy {} makespan {}\n", report.run.total_energy(), report.run.makespan);
     }
 
     // A second rollout of the text app: every layer is already cached on
@@ -46,12 +37,7 @@ fn main() {
     let app = apps::text_processing();
     println!("== second rollout of {} (warm caches) ==", app.name());
     let report = orch
-        .submit(
-            &mut testbed,
-            &app,
-            |a, tb| DeepScheduler::paper().schedule(a, tb),
-            &cfg,
-        )
+        .submit(&mut testbed, &app, |a, tb| DeepScheduler::paper().schedule(a, tb), &cfg)
         .expect("resubmission succeeds");
     let downloaded: f64 = report.run.microservices.iter().map(|m| m.downloaded_mb).sum();
     println!(

@@ -13,11 +13,8 @@ fn main() {
 
     println!("== Figure 2a: {} ==", app.name());
     for stage in stages(&app) {
-        let names: Vec<&str> = stage
-            .members
-            .iter()
-            .map(|&id| app.microservice(id).name.as_str())
-            .collect();
+        let names: Vec<&str> =
+            stage.members.iter().map(|&id| app.microservice(id).name.as_str()).collect();
         println!("  stage {}: {}", stage.depth, names.join(", "));
     }
 
@@ -31,8 +28,7 @@ fn main() {
     );
 
     let cfg = ExecutorConfig { seed: 1, jitter: 0.02, ..Default::default() };
-    let (report, trace) =
-        execute(&mut testbed, &app, &schedule, &cfg).expect("schedule executes");
+    let (report, trace) = execute(&mut testbed, &app, &schedule, &cfg).expect("schedule executes");
 
     println!("\n== per-microservice measurements (one seeded trial) ==");
     println!(

@@ -1,11 +1,28 @@
 #!/usr/bin/env bash
-# Tier-1 verification: release build, full test suite, and a compile check
-# of every criterion bench so the bench crate cannot silently rot.
+# Tier-1 verification: formatting, lints, release build, full test suite,
+# and a compile check of every criterion bench so the bench crate cannot
+# silently rot.
 #
 # Usage: scripts/tier1.sh
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+# Workspace crates (vendored stand-in crates are exempt from fmt/clippy —
+# they mirror upstream APIs, not house style).
+CRATES=(
+  deep deep-netsim deep-dataflow deep-energy deep-objectstore
+  deep-registry deep-game deep-simulator deep-orchestrator deep-core
+  deep-bench
+)
+PKG_FLAGS=()
+for c in "${CRATES[@]}"; do PKG_FLAGS+=(-p "$c"); done
+
+echo "==> cargo fmt --check"
+cargo fmt "${PKG_FLAGS[@]}" -- --check
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy "${PKG_FLAGS[@]}" --all-targets -- -D warnings
 
 echo "==> cargo build --release"
 cargo build --release

@@ -34,7 +34,8 @@ fn table2_energy_orderings_match_paper() {
         let measured_medium_cheaper =
             (row.ec_medium.lo + row.ec_medium.hi) < (row.ec_small.lo + row.ec_small.hi);
         assert_eq!(
-            measured_medium_cheaper, paper_medium_cheaper,
+            measured_medium_cheaper,
+            paper_medium_cheaper,
             "{}/{}: measured med {:?} small {:?}, paper med {} small {}",
             row.application,
             row.microservice,

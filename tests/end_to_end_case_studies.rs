@@ -11,8 +11,7 @@ fn full_pipeline_video() {
     let mut tb = calibration::calibrated_testbed();
     let app = apps::video_processing();
     let schedule = DeepScheduler::paper().schedule(&app, &tb);
-    let (report, trace) =
-        execute(&mut tb, &app, &schedule, &ExecutorConfig::default()).unwrap();
+    let (report, trace) = execute(&mut tb, &app, &schedule, &ExecutorConfig::default()).unwrap();
 
     // Table III shape.
     let rows = distribution::distribution_table(&app, &schedule);
@@ -43,10 +42,7 @@ fn full_pipeline_text() {
     let on_medium = schedule.iter().filter(|(_, p)| p.device == DEVICE_MEDIUM).count();
     let on_small = schedule.iter().filter(|(_, p)| p.device == DEVICE_SMALL).count();
     assert_eq!((on_medium, on_small), (2, 4));
-    let regional = schedule
-        .iter()
-        .filter(|(_, p)| p.registry == RegistryChoice::Regional)
-        .count();
+    let regional = schedule.iter().filter(|(_, p)| p.registry == RegistryChoice::Regional).count();
     assert_eq!(regional, 5, "83 % of text images pulled regionally");
 
     let total = report.total_energy().as_f64();
@@ -80,11 +76,7 @@ fn deep_schedule_is_nash_equilibrium_of_deployment_game() {
     let tb = calibration::calibrated_testbed();
     for app in apps::case_studies() {
         let schedule = DeepScheduler::paper().schedule(&app, &tb);
-        assert!(
-            DeepScheduler::is_joint_equilibrium(&app, &tb, &schedule),
-            "{}",
-            app.name()
-        );
+        assert!(DeepScheduler::is_joint_equilibrium(&app, &tb, &schedule), "{}", app.name());
     }
 }
 
@@ -107,8 +99,7 @@ fn metered_and_analytic_energy_agree() {
     let mut tb = calibration::calibrated_testbed();
     for app in apps::case_studies() {
         let schedule = DeepScheduler::paper().schedule(&app, &tb);
-        let (report, _) =
-            execute(&mut tb, &app, &schedule, &ExecutorConfig::default()).unwrap();
+        let (report, _) = execute(&mut tb, &app, &schedule, &ExecutorConfig::default()).unwrap();
         let analytic = report.total_energy().as_f64();
         let metered = report.total_metered_energy().as_f64();
         assert!(

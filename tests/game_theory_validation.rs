@@ -35,9 +35,7 @@ fn lemke_howson_equilibria_appear_in_support_enumeration() {
         if !game.is_nash(&x, &y) {
             continue; // degenerate pivot; LH guarantees need nondegeneracy
         }
-        let found = all
-            .iter()
-            .any(|(ex, ey)| ex.approx_eq(&x, 1e-4) && ey.approx_eq(&y, 1e-4));
+        let found = all.iter().any(|(ex, ey)| ex.approx_eq(&x, 1e-4) && ey.approx_eq(&y, 1e-4));
         assert!(found, "seed {seed}: LH endpoint missing from support enumeration");
         checked += 1;
     }
@@ -90,10 +88,7 @@ fn ess_implies_nash_in_symmetric_games() {
         for i in 0..3 {
             let x = MixedStrategy::pure(i, 3);
             if is_ess(&a, &x, 1e-9) {
-                assert!(
-                    game.is_nash(&x, &x),
-                    "seed {seed}: ESS {i} is not Nash"
-                );
+                assert!(game.is_nash(&x, &x), "seed {seed}: ESS {i} is not Nash");
             }
         }
     }

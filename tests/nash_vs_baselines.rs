@@ -73,10 +73,7 @@ fn refinement_ablation_on_generated_apps() {
         let refined = DeepScheduler::paper().schedule(&app, &tb);
         let seq_e = tb.total_energy_of(&app, &seq);
         let ref_e = tb.total_energy_of(&app, &refined);
-        assert!(
-            ref_e <= seq_e * 1.02 + 1e-6,
-            "seed {seed}: refined {ref_e} vs sequential {seq_e}"
-        );
+        assert!(ref_e <= seq_e * 1.02 + 1e-6, "seed {seed}: refined {ref_e} vs sequential {seq_e}");
     }
 }
 

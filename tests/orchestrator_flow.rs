@@ -67,12 +67,7 @@ fn pod_timelines_respect_dag_barriers() {
         )
         .unwrap();
     let status = |name: &str| {
-        report
-            .pods
-            .iter()
-            .find(|(s, _)| s.name.ends_with(name))
-            .map(|(_, st)| st.clone())
-            .unwrap()
+        report.pods.iter().find(|(s, _)| s.name.ends_with(name)).map(|(_, st)| st.clone()).unwrap()
     };
     // transcode -> frame -> trainers -> infers.
     let transcode = status("transcode");
