@@ -1,0 +1,74 @@
+//! Mesh-aware Nash scheduling: the cost of widening the stage game from
+//! the paper's two registries to the whole mesh.
+//!
+//! Groups:
+//! * `nash_mesh_strategy_space` — DEEP over 0–3 regional mirrors (the
+//!   |R|×|D| stage game + joint refinement as the strategy space grows);
+//! * `nash_mesh_peer` — the peer-aware scheduler on the warm continuum
+//!   fleet (payoffs price split pulls) vs the peer-blind paper scheduler;
+//! * `nash_mesh_equilibrium_check` — verifying a schedule is a pure Nash
+//!   equilibrium of the mesh-wide joint game.
+//!
+//! The equilibrium-quality numbers this bench's scenarios produce (split
+//! vs best-single deployment time) are printed by
+//! `examples/registry_sweep.rs` and recorded in PERF.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use deep_core::{calibration, continuum_testbed, DeepScheduler, Scheduler};
+use deep_dataflow::apps;
+use deep_netsim::{Bandwidth, Seconds};
+use deep_simulator::{execute, ExecutorConfig, RegistryChoice, Schedule, Testbed, DEVICE_MEDIUM};
+use std::hint::black_box;
+
+fn mirrored_testbed(mirrors: usize) -> Testbed {
+    let mut tb = calibration::calibrated_testbed();
+    for k in 0..mirrors {
+        tb.add_regional_mirror(Bandwidth::megabytes_per_sec(10.0 + k as f64), Seconds::new(5.0));
+    }
+    tb
+}
+
+fn bench_strategy_space(c: &mut Criterion) {
+    let text = apps::text_processing();
+    let mut group = c.benchmark_group("nash_mesh_strategy_space");
+    group.sample_size(10);
+    for mirrors in [0usize, 1, 2, 3] {
+        let tb = mirrored_testbed(mirrors);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}r", 2 + mirrors)),
+            &text,
+            |b, app| b.iter(|| black_box(DeepScheduler::paper().schedule(app, &tb))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_peer_pricing(c: &mut Criterion) {
+    // Warm continuum fleet: the medium device already ran the app; the
+    // scheduler prices what the fleet holds.
+    let app = apps::video_processing();
+    let mut tb = continuum_testbed();
+    let warm = Schedule::uniform(app.len(), RegistryChoice::Hub, DEVICE_MEDIUM);
+    execute(&mut tb, &app, &warm, &ExecutorConfig::default()).expect("warm-up run");
+    let mut group = c.benchmark_group("nash_mesh_peer");
+    group.sample_size(10);
+    group.bench_function("peer_blind", |b| {
+        b.iter(|| black_box(DeepScheduler::paper().schedule(&app, &tb)))
+    });
+    group.bench_function("peer_priced", |b| {
+        b.iter(|| black_box(DeepScheduler::with_peer_sharing().schedule(&app, &tb)))
+    });
+    group.finish();
+}
+
+fn bench_equilibrium_check(c: &mut Criterion) {
+    let tb = mirrored_testbed(2);
+    let app = apps::text_processing();
+    let schedule = DeepScheduler::paper().schedule(&app, &tb);
+    c.bench_function("nash_mesh_equilibrium_check", |b| {
+        b.iter(|| black_box(DeepScheduler::is_joint_equilibrium(&app, &tb, &schedule)))
+    });
+}
+
+criterion_group!(benches, bench_strategy_space, bench_peer_pricing, bench_equilibrium_check);
+criterion_main!(benches);

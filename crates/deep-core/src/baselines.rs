@@ -97,15 +97,17 @@ impl Scheduler for GreedyDecoupled {
                         cost(a).partial_cmp(&cost(b)).expect("not NaN")
                     })
                     .expect("admissible device exists");
-                // Registry: fastest deployment for that device.
-                let registry = RegistryChoice::all()
+                // Registry: fastest deployment for that device, over every
+                // full registry in the mesh.
+                let registry = testbed
+                    .registry_choices()
                     .into_iter()
                     .min_by(|&a, &b| {
                         let ta = ctx.estimate(id, a, device).td.as_f64();
                         let tb = ctx.estimate(id, b, device).td.as_f64();
                         ta.partial_cmp(&tb).expect("not NaN")
                     })
-                    .expect("two registries");
+                    .expect("the mesh always has the paper pair");
                 let p = Placement { registry, device };
                 ctx.commit(id, p);
                 placements[id.0] = Some(p);
@@ -126,13 +128,13 @@ impl Scheduler for RoundRobin {
 
     fn schedule(&self, app: &Application, testbed: &Testbed) -> Schedule {
         let ctx = EstimationContext::new(testbed, app);
+        let registries = testbed.registry_choices();
         let placements = app
             .ids()
             .map(|id| {
                 let devices = ctx.admissible_devices(id);
                 let device = devices[id.0 % devices.len()];
-                let registry =
-                    if id.0 % 2 == 0 { RegistryChoice::Hub } else { RegistryChoice::Regional };
+                let registry = registries[id.0 % registries.len()];
                 Placement { registry, device }
             })
             .collect();
@@ -154,13 +156,13 @@ impl Scheduler for RandomScheduler {
     fn schedule(&self, app: &Application, testbed: &Testbed) -> Schedule {
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
         let ctx = EstimationContext::new(testbed, app);
+        let registries = testbed.registry_choices();
         let placements = app
             .ids()
             .map(|id| {
                 let devices = ctx.admissible_devices(id);
                 let device = *devices.choose(&mut rng).expect("admissible device exists");
-                let registry =
-                    if rng.gen_bool(0.5) { RegistryChoice::Hub } else { RegistryChoice::Regional };
+                let registry = *registries.choose(&mut rng).expect("the mesh is never empty");
                 Placement { registry, device }
             })
             .collect();

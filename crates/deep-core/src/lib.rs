@@ -1,9 +1,31 @@
 //! DEEP: Docker rEgistry-based Edge dataflow Processing.
 //!
 //! The paper's primary contribution: energy-aware joint selection of
-//! `regist(m_i)` (which Docker registry serves each microservice image) and
+//! `regist(m_i)` (which registry serves each microservice image) and
 //! `sched(m_i)` (which edge device runs it), formulated as a Nash game and
-//! minimising `EC_total(A, R, D)`.
+//! minimising `EC_total(A, R, D)`. The paper plays that game over exactly
+//! two registries; this crate plays it over the whole **registry mesh** —
+//! the paper's hybrid is the two-source special case and is reproduced
+//! byte for byte (`tests/mesh_equilibria.rs`).
+//!
+//! ## The mesh-wide game
+//!
+//! * **Strategy space** — the registry side of every strategy ranges over
+//!   [`deep_simulator::Testbed::registry_choices`]: Docker Hub, the paper
+//!   regional, and any number of regional mirrors registered with
+//!   `Testbed::add_regional_mirror`. N regionals are data, not new enum
+//!   variants.
+//! * **Per-source route contention** — same-wave players contend per
+//!   shared `(source, device)` route. A split pull loads every route its
+//!   `SourcePull`s actually traverse (the Rosenthal congestion structure
+//!   of `deep_game::CongestionGame`), not just its primary's — so two
+//!   pulls whose bytes ride different sources no longer slow each other.
+//! * **Split-pull pricing** — with [`DeepScheduler::with_peer_sharing`]
+//!   the payoffs run through the same registry-plus-peer-cache mesh a
+//!   `peer_sharing` executor realises: the scheduler *prices* the layers
+//!   the fleet already holds (EdgePier-style peer distribution) instead
+//!   of discovering them at deployment time. Estimator and executor stay
+//!   bit-for-bit parity-tested.
 //!
 //! Architecture (paper Figure 1) mapped to modules:
 //!
@@ -11,18 +33,22 @@
 //!   per-(microservice, device) benchmark profiles of Table II, from which
 //!   per-device processing powers and architecture factors are derived.
 //! * **Dependency analysis** → `deep-dataflow`'s stages + [`model`]'s
-//!   estimation context walking the DAG in barrier order.
-//! * **Scheduling (Nash game)** → [`nash`]: per-microservice bimatrix
-//!   games over (registry × device) solved with the `deep-game` toolkit,
-//!   refined into a joint pure Nash equilibrium of the n-player deployment
-//!   congestion game.
+//!   estimation context walking the DAG in barrier order, tracking layer
+//!   caches, per-source route loads and per-wave peer snapshots.
+//! * **Scheduling (Nash game)** → [`nash`]: per-microservice |R|×|D|
+//!   common-interest bimatrix games solved with the `deep-game` toolkit,
+//!   refined into a joint pure Nash equilibrium of the n-player
+//!   deployment congestion game over the mesh.
 //! * **Dataflow processing / Monitoring** → `deep-simulator`'s executor
 //!   and trace, driven by [`experiment`].
 //!
 //! [`baselines`] provides the two comparison methods of Figure 3b
 //! (exclusively-Docker-Hub, exclusively-regional) plus extra baselines for
-//! ablation (greedy decoupled, round-robin, random). [`distribution`]
-//! computes Table III. [`experiment`] regenerates every table and figure.
+//! ablation (greedy decoupled, round-robin, random), all enumerating the
+//! mesh's registry choices. [`distribution`] computes Table III.
+//! [`experiment`] regenerates every table and figure. [`pareto`]
+//! brute-forces the joint space (which grows with the mesh) to place the
+//! equilibrium on the energy/makespan front.
 
 pub mod ablation;
 pub mod baselines;

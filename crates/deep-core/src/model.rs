@@ -1,16 +1,31 @@
-//! The estimation side of the paper's completion-time and energy models.
+//! The estimation side of the paper's completion-time and energy models,
+//! generalized to the registry mesh.
 //!
 //! `CT(m_i, r_g, d_j) = Size/BW_gj + Size_ui/BW_kj + CPU(m_i)/CPU_j` and
 //! `EC(m_i, r_g, d_j) = Ea + Es`, evaluated *predictively* while the
-//! scheduler walks the DAG: the context tracks the layer caches and
-//! same-wave route loads that the executor will later realise, so the
-//! scheduler's payoffs and the simulator's measurements agree.
+//! scheduler walks the DAG: the context tracks the layer caches,
+//! per-source route loads and (optionally) the per-wave peer-cache
+//! snapshots that the executor will later realise, so the scheduler's
+//! payoffs and the simulator's measurements agree bit for bit.
+//!
+//! Two mesh-wide generalizations over the seed two-registry model:
+//!
+//! * **Per-source route contention** — same-wave load is tracked per
+//!   `(RegistryId, device)` route, and a split pull charges each
+//!   `SourcePull`'s bytes to the route that actually carried them, not
+//!   once to its primary. Single-source pulls reduce to the seed
+//!   accounting exactly.
+//! * **Split-pull pricing** — with [`EstimationContext::peer_sharing`] on,
+//!   estimates and commits run through the same
+//!   hub-or-regional-plus-peer mesh the executor realises, so schedulers
+//!   can *price* the layers a fleet peer already holds instead of
+//!   discovering them at deployment time.
 
 use deep_dataflow::{Application, MicroserviceId};
 use deep_energy::Joules;
-use deep_netsim::{DataSize, DeviceId, Seconds};
-use deep_registry::{LayerCache, PullSession};
-use deep_simulator::{Placement, RegistryChoice, Testbed};
+use deep_netsim::{DataSize, DeviceId, RegistryId, Seconds};
+use deep_registry::{LayerCache, PeerCacheSource, PullSession, RegistryMesh};
+use deep_simulator::{Placement, RegistryChoice, Testbed, REGISTRY_PEER};
 use std::collections::HashMap;
 
 /// A predicted `(Td, Tc, Tp, EC)` for one candidate assignment.
@@ -39,10 +54,66 @@ pub struct EstimationContext<'t> {
     /// Estimated per-device layer caches (cloned cold or warm from the
     /// testbed).
     caches: Vec<LayerCache>,
-    /// Same-wave route loads, reset at each barrier.
-    route_load: HashMap<(RegistryChoice, usize), usize>,
+    /// Same-wave per-source route loads (`(source, device)`), reset at
+    /// each barrier.
+    route_load: HashMap<(RegistryId, usize), usize>,
     /// Devices of already-committed microservices (for `Tc`).
     assigned: Vec<Option<Placement>>,
+    /// Mirror an executor running with `peer_sharing`: every estimate and
+    /// commit adds the wave's peer-cache snapshot to the pull mesh.
+    peer_sharing: bool,
+    /// Per-device peer snapshots, rebuilt at each wave barrier
+    /// (`peer_snapshots[j]` = what every device ≠ j held at the barrier).
+    peer_snapshots: Vec<PeerCacheSource>,
+}
+
+/// The pull mesh one estimated/committed pull runs through: the
+/// placement's registry as primary (slowed by its route load), plus the
+/// device's peer snapshot when peer sharing is on — exactly the mesh the
+/// executor assembles for the realised pull.
+///
+/// A free function over split borrows so `commit` can hold the mesh and a
+/// mutable cache at once.
+fn pull_mesh<'t>(
+    testbed: &'t Testbed,
+    route_load: &HashMap<(RegistryId, usize), usize>,
+    peer: Option<&'t PeerCacheSource>,
+    registry: RegistryChoice,
+    device: DeviceId,
+) -> RegistryMesh<'t> {
+    let load = |id: RegistryId| {
+        testbed.params.contention_factor(*route_load.get(&(id, device.0)).unwrap_or(&0))
+    };
+    let primary = registry.registry_id();
+    let mut mesh = RegistryMesh::new();
+    mesh.add_registry(
+        primary,
+        testbed.registry(registry),
+        testbed.source_params(registry, device, load(primary)),
+    );
+    if let Some(peer) = peer {
+        mesh.add_blob_source(
+            REGISTRY_PEER,
+            peer,
+            testbed.source_params(RegistryChoice::mesh(REGISTRY_PEER), device, load(REGISTRY_PEER)),
+        );
+    }
+    mesh
+}
+
+/// Charge each of a pull's `SourcePull` buckets to its own route — the
+/// executor's per-source contention accounting.
+fn charge_routes(
+    route_load: &mut HashMap<(RegistryId, usize), usize>,
+    testbed: &Testbed,
+    outcome: &deep_registry::PullOutcome,
+    device: DeviceId,
+) {
+    for bucket in &outcome.per_source {
+        if bucket.downloaded >= testbed.params.contention_threshold {
+            *route_load.entry((bucket.source, device.0)).or_insert(0) += 1;
+        }
+    }
 }
 
 impl<'t> EstimationContext<'t> {
@@ -54,18 +125,51 @@ impl<'t> EstimationContext<'t> {
             caches: testbed.devices.iter().map(|d| d.cache.clone()).collect(),
             route_load: HashMap::new(),
             assigned: vec![None; app.len()],
+            peer_sharing: false,
+            peer_snapshots: Vec::new(),
         }
     }
 
+    /// Price peer-cache split pulls (builder-style): mirror an executor
+    /// running with [`deep_simulator::ExecutorConfig::peer_sharing`].
+    pub fn peer_sharing(mut self, on: bool) -> Self {
+        self.peer_sharing = on;
+        self.snapshot_peers();
+        self
+    }
+
+    /// Rebuild the per-device peer snapshots from the estimated caches —
+    /// the estimator's image of the executor's wave-barrier gossip round.
+    fn snapshot_peers(&mut self) {
+        if !self.peer_sharing {
+            return;
+        }
+        self.peer_snapshots = (0..self.caches.len())
+            .map(|j| {
+                PeerCacheSource::from_caches(
+                    "peer-cache",
+                    self.caches.iter().enumerate().filter(|(k, _)| *k != j).map(|(_, c)| c),
+                )
+            })
+            .collect();
+    }
+
     /// Open a new deployment wave (stage barrier): route contention
-    /// resets.
+    /// resets and peers re-advertise their caches.
     pub fn begin_wave(&mut self) {
         self.route_load.clear();
+        self.snapshot_peers();
     }
 
     /// The committed placement of a microservice, if any.
     pub fn placement(&self, id: MicroserviceId) -> Option<Placement> {
         self.assigned[id.0]
+    }
+
+    /// The testbed's registry-side strategy space (every full registry in
+    /// the mesh — the paper pair plus any regional mirrors).
+    pub fn registry_choices(&self) -> Vec<RegistryChoice> {
+        self.testbed.registry_choices()
     }
 
     /// Predict `(Td, Tc, Tp, EC)` for assigning `id` to
@@ -86,11 +190,10 @@ impl<'t> EstimationContext<'t> {
             .entry(self.app.name(), &ms.name)
             .unwrap_or_else(|| panic!("no image published for {}/{}", self.app.name(), ms.name));
         let reference = self.testbed.reference(entry, registry, dev.arch);
-        let load = *self.route_load.get(&(registry, device.0)).unwrap_or(&0);
-        let slowdown = self.testbed.params.contention_factor(load);
-        // The executor realises the same single-source mesh, so this
-        // estimate and its measurement agree bit for bit.
-        let mesh = self.testbed.pull_mesh(registry, device, slowdown);
+        // The executor realises the same mesh under the same route loads,
+        // so this estimate and its measurement agree bit for bit.
+        let peer = self.peer_sharing.then(|| &self.peer_snapshots[device.0]);
+        let mesh = pull_mesh(self.testbed, &self.route_load, peer, registry, device);
         let outcome = PullSession::new(&mesh, registry.registry_id())
             .extract_bw(dev.extract_bw)
             .estimate(&reference, dev.arch, &self.caches[device.0])
@@ -115,21 +218,24 @@ impl<'t> EstimationContext<'t> {
     }
 
     /// Commit an assignment: realise the pull against the estimated cache
-    /// and account its route load.
+    /// and charge each split-pull bucket to the route that carried it.
     pub fn commit(&mut self, id: MicroserviceId, placement: Placement) {
         let ms = self.app.microservice(id);
         let dev = self.testbed.device(placement.device);
         let entry =
             self.testbed.entry(self.app.name(), &ms.name).expect("estimate() validated the image");
         let reference = self.testbed.reference(entry, placement.registry, dev.arch);
-        let mesh = self.testbed.pull_mesh(placement.registry, placement.device, 1.0);
+        // Split borrows: the mesh reads the peer snapshots while the pull
+        // mutates the target device's estimated cache.
+        let EstimationContext { testbed, caches, route_load, peer_snapshots, peer_sharing, .. } =
+            self;
+        let peer = peer_sharing.then(|| &peer_snapshots[placement.device.0]);
+        let mesh = pull_mesh(testbed, route_load, peer, placement.registry, placement.device);
         let outcome = PullSession::new(&mesh, placement.registry.registry_id())
             .extract_bw(dev.extract_bw)
-            .pull(&reference, dev.arch, &mut self.caches[placement.device.0])
+            .pull(&reference, dev.arch, &mut caches[placement.device.0])
             .expect("catalog images resolve");
-        if outcome.downloaded >= self.testbed.params.contention_threshold {
-            *self.route_load.entry((placement.registry, placement.device.0)).or_insert(0) += 1;
-        }
+        charge_routes(route_load, testbed, &outcome, placement.device);
         self.assigned[id.0] = Some(placement);
     }
 
@@ -198,6 +304,113 @@ mod tests {
                 measured.energy
             );
         }
+    }
+
+    #[test]
+    fn estimates_match_executor_with_peer_sharing() {
+        // The mesh-parity contract for split pulls: a peer-aware context
+        // must predict exactly what a `peer_sharing` executor measures,
+        // including which layers ride the peer route.
+        let mut tb = crate::continuum::continuum_testbed();
+        let app = apps::video_processing();
+        let cfg = deep_simulator::ExecutorConfig::default();
+        // Warm the fleet: the medium device deploys the app first.
+        let warm = deep_simulator::Schedule::uniform(app.len(), RegistryChoice::Hub, DEVICE_MEDIUM);
+        deep_simulator::execute(&mut tb, &app, &warm, &cfg).unwrap();
+        // Predict a cloud deployment with peer sharing.
+        let schedule = deep_simulator::Schedule::uniform(
+            app.len(),
+            RegistryChoice::Hub,
+            deep_simulator::DEVICE_CLOUD,
+        );
+        let mut predictions = Vec::new();
+        {
+            let mut ctx = EstimationContext::new(&tb, &app).peer_sharing(true);
+            for stage in deep_dataflow::stages(&app) {
+                ctx.begin_wave();
+                for &id in &stage.members {
+                    let p = schedule.placement(id);
+                    predictions.push(ctx.estimate(id, p.registry, p.device));
+                    ctx.commit(id, p);
+                }
+            }
+        }
+        let peer_cfg = deep_simulator::ExecutorConfig { peer_sharing: true, ..cfg };
+        let (report, _) = deep_simulator::execute(&mut tb, &app, &schedule, &peer_cfg).unwrap();
+        // Non-vacuous: the fleet actually served bytes over the peer route.
+        let peer_mb = report
+            .downloaded_by_source()
+            .iter()
+            .find(|(id, _)| *id == deep_simulator::REGISTRY_PEER)
+            .map(|(_, mb)| *mb)
+            .unwrap_or(0.0);
+        assert!(peer_mb > 1_000.0, "peer route unused: {:?}", report.downloaded_by_source());
+        for (est, measured) in predictions.iter().zip(&report.microservices) {
+            assert!(
+                (est.td.as_f64() - measured.td.as_f64()).abs() < 1e-9,
+                "{}: td {} vs {}",
+                measured.name,
+                est.td,
+                measured.td
+            );
+            assert!((est.ec.as_f64() - measured.energy.as_f64()).abs() < 1e-6, "{}", measured.name);
+        }
+    }
+
+    #[test]
+    fn split_pulls_charge_each_source_route_not_the_primary() {
+        // Regression for the layer-level contention fix: a pull whose
+        // bytes all ride the peer route must not count as load on its
+        // primary registry route. The second same-wave pull on that
+        // registry route sees an uncontended download.
+        let mut tb = crate::continuum::continuum_testbed();
+        let app = apps::text_processing();
+        // Warm ONLY tp-retrieve's layers onto the cloud device: the fleet
+        // peer can serve retrieve but not decompress's unique layers.
+        let entry = tb.entry("text-processing", "retrieve").unwrap().clone();
+        let reference = tb.reference(&entry, RegistryChoice::Hub, deep_registry::Platform::Amd64);
+        let mut warm_cache =
+            deep_registry::LayerCache::new(deep_netsim::DataSize::gigabytes(1000.0));
+        tb.pull_mesh(RegistryChoice::Hub, deep_simulator::DEVICE_CLOUD, 1.0)
+            .session(RegistryChoice::Hub.registry_id())
+            .pull(&reference, deep_registry::Platform::Amd64, &mut warm_cache)
+            .unwrap();
+        tb.device_mut(deep_simulator::DEVICE_CLOUD).cache = warm_cache;
+
+        // Deploy the text app onto the medium device, everything from the
+        // hub, with peer sharing: retrieve (wave peer: cloud's cache) is
+        // fully peer-served, decompress still needs the hub.
+        let schedule =
+            deep_simulator::Schedule::uniform(app.len(), RegistryChoice::Hub, DEVICE_MEDIUM);
+        let cfg = deep_simulator::ExecutorConfig { peer_sharing: true, ..Default::default() };
+        let (report, _) = deep_simulator::execute(&mut tb, &app, &schedule, &cfg).unwrap();
+
+        let retrieve = report.metrics("retrieve").unwrap();
+        assert!(
+            retrieve.sources.iter().all(|s| s.source == deep_simulator::REGISTRY_PEER),
+            "retrieve rides the peer route entirely: {:?}",
+            retrieve.sources
+        );
+        // 140 MB over the peer at 80 MB/s + 1 s peer overhead + 25 s hub
+        // (primary) overhead + extraction at 12.6 MB/s.
+        let expected_retrieve = 140.0 / 80.0 + 1.0 + 25.0 + 140.0 / 12.6;
+        assert!(
+            (retrieve.td.as_f64() - expected_retrieve).abs() < 1e-9,
+            "retrieve td {} vs {expected_retrieve}",
+            retrieve.td
+        );
+        // decompress: python:3.9-slim already cached by retrieve's pull on
+        // this device; zlib stack (640 MB) + app (20 MB) from the hub at
+        // the UNCONTENDED 13 MB/s — the peer-served retrieve charged the
+        // peer route, not the hub route. (The seed accounting would have
+        // charged the hub and slowed this to 660·1.1/13.)
+        let decompress = report.metrics("decompress").unwrap();
+        let expected_decompress = 660.0 / 13.0 + 660.0 / 12.6 + 25.0;
+        assert!(
+            (decompress.td.as_f64() - expected_decompress).abs() < 1e-9,
+            "decompress td {} vs uncontended {expected_decompress}",
+            decompress.td
+        );
     }
 
     #[test]

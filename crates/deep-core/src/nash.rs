@@ -19,12 +19,21 @@
 //!    This is where the prisoner's-dilemma structure bites: two
 //!    microservices that would individually pick the same route are pushed
 //!    to split across registries.
+//!
+//! Both layers run over the *whole mesh*: the registry side of every
+//! strategy ranges over [`Testbed::registry_choices`] (the paper pair plus
+//! any regional mirrors), contention is charged per shared source route
+//! (a split pull loads each route its bytes traverse), and with
+//! [`DeepScheduler::with_peer_sharing`] the payoffs price the peer-cache
+//! split pulls a `peer_sharing` executor will realise. On the paper's
+//! two-registry testbed all of this reduces to the seed hub-vs-regional
+//! game exactly (regression-tested in `tests/mesh_equilibria.rs`).
 
 use crate::model::EstimationContext;
 use crate::Scheduler;
 use deep_dataflow::{stages, Application, MicroserviceId};
 use deep_game::{support_enumeration, Bimatrix, Matrix};
-use deep_simulator::{Placement, RegistryChoice, Schedule, Testbed};
+use deep_simulator::{Placement, Schedule, Testbed};
 
 /// The DEEP scheduler.
 #[derive(Debug, Clone)]
@@ -35,11 +44,16 @@ pub struct DeepScheduler {
     /// Cap on refinement passes (each pass lets every microservice revise
     /// once; congestion games converge long before this).
     pub max_refine_passes: usize,
+    /// Price peer-cache split pulls in the payoffs — set this iff the
+    /// executor will run with
+    /// [`deep_simulator::ExecutorConfig::peer_sharing`], so predictions
+    /// keep matching measurements.
+    pub peer_sharing: bool,
 }
 
 impl Default for DeepScheduler {
     fn default() -> Self {
-        DeepScheduler { refine: true, max_refine_passes: 32 }
+        DeepScheduler { refine: true, max_refine_passes: 32, peer_sharing: false }
     }
 }
 
@@ -54,9 +68,20 @@ impl DeepScheduler {
         DeepScheduler { refine: false, ..Self::default() }
     }
 
+    /// Peer-aware variant: payoffs price split pulls through the fleet's
+    /// peer caches (pair with a `peer_sharing` executor).
+    pub fn with_peer_sharing() -> Self {
+        DeepScheduler { peer_sharing: true, ..Self::default() }
+    }
+
+    /// A fresh estimation context under this scheduler's configuration.
+    fn context<'t>(&self, testbed: &'t Testbed, app: &'t Application) -> EstimationContext<'t> {
+        EstimationContext::new(testbed, app).peer_sharing(self.peer_sharing)
+    }
+
     /// Play the per-microservice stage games in barrier order.
     fn sequential_assignment(&self, app: &Application, testbed: &Testbed) -> Vec<Placement> {
-        let mut ctx = EstimationContext::new(testbed, app);
+        let mut ctx = self.context(testbed, app);
         let mut placements: Vec<Option<Placement>> = vec![None; app.len()];
         for stage in stages(app) {
             ctx.begin_wave();
@@ -69,9 +94,10 @@ impl DeepScheduler {
         placements.into_iter().map(|p| p.expect("all stages visited")).collect()
     }
 
-    /// Build and solve one microservice's 2×|D| common-interest game.
+    /// Build and solve one microservice's |R|×|D| common-interest game
+    /// over every mesh registry × admissible device.
     fn stage_game(&self, ctx: &EstimationContext<'_>, id: MicroserviceId) -> Placement {
-        let registries = RegistryChoice::all();
+        let registries = ctx.registry_choices();
         let devices = ctx.admissible_devices(id);
         assert!(
             !devices.is_empty(),
@@ -97,9 +123,15 @@ impl DeepScheduler {
     }
 
     /// Evaluate every microservice's estimated energy under a full
-    /// profile, replaying the stage walk.
-    fn profile_costs(app: &Application, testbed: &Testbed, profile: &[Placement]) -> Vec<f64> {
-        let mut ctx = EstimationContext::new(testbed, app);
+    /// profile, replaying the stage walk under this scheduler's
+    /// configuration.
+    fn profile_costs(
+        &self,
+        app: &Application,
+        testbed: &Testbed,
+        profile: &[Placement],
+    ) -> Vec<f64> {
+        let mut ctx = self.context(testbed, app);
         let mut costs = vec![0.0; app.len()];
         for stage in stages(app) {
             ctx.begin_wave();
@@ -119,14 +151,14 @@ impl DeepScheduler {
         testbed: &Testbed,
         mut profile: Vec<Placement>,
     ) -> Vec<Placement> {
-        let registries = RegistryChoice::all();
+        let registries = testbed.registry_choices();
         for _ in 0..self.max_refine_passes {
             let mut changed = false;
             for id in app.ids() {
-                let ctx = EstimationContext::new(testbed, app);
+                let ctx = self.context(testbed, app);
                 let devices = ctx.admissible_devices(id);
                 drop(ctx);
-                let current_cost = Self::profile_costs(app, testbed, &profile)[id.0];
+                let current_cost = self.profile_costs(app, testbed, &profile)[id.0];
                 let mut best = (current_cost, profile[id.0]);
                 for &registry in &registries {
                     for &device in &devices {
@@ -136,7 +168,7 @@ impl DeepScheduler {
                         }
                         let mut probe = profile.clone();
                         probe[id.0] = candidate;
-                        let cost = Self::profile_costs(app, testbed, &probe)[id.0];
+                        let cost = self.profile_costs(app, testbed, &probe)[id.0];
                         if cost < best.0 - 1e-9 {
                             best = (cost, candidate);
                         }
@@ -154,16 +186,22 @@ impl DeepScheduler {
         profile
     }
 
-    /// Is `profile` a pure Nash equilibrium of the joint deployment game?
-    /// (Exposed for tests and the experiment drivers.)
-    pub fn is_joint_equilibrium(app: &Application, testbed: &Testbed, schedule: &Schedule) -> bool {
+    /// Is `schedule` a pure Nash equilibrium of the joint deployment game
+    /// under *this* scheduler's configuration (mesh strategy space,
+    /// peer-aware payoffs when enabled)?
+    pub fn is_equilibrium(
+        &self,
+        app: &Application,
+        testbed: &Testbed,
+        schedule: &Schedule,
+    ) -> bool {
         let profile: Vec<Placement> = app.ids().map(|id| schedule.placement(id)).collect();
-        let registries = RegistryChoice::all();
+        let registries = testbed.registry_choices();
         for id in app.ids() {
-            let ctx = EstimationContext::new(testbed, app);
+            let ctx = self.context(testbed, app);
             let devices = ctx.admissible_devices(id);
             drop(ctx);
-            let current = Self::profile_costs(app, testbed, &profile)[id.0];
+            let current = self.profile_costs(app, testbed, &profile)[id.0];
             for &registry in &registries {
                 for &device in &devices {
                     let candidate = Placement { registry, device };
@@ -172,13 +210,21 @@ impl DeepScheduler {
                     }
                     let mut probe = profile.clone();
                     probe[id.0] = candidate;
-                    if Self::profile_costs(app, testbed, &probe)[id.0] < current - 1e-9 {
+                    if self.profile_costs(app, testbed, &probe)[id.0] < current - 1e-9 {
                         return false;
                     }
                 }
             }
         }
         true
+    }
+
+    /// Is `profile` a pure Nash equilibrium of the joint deployment game
+    /// under the paper configuration? (Kept for tests and the experiment
+    /// drivers; see [`DeepScheduler::is_equilibrium`] for peer-aware
+    /// checks.)
+    pub fn is_joint_equilibrium(app: &Application, testbed: &Testbed, schedule: &Schedule) -> bool {
+        Self::paper().is_equilibrium(app, testbed, schedule)
     }
 }
 
@@ -200,7 +246,7 @@ mod tests {
     use super::*;
     use crate::calibration::calibrated_testbed;
     use deep_dataflow::apps;
-    use deep_simulator::{DEVICE_MEDIUM, DEVICE_SMALL};
+    use deep_simulator::{RegistryChoice, DEVICE_MEDIUM, DEVICE_SMALL};
 
     fn placements(app: &Application, s: &Schedule) -> Vec<(String, Placement)> {
         app.ids().map(|id| (app.microservice(id).name.clone(), s.placement(id))).collect()
@@ -271,7 +317,7 @@ mod tests {
             let refined = DeepScheduler::paper().schedule(&app, &tb);
             let cost = |s: &Schedule| -> f64 {
                 let profile: Vec<Placement> = app.ids().map(|id| s.placement(id)).collect();
-                DeepScheduler::profile_costs(&app, &tb, &profile).iter().sum()
+                DeepScheduler::paper().profile_costs(&app, &tb, &profile).iter().sum()
             };
             // Best-response refinement follows the exact potential of the
             // congestion game, which here equals each player's own cost

@@ -13,7 +13,7 @@
 use crate::model::EstimationContext;
 use deep_dataflow::{stages, Application};
 use deep_netsim::DeviceId;
-use deep_simulator::{Placement, RegistryChoice, Schedule, Testbed};
+use deep_simulator::{Placement, Schedule, Testbed};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -55,9 +55,10 @@ pub fn evaluate_profile(
     EvaluatedProfile { placements: placements.to_vec(), energy, makespan }
 }
 
-/// All admissible strategies per microservice on this testbed.
+/// All admissible strategies per microservice on this testbed: every full
+/// mesh registry × every admitting device.
 fn strategy_space(app: &Application, testbed: &Testbed) -> Vec<Vec<Placement>> {
-    let registries = RegistryChoice::all();
+    let registries = testbed.registry_choices();
     app.ids()
         .map(|id| {
             let req = &app.microservice(id).requirements;

@@ -6,9 +6,19 @@
 //! load-dependent-cost games are congestion games, hence exact potential
 //! games, hence best-response dynamics terminate at a pure Nash
 //! equilibrium (Monderer & Shapley 1996). This module provides the generic
-//! machinery: a cost oracle over profiles, round-robin best-response
-//! iteration with convergence detection, and exhaustive pure-equilibrium
-//! enumeration for cross-checking small instances.
+//! machinery at two altitudes:
+//!
+//! * [`FiniteGame`] — a cost *oracle* over profiles (any finite game),
+//!   with round-robin best-response iteration, convergence detection and
+//!   exhaustive pure-equilibrium enumeration for small instances;
+//! * [`CongestionGame`] — the explicit Rosenthal form: shared *resources*
+//!   with load-dependent costs, and per-player strategies that each load a
+//!   player-specific resource *subset*. This is the shape of the mesh-wide
+//!   deployment wave: resources are source→device routes, and a strategy
+//!   (a placement plus its split-pull plan) loads every route its
+//!   `SourcePull`s traverse — one player may occupy several routes at
+//!   once, another a single one. The explicit form carries its exact
+//!   potential, so convergence is a checkable theorem, not a hope.
 
 /// A finite n-player cost game described by an oracle.
 ///
@@ -151,6 +161,165 @@ impl<'a> FiniteGame<'a> {
     }
 }
 
+/// An explicit (Rosenthal) congestion game: `resources` shared resources
+/// whose cost depends only on their load, and per-player strategies that
+/// each use a player-specific subset of resources.
+///
+/// Player `p` playing strategy `s` pays `Σ_{r ∈ uses[p][s]} cost(r, n_r)`
+/// where `n_r` is the number of players whose chosen strategy uses `r`.
+/// Rosenthal's potential `Φ = Σ_r Σ_{k=1..n_r} cost(r, k)` decreases by
+/// exactly the deviator's improvement on every unilateral improving move,
+/// so best-response dynamics terminate at a pure Nash equilibrium
+/// regardless of how asymmetric the subsets are.
+pub struct CongestionGame<'a> {
+    resources: usize,
+    /// `uses[p][s]` = the resource subset player `p`'s strategy `s` loads
+    /// (strictly increasing within each subset).
+    uses: Vec<Vec<Vec<usize>>>,
+    /// `cost(resource, load)` with `load ≥ 1`. Must not depend on who the
+    /// users are — only how many.
+    cost: Box<dyn Fn(usize, usize) -> f64 + 'a>,
+}
+
+impl<'a> CongestionGame<'a> {
+    /// Build a game from per-player strategy subsets and a resource cost.
+    ///
+    /// Panics on empty players/strategies, out-of-range resources, or
+    /// unsorted/duplicated subsets — all construction bugs.
+    pub fn new(
+        resources: usize,
+        uses: Vec<Vec<Vec<usize>>>,
+        cost: impl Fn(usize, usize) -> f64 + 'a,
+    ) -> Self {
+        assert!(!uses.is_empty(), "need at least one player");
+        for (p, strategies) in uses.iter().enumerate() {
+            assert!(!strategies.is_empty(), "player {p} needs a strategy");
+            for subset in strategies {
+                assert!(
+                    subset.windows(2).all(|w| w[0] < w[1]),
+                    "player {p} has an unsorted or duplicated resource subset"
+                );
+                assert!(
+                    subset.iter().all(|&r| r < resources),
+                    "player {p} names a resource out of range"
+                );
+            }
+        }
+        CongestionGame { resources, uses, cost: Box::new(cost) }
+    }
+
+    /// Number of players.
+    pub fn players(&self) -> usize {
+        self.uses.len()
+    }
+
+    /// Number of strategies available to player `p`.
+    pub fn strategy_count(&self, p: usize) -> usize {
+        self.uses[p].len()
+    }
+
+    /// Per-resource load under a pure profile.
+    pub fn loads(&self, profile: &[usize]) -> Vec<usize> {
+        assert_eq!(profile.len(), self.players(), "profile length mismatch");
+        let mut loads = vec![0usize; self.resources];
+        for (p, &s) in profile.iter().enumerate() {
+            for &r in &self.uses[p][s] {
+                loads[r] += 1;
+            }
+        }
+        loads
+    }
+
+    /// Player `p`'s cost under `profile`: the loaded cost of every
+    /// resource their chosen strategy uses.
+    pub fn player_cost(&self, p: usize, profile: &[usize]) -> f64 {
+        let loads = self.loads(profile);
+        self.uses[p][profile[p]].iter().map(|&r| (self.cost)(r, loads[r])).sum()
+    }
+
+    /// Rosenthal's exact potential `Φ(profile)`.
+    pub fn potential(&self, profile: &[usize]) -> f64 {
+        self.loads(profile)
+            .iter()
+            .enumerate()
+            .map(|(r, &n)| (1..=n).map(|k| (self.cost)(r, k)).sum::<f64>())
+            .sum()
+    }
+
+    /// Total cost across players (the social objective).
+    pub fn social_cost(&self, profile: &[usize]) -> f64 {
+        (0..self.players()).map(|p| self.player_cost(p, profile)).sum()
+    }
+
+    /// The oracle form of the same game, for cross-checking against the
+    /// generic [`FiniteGame`] machinery.
+    pub fn as_finite_game(&self) -> FiniteGame<'_> {
+        FiniteGame::new(self.uses.iter().map(Vec::len).collect(), move |p, profile| {
+            self.player_cost(p, profile)
+        })
+    }
+
+    /// Player `p`'s best response to the rest of `profile`: strictly
+    /// lowest cost, lowest strategy index on ties (deterministic).
+    pub fn best_response(&self, p: usize, profile: &[usize]) -> usize {
+        let mut probe = profile.to_vec();
+        let mut best = (f64::INFINITY, 0usize);
+        for s in 0..self.strategy_count(p) {
+            probe[p] = s;
+            let c = self.player_cost(p, &probe);
+            if c < best.0 - 1e-12 {
+                best = (c, s);
+            }
+        }
+        best.1
+    }
+
+    /// Round-robin best-response dynamics from `start`. Terminates at a
+    /// pure Nash equilibrium within `max_passes` passes whenever the cost
+    /// improvements exceed the 1e-12 tolerance — guaranteed by the
+    /// potential, which strictly decreases on every revision taken.
+    pub fn best_response_dynamics(
+        &self,
+        start: Vec<usize>,
+        max_passes: usize,
+    ) -> BestResponseResult {
+        assert_eq!(start.len(), self.players(), "profile length mismatch");
+        for (p, &s) in start.iter().enumerate() {
+            assert!(s < self.strategy_count(p), "start strategy out of range for player {p}");
+        }
+        let mut profile = start;
+        for pass in 0..max_passes {
+            let mut changed = false;
+            for p in 0..self.players() {
+                let current = self.player_cost(p, &profile);
+                let br = self.best_response(p, &profile);
+                let mut probe = profile.clone();
+                probe[p] = br;
+                if self.player_cost(p, &probe) < current - 1e-12 {
+                    profile = probe;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return BestResponseResult { profile, converged: true, passes: pass + 1 };
+            }
+        }
+        BestResponseResult { profile, converged: false, passes: max_passes }
+    }
+
+    /// Is `profile` a pure Nash equilibrium?
+    pub fn is_equilibrium(&self, profile: &[usize]) -> bool {
+        (0..self.players()).all(|p| {
+            let current = self.player_cost(p, profile);
+            let mut probe = profile.to_vec();
+            (0..self.strategy_count(p)).all(|s| {
+                probe[p] = s;
+                self.player_cost(p, &probe) >= current - 1e-9
+            })
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -250,5 +419,169 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn profile_length_validated() {
         two_route_game().best_response_dynamics(vec![0], 10);
+    }
+
+    /// The wave shape: player 0 is a split pull loading *two* routes per
+    /// strategy, players 1–2 are single-route pulls. Linear load costs.
+    fn split_pull_game() -> CongestionGame<'static> {
+        // Resources: 0 = hub route, 1 = regional route, 2 = peer route.
+        // Player 0: {hub+peer} or {regional+peer} (split pulls).
+        // Players 1, 2: {hub} or {regional} (whole-image pulls).
+        let uses =
+            vec![vec![vec![0, 2], vec![1, 2]], vec![vec![0], vec![1]], vec![vec![0], vec![1]]];
+        CongestionGame::new(3, uses, |r, load| {
+            let base = [1.0, 0.9, 0.4][r];
+            base * load as f64
+        })
+    }
+
+    #[test]
+    fn player_specific_subsets_load_every_route_they_use() {
+        let g = split_pull_game();
+        let loads = g.loads(&[0, 0, 1]);
+        assert_eq!(loads, vec![2, 1, 1], "split pull counts on both its routes");
+        // Player 0 pays both routes at their loads: hub 1.0·2 + peer 0.4·1.
+        assert!((g.player_cost(0, &[0, 0, 1]) - 2.4).abs() < 1e-12);
+        assert!((g.player_cost(1, &[0, 0, 1]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dynamics_converge_and_spread_single_route_players() {
+        let g = split_pull_game();
+        let r = g.best_response_dynamics(vec![0, 0, 0], 100);
+        assert!(r.converged);
+        assert!(g.is_equilibrium(&r.profile));
+        // The two whole-image players split across hub/regional (sharing
+        // the hub with the split pull is dominated).
+        assert_ne!(r.profile[1], r.profile[2], "PD outcome: routes split");
+    }
+
+    #[test]
+    fn rosenthal_potential_tracks_unilateral_improvements_exactly() {
+        // The exact-potential property, checked on every unilateral
+        // deviation of the asymmetric game: ΔΦ == Δcost(deviator).
+        let g = split_pull_game();
+        let mut profile = vec![0usize; 3];
+        loop {
+            for p in 0..g.players() {
+                for s in 0..g.strategy_count(p) {
+                    let mut probe = profile.clone();
+                    probe[p] = s;
+                    let d_cost = g.player_cost(p, &probe) - g.player_cost(p, &profile);
+                    let d_phi = g.potential(&probe) - g.potential(&profile);
+                    assert!(
+                        (d_cost - d_phi).abs() < 1e-9,
+                        "deviation p{p}→s{s} from {profile:?}: Δcost {d_cost} vs ΔΦ {d_phi}"
+                    );
+                }
+            }
+            // Odometer over the 2×2×2 profile space.
+            let mut p = 0;
+            loop {
+                if p == g.players() {
+                    return;
+                }
+                profile[p] += 1;
+                if profile[p] < g.strategy_count(p) {
+                    break;
+                }
+                profile[p] = 0;
+                p += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_form_agrees_with_the_oracle_form() {
+        let g = split_pull_game();
+        let oracle = g.as_finite_game();
+        // Same costs on every profile, same equilibrium set.
+        let mut profile = vec![0usize; 3];
+        loop {
+            for p in 0..g.players() {
+                assert!((g.player_cost(p, &profile) - (oracle.cost)(p, &profile)).abs() < 1e-12);
+            }
+            assert_eq!(g.is_equilibrium(&profile), oracle.is_equilibrium(&profile));
+            let mut p = 0;
+            loop {
+                if p == g.players() {
+                    return;
+                }
+                profile[p] += 1;
+                if profile[p] < g.strategy_count(p) {
+                    break;
+                }
+                profile[p] = 0;
+                p += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn dynamics_converge_from_every_start_on_randomish_games() {
+        // Potential argument, verified empirically over seeded games with
+        // asymmetric subsets and convex costs.
+        for seed in 0..20u64 {
+            let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+            let mut next = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            let resources = 3 + (next() % 3) as usize;
+            let players = 2 + (next() % 3) as usize;
+            let uses: Vec<Vec<Vec<usize>>> = (0..players)
+                .map(|_| {
+                    (0..2 + (next() % 2) as usize)
+                        .map(|_| {
+                            let mut subset: Vec<usize> =
+                                (0..resources).filter(|_| next() % 2 == 0).collect();
+                            if subset.is_empty() {
+                                subset.push((next() % resources as u64) as usize);
+                            }
+                            subset
+                        })
+                        .collect()
+                })
+                .collect();
+            let weights: Vec<f64> = (0..resources).map(|r| 0.5 + r as f64 * 0.3).collect();
+            let g = CongestionGame::new(resources, uses, move |r, load| {
+                weights[r] * (load * load) as f64
+            });
+            let start: Vec<usize> = (0..players).map(|p| g.strategy_count(p) - 1).collect();
+            let r = g.best_response_dynamics(start, 1000);
+            assert!(r.converged, "seed {seed}");
+            assert!(g.is_equilibrium(&r.profile), "seed {seed}");
+            // Determinism: the same start reaches the same equilibrium.
+            let start2: Vec<usize> = (0..players).map(|p| g.strategy_count(p) - 1).collect();
+            assert_eq!(g.best_response_dynamics(start2, 1000).profile, r.profile);
+        }
+    }
+
+    #[test]
+    fn equilibrium_potential_is_a_local_minimum() {
+        let g = split_pull_game();
+        let r = g.best_response_dynamics(vec![0, 0, 0], 100);
+        let phi = g.potential(&r.profile);
+        for p in 0..g.players() {
+            for s in 0..g.strategy_count(p) {
+                let mut probe = r.profile.clone();
+                probe[p] = s;
+                assert!(g.potential(&probe) >= phi - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsorted or duplicated")]
+    fn unsorted_subsets_are_rejected() {
+        CongestionGame::new(3, vec![vec![vec![2, 1]]], |_, _| 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_resources_are_rejected() {
+        CongestionGame::new(2, vec![vec![vec![0, 2]]], |_, _| 1.0);
     }
 }

@@ -18,6 +18,8 @@
 //! * [`dynamics`] — best-response dynamics and fictitious play;
 //! * [`congestion`] — finite n-player games with exact potential
 //!   (deployment-contention games), solved by best-response iteration;
+//!   includes the explicit Rosenthal form with player-specific resource
+//!   subsets (split pulls loading several source routes at once);
 //! * [`classic`] — canonical games (prisoner's dilemma, matching pennies,
 //!   ...) used for validation and by the paper's model.
 
@@ -34,7 +36,7 @@ pub mod strategy;
 pub mod support_enum;
 
 pub use bimatrix::Bimatrix;
-pub use congestion::{BestResponseResult, FiniteGame};
+pub use congestion::{BestResponseResult, CongestionGame, FiniteGame};
 pub use dynamics::{best_response_dynamics, fictitious_play};
 pub use lemke_howson::lemke_howson;
 pub use matrix::Matrix;

@@ -74,7 +74,7 @@ pub use manifest::{ImageManifest, LayerDescriptor};
 pub use mesh::{MeshSource, PeerCacheSource, PullSession, RegistryMesh, SourceParams};
 pub use pull::{PullOutcome, PullPlanner, RegistryError, SourcePull};
 pub use regional::RegionalRegistry;
-pub use retry::{pull_with_retry, FlakyRegistry, RetriedPull, RetryPolicy};
+pub use retry::{pull_with_retry, FaultySource, FlakyRegistry, RetriedPull, RetryPolicy};
 
 /// Typed handle for a mesh source (`r_g` in the paper), shared with the
 /// netsim topology.
@@ -97,14 +97,28 @@ pub trait ManifestSource {
     fn repositories(&self) -> Vec<String>;
 }
 
-/// The blob half of the registry protocol: per-blob availability. Full
-/// registries and peer-device caches both implement this.
+/// The blob half of the registry protocol: per-blob availability and the
+/// fetch itself. Full registries and peer-device caches both implement
+/// this.
 pub trait BlobSource {
     /// Display label for per-source reporting ("docker.io", "peer-cache").
     fn label(&self) -> &str;
 
     /// Whether the source can serve a blob right now.
     fn has_blob(&self, digest: &Digest) -> bool;
+
+    /// Perform the fetch of an advertised blob — the data-plane operation
+    /// a [`mesh::PullSession`] drives per layer. The default succeeds
+    /// whenever [`BlobSource::has_blob`] does; fault-injecting doubles
+    /// (see [`retry::FaultySource`]) override it to model sources that
+    /// die *mid-pull*, after availability was already advertised.
+    fn fetch_blob(&self, digest: &Digest) -> Result<(), RegistryError> {
+        if self.has_blob(digest) {
+            Ok(())
+        } else {
+            Err(RegistryError::MissingBlob(digest.clone()))
+        }
+    }
 }
 
 /// A full registry: both protocol halves. Blanket-implemented, so any

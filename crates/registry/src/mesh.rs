@@ -235,8 +235,9 @@ impl<'m, 'a> PullSession<'m, 'a> {
         self.run(reference, platform, &mut CacheAccess::Mutate(cache))
     }
 
-    /// Estimate the pull without mutating the cache — counterfactual
-    /// evaluation for schedulers.
+    /// Estimate the pull without mutating the cache and without driving
+    /// any data-plane fetch — counterfactual evaluation for schedulers,
+    /// side-effect-free even against stateful (fault-injecting) sources.
     pub fn estimate(
         &self,
         reference: &Reference,
@@ -252,7 +253,7 @@ impl<'m, 'a> PullSession<'m, 'a> {
         platform: Platform,
         cache: &mut CacheAccess<'_>,
     ) -> Result<PullOutcome, RegistryError> {
-        let (manifest, attempts, backoff_total) = self.resolve(reference, platform)?;
+        let (manifest, attempts, mut backoff_total) = self.resolve(reference, platform)?;
 
         let mut cached = DataSize::ZERO;
         let mut cache_hits = 0usize;
@@ -262,6 +263,13 @@ impl<'m, 'a> PullSession<'m, 'a> {
         used.insert(self.primary);
         // Per-source buckets in order of first use.
         let mut buckets: Vec<SourcePull> = Vec::new();
+        // Sources that died mid-pull, in order of death: excluded from the
+        // plan for every remaining layer.
+        let mut dead: Vec<RegistryId> = Vec::new();
+        // Estimates plan from availability alone — no data-plane fetches,
+        // so a counterfactual evaluation stays side-effect-free even
+        // against stateful (fault-injecting) sources.
+        let fetching = matches!(cache, CacheAccess::Mutate(_));
 
         for layer in &manifest.layers {
             if cache.hit(&layer.digest) {
@@ -269,9 +277,24 @@ impl<'m, 'a> PullSession<'m, 'a> {
                 cache_hits += 1;
                 continue;
             }
-            let source = self
-                .cheapest_source(&layer.digest, layer.size, &used)
-                .ok_or_else(|| RegistryError::MissingBlob(layer.digest.clone()))?;
+            // Failover loop: fetch from the cheapest surviving source; a
+            // fatal failure kills the source and re-plans this (and every
+            // later) layer onto the survivors. Transient failures are
+            // retried in place under the session's policy — the source is
+            // flaky, not gone — and surface if retries exhaust.
+            let source = loop {
+                let candidate = self
+                    .cheapest_source(&layer.digest, layer.size, &used, &dead)
+                    .ok_or_else(|| RegistryError::MissingBlob(layer.digest.clone()))?;
+                if !fetching {
+                    break candidate;
+                }
+                match self.fetch(candidate, &layer.digest, &mut backoff_total) {
+                    Ok(()) => break candidate,
+                    Err(e) if e.is_transient() => return Err(e),
+                    Err(_) => dead.push(candidate.id),
+                }
+            };
             used.insert(source.id);
             match buckets.iter_mut().find(|b| b.source == source.id) {
                 Some(bucket) => {
@@ -319,9 +342,34 @@ impl<'m, 'a> PullSession<'m, 'a> {
             extract_time: transfer_time(downloaded, self.extract_bw),
             overhead,
             per_source: buckets,
+            failed_sources: dead,
             backoff_total,
             attempts,
         })
+    }
+
+    /// Fetch one blob from `source`, retrying transient failures under the
+    /// session's policy (backoff charged into the pull's `backoff_total`).
+    /// Fatal errors and exhausted retries surface to the caller.
+    fn fetch(
+        &self,
+        source: &MeshSource<'a>,
+        digest: &Digest,
+        backoff_total: &mut Seconds,
+    ) -> Result<(), RegistryError> {
+        let Some(policy) = self.retry else {
+            return source.blobs.fetch_blob(digest);
+        };
+        for attempt in 1..=policy.max_attempts {
+            match source.blobs.fetch_blob(digest) {
+                Ok(()) => return Ok(()),
+                Err(e) if e.is_transient() && attempt < policy.max_attempts => {
+                    *backoff_total += policy.backoff(attempt);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        unreachable!("loop always returns")
     }
 
     /// Resolve the manifest from the primary, retrying transients when a
@@ -349,29 +397,32 @@ impl<'m, 'a> PullSession<'m, 'a> {
         unreachable!("loop always returns")
     }
 
-    /// The cheapest source holding `digest`, under the marginal-cost model
-    /// (transfer time + first-use overhead). Deterministic tie-break:
-    /// primary first, then lowest id.
+    /// The cheapest surviving source holding `digest`, under the
+    /// marginal-cost model (transfer time + first-use overhead).
+    /// Deterministic tie-break: primary first, then lowest id.
     fn cheapest_source(
         &self,
         digest: &Digest,
         size: DataSize,
         used: &HashSet<RegistryId>,
+        dead: &[RegistryId],
     ) -> Option<&MeshSource<'a>> {
-        self.mesh.sources().filter(|s| s.has_blob(digest)).min_by(|a, b| {
-            let cost = |s: &MeshSource<'_>| {
-                let mut c = transfer_time(size, s.params.download_bw).as_f64();
-                if !used.contains(&s.id) {
-                    c += s.params.overhead.as_f64();
-                }
-                c
-            };
-            cost(a)
-                .partial_cmp(&cost(b))
-                .expect("costs are never NaN")
-                .then_with(|| (a.id != self.primary).cmp(&(b.id != self.primary)))
-                .then_with(|| a.id.cmp(&b.id))
-        })
+        self.mesh.sources().filter(|s| !dead.contains(&s.id) && s.has_blob(digest)).min_by(
+            |a, b| {
+                let cost = |s: &MeshSource<'_>| {
+                    let mut c = transfer_time(size, s.params.download_bw).as_f64();
+                    if !used.contains(&s.id) {
+                        c += s.params.overhead.as_f64();
+                    }
+                    c
+                };
+                cost(a)
+                    .partial_cmp(&cost(b))
+                    .expect("costs are never NaN")
+                    .then_with(|| (a.id != self.primary).cmp(&(b.id != self.primary)))
+                    .then_with(|| a.id.cmp(&b.id))
+            },
+        )
     }
 }
 
@@ -700,6 +751,133 @@ mod tests {
         // The snapshot is decoupled from later cache evolution.
         a.insert(Digest::of(b"layer-c"), DataSize::megabytes(10.0));
         assert!(!peer.has_blob(&Digest::of(b"layer-c")));
+    }
+
+    #[test]
+    fn fatal_mid_pull_fails_over_to_surviving_sources() {
+        // The hub serves one layer then dies; the session re-plans the
+        // remaining layers onto the regional registry instead of failing
+        // the pull.
+        let hub = crate::retry::FaultySource::fatal_after(HubRegistry::with_paper_catalog(), 1);
+        let regional = RegionalRegistry::with_paper_catalog();
+        let mut mesh = RegistryMesh::new();
+        mesh.add_registry(HUB, &hub, hub_params());
+        mesh.add_registry(REGIONAL, &regional, regional_params());
+        let r = Reference::new("docker.io", "sina88/vp-transcode", "amd64");
+        let mut c = cache();
+        let out = mesh.session(HUB).pull(&r, Platform::Amd64, &mut c).unwrap();
+        assert_eq!(out.failed_sources, vec![HUB]);
+        assert_eq!(out.layers_fetched, 3, "the pull still completes");
+        let hub_bucket = out.per_source.iter().find(|b| b.source == HUB).unwrap();
+        let reg_bucket = out.per_source.iter().find(|b| b.source == REGIONAL).unwrap();
+        assert_eq!(hub_bucket.layers, 1, "one layer landed before the death");
+        assert_eq!(reg_bucket.layers, 2, "survivors carry the rest");
+        // Both sources were used, so both overheads are charged.
+        assert!((out.overhead.as_f64() - 30.0).abs() < 1e-12);
+        // The device cache is complete: a re-pull is fully warm.
+        let warm = mesh.session(REGIONAL).pull(
+            &Reference::new("dcloud2.itec.aau.at", "aau/vp-transcode", "amd64"),
+            Platform::Amd64,
+            &mut c,
+        );
+        assert_eq!(warm.unwrap().downloaded, DataSize::ZERO);
+    }
+
+    #[test]
+    fn dead_source_stays_dead_for_the_rest_of_the_session_pull() {
+        // Death before any successful fetch: every layer fails over, the
+        // dead source contributes no bucket and pays no overhead beyond
+        // its (sunk) primary share.
+        let hub = crate::retry::FaultySource::fatal_after(HubRegistry::with_paper_catalog(), 0);
+        let regional = RegionalRegistry::with_paper_catalog();
+        let mut mesh = RegistryMesh::new();
+        mesh.add_registry(HUB, &hub, hub_params());
+        mesh.add_registry(REGIONAL, &regional, regional_params());
+        let r = Reference::new("docker.io", "sina88/vp-transcode", "amd64");
+        let out = mesh.session(HUB).pull(&r, Platform::Amd64, &mut cache()).unwrap();
+        assert_eq!(out.failed_sources, vec![HUB], "killed once, not once per layer");
+        assert_eq!(out.per_source.len(), 1);
+        assert_eq!(out.per_source[0].source, REGIONAL);
+        assert_eq!(out.per_source[0].layers, 3);
+    }
+
+    #[test]
+    fn transient_blob_failures_retry_in_place_under_the_policy() {
+        // A flaky (not dead) source: transient fetch failures back off and
+        // retry against the same source — no failover, backoff charged.
+        let hub =
+            crate::retry::FaultySource::transient_run(HubRegistry::with_paper_catalog(), 1, 2);
+        let mut mesh = RegistryMesh::new();
+        mesh.add_registry(HUB, &hub, hub_params());
+        let session = mesh.session(HUB).with_retry(RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Seconds::new(2.0),
+            ..Default::default()
+        });
+        let r = Reference::new("docker.io", "sina88/vp-transcode", "amd64");
+        let out = session.pull(&r, Platform::Amd64, &mut cache()).unwrap();
+        assert!(out.failed_sources.is_empty(), "transient ≠ dead");
+        assert_eq!(out.layers_fetched, 3);
+        // Two injected failures on one layer: 2 + 4 = 6 s of backoff.
+        assert!((out.backoff_total.as_f64() - 6.0).abs() < 1e-12);
+        assert_eq!(hub.pending_failures(), 0);
+    }
+
+    #[test]
+    fn transient_blob_failure_without_policy_surfaces() {
+        let hub =
+            crate::retry::FaultySource::transient_run(HubRegistry::with_paper_catalog(), 0, 1);
+        let mut mesh = RegistryMesh::new();
+        mesh.add_registry(HUB, &hub, hub_params());
+        let r = Reference::new("docker.io", "sina88/vp-transcode", "amd64");
+        let err = mesh.session(HUB).pull(&r, Platform::Amd64, &mut cache()).unwrap_err();
+        assert!(err.is_transient());
+    }
+
+    #[test]
+    fn exhausted_transient_retries_surface_the_error() {
+        let hub =
+            crate::retry::FaultySource::transient_run(HubRegistry::with_paper_catalog(), 0, 10);
+        let mut mesh = RegistryMesh::new();
+        mesh.add_registry(HUB, &hub, hub_params());
+        let session = mesh.session(HUB).with_retry(RetryPolicy {
+            max_attempts: 2,
+            base_backoff: Seconds::new(1.0),
+            ..Default::default()
+        });
+        let r = Reference::new("docker.io", "sina88/vp-transcode", "amd64");
+        let err = session.pull(&r, Platform::Amd64, &mut cache()).unwrap_err();
+        assert!(err.is_transient(), "retries exhaust into the transient error");
+    }
+
+    #[test]
+    fn estimates_perform_no_fetches_against_faulty_sources() {
+        // Counterfactual evaluation must be side-effect-free: estimating
+        // against a source primed to die consumes none of its failure
+        // budget and reports the clean plan; only the real pull trips it.
+        let hub = crate::retry::FaultySource::fatal_after(HubRegistry::with_paper_catalog(), 0);
+        let mut mesh = RegistryMesh::new();
+        mesh.add_registry(HUB, &hub, hub_params());
+        let r = Reference::new("docker.io", "sina88/vp-transcode", "amd64");
+        let est = mesh.session(HUB).estimate(&r, Platform::Amd64, &cache()).unwrap();
+        assert!(est.failed_sources.is_empty(), "no fetches, no deaths");
+        assert_eq!(est.layers_fetched, 3);
+        let est2 = mesh.session(HUB).estimate(&r, Platform::Amd64, &cache()).unwrap();
+        assert_eq!(est, est2, "estimates are repeatable");
+        // The real pull then hits the injected death (sole source).
+        let err = mesh.session(HUB).pull(&r, Platform::Amd64, &mut cache()).unwrap_err();
+        assert!(matches!(err, RegistryError::MissingBlob(_)));
+    }
+
+    #[test]
+    fn every_source_dead_is_a_missing_blob() {
+        let hub = crate::retry::FaultySource::fatal_after(HubRegistry::with_paper_catalog(), 0);
+        let mut mesh = RegistryMesh::new();
+        mesh.add_registry(HUB, &hub, hub_params());
+        let r = Reference::new("docker.io", "sina88/vp-transcode", "amd64");
+        let err = mesh.session(HUB).pull(&r, Platform::Amd64, &mut cache()).unwrap_err();
+        assert!(matches!(err, RegistryError::MissingBlob(_)), "{err}");
+        assert!(!err.is_transient());
     }
 
     #[test]

@@ -41,6 +41,11 @@ pub enum RegistryError {
     /// A transient network/registry failure — retryable (see
     /// [`crate::retry`]).
     Transient(String),
+    /// A permanent refusal from an otherwise-reachable source (auth
+    /// revoked, registry decommissioned). Not retryable; a
+    /// [`crate::mesh::PullSession`] reacts by failing the remaining
+    /// layers over to surviving sources.
+    Unavailable(String),
 }
 
 impl fmt::Display for RegistryError {
@@ -57,6 +62,7 @@ impl fmt::Display for RegistryError {
             RegistryError::Storage(e) => write!(f, "storage: {e}"),
             RegistryError::MissingBlob(d) => write!(f, "missing blob {d}"),
             RegistryError::Transient(msg) => write!(f, "transient registry failure: {msg}"),
+            RegistryError::Unavailable(msg) => write!(f, "source unavailable: {msg}"),
         }
     }
 }
@@ -118,6 +124,10 @@ pub struct PullOutcome {
     /// Per-source breakdown, in order of first use (only sources that
     /// fetched at least one layer appear; empty for fully-warm pulls).
     pub per_source: Vec<SourcePull>,
+    /// Sources that failed fatally mid-pull, in order of death; the
+    /// remaining layers were re-planned onto survivors (empty on the
+    /// happy path).
+    pub failed_sources: Vec<RegistryId>,
     /// Retry backoff charged by the session's retry policy (zero when no
     /// retries happened). Reported separately from `overhead`; included in
     /// [`PullOutcome::deployment_time`].
@@ -224,6 +234,7 @@ impl PullPlanner {
             extract_time: transfer_time(downloaded, self.extract_bw),
             overhead: self.overhead,
             per_source,
+            failed_sources: Vec::new(),
             backoff_total: Seconds::ZERO,
             attempts: 1,
         }

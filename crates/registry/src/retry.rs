@@ -10,8 +10,10 @@
 //! [`crate::pull::PullOutcome::backoff_total`]) — a retried pull is a
 //! slower pull, which the energy model then prices. [`pull_with_retry`]
 //! remains as the planner-level wrapper for the seed single-registry
-//! path. [`FlakyRegistry`] injects deterministic transient failures for
-//! tests and resilience experiments.
+//! path. [`FlakyRegistry`] injects deterministic transient *resolve*
+//! failures, [`FaultySource`] deterministic *blob-fetch* failures
+//! (transient or fatal) — the fatal kind is what drives the session's
+//! mid-pull failover onto surviving mesh sources.
 
 use crate::cache::LayerCache;
 use crate::digest::Digest;
@@ -175,6 +177,97 @@ impl<R: Registry> BlobSource for FlakyRegistry<R> {
 
     fn has_blob(&self, digest: &Digest) -> bool {
         self.inner.has_blob(digest)
+    }
+}
+
+/// A registry wrapper that injects *blob-fetch* failures: the first
+/// `healthy` fetches succeed, then every fetch fails — transiently (the
+/// source is flaky and recovers after `failures` injections) or fatally
+/// (the source died mid-pull and never comes back). Availability
+/// (`has_blob`) keeps advertising the blobs throughout: that is exactly
+/// the mid-pull state a [`crate::mesh::PullSession`] must fail over from,
+/// since the plan was built against the advertisement.
+pub struct FaultySource<R> {
+    inner: R,
+    healthy: Cell<usize>,
+    failures: Cell<usize>,
+    transient: bool,
+}
+
+impl<R: Registry> FaultySource<R> {
+    /// Die fatally after `healthy` successful blob fetches; every later
+    /// fetch returns [`RegistryError::Unavailable`].
+    pub fn fatal_after(inner: R, healthy: usize) -> Self {
+        FaultySource {
+            inner,
+            healthy: Cell::new(healthy),
+            failures: Cell::new(usize::MAX),
+            transient: false,
+        }
+    }
+
+    /// Fail `failures` blob fetches transiently after `healthy` successes,
+    /// then recover.
+    pub fn transient_run(inner: R, healthy: usize, failures: usize) -> Self {
+        FaultySource {
+            inner,
+            healthy: Cell::new(healthy),
+            failures: Cell::new(failures),
+            transient: true,
+        }
+    }
+
+    /// Injected failures still pending (`usize::MAX` = fails forever).
+    pub fn pending_failures(&self) -> usize {
+        self.failures.get()
+    }
+}
+
+impl<R: Registry> ManifestSource for FaultySource<R> {
+    fn host(&self) -> &str {
+        self.inner.host()
+    }
+
+    fn resolve(
+        &self,
+        reference: &Reference,
+        platform: Platform,
+    ) -> Result<ImageManifest, RegistryError> {
+        self.inner.resolve(reference, platform)
+    }
+
+    fn repositories(&self) -> Vec<String> {
+        self.inner.repositories()
+    }
+}
+
+impl<R: Registry> BlobSource for FaultySource<R> {
+    fn label(&self) -> &str {
+        self.inner.label()
+    }
+
+    fn has_blob(&self, digest: &Digest) -> bool {
+        self.inner.has_blob(digest)
+    }
+
+    fn fetch_blob(&self, digest: &Digest) -> Result<(), RegistryError> {
+        let healthy = self.healthy.get();
+        if healthy > 0 {
+            self.healthy.set(healthy - 1);
+            return self.inner.fetch_blob(digest);
+        }
+        let left = self.failures.get();
+        if left == 0 {
+            return self.inner.fetch_blob(digest);
+        }
+        if left != usize::MAX {
+            self.failures.set(left - 1);
+        }
+        if self.transient {
+            Err(RegistryError::Transient(format!("injected blob failure for {digest}")))
+        } else {
+            Err(RegistryError::Unavailable(format!("injected source death before {digest}")))
+        }
     }
 }
 

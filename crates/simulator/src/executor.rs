@@ -23,7 +23,7 @@ use crate::testbed::{Testbed, REGISTRY_PEER};
 use crate::trace::{Trace, TraceKind};
 use deep_dataflow::{stages, Application, MicroserviceId};
 use deep_energy::{Joules, PowerMeter, RaplBank, RaplMeasurement, Watts};
-use deep_netsim::{DeviceId, Seconds};
+use deep_netsim::{DeviceId, RegistryId, Seconds};
 use deep_registry::{PeerCacheSource, Platform, PullSession, Registry, RegistryMesh, SourceParams};
 use std::collections::HashMap;
 use std::fmt;
@@ -208,12 +208,28 @@ pub fn execute(
     let mut clock = Seconds::ZERO;
 
     // Split borrows: devices mutably (caches), registries immutably.
-    let Testbed { ref mut devices, ref hub, ref regional, ref params, ref entries, ref topology } =
-        *testbed;
+    let Testbed {
+        ref mut devices,
+        ref hub,
+        ref regional,
+        ref mirrors,
+        ref params,
+        ref entries,
+        ref topology,
+    } = *testbed;
+
+    // Route parameters for any mesh source (paper registries, peer route,
+    // mirrors) — `Testbed::source_params` over the split borrows.
+    let source_params = |choice: RegistryChoice, device: DeviceId, slowdown: f64| -> SourceParams {
+        crate::testbed::source_params_for(mirrors, params, choice, device, slowdown)
+    };
 
     for (wave_idx, wave) in waves.iter().enumerate() {
         // ---- Deployment wave: concurrent contended pulls. --------------
-        let mut route_load: HashMap<(RegistryChoice, usize), usize> = HashMap::new();
+        // Same-wave contention is charged per *source route*: a split pull
+        // loads every (source, device) route its bytes actually traverse,
+        // not just its primary's.
+        let mut route_load: HashMap<(RegistryId, usize), usize> = HashMap::new();
         // Peer-cache snapshots, one per device, taken at the wave barrier:
         // peers advertise what they held when the wave began (a gossip
         // round per barrier), decoupling the snapshot from the mutable
@@ -254,38 +270,55 @@ pub fn execute(
                     }
                 })?;
             let device = &mut devices[placement.device.0];
-            let registry: &dyn Registry = match placement.registry.registry_id().0 {
+            let primary = placement.registry.registry_id();
+            let registry: &dyn Registry = match primary.0 {
                 0 => hub,
                 1 => regional,
-                n => panic!("schedule names mesh id r{n}, testbed has no such registry"),
+                n => mirrors
+                    .iter()
+                    .find(|m| m.choice == placement.registry)
+                    .map(|m| &m.registry as &dyn Registry)
+                    .unwrap_or_else(|| {
+                        panic!("schedule names mesh id r{n}, testbed has no such registry")
+                    }),
             };
-            let reference = match placement.registry.registry_id().0 {
+            let reference = match primary.0 {
                 0 => entry.hub_reference(device.arch),
                 _ => entry.regional_reference(device.arch),
             };
-            let load = *route_load.get(&(placement.registry, placement.device.0)).unwrap_or(&0);
-            let slowdown = params.contention_factor(load);
+            // Each mesh source's route is slowed by the load *it* carries
+            // from earlier same-wave pulls.
+            let load = |id: RegistryId| {
+                params.contention_factor(*route_load.get(&(id, placement.device.0)).unwrap_or(&0))
+            };
             // The pull's mesh: the placement's registry as primary, plus
             // the peer-cache source when fleet sharing is on.
             let mut mesh = RegistryMesh::new();
             mesh.add_registry(
-                placement.registry.registry_id(),
+                primary,
                 registry,
-                params.source_params(placement.registry, placement.device, slowdown),
+                source_params(placement.registry, placement.device, load(primary)),
             );
             if cfg.peer_sharing {
                 mesh.add_blob_source(
                     REGISTRY_PEER,
                     &peer_snapshots[&placement.device.0],
-                    SourceParams { download_bw: params.peer_bw, overhead: params.peer_overhead },
+                    source_params(
+                        RegistryChoice::mesh(REGISTRY_PEER),
+                        placement.device,
+                        load(REGISTRY_PEER),
+                    ),
                 );
             }
-            let session = PullSession::new(&mesh, placement.registry.registry_id())
-                .extract_bw(device.extract_bw);
+            let session = PullSession::new(&mesh, primary).extract_bw(device.extract_bw);
             trace.record(clock, TraceKind::DeploymentStarted, placement.device, &ms.name);
             let outcome = session.pull(&reference, device.arch, &mut device.cache)?;
-            if outcome.downloaded >= params.contention_threshold {
-                *route_load.entry((placement.registry, placement.device.0)).or_insert(0) += 1;
+            // Charge each source route the bytes it actually served: a
+            // split pull no longer over-penalizes its primary route.
+            for bucket in &outcome.per_source {
+                if bucket.downloaded >= params.contention_threshold {
+                    *route_load.entry((bucket.source, placement.device.0)).or_insert(0) += 1;
+                }
             }
             let t = jitter.apply(outcome.deployment_time());
             td[id.0] = t;

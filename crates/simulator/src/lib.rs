@@ -41,6 +41,7 @@ pub use jitter::Jitter;
 pub use metrics::{MicroserviceMetrics, RunReport};
 pub use schedule::{Placement, RegistryChoice, Schedule};
 pub use testbed::{
-    Testbed, TestbedParams, DEVICE_CLOUD, DEVICE_MEDIUM, DEVICE_SMALL, REGISTRY_PEER,
+    RegionalMirror, Testbed, TestbedParams, DEVICE_CLOUD, DEVICE_MEDIUM, DEVICE_SMALL,
+    REGISTRY_MIRROR_BASE, REGISTRY_PEER,
 };
 pub use trace::{Trace, TraceEvent, TraceKind};

@@ -37,6 +37,10 @@ pub const DEVICE_CLOUD: DeviceId = DeviceId(2);
 /// (ids 0 and 1 are the paper registries).
 pub const REGISTRY_PEER: RegistryId = RegistryId(2);
 
+/// First mesh id handed out to additional regional registries
+/// ([`Testbed::add_regional_mirror`]); the k-th mirror gets id `3 + k`.
+pub const REGISTRY_MIRROR_BASE: RegistryId = RegistryId(3);
+
 /// Calibrated link and overhead parameters.
 #[derive(Debug, Clone, Copy)]
 pub struct TestbedParams {
@@ -99,9 +103,16 @@ impl Default for TestbedParams {
 }
 
 impl TestbedParams {
-    /// Pull bandwidth for a `(source, device)` route. Mesh ids beyond the
-    /// paper pair are peer-cache routes (LAN-bound, device-independent).
+    /// Pull bandwidth for a `(source, device)` route. Covers the paper
+    /// registries (ids 0/1) and the peer-cache route ([`REGISTRY_PEER`],
+    /// LAN-bound and device-independent) ONLY — regional mirrors carry
+    /// their own parameters and must be priced through
+    /// [`Testbed::source_params`], never through this struct.
     pub fn route_bandwidth(&self, registry: RegistryChoice, device: DeviceId) -> Bandwidth {
+        debug_assert!(
+            registry.registry_id().0 <= REGISTRY_PEER.0,
+            "mirror route {registry} is priced by Testbed::source_params, not TestbedParams"
+        );
         match (registry.registry_id().0, device) {
             (0, DEVICE_MEDIUM) => self.hub_to_medium,
             (0, DEVICE_CLOUD) => self.hub_to_cloud,
@@ -113,8 +124,13 @@ impl TestbedParams {
         }
     }
 
-    /// Fixed overhead for a mesh source.
+    /// Fixed overhead for a mesh source (paper registries + peer route
+    /// only; mirrors go through [`Testbed::source_params`]).
     pub fn overhead(&self, registry: RegistryChoice) -> Seconds {
+        debug_assert!(
+            registry.registry_id().0 <= REGISTRY_PEER.0,
+            "mirror route {registry} is priced by Testbed::source_params, not TestbedParams"
+        );
         match registry.registry_id().0 {
             0 => self.hub_overhead,
             1 => self.regional_overhead,
@@ -142,12 +158,53 @@ impl TestbedParams {
     }
 }
 
+/// An additional regional registry in the mesh: a mirror of the regional
+/// namespace at another site, registered under a fresh mesh id.
+///
+/// N regionals are *data*, not API variants: schedulers discover mirrors
+/// through [`Testbed::registry_choices`] and the stage game's strategy
+/// space widens automatically.
+pub struct RegionalMirror {
+    /// The mirror's strategy handle (`RegistryChoice::mesh(id)`).
+    pub choice: RegistryChoice,
+    /// The mirror's registry backend (serves the regional namespace).
+    pub registry: RegionalRegistry,
+    /// Effective pull bandwidth mirror → any device (the mirror sits at
+    /// another site; its route is device-independent).
+    pub download_bw: Bandwidth,
+    /// Fixed per-pull overhead of the mirror.
+    pub overhead: Seconds,
+}
+
+/// Route parameters for any mesh source, over split borrows: the executor
+/// destructures the testbed (devices mutably, the rest shared), so this
+/// logic lives where both it and [`Testbed::source_params`] can call it —
+/// the estimator/executor bit-for-bit parity contract depends on there
+/// being exactly one copy.
+pub(crate) fn source_params_for(
+    mirrors: &[RegionalMirror],
+    params: &TestbedParams,
+    choice: RegistryChoice,
+    device: DeviceId,
+    slowdown: f64,
+) -> SourceParams {
+    match mirrors.iter().find(|m| m.choice == choice) {
+        Some(m) => {
+            SourceParams { download_bw: m.download_bw.scale(1.0 / slowdown), overhead: m.overhead }
+        }
+        None => params.source_params(choice, device, slowdown),
+    }
+}
+
 /// The simulated testbed: devices, network, registries.
 pub struct Testbed {
     pub devices: Vec<SimDevice>,
     pub topology: Topology,
     pub hub: HubRegistry,
     pub regional: RegionalRegistry,
+    /// Additional regional registries under mesh ids
+    /// [`REGISTRY_MIRROR_BASE`]`+ k` (empty on the paper testbed).
+    pub mirrors: Vec<RegionalMirror>,
     pub params: TestbedParams,
     /// `(application, microservice)` → catalog entry, for reference lookup
     /// by the executor.
@@ -229,6 +286,7 @@ impl Testbed {
             topology,
             hub: HubRegistry::with_paper_catalog(),
             regional: RegionalRegistry::with_paper_catalog(),
+            mirrors: Vec::new(),
             params,
             entries,
         }
@@ -313,7 +371,8 @@ impl Testbed {
     }
 
     /// Publish single-layer images for every microservice of a non-catalog
-    /// application (generated workloads) to both registries.
+    /// application (generated workloads) to every full registry in the
+    /// mesh (both paper registries plus any mirrors).
     pub fn publish_application(&mut self, app: &Application) {
         for id in app.ids() {
             let ms = app.microservice(id);
@@ -324,21 +383,75 @@ impl Testbed {
             let entry = CatalogEntry::single_layer(app.name(), &ms.name, ms.image_size);
             self.hub.publish(&entry);
             self.regional.publish(&entry).expect("synthetic publish fits capacity");
+            for mirror in &mut self.mirrors {
+                mirror.registry.publish(&entry).expect("synthetic publish fits mirror capacity");
+            }
             self.entries.insert(key, entry);
         }
     }
 
-    /// The full-registry backend for a choice. Panics for handles beyond
-    /// the paper pair — blob-only sources (peers) have no backend here.
+    /// Register an additional regional registry (a mirror of the regional
+    /// namespace, pre-loaded with everything published so far) under the
+    /// next mirror mesh id, and return its strategy handle.
+    pub fn add_regional_mirror(
+        &mut self,
+        download_bw: Bandwidth,
+        overhead: Seconds,
+    ) -> RegistryChoice {
+        let id = RegistryId(REGISTRY_MIRROR_BASE.0 + self.mirrors.len());
+        let mut registry = RegionalRegistry::with_paper_catalog();
+        for entry in self.entries.values() {
+            registry.publish(entry).expect("mirror capacity fits the published catalog");
+        }
+        let choice = RegistryChoice::mesh(id);
+        self.mirrors.push(RegionalMirror { choice, registry, download_bw, overhead });
+        choice
+    }
+
+    /// The strategy space of the registry side of the game: every mesh
+    /// source a scheduler may name as a pull's primary (full registries
+    /// only — the paper pair plus any mirrors; peer caches cannot resolve
+    /// manifests and ride along via `peer_sharing` instead).
+    pub fn registry_choices(&self) -> Vec<RegistryChoice> {
+        let mut out = vec![RegistryChoice::Hub, RegistryChoice::Regional];
+        out.extend(self.mirrors.iter().map(|m| m.choice));
+        out
+    }
+
+    /// The mirror registered under `choice`, if any.
+    pub fn mirror(&self, choice: RegistryChoice) -> Option<&RegionalMirror> {
+        self.mirrors.iter().find(|m| m.choice == choice)
+    }
+
+    /// [`SourceParams`] for one source→device route (paper registries,
+    /// peer, or mirrors), with the route slowed by `slowdown` (contention
+    /// factor ≥ 1). The mesh-wide generalization of
+    /// [`TestbedParams::source_params`].
+    pub fn source_params(
+        &self,
+        choice: RegistryChoice,
+        device: DeviceId,
+        slowdown: f64,
+    ) -> SourceParams {
+        source_params_for(&self.mirrors, &self.params, choice, device, slowdown)
+    }
+
+    /// The full-registry backend for a choice. Panics for handles that
+    /// name no full registry — blob-only sources (peers) have no backend
+    /// here.
     pub fn registry(&self, choice: RegistryChoice) -> &dyn Registry {
         match choice.registry_id().0 {
             0 => &self.hub,
             1 => &self.regional,
-            n => panic!("testbed has no full registry under mesh id r{n}"),
+            n => self
+                .mirror(choice)
+                .map(|m| &m.registry as &dyn Registry)
+                .unwrap_or_else(|| panic!("testbed has no full registry under mesh id r{n}")),
         }
     }
 
     /// The reference `entry` is published under on `choice`'s registry.
+    /// Mirrors serve the regional namespace.
     pub fn reference(
         &self,
         entry: &CatalogEntry,
@@ -348,6 +461,7 @@ impl Testbed {
         match choice.registry_id().0 {
             0 => entry.hub_reference(platform),
             1 => entry.regional_reference(platform),
+            _ if self.mirror(choice).is_some() => entry.regional_reference(platform),
             n => panic!("no reference namespace for mesh id r{n}"),
         }
     }
@@ -367,21 +481,21 @@ impl Testbed {
         mesh.add_registry(
             registry.registry_id(),
             self.registry(registry),
-            self.params.source_params(registry, device, slowdown),
+            self.source_params(registry, device, slowdown),
         );
         mesh
     }
 
-    /// The full paper mesh as seen from `device`: both registries at their
-    /// calibrated route parameters (no contention). Split-pull experiments
-    /// add peer sources on top.
+    /// The full registry mesh as seen from `device`: every full registry
+    /// (paper pair + mirrors) at its calibrated route parameters (no
+    /// contention). Split-pull experiments add peer sources on top.
     pub fn mesh(&self, device: DeviceId) -> RegistryMesh<'_> {
         let mut mesh = RegistryMesh::new();
-        for choice in RegistryChoice::all() {
+        for choice in self.registry_choices() {
             mesh.add_registry(
                 choice.registry_id(),
                 self.registry(choice),
-                self.params.source_params(choice, device, 1.0),
+                self.source_params(choice, device, 1.0),
             );
         }
         mesh
@@ -464,6 +578,60 @@ mod tests {
         let tp_med = t.device(DEVICE_MEDIUM).processing_time("x", cpu);
         let tp_small = t.device(DEVICE_SMALL).processing_time("x", cpu);
         assert!((tp_small.as_f64() / tp_med.as_f64() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn regional_mirrors_widen_the_strategy_space() {
+        let mut t = Testbed::paper();
+        assert_eq!(t.registry_choices().len(), 2, "paper testbed: hub + regional");
+        let mirror = t.add_regional_mirror(Bandwidth::megabytes_per_sec(11.0), Seconds::new(4.0));
+        assert_eq!(mirror.registry_id(), REGISTRY_MIRROR_BASE);
+        let choices = t.registry_choices();
+        assert_eq!(choices, vec![RegistryChoice::Hub, RegistryChoice::Regional, mirror]);
+        // The mirror serves the regional namespace through the mesh.
+        let mesh = t.pull_mesh(mirror, DEVICE_MEDIUM, 1.0);
+        let mut cache = deep_registry::LayerCache::new(DataSize::gigabytes(64.0));
+        let r = Reference::new("dcloud2.itec.aau.at", "aau/tp-retrieve", "amd64");
+        let out = mesh
+            .session(mirror.registry_id())
+            .pull(&r, Platform::Amd64, &mut cache)
+            .expect("mirror serves the catalog");
+        assert!(out.downloaded > DataSize::ZERO);
+        assert_eq!(out.per_source[0].source, REGISTRY_MIRROR_BASE);
+        // Mirror route parameters are its own, not the regional route's.
+        let p = t.source_params(mirror, DEVICE_MEDIUM, 1.0);
+        assert_eq!(p.download_bw, Bandwidth::megabytes_per_sec(11.0));
+        assert_eq!(p.overhead, Seconds::new(4.0));
+        // Contention slows the mirror route like any other.
+        let slowed = t.source_params(mirror, DEVICE_MEDIUM, 1.1);
+        assert!(slowed.download_bw.as_bytes_per_sec() < p.download_bw.as_bytes_per_sec());
+    }
+
+    #[test]
+    fn published_applications_reach_mirrors() {
+        let mut t = Testbed::paper();
+        let mirror = t.add_regional_mirror(Bandwidth::megabytes_per_sec(9.5), Seconds::new(5.0));
+        let gen = deep_dataflow::DagGenerator::default();
+        let app = gen.generate(7);
+        t.publish_application(&app);
+        let ms = &app.microservice(deep_dataflow::MicroserviceId(0)).name;
+        let entry = t.entry(app.name(), ms).unwrap().clone();
+        let reference = t.reference(&entry, mirror, Platform::Amd64);
+        let mut cache = deep_registry::LayerCache::new(DataSize::gigabytes(64.0));
+        let out = t
+            .pull_mesh(mirror, DEVICE_MEDIUM, 1.0)
+            .session(mirror.registry_id())
+            .pull(&reference, Platform::Amd64, &mut cache)
+            .expect("mirror serves generated workloads");
+        assert!(out.downloaded > DataSize::ZERO);
+    }
+
+    #[test]
+    fn full_mesh_includes_mirrors() {
+        let mut t = Testbed::paper();
+        t.add_regional_mirror(Bandwidth::megabytes_per_sec(9.5), Seconds::new(5.0));
+        t.add_regional_mirror(Bandwidth::megabytes_per_sec(7.0), Seconds::new(6.0));
+        assert_eq!(t.mesh(DEVICE_MEDIUM).len(), 4, "hub + regional + 2 mirrors");
     }
 
     #[test]

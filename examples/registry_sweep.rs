@@ -13,12 +13,15 @@
 //!
 //! Run with `cargo run --example registry_sweep`.
 
-use deep::core::{calibrate, DeepScheduler, ExclusiveRegistry, Scheduler};
-use deep::dataflow::apps;
-use deep::netsim::{Bandwidth, DataSize};
+use deep::core::{
+    calibrate, continuum, continuum_testbed, DeepScheduler, ExclusiveRegistry, Scheduler,
+};
+use deep::dataflow::{apps, DeviceClass};
+use deep::netsim::{Bandwidth, DataSize, Seconds};
 use deep::registry::{LayerCache, PeerCacheSource, Platform, Reference, SourceParams};
 use deep::simulator::{
-    execute, ExecutorConfig, RegistryChoice, Testbed, TestbedParams, DEVICE_MEDIUM, REGISTRY_PEER,
+    execute, ExecutorConfig, RegistryChoice, Schedule, Testbed, TestbedParams, DEVICE_MEDIUM,
+    REGISTRY_PEER,
 };
 
 fn testbed_with_regional_small(mbps: f64) -> Testbed {
@@ -157,7 +160,102 @@ fn mesh_sweep() {
     );
 }
 
+/// N-regional placement sweep: add regional mirrors one at a time and let
+/// the mesh-wide Nash game redistribute placements over the widened
+/// strategy space — where do additional regionals stop paying?
+fn n_regional_sweep() {
+    println!("\nN-regional sweep — registry count × placement (text-processing, DEEP):");
+    println!(
+        "{:>9} {:>10} {:>10} {:>12}   placement distribution (registry@device: share)",
+        "mirrors", "DEEP [J]", "Td [s]", "mirror share"
+    );
+    for mirror_count in 0..=3usize {
+        let build = || {
+            let mut tb = Testbed::paper();
+            calibrate(&mut tb);
+            // Each mirror is a regional replica at another site: slightly
+            // better route than the paper regional, device-independent.
+            for k in 0..mirror_count {
+                tb.add_regional_mirror(
+                    Bandwidth::megabytes_per_sec(10.0 + k as f64),
+                    Seconds::new(5.0),
+                );
+            }
+            tb
+        };
+        let tb = build();
+        let app = apps::text_processing();
+        let schedule = DeepScheduler::paper().schedule(&app, &tb);
+        let mut run_tb = build();
+        let (report, _) = execute(&mut run_tb, &app, &schedule, &ExecutorConfig::default())
+            .expect("sweep schedule executes");
+        let td: f64 = report.microservices.iter().map(|m| m.td.as_f64()).sum();
+        let mirror_share = schedule.iter().filter(|(_, p)| tb.mirror(p.registry).is_some()).count()
+            as f64
+            / app.len() as f64;
+        let distribution = schedule
+            .distribution()
+            .into_iter()
+            .map(|((r, d), f)| format!("{r}@d{}:{:.0}%", d.0, f * 100.0))
+            .collect::<Vec<_>>()
+            .join("  ");
+        println!(
+            "{:>9} {:>10.1} {:>10.1} {:>11.0}%   {distribution}",
+            mirror_count,
+            report.total_energy().as_f64(),
+            td,
+            mirror_share * 100.0
+        );
+    }
+    println!(
+        "\nExpected shape: the first fast mirror pulls placements off the paper\n\
+         regional registry; further mirrors stop paying once every route is\n\
+         uncontended (the strategy space grows but the equilibrium stops moving)."
+    );
+}
+
+/// The nash_mesh acceptance scenario: a rolling redeploy of the video
+/// pipeline onto the cloud tier of a warm fleet. The peer-aware Nash
+/// game prices the fleet-resident layers and lands an equilibrium Td
+/// strictly below the best single-registry schedule.
+fn peer_equilibrium() {
+    let app = apps::video_processing();
+    let pins: Vec<(&str, DeviceClass)> =
+        app.ids().map(|id| (app.microservice(id).name.as_str(), DeviceClass::Cloud)).collect();
+    let pinned = continuum::pin_microservices(&app, &pins);
+    let run = |label: &str, scheduler: &dyn Scheduler, peer_sharing: bool| -> f64 {
+        let mut tb = continuum_testbed();
+        let warm = Schedule::uniform(app.len(), RegistryChoice::Hub, DEVICE_MEDIUM);
+        execute(&mut tb, &app, &warm, &ExecutorConfig::default()).expect("warm-up run");
+        let schedule = scheduler.schedule(&pinned, &tb);
+        let cfg = ExecutorConfig { peer_sharing, ..Default::default() };
+        let (report, _) = execute(&mut tb, &pinned, &schedule, &cfg).expect("redeploy executes");
+        let td: f64 = report.microservices.iter().map(|m| m.td.as_f64()).sum();
+        let by_source = report
+            .downloaded_by_source()
+            .into_iter()
+            .map(|(id, mb)| format!("r{}:{mb:.0}", id.0))
+            .collect::<Vec<_>>()
+            .join("  ");
+        println!("{label:>28} {td:>10.1}   {by_source}");
+        td
+    };
+    println!("\nEquilibrium Td — warm-fleet redeploy onto the cloud tier:");
+    println!("{:>28} {:>10}   per-source breakdown [MB]", "method", "Td [s]");
+    let hub = run("exclusively docker hub", &ExclusiveRegistry::hub(), false);
+    let regional = run("exclusively regional", &ExclusiveRegistry::regional(), false);
+    let mesh = run("DEEP + peer mesh", &DeepScheduler::with_peer_sharing(), true);
+    println!(
+        "\nThe peer-aware equilibrium beats the best single registry by {:.0}%:\n\
+         the game now *prices* split pulls instead of discovering them at\n\
+         deployment time.",
+        (1.0 - mesh / hub.min(regional)) * 100.0
+    );
+}
+
 fn main() {
     registry_sweep();
     mesh_sweep();
+    n_regional_sweep();
+    peer_equilibrium();
 }

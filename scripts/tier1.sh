@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 verification: formatting, lints, release build, full test suite,
-# and a compile check of every criterion bench so the bench crate cannot
-# silently rot.
+# a compile check of every criterion bench, and a smoke-run of every
+# example so the sweeps (registry_sweep's mesh/N-regional scenarios and
+# friends) cannot silently rot.
 #
 # Usage: scripts/tier1.sh
 set -euo pipefail
@@ -32,5 +33,12 @@ cargo test -q
 
 echo "==> cargo bench --no-run (bench targets must keep compiling)"
 cargo bench --no-run
+
+echo "==> examples smoke-run (every example must execute cleanly)"
+for example in examples/*.rs; do
+  name="$(basename "${example%.rs}")"
+  echo "    -> ${name}"
+  cargo run --quiet --release --example "${name}" >/dev/null
+done
 
 echo "tier-1 OK"

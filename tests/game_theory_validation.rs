@@ -143,3 +143,54 @@ proptest! {
         prop_assert!(attained);
     }
 }
+
+/// The deployment wave as an explicit Rosenthal congestion game: players
+/// are same-wave pulls, resources are the calibrated source→device routes
+/// of the testbed, and a *split* pull loads every route its bytes ride —
+/// a player-specific resource subset, not one route per player. The
+/// explicit form must agree with the generic oracle machinery and settle
+/// into the routes-split (prisoner's-dilemma) equilibrium.
+#[test]
+fn wave_route_contention_is_a_rosenthal_congestion_game() {
+    use deep::game::{CongestionGame, FiniteGame};
+    use deep::simulator::{RegistryChoice, TestbedParams, DEVICE_MEDIUM};
+
+    // A saturated wave: the calibrated alpha (0.1) is mild enough that
+    // piling onto the fastest route stays optimal; the 8x coefficient
+    // models the congestion regime the contention-5x ablation probes.
+    let params = TestbedParams { contention_alpha: 0.8, ..TestbedParams::default() };
+    // Resources: hub→medium, regional→medium, peer→medium at calibrated
+    // bandwidths; cost of a route = transfer of a 580 MB app layer slowed
+    // by the route's load (the executor's linear contention model).
+    let bw = [
+        params.route_bandwidth(RegistryChoice::Hub, DEVICE_MEDIUM).as_bytes_per_sec(),
+        params.route_bandwidth(RegistryChoice::Regional, DEVICE_MEDIUM).as_bytes_per_sec(),
+        params.peer_bw.as_bytes_per_sec(),
+    ];
+    let cost = move |r: usize, load: usize| (580e6 / bw[r]) * params.contention_factor(load - 1);
+    // Player 0 is a split pull (stack from the peer + app layer from a
+    // registry); players 1–2 are whole-image single-route pulls.
+    let uses = vec![vec![vec![0, 2], vec![1, 2]], vec![vec![0], vec![1]], vec![vec![0], vec![1]]];
+    let game = CongestionGame::new(3, uses.clone(), cost);
+    let r = game.best_response_dynamics(vec![0, 0, 0], 100);
+    assert!(r.converged, "potential game must converge");
+    assert!(game.is_equilibrium(&r.profile));
+    // The oracle form agrees profile-by-profile and on the equilibrium.
+    let oracle = FiniteGame::new(vec![2, 2, 2], |p, profile| game.player_cost(p, profile));
+    assert!(oracle.is_equilibrium(&r.profile));
+    // Determinism and the potential as a Lyapunov function along the
+    // dynamics: replays land on the same equilibrium.
+    let again = game.best_response_dynamics(vec![0, 0, 0], 100);
+    assert_eq!(again.profile, r.profile);
+    // The PD structure under saturation: the split pull concedes the hub
+    // route (13 MB/s) to the whole-image pulls and takes its app layer
+    // regionally — players spread instead of all piling onto the fastest
+    // route (which IS the equilibrium at the mild calibrated alpha).
+    assert_eq!(r.profile, vec![1, 0, 0], "split pull's registry leg concedes the hub");
+    let mild = CongestionGame::new(3, uses, move |r: usize, load: usize| {
+        (580e6 / bw[r]) * (1.0 + 0.1 * (load - 1) as f64)
+    });
+    let mild_eq = mild.best_response_dynamics(vec![0, 0, 0], 100);
+    assert!(mild_eq.converged);
+    assert_eq!(mild_eq.profile, vec![0, 0, 0], "mild contention: everyone rides the hub");
+}
