@@ -26,6 +26,22 @@
 //!   the fleet already holds (EdgePier-style peer distribution) instead
 //!   of discovering them at deployment time. Estimator and executor stay
 //!   bit-for-bit parity-tested.
+//! * **Failover-aware payoffs** — with [`DeepScheduler::fault_aware`]
+//!   the payoffs price *expected* deployment time under the testbed's
+//!   [`deep_registry::FaultModel`]:
+//!   `E[Td] = (1−p)·(Td_happy + B_h) + p·(Td_failover + B_f + detection)`,
+//!   where `p` is the primary's per-pull death probability, the failover
+//!   branch re-plans onto the surviving mesh (peer first, then standby
+//!   registries), `B` is the closed-form expected retry backoff of the
+//!   transient channel and `detection` the exhausted retry budget burnt
+//!   declaring a source dead. Expected costs are still per-resource load
+//!   functions, so the Rosenthal potential argument — and hence the
+//!   joint refinement's convergence — carries over unchanged
+//!   (`tests/game_theory_validation.rs`). With probabilities at zero the
+//!   payoffs, schedules and RunReports are byte-identical to the
+//!   happy-path stack; under a lossy regional the equilibrium reroutes
+//!   risk-weighted bytes toward the hub and reliable mirrors
+//!   (`tests/fault_injection.rs`, `examples/fault_sweep.rs`, PERF.md).
 //!
 //! Architecture (paper Figure 1) mapped to modules:
 //!

@@ -24,7 +24,7 @@
 use deep_dataflow::{Application, MicroserviceId};
 use deep_energy::Joules;
 use deep_netsim::{DataSize, DeviceId, RegistryId, Seconds};
-use deep_registry::{LayerCache, PeerCacheSource, PullSession, RegistryMesh};
+use deep_registry::{FaultModel, LayerCache, PeerCacheSource, PullSession, RegistryMesh};
 use deep_simulator::{Placement, RegistryChoice, Testbed, REGISTRY_PEER};
 use std::collections::HashMap;
 
@@ -65,6 +65,12 @@ pub struct EstimationContext<'t> {
     /// Per-device peer snapshots, rebuilt at each wave barrier
     /// (`peer_snapshots[j]` = what every device ≠ j held at the barrier).
     peer_snapshots: Vec<PeerCacheSource>,
+    /// Price expected deployment time under the testbed's
+    /// [`FaultModel`] instead of the happy path: `E[Td]` folds the
+    /// primary's per-pull death probability × the failover re-plan cost
+    /// (surviving-source re-fetch) plus the expected retry backoff of
+    /// the transient channel into every estimate.
+    price_faults: bool,
 }
 
 /// The pull mesh one estimated/committed pull runs through: the
@@ -80,6 +86,7 @@ fn pull_mesh<'t>(
     peer: Option<&'t PeerCacheSource>,
     registry: RegistryChoice,
     device: DeviceId,
+    standbys: bool,
 ) -> RegistryMesh<'t> {
     let load = |id: RegistryId| {
         testbed.params.contention_factor(*route_load.get(&(id, device.0)).unwrap_or(&0))
@@ -97,6 +104,23 @@ fn pull_mesh<'t>(
             peer,
             testbed.source_params(RegistryChoice::mesh(REGISTRY_PEER), device, load(REGISTRY_PEER)),
         );
+    }
+    // Fault pricing needs the failover targets in the mesh: every other
+    // full registry as a standby (planned only once the primary is dead,
+    // so the happy branch is untouched) — the same standby set a
+    // fault-injecting executor registers.
+    if standbys {
+        for choice in testbed.registry_choices() {
+            if choice == registry {
+                continue;
+            }
+            let id = choice.registry_id();
+            mesh.add_standby_registry(
+                id,
+                testbed.registry(choice),
+                testbed.source_params(choice, device, load(id)),
+            );
+        }
     }
     mesh
 }
@@ -127,6 +151,7 @@ impl<'t> EstimationContext<'t> {
             assigned: vec![None; app.len()],
             peer_sharing: false,
             peer_snapshots: Vec::new(),
+            price_faults: false,
         }
     }
 
@@ -135,6 +160,21 @@ impl<'t> EstimationContext<'t> {
     pub fn peer_sharing(mut self, on: bool) -> Self {
         self.peer_sharing = on;
         self.snapshot_peers();
+        self
+    }
+
+    /// Price expected deployment time under the testbed's fault model
+    /// (builder-style): estimates return
+    /// `E[Td] = (1−p)·(Td_happy + B_happy) + p·(Td_failover + B_failover)`
+    /// where `p` is the primary's per-pull fatal probability, the
+    /// failover branch re-plans the primary's layers onto the surviving
+    /// mesh (peer first, then standby registries — exactly the
+    /// fault-injecting executor's failover), and `B` is the closed-form
+    /// expected retry backoff of the transient channel. With a zero
+    /// fault model this is float-identical to happy-path pricing, so
+    /// fault-aware schedulers degrade gracefully to the PR 3 behaviour.
+    pub fn price_faults(mut self, on: bool) -> Self {
+        self.price_faults = on;
         self
     }
 
@@ -191,15 +231,52 @@ impl<'t> EstimationContext<'t> {
             .unwrap_or_else(|| panic!("no image published for {}/{}", self.app.name(), ms.name));
         let reference = self.testbed.reference(entry, registry, dev.arch);
         // The executor realises the same mesh under the same route loads,
-        // so this estimate and its measurement agree bit for bit.
+        // so this estimate and its measurement agree bit for bit (under
+        // fault pricing: in expectation over the injected fault plans).
         let peer = self.peer_sharing.then(|| &self.peer_snapshots[device.0]);
-        let mesh = pull_mesh(self.testbed, &self.route_load, peer, registry, device);
-        let outcome = PullSession::new(&mesh, registry.registry_id())
+        let faults: Option<&FaultModel> =
+            if self.price_faults { Some(&self.testbed.fault_model) } else { None };
+        let mesh =
+            pull_mesh(self.testbed, &self.route_load, peer, registry, device, faults.is_some());
+        let primary = registry.registry_id();
+        let outcome = PullSession::new(&mesh, primary)
             .extract_bw(dev.extract_bw)
             .estimate(&reference, dev.arch, &self.caches[device.0])
             .expect("catalog images resolve");
 
-        let td = outcome.deployment_time();
+        let td = match faults {
+            None => outcome.deployment_time(),
+            Some(model) => {
+                let expected_happy =
+                    outcome.deployment_time() + model.expected_transient_backoff(&outcome);
+                let p = model.rates(primary).fatal_per_pull;
+                // The death branch only differs when the primary would
+                // serve bytes: a fully-cached or fully-peer-served pull
+                // never touches the primary's data plane, so its death
+                // goes unnoticed and costs nothing.
+                let primary_serves = outcome.per_source.iter().any(|b| b.source == primary);
+                if p == 0.0 || !primary_serves {
+                    expected_happy
+                } else {
+                    let failover = PullSession::new(&mesh, primary)
+                        .extract_bw(dev.extract_bw)
+                        .presume_dead(primary)
+                        .estimate(&reference, dev.arch, &self.caches[device.0])
+                        .expect("survivors cover the catalog");
+                    // The failover branch pays the surviving-source
+                    // re-fetch, its expected transient backoff AND the
+                    // death-detection cost: the exhausted retry budget
+                    // the session burns before declaring the primary
+                    // dead (`RetryPolicy::exhausted_backoff`).
+                    let expected_failover = failover.deployment_time()
+                        + model.expected_transient_backoff(&failover)
+                        + model.retry.exhausted_backoff();
+                    Seconds::new(
+                        (1.0 - p) * expected_happy.as_f64() + p * expected_failover.as_f64(),
+                    )
+                }
+            }
+        };
         let mut tc = Seconds::ZERO;
         for flow in self.app.incoming(id) {
             let producer = self.assigned[flow.from.0]
@@ -219,6 +296,12 @@ impl<'t> EstimationContext<'t> {
 
     /// Commit an assignment: realise the pull against the estimated cache
     /// and charge each split-pull bucket to the route that carried it.
+    ///
+    /// Commits always realise the *happy-path* pull (the modal branch):
+    /// failover changes which routes carry a pull's bytes, not which
+    /// layers land in the cache, so downstream cache state is exact and
+    /// only the contention carried into later same-wave estimates is the
+    /// happy-path one.
     pub fn commit(&mut self, id: MicroserviceId, placement: Placement) {
         let ms = self.app.microservice(id);
         let dev = self.testbed.device(placement.device);
@@ -230,7 +313,8 @@ impl<'t> EstimationContext<'t> {
         let EstimationContext { testbed, caches, route_load, peer_snapshots, peer_sharing, .. } =
             self;
         let peer = peer_sharing.then(|| &peer_snapshots[placement.device.0]);
-        let mesh = pull_mesh(testbed, route_load, peer, placement.registry, placement.device);
+        let mesh =
+            pull_mesh(testbed, route_load, peer, placement.registry, placement.device, false);
         let outcome = PullSession::new(&mesh, placement.registry.registry_id())
             .extract_bw(dev.extract_bw)
             .pull(&reference, dev.arch, &mut caches[placement.device.0])
@@ -479,6 +563,90 @@ mod tests {
         ctx.begin_wave();
         let fresh = ctx.estimate(decompress, RegistryChoice::Regional, DEVICE_SMALL);
         assert!(fresh.td < contended.td, "barrier resets route load");
+    }
+
+    #[test]
+    fn fault_pricing_is_the_two_branch_expectation_exactly() {
+        use deep_registry::{FaultModel, FaultRates, RetryPolicy};
+        use deep_simulator::RegistryChoice;
+
+        let p = 0.2;
+        let q = 0.15;
+        let policy = RetryPolicy {
+            max_attempts: 4,
+            base_backoff: deep_netsim::Seconds::new(10.0),
+            ..Default::default()
+        };
+        let mut tb = calibrated_testbed();
+        tb.fault_model = FaultModel::default()
+            .with_source(
+                RegistryChoice::Regional.registry_id(),
+                FaultRates { fatal_per_pull: p, transient_per_fetch: q },
+            )
+            .with_retry(policy);
+        let app = apps::text_processing();
+        let retrieve = app.by_name("retrieve").unwrap();
+
+        let priced = EstimationContext::new(&tb, &app)
+            .price_faults(true)
+            .estimate(retrieve, RegistryChoice::Regional, DEVICE_MEDIUM)
+            .td;
+
+        // Reconstruct both branches independently through the mesh API.
+        let happy_ctx = EstimationContext::new(&tb, &app);
+        let happy = happy_ctx.estimate(retrieve, RegistryChoice::Regional, DEVICE_MEDIUM);
+        let entry = tb.entry("text-processing", "retrieve").unwrap().clone();
+        let reference =
+            tb.reference(&entry, RegistryChoice::Regional, deep_registry::Platform::Amd64);
+        let mut mesh = tb.pull_mesh(RegistryChoice::Regional, DEVICE_MEDIUM, 1.0);
+        mesh.add_standby_registry(
+            RegistryChoice::Hub.registry_id(),
+            tb.registry(RegistryChoice::Hub),
+            tb.source_params(RegistryChoice::Hub, DEVICE_MEDIUM, 1.0),
+        );
+        let failover = PullSession::new(&mesh, RegistryChoice::Regional.registry_id())
+            .extract_bw(tb.device(DEVICE_MEDIUM).extract_bw)
+            .presume_dead(RegistryChoice::Regional.registry_id())
+            .estimate(
+                &reference,
+                deep_registry::Platform::Amd64,
+                &deep_registry::LayerCache::new(deep_netsim::DataSize::gigabytes(64.0)),
+            )
+            .unwrap();
+        assert!(
+            failover.per_source.iter().all(|b| b.source == RegistryChoice::Hub.registry_id()),
+            "failover branch rides the standby hub"
+        );
+        let model = &tb.fault_model;
+        let b_happy = model.expected_transient_backoff(&happy_reconstruct(&tb, &reference));
+        let expected_happy = happy.td.as_f64() + b_happy.as_f64();
+        let expected_failover = failover.deployment_time().as_f64()
+            + model.expected_transient_backoff(&failover).as_f64()
+            + policy.exhausted_backoff().as_f64();
+        let expected = (1.0 - p) * expected_happy + p * expected_failover;
+        assert!(
+            (priced.as_f64() - expected).abs() < 1e-9,
+            "E[Td] {priced} vs reconstructed {expected}"
+        );
+        // Non-vacuity: both channels raised the estimate.
+        assert!(priced.as_f64() > happy.td.as_f64() + 1.0);
+    }
+
+    /// The happy-branch outcome of the reconstruction above (same pull,
+    /// no standbys, no faults) — for its per-source fetch counts.
+    fn happy_reconstruct(
+        tb: &deep_simulator::Testbed,
+        reference: &deep_registry::Reference,
+    ) -> deep_registry::PullOutcome {
+        tb.pull_mesh(RegistryChoice::Regional, DEVICE_MEDIUM, 1.0)
+            .session(RegistryChoice::Regional.registry_id())
+            .extract_bw(tb.device(DEVICE_MEDIUM).extract_bw)
+            .estimate(
+                reference,
+                deep_registry::Platform::Amd64,
+                &deep_registry::LayerCache::new(deep_netsim::DataSize::gigabytes(64.0)),
+            )
+            .unwrap()
     }
 
     #[test]

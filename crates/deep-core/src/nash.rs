@@ -49,11 +49,24 @@ pub struct DeepScheduler {
     /// [`deep_simulator::ExecutorConfig::peer_sharing`], so predictions
     /// keep matching measurements.
     pub peer_sharing: bool,
+    /// Price expected deployment time under the testbed's fault model:
+    /// every payoff folds failure probability × failover re-plan cost
+    /// (surviving-source re-fetch + expected retry backoff) into `Td`,
+    /// so the stage games and the joint refinement optimise `E[Td]`
+    /// instead of best-case `Td`. Pair with a `fault_injection`
+    /// executor; with a zero fault model the payoffs — and therefore
+    /// the schedules — are byte-identical to the happy-path ones.
+    pub price_faults: bool,
 }
 
 impl Default for DeepScheduler {
     fn default() -> Self {
-        DeepScheduler { refine: true, max_refine_passes: 32, peer_sharing: false }
+        DeepScheduler {
+            refine: true,
+            max_refine_passes: 32,
+            peer_sharing: false,
+            price_faults: false,
+        }
     }
 }
 
@@ -74,9 +87,20 @@ impl DeepScheduler {
         DeepScheduler { peer_sharing: true, ..Self::default() }
     }
 
+    /// Failover-aware variant: payoffs price `E[Td]` under the testbed's
+    /// fault model (pair with a `fault_injection` executor). Under churn
+    /// the equilibrium reroutes risk-weighted bytes away from lossy
+    /// sources; with a zero fault model it reproduces
+    /// [`DeepScheduler::paper`] byte for byte.
+    pub fn fault_aware() -> Self {
+        DeepScheduler { price_faults: true, ..Self::default() }
+    }
+
     /// A fresh estimation context under this scheduler's configuration.
     fn context<'t>(&self, testbed: &'t Testbed, app: &'t Application) -> EstimationContext<'t> {
-        EstimationContext::new(testbed, app).peer_sharing(self.peer_sharing)
+        EstimationContext::new(testbed, app)
+            .peer_sharing(self.peer_sharing)
+            .price_faults(self.price_faults)
     }
 
     /// Play the per-microservice stage games in barrier order.

@@ -49,11 +49,22 @@
 //! * [`retry`] — [`RetryPolicy`] (exponential backoff with a cap and
 //!   deterministic seeded jitter) consumed by [`PullSession::with_retry`];
 //!   transient failures are classified by
-//!   [`RegistryError::is_transient`](pull::RegistryError::is_transient).
+//!   [`RegistryError::is_transient`](pull::RegistryError::is_transient);
+//! * [`fault`] — the seeded fault-injection harness: [`FaultModel`]
+//!   (per-source per-pull fatal probability + per-fetch transient rate),
+//!   [`FaultPlan`] (a splitmix64-seeded reproducible sampling of the
+//!   model) and [`PlannedFaults`] (the injecting wrapper the executor,
+//!   tests and examples drive pulls through). Fatal deaths trigger the
+//!   session's failover onto surviving sources — including *standby*
+//!   mesh sources registered with
+//!   [`RegistryMesh::add_standby_registry`](mesh::RegistryMesh::add_standby_registry),
+//!   which are planned only when no first-class source survives, so the
+//!   fault-free plan stays byte-identical.
 
 pub mod cache;
 pub mod catalog;
 pub mod digest;
+pub mod fault;
 pub mod gc;
 pub mod hub;
 pub mod image;
@@ -67,6 +78,7 @@ pub mod sha256;
 pub use cache::LayerCache;
 pub use catalog::{paper_catalog, CatalogEntry};
 pub use digest::Digest;
+pub use fault::{FaultModel, FaultPlan, FaultRates, PlannedFaults};
 pub use gc::{collect as gc_collect, GcReport};
 pub use hub::HubRegistry;
 pub use image::{Platform, Reference};
@@ -126,3 +138,40 @@ pub trait BlobSource {
 pub trait Registry: ManifestSource + BlobSource {}
 
 impl<T: ManifestSource + BlobSource + ?Sized> Registry for T {}
+
+// Shared references forward both protocol halves, so wrappers that
+// *borrow* a source (the executor's per-pull [`fault::PlannedFaults`]
+// over `&dyn Registry`) satisfy the same bounds as owning ones.
+impl<T: ManifestSource + ?Sized> ManifestSource for &T {
+    fn host(&self) -> &str {
+        (**self).host()
+    }
+
+    fn resolve(
+        &self,
+        reference: &Reference,
+        platform: Platform,
+    ) -> Result<ImageManifest, RegistryError> {
+        (**self).resolve(reference, platform)
+    }
+
+    fn repositories(&self) -> Vec<String> {
+        (**self).repositories()
+    }
+}
+
+impl<T: BlobSource + ?Sized> BlobSource for &T {
+    fn label(&self) -> &str {
+        (**self).label()
+    }
+
+    fn has_blob(&self, digest: &Digest) -> bool {
+        (**self).has_blob(digest)
+    }
+
+    // Forwarded explicitly: falling back to the default impl here would
+    // silently bypass an inner source's fault-injecting override.
+    fn fetch_blob(&self, digest: &Digest) -> Result<(), RegistryError> {
+        (**self).fetch_blob(digest)
+    }
+}

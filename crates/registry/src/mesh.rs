@@ -53,6 +53,9 @@ pub struct MeshSource<'a> {
     manifests: Option<&'a dyn ManifestSource>,
     blobs: &'a dyn BlobSource,
     params: SourceParams,
+    /// Standby sources are failover targets only: a layer is planned
+    /// onto a standby iff no surviving first-class source advertises it.
+    standby: bool,
 }
 
 impl<'a> MeshSource<'a> {
@@ -74,6 +77,11 @@ impl<'a> MeshSource<'a> {
     /// Whether this source can resolve manifests (full registries only).
     pub fn can_resolve(&self) -> bool {
         self.manifests.is_some()
+    }
+
+    /// Whether this source is a failover-only standby.
+    pub fn is_standby(&self) -> bool {
+        self.standby
     }
 
     /// Blob availability.
@@ -109,7 +117,13 @@ impl<'a> RegistryMesh<'a> {
         registry: &'a dyn Registry,
         params: SourceParams,
     ) -> RegistryId {
-        self.insert(MeshSource { id, manifests: Some(registry), blobs: registry, params })
+        self.insert(MeshSource {
+            id,
+            manifests: Some(registry),
+            blobs: registry,
+            params,
+            standby: false,
+        })
     }
 
     /// Register a blob-only source (peer cache, mirror) under `id`.
@@ -119,7 +133,38 @@ impl<'a> RegistryMesh<'a> {
         blobs: &'a dyn BlobSource,
         params: SourceParams,
     ) -> RegistryId {
-        self.insert(MeshSource { id, manifests: None, blobs, params })
+        self.insert(MeshSource { id, manifests: None, blobs, params, standby: false })
+    }
+
+    /// Register a full registry as a failover-only *standby*: the
+    /// session plans layers onto it only when no surviving first-class
+    /// source advertises them (the surviving-source re-fetch of a
+    /// mid-pull failover). With every first-class source alive, a mesh
+    /// with standbys plans byte-identically to one without.
+    pub fn add_standby_registry(
+        &mut self,
+        id: RegistryId,
+        registry: &'a dyn Registry,
+        params: SourceParams,
+    ) -> RegistryId {
+        self.insert(MeshSource {
+            id,
+            manifests: Some(registry),
+            blobs: registry,
+            params,
+            standby: true,
+        })
+    }
+
+    /// Register a blob-only failover standby (see
+    /// [`RegistryMesh::add_standby_registry`]).
+    pub fn add_standby_blobs(
+        &mut self,
+        id: RegistryId,
+        blobs: &'a dyn BlobSource,
+        params: SourceParams,
+    ) -> RegistryId {
+        self.insert(MeshSource { id, manifests: None, blobs, params, standby: true })
     }
 
     fn insert(&mut self, source: MeshSource<'a>) -> RegistryId {
@@ -188,6 +233,7 @@ pub struct PullSession<'m, 'a> {
     primary: RegistryId,
     extract_bw: Bandwidth,
     retry: Option<RetryPolicy>,
+    presumed_dead: Vec<RegistryId>,
 }
 
 impl<'m, 'a> PullSession<'m, 'a> {
@@ -202,7 +248,13 @@ impl<'m, 'a> PullSession<'m, 'a> {
             "primary source {primary} ({}) cannot resolve manifests",
             source.label()
         );
-        PullSession { mesh, primary, extract_bw: Bandwidth::infinite(), retry: None }
+        PullSession {
+            mesh,
+            primary,
+            extract_bw: Bandwidth::infinite(),
+            retry: None,
+            presumed_dead: Vec::new(),
+        }
     }
 
     /// Device disk bandwidth for layer extraction.
@@ -217,6 +269,20 @@ impl<'m, 'a> PullSession<'m, 'a> {
     pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
         assert!(policy.max_attempts >= 1, "need at least one attempt");
         self.retry = Some(policy);
+        self
+    }
+
+    /// Treat `source` as fatally dead from the start of the pull:
+    /// excluded from every layer's plan exactly as if its first fetch
+    /// had failed fatally (it still appears in
+    /// [`PullOutcome::failed_sources`]). This is how the failover-aware
+    /// estimator prices the death branch of a pull — a counterfactual
+    /// "what does this pull cost if its primary is down" — without any
+    /// fault-injecting wrapper in the mesh.
+    pub fn presume_dead(mut self, source: RegistryId) -> Self {
+        if !self.presumed_dead.contains(&source) {
+            self.presumed_dead.push(source);
+        }
         self
     }
 
@@ -264,8 +330,9 @@ impl<'m, 'a> PullSession<'m, 'a> {
         // Per-source buckets in order of first use.
         let mut buckets: Vec<SourcePull> = Vec::new();
         // Sources that died mid-pull, in order of death: excluded from the
-        // plan for every remaining layer.
-        let mut dead: Vec<RegistryId> = Vec::new();
+        // plan for every remaining layer. Presumed-dead sources (the
+        // estimator's failover branch) start the pull already dead.
+        let mut dead: Vec<RegistryId> = self.presumed_dead.clone();
         // Estimates plan from availability alone — no data-plane fetches,
         // so a counterfactual evaluation stays side-effect-free even
         // against stateful (fault-injecting) sources.
@@ -292,7 +359,17 @@ impl<'m, 'a> PullSession<'m, 'a> {
                 match self.fetch(candidate, &layer.digest, &mut backoff_total) {
                     Ok(()) => break candidate,
                     Err(e) if e.is_transient() => return Err(e),
-                    Err(_) => dead.push(candidate.id),
+                    Err(_) => {
+                        dead.push(candidate.id);
+                        // Death-detection cost: with a retry policy
+                        // attached the client cannot tell a dead source
+                        // from a transient burst until its whole backoff
+                        // budget is spent — only then does it re-plan
+                        // this (and every later) layer onto survivors.
+                        if let Some(policy) = self.retry {
+                            backoff_total += policy.exhausted_backoff();
+                        }
+                    }
                 }
             };
             used.insert(source.id);
@@ -400,6 +477,11 @@ impl<'m, 'a> PullSession<'m, 'a> {
     /// The cheapest surviving source holding `digest`, under the
     /// marginal-cost model (transfer time + first-use overhead).
     /// Deterministic tie-break: primary first, then lowest id.
+    ///
+    /// Standby sources are failover targets only: they are considered
+    /// iff no surviving first-class source advertises the blob, so a
+    /// mesh carrying standbys plans byte-identically to one without as
+    /// long as the first-class sources stay alive.
     fn cheapest_source(
         &self,
         digest: &Digest,
@@ -407,22 +489,26 @@ impl<'m, 'a> PullSession<'m, 'a> {
         used: &HashSet<RegistryId>,
         dead: &[RegistryId],
     ) -> Option<&MeshSource<'a>> {
-        self.mesh.sources().filter(|s| !dead.contains(&s.id) && s.has_blob(digest)).min_by(
-            |a, b| {
-                let cost = |s: &MeshSource<'_>| {
-                    let mut c = transfer_time(size, s.params.download_bw).as_f64();
-                    if !used.contains(&s.id) {
-                        c += s.params.overhead.as_f64();
-                    }
-                    c
-                };
-                cost(a)
-                    .partial_cmp(&cost(b))
-                    .expect("costs are never NaN")
-                    .then_with(|| (a.id != self.primary).cmp(&(b.id != self.primary)))
-                    .then_with(|| a.id.cmp(&b.id))
-            },
-        )
+        let cheapest = |standby: bool| {
+            self.mesh
+                .sources()
+                .filter(|s| s.standby == standby && !dead.contains(&s.id) && s.has_blob(digest))
+                .min_by(|a, b| {
+                    let cost = |s: &MeshSource<'_>| {
+                        let mut c = transfer_time(size, s.params.download_bw).as_f64();
+                        if !used.contains(&s.id) {
+                            c += s.params.overhead.as_f64();
+                        }
+                        c
+                    };
+                    cost(a)
+                        .partial_cmp(&cost(b))
+                        .expect("costs are never NaN")
+                        .then_with(|| (a.id != self.primary).cmp(&(b.id != self.primary)))
+                        .then_with(|| a.id.cmp(&b.id))
+                })
+        };
+        cheapest(false).or_else(|| cheapest(true))
     }
 }
 
@@ -878,6 +964,55 @@ mod tests {
         let err = mesh.session(HUB).pull(&r, Platform::Amd64, &mut cache()).unwrap_err();
         assert!(matches!(err, RegistryError::MissingBlob(_)), "{err}");
         assert!(!err.is_transient());
+    }
+
+    #[test]
+    fn standby_sources_serve_only_when_no_first_class_source_survives() {
+        // Alive primary: the standby regional is never planned, even
+        // where it would be cheaper — the plan is byte-identical to a
+        // standby-free mesh.
+        let hub = HubRegistry::with_paper_catalog();
+        let regional = RegionalRegistry::with_paper_catalog();
+        let r = Reference::new("docker.io", "sina88/vp-ha-train", "amd64");
+        let mut with_standby = RegistryMesh::new();
+        with_standby.add_registry(HUB, &hub, hub_params());
+        with_standby.add_standby_registry(REGIONAL, &regional, peer_params());
+        assert!(with_standby.source(REGIONAL).unwrap().is_standby());
+        let mut without = RegistryMesh::new();
+        without.add_registry(HUB, &hub, hub_params());
+        let a = with_standby.session(HUB).pull(&r, Platform::Amd64, &mut cache()).unwrap();
+        let b = without.session(HUB).pull(&r, Platform::Amd64, &mut cache()).unwrap();
+        assert_eq!(a, b, "standby changed an all-alive plan");
+        // Dead primary: the standby carries the whole failover.
+        let dying = crate::retry::FaultySource::fatal_after(HubRegistry::with_paper_catalog(), 0);
+        let mut failing = RegistryMesh::new();
+        failing.add_registry(HUB, &dying, hub_params());
+        failing.add_standby_registry(REGIONAL, &regional, peer_params());
+        let out = failing.session(HUB).pull(&r, Platform::Amd64, &mut cache()).unwrap();
+        assert_eq!(out.failed_sources, vec![HUB]);
+        assert!(out.per_source.iter().all(|b| b.source == REGIONAL));
+    }
+
+    #[test]
+    fn presumed_dead_primary_prices_the_failover_branch() {
+        // The estimator's counterfactual: presume the primary dead and
+        // the estimate equals what a real pull measures when the primary
+        // actually dies before its first fetch.
+        let hub = HubRegistry::with_paper_catalog();
+        let dying = crate::retry::FaultySource::fatal_after(HubRegistry::with_paper_catalog(), 0);
+        let regional = RegionalRegistry::with_paper_catalog();
+        let r = Reference::new("docker.io", "sina88/vp-transcode", "amd64");
+        let mut mesh = RegistryMesh::new();
+        mesh.add_registry(HUB, &hub, hub_params());
+        mesh.add_standby_registry(REGIONAL, &regional, regional_params());
+        let est =
+            mesh.session(HUB).presume_dead(HUB).estimate(&r, Platform::Amd64, &cache()).unwrap();
+        let mut real_mesh = RegistryMesh::new();
+        real_mesh.add_registry(HUB, &dying, hub_params());
+        real_mesh.add_standby_registry(REGIONAL, &regional, regional_params());
+        let real = real_mesh.session(HUB).pull(&r, Platform::Amd64, &mut cache()).unwrap();
+        assert_eq!(est, real, "presumed death prices the realised failover exactly");
+        assert_eq!(est.failed_sources, vec![HUB]);
     }
 
     #[test]

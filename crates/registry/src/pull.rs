@@ -42,9 +42,11 @@ pub enum RegistryError {
     /// [`crate::retry`]).
     Transient(String),
     /// A permanent refusal from an otherwise-reachable source (auth
-    /// revoked, registry decommissioned). Not retryable; a
+    /// revoked, registry decommissioned, or a death injected by
+    /// [`crate::fault::PlannedFaults`]). Not retryable; a
     /// [`crate::mesh::PullSession`] reacts by failing the remaining
-    /// layers over to surviving sources.
+    /// layers over to surviving sources, charging the exhausted retry
+    /// budget as the death-detection cost when a policy is attached.
     Unavailable(String),
 }
 
@@ -128,9 +130,12 @@ pub struct PullOutcome {
     /// remaining layers were re-planned onto survivors (empty on the
     /// happy path).
     pub failed_sources: Vec<RegistryId>,
-    /// Retry backoff charged by the session's retry policy (zero when no
-    /// retries happened). Reported separately from `overhead`; included in
-    /// [`PullOutcome::deployment_time`].
+    /// Retry backoff charged by the session's retry policy: transient
+    /// re-attempts plus, per fatally-dead source, the exhausted retry
+    /// budget burnt detecting the death before failing over
+    /// ([`crate::retry::RetryPolicy::exhausted_backoff`]). Zero when no
+    /// policy is attached or nothing failed. Reported separately from
+    /// `overhead`; included in [`PullOutcome::deployment_time`].
     pub backoff_total: Seconds,
     /// Manifest-resolve attempts performed (1 = first try succeeded).
     pub attempts: usize,

@@ -13,7 +13,10 @@
 //! path. [`FlakyRegistry`] injects deterministic transient *resolve*
 //! failures, [`FaultySource`] deterministic *blob-fetch* failures
 //! (transient or fatal) — the fatal kind is what drives the session's
-//! mid-pull failover onto surviving mesh sources.
+//! mid-pull failover onto surviving mesh sources. The counter-based
+//! doubles here inject *fixed* schedules; the probabilistic, seeded
+//! generalization they were promoted into lives in [`crate::fault`]
+//! ([`crate::fault::FaultPlan`] / [`crate::fault::PlannedFaults`]).
 
 use crate::cache::LayerCache;
 use crate::digest::Digest;
@@ -78,10 +81,27 @@ impl RetryPolicy {
         let unit = (bits >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
         Seconds::new(capped * (1.0 + self.jitter * (2.0 * unit - 1.0)))
     }
+
+    /// Total backoff a client burns exhausting the policy against a
+    /// source that never answers: `Σ_{k=1}^{max_attempts−1} backoff(k)`.
+    /// This is the *death-detection cost* a
+    /// [`crate::mesh::PullSession`] charges when a source fails fatally
+    /// mid-pull — the client cannot distinguish death from a transient
+    /// burst until its retry budget is spent, only then does it re-plan
+    /// onto survivors.
+    pub fn exhausted_backoff(&self) -> Seconds {
+        let mut total = Seconds::ZERO;
+        for k in 1..self.max_attempts {
+            total += self.backoff(k);
+        }
+        total
+    }
 }
 
 /// The splitmix64 mixing function (public-domain constant schedule).
-fn splitmix64(mut x: u64) -> u64 {
+/// Shared with [`crate::fault::FaultPlan`], whose draws must stay
+/// decorrelated from the jitter stream (different salts, same mixer).
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

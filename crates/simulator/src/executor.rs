@@ -24,7 +24,10 @@ use crate::trace::{Trace, TraceKind};
 use deep_dataflow::{stages, Application, MicroserviceId};
 use deep_energy::{Joules, PowerMeter, RaplBank, RaplMeasurement, Watts};
 use deep_netsim::{DeviceId, RegistryId, Seconds};
-use deep_registry::{PeerCacheSource, Platform, PullSession, Registry, RegistryMesh, SourceParams};
+use deep_registry::{
+    FaultPlan, PeerCacheSource, PlannedFaults, Platform, PullSession, Registry, RegistryMesh,
+    SourceParams,
+};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -47,6 +50,20 @@ pub struct ExecutorConfig {
     /// the LAN instead of the registry route. `false` (paper behaviour)
     /// keeps every pull on its placement's single registry.
     pub peer_sharing: bool,
+    /// Inject seeded faults sampled from the testbed's
+    /// [`Testbed::fault_model`]: every pull's primary source is drawn
+    /// dead with its per-pull fatal probability (the session fails the
+    /// remaining layers over to survivors — every other full registry
+    /// rides along as a standby source), and each blob fetch draws
+    /// transient failures retried under the model's policy. Pulls are
+    /// numbered in execution order (wave order, then member order), so
+    /// [`deep_registry::FaultPlan`] queries predict a run's faults
+    /// exactly. With a zero fault model this path is byte-identical to
+    /// the uninjected one (regression-tested).
+    pub fault_injection: bool,
+    /// Seed of the injected [`deep_registry::FaultPlan`] — sweep it for
+    /// Monte-Carlo realisations of the same model.
+    pub fault_seed: u64,
 }
 
 impl Default for ExecutorConfig {
@@ -57,6 +74,8 @@ impl Default for ExecutorConfig {
             staged_deployment: true,
             instruments: true,
             peer_sharing: false,
+            fault_injection: false,
+            fault_seed: 0,
         }
     }
 }
@@ -203,9 +222,16 @@ pub fn execute(
     let mut tp = vec![Seconds::ZERO; app.len()];
     let mut downloaded_mb = vec![0.0f64; app.len()];
     let mut sources = vec![Vec::new(); app.len()];
+    let mut failed_sources = vec![Vec::new(); app.len()];
+    let mut backoff = vec![Seconds::ZERO; app.len()];
     let mut analytic = vec![Joules::ZERO; app.len()];
     let mut metered = vec![Joules::ZERO; app.len()];
     let mut clock = Seconds::ZERO;
+
+    // The standby strategy space, taken before the split borrows below
+    // (owned Copy handles): the executor must register exactly the
+    // sources the scheduler enumerates, or fault-pricing parity breaks.
+    let registry_choices: Vec<RegistryChoice> = testbed.registry_choices();
 
     // Split borrows: devices mutably (caches), registries immutably.
     let Testbed {
@@ -214,6 +240,7 @@ pub fn execute(
         ref regional,
         ref mirrors,
         ref params,
+        ref fault_model,
         ref entries,
         ref topology,
     } = *testbed;
@@ -223,6 +250,25 @@ pub fn execute(
     let source_params = |choice: RegistryChoice, device: DeviceId, slowdown: f64| -> SourceParams {
         crate::testbed::source_params_for(mirrors, params, choice, device, slowdown)
     };
+    // Full-registry backend for a strategy handle, over the split borrows.
+    let backend = |choice: RegistryChoice| -> &dyn Registry {
+        match choice.registry_id().0 {
+            0 => hub,
+            1 => regional,
+            n => mirrors
+                .iter()
+                .find(|m| m.choice == choice)
+                .map(|m| &m.registry as &dyn Registry)
+                .unwrap_or_else(|| {
+                    panic!("schedule names mesh id r{n}, testbed has no such registry")
+                }),
+        }
+    };
+    // The run's sampled fault schedule, when injection is on. Pulls are
+    // numbered in execution order so the schedule is queryable up front.
+    let fault_plan: Option<FaultPlan> =
+        if cfg.fault_injection { Some(fault_model.plan(cfg.fault_seed)) } else { None };
+    let mut pull_counter: u64 = 0;
 
     for (wave_idx, wave) in waves.iter().enumerate() {
         // ---- Deployment wave: concurrent contended pulls. --------------
@@ -271,17 +317,7 @@ pub fn execute(
                 })?;
             let device = &mut devices[placement.device.0];
             let primary = placement.registry.registry_id();
-            let registry: &dyn Registry = match primary.0 {
-                0 => hub,
-                1 => regional,
-                n => mirrors
-                    .iter()
-                    .find(|m| m.choice == placement.registry)
-                    .map(|m| &m.registry as &dyn Registry)
-                    .unwrap_or_else(|| {
-                        panic!("schedule names mesh id r{n}, testbed has no such registry")
-                    }),
-            };
+            let registry: &dyn Registry = backend(placement.registry);
             let reference = match primary.0 {
                 0 => entry.hub_reference(device.arch),
                 _ => entry.regional_reference(device.arch),
@@ -291,26 +327,83 @@ pub fn execute(
             let load = |id: RegistryId| {
                 params.contention_factor(*route_load.get(&(id, placement.device.0)).unwrap_or(&0))
             };
-            // The pull's mesh: the placement's registry as primary, plus
-            // the peer-cache source when fleet sharing is on.
-            let mut mesh = RegistryMesh::new();
-            mesh.add_registry(
-                primary,
-                registry,
-                source_params(placement.registry, placement.device, load(primary)),
-            );
-            if cfg.peer_sharing {
-                mesh.add_blob_source(
-                    REGISTRY_PEER,
+            let pull_idx = pull_counter;
+            pull_counter += 1;
+            // Fault wrappers, declared before the mesh that borrows them:
+            // the primary draws its per-pull death from the plan, every
+            // other full registry rides along as a transient-only
+            // survivor (the failover targets the model assumes alive),
+            // and the wave's peer snapshot is wrapped the same way.
+            let primary_faults: Option<PlannedFaults<'_, &dyn Registry>> = fault_plan
+                .as_ref()
+                .map(|plan| PlannedFaults::primary(registry, plan, primary, pull_idx));
+            let standby_faults: Vec<(RegistryChoice, PlannedFaults<'_, &dyn Registry>)> =
+                match &fault_plan {
+                    Some(plan) => registry_choices
+                        .iter()
+                        .filter(|&&c| c != placement.registry)
+                        .map(|&c| {
+                            let wrapped = PlannedFaults::survivor(
+                                backend(c),
+                                plan,
+                                c.registry_id(),
+                                pull_idx,
+                            );
+                            (c, wrapped)
+                        })
+                        .collect(),
+                    None => Vec::new(),
+                };
+            let peer_faults: Option<PlannedFaults<'_, &PeerCacheSource>> = match &fault_plan {
+                Some(plan) if cfg.peer_sharing => Some(PlannedFaults::survivor(
                     &peer_snapshots[&placement.device.0],
-                    source_params(
-                        RegistryChoice::mesh(REGISTRY_PEER),
-                        placement.device,
-                        load(REGISTRY_PEER),
+                    plan,
+                    REGISTRY_PEER,
+                    pull_idx,
+                )),
+                _ => None,
+            };
+            // The pull's mesh: the placement's registry as primary, the
+            // peer-cache source when fleet sharing is on, plus (under
+            // fault injection) every other full registry as a standby
+            // failover target — planned only once the primary is dead,
+            // so the fault-free mesh stays byte-identical.
+            let mut mesh = RegistryMesh::new();
+            let primary_params = source_params(placement.registry, placement.device, load(primary));
+            match &primary_faults {
+                Some(wrapped) => mesh.add_registry(primary, wrapped, primary_params),
+                None => mesh.add_registry(primary, registry, primary_params),
+            };
+            if cfg.peer_sharing {
+                let peer_params = source_params(
+                    RegistryChoice::mesh(REGISTRY_PEER),
+                    placement.device,
+                    load(REGISTRY_PEER),
+                );
+                match &peer_faults {
+                    Some(wrapped) => mesh.add_blob_source(REGISTRY_PEER, wrapped, peer_params),
+                    None => mesh.add_blob_source(
+                        REGISTRY_PEER,
+                        &peer_snapshots[&placement.device.0],
+                        peer_params,
                     ),
+                };
+            }
+            for (choice, wrapped) in &standby_faults {
+                let id = choice.registry_id();
+                mesh.add_standby_blobs(
+                    id,
+                    wrapped,
+                    source_params(*choice, placement.device, load(id)),
                 );
             }
-            let session = PullSession::new(&mesh, primary).extract_bw(device.extract_bw);
+            let mut session = PullSession::new(&mesh, primary).extract_bw(device.extract_bw);
+            if fault_plan.is_some() {
+                // Injected transients are retried under the model's
+                // policy; with no injections attached retries change
+                // nothing (first attempts succeed, zero backoff).
+                session = session.with_retry(fault_model.retry);
+            }
             trace.record(clock, TraceKind::DeploymentStarted, placement.device, &ms.name);
             let outcome = session.pull(&reference, device.arch, &mut device.cache)?;
             // Charge each source route the bytes it actually served: a
@@ -324,6 +417,8 @@ pub fn execute(
             td[id.0] = t;
             downloaded_mb[id.0] = outcome.downloaded.as_megabytes();
             sources[id.0] = outcome.per_source;
+            failed_sources[id.0] = outcome.failed_sources;
+            backoff[id.0] = outcome.backoff_total;
             completions.schedule_at(t, id);
             // Instrument the deployment phase (deploy + static draw).
             if cfg.instruments {
@@ -428,6 +523,8 @@ pub fn execute(
                 tp: tp[id.0],
                 downloaded_mb: downloaded_mb[id.0],
                 sources: std::mem::take(&mut sources[id.0]),
+                failed_sources: std::mem::take(&mut failed_sources[id.0]),
+                backoff_total: backoff[id.0],
                 energy: analytic[id.0],
                 metered_energy: if cfg.instruments { metered[id.0] } else { analytic[id.0] },
             }

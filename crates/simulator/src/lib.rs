@@ -17,7 +17,11 @@
 //!   deployments with route contention and layer dedup, barrier-ordered
 //!   non-concurrent execution, per-phase energy metering through the
 //!   emulated RAPL counters (Intel device) and the sampling wall meter
-//!   (ARM device);
+//!   (ARM device), and optional seeded fault injection
+//!   ([`ExecutorConfig::fault_injection`]) sampling the testbed's
+//!   [`Testbed::fault_model`](testbed::Testbed::fault_model) — dead
+//!   primaries fail over onto standby mesh sources, transient bursts
+//!   retry under the model's policy;
 //! * [`jitter`] — seeded multiplicative noise reproducing run-to-run
 //!   variance (Table II reports ranges, not points);
 //! * [`metrics`] — per-microservice `Td/Tc/Tp/CT/EC` records and run

@@ -23,6 +23,12 @@ pub struct MicroserviceMetrics {
     /// Which mesh sources served the pull (bytes/layers per source, in
     /// order of first use; empty when everything was cached).
     pub sources: Vec<SourcePull>,
+    /// Sources that died fatally during the pull (failover re-planned
+    /// the remaining layers onto survivors). Empty on the happy path.
+    pub failed_sources: Vec<RegistryId>,
+    /// Retry backoff charged into `td` by injected transient failures
+    /// (zero without fault injection).
+    pub backoff_total: Seconds,
     /// Analytic energy from the device power model.
     pub energy: Joules,
     /// Energy as read by the device's instrument (RAPL or wall meter).
@@ -97,6 +103,8 @@ mod tests {
             tp: Seconds::new(tp),
             downloaded_mb: 0.0,
             sources: Vec::new(),
+            failed_sources: Vec::new(),
+            backoff_total: Seconds::ZERO,
             energy: Joules::new(e),
             metered_energy: Joules::new(e),
         }

@@ -20,8 +20,8 @@ use deep_dataflow::{Application, Mips};
 use deep_energy::{DevicePowerModel, Watts};
 use deep_netsim::{Bandwidth, DataSize, DeviceId, RegistryId, Seconds, Topology, TopologyBuilder};
 use deep_registry::{
-    CatalogEntry, HubRegistry, Platform, Reference, RegionalRegistry, Registry, RegistryMesh,
-    SourceParams,
+    CatalogEntry, FaultModel, HubRegistry, Platform, Reference, RegionalRegistry, Registry,
+    RegistryMesh, SourceParams,
 };
 use std::collections::HashMap;
 
@@ -206,6 +206,13 @@ pub struct Testbed {
     /// [`REGISTRY_MIRROR_BASE`]`+ k` (empty on the paper testbed).
     pub mirrors: Vec<RegionalMirror>,
     pub params: TestbedParams,
+    /// Per-source failure probabilities (per-pull fatal + per-fetch
+    /// transient rates) and the retry policy absorbing the transients.
+    /// Defaults to the fault-free model; the executor injects seeded
+    /// samples of it when [`crate::ExecutorConfig::fault_injection`] is
+    /// on, and fault-aware schedulers price expected deployment time
+    /// under it.
+    pub fault_model: FaultModel,
     /// `(application, microservice)` → catalog entry, for reference lookup
     /// by the executor.
     pub(crate) entries: HashMap<(String, String), CatalogEntry>,
@@ -288,6 +295,7 @@ impl Testbed {
             regional: RegionalRegistry::with_paper_catalog(),
             mirrors: Vec::new(),
             params,
+            fault_model: FaultModel::default(),
             entries,
         }
     }

@@ -2,7 +2,13 @@
 # Tier-1 verification: formatting, lints, release build, full test suite,
 # a compile check of every criterion bench, and a smoke-run of every
 # example so the sweeps (registry_sweep's mesh/N-regional scenarios and
-# friends) cannot silently rot.
+# friends, fault_sweep's failure-rate × registry-count grid) cannot
+# silently rot.
+#
+# Randomized suites stay deterministic in CI: the vendored proptest
+# seeds every case from the test name (no ambient RNG), and the
+# fault-injection Monte-Carlo tests sweep fixed fault_seed ranges — a
+# red run always reproduces locally with the same `cargo test`.
 #
 # Usage: scripts/tier1.sh
 set -euo pipefail

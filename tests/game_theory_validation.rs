@@ -194,3 +194,75 @@ fn wave_route_contention_is_a_rosenthal_congestion_game() {
     assert!(mild_eq.converged);
     assert_eq!(mild_eq.profile, vec![0, 0, 0], "mild contention: everyone rides the hub");
 }
+
+/// Expected-cost payoffs stay inside the Rosenthal form. A lossy route's
+/// cost is replaced by its *expectation* under the fault model —
+/// `(1−p)·happy(load) + p·(detection + failover re-fetch)` — which is
+/// still a pure per-resource load function, so the exact potential, the
+/// convergence theorem and the best-response machinery apply unchanged
+/// to E[Td] payoffs. This is the game-theoretic backbone of
+/// `DeepScheduler::fault_aware`: risk-weighting moves the equilibrium
+/// off the lossy route without leaving the class of congestion games.
+#[test]
+fn expected_cost_payoffs_stay_a_rosenthal_congestion_game() {
+    use deep::game::CongestionGame;
+
+    // Two whole-image pulls choosing between the hub route (44.6 s for
+    // the 580 MB layer at 13 MB/s) and a slightly faster regional leg
+    // (40 s), under saturated contention (alpha = 0.3). The regional is
+    // lossy: with probability `p` the pull loses it mid-flight and pays
+    // death detection (exhausted retry budget) plus the hub re-fetch —
+    // priced at the hub's uncontended rate, the same per-resource
+    // approximation the closed-form estimator makes for its failover
+    // branch.
+    let t_hub = 44.6;
+    let t_reg = 40.0;
+    let failover_penalty = 70.0 + 25.0 + t_hub; // detection + overhead + re-fetch
+    let alpha = 0.3;
+    let uses = vec![vec![vec![0], vec![1]]; 2];
+    let game_at = move |p: f64| {
+        CongestionGame::new(2, uses.clone(), move |r: usize, load: usize| {
+            let f = 1.0 + alpha * (load - 1) as f64;
+            match r {
+                0 => t_hub * f,
+                _ => (1.0 - p) * t_reg * f + p * failover_penalty,
+            }
+        })
+    };
+
+    // Happy path (p = 0): contention splits the players, one per route.
+    let happy = game_at(0.0);
+    let eq = happy.best_response_dynamics(vec![1, 1], 100);
+    assert!(eq.converged);
+    assert!(happy.is_equilibrium(&eq.profile));
+    assert_ne!(eq.profile[0], eq.profile[1], "happy path: routes split");
+
+    // Lossy regional (p = 0.25): the expected cost of the regional leg
+    // exceeds even a *shared* hub route, so the equilibrium piles both
+    // players onto the hub — risk-weighted bytes reroute.
+    let lossy = game_at(0.25);
+    let shifted = lossy.best_response_dynamics(vec![1, 1], 100);
+    assert!(shifted.converged, "expected costs keep the potential argument");
+    assert!(lossy.is_equilibrium(&shifted.profile));
+    assert_eq!(shifted.profile, vec![0, 0], "both pulls abandon the lossy regional");
+
+    // The exact-potential identity ΔΦ == Δcost holds on every
+    // unilateral deviation of the expected-cost game — Rosenthal's
+    // theorem never needed the costs to be deterministic, only
+    // per-resource and load-dependent.
+    for profile in [[0, 0], [0, 1], [1, 0], [1, 1]] {
+        for player in 0..2 {
+            for s in 0..2 {
+                let mut probe = profile;
+                probe[player] = s;
+                let d_cost =
+                    lossy.player_cost(player, &probe) - lossy.player_cost(player, &profile);
+                let d_phi = lossy.potential(&probe) - lossy.potential(&profile);
+                assert!(
+                    (d_cost - d_phi).abs() < 1e-9,
+                    "deviation p{player}→s{s} from {profile:?}: Δcost {d_cost} vs ΔΦ {d_phi}"
+                );
+            }
+        }
+    }
+}
