@@ -15,17 +15,30 @@
 //!   regional, and any number of regional mirrors registered with
 //!   `Testbed::add_regional_mirror`. N regionals are data, not new enum
 //!   variants.
-//! * **Per-source route contention** — same-wave players contend per
-//!   shared `(source, device)` route. A split pull loads every route its
-//!   `SourcePull`s actually traverse (the Rosenthal congestion structure
-//!   of `deep_game::CongestionGame`), not just its primary's — so two
-//!   pulls whose bytes ride different sources no longer slow each other.
-//! * **Split-pull pricing** — with [`DeepScheduler::with_peer_sharing`]
-//!   the payoffs run through the same registry-plus-peer-cache mesh a
-//!   `peer_sharing` executor realises: the scheduler *prices* the layers
-//!   the fleet already holds (EdgePier-style peer distribution) instead
-//!   of discovering them at deployment time. Estimator and executor stay
-//!   bit-for-bit parity-tested.
+//! * **Per-resource contention** — same-wave players contend per shared
+//!   contention resource ([`deep_simulator::route_key`]): registry
+//!   traffic per `(source, device)` download route, peer traffic on the
+//!   *serving* device's uplink NIC. A split pull loads every resource
+//!   its `SourcePull`s actually traverse, not just its primary's — so
+//!   two pulls whose bytes ride different sources no longer slow each
+//!   other, while a hot peer serving several devices at once divides
+//!   its uplink among them.
+//! * **Split-pull pricing over the peer topology** — with
+//!   [`DeepScheduler::with_peer_sharing`] the payoffs run through the
+//!   same registry-plus-peer-sources mesh a `peer_sharing` executor
+//!   realises: one blob source per advertising holder at its
+//!   [`deep_simulator::PeerPlane`] per-pair link rate (EdgePier-style
+//!   peer distribution), so the scheduler *prices* which peer a pull
+//!   fetches from — saturated uplinks shift the equilibrium — instead
+//!   of discovering fleet-resident layers at deployment time.
+//!   Estimator and executor stay bit-for-bit parity-tested, and the
+//!   uniform plane reproduces the retained scalar oracle byte for byte
+//!   (`tests/peer_plane.rs`).
+//! * **Explicit Rosenthal form** — [`nash::WaveRouteGame`] derives each
+//!   wave's `deep_game::CongestionGame` from actual split-pull plans
+//!   (player-specific subsets over routes + uplinks) and the joint
+//!   refinement warm-starts from its potential-descending equilibrium
+//!   whenever that strictly improves the exact cost.
 //! * **Failover-aware payoffs** — with [`DeepScheduler::fault_aware`]
 //!   the payoffs price *expected* deployment time under the testbed's
 //!   [`deep_registry::FaultModel`]:
@@ -86,7 +99,7 @@ pub use distribution::{distribution_table, DistributionRow};
 pub use experiment::{Experiments, Fig3aResult, Fig3bResult, HeadlineResult};
 pub use fleet::{run_fleet, run_fleet_cold, FleetConfig, FleetReport};
 pub use model::{Estimate, EstimationContext};
-pub use nash::DeepScheduler;
+pub use nash::{DeepScheduler, WaveRouteGame};
 pub use pareto::{distance_to_front, enumerate_profiles, pareto_front, EvaluatedProfile};
 
 use deep_dataflow::Application;

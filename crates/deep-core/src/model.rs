@@ -8,24 +8,32 @@
 //! snapshots that the executor will later realise, so the scheduler's
 //! payoffs and the simulator's measurements agree bit for bit.
 //!
-//! Two mesh-wide generalizations over the seed two-registry model:
+//! Three mesh-wide generalizations over the seed two-registry model:
 //!
 //! * **Per-source route contention** — same-wave load is tracked per
-//!   `(RegistryId, device)` route, and a split pull charges each
-//!   `SourcePull`'s bytes to the route that actually carried them, not
-//!   once to its primary. Single-source pulls reduce to the seed
+//!   contention resource ([`deep_simulator::route_key`]): registry
+//!   buckets load their `(RegistryId, device)` download route, peer
+//!   buckets the *serving* device's uplink. A split pull charges each
+//!   `SourcePull`'s bytes to the resource that actually carried them,
+//!   not once to its primary. Single-source pulls reduce to the seed
 //!   accounting exactly.
 //! * **Split-pull pricing** — with [`EstimationContext::peer_sharing`] on,
 //!   estimates and commits run through the same
-//!   hub-or-regional-plus-peer mesh the executor realises, so schedulers
-//!   can *price* the layers a fleet peer already holds instead of
-//!   discovering them at deployment time.
+//!   registry-plus-peer-sources mesh the executor realises, so
+//!   schedulers can *price* the layers a fleet peer already holds
+//!   instead of discovering them at deployment time.
+//! * **Topology-backed peer plane** — the peer sources come from the
+//!   testbed's [`deep_simulator::PeerPlane`]: one source per advertising
+//!   holder at its per-pair link rate, so a hot peer's saturated uplink
+//!   is visible to the payoffs ("which peer do I pull from" becomes part
+//!   of the equilibrium), with the scalar aggregate plane retained as
+//!   the regression oracle.
 
 use deep_dataflow::{Application, MicroserviceId};
 use deep_energy::Joules;
 use deep_netsim::{DataSize, DeviceId, RegistryId, Seconds};
 use deep_registry::{FaultModel, LayerCache, PeerCacheSource, PullSession, RegistryMesh};
-use deep_simulator::{Placement, RegistryChoice, Testbed, REGISTRY_PEER};
+use deep_simulator::{route_key, Placement, RegistryChoice, Testbed};
 use std::collections::HashMap;
 
 /// A predicted `(Td, Tc, Tp, EC)` for one candidate assignment.
@@ -60,11 +68,14 @@ pub struct EstimationContext<'t> {
     /// Devices of already-committed microservices (for `Tc`).
     assigned: Vec<Option<Placement>>,
     /// Mirror an executor running with `peer_sharing`: every estimate and
-    /// commit adds the wave's peer-cache snapshot to the pull mesh.
+    /// commit adds the wave's peer sources to the pull mesh.
     peer_sharing: bool,
-    /// Per-device peer snapshots, rebuilt at each wave barrier
-    /// (`peer_snapshots[j]` = what every device ≠ j held at the barrier).
-    peer_snapshots: Vec<PeerCacheSource>,
+    /// Per-device peer snapshots, rebuilt at each wave barrier through
+    /// the testbed's [`deep_simulator::PeerPlane`] (`peer_snapshots[j]` =
+    /// the sources device j's pulls see: one per advertising holder on
+    /// the per-pair plane, the single aggregate source under the scalar
+    /// oracle).
+    peer_snapshots: Vec<Vec<(RegistryId, PeerCacheSource)>>,
     /// Price expected deployment time under the testbed's
     /// [`FaultModel`] instead of the happy path: `E[Td]` folds the
     /// primary's per-pull death probability × the failover re-plan cost
@@ -75,21 +86,23 @@ pub struct EstimationContext<'t> {
 
 /// The pull mesh one estimated/committed pull runs through: the
 /// placement's registry as primary (slowed by its route load), plus the
-/// device's peer snapshot when peer sharing is on — exactly the mesh the
-/// executor assembles for the realised pull.
+/// device's peer sources when peer sharing is on (one per advertising
+/// holder on the per-pair plane, each slowed by the load on *its*
+/// uplink; the single aggregate source under the scalar oracle) —
+/// exactly the mesh the executor assembles for the realised pull.
 ///
 /// A free function over split borrows so `commit` can hold the mesh and a
 /// mutable cache at once.
 fn pull_mesh<'t>(
     testbed: &'t Testbed,
     route_load: &HashMap<(RegistryId, usize), usize>,
-    peer: Option<&'t PeerCacheSource>,
+    peers: Option<&'t [(RegistryId, PeerCacheSource)]>,
     registry: RegistryChoice,
     device: DeviceId,
     standbys: bool,
 ) -> RegistryMesh<'t> {
     let load = |id: RegistryId| {
-        testbed.params.contention_factor(*route_load.get(&(id, device.0)).unwrap_or(&0))
+        testbed.params.contention_factor(*route_load.get(&route_key(id, device)).unwrap_or(&0))
     };
     let primary = registry.registry_id();
     let mut mesh = RegistryMesh::new();
@@ -98,11 +111,11 @@ fn pull_mesh<'t>(
         testbed.registry(registry),
         testbed.source_params(registry, device, load(primary)),
     );
-    if let Some(peer) = peer {
+    for (id, peer) in peers.into_iter().flatten() {
         mesh.add_blob_source(
-            REGISTRY_PEER,
+            *id,
             peer,
-            testbed.source_params(RegistryChoice::mesh(REGISTRY_PEER), device, load(REGISTRY_PEER)),
+            testbed.source_params(RegistryChoice::mesh(*id), device, load(*id)),
         );
     }
     // Fault pricing needs the failover targets in the mesh: every other
@@ -125,8 +138,9 @@ fn pull_mesh<'t>(
     mesh
 }
 
-/// Charge each of a pull's `SourcePull` buckets to its own route — the
-/// executor's per-source contention accounting.
+/// Charge each of a pull's `SourcePull` buckets to its own contention
+/// resource — the executor's accounting: registry buckets load their
+/// download route, peer buckets the serving device's uplink.
 fn charge_routes(
     route_load: &mut HashMap<(RegistryId, usize), usize>,
     testbed: &Testbed,
@@ -135,7 +149,7 @@ fn charge_routes(
 ) {
     for bucket in &outcome.per_source {
         if bucket.downloaded >= testbed.params.contention_threshold {
-            *route_load.entry((bucket.source, device.0)).or_insert(0) += 1;
+            *route_load.entry(route_key(bucket.source, device)).or_insert(0) += 1;
         }
     }
 }
@@ -179,19 +193,16 @@ impl<'t> EstimationContext<'t> {
     }
 
     /// Rebuild the per-device peer snapshots from the estimated caches —
-    /// the estimator's image of the executor's wave-barrier gossip round.
+    /// the estimator's image of the executor's wave-barrier gossip
+    /// round, through the same [`deep_simulator::PeerPlane::snapshot`]
+    /// rule the executor applies to the real caches.
     fn snapshot_peers(&mut self) {
         if !self.peer_sharing {
             return;
         }
-        self.peer_snapshots = (0..self.caches.len())
-            .map(|j| {
-                PeerCacheSource::from_caches(
-                    "peer-cache",
-                    self.caches.iter().enumerate().filter(|(k, _)| *k != j).map(|(_, c)| c),
-                )
-            })
-            .collect();
+        let caches: Vec<&LayerCache> = self.caches.iter().collect();
+        self.peer_snapshots =
+            (0..self.caches.len()).map(|j| self.testbed.peer_plane.snapshot(&caches, j)).collect();
     }
 
     /// Open a new deployment wave (stage barrier): route contention
@@ -233,11 +244,11 @@ impl<'t> EstimationContext<'t> {
         // The executor realises the same mesh under the same route loads,
         // so this estimate and its measurement agree bit for bit (under
         // fault pricing: in expectation over the injected fault plans).
-        let peer = self.peer_sharing.then(|| &self.peer_snapshots[device.0]);
+        let peers = self.peer_sharing.then(|| self.peer_snapshots[device.0].as_slice());
         let faults: Option<&FaultModel> =
             if self.price_faults { Some(&self.testbed.fault_model) } else { None };
         let mesh =
-            pull_mesh(self.testbed, &self.route_load, peer, registry, device, faults.is_some());
+            pull_mesh(self.testbed, &self.route_load, peers, registry, device, faults.is_some());
         let primary = registry.registry_id();
         let outcome = PullSession::new(&mesh, primary)
             .extract_bw(dev.extract_bw)
@@ -294,6 +305,34 @@ impl<'t> EstimationContext<'t> {
         Estimate { td, tc, tp, ec, downloaded: outcome.downloaded }
     }
 
+    /// The happy-path pull *plan* of one candidate assignment: the
+    /// per-source byte buckets a session would fetch through the same
+    /// mesh [`EstimationContext::estimate`] prices (no standbys, no
+    /// fault weighting, cache untouched). This is what the Rosenthal
+    /// congestion bridge ([`crate::nash::DeepScheduler`]) reads to
+    /// derive each strategy's resource subset — the routes and peer
+    /// uplinks its bytes would actually load.
+    pub fn plan(
+        &self,
+        id: MicroserviceId,
+        registry: RegistryChoice,
+        device: DeviceId,
+    ) -> deep_registry::PullOutcome {
+        let ms = self.app.microservice(id);
+        let dev = self.testbed.device(device);
+        let entry = self
+            .testbed
+            .entry(self.app.name(), &ms.name)
+            .unwrap_or_else(|| panic!("no image published for {}/{}", self.app.name(), ms.name));
+        let reference = self.testbed.reference(entry, registry, dev.arch);
+        let peers = self.peer_sharing.then(|| self.peer_snapshots[device.0].as_slice());
+        let mesh = pull_mesh(self.testbed, &self.route_load, peers, registry, device, false);
+        PullSession::new(&mesh, registry.registry_id())
+            .extract_bw(dev.extract_bw)
+            .estimate(&reference, dev.arch, &self.caches[device.0])
+            .expect("catalog images resolve")
+    }
+
     /// Commit an assignment: realise the pull against the estimated cache
     /// and charge each split-pull bucket to the route that carried it.
     ///
@@ -312,9 +351,9 @@ impl<'t> EstimationContext<'t> {
         // mutates the target device's estimated cache.
         let EstimationContext { testbed, caches, route_load, peer_snapshots, peer_sharing, .. } =
             self;
-        let peer = peer_sharing.then(|| &peer_snapshots[placement.device.0]);
+        let peers = peer_sharing.then(|| peer_snapshots[placement.device.0].as_slice());
         let mesh =
-            pull_mesh(testbed, route_load, peer, placement.registry, placement.device, false);
+            pull_mesh(testbed, route_load, peers, placement.registry, placement.device, false);
         let outcome = PullSession::new(&mesh, placement.registry.registry_id())
             .extract_bw(dev.extract_bw)
             .pull(&reference, dev.arch, &mut caches[placement.device.0])
@@ -421,14 +460,12 @@ mod tests {
         }
         let peer_cfg = deep_simulator::ExecutorConfig { peer_sharing: true, ..cfg };
         let (report, _) = deep_simulator::execute(&mut tb, &app, &schedule, &peer_cfg).unwrap();
-        // Non-vacuous: the fleet actually served bytes over the peer route.
-        let peer_mb = report
-            .downloaded_by_source()
-            .iter()
-            .find(|(id, _)| *id == deep_simulator::REGISTRY_PEER)
-            .map(|(_, mb)| *mb)
-            .unwrap_or(0.0);
-        assert!(peer_mb > 1_000.0, "peer route unused: {:?}", report.downloaded_by_source());
+        // Non-vacuous: the fleet actually served bytes over peer links.
+        assert!(
+            report.peer_downloaded_mb() > 1_000.0,
+            "peer links unused: {:?}",
+            report.downloaded_by_source()
+        );
         for (est, measured) in predictions.iter().zip(&report.microservices) {
             assert!(
                 (est.td.as_f64() - measured.td.as_f64()).abs() < 1e-9,
@@ -471,8 +508,10 @@ mod tests {
 
         let retrieve = report.metrics("retrieve").unwrap();
         assert!(
-            retrieve.sources.iter().all(|s| s.source == deep_simulator::REGISTRY_PEER),
-            "retrieve rides the peer route entirely: {:?}",
+            retrieve.sources.iter().all(
+                |s| deep_simulator::peer_holder(s.source) == Some(deep_simulator::DEVICE_CLOUD)
+            ),
+            "retrieve rides the cloud holder's link entirely: {:?}",
             retrieve.sources
         );
         // 140 MB over the peer at 80 MB/s + 1 s peer overhead + 25 s hub

@@ -22,18 +22,145 @@
 //!
 //! Both layers run over the *whole mesh*: the registry side of every
 //! strategy ranges over [`Testbed::registry_choices`] (the paper pair plus
-//! any regional mirrors), contention is charged per shared source route
-//! (a split pull loads each route its bytes traverse), and with
-//! [`DeepScheduler::with_peer_sharing`] the payoffs price the peer-cache
-//! split pulls a `peer_sharing` executor will realise. On the paper's
-//! two-registry testbed all of this reduces to the seed hub-vs-regional
-//! game exactly (regression-tested in `tests/mesh_equilibria.rs`).
+//! any regional mirrors), contention is charged per shared contention
+//! resource — download routes per `(source, device)`, peer traffic on
+//! the serving holder's uplink — a split pull loading each resource its
+//! bytes traverse, and with [`DeepScheduler::with_peer_sharing`] the
+//! payoffs price the per-holder peer split pulls a `peer_sharing`
+//! executor will realise. The congestion structure is carried
+//! explicitly: [`WaveRouteGame`] derives each wave's Rosenthal form
+//! (player-specific resource subsets read off actual split-pull plans)
+//! and the refinement warm-starts from its potential-descending
+//! equilibrium whenever that strictly improves the exact cost. On the
+//! paper's two-registry testbed all of this reduces to the seed
+//! hub-vs-regional game exactly (regression-tested in
+//! `tests/mesh_equilibria.rs`).
 
 use crate::model::EstimationContext;
 use crate::Scheduler;
 use deep_dataflow::{stages, Application, MicroserviceId};
-use deep_game::{support_enumeration, Bimatrix, Matrix};
-use deep_simulator::{Placement, Schedule, Testbed};
+use deep_game::{support_enumeration, Bimatrix, CongestionGame, Matrix};
+use deep_netsim::RegistryId;
+use deep_simulator::{route_key, Placement, RegistryChoice, Schedule, Testbed};
+use std::collections::BTreeMap;
+
+/// One strategy's loaded contention keys with their unloaded bucket
+/// transfer times, as read off a pull plan.
+type StrategyLoads = Vec<((RegistryId, usize), f64)>;
+
+/// One deployment wave of the joint game in explicit Rosenthal form,
+/// derived from actual split-pull plans.
+///
+/// Players are the wave's microservices; a strategy is a
+/// `(registry, device)` placement; resources are the contention keys of
+/// [`deep_simulator::route_key`] — registry→device download routes plus
+/// peer-holder uplinks. Each strategy's resource *subset* is read off
+/// the pull plan its bytes would realise
+/// ([`EstimationContext::plan`]): the buckets at or above the
+/// contention threshold, charged to the route or uplink that carries
+/// them — so a split pull occupies several resources at once and a
+/// fully-cached strategy occupies none. The per-resource cost is the
+/// mean unloaded transfer time of the buckets observed on it, scaled by
+/// the testbed's linear contention factor — anonymous in who loads the
+/// resource, which is what keeps Rosenthal's exact potential (and hence
+/// deterministic best-response convergence) valid.
+pub struct WaveRouteGame {
+    /// The wave's players, in commit order.
+    pub members: Vec<MicroserviceId>,
+    /// Strategy space per player (registry-major, matching the
+    /// refinement's deviation scan).
+    pub strategies: Vec<Vec<Placement>>,
+    /// Resource index → contention key.
+    pub resources: Vec<(RegistryId, usize)>,
+    /// `uses[p][s]` = sorted resource subset strategy `s` of player `p`
+    /// loads.
+    pub uses: Vec<Vec<Vec<usize>>>,
+    /// Mean unloaded transfer seconds observed per resource.
+    pub base_cost: Vec<f64>,
+    /// The testbed's linear contention coefficient.
+    pub alpha: f64,
+}
+
+impl WaveRouteGame {
+    /// Derive the wave's game from the context's current state (call at
+    /// the wave barrier, before committing any member).
+    fn build(ctx: &EstimationContext<'_>, testbed: &Testbed, members: &[MicroserviceId]) -> Self {
+        let registries = ctx.registry_choices();
+        let threshold = testbed.params.contention_threshold;
+        let mut strategies: Vec<Vec<Placement>> = Vec::with_capacity(members.len());
+        // (player, strategy) → loaded keys with their unloaded bucket
+        // transfer times; resource indexing deferred until all keys are
+        // known (BTreeMap keeps it deterministic).
+        let mut plans: Vec<Vec<StrategyLoads>> = Vec::with_capacity(members.len());
+        let mut observed: BTreeMap<(RegistryId, usize), (f64, usize)> = BTreeMap::new();
+        for &id in members {
+            let mut per_strategy = Vec::new();
+            let mut placements = Vec::new();
+            for &registry in &registries {
+                for &device in &ctx.admissible_devices(id) {
+                    let outcome = ctx.plan(id, registry, device);
+                    let mut loads = Vec::new();
+                    for bucket in &outcome.per_source {
+                        if bucket.downloaded < threshold {
+                            continue;
+                        }
+                        let key = route_key(bucket.source, device);
+                        let bw = testbed
+                            .source_params(RegistryChoice::mesh(bucket.source), device, 1.0)
+                            .download_bw;
+                        let secs = deep_netsim::transfer_time(bucket.downloaded, bw).as_f64();
+                        let entry = observed.entry(key).or_insert((0.0, 0));
+                        entry.0 += secs;
+                        entry.1 += 1;
+                        loads.push((key, secs));
+                    }
+                    loads.sort_unstable_by_key(|(key, _)| *key);
+                    per_strategy.push(loads);
+                    placements.push(Placement { registry, device });
+                }
+            }
+            plans.push(per_strategy);
+            strategies.push(placements);
+        }
+        let resources: Vec<(RegistryId, usize)> = observed.keys().copied().collect();
+        let base_cost: Vec<f64> =
+            observed.values().map(|(sum, count)| sum / (*count).max(1) as f64).collect();
+        let index: BTreeMap<(RegistryId, usize), usize> =
+            resources.iter().enumerate().map(|(i, key)| (*key, i)).collect();
+        let uses: Vec<Vec<Vec<usize>>> = plans
+            .into_iter()
+            .map(|per_strategy| {
+                per_strategy
+                    .into_iter()
+                    .map(|loads| loads.into_iter().map(|(key, _)| index[&key]).collect())
+                    .collect()
+            })
+            .collect();
+        WaveRouteGame {
+            members: members.to_vec(),
+            strategies,
+            resources,
+            uses,
+            base_cost,
+            alpha: testbed.params.contention_alpha,
+        }
+    }
+
+    /// The explicit congestion game (borrowing this description).
+    pub fn game(&self) -> CongestionGame<'_> {
+        CongestionGame::new(self.resources.len(), self.uses.clone(), |r, load| {
+            self.base_cost[r] * (1.0 + self.alpha * (load - 1) as f64)
+        })
+    }
+
+    /// Index of `placement` in player `p`'s strategy list.
+    fn strategy_index(&self, p: usize, placement: Placement) -> usize {
+        self.strategies[p]
+            .iter()
+            .position(|&s| s == placement)
+            .expect("profile placements come from the same strategy space")
+    }
+}
 
 /// The DEEP scheduler.
 #[derive(Debug, Clone)]
@@ -57,6 +184,17 @@ pub struct DeepScheduler {
     /// executor; with a zero fault model the payoffs — and therefore
     /// the schedules — are byte-identical to the happy-path ones.
     pub price_faults: bool,
+    /// Warm-start the joint refinement from the explicit Rosenthal form:
+    /// each wave's [`WaveRouteGame`] (resources = routes + peer uplinks,
+    /// subsets read off actual split-pull plans) is driven to its own
+    /// pure equilibrium by potential-descending best-response dynamics —
+    /// closed-form per-resource costs, no full profile replays — and the
+    /// resulting profile replaces the sequential one as the refinement's
+    /// start *iff* it strictly improves the exact total cost. When the
+    /// jump doesn't pay (the common case: the sequential stage games
+    /// already sit at a congestion equilibrium) the refinement runs
+    /// exactly as before, preserving the seed-parity contract.
+    pub congestion_warm_start: bool,
 }
 
 impl Default for DeepScheduler {
@@ -66,6 +204,7 @@ impl Default for DeepScheduler {
             max_refine_passes: 32,
             peer_sharing: false,
             price_faults: false,
+            congestion_warm_start: true,
         }
     }
 }
@@ -168,6 +307,73 @@ impl DeepScheduler {
         costs
     }
 
+    /// The per-wave explicit Rosenthal games of a profile: each wave's
+    /// [`WaveRouteGame`] built at its barrier with every earlier wave of
+    /// `profile` committed (so cache state and therefore the split-pull
+    /// plans are the ones the profile realises).
+    pub fn wave_route_games(
+        &self,
+        app: &Application,
+        testbed: &Testbed,
+        profile: &[Placement],
+    ) -> Vec<WaveRouteGame> {
+        let mut ctx = self.context(testbed, app);
+        let mut out = Vec::new();
+        for stage in stages(app) {
+            ctx.begin_wave();
+            out.push(WaveRouteGame::build(&ctx, testbed, &stage.members));
+            for &id in &stage.members {
+                ctx.commit(id, profile[id.0]);
+            }
+        }
+        out
+    }
+
+    /// Potential-guided warm start: drive each wave's explicit
+    /// congestion game to a pure equilibrium by best-response dynamics
+    /// (every accepted move decreases Rosenthal's exact potential by the
+    /// deviator's improvement, so the descent terminates without any
+    /// full-profile cost replay), then keep the jump only if the exact
+    /// total cost strictly improves.
+    fn potential_warm_start(
+        &self,
+        app: &Application,
+        testbed: &Testbed,
+        profile: &[Placement],
+    ) -> Vec<Placement> {
+        let mut ctx = self.context(testbed, app);
+        let mut out = profile.to_vec();
+        for stage in stages(app) {
+            ctx.begin_wave();
+            let wave = WaveRouteGame::build(&ctx, testbed, &stage.members);
+            if !wave.resources.is_empty() {
+                let game = wave.game();
+                let start: Vec<usize> = wave
+                    .members
+                    .iter()
+                    .enumerate()
+                    .map(|(p, &id)| wave.strategy_index(p, out[id.0]))
+                    .collect();
+                let result = game.best_response_dynamics(start, self.max_refine_passes);
+                for (p, &id) in wave.members.iter().enumerate() {
+                    out[id.0] = wave.strategies[p][result.profile[p]];
+                }
+            }
+            for &id in &stage.members {
+                ctx.commit(id, out[id.0]);
+            }
+        }
+        if out == profile {
+            return out;
+        }
+        let exact = |p: &[Placement]| -> f64 { self.profile_costs(app, testbed, p).iter().sum() };
+        if exact(&out) < exact(profile) - 1e-9 {
+            out
+        } else {
+            profile.to_vec()
+        }
+    }
+
     /// Joint best-response refinement to a pure Nash equilibrium.
     fn refine_joint(
         &self,
@@ -175,6 +381,9 @@ impl DeepScheduler {
         testbed: &Testbed,
         mut profile: Vec<Placement>,
     ) -> Vec<Placement> {
+        if self.congestion_warm_start {
+            profile = self.potential_warm_start(app, testbed, &profile);
+        }
         let registries = testbed.registry_choices();
         for _ in 0..self.max_refine_passes {
             let mut changed = false;
@@ -364,6 +573,98 @@ mod tests {
         let a = DeepScheduler::paper().schedule(&app, &tb);
         let b = DeepScheduler::paper().schedule(&app, &tb);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn wave_route_game_subsets_come_from_split_pull_plans() {
+        use deep_simulator::{peer_source_id, DEVICE_CLOUD};
+        // Warm continuum fleet: the medium device already ran the video
+        // app, so a cloud pull's plan rides the medium holder's uplink.
+        let mut tb = crate::continuum::continuum_testbed();
+        let app = apps::video_processing();
+        let warm = Schedule::uniform(app.len(), RegistryChoice::Hub, DEVICE_MEDIUM);
+        deep_simulator::execute(&mut tb, &app, &warm, &deep_simulator::ExecutorConfig::default())
+            .unwrap();
+        let sched = DeepScheduler::with_peer_sharing();
+        let profile =
+            vec![Placement { registry: RegistryChoice::Hub, device: DEVICE_CLOUD }; app.len()];
+        let games = sched.wave_route_games(&app, &tb, &profile);
+        let ha = app.by_name("ha-train").unwrap();
+        let wave = games.iter().find(|g| g.members.contains(&ha)).unwrap();
+        let p = wave.members.iter().position(|&m| m == ha).unwrap();
+        let uplink = (peer_source_id(DEVICE_MEDIUM), DEVICE_MEDIUM.0);
+        assert!(wave.resources.contains(&uplink), "uplink resource derived: {:?}", wave.resources);
+        let uplink_idx = wave.resources.iter().position(|r| *r == uplink).unwrap();
+        let strategy = |registry, device| {
+            wave.strategies[p].iter().position(|pl| *pl == Placement { registry, device }).unwrap()
+        };
+        // (Hub, cloud): a genuine split plan — the big fleet-resident
+        // layers load the medium holder's uplink while the small ones
+        // ride the fast hub→cloud route (60 MB/s beats the peer's
+        // first-use overhead below the break-even size), so the
+        // strategy occupies BOTH resources at once: the player-specific
+        // subset shape hand-built test games only imitated.
+        let hub_cloud = (RegistryChoice::Hub.registry_id(), DEVICE_CLOUD.0);
+        let hub_cloud_idx = wave.resources.iter().position(|r| *r == hub_cloud).unwrap();
+        assert_eq!(
+            wave.uses[p][strategy(RegistryChoice::Hub, DEVICE_CLOUD)],
+            vec![hub_cloud_idx, uplink_idx]
+        );
+        // (Hub, medium): fully cached on the warm device — loads nothing.
+        assert!(wave.uses[p][strategy(RegistryChoice::Hub, DEVICE_MEDIUM)].is_empty());
+        // (Hub, small): an arm64 pull no amd64 holder can serve — the
+        // whole image loads the hub→small download route.
+        let hub_small = (RegistryChoice::Hub.registry_id(), DEVICE_SMALL.0);
+        let hub_small_idx = wave.resources.iter().position(|r| *r == hub_small).unwrap();
+        assert_eq!(wave.uses[p][strategy(RegistryChoice::Hub, DEVICE_SMALL)], vec![hub_small_idx]);
+        // The derived game carries Rosenthal's exact potential: on every
+        // unilateral deviation ΔΦ equals the deviator's Δcost, and
+        // best-response dynamics converge deterministically.
+        let game = wave.game();
+        let mut profile = vec![0usize; wave.members.len()];
+        loop {
+            for q in 0..game.players() {
+                for s in 0..game.strategy_count(q) {
+                    let mut probe = profile.clone();
+                    probe[q] = s;
+                    let d_cost = game.player_cost(q, &probe) - game.player_cost(q, &profile);
+                    let d_phi = game.potential(&probe) - game.potential(&profile);
+                    assert!((d_cost - d_phi).abs() < 1e-9, "ΔΦ ≠ Δcost at {profile:?}");
+                }
+            }
+            let mut q = 0;
+            loop {
+                if q == game.players() {
+                    let a = game.best_response_dynamics(vec![0; game.players()], 64);
+                    let b = game.best_response_dynamics(vec![0; game.players()], 64);
+                    assert!(a.converged, "potential descent terminates");
+                    assert!(game.is_equilibrium(&a.profile));
+                    assert_eq!(a.profile, b.profile, "deterministic");
+                    return;
+                }
+                profile[q] += 1;
+                if profile[q] < game.strategy_count(q) {
+                    break;
+                }
+                profile[q] = 0;
+                q += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn warm_start_preserves_case_study_equilibria() {
+        // The potential-guided jump is adopted only when it strictly
+        // improves the exact cost; on the case studies the sequential
+        // stage games already sit at the optimum, so warm-started and
+        // plain refinement agree exactly (the seed-parity contract).
+        let tb = calibrated_testbed();
+        for app in apps::case_studies() {
+            let on = DeepScheduler::paper().schedule(&app, &tb);
+            let off = DeepScheduler { congestion_warm_start: false, ..DeepScheduler::default() }
+                .schedule(&app, &tb);
+            assert_eq!(on, off, "{}", app.name());
+        }
     }
 
     #[test]

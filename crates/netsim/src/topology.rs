@@ -7,6 +7,15 @@
 //! effectively infinite memory-speed link so co-located microservices pay no
 //! transfer cost, matching the paper's testbed where co-scheduled stages
 //! exchange data through the local filesystem.
+//!
+//! Beyond dataflow transfers, device-to-device links are also the substrate
+//! of the simulator's *peer data plane* (EdgePier-style image distribution,
+//! arXiv:2109.12983): a registry-free [`Topology`] whose link `k → j` is the
+//! effective rate at which device `k` serves cached image layers to device
+//! `j`. [`Topology::uniform_mesh`] builds the degenerate all-pairs-equal
+//! plane (the scalar `peer_bw` model of earlier revisions), and
+//! [`Topology::set_device_bandwidth`] dents individual links for hot-peer
+//! and throttled-uplink scenarios.
 
 use crate::units::{Bandwidth, DataSize, Seconds};
 use serde::{Deserialize, Serialize};
@@ -72,6 +81,17 @@ pub struct Topology {
 }
 
 impl Topology {
+    /// The complete `devices × devices` mesh with every off-diagonal link
+    /// at `bw` (self-links stay [`LOOPBACK`]) and no registries: the
+    /// uniform peer plane, equivalent to a single scalar per-pair
+    /// bandwidth.
+    pub fn uniform_mesh(devices: usize, bw: Bandwidth) -> Self {
+        TopologyBuilder::new(devices, 0)
+            .uniform_device_bandwidth(bw)
+            .build()
+            .expect("uniform fill leaves no missing link")
+    }
+
     /// Number of devices `N_D`.
     pub fn device_count(&self) -> usize {
         self.devices
@@ -134,6 +154,21 @@ impl Topology {
     ) -> Result<Seconds, TopologyError> {
         let bw = self.registry_bandwidth(from, to)?;
         Ok(div_or_zero(size, bw))
+    }
+
+    /// Overwrite one directed device link `BW_kj` in place — how sweeps
+    /// and fault scenarios throttle a single uplink without rebuilding
+    /// the whole matrix.
+    pub fn set_device_bandwidth(
+        &mut self,
+        from: DeviceId,
+        to: DeviceId,
+        bw: Bandwidth,
+    ) -> Result<(), TopologyError> {
+        self.check_device(from)?;
+        self.check_device(to)?;
+        self.device_bw[from.0][to.0] = bw;
+        Ok(())
     }
 
     fn check_device(&self, d: DeviceId) -> Result<(), TopologyError> {
@@ -361,6 +396,48 @@ mod tests {
             .unwrap()
             .as_bytes_per_sec()
             .is_infinite());
+    }
+
+    #[test]
+    fn uniform_mesh_is_complete_and_loopback_free() {
+        let t = Topology::uniform_mesh(4, Bandwidth::megabytes_per_sec(80.0));
+        assert_eq!(t.device_count(), 4);
+        assert_eq!(t.registry_count(), 0);
+        for k in t.devices() {
+            for j in t.devices() {
+                let bw = t.device_bandwidth(k, j).unwrap();
+                if k == j {
+                    assert!(bw.as_bytes_per_sec().is_infinite());
+                } else {
+                    assert_eq!(bw, Bandwidth::megabytes_per_sec(80.0));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn set_device_bandwidth_dents_one_directed_link() {
+        let mut t = Topology::uniform_mesh(3, Bandwidth::megabytes_per_sec(80.0));
+        t.set_device_bandwidth(DeviceId(0), DeviceId(2), Bandwidth::megabytes_per_sec(5.0))
+            .unwrap();
+        assert_eq!(
+            t.device_bandwidth(DeviceId(0), DeviceId(2)).unwrap(),
+            Bandwidth::megabytes_per_sec(5.0)
+        );
+        // The reverse direction and every other link are untouched.
+        assert_eq!(
+            t.device_bandwidth(DeviceId(2), DeviceId(0)).unwrap(),
+            Bandwidth::megabytes_per_sec(80.0)
+        );
+        assert_eq!(
+            t.device_bandwidth(DeviceId(0), DeviceId(1)).unwrap(),
+            Bandwidth::megabytes_per_sec(80.0)
+        );
+        assert_eq!(
+            t.set_device_bandwidth(DeviceId(0), DeviceId(9), Bandwidth::megabytes_per_sec(1.0))
+                .unwrap_err(),
+            TopologyError::UnknownDevice(DeviceId(9))
+        );
     }
 
     #[test]

@@ -267,6 +267,19 @@ impl<'p, S> PlannedFaults<'p, S> {
         }
     }
 
+    /// Wrap one peer *holder*: the fatal per-pull draw applies (churn
+    /// kills this holder alone — the rest of the peer plane and the
+    /// registries keep serving, so a [`crate::mesh::PullSession`] fails
+    /// the holder's layers over to the survivors), plus the transient
+    /// channel. Identical draws to [`PlannedFaults::primary`]; the
+    /// separate constructor documents that a holder's death is *not*
+    /// part of the closed-form `E[Td]` (which prices primary death only
+    /// — per-holder churn pricing is future work under the
+    /// correlated-failures roadmap item).
+    pub fn holder(inner: S, plan: &'p FaultPlan, source: RegistryId, pull: u64) -> Self {
+        Self::primary(inner, plan, source, pull)
+    }
+
     /// Wrap a failover target (peer cache, standby registry): transient
     /// channel only — survivors survive the pull by assumption.
     pub fn survivor(inner: S, plan: &'p FaultPlan, source: RegistryId, pull: u64) -> Self {

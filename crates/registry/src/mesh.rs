@@ -541,16 +541,31 @@ impl CacheAccess<'_> {
 /// The source is a *snapshot* — the executor rebuilds it at each
 /// deployment wave barrier, modelling peers that advertise what they held
 /// when the wave began (a gossip round per barrier).
+///
+/// Two granularities exist:
+///
+/// * [`PeerCacheSource::from_caches`] — the *aggregated* plane: every
+///   peer's layers folded into one source (the scalar `peer_bw` model,
+///   retained as the regression oracle). The serving device is
+///   anonymous, so upload contention cannot be attributed.
+/// * [`PeerCacheSource::for_holder`] — one source per *serving device*:
+///   the topology-backed plane registers one of these per peer, each
+///   under its own mesh id, so a [`PullSession`] sees each holder's real
+///   per-pair link and the simulator can charge upload contention on the
+///   holder's NIC.
 #[derive(Debug, Clone, Default)]
 pub struct PeerCacheSource {
     label: String,
+    /// The serving device behind this snapshot, when the source models a
+    /// single holder rather than the aggregated fleet.
+    holder: Option<deep_netsim::DeviceId>,
     blobs: HashSet<Digest>,
 }
 
 impl PeerCacheSource {
     /// An empty source with a display label.
     pub fn new(label: &str) -> Self {
-        PeerCacheSource { label: label.to_string(), blobs: HashSet::new() }
+        PeerCacheSource { label: label.to_string(), holder: None, blobs: HashSet::new() }
     }
 
     /// Snapshot every digest of `caches` into one source.
@@ -560,6 +575,20 @@ impl PeerCacheSource {
             source.absorb(cache);
         }
         source
+    }
+
+    /// Snapshot one serving device's cache: the per-holder source of the
+    /// topology-backed peer plane.
+    pub fn for_holder(holder: deep_netsim::DeviceId, cache: &LayerCache) -> Self {
+        let mut source = PeerCacheSource::new(&format!("peer-{holder}"));
+        source.holder = Some(holder);
+        source.absorb(cache);
+        source
+    }
+
+    /// The serving device, when this source models a single holder.
+    pub fn holder(&self) -> Option<deep_netsim::DeviceId> {
+        self.holder
     }
 
     /// Add every layer of `cache` to the snapshot.

@@ -19,7 +19,7 @@ use crate::engine::Engine;
 use crate::jitter::Jitter;
 use crate::metrics::{MicroserviceMetrics, RunReport};
 use crate::schedule::{RegistryChoice, Schedule};
-use crate::testbed::{Testbed, REGISTRY_PEER};
+use crate::testbed::{peer_holder, route_key, Testbed};
 use crate::trace::{Trace, TraceKind};
 use deep_dataflow::{stages, Application, MicroserviceId};
 use deep_energy::{Joules, PowerMeter, RaplBank, RaplMeasurement, Watts};
@@ -44,11 +44,18 @@ pub struct ExecutorConfig {
     /// Meter energy through the RAPL/wall-meter instruments as well as the
     /// analytic power model.
     pub instruments: bool,
-    /// Register a peer-cache blob source (id [`REGISTRY_PEER`]) in each
-    /// pull's mesh, snapshotting the *other* devices' layer caches at the
-    /// wave barrier: layers a fleet peer already holds are fetched over
-    /// the LAN instead of the registry route. `false` (paper behaviour)
-    /// keeps every pull on its placement's single registry.
+    /// Register the testbed's peer plane in each pull's mesh,
+    /// snapshotting the *other* devices' layer caches at the wave
+    /// barrier: layers a fleet peer already holds are fetched over the
+    /// peer links instead of the registry route. Under the default
+    /// [`crate::PeerPlane::PerPair`] plane each serving device becomes
+    /// its own blob source (mesh ids [`crate::REGISTRY_PEER_BASE`]`+ j`)
+    /// at its per-pair link rate, and concurrent same-wave pulls it
+    /// serves contend on *its* uplink ([`crate::route_key`]); the
+    /// retained [`crate::PeerPlane::Aggregate`] oracle registers the
+    /// single anonymous [`crate::REGISTRY_PEER`] source of the scalar
+    /// model. `false` (paper behaviour) keeps every pull on its
+    /// placement's single registry.
     pub peer_sharing: bool,
     /// Inject seeded faults sampled from the testbed's
     /// [`Testbed::fault_model`]: every pull's primary source is drawn
@@ -240,15 +247,17 @@ pub fn execute(
         ref regional,
         ref mirrors,
         ref params,
+        ref peer_plane,
         ref fault_model,
         ref entries,
         ref topology,
     } = *testbed;
 
-    // Route parameters for any mesh source (paper registries, peer route,
-    // mirrors) — `Testbed::source_params` over the split borrows.
+    // Route parameters for any mesh source (paper registries, peer
+    // sources, mirrors) — `Testbed::source_params` over the split
+    // borrows.
     let source_params = |choice: RegistryChoice, device: DeviceId, slowdown: f64| -> SourceParams {
-        crate::testbed::source_params_for(mirrors, params, choice, device, slowdown)
+        crate::testbed::source_params_for(mirrors, peer_plane, params, choice, device, slowdown)
     };
     // Full-registry backend for a strategy handle, over the split borrows.
     let backend = |choice: RegistryChoice| -> &dyn Registry {
@@ -272,32 +281,29 @@ pub fn execute(
 
     for (wave_idx, wave) in waves.iter().enumerate() {
         // ---- Deployment wave: concurrent contended pulls. --------------
-        // Same-wave contention is charged per *source route*: a split pull
-        // loads every (source, device) route its bytes actually traverse,
-        // not just its primary's.
+        // Same-wave contention is charged per *contention resource*
+        // (`route_key`): a split pull loads every route its bytes
+        // actually traverse — registry routes per (source, pulling
+        // device), peer traffic on the serving device's uplink.
         let mut route_load: HashMap<(RegistryId, usize), usize> = HashMap::new();
-        // Peer-cache snapshots, one per device, taken at the wave barrier:
-        // peers advertise what they held when the wave began (a gossip
-        // round per barrier), decoupling the snapshot from the mutable
-        // per-pull cache borrows below.
+        // Peer-cache snapshots, one per target device, taken at the wave
+        // barrier: peers advertise what they held when the wave began (a
+        // gossip round per barrier), decoupling the snapshot from the
+        // mutable per-pull cache borrows below. Under the per-pair plane
+        // each advertising holder is its own source; the aggregate
+        // oracle folds them into one.
         // Snapshots are built only for devices this wave actually deploys
         // to — a fleet wave touching a handful of devices must not pay
         // O(devices²) digest clones.
-        let peer_snapshots: HashMap<usize, PeerCacheSource> = if cfg.peer_sharing {
+        let peer_snapshots: HashMap<usize, Vec<(RegistryId, PeerCacheSource)>> = if cfg.peer_sharing
+        {
             let mut targets: Vec<usize> =
                 wave.iter().map(|&id| schedule.placement(id).device.0).collect();
             targets.sort_unstable();
             targets.dedup();
-            targets
-                .into_iter()
-                .map(|j| {
-                    let snapshot = PeerCacheSource::from_caches(
-                        "peer-cache",
-                        devices.iter().enumerate().filter(|(k, _)| *k != j).map(|(_, d)| &d.cache),
-                    );
-                    (j, snapshot)
-                })
-                .collect()
+            let caches: Vec<&deep_registry::LayerCache> =
+                devices.iter().map(|d| &d.cache).collect();
+            targets.into_iter().map(|j| (j, peer_plane.snapshot(&caches, j))).collect()
         } else {
             HashMap::new()
         };
@@ -322,10 +328,14 @@ pub fn execute(
                 0 => entry.hub_reference(device.arch),
                 _ => entry.regional_reference(device.arch),
             };
-            // Each mesh source's route is slowed by the load *it* carries
-            // from earlier same-wave pulls.
+            // Each mesh source's contention resource is slowed by the
+            // load *it* carries from earlier same-wave pulls: the
+            // download route for registries, the serving device's uplink
+            // for peer sources.
             let load = |id: RegistryId| {
-                params.contention_factor(*route_load.get(&(id, placement.device.0)).unwrap_or(&0))
+                params.contention_factor(
+                    *route_load.get(&route_key(id, placement.device)).unwrap_or(&0),
+                )
             };
             let pull_idx = pull_counter;
             pull_counter += 1;
@@ -354,40 +364,51 @@ pub fn execute(
                         .collect(),
                     None => Vec::new(),
                 };
-            let peer_faults: Option<PlannedFaults<'_, &PeerCacheSource>> = match &fault_plan {
-                Some(plan) if cfg.peer_sharing => Some(PlannedFaults::survivor(
-                    &peer_snapshots[&placement.device.0],
-                    plan,
-                    REGISTRY_PEER,
-                    pull_idx,
-                )),
-                _ => None,
-            };
+            let peer_entries: &[(RegistryId, PeerCacheSource)] =
+                if cfg.peer_sharing { &peer_snapshots[&placement.device.0] } else { &[] };
+            // Per-peer fault wrappers: per-holder sources draw their own
+            // per-pull fatal churn (a dead holder fails over alone — the
+            // rest of the peer plane and the registries keep serving)
+            // and their own transient streams; the aggregate oracle's
+            // anonymous source keeps the PR 4 survivor (transient-only)
+            // semantics.
+            let peer_faults: Vec<(RegistryId, PlannedFaults<'_, &PeerCacheSource>)> =
+                match &fault_plan {
+                    Some(plan) => peer_entries
+                        .iter()
+                        .map(|(id, src)| {
+                            let wrapped = match peer_holder(*id) {
+                                Some(_) => PlannedFaults::holder(src, plan, *id, pull_idx),
+                                None => PlannedFaults::survivor(src, plan, *id, pull_idx),
+                            };
+                            (*id, wrapped)
+                        })
+                        .collect(),
+                    None => Vec::new(),
+                };
             // The pull's mesh: the placement's registry as primary, the
-            // peer-cache source when fleet sharing is on, plus (under
-            // fault injection) every other full registry as a standby
-            // failover target — planned only once the primary is dead,
-            // so the fault-free mesh stays byte-identical.
+            // peer sources when fleet sharing is on, plus (under fault
+            // injection) every other full registry as a standby failover
+            // target — planned only once the primary is dead, so the
+            // fault-free mesh stays byte-identical.
             let mut mesh = RegistryMesh::new();
             let primary_params = source_params(placement.registry, placement.device, load(primary));
             match &primary_faults {
                 Some(wrapped) => mesh.add_registry(primary, wrapped, primary_params),
                 None => mesh.add_registry(primary, registry, primary_params),
             };
-            if cfg.peer_sharing {
-                let peer_params = source_params(
-                    RegistryChoice::mesh(REGISTRY_PEER),
-                    placement.device,
-                    load(REGISTRY_PEER),
-                );
-                match &peer_faults {
-                    Some(wrapped) => mesh.add_blob_source(REGISTRY_PEER, wrapped, peer_params),
-                    None => mesh.add_blob_source(
-                        REGISTRY_PEER,
-                        &peer_snapshots[&placement.device.0],
-                        peer_params,
-                    ),
-                };
+            if fault_plan.is_some() {
+                for (id, wrapped) in &peer_faults {
+                    let peer_params =
+                        source_params(RegistryChoice::mesh(*id), placement.device, load(*id));
+                    mesh.add_blob_source(*id, wrapped, peer_params);
+                }
+            } else {
+                for (id, src) in peer_entries {
+                    let peer_params =
+                        source_params(RegistryChoice::mesh(*id), placement.device, load(*id));
+                    mesh.add_blob_source(*id, src, peer_params);
+                }
             }
             for (choice, wrapped) in &standby_faults {
                 let id = choice.registry_id();
@@ -406,11 +427,13 @@ pub fn execute(
             }
             trace.record(clock, TraceKind::DeploymentStarted, placement.device, &ms.name);
             let outcome = session.pull(&reference, device.arch, &mut device.cache)?;
-            // Charge each source route the bytes it actually served: a
-            // split pull no longer over-penalizes its primary route.
+            // Charge each contention resource the bytes it actually
+            // served: a split pull no longer over-penalizes its primary
+            // route, and peer buckets land on the serving device's
+            // uplink rather than the puller's download route.
             for bucket in &outcome.per_source {
                 if bucket.downloaded >= params.contention_threshold {
-                    *route_load.entry((bucket.source, placement.device.0)).or_insert(0) += 1;
+                    *route_load.entry(route_key(bucket.source, placement.device)).or_insert(0) += 1;
                 }
             }
             let t = jitter.apply(outcome.deployment_time());
@@ -697,9 +720,9 @@ mod tests {
         // The continuum testbed has two amd64 devices (medium, cloud).
         // After the medium device deploys the video app, a cloud
         // deployment with peer sharing fetches the already-fleet-resident
-        // layers from the peer (80 MB/s, 1 s overhead) instead of the hub
-        // route (60 MB/s) — strictly faster, and attributed to
-        // REGISTRY_PEER in the breakdown.
+        // layers from the medium peer's link (80 MB/s, 1 s overhead)
+        // instead of the hub route (60 MB/s) — strictly faster, and
+        // attributed to the medium device in the per-holder breakdown.
         let app = apps::video_processing();
         let all_hub = |device| Schedule::uniform(app.len(), RegistryChoice::Hub, device);
         let run = |peer_sharing: bool| {
@@ -713,20 +736,90 @@ mod tests {
         };
         let without = run(false);
         let with = run(true);
-        let by_source = with.downloaded_by_source();
-        let peer_mb =
-            by_source.iter().find(|(id, _)| *id == REGISTRY_PEER).map(|(_, mb)| *mb).unwrap_or(0.0);
-        assert!(peer_mb > 1_000.0, "fleet-resident layers served by peers: {by_source:?}");
-        assert!(
-            without.downloaded_by_source().iter().all(|(id, _)| *id != REGISTRY_PEER),
-            "no peer source without the flag"
-        );
+        let by_peer = with.downloaded_by_peer();
+        assert_eq!(by_peer.len(), 1, "exactly one holder served: {by_peer:?}");
+        assert_eq!(by_peer[0].0, DEVICE_MEDIUM, "the warm medium device is the holder");
+        assert!(by_peer[0].1 > 1_000.0, "fleet-resident layers served by the peer: {by_peer:?}");
+        assert_eq!(with.peer_downloaded_mb(), by_peer[0].1);
+        // The raw breakdown names the holder's own mesh id.
+        assert!(with
+            .downloaded_by_source()
+            .iter()
+            .any(|(id, _)| *id == crate::testbed::peer_source_id(DEVICE_MEDIUM)));
+        assert!(without.downloaded_by_peer().is_empty(), "no peer source without the flag");
         let td_with: f64 = with.microservices.iter().map(|m| m.td.as_f64()).sum();
         let td_without: f64 = without.microservices.iter().map(|m| m.td.as_f64()).sum();
         assert!(td_with < td_without, "peer-served pulls are faster: {td_with} vs {td_without}");
         // Bytes moved are identical — only the source changed.
         let dl = |r: &RunReport| -> f64 { r.microservices.iter().map(|m| m.downloaded_mb).sum() };
         assert!((dl(&with) - dl(&without)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn same_wave_pulls_to_different_devices_contend_on_the_holders_uplink() {
+        // One warm holder (cloud), two cold devices pulling in the same
+        // wave: under the per-pair plane both pulls ride the cloud's
+        // uplink, so the second one (in execution order) sees the uplink
+        // already loaded and slows by the contention factor. Under the
+        // aggregate oracle the pulls contend on separate
+        // (REGISTRY_PEER, puller) routes — pulling onto different
+        // devices hides the shared NIC entirely, the blindness this PR
+        // removes.
+        let app = apps::video_processing();
+        let run = |aggregate: bool| {
+            let mut tb = Testbed::continuum();
+            if aggregate {
+                tb.peer_plane = crate::testbed::PeerPlane::Aggregate;
+            }
+            // Warm the cloud holder with everything — both platforms, a
+            // fleet cache able to serve the amd64 medium AND the arm64
+            // small device (layer digests are arch-specific).
+            let warm =
+                Schedule::uniform(app.len(), RegistryChoice::Hub, crate::testbed::DEVICE_CLOUD);
+            execute(&mut tb, &app, &warm, &ExecutorConfig::default()).unwrap();
+            let mut cache = tb.device(crate::testbed::DEVICE_CLOUD).cache.clone();
+            for id in app.ids() {
+                let ms = app.microservice(id);
+                let entry = tb.entry(app.name(), &ms.name).unwrap().clone();
+                let reference = entry.hub_reference(Platform::Arm64);
+                tb.pull_mesh(RegistryChoice::Hub, crate::testbed::DEVICE_CLOUD, 1.0)
+                    .session(RegistryChoice::Hub.registry_id())
+                    .pull(&reference, Platform::Arm64, &mut cache)
+                    .unwrap();
+            }
+            tb.device_mut(crate::testbed::DEVICE_CLOUD).cache = cache;
+            // ha-train and la-train share the training wave but land on
+            // different devices; both images are served entirely by the
+            // cloud holder, so both pulls load the same uplink.
+            let mut placements =
+                vec![Placement { registry: RegistryChoice::Hub, device: DEVICE_MEDIUM }; app.len()];
+            placements[app.by_name("la-train").unwrap().0] =
+                Placement { registry: RegistryChoice::Hub, device: DEVICE_SMALL };
+            let cfg = ExecutorConfig { peer_sharing: true, ..Default::default() };
+            execute(&mut tb, &app, &Schedule::new(placements), &cfg).unwrap().0
+        };
+        let per_pair = run(false);
+        let aggregate = run(true);
+        // ha-train (lower id) pulls first: uplink unloaded, identical td
+        // in both models. la-train on the small device pulls its full
+        // 5.78 GB (nothing cached there) over the same uplink, which
+        // already carries ha-train's bytes: slowed by 1 + alpha under
+        // the per-pair plane only.
+        let ha = |r: &RunReport| r.metrics("ha-train").unwrap().td.as_f64();
+        let la = |r: &RunReport| r.metrics("la-train").unwrap().td.as_f64();
+        assert!((ha(&per_pair) - ha(&aggregate)).abs() < 1e-12, "first pull sees no load");
+        let slowed = 5780.0 * 1.1 / 80.0 + 5780.0 / 11.0 + 26.0;
+        let blind = 5780.0 / 80.0 + 5780.0 / 11.0 + 26.0;
+        assert!(
+            (la(&per_pair) - slowed).abs() < 1e-9,
+            "uplink-contended la-train: {} vs {slowed}",
+            la(&per_pair)
+        );
+        assert!(
+            (la(&aggregate) - blind).abs() < 1e-9,
+            "aggregate-blind la-train: {} vs {blind}",
+            la(&aggregate)
+        );
     }
 
     #[test]

@@ -45,7 +45,8 @@ pub use jitter::Jitter;
 pub use metrics::{MicroserviceMetrics, RunReport};
 pub use schedule::{Placement, RegistryChoice, Schedule};
 pub use testbed::{
-    RegionalMirror, Testbed, TestbedParams, DEVICE_CLOUD, DEVICE_MEDIUM, DEVICE_SMALL,
-    REGISTRY_MIRROR_BASE, REGISTRY_PEER,
+    peer_holder, peer_source_id, route_key, PeerPlane, RegionalMirror, Testbed, TestbedParams,
+    DEVICE_CLOUD, DEVICE_MEDIUM, DEVICE_SMALL, REGISTRY_MIRROR_BASE, REGISTRY_PEER,
+    REGISTRY_PEER_BASE,
 };
 pub use trace::{Trace, TraceEvent, TraceKind};

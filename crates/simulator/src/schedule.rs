@@ -46,6 +46,9 @@ impl fmt::Display for RegistryChoice {
         match self.0 .0 {
             0 => f.write_str("docker-hub"),
             1 => f.write_str("regional"),
+            n if n >= crate::testbed::REGISTRY_PEER_BASE.0 => {
+                write!(f, "peer-d{}", n - crate::testbed::REGISTRY_PEER_BASE.0)
+            }
             n => write!(f, "mesh-r{n}"),
         }
     }
@@ -181,5 +184,7 @@ mod tests {
         assert_eq!(RegistryChoice::Hub.to_string(), "docker-hub");
         assert_eq!(RegistryChoice::Regional.to_string(), "regional");
         assert_eq!(RegistryChoice::mesh(RegistryId(4)).to_string(), "mesh-r4");
+        let peer = crate::testbed::peer_source_id(DeviceId(2));
+        assert_eq!(RegistryChoice::mesh(peer).to_string(), "peer-d2");
     }
 }

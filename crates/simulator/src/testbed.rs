@@ -13,6 +13,16 @@
 //!   locality, no throttling).
 //! * The small device's SD-card extraction is slower than the medium's
 //!   NVMe.
+//!
+//! Besides the registry routes, the testbed carries a [`PeerPlane`]: the
+//! topology of device-to-device *peer serving* links (what rate each
+//! device streams already-cached layers to each other device, and what a
+//! connection to it costs). It defaults to the uniform
+//! `peer_bw`/`peer_overhead` mesh — the scalar model of earlier
+//! revisions, reproduced exactly — and individual pairs or whole uplinks
+//! can be dented for hot-peer scenarios. Per-holder peer sources get
+//! mesh ids from [`REGISTRY_PEER_BASE`] and contend on the serving
+//! device's uplink (see [`route_key`]).
 
 use crate::device::SimDevice;
 use crate::schedule::RegistryChoice;
@@ -20,8 +30,8 @@ use deep_dataflow::{Application, Mips};
 use deep_energy::{DevicePowerModel, Watts};
 use deep_netsim::{Bandwidth, DataSize, DeviceId, RegistryId, Seconds, Topology, TopologyBuilder};
 use deep_registry::{
-    CatalogEntry, FaultModel, HubRegistry, Platform, Reference, RegionalRegistry, Registry,
-    RegistryMesh, SourceParams,
+    CatalogEntry, FaultModel, HubRegistry, LayerCache, PeerCacheSource, Platform, Reference,
+    RegionalRegistry, Registry, RegistryMesh, SourceParams,
 };
 use std::collections::HashMap;
 
@@ -33,13 +43,51 @@ pub const DEVICE_SMALL: DeviceId = DeviceId(1);
 /// ([`Testbed::continuum`] only — the paper testbed has two devices).
 pub const DEVICE_CLOUD: DeviceId = DeviceId(2);
 
-/// Mesh id under which the executor registers the peer-cache blob source
-/// (ids 0 and 1 are the paper registries).
+/// Mesh id under which the executor registers the *aggregated* peer-cache
+/// blob source — [`PeerPlane::Aggregate`] only (ids 0 and 1 are the paper
+/// registries). The topology-backed plane registers one source per
+/// serving device instead (see [`REGISTRY_PEER_BASE`]); this id survives
+/// as the canonical "the peer plane" handle reports fold per-holder
+/// buckets under ([`crate::RunReport::with_aggregated_peer_sources`]).
 pub const REGISTRY_PEER: RegistryId = RegistryId(2);
 
 /// First mesh id handed out to additional regional registries
 /// ([`Testbed::add_regional_mirror`]); the k-th mirror gets id `3 + k`.
 pub const REGISTRY_MIRROR_BASE: RegistryId = RegistryId(3);
+
+/// First mesh id of the per-holder peer sources: serving device `j`'s
+/// cache is registered under `REGISTRY_PEER_BASE + j`. Far above the
+/// mirror range so the two open-ended id families never collide.
+pub const REGISTRY_PEER_BASE: RegistryId = RegistryId(4096);
+
+/// The mesh id under which serving device `holder` advertises its layer
+/// cache on the topology-backed peer plane.
+pub fn peer_source_id(holder: DeviceId) -> RegistryId {
+    RegistryId(REGISTRY_PEER_BASE.0 + holder.0)
+}
+
+/// The serving device behind a per-holder peer mesh id, if `source` is
+/// one ([`REGISTRY_PEER`], registries and mirrors return `None`).
+pub fn peer_holder(source: RegistryId) -> Option<DeviceId> {
+    (source.0 >= REGISTRY_PEER_BASE.0).then(|| DeviceId(source.0 - REGISTRY_PEER_BASE.0))
+}
+
+/// The contention resource a pull's bytes from `source` onto `pulling`
+/// actually occupy — the key of the executor's and estimator's shared
+/// `route_load` map:
+///
+/// * registry/mirror sources contend per `(source, pulling device)`
+///   download route (the PR 3 scheme);
+/// * per-holder peer sources contend on the *serving* device's uplink
+///   NIC, `(source, holder)` — one resource regardless of who pulls, so
+///   a hot peer serving several same-wave devices divides its uplink
+///   among them instead of serving everyone at full rate.
+pub fn route_key(source: RegistryId, pulling: DeviceId) -> (RegistryId, usize) {
+    match peer_holder(source) {
+        Some(holder) => (source, holder.0),
+        None => (source, pulling.0),
+    }
+}
 
 /// Calibrated link and overhead parameters.
 #[derive(Debug, Clone, Copy)]
@@ -67,9 +115,18 @@ pub struct TestbedParams {
     pub regional_overhead: Seconds,
     /// Effective bandwidth of a peer device serving cached layers over the
     /// LAN (below the raw LAN rate: the peer reads from its own disk).
+    ///
+    /// This is the *construction-time default* the uniform
+    /// [`PeerPlane::PerPair`] mesh is built from (and the live rate of
+    /// the [`PeerPlane::Aggregate`] oracle). Mutating it on a built
+    /// testbed does not reshape the per-pair plane — throttle links
+    /// through [`Testbed::set_peer_link`] / [`Testbed::set_peer_uplink`]
+    /// instead.
     pub peer_bw: Bandwidth,
     /// Fixed overhead of the first peer-served layer of a pull (peer
-    /// discovery + connection; no auth, no manifest round-trips).
+    /// discovery + connection; no auth, no manifest round-trips). Like
+    /// `peer_bw`, a construction-time default for the per-pair plane's
+    /// per-holder overheads.
     pub peer_overhead: Seconds,
     /// Route-contention coefficient: a pull sharing its registry→device
     /// route with `k` earlier same-wave pulls sees its download slowed by
@@ -104,15 +161,14 @@ impl Default for TestbedParams {
 
 impl TestbedParams {
     /// Pull bandwidth for a `(source, device)` route. Covers the paper
-    /// registries (ids 0/1) and the peer-cache route ([`REGISTRY_PEER`],
-    /// LAN-bound and device-independent) ONLY — regional mirrors carry
-    /// their own parameters and must be priced through
-    /// [`Testbed::source_params`], never through this struct.
+    /// registries (ids 0/1) and the *aggregated* peer route
+    /// ([`REGISTRY_PEER`], LAN-bound and device-independent) ONLY —
+    /// regional mirrors carry their own parameters and per-holder peer
+    /// routes are per-pair links of the [`PeerPlane`]; both must be
+    /// priced through [`Testbed::source_params`], never through this
+    /// struct. Unknown ids are a pricing bug (debug assertion), not a
+    /// peer; release builds fall back to the legacy `peer_bw` value.
     pub fn route_bandwidth(&self, registry: RegistryChoice, device: DeviceId) -> Bandwidth {
-        debug_assert!(
-            registry.registry_id().0 <= REGISTRY_PEER.0,
-            "mirror route {registry} is priced by Testbed::source_params, not TestbedParams"
-        );
         match (registry.registry_id().0, device) {
             (0, DEVICE_MEDIUM) => self.hub_to_medium,
             (0, DEVICE_CLOUD) => self.hub_to_cloud,
@@ -120,21 +176,34 @@ impl TestbedParams {
             (1, DEVICE_MEDIUM) => self.regional_to_medium,
             (1, DEVICE_CLOUD) => self.regional_to_cloud,
             (1, _) => self.regional_to_small,
-            (_, _) => self.peer_bw,
+            (2, _) => self.peer_bw,
+            (n, _) => {
+                debug_assert!(
+                    false,
+                    "route r{n} → {device} is not a TestbedParams route: mirrors are priced by \
+                     Testbed::source_params, per-holder peer pairs by the PeerPlane"
+                );
+                self.peer_bw
+            }
         }
     }
 
-    /// Fixed overhead for a mesh source (paper registries + peer route
-    /// only; mirrors go through [`Testbed::source_params`]).
+    /// Fixed overhead for a mesh source (paper registries + aggregated
+    /// peer route only; mirrors and per-holder peers go through
+    /// [`Testbed::source_params`] — unknown ids are a debug assertion).
     pub fn overhead(&self, registry: RegistryChoice) -> Seconds {
-        debug_assert!(
-            registry.registry_id().0 <= REGISTRY_PEER.0,
-            "mirror route {registry} is priced by Testbed::source_params, not TestbedParams"
-        );
         match registry.registry_id().0 {
             0 => self.hub_overhead,
             1 => self.regional_overhead,
-            _ => self.peer_overhead,
+            2 => self.peer_overhead,
+            n => {
+                debug_assert!(
+                    false,
+                    "source r{n} carries no TestbedParams overhead: mirrors are priced by \
+                     Testbed::source_params, per-holder peer pairs by the PeerPlane"
+                );
+                self.peer_overhead
+            }
         }
     }
 
@@ -155,6 +224,113 @@ impl TestbedParams {
     /// Download slowdown under `load` prior same-wave pulls on the route.
     pub fn contention_factor(&self, load: usize) -> f64 {
         1.0 + self.contention_alpha * load as f64
+    }
+}
+
+/// The fleet's peer data plane: who can serve cached image layers to
+/// whom, and how fast.
+///
+/// The default is the topology-backed [`PeerPlane::PerPair`] plane:
+/// device-to-device links of a registry-free [`Topology`] are the source
+/// of truth for peer bandwidth, one blob source per serving device (mesh
+/// ids [`peer_source_id`]) is registered in every peer-sharing pull's
+/// mesh, and upload contention is charged on the serving device's uplink
+/// ([`route_key`]). Built uniform from `peer_bw`/`peer_overhead`, it
+/// reproduces the scalar plane of earlier revisions exactly (single
+/// holder: byte for byte; see `tests/peer_plane.rs`) while letting
+/// sweeps dent individual pairs ([`Testbed::set_peer_link`]) or a whole
+/// uplink ([`Testbed::set_peer_uplink`]) — a hot peer saturates like a
+/// real NIC instead of serving the whole fleet at full rate.
+///
+/// [`PeerPlane::Aggregate`] retains the scalar plane — one anonymous
+/// fleet-wide source ([`REGISTRY_PEER`]) at `peer_bw`, contended per
+/// *pulling* device — as the regression oracle the parity tests compare
+/// against.
+#[derive(Debug, Clone)]
+pub enum PeerPlane {
+    /// The scalar plane: one aggregated fleet-wide source at
+    /// `TestbedParams::peer_bw`/`peer_overhead`.
+    Aggregate,
+    /// Topology-backed per-pair links and per-holder sources.
+    PerPair {
+        /// `links.device_bandwidth(serving, pulling)` = the effective
+        /// rate at which `serving` streams cached layers to `pulling`
+        /// (disk-read-bound below the raw LAN rate; no registries).
+        links: Topology,
+        /// Per-serving-device connection overhead, charged the first
+        /// time a pull uses that holder (index = device id).
+        overheads: Vec<Seconds>,
+    },
+}
+
+impl PeerPlane {
+    /// The uniform per-pair plane over `devices` devices: every pair at
+    /// `bw`, every holder at `overhead` — the topology expression of the
+    /// scalar `peer_bw` model.
+    pub fn uniform(devices: usize, bw: Bandwidth, overhead: Seconds) -> Self {
+        PeerPlane::PerPair {
+            links: Topology::uniform_mesh(devices, bw),
+            overheads: vec![overhead; devices],
+        }
+    }
+
+    /// Whether this is the scalar aggregate plane.
+    pub fn is_aggregate(&self) -> bool {
+        matches!(self, PeerPlane::Aggregate)
+    }
+
+    /// The serving bandwidth of the `(serving, pulling)` pair.
+    pub fn bandwidth(
+        &self,
+        params: &TestbedParams,
+        serving: DeviceId,
+        pulling: DeviceId,
+    ) -> Bandwidth {
+        match self {
+            PeerPlane::Aggregate => params.peer_bw,
+            PeerPlane::PerPair { links, .. } => links
+                .device_bandwidth(serving, pulling)
+                .expect("peer plane covers every device pair"),
+        }
+    }
+
+    /// The first-use connection overhead of `serving` as a peer.
+    pub fn holder_overhead(&self, params: &TestbedParams, serving: DeviceId) -> Seconds {
+        match self {
+            PeerPlane::Aggregate => params.peer_overhead,
+            PeerPlane::PerPair { overheads, .. } => overheads[serving.0],
+        }
+    }
+
+    /// The peer sources a wave barrier advertises to `target`, from the
+    /// per-device layer caches (index = device id): the aggregate plane
+    /// folds every other device into one [`REGISTRY_PEER`] source; the
+    /// per-pair plane yields one [`peer_source_id`] source per other
+    /// device with a non-empty cache. The executor calls this with the
+    /// real device caches, the estimator with its estimated clones — the
+    /// single rule both sides share is what keeps them bit-for-bit.
+    pub fn snapshot(
+        &self,
+        caches: &[&LayerCache],
+        target: usize,
+    ) -> Vec<(RegistryId, PeerCacheSource)> {
+        match self {
+            PeerPlane::Aggregate => vec![(
+                REGISTRY_PEER,
+                PeerCacheSource::from_caches(
+                    "peer-cache",
+                    caches.iter().enumerate().filter(|(k, _)| *k != target).map(|(_, c)| *c),
+                ),
+            )],
+            PeerPlane::PerPair { .. } => caches
+                .iter()
+                .enumerate()
+                .filter(|(k, c)| *k != target && !c.is_empty())
+                .map(|(k, c)| {
+                    (peer_source_id(DeviceId(k)), PeerCacheSource::for_holder(DeviceId(k), c))
+                })
+                .collect(),
+        }
     }
 }
 
@@ -183,11 +359,18 @@ pub struct RegionalMirror {
 /// being exactly one copy.
 pub(crate) fn source_params_for(
     mirrors: &[RegionalMirror],
+    peer_plane: &PeerPlane,
     params: &TestbedParams,
     choice: RegistryChoice,
     device: DeviceId,
     slowdown: f64,
 ) -> SourceParams {
+    if let Some(holder) = peer_holder(choice.registry_id()) {
+        return SourceParams {
+            download_bw: peer_plane.bandwidth(params, holder, device).scale(1.0 / slowdown),
+            overhead: peer_plane.holder_overhead(params, holder),
+        };
+    }
     match mirrors.iter().find(|m| m.choice == choice) {
         Some(m) => {
             SourceParams { download_bw: m.download_bw.scale(1.0 / slowdown), overhead: m.overhead }
@@ -206,6 +389,10 @@ pub struct Testbed {
     /// [`REGISTRY_MIRROR_BASE`]`+ k` (empty on the paper testbed).
     pub mirrors: Vec<RegionalMirror>,
     pub params: TestbedParams,
+    /// The peer data plane: per-pair serving links and per-holder
+    /// sources by default (built uniform from `peer_bw`/`peer_overhead`),
+    /// or the retained scalar [`PeerPlane::Aggregate`] oracle.
+    pub peer_plane: PeerPlane,
     /// Per-source failure probabilities (per-pull fatal + per-fetch
     /// transient rates) and the retry policy absorbing the transients.
     /// Defaults to the fault-free model; the executor injects seeded
@@ -294,6 +481,7 @@ impl Testbed {
             hub: HubRegistry::with_paper_catalog(),
             regional: RegionalRegistry::with_paper_catalog(),
             mirrors: Vec::new(),
+            peer_plane: PeerPlane::uniform(2, params.peer_bw, params.peer_overhead),
             params,
             fault_model: FaultModel::default(),
             entries,
@@ -335,6 +523,9 @@ impl Testbed {
         )
         .with_class(deep_dataflow::DeviceClass::Cloud);
         tb.devices.push(cloud);
+        // The peer plane widens with the fleet (the cloud both serves and
+        // is served at the uniform rate unless a sweep dents its links).
+        tb.peer_plane = PeerPlane::uniform(3, tb.params.peer_bw, tb.params.peer_overhead);
         // Rebuild the topology with the cloud's WAN links.
         tb.topology = TopologyBuilder::new(3, 2)
             .symmetric_device_link(DEVICE_MEDIUM, DEVICE_SMALL, tb.params.lan)
@@ -407,6 +598,10 @@ impl Testbed {
         overhead: Seconds,
     ) -> RegistryChoice {
         let id = RegistryId(REGISTRY_MIRROR_BASE.0 + self.mirrors.len());
+        assert!(
+            id < REGISTRY_PEER_BASE,
+            "mirror ids exhausted the range below the per-holder peer sources"
+        );
         let mut registry = RegionalRegistry::with_paper_catalog();
         for entry in self.entries.values() {
             registry.publish(entry).expect("mirror capacity fits the published catalog");
@@ -432,16 +627,43 @@ impl Testbed {
     }
 
     /// [`SourceParams`] for one source→device route (paper registries,
-    /// peer, or mirrors), with the route slowed by `slowdown` (contention
-    /// factor ≥ 1). The mesh-wide generalization of
-    /// [`TestbedParams::source_params`].
+    /// aggregated peer, per-holder peers, or mirrors), with the route
+    /// slowed by `slowdown` (contention factor ≥ 1). The mesh-wide
+    /// generalization of [`TestbedParams::source_params`].
     pub fn source_params(
         &self,
         choice: RegistryChoice,
         device: DeviceId,
         slowdown: f64,
     ) -> SourceParams {
-        source_params_for(&self.mirrors, &self.params, choice, device, slowdown)
+        source_params_for(&self.mirrors, &self.peer_plane, &self.params, choice, device, slowdown)
+    }
+
+    /// The serving bandwidth of one `(serving, pulling)` peer pair.
+    pub fn peer_bandwidth(&self, serving: DeviceId, pulling: DeviceId) -> Bandwidth {
+        self.peer_plane.bandwidth(&self.params, serving, pulling)
+    }
+
+    /// Dent one directed peer link (requires the per-pair plane; the
+    /// scalar aggregate oracle has no pairs to dent).
+    pub fn set_peer_link(&mut self, serving: DeviceId, pulling: DeviceId, bw: Bandwidth) {
+        match &mut self.peer_plane {
+            PeerPlane::PerPair { links, .. } => links
+                .set_device_bandwidth(serving, pulling, bw)
+                .expect("peer plane covers every device pair"),
+            PeerPlane::Aggregate => panic!("the aggregate peer plane has no per-pair links"),
+        }
+    }
+
+    /// Throttle every link *from* `serving` — the hot-peer scenario's
+    /// saturated uplink NIC.
+    pub fn set_peer_uplink(&mut self, serving: DeviceId, bw: Bandwidth) {
+        let n = self.devices.len();
+        for j in 0..n {
+            if j != serving.0 {
+                self.set_peer_link(serving, DeviceId(j), bw);
+            }
+        }
     }
 
     /// The full-registry backend for a choice. Panics for handles that
@@ -530,7 +752,7 @@ impl Testbed {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use deep_registry::ManifestSource;
+    use deep_registry::{BlobSource, ManifestSource};
 
     #[test]
     fn paper_testbed_shape() {
@@ -640,6 +862,103 @@ mod tests {
         t.add_regional_mirror(Bandwidth::megabytes_per_sec(9.5), Seconds::new(5.0));
         t.add_regional_mirror(Bandwidth::megabytes_per_sec(7.0), Seconds::new(6.0));
         assert_eq!(t.mesh(DEVICE_MEDIUM).len(), 4, "hub + regional + 2 mirrors");
+    }
+
+    #[test]
+    fn peer_ids_roundtrip_and_route_keys_pin_the_uplink() {
+        let id = peer_source_id(DEVICE_SMALL);
+        assert_eq!(id, RegistryId(REGISTRY_PEER_BASE.0 + 1));
+        assert_eq!(peer_holder(id), Some(DEVICE_SMALL));
+        assert_eq!(peer_holder(RegistryChoice::Hub.registry_id()), None);
+        assert_eq!(peer_holder(REGISTRY_PEER), None);
+        assert_eq!(peer_holder(REGISTRY_MIRROR_BASE), None);
+        // Registry routes contend per pulling device; peer traffic
+        // contends on the holder's uplink regardless of who pulls.
+        assert_eq!(route_key(RegistryChoice::Hub.registry_id(), DEVICE_SMALL), (RegistryId(0), 1));
+        assert_eq!(route_key(id, DEVICE_MEDIUM), (id, 1));
+        assert_eq!(route_key(id, DEVICE_CLOUD), (id, 1));
+    }
+
+    #[test]
+    fn default_peer_plane_is_the_uniform_mesh() {
+        let t = Testbed::paper();
+        assert!(!t.peer_plane.is_aggregate());
+        assert_eq!(t.peer_bandwidth(DEVICE_MEDIUM, DEVICE_SMALL), t.params.peer_bw);
+        assert_eq!(t.peer_bandwidth(DEVICE_SMALL, DEVICE_MEDIUM), t.params.peer_bw);
+        // Per-holder source params come off the plane, matching the
+        // scalar parameters exactly on the uniform default.
+        let p =
+            t.source_params(RegistryChoice::mesh(peer_source_id(DEVICE_MEDIUM)), DEVICE_SMALL, 1.0);
+        assert_eq!(p.download_bw, t.params.peer_bw);
+        assert_eq!(p.overhead, t.params.peer_overhead);
+        let slowed =
+            t.source_params(RegistryChoice::mesh(peer_source_id(DEVICE_MEDIUM)), DEVICE_SMALL, 1.1);
+        assert!(slowed.download_bw.as_bytes_per_sec() < p.download_bw.as_bytes_per_sec());
+    }
+
+    #[test]
+    fn peer_links_and_uplinks_can_be_dented() {
+        let mut t = Testbed::continuum();
+        t.set_peer_link(DEVICE_MEDIUM, DEVICE_SMALL, Bandwidth::megabytes_per_sec(40.0));
+        assert_eq!(
+            t.peer_bandwidth(DEVICE_MEDIUM, DEVICE_SMALL),
+            Bandwidth::megabytes_per_sec(40.0)
+        );
+        // Directional: the reverse pair keeps the uniform rate.
+        assert_eq!(t.peer_bandwidth(DEVICE_SMALL, DEVICE_MEDIUM), t.params.peer_bw);
+        // A throttled uplink dents every link from the holder.
+        t.set_peer_uplink(DEVICE_CLOUD, Bandwidth::megabytes_per_sec(10.0));
+        assert_eq!(
+            t.peer_bandwidth(DEVICE_CLOUD, DEVICE_MEDIUM),
+            Bandwidth::megabytes_per_sec(10.0)
+        );
+        assert_eq!(
+            t.peer_bandwidth(DEVICE_CLOUD, DEVICE_SMALL),
+            Bandwidth::megabytes_per_sec(10.0)
+        );
+        // Links *to* the throttled holder are untouched.
+        assert_eq!(t.peer_bandwidth(DEVICE_MEDIUM, DEVICE_CLOUD), t.params.peer_bw);
+    }
+
+    #[test]
+    fn per_pair_snapshots_split_by_holder_and_skip_empty_caches() {
+        let mut t = Testbed::continuum();
+        let digest = deep_registry::Digest::of(b"warm-layer");
+        t.device_mut(DEVICE_CLOUD).cache.insert(digest.clone(), DataSize::megabytes(10.0));
+        let caches: Vec<&LayerCache> = t.devices.iter().map(|d| &d.cache).collect();
+        // Per-pair: only the cloud advertises (medium/small are empty),
+        // under its own holder id, excluding itself.
+        let sources = t.peer_plane.snapshot(&caches, DEVICE_MEDIUM.0);
+        assert_eq!(sources.len(), 1);
+        assert_eq!(sources[0].0, peer_source_id(DEVICE_CLOUD));
+        assert_eq!(sources[0].1.holder(), Some(DEVICE_CLOUD));
+        assert!(sources[0].1.has_blob(&digest));
+        assert!(t.peer_plane.snapshot(&caches, DEVICE_CLOUD.0).is_empty(), "no self-serving");
+        // The aggregate oracle folds everyone into one anonymous source.
+        t.peer_plane = PeerPlane::Aggregate;
+        let folded = t.peer_plane.snapshot(&caches, DEVICE_MEDIUM.0);
+        assert_eq!(folded.len(), 1);
+        assert_eq!(folded[0].0, REGISTRY_PEER);
+        assert_eq!(folded[0].1.holder(), None);
+        assert!(folded[0].1.has_blob(&digest));
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "not a TestbedParams route")]
+    fn unknown_route_ids_are_a_debug_assertion() {
+        // Regression for the wildcard fallthrough that silently priced
+        // any unknown id — mirrors included — as a peer.
+        let p = TestbedParams::default();
+        let _ = p.route_bandwidth(RegistryChoice::mesh(REGISTRY_MIRROR_BASE), DEVICE_MEDIUM);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "carries no TestbedParams overhead")]
+    fn unknown_overhead_ids_are_a_debug_assertion() {
+        let p = TestbedParams::default();
+        let _ = p.overhead(RegistryChoice::mesh(RegistryId(17)));
     }
 
     #[test]

@@ -37,8 +37,11 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
-echo "==> cargo bench --no-run (bench targets must keep compiling)"
-cargo bench --no-run
+echo "==> cargo bench -- --test (every bench body must execute cleanly)"
+# The vendored criterion honours real criterion's --test flag: each
+# benchmark body runs exactly once, untimed, so bench bit-rot fails
+# tier 1 without paying measurement windows.
+cargo bench -- --test
 
 echo "==> examples smoke-run (every example must execute cleanly)"
 for example in examples/*.rs; do

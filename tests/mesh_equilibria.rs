@@ -365,13 +365,13 @@ fn peer_mesh_equilibrium_beats_the_best_single_registry_schedule() {
     );
     // "Measurably lower": the fleet-resident layers ride the peer LAN.
     assert!(mesh_td < best_single * 0.95, "{mesh_td} vs {best_single}");
-    let peer_mb = report
-        .downloaded_by_source()
-        .iter()
-        .find(|(id, _)| *id == REGISTRY_PEER)
-        .map(|(_, mb)| *mb)
-        .unwrap_or(0.0);
-    assert!(peer_mb > 1_000.0, "peer route served the stack: {:?}", report.downloaded_by_source());
+    assert!(
+        report.peer_downloaded_mb() > 1_000.0,
+        "peer links served the stack: {:?}",
+        report.downloaded_by_source()
+    );
+    // The per-holder breakdown names the warm medium device.
+    assert_eq!(report.downloaded_by_peer()[0].0, DEVICE_MEDIUM);
 }
 
 #[test]

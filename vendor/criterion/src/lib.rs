@@ -2,6 +2,11 @@
 //! adaptive timing loop, human-readable one-line reports. Good enough to
 //! compare kernels before/after on one machine; not a statistics engine.
 //!
+//! Like real criterion, passing `--test` on the bench binary's command
+//! line (`cargo bench -- --test`) runs every benchmark body exactly once
+//! without timing — the smoke mode CI uses to keep bench targets from
+//! bit-rotting without paying measurement windows.
+//!
 //! Tuning via environment:
 //! * `BENCH_MEASURE_MS` — target measurement window per benchmark
 //!   (default 300 ms).
@@ -13,18 +18,25 @@ use std::time::{Duration, Instant};
 pub struct Bencher {
     measure: Duration,
     warmup: Duration,
+    test_mode: bool,
     /// (iterations, elapsed) of the measured window.
     result: Option<(u64, Duration)>,
 }
 
 impl Bencher {
-    fn new(measure: Duration, warmup: Duration) -> Self {
-        Bencher { measure, warmup, result: None }
+    fn new(measure: Duration, warmup: Duration, test_mode: bool) -> Self {
+        Bencher { measure, warmup, test_mode, result: None }
     }
 
     /// Time the closure: warm up, then run batches until the measurement
-    /// window is filled.
+    /// window is filled. In `--test` mode the closure runs once,
+    /// untimed.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            std::hint::black_box(f());
+            self.result = None;
+            return;
+        }
         // Warmup, also estimating a batch size.
         let warm_start = Instant::now();
         let mut warm_iters: u64 = 0;
@@ -85,6 +97,7 @@ impl From<&str> for BenchmarkId {
 pub struct Criterion {
     measure: Duration,
     warmup: Duration,
+    test_mode: bool,
 }
 
 fn env_ms(var: &str, default_ms: u64) -> Duration {
@@ -100,6 +113,7 @@ impl Default for Criterion {
         Criterion {
             measure: env_ms("BENCH_MEASURE_MS", 300),
             warmup: env_ms("BENCH_WARMUP_MS", 100),
+            test_mode: std::env::args().skip(1).any(|a| a == "--test"),
         }
     }
 }
@@ -132,10 +146,12 @@ fn report(name: &str, iters: u64, elapsed: Duration, throughput: Option<Throughp
 
 impl Criterion {
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
-        let mut b = Bencher::new(self.measure, self.warmup);
+        let mut b = Bencher::new(self.measure, self.warmup, self.test_mode);
         f(&mut b);
-        if let Some((iters, elapsed)) = b.result {
-            report(id, iters, elapsed, None);
+        match b.result {
+            Some((iters, elapsed)) => report(id, iters, elapsed, None),
+            None if self.test_mode => println!("Testing {id}: ok"),
+            None => {}
         }
         self
     }
@@ -179,10 +195,15 @@ impl BenchmarkGroup<'_> {
         mut f: F,
     ) -> &mut Self {
         let id = id.into();
-        let mut b = Bencher::new(self.criterion.measure, self.criterion.warmup);
+        let mut b =
+            Bencher::new(self.criterion.measure, self.criterion.warmup, self.criterion.test_mode);
         f(&mut b);
-        if let Some((iters, elapsed)) = b.result {
-            report(&format!("{}/{}", self.name, id.id), iters, elapsed, self.throughput);
+        match b.result {
+            Some((iters, elapsed)) => {
+                report(&format!("{}/{}", self.name, id.id), iters, elapsed, self.throughput)
+            }
+            None if self.criterion.test_mode => println!("Testing {}/{}: ok", self.name, id.id),
+            None => {}
         }
         self
     }
@@ -193,10 +214,15 @@ impl BenchmarkGroup<'_> {
         input: &I,
         mut f: F,
     ) -> &mut Self {
-        let mut b = Bencher::new(self.criterion.measure, self.criterion.warmup);
+        let mut b =
+            Bencher::new(self.criterion.measure, self.criterion.warmup, self.criterion.test_mode);
         f(&mut b, input);
-        if let Some((iters, elapsed)) = b.result {
-            report(&format!("{}/{}", self.name, id.id), iters, elapsed, self.throughput);
+        match b.result {
+            Some((iters, elapsed)) => {
+                report(&format!("{}/{}", self.name, id.id), iters, elapsed, self.throughput)
+            }
+            None if self.criterion.test_mode => println!("Testing {}/{}: ok", self.name, id.id),
+            None => {}
         }
         self
     }
@@ -229,6 +255,15 @@ macro_rules! criterion_main {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn test_mode_runs_the_body_once_without_timing() {
+        let mut b = Bencher::new(Duration::from_millis(200), Duration::from_millis(200), true);
+        let mut runs = 0u32;
+        b.iter(|| runs += 1);
+        assert_eq!(runs, 1, "--test mode runs exactly one untimed iteration");
+        assert!(b.result.is_none());
+    }
 
     #[test]
     fn bencher_measures_something() {
