@@ -33,14 +33,22 @@ use serde::{Deserialize, Serialize};
 /// device's.
 pub fn continuum_testbed() -> Testbed {
     let mut tb = Testbed::continuum();
-    let rows = calibrate(&mut tb);
+    calibrate_continuum(&mut tb);
+    tb
+}
+
+/// Apply the full continuum calibration to an already-built three-device
+/// testbed: the Table II edge calibration plus the cloud-tier parameters
+/// above. Factored out of [`continuum_testbed`] so scenario-built
+/// testbeds ([`crate::soak::scenario_testbed`]) calibrate identically.
+pub fn calibrate_continuum(tb: &mut Testbed) {
+    let rows = calibrate(tb);
     for (paper, cal) in paper_rows().iter().zip(&rows) {
         let key = format!("{}/{}", paper.application, paper.microservice);
         let cloud = tb.device_mut(DEVICE_CLOUD);
         cloud.set_speed_factor(&key, 1.0);
         cloud.set_process_power(&key, cal.p_medium.scale(1.25));
     }
-    tb
 }
 
 /// Rebuild `app` with the given microservices pinned to a device class.

@@ -55,6 +55,14 @@
 //!   happy-path stack; under a lossy regional the equilibrium reroutes
 //!   risk-weighted bytes toward the hub and reliable mirrors
 //!   (`tests/fault_injection.rs`, `examples/fault_sweep.rs`, PERF.md).
+//! * **Scenario-priced payoffs** — with
+//!   [`DeepScheduler::scenario_priced`] the payoffs are
+//!   simulation-in-the-loop Monte-Carlo `E[Td]` over the *exact* fault
+//!   plans a `deep-scenario` scenario's replications will draw,
+//!   clock-gated on its scripted outage windows: a source dark at the
+//!   estimator's wave clock prices its full failover, so the
+//!   equilibrium routes *around a window* instead of averaging over it
+//!   (see [`soak::run_scenario`] and `docs/SCENARIOS.md`).
 //!
 //! Architecture (paper Figure 1) mapped to modules:
 //!
@@ -90,17 +98,21 @@ pub mod model;
 pub mod nash;
 pub mod pareto;
 pub mod report;
+pub mod soak;
 
 pub use ablation::{run_all as run_ablations, AblationRow};
 pub use baselines::{ExclusiveRegistry, GreedyDecoupled, RandomScheduler, RoundRobin};
 pub use calibration::{calibrate, paper_rows, CalibratedRow, PaperRow};
-pub use continuum::{compare as continuum_compare, continuum_testbed, ContinuumRow};
+pub use continuum::{
+    calibrate_continuum, compare as continuum_compare, continuum_testbed, ContinuumRow,
+};
 pub use distribution::{distribution_table, DistributionRow};
 pub use experiment::{Experiments, Fig3aResult, Fig3bResult, HeadlineResult};
 pub use fleet::{run_fleet, run_fleet_cold, FleetConfig, FleetReport};
-pub use model::{Estimate, EstimationContext};
+pub use model::{Estimate, EstimationContext, ScenarioPricing};
 pub use nash::{DeepScheduler, WaveRouteGame};
 pub use pareto::{distance_to_front, enumerate_profiles, pareto_front, EvaluatedProfile};
+pub use soak::{run_scenario, scenario_scheduler, scenario_testbed, ScenarioOutcome};
 
 use deep_dataflow::Application;
 use deep_simulator::{Schedule, Testbed};

@@ -31,10 +31,46 @@
 
 use deep_dataflow::{Application, MicroserviceId};
 use deep_energy::Joules;
-use deep_netsim::{DataSize, DeviceId, RegistryId, Seconds};
-use deep_registry::{FaultModel, LayerCache, PeerCacheSource, PullSession, RegistryMesh};
+use deep_netsim::{Bandwidth, DataSize, DeviceId, RegistryId, Seconds};
+use deep_registry::{
+    FaultModel, LayerCache, PeerCacheSource, Platform, PullOutcome, PullSession, Reference,
+    RegistryMesh,
+};
 use deep_simulator::{route_key, Placement, RegistryChoice, Testbed};
 use std::collections::HashMap;
+
+/// Simulation-in-the-loop pricing of a scripted scenario: `E[Td]` is a
+/// Monte-Carlo expectation over the *exact* fault plans the scenario's
+/// replications will draw (seeds `seed..seed + draws`), clock-gated on
+/// the testbed's scripted outage windows at the estimator's wave clock.
+///
+/// Three things distinguish this from the closed-form
+/// [`EstimationContext::price_faults`] path:
+///
+/// * the death probability of a pull is its *empirical* frequency over
+///   the replication seed stream (the same `pull_fatal` cells the
+///   injecting executor consults, under the executor's pull numbering),
+///   not the analytic rate;
+/// * sources the scenario scripts dark at the wave clock leave the mesh
+///   for both branches — a dark primary prices its full failover, so
+///   the scheduler routes *around a window* rather than averaging over
+///   it;
+/// * degradation windows slow the affected sources' bandwidth exactly
+///   as the executor's clock-gated load factor does.
+///
+/// With no windows and zero rates the pricing is float-identical to the
+/// happy path, so scenario-priced schedules degrade byte-for-byte to
+/// the paper ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScenarioPricing {
+    /// Fault-plan draws per estimate. Match the scenario's replication
+    /// count to enumerate the realized seed stream exactly.
+    pub draws: u32,
+    /// Base seed of the draw stream — match the scenario's seed so the
+    /// draws are the plans [`deep_simulator::ExecutorConfig`]s built by
+    /// the scenario's replications actually inject.
+    pub seed: u64,
+}
 
 /// A predicted `(Td, Tc, Tp, EC)` for one candidate assignment.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -82,6 +118,28 @@ pub struct EstimationContext<'t> {
     /// (surviving-source re-fetch) plus the expected retry backoff of
     /// the transient channel into every estimate.
     price_faults: bool,
+    /// Price scripted scenarios: Monte-Carlo `E[Td]` over the
+    /// replication seed stream, clock-gated on the scripted outage
+    /// windows (see [`ScenarioPricing`]). Supersedes `price_faults`
+    /// when set.
+    scenario: Option<ScenarioPricing>,
+    /// The estimator's image of the executor clock: the open wave's
+    /// pulls start here. Advanced at each barrier by the previous
+    /// wave's span (longest committed happy-path pull) plus its
+    /// serialized transfer and processing phases — the jitter-free
+    /// executor's exact clock arithmetic on the happy path, a
+    /// first-order approximation once injected faults stretch realized
+    /// pulls. Only tracked under scenario pricing.
+    clock: Seconds,
+    /// Longest committed pull of the open wave.
+    wave_peak: Seconds,
+    /// Committed `Tc + Tp` of the open wave (executed serially after
+    /// the deployment barrier).
+    wave_exec: Seconds,
+    /// Pulls committed so far — the executor's pull numbering, so
+    /// scenario draws consult the same [`deep_registry::FaultPlan`]
+    /// cells the injecting executor will.
+    pulls_committed: u64,
 }
 
 /// The pull mesh one estimated/committed pull runs through: the
@@ -100,9 +158,18 @@ fn pull_mesh<'t>(
     registry: RegistryChoice,
     device: DeviceId,
     standbys: bool,
+    windows: Option<(&FaultModel, Seconds)>,
 ) -> RegistryMesh<'t> {
     let load = |id: RegistryId| {
-        testbed.params.contention_factor(*route_load.get(&route_key(id, device)).unwrap_or(&0))
+        let contention =
+            testbed.params.contention_factor(*route_load.get(&route_key(id, device)).unwrap_or(&0));
+        // Under scenario pricing, scripted degradation windows slow the
+        // affected sources exactly as the executor's clock-gated load
+        // factor does (×1.0 outside windows — bit-exact identity).
+        match windows {
+            Some((model, clock)) => contention * model.slowdown_at(id, clock),
+            None => contention,
+        }
     };
     let primary = registry.registry_id();
     let mut mesh = RegistryMesh::new();
@@ -166,6 +233,11 @@ impl<'t> EstimationContext<'t> {
             peer_sharing: false,
             peer_snapshots: Vec::new(),
             price_faults: false,
+            scenario: None,
+            clock: Seconds::ZERO,
+            wave_peak: Seconds::ZERO,
+            wave_exec: Seconds::ZERO,
+            pulls_committed: 0,
         }
     }
 
@@ -192,6 +264,17 @@ impl<'t> EstimationContext<'t> {
         self
     }
 
+    /// Price scripted scenarios (builder-style): every `Td` estimate
+    /// becomes the Monte-Carlo `E[Td]` of [`ScenarioPricing`] — death
+    /// frequency drawn over the replication seed stream at the
+    /// executor's pull numbering, dark-at-clock sources presumed dead
+    /// in both branches, degraded sources slowed. Supersedes
+    /// [`EstimationContext::price_faults`] when set.
+    pub fn scenario_pricing(mut self, pricing: Option<ScenarioPricing>) -> Self {
+        self.scenario = pricing;
+        self
+    }
+
     /// Rebuild the per-device peer snapshots from the estimated caches —
     /// the estimator's image of the executor's wave-barrier gossip
     /// round, through the same [`deep_simulator::PeerPlane::snapshot`]
@@ -206,8 +289,14 @@ impl<'t> EstimationContext<'t> {
     }
 
     /// Open a new deployment wave (stage barrier): route contention
-    /// resets and peers re-advertise their caches.
+    /// resets, peers re-advertise their caches, and (under scenario
+    /// pricing) the clock advances past the previous wave — its longest
+    /// pull, then its serialized transfer and processing phases —
+    /// mirroring the jitter-free executor's barrier arithmetic.
     pub fn begin_wave(&mut self) {
+        self.clock += self.wave_peak + self.wave_exec;
+        self.wave_peak = Seconds::ZERO;
+        self.wave_exec = Seconds::ZERO;
         self.route_load.clear();
         self.snapshot_peers();
     }
@@ -247,45 +336,67 @@ impl<'t> EstimationContext<'t> {
         let peers = self.peer_sharing.then(|| self.peer_snapshots[device.0].as_slice());
         let faults: Option<&FaultModel> =
             if self.price_faults { Some(&self.testbed.fault_model) } else { None };
-        let mesh =
-            pull_mesh(self.testbed, &self.route_load, peers, registry, device, faults.is_some());
+        let windows = self.scenario.map(|_| (&self.testbed.fault_model, self.clock));
+        let mesh = pull_mesh(
+            self.testbed,
+            &self.route_load,
+            peers,
+            registry,
+            device,
+            faults.is_some() || self.scenario.is_some(),
+            windows,
+        );
         let primary = registry.registry_id();
-        let outcome = PullSession::new(&mesh, primary)
-            .extract_bw(dev.extract_bw)
-            .estimate(&reference, dev.arch, &self.caches[device.0])
-            .expect("catalog images resolve");
-
-        let td = match faults {
-            None => outcome.deployment_time(),
-            Some(model) => {
-                let expected_happy =
-                    outcome.deployment_time() + model.expected_transient_backoff(&outcome);
-                let p = model.rates(primary).fatal_per_pull;
-                // The death branch only differs when the primary would
-                // serve bytes: a fully-cached or fully-peer-served pull
-                // never touches the primary's data plane, so its death
-                // goes unnoticed and costs nothing.
-                let primary_serves = outcome.per_source.iter().any(|b| b.source == primary);
-                if p == 0.0 || !primary_serves {
-                    expected_happy
-                } else {
-                    let failover = PullSession::new(&mesh, primary)
-                        .extract_bw(dev.extract_bw)
-                        .presume_dead(primary)
-                        .estimate(&reference, dev.arch, &self.caches[device.0])
-                        .expect("survivors cover the catalog");
-                    // The failover branch pays the surviving-source
-                    // re-fetch, its expected transient backoff AND the
-                    // death-detection cost: the exhausted retry budget
-                    // the session burns before declaring the primary
-                    // dead (`RetryPolicy::exhausted_backoff`).
-                    let expected_failover = failover.deployment_time()
-                        + model.expected_transient_backoff(&failover)
-                        + model.retry.exhausted_backoff();
-                    Seconds::new(
-                        (1.0 - p) * expected_happy.as_f64() + p * expected_failover.as_f64(),
-                    )
-                }
+        let (outcome, td) = match self.scenario {
+            Some(pricing) => self.scenario_estimate(
+                pricing,
+                &mesh,
+                primary,
+                &reference,
+                dev.extract_bw,
+                dev.arch,
+                &self.caches[device.0],
+            ),
+            None => {
+                let outcome = PullSession::new(&mesh, primary)
+                    .extract_bw(dev.extract_bw)
+                    .estimate(&reference, dev.arch, &self.caches[device.0])
+                    .expect("catalog images resolve");
+                let td = match faults {
+                    None => outcome.deployment_time(),
+                    Some(model) => {
+                        let expected_happy =
+                            outcome.deployment_time() + model.expected_transient_backoff(&outcome);
+                        let p = model.rates(primary).fatal_per_pull;
+                        // The death branch only differs when the primary would
+                        // serve bytes: a fully-cached or fully-peer-served pull
+                        // never touches the primary's data plane, so its death
+                        // goes unnoticed and costs nothing.
+                        let primary_serves = outcome.per_source.iter().any(|b| b.source == primary);
+                        if p == 0.0 || !primary_serves {
+                            expected_happy
+                        } else {
+                            let failover = PullSession::new(&mesh, primary)
+                                .extract_bw(dev.extract_bw)
+                                .presume_dead(primary)
+                                .estimate(&reference, dev.arch, &self.caches[device.0])
+                                .expect("survivors cover the catalog");
+                            // The failover branch pays the surviving-source
+                            // re-fetch, its expected transient backoff AND the
+                            // death-detection cost: the exhausted retry budget
+                            // the session burns before declaring the primary
+                            // dead (`RetryPolicy::exhausted_backoff`).
+                            let expected_failover = failover.deployment_time()
+                                + model.expected_transient_backoff(&failover)
+                                + model.retry.exhausted_backoff();
+                            Seconds::new(
+                                (1.0 - p) * expected_happy.as_f64()
+                                    + p * expected_failover.as_f64(),
+                            )
+                        }
+                    }
+                };
+                (outcome, td)
             }
         };
         let mut tc = Seconds::ZERO;
@@ -303,6 +414,77 @@ impl<'t> EstimationContext<'t> {
         let tp = dev.processing_time(&scoped, ms.requirements.cpu);
         let ec = dev.energy(&scoped, td, tc, tp);
         Estimate { td, tc, tp, ec, downloaded: outcome.downloaded }
+    }
+
+    /// The scenario-priced `(happy outcome, E[Td])` of one candidate
+    /// pull (see [`ScenarioPricing`] for the branch semantics).
+    #[allow(clippy::too_many_arguments)]
+    fn scenario_estimate(
+        &self,
+        pricing: ScenarioPricing,
+        mesh: &RegistryMesh<'_>,
+        primary: RegistryId,
+        reference: &Reference,
+        extract_bw: Bandwidth,
+        arch: Platform,
+        cache: &LayerCache,
+    ) -> (PullOutcome, Seconds) {
+        let model = &self.testbed.fault_model;
+        // Sources scripted dark at the wave clock are gone for this
+        // pull whatever their mesh role — exactly what the executor's
+        // clock-gated wrappers (`PlannedFaults::at`) realise.
+        let dark: Vec<RegistryId> = mesh
+            .sources()
+            .map(|s| s.id())
+            .filter(|&id| id != primary && model.dark_at(id, self.clock))
+            .collect();
+        let branch = |primary_dead: bool| -> PullOutcome {
+            let mut session = PullSession::new(mesh, primary).extract_bw(extract_bw);
+            if primary_dead {
+                session = session.presume_dead(primary);
+            }
+            for &id in &dark {
+                session = session.presume_dead(id);
+            }
+            session.estimate(reference, arch, cache).expect("survivors cover the catalog")
+        };
+        let happy = branch(false);
+        let expected_happy = happy.deployment_time() + model.expected_transient_backoff(&happy);
+        // The death branch only differs when the primary would serve
+        // bytes: a fully-cached or fully-peer-served pull never touches
+        // the primary's data plane, so its death costs nothing.
+        let primary_serves = happy.per_source.iter().any(|b| b.source == primary);
+        let p = if !primary_serves {
+            0.0
+        } else if model.dark_at(primary, self.clock) {
+            // Scripted, not sampled: every replication hits the window.
+            1.0
+        } else if model.rates(primary).fatal_per_pull == 0.0 {
+            0.0
+        } else {
+            // The *empirical* death frequency of this pull number over
+            // the exact fault plans the scenario's replications draw —
+            // simulation in the loop, not the analytic rate.
+            let draws = pricing.draws.max(1);
+            let fatal = (0..draws)
+                .filter(|&d| {
+                    model
+                        .plan(pricing.seed.wrapping_add(u64::from(d)))
+                        .pull_fatal(self.pulls_committed, primary)
+                })
+                .count();
+            fatal as f64 / f64::from(draws)
+        };
+        let td = if p == 0.0 {
+            expected_happy
+        } else {
+            let failover = branch(true);
+            let expected_failover = failover.deployment_time()
+                + model.expected_transient_backoff(&failover)
+                + model.retry.exhausted_backoff();
+            Seconds::new((1.0 - p) * expected_happy.as_f64() + p * expected_failover.as_f64())
+        };
+        (happy, td)
     }
 
     /// The happy-path pull *plan* of one candidate assignment: the
@@ -326,7 +508,9 @@ impl<'t> EstimationContext<'t> {
             .unwrap_or_else(|| panic!("no image published for {}/{}", self.app.name(), ms.name));
         let reference = self.testbed.reference(entry, registry, dev.arch);
         let peers = self.peer_sharing.then(|| self.peer_snapshots[device.0].as_slice());
-        let mesh = pull_mesh(self.testbed, &self.route_load, peers, registry, device, false);
+        let windows = self.scenario.map(|_| (&self.testbed.fault_model, self.clock));
+        let mesh =
+            pull_mesh(self.testbed, &self.route_load, peers, registry, device, false, windows);
         PullSession::new(&mesh, registry.registry_id())
             .extract_bw(dev.extract_bw)
             .estimate(&reference, dev.arch, &self.caches[device.0])
@@ -347,19 +531,50 @@ impl<'t> EstimationContext<'t> {
         let entry =
             self.testbed.entry(self.app.name(), &ms.name).expect("estimate() validated the image");
         let reference = self.testbed.reference(entry, placement.registry, dev.arch);
+        let pricing = self.scenario;
+        let clock = self.clock;
         // Split borrows: the mesh reads the peer snapshots while the pull
         // mutates the target device's estimated cache.
         let EstimationContext { testbed, caches, route_load, peer_snapshots, peer_sharing, .. } =
             self;
         let peers = peer_sharing.then(|| peer_snapshots[placement.device.0].as_slice());
-        let mesh =
-            pull_mesh(testbed, route_load, peers, placement.registry, placement.device, false);
+        let windows = pricing.map(|_| (&testbed.fault_model, clock));
+        let mesh = pull_mesh(
+            testbed,
+            route_load,
+            peers,
+            placement.registry,
+            placement.device,
+            false,
+            windows,
+        );
         let outcome = PullSession::new(&mesh, placement.registry.registry_id())
             .extract_bw(dev.extract_bw)
             .pull(&reference, dev.arch, &mut caches[placement.device.0])
             .expect("catalog images resolve");
         charge_routes(route_load, testbed, &outcome, placement.device);
+        if pricing.is_some() {
+            // Clock inputs for the next barrier: the wave spans its
+            // longest pull, then the members' transfer and processing
+            // phases run serially — the jitter-free executor's
+            // arithmetic on the happy path.
+            self.wave_peak = self.wave_peak.max(outcome.deployment_time());
+            let mut exec = Seconds::ZERO;
+            for flow in self.app.incoming(id) {
+                if let Some(producer) = self.assigned[flow.from.0] {
+                    exec += self
+                        .testbed
+                        .topology
+                        .device_transfer_time(producer.device, placement.device, flow.size)
+                        .expect("testbed topology covers all devices");
+                }
+            }
+            let scoped = format!("{}/{}", self.app.name(), ms.name);
+            exec += dev.processing_time(&scoped, ms.requirements.cpu);
+            self.wave_exec += exec;
+        }
         self.assigned[id.0] = Some(placement);
+        self.pulls_committed += 1;
     }
 
     /// Admissible devices for a microservice.
@@ -686,6 +901,192 @@ mod tests {
                 &deep_registry::LayerCache::new(deep_netsim::DataSize::gigabytes(64.0)),
             )
             .unwrap()
+    }
+
+    #[test]
+    fn scenario_pricing_is_float_identical_under_a_zero_model() {
+        // No windows, zero rates: the Monte-Carlo path must collapse to
+        // the happy path bit for bit, at every strategy of every wave —
+        // the degradation clause multiplies by exactly 1.0 and p̂ = 0.
+        let tb = calibrated_testbed();
+        let app = apps::text_processing();
+        let pricing = ScenarioPricing { draws: 16, seed: 3 };
+        let mut plain = EstimationContext::new(&tb, &app);
+        let mut priced = EstimationContext::new(&tb, &app).scenario_pricing(Some(pricing));
+        for stage in deep_dataflow::stages(&app) {
+            plain.begin_wave();
+            priced.begin_wave();
+            for &id in &stage.members {
+                for registry in [RegistryChoice::Hub, RegistryChoice::Regional] {
+                    for device in [DEVICE_MEDIUM, DEVICE_SMALL] {
+                        let a = plain.estimate(id, registry, device);
+                        let b = priced.estimate(id, registry, device);
+                        assert_eq!(a.td.as_f64().to_bits(), b.td.as_f64().to_bits());
+                        assert_eq!(a.ec.as_f64().to_bits(), b.ec.as_f64().to_bits());
+                    }
+                }
+                let p = Placement { registry: RegistryChoice::Hub, device: DEVICE_MEDIUM };
+                plain.commit(id, p);
+                priced.commit(id, p);
+            }
+        }
+    }
+
+    #[test]
+    fn scenario_pricing_prices_a_dark_primary_as_its_full_failover() {
+        use deep_registry::{FaultModel, OutageWindow};
+        let regional = RegistryChoice::Regional.registry_id();
+        let mut tb = calibrated_testbed();
+        tb.fault_model = FaultModel::default().with_window(OutageWindow::dark(
+            regional,
+            Seconds::ZERO,
+            Seconds::new(1e6),
+        ));
+        let app = apps::text_processing();
+        let retrieve = app.by_name("retrieve").unwrap();
+        let pricing = ScenarioPricing { draws: 4, seed: 9 };
+        let priced = EstimationContext::new(&tb, &app)
+            .scenario_pricing(Some(pricing))
+            .estimate(retrieve, RegistryChoice::Regional, DEVICE_MEDIUM)
+            .td;
+        // The window is scripted, not sampled: p̂ = 1 and the estimate
+        // IS the failover branch — hub re-fetch plus the exhausted
+        // retry budget burnt declaring the regional dead.
+        let entry = tb.entry("text-processing", "retrieve").unwrap().clone();
+        let reference =
+            tb.reference(&entry, RegistryChoice::Regional, deep_registry::Platform::Amd64);
+        let mut mesh = tb.pull_mesh(RegistryChoice::Regional, DEVICE_MEDIUM, 1.0);
+        mesh.add_standby_registry(
+            RegistryChoice::Hub.registry_id(),
+            tb.registry(RegistryChoice::Hub),
+            tb.source_params(RegistryChoice::Hub, DEVICE_MEDIUM, 1.0),
+        );
+        let failover = PullSession::new(&mesh, regional)
+            .extract_bw(tb.device(DEVICE_MEDIUM).extract_bw)
+            .presume_dead(regional)
+            .estimate(
+                &reference,
+                deep_registry::Platform::Amd64,
+                &deep_registry::LayerCache::new(deep_netsim::DataSize::gigabytes(64.0)),
+            )
+            .unwrap();
+        let expected =
+            failover.deployment_time().as_f64() + tb.fault_model.retry.exhausted_backoff().as_f64();
+        assert!(
+            (priced.as_f64() - expected).abs() < 1e-9,
+            "dark-primary E[Td] {priced} vs failover reconstruction {expected}"
+        );
+        // The hub strategy is untouched: its standby regional is dark,
+        // but the happy branch never planned it and p̂(hub) = 0.
+        let hub_priced = EstimationContext::new(&tb, &app)
+            .scenario_pricing(Some(pricing))
+            .estimate(retrieve, RegistryChoice::Hub, DEVICE_MEDIUM)
+            .td;
+        let hub_plain = EstimationContext::new(&tb, &app)
+            .estimate(retrieve, RegistryChoice::Hub, DEVICE_MEDIUM)
+            .td;
+        assert_eq!(hub_priced.as_f64().to_bits(), hub_plain.as_f64().to_bits());
+    }
+
+    #[test]
+    fn scenario_pricing_draws_the_empirical_death_frequency() {
+        use deep_registry::{FaultModel, FaultRates};
+        let regional = RegistryChoice::Regional.registry_id();
+        let mut tb = calibrated_testbed();
+        tb.fault_model = FaultModel::default()
+            .with_source(regional, FaultRates { fatal_per_pull: 0.5, transient_per_fetch: 0.0 });
+        let app = apps::text_processing();
+        let retrieve = app.by_name("retrieve").unwrap();
+        let pricing = ScenarioPricing { draws: 8, seed: 42 };
+        // p̂ is the observed death frequency of pull #0 over the eight
+        // plans the replications would draw — not the analytic 0.5.
+        let fatal = (0..pricing.draws)
+            .filter(|&d| tb.fault_model.plan(pricing.seed + u64::from(d)).pull_fatal(0, regional))
+            .count();
+        let p_hat = fatal as f64 / f64::from(pricing.draws);
+        assert!(p_hat > 0.0 && p_hat < 1.0, "seed 42 draws a mixed sample: {p_hat}");
+        let happy = EstimationContext::new(&tb, &app)
+            .estimate(retrieve, RegistryChoice::Regional, DEVICE_MEDIUM)
+            .td;
+        let entry = tb.entry("text-processing", "retrieve").unwrap().clone();
+        let reference =
+            tb.reference(&entry, RegistryChoice::Regional, deep_registry::Platform::Amd64);
+        let mut mesh = tb.pull_mesh(RegistryChoice::Regional, DEVICE_MEDIUM, 1.0);
+        mesh.add_standby_registry(
+            RegistryChoice::Hub.registry_id(),
+            tb.registry(RegistryChoice::Hub),
+            tb.source_params(RegistryChoice::Hub, DEVICE_MEDIUM, 1.0),
+        );
+        let failover = PullSession::new(&mesh, regional)
+            .extract_bw(tb.device(DEVICE_MEDIUM).extract_bw)
+            .presume_dead(regional)
+            .estimate(
+                &reference,
+                deep_registry::Platform::Amd64,
+                &deep_registry::LayerCache::new(deep_netsim::DataSize::gigabytes(64.0)),
+            )
+            .unwrap();
+        let expected = (1.0 - p_hat) * happy.as_f64()
+            + p_hat
+                * (failover.deployment_time().as_f64()
+                    + tb.fault_model.retry.exhausted_backoff().as_f64());
+        let priced = EstimationContext::new(&tb, &app)
+            .scenario_pricing(Some(pricing))
+            .estimate(retrieve, RegistryChoice::Regional, DEVICE_MEDIUM)
+            .td;
+        assert!(
+            (priced.as_f64() - expected).abs() < 1e-9,
+            "MC E[Td] {priced} vs reconstruction {expected} (p̂ = {p_hat})"
+        );
+    }
+
+    #[test]
+    fn the_estimator_clock_walks_past_a_short_window() {
+        use deep_registry::{FaultModel, OutageWindow};
+        // A one-second dark window on the regional registry: wave-0
+        // regional pulls price their failover, but by the second wave
+        // the clock (first wave's pull + transfer + processing spans)
+        // has left the window and regional pricing is happy again.
+        let regional = RegistryChoice::Regional.registry_id();
+        let build = |windowed: bool| {
+            let mut tb = calibrated_testbed();
+            if windowed {
+                tb.fault_model = FaultModel::default().with_window(OutageWindow::dark(
+                    regional,
+                    Seconds::ZERO,
+                    Seconds::new(1.0),
+                ));
+            }
+            tb
+        };
+        let app = apps::text_processing();
+        let stages = deep_dataflow::stages(&app);
+        let tb_w = build(true);
+        let tb_z = build(false);
+        let pricing = ScenarioPricing { draws: 4, seed: 0 };
+        let mut windowed = EstimationContext::new(&tb_w, &app).scenario_pricing(Some(pricing));
+        let mut zero = EstimationContext::new(&tb_z, &app).scenario_pricing(Some(pricing));
+        windowed.begin_wave();
+        zero.begin_wave();
+        let first = stages[0].members[0];
+        let inside_w = windowed.estimate(first, RegistryChoice::Regional, DEVICE_MEDIUM).td;
+        let inside_z = zero.estimate(first, RegistryChoice::Regional, DEVICE_MEDIUM).td;
+        assert!(inside_w > inside_z, "inside the window the failover branch prices in");
+        for &id in &stages[0].members {
+            let p = Placement { registry: RegistryChoice::Hub, device: DEVICE_MEDIUM };
+            windowed.commit(id, p);
+            zero.commit(id, p);
+        }
+        windowed.begin_wave();
+        zero.begin_wave();
+        let second = stages[1].members[0];
+        let after_w = windowed.estimate(second, RegistryChoice::Regional, DEVICE_MEDIUM).td;
+        let after_z = zero.estimate(second, RegistryChoice::Regional, DEVICE_MEDIUM).td;
+        assert_eq!(
+            after_w.as_f64().to_bits(),
+            after_z.as_f64().to_bits(),
+            "past the window the pricing is bit-identical to the zero model"
+        );
     }
 
     #[test]

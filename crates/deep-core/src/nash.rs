@@ -36,7 +36,7 @@
 //! hub-vs-regional game exactly (regression-tested in
 //! `tests/mesh_equilibria.rs`).
 
-use crate::model::EstimationContext;
+use crate::model::{EstimationContext, ScenarioPricing};
 use crate::Scheduler;
 use deep_dataflow::{stages, Application, MicroserviceId};
 use deep_game::{support_enumeration, Bimatrix, CongestionGame, Matrix};
@@ -184,6 +184,14 @@ pub struct DeepScheduler {
     /// executor; with a zero fault model the payoffs — and therefore
     /// the schedules — are byte-identical to the happy-path ones.
     pub price_faults: bool,
+    /// Price scripted scenarios: payoffs become the Monte-Carlo `E[Td]`
+    /// of [`ScenarioPricing`] — death frequency drawn over the
+    /// scenario's replication seed stream at the executor's pull
+    /// numbering, clock-gated on its scripted outage windows, so the
+    /// equilibrium routes *around a window* instead of averaging over
+    /// it. Supersedes `price_faults` when set; `None` preserves the
+    /// closed-form pricing paths.
+    pub scenario: Option<ScenarioPricing>,
     /// Warm-start the joint refinement from the explicit Rosenthal form:
     /// each wave's [`WaveRouteGame`] (resources = routes + peer uplinks,
     /// subsets read off actual split-pull plans) is driven to its own
@@ -204,6 +212,7 @@ impl Default for DeepScheduler {
             max_refine_passes: 32,
             peer_sharing: false,
             price_faults: false,
+            scenario: None,
             congestion_warm_start: true,
         }
     }
@@ -235,11 +244,24 @@ impl DeepScheduler {
         DeepScheduler { price_faults: true, ..Self::default() }
     }
 
+    /// Scenario-priced variant: payoffs are simulation-in-the-loop
+    /// `E[Td]` under the testbed's full fault model *including its
+    /// scripted outage windows*, Monte-Carlo averaged over the exact
+    /// fault plans `draws` replications will realise (seeds
+    /// `seed..seed + draws` — match the scenario's own seed stream).
+    /// Pair with a `fault_injection` executor replaying the scenario;
+    /// with no windows and zero rates the payoffs — and therefore the
+    /// schedules — are byte-identical to [`DeepScheduler::paper`].
+    pub fn scenario_priced(draws: u32, seed: u64) -> Self {
+        DeepScheduler { scenario: Some(ScenarioPricing { draws, seed }), ..Self::default() }
+    }
+
     /// A fresh estimation context under this scheduler's configuration.
     fn context<'t>(&self, testbed: &'t Testbed, app: &'t Application) -> EstimationContext<'t> {
         EstimationContext::new(testbed, app)
             .peer_sharing(self.peer_sharing)
             .price_faults(self.price_faults)
+            .scenario_pricing(self.scenario)
     }
 
     /// Play the per-microservice stage games in barrier order.

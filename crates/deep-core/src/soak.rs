@@ -1,0 +1,196 @@
+//! Scenario soak harness: schedule once against a scripted testbed,
+//! replay the chaos/outage timeline across the scenario's replication
+//! seed stream, and report realized deployment statistics.
+//!
+//! This is where the `deep-scenario` DSL meets the game: a scenario
+//! fixes the fleet, the workload, the fault model (rates + scripted
+//! windows) and the chaos-event timeline; the harness runs any
+//! [`Scheduler`] through it — typically comparing
+//! [`DeepScheduler::fault_aware`] (per-pull rates only) against
+//! [`scenario_scheduler`] (Monte-Carlo `E[Td]` over the replication
+//! seeds, clock-gated on the windows) on realized mean `Td`.
+
+use crate::calibration::calibrate;
+use crate::continuum::calibrate_continuum;
+use crate::nash::DeepScheduler;
+use crate::Scheduler;
+use deep_scenario::{Scenario, TestbedBase};
+use deep_simulator::{execute_with_events, RunReport, Schedule, Testbed};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Realized statistics of one scheduler over every replication of a
+/// scenario: one schedule, `replications` seeded executor runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioOutcome {
+    /// The scenario's name (grid-expanded names keep their axis
+    /// suffixes, e.g. `soak/fault-rate=0.2`).
+    pub scenario: String,
+    /// The scheduler's [`Scheduler::name`].
+    pub scheduler: String,
+    /// The single schedule every replication replays.
+    pub schedule: Schedule,
+    /// One report per replication, in seed-stream order.
+    pub reports: Vec<RunReport>,
+}
+
+impl ScenarioOutcome {
+    /// Mean realized per-microservice deployment time across every
+    /// replication — the soak headline metric.
+    pub fn mean_td(&self) -> f64 {
+        let (sum, n) = self
+            .reports
+            .iter()
+            .flat_map(|r| r.microservices.iter())
+            .fold((0.0, 0usize), |(s, n), m| (s + m.td.as_f64(), n + 1));
+        sum / n.max(1) as f64
+    }
+
+    /// Mean realized makespan across every replication.
+    pub fn mean_makespan(&self) -> f64 {
+        let sum: f64 = self.reports.iter().map(|r| r.makespan.as_f64()).sum();
+        sum / self.reports.len().max(1) as f64
+    }
+
+    /// Mean realized total energy across every replication (J).
+    pub fn mean_energy(&self) -> f64 {
+        let sum: f64 = self.reports.iter().map(|r| r.total_energy().as_f64()).sum();
+        sum / self.reports.len().max(1) as f64
+    }
+
+    /// Pulls that lost a source fatally (scripted or sampled) across
+    /// every replication — how much failover the soak actually drove.
+    pub fn failovers(&self) -> usize {
+        self.reports
+            .iter()
+            .flat_map(|r| r.microservices.iter())
+            .filter(|m| !m.failed_sources.is_empty())
+            .count()
+    }
+}
+
+/// Build the scenario's testbed with deep-core's calibration applied:
+/// the Table II calibration for the paper base, the full continuum
+/// calibration (cloud tier included) for the continuum base. This is
+/// the closure-injection point `deep-scenario` leaves open to stay
+/// independent of this crate.
+pub fn scenario_testbed(scenario: &Scenario) -> Testbed {
+    scenario.build_testbed_with(|tb| match scenario.testbed.base {
+        TestbedBase::Paper => {
+            calibrate(tb);
+        }
+        TestbedBase::Continuum => calibrate_continuum(tb),
+    })
+}
+
+/// The DEEP scheduler a scenario calls for: scenario-priced payoffs
+/// drawn over the scenario's own `(seed, replications)` stream — so the
+/// Monte-Carlo expectation enumerates exactly the fault plans
+/// [`run_scenario`] will inject — with peer sharing matched to the
+/// executor's.
+pub fn scenario_scheduler(scenario: &Scenario) -> DeepScheduler {
+    DeepScheduler {
+        peer_sharing: scenario.peer_sharing,
+        ..DeepScheduler::scenario_priced(scenario.replications, scenario.seed)
+    }
+}
+
+/// Run `scheduler` through every replication of `scenario`: compute one
+/// schedule against the scripted testbed, then execute it
+/// `scenario.replications` times over the fault-seed stream with the
+/// scenario's chaos-event timeline. Replications run in parallel;
+/// reports come back in seed order, so the outcome is deterministic.
+pub fn run_scenario(scenario: &Scenario, scheduler: &dyn Scheduler) -> ScenarioOutcome {
+    let tb = scenario_testbed(scenario);
+    let app = scenario.application();
+    let schedule = scheduler.schedule(&app, &tb);
+    let events = scenario.chaos_events();
+    let reports: Vec<RunReport> = (0..scenario.replications)
+        .into_par_iter()
+        .map(|r| {
+            let mut run_tb = scenario_testbed(scenario);
+            let cfg = scenario.executor_config(r);
+            let (report, _) = execute_with_events(&mut run_tb, &app, &schedule, &cfg, &events)
+                .expect("scenario executes");
+            report
+        })
+        .collect();
+    ScenarioOutcome {
+        scenario: scenario.name.clone(),
+        scheduler: scheduler.name().to_string(),
+        schedule,
+        reports,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deep_simulator::{execute, ExecutorConfig, RegistryChoice};
+
+    fn zero_event_scenario() -> Scenario {
+        Scenario::parse(
+            "name = \"plain\"\napp = \"text-processing\"\nreplications = 2\n\
+             [testbed]\nbase = \"paper\"\ncalibrate = true\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn zero_event_scenarios_reproduce_the_plain_path_byte_for_byte() {
+        // A scenario with no rates, no windows and no chaos events must
+        // yield the same schedule AND the same serialized RunReports as
+        // the pre-scenario pipeline: calibrated testbed, paper
+        // scheduler, default executor.
+        let scenario = zero_event_scenario();
+        let outcome = run_scenario(&scenario, &scenario_scheduler(&scenario));
+        let mut tb = crate::calibration::calibrated_testbed();
+        let app = scenario.application();
+        let baseline_schedule = DeepScheduler::paper().schedule(&app, &tb);
+        assert_eq!(
+            serde_json::to_string(&outcome.schedule).unwrap(),
+            serde_json::to_string(&baseline_schedule).unwrap()
+        );
+        let (baseline_report, _) =
+            execute(&mut tb, &app, &baseline_schedule, &ExecutorConfig::default()).unwrap();
+        for report in &outcome.reports {
+            assert_eq!(
+                serde_json::to_string(report).unwrap(),
+                serde_json::to_string(&baseline_report).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn scripted_outage_drives_failover_and_the_priced_scheduler_avoids_it() {
+        // A sticky regional outage covering the whole run: the
+        // scenario-priced scheduler must keep every pull off the
+        // regional registry, while the realized runs confirm the
+        // window actually bites a regional-bound baseline.
+        let scenario = Scenario::parse(
+            "name = \"sticky\"\napp = \"text-processing\"\nreplications = 2\n\
+             [testbed]\nbase = \"paper\"\ncalibrate = true\n\
+             [[events]]\nkind = \"outage\"\ntarget = \"regional\"\nstart = 0.0\nduration = 1e6\n",
+        )
+        .unwrap();
+        let priced = run_scenario(&scenario, &scenario_scheduler(&scenario));
+        for id in scenario.application().ids() {
+            assert_eq!(
+                priced.schedule.placement(id).registry,
+                RegistryChoice::Hub,
+                "dark regional priced out of the equilibrium"
+            );
+        }
+        assert_eq!(priced.failovers(), 0, "routing around the window avoids all failover");
+        // The blind baseline pays the window: regional pulls die and
+        // fail over, so its realized mean Td is strictly worse.
+        let blind = run_scenario(&scenario, &crate::baselines::ExclusiveRegistry::regional());
+        assert!(blind.failovers() > 0, "regional-bound pulls hit the window");
+        assert!(
+            blind.mean_td() > priced.mean_td(),
+            "blind {} vs priced {}",
+            blind.mean_td(),
+            priced.mean_td()
+        );
+    }
+}

@@ -91,7 +91,7 @@ impl LayerCache {
         true
     }
 
-    fn evict_lru(&mut self) {
+    fn evict_lru(&mut self) -> Digest {
         let victim = self
             .entries
             .iter()
@@ -100,6 +100,20 @@ impl LayerCache {
             .expect("evict_lru called on non-empty cache");
         let (size, _) = self.entries.remove(&victim).expect("victim exists");
         self.used = self.used.saturating_sub(size);
+        victim
+    }
+
+    /// Shrink usage to at most `keep` bytes by LRU eviction, returning
+    /// the evicted digests (in eviction order). This is the
+    /// cache-pressure chaos event: the caller must retract the victims'
+    /// peer advertisements, since fleet peers may still believe this
+    /// device holds them.
+    pub fn evict_to(&mut self, keep: DataSize) -> Vec<Digest> {
+        let mut evicted = Vec::new();
+        while self.used > keep {
+            evicted.push(self.evict_lru());
+        }
+        evicted
     }
 
     /// Drop everything (device reset).
@@ -190,6 +204,21 @@ mod tests {
         assert!(c.is_empty());
         assert_eq!(c.used(), DataSize::ZERO);
         assert_eq!(c.capacity(), mb(10.0));
+    }
+
+    #[test]
+    fn evict_to_shrinks_lru_first_and_reports_victims() {
+        let mut c = LayerCache::new(mb(100.0));
+        c.insert(digest(1), mb(30.0));
+        c.insert(digest(2), mb(30.0));
+        c.insert(digest(3), mb(30.0));
+        c.touch(&digest(1)); // 2 becomes the LRU victim
+        let evicted = c.evict_to(mb(40.0));
+        assert_eq!(evicted, vec![digest(2), digest(3)]);
+        assert!(c.contains(&digest(1)));
+        assert_eq!(c.used(), mb(30.0));
+        // Already under the target: no-op.
+        assert!(c.evict_to(mb(40.0)).is_empty());
     }
 
     #[test]

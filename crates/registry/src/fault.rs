@@ -22,6 +22,13 @@
 //!   fails the remaining layers over to survivors); a transient
 //!   injection returns [`RegistryError::Transient`] (the session backs
 //!   off and retries in place).
+//! * [`OutageWindow`] — the scripted, time-indexed channel alongside
+//!   the sampled rates: a source dark (or degraded) over a half-open
+//!   interval of executor-clock time. Windows model *sticky* incidents
+//!   — a mirror down for minutes, a correlated multi-regional outage —
+//!   that a per-pull rate cannot express. The executor gates wrappers
+//!   on the clock via [`PlannedFaults::at`]; scenario files (see the
+//!   `deep-scenario` crate) script the timeline.
 //!
 //! ## The closed-form expectation contract
 //!
@@ -83,6 +90,57 @@ impl FaultRates {
     }
 }
 
+/// A scripted, time-indexed fault: one source unavailable (or degraded)
+/// over the half-open interval `[start, start + duration)` of simulated
+/// time. Unlike [`FaultRates`] — which a [`FaultPlan`] samples per pull
+/// — a window is *sticky*: it activates and clears at scripted times on
+/// the executor clock, modelling real registry incidents (a mirror dark
+/// for minutes, a correlated multi-regional outage, a throttled uplink).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OutageWindow {
+    /// The source the window applies to.
+    pub source: RegistryId,
+    /// Window start on the executor clock.
+    pub start: Seconds,
+    /// Window length; zero-duration windows are never active.
+    pub duration: Seconds,
+    /// Residual capacity during the window: `0.0` means the source is
+    /// dark (every fetch fails fatally, the session fails over);
+    /// `0 < factor < 1` means bandwidth degradation — transfers through
+    /// the source run at `factor` times the nominal rate.
+    pub factor: f64,
+}
+
+impl OutageWindow {
+    /// A full outage: the source is dark for the window.
+    pub fn dark(source: RegistryId, start: Seconds, duration: Seconds) -> Self {
+        OutageWindow { source, start, duration, factor: 0.0 }
+    }
+
+    /// A bandwidth degradation: the source serves at `factor` times its
+    /// nominal rate for the window.
+    pub fn degraded(source: RegistryId, start: Seconds, duration: Seconds, factor: f64) -> Self {
+        assert!(factor > 0.0 && factor < 1.0, "degradation factor must be in (0, 1)");
+        OutageWindow { source, start, duration, factor }
+    }
+
+    /// Window end (exclusive) on the executor clock.
+    pub fn end(&self) -> Seconds {
+        self.start + self.duration
+    }
+
+    /// Is the window active at clock time `at`? Half-open `[start, end)`
+    /// — a zero-duration window is never active.
+    pub fn active_at(&self, at: Seconds) -> bool {
+        at.as_f64() >= self.start.as_f64() && at.as_f64() < self.end().as_f64()
+    }
+
+    /// True for a full outage (`factor == 0`), false for a degradation.
+    pub fn is_dark(&self) -> bool {
+        self.factor == 0.0
+    }
+}
+
 /// The per-source fault model of a testbed: which sources are flaky, how
 /// flaky, and under which retry policy the flakiness is absorbed.
 ///
@@ -91,6 +149,8 @@ impl FaultRates {
 #[derive(Debug, Clone, Default)]
 pub struct FaultModel {
     rates: Vec<(RegistryId, FaultRates)>,
+    /// Scripted time-indexed outages, alongside the sampled rates.
+    windows: Vec<OutageWindow>,
     /// The retry policy a fault-injecting executor attaches to every
     /// pull session — the backoff schedule the transient channel feeds.
     pub retry: RetryPolicy,
@@ -124,15 +184,50 @@ impl FaultModel {
         self
     }
 
+    /// Add one scripted outage window (builder-style; windows stack —
+    /// several may cover the same source, as in a correlated incident).
+    pub fn with_window(mut self, window: OutageWindow) -> Self {
+        assert!(window.factor >= 0.0 && window.factor < 1.0, "window factor must be in [0, 1)");
+        self.windows.push(window);
+        self
+    }
+
     /// The rates assigned to `source` (zero when unlisted).
     pub fn rates(&self, source: RegistryId) -> FaultRates {
         self.rates.iter().find(|(id, _)| *id == source).map(|(_, r)| *r).unwrap_or(FaultRates::ZERO)
     }
 
-    /// True when no source has any failure probability — the model under
-    /// which injection is a byte-identical no-op.
+    /// The scripted outage windows.
+    pub fn windows(&self) -> &[OutageWindow] {
+        &self.windows
+    }
+
+    /// True when any scripted window exists.
+    pub fn has_windows(&self) -> bool {
+        !self.windows.is_empty()
+    }
+
+    /// Is `source` inside a dark window at clock time `at`?
+    pub fn dark_at(&self, source: RegistryId, at: Seconds) -> bool {
+        self.windows.iter().any(|w| w.source == source && w.is_dark() && w.active_at(at))
+    }
+
+    /// Bandwidth slowdown multiplier for `source` at clock time `at`:
+    /// the product of `1 / factor` over active degradation windows
+    /// (`1.0` outside every window). Multiplies into the executor's
+    /// contention slowdown, which divides the route bandwidth.
+    pub fn slowdown_at(&self, source: RegistryId, at: Seconds) -> f64 {
+        self.windows
+            .iter()
+            .filter(|w| w.source == source && !w.is_dark() && w.active_at(at))
+            .fold(1.0, |acc, w| acc / w.factor)
+    }
+
+    /// True when no source has any failure probability and no window is
+    /// scripted — the model under which injection is a byte-identical
+    /// no-op.
     pub fn is_zero(&self) -> bool {
-        self.rates.iter().all(|(_, r)| r.is_zero())
+        self.rates.iter().all(|(_, r)| r.is_zero()) && self.windows.is_empty()
     }
 
     /// Sample the model into a reproducible fault schedule.
@@ -140,6 +235,7 @@ impl FaultModel {
         FaultPlan {
             seed,
             rates: self.rates.clone(),
+            windows: self.windows.clone(),
             // The last allowed attempt always succeeds, so injected
             // transients can never exhaust the retry budget. Saturating:
             // the `retry` field is pub, so a zero-attempt policy written
@@ -186,6 +282,10 @@ const SALT_TRANSIENT: u64 = 0x7247_51E7_0B0F_FED5;
 pub struct FaultPlan {
     seed: u64,
     rates: Vec<(RegistryId, FaultRates)>,
+    /// Scripted windows, carried verbatim from the model: unlike the
+    /// sampled channels they are not seed-dependent — every plan of a
+    /// model shares the same outage timeline.
+    windows: Vec<OutageWindow>,
     /// Max consecutive transient injections per retry chain
     /// (`max_attempts − 1`): the last allowed attempt always succeeds.
     transient_cap: usize,
@@ -195,6 +295,20 @@ impl FaultPlan {
     /// The seed the plan was drawn with.
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// Is `source` inside a dark window at clock time `at`?
+    pub fn dark_at(&self, source: RegistryId, at: Seconds) -> bool {
+        self.windows.iter().any(|w| w.source == source && w.is_dark() && w.active_at(at))
+    }
+
+    /// Bandwidth slowdown multiplier for `source` at clock time `at`
+    /// (see [`FaultModel::slowdown_at`]).
+    pub fn slowdown_at(&self, source: RegistryId, at: Seconds) -> f64 {
+        self.windows
+            .iter()
+            .filter(|w| w.source == source && !w.is_dark() && w.active_at(at))
+            .fold(1.0, |acc, w| acc / w.factor)
     }
 
     /// Max consecutive transient injections a retry chain can see.
@@ -292,6 +406,19 @@ impl<'p, S> PlannedFaults<'p, S> {
             fetch_seq: Cell::new(0),
             consecutive: Cell::new(0),
         }
+    }
+
+    /// Gate the wrapper on the executor clock: if the plan scripts the
+    /// source dark at `clock`, the source is dead for this pull —
+    /// whether it was wrapped as primary, holder, or survivor (a
+    /// scripted incident takes standbys down too, unlike the sampled
+    /// per-pull channel whose survivors survive by assumption). With no
+    /// active window this is a no-op, preserving byte-identity.
+    pub fn at(mut self, clock: Seconds) -> Self {
+        if self.plan.dark_at(self.source, clock) {
+            self.dead = true;
+        }
+        self
     }
 
     /// Whether the fatal draw killed this source for the whole pull.
@@ -495,6 +622,95 @@ mod tests {
         let hub = HubRegistry::with_paper_catalog();
         let regional = RegionalRegistry::with_paper_catalog();
         let wrapped = PlannedFaults::primary(&hub, &plan, HUB, 0);
+        let mut mesh = RegistryMesh::new();
+        mesh.add_registry(HUB, &wrapped, params());
+        mesh.add_standby_registry(REGIONAL, &regional, params());
+        let r = Reference::new("docker.io", "sina88/vp-transcode", "amd64");
+        let out = mesh.session(HUB).pull(&r, Platform::Amd64, &mut cache()).unwrap();
+        assert_eq!(out.failed_sources, vec![HUB]);
+        assert_eq!(out.per_source.len(), 1);
+        assert_eq!(out.per_source[0].source, REGIONAL);
+    }
+
+    #[test]
+    fn outage_windows_activate_and_clear_at_scripted_bounds() {
+        let w = OutageWindow::dark(REGIONAL, Seconds::new(100.0), Seconds::new(50.0));
+        assert!(!w.active_at(Seconds::new(99.9)));
+        assert!(w.active_at(Seconds::new(100.0)), "start is inclusive");
+        assert!(w.active_at(Seconds::new(149.9)));
+        assert!(!w.active_at(Seconds::new(150.0)), "end is exclusive");
+        // Zero-duration windows never fire.
+        let z = OutageWindow::dark(REGIONAL, Seconds::new(10.0), Seconds::ZERO);
+        assert!(!z.active_at(Seconds::new(10.0)));
+
+        let model = FaultModel::default().with_window(w);
+        assert!(!model.is_zero(), "a scripted window is a fault");
+        assert!(model.dark_at(REGIONAL, Seconds::new(120.0)));
+        assert!(!model.dark_at(REGIONAL, Seconds::new(200.0)));
+        assert!(!model.dark_at(HUB, Seconds::new(120.0)), "other sources unaffected");
+        // The plan carries the same timeline regardless of seed.
+        for seed in [0, 1, 99] {
+            let plan = model.plan(seed);
+            assert!(plan.dark_at(REGIONAL, Seconds::new(120.0)));
+            assert!(!plan.dark_at(REGIONAL, Seconds::new(150.0)));
+        }
+    }
+
+    #[test]
+    fn degradation_windows_stack_into_a_slowdown_product() {
+        let model = FaultModel::default()
+            .with_window(OutageWindow::degraded(REGIONAL, Seconds::ZERO, Seconds::new(100.0), 0.5))
+            .with_window(OutageWindow::degraded(
+                REGIONAL,
+                Seconds::new(50.0),
+                Seconds::new(100.0),
+                0.25,
+            ));
+        assert!((model.slowdown_at(REGIONAL, Seconds::new(10.0)) - 2.0).abs() < 1e-12);
+        assert!((model.slowdown_at(REGIONAL, Seconds::new(75.0)) - 8.0).abs() < 1e-12);
+        assert!((model.slowdown_at(REGIONAL, Seconds::new(120.0)) - 4.0).abs() < 1e-12);
+        assert!((model.slowdown_at(REGIONAL, Seconds::new(200.0)) - 1.0).abs() < 1e-12);
+        assert!((model.slowdown_at(HUB, Seconds::new(75.0)) - 1.0).abs() < 1e-12);
+        // Degradations never register as dark.
+        assert!(!model.dark_at(REGIONAL, Seconds::new(75.0)));
+    }
+
+    #[test]
+    fn clock_gated_wrapper_dies_inside_the_window_even_as_survivor() {
+        let model = FaultModel::default().with_window(OutageWindow::dark(
+            HUB,
+            Seconds::new(100.0),
+            Seconds::new(50.0),
+        ));
+        let plan = model.plan(0);
+        let hub = HubRegistry::with_paper_catalog();
+        let digest = Digest::of(b"whatever");
+        // Outside the window: alive, byte-identical to the bare source.
+        let before = PlannedFaults::primary(&hub, &plan, HUB, 0).at(Seconds::new(50.0));
+        assert!(!before.is_dead());
+        // Inside: dead for the whole pull — and scripted incidents take
+        // survivors down too, unlike the sampled per-pull channel.
+        let during = PlannedFaults::primary(&hub, &plan, HUB, 1).at(Seconds::new(120.0));
+        assert!(during.is_dead());
+        assert!(matches!(during.fetch_blob(&digest).unwrap_err(), RegistryError::Unavailable(_)));
+        let survivor = PlannedFaults::survivor(&hub, &plan, HUB, 1).at(Seconds::new(120.0));
+        assert!(survivor.is_dead());
+        // After: the incident has cleared.
+        let after = PlannedFaults::primary(&hub, &plan, HUB, 2).at(Seconds::new(150.0));
+        assert!(!after.is_dead());
+    }
+
+    #[test]
+    fn windowed_pull_through_the_mesh_fails_over_to_a_standby() {
+        let model = FaultModel::default().with_window(OutageWindow::dark(
+            HUB,
+            Seconds::ZERO,
+            Seconds::new(300.0),
+        ));
+        let plan = model.plan(3);
+        let hub = HubRegistry::with_paper_catalog();
+        let regional = RegionalRegistry::with_paper_catalog();
+        let wrapped = PlannedFaults::primary(&hub, &plan, HUB, 0).at(Seconds::new(100.0));
         let mut mesh = RegistryMesh::new();
         mesh.add_registry(HUB, &wrapped, params());
         mesh.add_standby_registry(REGIONAL, &regional, params());

@@ -78,7 +78,7 @@ pub mod sha256;
 pub use cache::LayerCache;
 pub use catalog::{paper_catalog, CatalogEntry};
 pub use digest::Digest;
-pub use fault::{FaultModel, FaultPlan, FaultRates, PlannedFaults};
+pub use fault::{FaultModel, FaultPlan, FaultRates, OutageWindow, PlannedFaults};
 pub use gc::{collect as gc_collect, GcReport};
 pub use hub::HubRegistry;
 pub use image::{Platform, Reference};

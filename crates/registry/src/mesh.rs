@@ -560,12 +560,17 @@ pub struct PeerCacheSource {
     /// single holder rather than the aggregated fleet.
     holder: Option<deep_netsim::DeviceId>,
     blobs: HashSet<Digest>,
+    /// Layers evicted from the holder *after* the snapshot gossip round:
+    /// still advertised (`has_blob` is the stale gossip view a session
+    /// plans against), but a fetch finds them gone and fails over — the
+    /// cache-pressure chaos event of the soak harness.
+    retracted: HashSet<Digest>,
 }
 
 impl PeerCacheSource {
     /// An empty source with a display label.
     pub fn new(label: &str) -> Self {
-        PeerCacheSource { label: label.to_string(), holder: None, blobs: HashSet::new() }
+        PeerCacheSource { label: label.to_string(), ..PeerCacheSource::default() }
     }
 
     /// Snapshot every digest of `caches` into one source.
@@ -591,9 +596,28 @@ impl PeerCacheSource {
         self.holder
     }
 
-    /// Add every layer of `cache` to the snapshot.
+    /// Add every layer of `cache` to the snapshot (and re-validate any
+    /// earlier retraction the cache has since re-acquired).
     pub fn absorb(&mut self, cache: &LayerCache) {
-        self.blobs.extend(cache.digests().cloned());
+        for digest in cache.digests() {
+            self.retracted.remove(digest);
+            self.blobs.insert(digest.clone());
+        }
+    }
+
+    /// Mark an advertised layer as gone-but-still-advertised: the holder
+    /// evicted it after the gossip round. `has_blob` keeps answering
+    /// true (sessions plan against the stale advertisement), but the
+    /// fetch fails with [`RegistryError::Unavailable`] and the session
+    /// fails the layer over mid-pull. Returns whether the layer was
+    /// advertised at all.
+    pub fn retract(&mut self, digest: &Digest) -> bool {
+        if self.blobs.contains(digest) {
+            self.retracted.insert(digest.clone());
+            true
+        } else {
+            false
+        }
     }
 
     /// Number of distinct layers the peers can serve.
@@ -614,6 +638,20 @@ impl BlobSource for PeerCacheSource {
 
     fn has_blob(&self, digest: &Digest) -> bool {
         self.blobs.contains(digest)
+    }
+
+    fn fetch_blob(&self, digest: &Digest) -> Result<(), RegistryError> {
+        if self.retracted.contains(digest) {
+            return Err(RegistryError::Unavailable(format!(
+                "{} evicted {digest} after advertising it",
+                self.label
+            )));
+        }
+        if self.has_blob(digest) {
+            Ok(())
+        } else {
+            Err(RegistryError::MissingBlob(digest.clone()))
+        }
     }
 }
 
@@ -712,6 +750,47 @@ mod tests {
         assert!((out.overhead.as_f64() - 26.0).abs() < 1e-12);
         // Download time: 5200/80 + 580/13 = 65 + 44.615…
         assert!((out.download_time.as_f64() - (5200.0 / 80.0 + 580.0 / 13.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn retracted_advertisement_fails_over_mid_pull() {
+        // The peer advertises the shared stack, then evicts one layer
+        // after the gossip round: the session plans the stack onto the
+        // peer, hits the stale advertisement mid-pull, and fails the
+        // remaining layers over to the hub instead of panicking.
+        let hub = HubRegistry::with_paper_catalog();
+        let mut peer_cache = cache();
+        let warm = PullPlanner {
+            download_bw: Bandwidth::infinite(),
+            extract_bw: Bandwidth::infinite(),
+            overhead: Seconds::ZERO,
+        };
+        let la = Reference::new("docker.io", "sina88/vp-la-train", "amd64");
+        warm.pull(&hub, &la, Platform::Amd64, &mut peer_cache).unwrap();
+        let mut peer = PeerCacheSource::from_caches("peer-cache", [&peer_cache]);
+        // Retract a shared layer the upcoming pull will actually plan
+        // onto the peer (an la-only layer would never be fetched).
+        let ha = Reference::new("docker.io", "sina88/vp-ha-train", "amd64");
+        let manifest = hub.resolve(&ha, Platform::Amd64).unwrap();
+        let victim = manifest
+            .layers
+            .iter()
+            .map(|l| l.digest.clone())
+            .find(|d| peer_cache.contains(d))
+            .expect("the warm peer shares a layer with vp-ha-train");
+        assert!(peer.retract(&victim));
+        assert!(peer.has_blob(&victim), "still advertised after retraction");
+        assert!(matches!(peer.fetch_blob(&victim), Err(RegistryError::Unavailable(_))));
+
+        let mut mesh = RegistryMesh::new();
+        mesh.add_registry(HUB, &hub, hub_params());
+        mesh.add_blob_source(PEER, &peer, peer_params());
+        let out = mesh.session(HUB).pull(&ha, Platform::Amd64, &mut cache()).unwrap();
+        assert!(out.failed_sources.contains(&PEER), "{:?}", out.failed_sources);
+        assert_eq!(out.downloaded, DataSize::gigabytes(5.78), "every layer still lands");
+        // Re-absorbing a cache that holds the layer clears the retraction.
+        peer.absorb(&peer_cache);
+        assert!(peer.fetch_blob(&victim).is_ok());
     }
 
     #[test]

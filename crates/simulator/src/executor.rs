@@ -15,6 +15,7 @@
 //!   the sampling wall meter (Ketotek's flow). Analytic and instrumented
 //!   energies are both reported; they agree to instrument quantisation.
 
+use crate::chaos::{ChaosEvent, ChaosKind};
 use crate::engine::Engine;
 use crate::jitter::Jitter;
 use crate::metrics::{MicroserviceMetrics, RunReport};
@@ -199,6 +200,24 @@ pub fn execute(
     schedule: &Schedule,
     cfg: &ExecutorConfig,
 ) -> Result<(RunReport, Trace), ExecError> {
+    execute_with_events(testbed, app, schedule, cfg, &[])
+}
+
+/// [`execute`], replaying a scripted [`ChaosEvent`] timeline alongside
+/// the run: every event whose time has been reached fires at the next
+/// wave barrier, after the wave's peer gossip round (see the
+/// [`crate::chaos`] module docs for the semantics). An empty timeline
+/// is byte-identical to [`execute`]. The testbed fault model's
+/// [`deep_registry::OutageWindow`]s are also gated here, on the same
+/// clock — they require `cfg.fault_injection` (windows ride the fault
+/// plan's injection wrappers).
+pub fn execute_with_events(
+    testbed: &mut Testbed,
+    app: &Application,
+    schedule: &Schedule,
+    cfg: &ExecutorConfig,
+    events: &[ChaosEvent],
+) -> Result<(RunReport, Trace), ExecError> {
     if schedule.len() != app.len() {
         return Err(ExecError::ScheduleMismatch { app: app.len(), schedule: schedule.len() });
     }
@@ -240,11 +259,12 @@ pub fn execute(
     // sources the scheduler enumerates, or fault-pricing parity breaks.
     let registry_choices: Vec<RegistryChoice> = testbed.registry_choices();
 
-    // Split borrows: devices mutably (caches), registries immutably.
+    // Split borrows: devices and the regional registry mutably (caches;
+    // chaos events delete tags and garbage-collect), the rest immutably.
     let Testbed {
         ref mut devices,
         ref hub,
-        ref regional,
+        ref mut regional,
         ref mirrors,
         ref params,
         ref peer_plane,
@@ -259,25 +279,16 @@ pub fn execute(
     let source_params = |choice: RegistryChoice, device: DeviceId, slowdown: f64| -> SourceParams {
         crate::testbed::source_params_for(mirrors, peer_plane, params, choice, device, slowdown)
     };
-    // Full-registry backend for a strategy handle, over the split borrows.
-    let backend = |choice: RegistryChoice| -> &dyn Registry {
-        match choice.registry_id().0 {
-            0 => hub,
-            1 => regional,
-            n => mirrors
-                .iter()
-                .find(|m| m.choice == choice)
-                .map(|m| &m.registry as &dyn Registry)
-                .unwrap_or_else(|| {
-                    panic!("schedule names mesh id r{n}, testbed has no such registry")
-                }),
-        }
-    };
     // The run's sampled fault schedule, when injection is on. Pulls are
     // numbered in execution order so the schedule is queryable up front.
     let fault_plan: Option<FaultPlan> =
         if cfg.fault_injection { Some(fault_model.plan(cfg.fault_seed)) } else { None };
     let mut pull_counter: u64 = 0;
+
+    // The scripted chaos timeline, fired in time order at wave barriers.
+    let mut timeline: Vec<&ChaosEvent> = events.iter().collect();
+    timeline.sort_by(|a, b| a.at.as_f64().total_cmp(&b.at.as_f64()));
+    let mut next_event = 0usize;
 
     for (wave_idx, wave) in waves.iter().enumerate() {
         // ---- Deployment wave: concurrent contended pulls. --------------
@@ -295,17 +306,90 @@ pub fn execute(
         // Snapshots are built only for devices this wave actually deploys
         // to — a fleet wave touching a handful of devices must not pay
         // O(devices²) digest clones.
-        let peer_snapshots: HashMap<usize, Vec<(RegistryId, PeerCacheSource)>> = if cfg.peer_sharing
-        {
-            let mut targets: Vec<usize> =
-                wave.iter().map(|&id| schedule.placement(id).device.0).collect();
-            targets.sort_unstable();
-            targets.dedup();
-            let caches: Vec<&deep_registry::LayerCache> =
-                devices.iter().map(|d| &d.cache).collect();
-            targets.into_iter().map(|j| (j, peer_plane.snapshot(&caches, j))).collect()
-        } else {
-            HashMap::new()
+        let mut peer_snapshots: HashMap<usize, Vec<(RegistryId, PeerCacheSource)>> =
+            if cfg.peer_sharing {
+                let mut targets: Vec<usize> =
+                    wave.iter().map(|&id| schedule.placement(id).device.0).collect();
+                targets.sort_unstable();
+                targets.dedup();
+                let caches: Vec<&deep_registry::LayerCache> =
+                    devices.iter().map(|d| &d.cache).collect();
+                targets.into_iter().map(|j| (j, peer_plane.snapshot(&caches, j))).collect()
+            } else {
+                HashMap::new()
+            };
+        // ---- Scripted chaos: fire every event whose time has come. -----
+        // Events fire *after* the gossip round above, so an eviction
+        // leaves the wave's snapshots advertising layers the holder no
+        // longer has — the stale-advertisement incident sessions must
+        // fail over from mid-pull.
+        while next_event < timeline.len() && timeline[next_event].at.as_f64() <= clock.as_f64() {
+            let event = timeline[next_event];
+            next_event += 1;
+            let label = match &event.kind {
+                ChaosKind::CachePressure { device, keep } => {
+                    let evicted = devices[device.0].cache.evict_to(*keep);
+                    for victim in &evicted {
+                        for sources in peer_snapshots.values_mut() {
+                            for (id, src) in sources.iter_mut() {
+                                match peer_holder(*id) {
+                                    // The holder's own source: the layer is gone.
+                                    Some(holder) if holder == *device => {
+                                        src.retract(victim);
+                                    }
+                                    Some(_) => {}
+                                    // Aggregate plane: anonymous fleet source —
+                                    // retract only when no other device still
+                                    // holds the layer.
+                                    None => {
+                                        let held_elsewhere = devices
+                                            .iter()
+                                            .any(|d| d.id != *device && d.cache.contains(victim));
+                                        if !held_elsewhere {
+                                            src.retract(victim);
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    format!(
+                        "cache-pressure d{} evicted {} layer(s) (scripted t={})",
+                        device.0,
+                        evicted.len(),
+                        event.at
+                    )
+                }
+                ChaosKind::DeleteTag { repository, tag } => {
+                    regional.delete_manifest(repository, tag)?;
+                    format!("delete-tag {repository}:{tag} (scripted t={})", event.at)
+                }
+                ChaosKind::RegistryGc => {
+                    let report = deep_registry::gc_collect(regional)?;
+                    format!(
+                        "registry-gc marked {} swept {} released {} B (scripted t={})",
+                        report.marked, report.swept, report.declared_bytes_released, event.at
+                    )
+                }
+            };
+            trace.record(clock, TraceKind::ChaosEventFired, event.device(), &label);
+        }
+        // Full-registry backend for a strategy handle. Reborrows the
+        // regional registry immutably for the rest of the wave (chaos
+        // events above hold the mutable borrow).
+        let regional: &deep_registry::RegionalRegistry = regional;
+        let backend = |choice: RegistryChoice| -> &dyn Registry {
+            match choice.registry_id().0 {
+                0 => hub,
+                1 => regional,
+                n => mirrors
+                    .iter()
+                    .find(|m| m.choice == choice)
+                    .map(|m| &m.registry as &dyn Registry)
+                    .unwrap_or_else(|| {
+                        panic!("schedule names mesh id r{n}, testbed has no such registry")
+                    }),
+            }
         };
         // Completion events for the wave, popped in time order from a
         // heap preallocated to the wave width (no realloc churn when a
@@ -332,10 +416,17 @@ pub fn execute(
             // load *it* carries from earlier same-wave pulls: the
             // download route for registries, the serving device's uplink
             // for peer sources.
+            // ...and, under a scripted degradation window, by the
+            // window's residual-capacity factor (×1.0 outside windows —
+            // bit-exact identity).
             let load = |id: RegistryId| {
-                params.contention_factor(
+                let contention = params.contention_factor(
                     *route_load.get(&route_key(id, placement.device)).unwrap_or(&0),
-                )
+                );
+                match &fault_plan {
+                    Some(plan) => contention * plan.slowdown_at(id, clock),
+                    None => contention,
+                }
             };
             let pull_idx = pull_counter;
             pull_counter += 1;
@@ -346,19 +437,22 @@ pub fn execute(
             // and the wave's peer snapshot is wrapped the same way.
             let primary_faults: Option<PlannedFaults<'_, &dyn Registry>> = fault_plan
                 .as_ref()
-                .map(|plan| PlannedFaults::primary(registry, plan, primary, pull_idx));
+                .map(|plan| PlannedFaults::primary(registry, plan, primary, pull_idx).at(clock));
             let standby_faults: Vec<(RegistryChoice, PlannedFaults<'_, &dyn Registry>)> =
                 match &fault_plan {
                     Some(plan) => registry_choices
                         .iter()
                         .filter(|&&c| c != placement.registry)
                         .map(|&c| {
+                            // Clock-gated too: a scripted incident takes
+                            // standby targets down as well.
                             let wrapped = PlannedFaults::survivor(
                                 backend(c),
                                 plan,
                                 c.registry_id(),
                                 pull_idx,
-                            );
+                            )
+                            .at(clock);
                             (c, wrapped)
                         })
                         .collect(),
@@ -381,7 +475,9 @@ pub fn execute(
                                 Some(_) => PlannedFaults::holder(src, plan, *id, pull_idx),
                                 None => PlannedFaults::survivor(src, plan, *id, pull_idx),
                             };
-                            (*id, wrapped)
+                            // Peer-uplink kills are scripted as dark
+                            // windows on the peer's mesh id.
+                            (*id, wrapped.at(clock))
                         })
                         .collect(),
                     None => Vec::new(),
@@ -820,6 +916,151 @@ mod tests {
             "aggregate-blind la-train: {} vs {blind}",
             la(&aggregate)
         );
+    }
+
+    #[test]
+    fn cache_pressure_mid_soak_triggers_mid_pull_failover_not_a_panic() {
+        // Warm the medium device, then redeploy onto the cloud with peer
+        // sharing while a scripted cache-pressure event wipes the medium
+        // cache *after* the gossip round: the wave's pulls planned onto
+        // the now-stale peer advertisement must fail over mid-pull to
+        // the registry and still land every layer.
+        let app = apps::video_processing();
+        let all_hub = |device| Schedule::uniform(app.len(), RegistryChoice::Hub, device);
+        let run = |events: &[ChaosEvent]| {
+            let mut tb = Testbed::continuum();
+            execute(&mut tb, &app, &all_hub(DEVICE_MEDIUM), &ExecutorConfig::default()).unwrap();
+            let cfg = ExecutorConfig { peer_sharing: true, ..Default::default() };
+            let out = execute_with_events(
+                &mut tb,
+                &app,
+                &all_hub(crate::testbed::DEVICE_CLOUD),
+                &cfg,
+                events,
+            )
+            .unwrap();
+            (out, tb)
+        };
+        // Baseline: the peer serves the fleet-resident training stack;
+        // its trace locates the training wave's start on the clock.
+        let ((baseline, trace), _) = run(&[]);
+        assert!(!baseline.downloaded_by_peer().is_empty(), "baseline rides the peer");
+        let train_wave = trace
+            .of_kind(TraceKind::DeploymentStarted)
+            .find(|e| e.label == "ha-train")
+            .expect("training wave traced")
+            .at;
+        // Chaos: wipe the holder at that exact barrier — after the
+        // gossip round, so the wave pulls against a stale advertisement.
+        let events =
+            [ChaosEvent::cache_pressure(train_wave, DEVICE_MEDIUM, deep_netsim::DataSize::ZERO)];
+        let ((report, chaos_trace), tb) = run(&events);
+        let peer_id = crate::testbed::peer_source_id(DEVICE_MEDIUM);
+        assert!(
+            report.microservices.iter().any(|m| m.failed_sources.contains(&peer_id)),
+            "some pull hit the stale advertisement and failed over"
+        );
+        // The training wave itself got nothing from the evicted peer
+        // (waves before the event rode it legitimately).
+        let ha = report.metrics("ha-train").unwrap();
+        assert!(ha.failed_sources.contains(&peer_id), "{:?}", ha.failed_sources);
+        assert!(ha.sources.iter().all(|b| b.source != peer_id), "{:?}", ha.sources);
+        let dl = |r: &RunReport| -> f64 { r.microservices.iter().map(|m| m.downloaded_mb).sum() };
+        assert!((dl(&report) - dl(&baseline)).abs() < 1e-6, "every layer still landed");
+        let td = |r: &RunReport| -> f64 { r.microservices.iter().map(|m| m.td.as_f64()).sum() };
+        assert!(td(&report) > td(&baseline), "failover cost is visible in Td");
+        assert_eq!(chaos_trace.of_kind(TraceKind::ChaosEventFired).count(), 1);
+        assert!(tb.device(DEVICE_MEDIUM).cache.is_empty(), "the eviction really happened");
+    }
+
+    #[test]
+    fn registry_gc_event_sweeps_orphans_mid_run() {
+        // An operator un-publishes vp-transcode mid-soak, then the
+        // scripted GC pass sweeps its orphaned layers — while an
+        // unrelated deployment keeps running against the same registry.
+        let mut tb = Testbed::paper();
+        let app = apps::text_processing();
+        let events = [
+            ChaosEvent::delete_tag(Seconds::ZERO, "aau/vp-transcode", "amd64"),
+            ChaosEvent::delete_tag(Seconds::ZERO, "aau/vp-transcode", "arm64"),
+            ChaosEvent::registry_gc(Seconds::ZERO),
+        ];
+        let (report, trace) = execute_with_events(
+            &mut tb,
+            &app,
+            &all_hub_medium(&app),
+            &ExecutorConfig::default(),
+            &events,
+        )
+        .unwrap();
+        assert_eq!(report.microservices.len(), app.len());
+        let gc = trace
+            .of_kind(TraceKind::ChaosEventFired)
+            .find(|e| e.label.starts_with("registry-gc"))
+            .expect("gc event traced");
+        assert!(gc.label.contains("swept 6"), "vp-transcode's six unique layers: {}", gc.label);
+    }
+
+    #[test]
+    fn dark_window_reroutes_wave_pulls_to_survivors() {
+        // The regional registry is scripted dark across the whole run:
+        // every regional-primary pull fails over to the hub standby.
+        let mut tb = Testbed::paper();
+        tb.fault_model = tb.fault_model.clone().with_window(deep_registry::OutageWindow::dark(
+            RegistryChoice::Regional.registry_id(),
+            Seconds::ZERO,
+            Seconds::new(1e9),
+        ));
+        let app = apps::text_processing();
+        let sched = Schedule::uniform(app.len(), RegistryChoice::Regional, DEVICE_MEDIUM);
+        let cfg = ExecutorConfig { fault_injection: true, ..Default::default() };
+        let (report, _) = execute(&mut tb, &app, &sched, &cfg).unwrap();
+        for m in &report.microservices {
+            assert_eq!(
+                m.failed_sources,
+                vec![RegistryChoice::Regional.registry_id()],
+                "{} failed over",
+                m.name
+            );
+            assert!(m.sources.iter().all(|b| b.source == RegistryChoice::Hub.registry_id()));
+        }
+    }
+
+    #[test]
+    fn window_clears_on_the_executor_clock() {
+        // A short dark window covers only the first deployment wave: the
+        // later waves' regional pulls go through untouched.
+        let app = apps::text_processing();
+        let sched = |app: &Application| {
+            Schedule::uniform(app.len(), RegistryChoice::Regional, DEVICE_MEDIUM)
+        };
+        let cfg = ExecutorConfig { fault_injection: true, ..Default::default() };
+        let run = |duration: f64| {
+            let mut tb = Testbed::paper();
+            tb.fault_model = tb.fault_model.clone().with_window(deep_registry::OutageWindow::dark(
+                RegistryChoice::Regional.registry_id(),
+                Seconds::ZERO,
+                Seconds::new(duration),
+            ));
+            execute(&mut tb, &app, &sched(&app), &cfg).unwrap().0
+        };
+        let brief = run(1.0);
+        let failed: Vec<&str> = brief
+            .microservices
+            .iter()
+            .filter(|m| !m.failed_sources.is_empty())
+            .map(|m| m.name.as_str())
+            .collect();
+        assert!(!failed.is_empty(), "the first wave hits the window");
+        assert!(
+            failed.len() < brief.microservices.len(),
+            "later waves are past the window: {failed:?}"
+        );
+        // A window that opens after the run ends changes nothing.
+        let mut baseline_tb = Testbed::paper();
+        let (baseline, _) = execute(&mut baseline_tb, &app, &sched(&app), &cfg).unwrap();
+        let late = run(0.0); // zero-duration: never active
+        assert_eq!(baseline, late, "inactive windows are byte-identical");
     }
 
     #[test]

@@ -29,6 +29,7 @@
 //! * [`trace`] — the Monitoring component of Figure 1: an event log of
 //!   every deployment and execution step.
 
+pub mod chaos;
 pub mod device;
 pub mod engine;
 pub mod executor;
@@ -38,9 +39,10 @@ pub mod schedule;
 pub mod testbed;
 pub mod trace;
 
+pub use chaos::{ChaosEvent, ChaosKind};
 pub use device::SimDevice;
 pub use engine::Engine;
-pub use executor::{execute, ExecError, ExecutorConfig};
+pub use executor::{execute, execute_with_events, ExecError, ExecutorConfig};
 pub use jitter::Jitter;
 pub use metrics::{MicroserviceMetrics, RunReport};
 pub use schedule::{Placement, RegistryChoice, Schedule};

@@ -14,6 +14,9 @@ pub enum TraceKind {
     ProcessingStarted,
     ProcessingFinished,
     StageBarrierReleased,
+    /// A scripted [`crate::ChaosEvent`] fired at a wave barrier; the
+    /// label records what it did (victims evicted, blobs swept).
+    ChaosEventFired,
 }
 
 /// One monitored event.

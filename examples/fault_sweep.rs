@@ -5,8 +5,14 @@
 //! answer change as regional mirrors widen the mesh (more failover
 //! targets *and* more strategy alternatives)?
 //!
-//! For every grid cell the sweep schedules the text-processing app twice
-//! — `DeepScheduler::paper()` (happy-path payoffs) and
+//! The grid lives in `scenarios/fault_sweep.toml`: a `mirror-count` ×
+//! `fault-rate` sweep that [`Scenario::expand`] unrolls into concrete
+//! cells (first axis slowest, matching the loop nesting this example
+//! used before the DSL existed — `tests/scenario_files.rs` pins the
+//! file-driven grid to the hard-coded recipe byte-for-byte).
+//!
+//! For every cell the sweep schedules the text-processing app twice —
+//! `DeepScheduler::paper()` (happy-path payoffs) and
 //! `DeepScheduler::fault_aware()` (expected-Td payoffs under the
 //! testbed's `FaultModel`) — then executes both schedules under the
 //! *same* seeded fault plans and reports the realized mean deployment
@@ -17,74 +23,52 @@
 //! script smoke-runs every example, so this sweep executes on every
 //! push.
 
-use deep::core::{calibrate, DeepScheduler, Scheduler};
-use deep::dataflow::apps;
-use deep::netsim::{Bandwidth, Seconds};
-use deep::registry::{FaultModel, FaultRates, RetryPolicy};
-use deep::simulator::{execute, ExecutorConfig, RegistryChoice, Schedule, Testbed};
+use deep::core::{run_scenario, DeepScheduler, Scheduler};
+use deep::scenario::{Scenario, Target};
+use deep::simulator::RegistryChoice;
 
-/// Seeded fault plans per cell: enough for a stable mean while keeping
-/// the smoke run fast.
-const PLANS: u64 = 60;
-
-/// A Docker-ish retry policy: a dead registry costs 10 + 20 + 40 = 70 s
-/// of exhausted backoff before the client fails over.
-fn retry() -> RetryPolicy {
-    RetryPolicy { max_attempts: 4, base_backoff: Seconds::new(10.0), ..Default::default() }
-}
-
-fn build_testbed(mirrors: usize, rate: f64) -> Testbed {
-    let mut tb = Testbed::paper();
-    calibrate(&mut tb);
-    for k in 0..mirrors {
-        // Regional replicas at other sites, slightly different routes —
-        // reliable, unlike the lossy paper regional.
-        tb.add_regional_mirror(Bandwidth::megabytes_per_sec(10.0 + k as f64), Seconds::new(5.0));
-    }
-    tb.fault_model = FaultModel::default()
-        .with_source(
-            RegistryChoice::Regional.registry_id(),
-            FaultRates { fatal_per_pull: rate, transient_per_fetch: rate },
-        )
-        .with_retry(retry());
-    tb
-}
-
-fn realized_mean_td(mirrors: usize, rate: f64, schedule: &Schedule) -> f64 {
-    let app = apps::text_processing();
-    let mut total = 0.0;
-    for seed in 0..PLANS {
-        let mut tb = build_testbed(mirrors, rate);
-        let cfg = ExecutorConfig { fault_injection: true, fault_seed: seed, ..Default::default() };
-        let (report, _) = execute(&mut tb, &app, schedule, &cfg).expect("sweep schedule executes");
-        total += report.microservices.iter().map(|m| m.td.as_f64()).sum::<f64>();
-    }
-    total / PLANS as f64
+/// Mean over the scenario's seeded replications of the per-run summed
+/// deployment time (the sweep's historical aggregate).
+fn realized_mean_td(cell: &Scenario, scheduler: &dyn Scheduler) -> f64 {
+    let outcome = run_scenario(cell, scheduler);
+    let total: f64 = outcome
+        .reports
+        .iter()
+        .map(|r| r.microservices.iter().map(|m| m.td.as_f64()).sum::<f64>())
+        .sum();
+    total / outcome.reports.len() as f64
 }
 
 fn main() {
-    let app = apps::text_processing();
-    println!("Fault sweep — text-processing, {PLANS} seeded fault plans per cell, lossy regional:");
+    let scenario =
+        Scenario::load(concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios/fault_sweep.toml"))
+            .expect("checked-in sweep scenario parses");
+    let app = scenario.application();
+    let plans = scenario.replications;
+    println!("Fault sweep — text-processing, {plans} seeded fault plans per cell, lossy regional:");
     println!(
         "{:>8} {:>8} {:>12} {:>12} {:>8} {:>16}",
         "mirrors", "rate", "happy Td[s]", "aware Td[s]", "margin", "aware reg share"
     );
-    for mirrors in 0..=2usize {
-        for rate in [0.0, 0.1, 0.2, 0.4] {
-            let tb = build_testbed(mirrors, rate);
-            let happy = DeepScheduler::paper().schedule(&app, &tb);
-            let aware = DeepScheduler::fault_aware().schedule(&app, &tb);
-            let happy_td = realized_mean_td(mirrors, rate, &happy);
-            let aware_td = realized_mean_td(mirrors, rate, &aware);
-            let share = aware.iter().filter(|(_, p)| p.registry == RegistryChoice::Regional).count()
-                as f64
-                / app.len() as f64;
-            println!(
-                "{mirrors:>8} {rate:>8.2} {happy_td:>12.1} {aware_td:>12.1} {:>7.1}% {:>15.0}%",
-                (1.0 - aware_td / happy_td) * 100.0,
-                share * 100.0
-            );
-        }
+    for cell in scenario.expand() {
+        let mirrors = cell.testbed.mirrors;
+        let rate = cell
+            .rates
+            .iter()
+            .find(|r| r.target == Target::Regional)
+            .map_or(0.0, |r| r.fatal_per_pull);
+        let tb = deep::core::scenario_testbed(&cell);
+        let aware = DeepScheduler::fault_aware().schedule(&app, &tb);
+        let happy_td = realized_mean_td(&cell, &DeepScheduler::paper());
+        let aware_td = realized_mean_td(&cell, &DeepScheduler::fault_aware());
+        let share = aware.iter().filter(|(_, p)| p.registry == RegistryChoice::Regional).count()
+            as f64
+            / app.len() as f64;
+        println!(
+            "{mirrors:>8} {rate:>8.2} {happy_td:>12.1} {aware_td:>12.1} {:>7.1}% {:>15.0}%",
+            (1.0 - aware_td / happy_td) * 100.0,
+            share * 100.0
+        );
     }
     println!(
         "\nExpected shape: at rate 0 the schedules coincide (margin 0, the\n\

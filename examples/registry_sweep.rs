@@ -11,18 +11,30 @@
 //! mesh buys beyond any single-registry choice: layers a fleet peer
 //! already holds ride the LAN.
 //!
+//! The bandwidth and mirror-count grids live in
+//! `scenarios/registry_sweep.toml` and `scenarios/n_regional_sweep.toml`
+//! — `tests/scenario_files.rs` pins the file-driven grids to the
+//! original hard-coded recipes byte-for-byte.
+//!
 //! Run with `cargo run --example registry_sweep`.
 
 use deep::core::{
-    calibrate, continuum, continuum_testbed, DeepScheduler, ExclusiveRegistry, Scheduler,
+    calibrate, continuum, continuum_testbed, run_scenario, scenario_testbed, DeepScheduler,
+    ExclusiveRegistry, Scheduler,
 };
 use deep::dataflow::{apps, DeviceClass};
-use deep::netsim::{Bandwidth, DataSize, Seconds};
+use deep::netsim::{Bandwidth, DataSize};
 use deep::registry::{LayerCache, PeerCacheSource, Platform, Reference, SourceParams};
+use deep::scenario::Scenario;
 use deep::simulator::{
     execute, ExecutorConfig, RegistryChoice, Schedule, Testbed, TestbedParams, DEVICE_MEDIUM,
     REGISTRY_PEER,
 };
+
+fn load_scenario(file: &str) -> Scenario {
+    let path = format!("{}/scenarios/{file}", env!("CARGO_MANIFEST_DIR"));
+    Scenario::load(&path).expect("checked-in sweep scenario parses")
+}
 
 fn testbed_with_regional_small(mbps: f64) -> Testbed {
     let params = TestbedParams {
@@ -40,23 +52,18 @@ fn registry_sweep() {
         "{:>14} {:>14} {:>12} {:>12} {:>12}",
         "reg->small MB/s", "regional share", "DEEP [J]", "hub-only [J]", "reg-only [J]"
     );
-    for mbps in [2.0, 4.0, 6.0, 8.0, 9.5, 12.0, 16.0, 24.0] {
-        let tb = testbed_with_regional_small(mbps);
-        let deep_schedule = DeepScheduler::paper().schedule(&app, &tb);
-        let regional_share =
-            deep_schedule.iter().filter(|(_, p)| p.registry == RegistryChoice::Regional).count()
-                as f64
-                / app.len() as f64;
-
-        let total = |schedule: &deep::simulator::Schedule| -> f64 {
-            let mut run_tb = testbed_with_regional_small(mbps);
-            let (report, _) = execute(&mut run_tb, &app, schedule, &ExecutorConfig::default())
-                .expect("schedule executes");
-            report.total_energy().as_f64()
-        };
-        let deep = total(&deep_schedule);
-        let hub = total(&ExclusiveRegistry::hub().schedule(&app, &tb));
-        let reg = total(&ExclusiveRegistry::regional().schedule(&app, &tb));
+    for cell in load_scenario("registry_sweep.toml").expand() {
+        let mbps = cell.testbed.regional_to_small_mbps.expect("swept axis sets the override");
+        let deep_outcome = run_scenario(&cell, &DeepScheduler::paper());
+        let regional_share = deep_outcome
+            .schedule
+            .iter()
+            .filter(|(_, p)| p.registry == RegistryChoice::Regional)
+            .count() as f64
+            / app.len() as f64;
+        let deep = deep_outcome.mean_energy();
+        let hub = run_scenario(&cell, &ExclusiveRegistry::hub()).mean_energy();
+        let reg = run_scenario(&cell, &ExclusiveRegistry::regional()).mean_energy();
         println!(
             "{:>14.1} {:>13.0}% {:>12.1} {:>12.1} {:>12.1}",
             mbps,
@@ -169,31 +176,20 @@ fn n_regional_sweep() {
         "{:>9} {:>10} {:>10} {:>12}   placement distribution (registry@device: share)",
         "mirrors", "DEEP [J]", "Td [s]", "mirror share"
     );
-    for mirror_count in 0..=3usize {
-        let build = || {
-            let mut tb = Testbed::paper();
-            calibrate(&mut tb);
-            // Each mirror is a regional replica at another site: slightly
-            // better route than the paper regional, device-independent.
-            for k in 0..mirror_count {
-                tb.add_regional_mirror(
-                    Bandwidth::megabytes_per_sec(10.0 + k as f64),
-                    Seconds::new(5.0),
-                );
-            }
-            tb
-        };
-        let tb = build();
+    for cell in load_scenario("n_regional_sweep.toml").expand() {
+        let mirror_count = cell.testbed.mirrors;
+        // Each mirror is a regional replica at another site: slightly
+        // better route than the paper regional, device-independent.
+        let tb = scenario_testbed(&cell);
         let app = apps::text_processing();
-        let schedule = DeepScheduler::paper().schedule(&app, &tb);
-        let mut run_tb = build();
-        let (report, _) = execute(&mut run_tb, &app, &schedule, &ExecutorConfig::default())
-            .expect("sweep schedule executes");
+        let outcome = run_scenario(&cell, &DeepScheduler::paper());
+        let report = &outcome.reports[0];
         let td: f64 = report.microservices.iter().map(|m| m.td.as_f64()).sum();
-        let mirror_share = schedule.iter().filter(|(_, p)| tb.mirror(p.registry).is_some()).count()
-            as f64
-            / app.len() as f64;
-        let distribution = schedule
+        let mirror_share =
+            outcome.schedule.iter().filter(|(_, p)| tb.mirror(p.registry).is_some()).count() as f64
+                / app.len() as f64;
+        let distribution = outcome
+            .schedule
             .distribution()
             .into_iter()
             .map(|((r, d), f)| format!("{r}@d{}:{:.0}%", d.0, f * 100.0))

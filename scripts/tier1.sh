@@ -19,8 +19,8 @@ cd "$(dirname "$0")/.."
 # they mirror upstream APIs, not house style).
 CRATES=(
   deep deep-netsim deep-dataflow deep-energy deep-objectstore
-  deep-registry deep-game deep-simulator deep-orchestrator deep-core
-  deep-bench
+  deep-registry deep-game deep-simulator deep-orchestrator deep-scenario
+  deep-core deep-bench
 )
 PKG_FLAGS=()
 for c in "${CRATES[@]}"; do PKG_FLAGS+=(-p "$c"); done
@@ -49,5 +49,12 @@ for example in examples/*.rs; do
   echo "    -> ${name}"
   cargo run --quiet --release --example "${name}" >/dev/null
 done
+
+echo "==> scenario soak smoke (time-scaled chaos timeline through the runner)"
+# scenario_runner's no-arg default is the sticky-outage soak (covered by
+# the loop above); this pass replays the short time-scaled smoke soak so
+# the rate + degrade + cache-pressure + registry-gc event kinds all
+# execute on every push.
+cargo run --quiet --release --example scenario_runner -- scenarios/soak_smoke.toml >/dev/null
 
 echo "tier-1 OK"

@@ -18,6 +18,7 @@
 //! | [`game`] | `deep-game` | Nash-equilibrium toolkit (Nashpy replacement) |
 //! | [`simulator`] | `deep-simulator` | discrete-event two-device testbed |
 //! | [`orchestrator`] | `deep-orchestrator` | Kubernetes-like pod controller |
+//! | [`scenario`] | `deep-scenario` | TOML chaos/soak scenario DSL |
 //! | [`core`] | `deep-core` | the DEEP scheduler, baselines, experiments |
 //!
 //! ## Quickstart
@@ -48,4 +49,5 @@ pub use deep_netsim as netsim;
 pub use deep_objectstore as objectstore;
 pub use deep_orchestrator as orchestrator;
 pub use deep_registry as registry;
+pub use deep_scenario as scenario;
 pub use deep_simulator as simulator;

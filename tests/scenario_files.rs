@@ -1,0 +1,196 @@
+//! The checked-in scenario files (`scenarios/*.toml`) are load-bearing:
+//! the sweep examples drive their grids from them and the tier-1 script
+//! soaks them. These tests pin three contracts:
+//!
+//! 1. every checked-in file is in canonical [`Scenario::to_toml`] form
+//!    (so `parse ∘ to_toml` is the identity on the shipped set);
+//! 2. the file-driven grids reproduce the examples' original hard-coded
+//!    recipes byte-for-byte — serialized schedules *and* executed
+//!    [`RunReport`]s (checked on a grid subset to keep the suite fast);
+//! 3. the sticky-outage soak headline: the scenario-priced scheduler
+//!    routes around the scripted windows and beats the rate-only
+//!    `DeepScheduler::fault_aware` baseline on realized mean `Td` (the
+//!    margin PERF.md records).
+
+use deep::core::{
+    calibrate, run_scenario, scenario_scheduler, scenario_testbed, DeepScheduler, Scheduler,
+};
+use deep::netsim::{Bandwidth, Seconds};
+use deep::registry::{FaultModel, FaultRates, RetryPolicy};
+use deep::scenario::Scenario;
+use deep::simulator::{execute, ExecutorConfig, RegistryChoice, Schedule, Testbed, TestbedParams};
+
+fn load(file: &str) -> Scenario {
+    let path = format!("{}/scenarios/{file}", env!("CARGO_MANIFEST_DIR"));
+    Scenario::load(&path).expect("checked-in scenario parses")
+}
+
+#[test]
+fn checked_in_scenarios_are_in_canonical_form() {
+    for file in [
+        "fault_sweep.toml",
+        "registry_sweep.toml",
+        "n_regional_sweep.toml",
+        "soak_sticky_outage.toml",
+        "soak_smoke.toml",
+    ] {
+        let path = format!("{}/scenarios/{file}", env!("CARGO_MANIFEST_DIR"));
+        let text = std::fs::read_to_string(&path).expect("scenario file reads");
+        let scenario = Scenario::parse(&text).expect("scenario parses");
+        assert_eq!(scenario.to_toml(), text, "{file} is not in canonical to_toml form");
+    }
+}
+
+/// The original hard-coded `examples/fault_sweep.rs` testbed recipe,
+/// kept verbatim as the parity reference.
+fn fault_sweep_reference_testbed(mirrors: usize, rate: f64) -> Testbed {
+    let mut tb = Testbed::paper();
+    calibrate(&mut tb);
+    for k in 0..mirrors {
+        tb.add_regional_mirror(Bandwidth::megabytes_per_sec(10.0 + k as f64), Seconds::new(5.0));
+    }
+    tb.fault_model = FaultModel::default()
+        .with_source(
+            RegistryChoice::Regional.registry_id(),
+            FaultRates { fatal_per_pull: rate, transient_per_fetch: rate },
+        )
+        .with_retry(RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Seconds::new(10.0),
+            ..Default::default()
+        });
+    tb
+}
+
+fn schedules_match(reference: &Schedule, from_file: &Schedule, ctx: &str) {
+    assert_eq!(
+        serde_json::to_string(reference).unwrap(),
+        serde_json::to_string(from_file).unwrap(),
+        "{ctx}: file-driven schedule diverged from the hard-coded recipe"
+    );
+}
+
+#[test]
+fn fault_sweep_file_reproduces_the_hard_coded_grid() {
+    let grid = load("fault_sweep.toml").expand();
+    assert_eq!(grid.len(), 12, "3 mirror counts × 4 rates");
+    // Subset: the zero-rate corner (exercises the fault_injection flag
+    // difference, covered by the zero-fault invariant) and a lossy
+    // mirrored cell. Expansion order: first axis (mirror-count) slowest.
+    for (idx, mirrors, rate) in [(0usize, 0usize, 0.0f64), (6, 1, 0.2)] {
+        let cell = &grid[idx];
+        assert_eq!(cell.testbed.mirrors, mirrors);
+        let app = cell.application();
+        let reference_tb = fault_sweep_reference_testbed(mirrors, rate);
+        let file_tb = scenario_testbed(cell);
+        for (name, scheduler) in
+            [("paper", DeepScheduler::paper()), ("aware", DeepScheduler::fault_aware())]
+        {
+            let reference = scheduler.schedule(&app, &reference_tb);
+            let from_file = scheduler.schedule(&app, &file_tb);
+            schedules_match(&reference, &from_file, &format!("{}/{name}", cell.name));
+        }
+        // Realized execution parity over the first seeds of the stream:
+        // the original recipe always injects (`fault_injection: true`),
+        // the scenario path gates injection on a non-zero model — the
+        // zero-fault invariant makes both byte-identical at rate 0.
+        let schedule = DeepScheduler::fault_aware().schedule(&app, &reference_tb);
+        for seed in 0..3u64 {
+            let mut ref_tb = fault_sweep_reference_testbed(mirrors, rate);
+            let cfg =
+                ExecutorConfig { fault_injection: true, fault_seed: seed, ..Default::default() };
+            let (reference, _) = execute(&mut ref_tb, &app, &schedule, &cfg).unwrap();
+            let mut file_tb = scenario_testbed(cell);
+            let (from_file, _) =
+                execute(&mut file_tb, &app, &schedule, &cell.executor_config(seed as u32)).unwrap();
+            assert_eq!(
+                serde_json::to_string(&reference).unwrap(),
+                serde_json::to_string(&from_file).unwrap(),
+                "{} seed {seed}: realized report diverged",
+                cell.name
+            );
+        }
+    }
+}
+
+#[test]
+fn registry_sweep_file_reproduces_the_hard_coded_recipe() {
+    let grid = load("registry_sweep.toml").expand();
+    assert_eq!(grid.len(), 8);
+    // The paper's own operating point.
+    let cell = grid.iter().find(|c| c.testbed.regional_to_small_mbps == Some(9.5)).unwrap();
+    let app = cell.application();
+    let reference_tb = {
+        let params = TestbedParams {
+            regional_to_small: Bandwidth::megabytes_per_sec(9.5),
+            ..TestbedParams::default()
+        };
+        let mut tb = Testbed::with_params(params);
+        calibrate(&mut tb);
+        tb
+    };
+    let reference_schedule = DeepScheduler::paper().schedule(&app, &reference_tb);
+    let outcome = run_scenario(cell, &DeepScheduler::paper());
+    schedules_match(&reference_schedule, &outcome.schedule, &cell.name);
+    let mut run_tb = {
+        let params = TestbedParams {
+            regional_to_small: Bandwidth::megabytes_per_sec(9.5),
+            ..TestbedParams::default()
+        };
+        let mut tb = Testbed::with_params(params);
+        calibrate(&mut tb);
+        tb
+    };
+    let (reference_report, _) =
+        execute(&mut run_tb, &app, &reference_schedule, &ExecutorConfig::default()).unwrap();
+    assert_eq!(outcome.reports.len(), 1);
+    assert_eq!(
+        serde_json::to_string(&reference_report).unwrap(),
+        serde_json::to_string(&outcome.reports[0]).unwrap(),
+        "zero-event cell must replay the plain executor path byte-for-byte"
+    );
+}
+
+#[test]
+fn n_regional_sweep_file_reproduces_the_hard_coded_recipe() {
+    let grid = load("n_regional_sweep.toml").expand();
+    assert_eq!(grid.len(), 4);
+    let cell = &grid[2];
+    assert_eq!(cell.testbed.mirrors, 2);
+    let app = cell.application();
+    let reference_tb = {
+        let mut tb = Testbed::paper();
+        calibrate(&mut tb);
+        for k in 0..2 {
+            tb.add_regional_mirror(
+                Bandwidth::megabytes_per_sec(10.0 + k as f64),
+                Seconds::new(5.0),
+            );
+        }
+        tb
+    };
+    let reference = DeepScheduler::paper().schedule(&app, &reference_tb);
+    let outcome = run_scenario(cell, &DeepScheduler::paper());
+    schedules_match(&reference, &outcome.schedule, &cell.name);
+}
+
+#[test]
+fn sticky_outage_soak_priced_scheduler_beats_fault_aware() {
+    // The tentpole headline: under the checked-in sticky correlated
+    // outage (regional AND mirror-0 dark for the whole run) the rate-only
+    // fault_aware game still routes onto the doomed sources — it sees
+    // healthy rates — while the scenario-priced game replays the windows
+    // and keeps every pull on the hub.
+    let scenario = load("soak_sticky_outage.toml");
+    let aware = run_scenario(&scenario, &DeepScheduler::fault_aware());
+    let priced = run_scenario(&scenario, &scenario_scheduler(&scenario));
+    assert!(aware.failovers() > 0, "the blind baseline must actually hit the windows");
+    assert_eq!(priced.failovers(), 0, "routing around the windows avoids all failover");
+    for (_, placement) in priced.schedule.iter() {
+        assert_eq!(placement.registry, RegistryChoice::Hub, "dark sources priced out");
+    }
+    let margin = 1.0 - priced.mean_td() / aware.mean_td();
+    // Measured ≈ 44 % (PERF.md); assert a conservative floor so the
+    // headline cannot silently erode.
+    assert!(margin > 0.30, "realized mean-Td margin {margin:.3} fell below 30%");
+}
