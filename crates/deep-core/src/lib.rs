@@ -110,9 +110,9 @@ pub use distribution::{distribution_table, DistributionRow};
 pub use experiment::{Experiments, Fig3aResult, Fig3bResult, HeadlineResult};
 pub use fleet::{run_fleet, run_fleet_cold, FleetConfig, FleetReport};
 pub use model::{Estimate, EstimationContext, ScenarioPricing};
-pub use nash::{DeepScheduler, WaveRouteGame};
+pub use nash::{DeepScheduler, RepairOutcome, WaveRouteGame};
 pub use pareto::{distance_to_front, enumerate_profiles, pareto_front, EvaluatedProfile};
-pub use soak::{run_scenario, scenario_scheduler, scenario_testbed, ScenarioOutcome};
+pub use soak::{percentile, run_scenario, scenario_scheduler, scenario_testbed, ScenarioOutcome};
 
 use deep_dataflow::Application;
 use deep_simulator::{Schedule, Testbed};

@@ -140,6 +140,13 @@ pub struct EstimationContext<'t> {
     /// scenario draws consult the same [`deep_registry::FaultPlan`]
     /// cells the injecting executor will.
     pulls_committed: u64,
+    /// Route loads carried into the *first* wave instead of starting
+    /// clean — the online hand-off for an application admitted into a
+    /// wave other pulls already load (see
+    /// [`EstimationContext::with_initial_route_load`]). Consumed by the
+    /// first [`EstimationContext::begin_wave`]; later barriers clear as
+    /// usual.
+    initial_route_load: Option<HashMap<(RegistryId, usize), usize>>,
 }
 
 /// The pull mesh one estimated/committed pull runs through: the
@@ -238,7 +245,44 @@ impl<'t> EstimationContext<'t> {
             wave_peak: Seconds::ZERO,
             wave_exec: Seconds::ZERO,
             pulls_committed: 0,
+            initial_route_load: None,
         }
+    }
+
+    /// Start the estimator clock at `clock` instead of zero
+    /// (builder-style): an application admitted mid-soak prices its
+    /// pulls against the scripted outage windows *active at admission
+    /// time* — the arrival plane passes the online executor's wave
+    /// clock here. At `Seconds::ZERO` this is byte-identical to the
+    /// default. Only scenario pricing reads the clock.
+    pub fn at_clock(mut self, clock: Seconds) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Start the pull numbering at `pull` instead of zero
+    /// (builder-style): scenario-priced death frequencies consult the
+    /// [`deep_registry::FaultPlan`] cells of the pulls the online
+    /// executor will *actually* commit next
+    /// ([`deep_simulator::OnlineExecutor::pulls`]), keeping the
+    /// estimator/executor numbering contract across mid-soak
+    /// admissions. At `0` this is byte-identical to the default.
+    pub fn starting_pull(mut self, pull: u64) -> Self {
+        self.pulls_committed = pull;
+        self
+    }
+
+    /// Carry `load` into the first wave's route contention instead of
+    /// starting clean (builder-style): an application joining a wave
+    /// whose routes other pulls already load sees that contention in
+    /// its first-wave estimates. Applied immediately *and* re-applied
+    /// by the first [`EstimationContext::begin_wave`] (so the usual
+    /// begin-wave/estimate/commit walk prices it); later barriers
+    /// clear route load as usual.
+    pub fn with_initial_route_load(mut self, load: HashMap<(RegistryId, usize), usize>) -> Self {
+        self.route_load = load.clone();
+        self.initial_route_load = Some(load);
+        self
     }
 
     /// Price peer-cache split pulls (builder-style): mirror an executor
@@ -297,7 +341,10 @@ impl<'t> EstimationContext<'t> {
         self.clock += self.wave_peak + self.wave_exec;
         self.wave_peak = Seconds::ZERO;
         self.wave_exec = Seconds::ZERO;
-        self.route_load.clear();
+        match self.initial_route_load.take() {
+            Some(load) => self.route_load = load,
+            None => self.route_load.clear(),
+        }
         self.snapshot_peers();
     }
 
@@ -1086,6 +1133,72 @@ mod tests {
             after_w.as_f64().to_bits(),
             after_z.as_f64().to_bits(),
             "past the window the pricing is bit-identical to the zero model"
+        );
+    }
+
+    #[test]
+    fn initial_route_load_survives_the_first_barrier_only() {
+        // An app admitted into an already-loaded wave prices the carried
+        // contention in its first wave; the next barrier clears it.
+        let tb = calibrated_testbed();
+        let app = apps::text_processing();
+        let retrieve = app.by_name("retrieve").unwrap();
+        let hub_route = route_key(RegistryChoice::Hub.registry_id(), DEVICE_MEDIUM);
+        let carried: HashMap<_, _> = [(hub_route, 2usize)].into_iter().collect();
+        let mut loaded = EstimationContext::new(&tb, &app).with_initial_route_load(carried);
+        let mut clean = EstimationContext::new(&tb, &app);
+        // Priced immediately (pre-barrier) AND after the first barrier.
+        let pre = loaded.estimate(retrieve, RegistryChoice::Hub, DEVICE_MEDIUM).td;
+        loaded.begin_wave();
+        clean.begin_wave();
+        let first = loaded.estimate(retrieve, RegistryChoice::Hub, DEVICE_MEDIUM).td;
+        let baseline = clean.estimate(retrieve, RegistryChoice::Hub, DEVICE_MEDIUM).td;
+        assert_eq!(pre, first, "the builder and the first barrier agree");
+        assert!(first > baseline, "carried load slows the loaded route: {first} vs {baseline}");
+        loaded.begin_wave();
+        clean.begin_wave();
+        let second = loaded.estimate(retrieve, RegistryChoice::Hub, DEVICE_MEDIUM).td;
+        let second_clean = clean.estimate(retrieve, RegistryChoice::Hub, DEVICE_MEDIUM).td;
+        assert_eq!(second, second_clean, "the second barrier clears the carried load");
+    }
+
+    #[test]
+    fn clock_and_pull_carry_over_shift_scenario_pricing_only() {
+        use deep_registry::{FaultModel, OutageWindow};
+        // A window over [100, 200): an admission at t = 0 prices the
+        // happy path, the same admission at t = 150 prices the failover
+        // — and with zero carry-over the builders are byte-identical to
+        // the defaults.
+        let regional = RegistryChoice::Regional.registry_id();
+        let mut tb = calibrated_testbed();
+        tb.fault_model = FaultModel::default().with_window(OutageWindow::dark(
+            regional,
+            Seconds::new(100.0),
+            Seconds::new(100.0),
+        ));
+        let app = apps::text_processing();
+        let retrieve = app.by_name("retrieve").unwrap();
+        let pricing = ScenarioPricing { draws: 4, seed: 0 };
+        let priced_at = |clock: f64, pull: u64| {
+            let mut ctx = EstimationContext::new(&tb, &app)
+                .scenario_pricing(Some(pricing))
+                .at_clock(Seconds::new(clock))
+                .starting_pull(pull);
+            ctx.begin_wave();
+            ctx.estimate(retrieve, RegistryChoice::Regional, DEVICE_MEDIUM).td
+        };
+        let before = priced_at(0.0, 0);
+        let inside = priced_at(150.0, 3);
+        assert!(inside > before, "mid-window admissions price the failover: {inside} vs {before}");
+        let default_ctx = {
+            let mut ctx = EstimationContext::new(&tb, &app).scenario_pricing(Some(pricing));
+            ctx.begin_wave();
+            ctx.estimate(retrieve, RegistryChoice::Regional, DEVICE_MEDIUM).td
+        };
+        assert_eq!(
+            before.as_f64().to_bits(),
+            default_ctx.as_f64().to_bits(),
+            "zero carry-over is the default bit for bit"
         );
     }
 

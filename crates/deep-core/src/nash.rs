@@ -40,7 +40,7 @@ use crate::model::{EstimationContext, ScenarioPricing};
 use crate::Scheduler;
 use deep_dataflow::{stages, Application, MicroserviceId};
 use deep_game::{support_enumeration, Bimatrix, CongestionGame, Matrix};
-use deep_netsim::RegistryId;
+use deep_netsim::{RegistryId, Seconds};
 use deep_simulator::{route_key, Placement, RegistryChoice, Schedule, Testbed};
 use std::collections::BTreeMap;
 
@@ -162,6 +162,24 @@ impl WaveRouteGame {
     }
 }
 
+/// The result of [`DeepScheduler::incremental_repair`]: either the
+/// incumbent schedule polished by wave-local best-response dynamics, or
+/// — when the incumbent no longer fits the mesh or the repair blows its
+/// deviation budget — a full re-solve.
+#[derive(Debug, Clone)]
+pub struct RepairOutcome {
+    /// The repaired (or re-solved) schedule.
+    pub schedule: Schedule,
+    /// Unilateral deviations the repair applied. 0 when the incumbent
+    /// already sat at a wave-game equilibrium (or when every candidate
+    /// move failed the exact-cost guard); counts the moves of the full
+    /// best-response descent otherwise.
+    pub deviations: usize,
+    /// Whether the repair abandoned the incumbent and re-solved from
+    /// scratch ([`Scheduler::schedule`]).
+    pub fell_back: bool,
+}
+
 /// The DEEP scheduler.
 #[derive(Debug, Clone)]
 pub struct DeepScheduler {
@@ -203,6 +221,18 @@ pub struct DeepScheduler {
     /// already sit at a congestion equilibrium) the refinement runs
     /// exactly as before, preserving the seed-parity contract.
     pub congestion_warm_start: bool,
+    /// The estimator clock at which the deployment starts. An online
+    /// plane admitting applications mid-soak sets this to the
+    /// executor's wave clock so scenario-priced payoffs gate outage
+    /// windows against *admission* time rather than t = 0. At
+    /// [`Seconds::ZERO`] (the default) pricing is byte-identical to the
+    /// one-shot path.
+    pub start_clock: Seconds,
+    /// The executor pull number the deployment starts at — the online
+    /// analogue of `start_clock` for the per-pull fault seed stream.
+    /// At 0 (the default) pricing is byte-identical to the one-shot
+    /// path.
+    pub start_pull: u64,
 }
 
 impl Default for DeepScheduler {
@@ -214,6 +244,8 @@ impl Default for DeepScheduler {
             price_faults: false,
             scenario: None,
             congestion_warm_start: true,
+            start_clock: Seconds::ZERO,
+            start_pull: 0,
         }
     }
 }
@@ -262,6 +294,8 @@ impl DeepScheduler {
             .peer_sharing(self.peer_sharing)
             .price_faults(self.price_faults)
             .scenario_pricing(self.scenario)
+            .at_clock(self.start_clock)
+            .starting_pull(self.start_pull)
     }
 
     /// Play the per-microservice stage games in barrier order.
@@ -394,6 +428,113 @@ impl DeepScheduler {
         } else {
             profile.to_vec()
         }
+    }
+
+    /// Incrementally re-equilibrate from an incumbent schedule.
+    ///
+    /// The continuous-arrival analogue of [`Scheduler::schedule`]: when
+    /// the world shifts under a running deployment — a new application
+    /// admitted, an outage window opening or clearing — the incumbent
+    /// equilibrium is usually *almost* right, and repairing it against
+    /// the delta is far cheaper than replaying the sequential stage
+    /// games plus the full-replay joint refinement. The repair
+    /// warm-starts best-response dynamics from the incumbent inside
+    /// each wave's explicit Rosenthal game ([`WaveRouteGame`]) — closed
+    /// form per-resource costs, no support enumeration, no O(n²)
+    /// profile replays — counting every unilateral deviation taken.
+    /// The repaired profile is adopted only if it strictly improves the
+    /// exact total cost (the same guard as the congestion warm start),
+    /// so repairing an incumbent that is still an equilibrium is an
+    /// exact no-op with zero deviations.
+    ///
+    /// Falls back to a full re-solve (`fell_back = true`) when the
+    /// incumbent no longer fits the mesh (length mismatch, a registry
+    /// that left the strategy space, an inadmissible device), when the
+    /// descent spends more than `budget` deviations, or when it fails
+    /// to converge within [`DeepScheduler::max_refine_passes`] passes.
+    pub fn incremental_repair(
+        &self,
+        app: &Application,
+        testbed: &Testbed,
+        incumbent: &Schedule,
+        budget: usize,
+    ) -> RepairOutcome {
+        let full = |deviations| RepairOutcome {
+            schedule: self.schedule(app, testbed),
+            deviations,
+            fell_back: true,
+        };
+        if incumbent.len() != app.len() {
+            return full(0);
+        }
+        let profile: Vec<Placement> = app.ids().map(|id| incumbent.placement(id)).collect();
+        {
+            // The incumbent must live inside today's strategy space:
+            // mirrors may have joined or retired and admissibility may
+            // have shifted since it was solved.
+            let ctx = self.context(testbed, app);
+            let registries = ctx.registry_choices();
+            for id in app.ids() {
+                let p = profile[id.0];
+                if !registries.contains(&p.registry)
+                    || !ctx.admissible_devices(id).contains(&p.device)
+                {
+                    return full(0);
+                }
+            }
+        }
+        let mut out = profile.clone();
+        let mut deviations = 0usize;
+        let mut ctx = self.context(testbed, app);
+        for stage in stages(app) {
+            ctx.begin_wave();
+            let wave = WaveRouteGame::build(&ctx, testbed, &stage.members);
+            if !wave.resources.is_empty() {
+                let game = wave.game();
+                let mut current: Vec<usize> = wave
+                    .members
+                    .iter()
+                    .enumerate()
+                    .map(|(p, &id)| wave.strategy_index(p, out[id.0]))
+                    .collect();
+                let mut converged = false;
+                for _ in 0..self.max_refine_passes {
+                    let step = game.best_response_dynamics(current.clone(), 1);
+                    // One pass revises each player at most once, and a
+                    // revision always changes the strategy, so the
+                    // hamming distance counts the pass's moves exactly.
+                    deviations += current.iter().zip(&step.profile).filter(|(a, b)| a != b).count();
+                    if deviations > budget {
+                        return full(deviations);
+                    }
+                    current = step.profile;
+                    if step.converged {
+                        converged = true;
+                        break;
+                    }
+                }
+                if !converged {
+                    return full(deviations);
+                }
+                for (p, &id) in wave.members.iter().enumerate() {
+                    out[id.0] = wave.strategies[p][current[p]];
+                }
+            }
+            for &id in &stage.members {
+                ctx.commit(id, out[id.0]);
+            }
+        }
+        if out != profile {
+            let exact =
+                |p: &[Placement]| -> f64 { self.profile_costs(app, testbed, p).iter().sum() };
+            if exact(&out) >= exact(&profile) - 1e-9 {
+                // The wave-game moves don't pay under the exact payoffs
+                // — keep the incumbent (the seed-parity guard).
+                out = profile;
+                deviations = 0;
+            }
+        }
+        RepairOutcome { schedule: Schedule::new(out), deviations, fell_back: false }
     }
 
     /// Joint best-response refinement to a pure Nash equilibrium.
@@ -687,6 +828,72 @@ mod tests {
                 .schedule(&app, &tb);
             assert_eq!(on, off, "{}", app.name());
         }
+    }
+
+    #[test]
+    fn repair_of_an_incumbent_equilibrium_is_a_no_op() {
+        let tb = calibrated_testbed();
+        for app in apps::case_studies() {
+            let sched = DeepScheduler::paper();
+            let incumbent = sched.schedule(&app, &tb);
+            let out = sched.incremental_repair(&app, &tb, &incumbent, usize::MAX);
+            assert!(!out.fell_back, "{}", app.name());
+            assert_eq!(out.deviations, 0, "{}", app.name());
+            assert_eq!(out.schedule, incumbent, "{}", app.name());
+        }
+    }
+
+    #[test]
+    fn repair_recovers_a_perturbed_incumbent_without_a_full_resolve() {
+        // On the calibrated testbed contention is mild (alpha 0.1):
+        // sharing the fast hub route at load 2 still beats any slower
+        // exclusive route, so the wave games have nothing to repair.
+        // Crank alpha until same-wave sharing genuinely hurts.
+        let mut tb = calibrated_testbed();
+        tb.params.contention_alpha = 2.0;
+        let app = apps::text_processing();
+        let sched = DeepScheduler::paper();
+        // Everything on one route: the contended waves want to split.
+        let contended = Schedule::uniform(app.len(), RegistryChoice::Hub, DEVICE_MEDIUM);
+        let out = sched.incremental_repair(&app, &tb, &contended, usize::MAX);
+        assert!(!out.fell_back);
+        assert!(out.deviations > 0, "repair must move off the contended profile");
+        let exact = |s: &Schedule| -> f64 {
+            let p: Vec<Placement> = app.ids().map(|id| s.placement(id)).collect();
+            sched.profile_costs(&app, &tb, &p).iter().sum()
+        };
+        assert!(
+            exact(&out.schedule) < exact(&contended) - 1e-9,
+            "repaired {} vs contended {}",
+            exact(&out.schedule),
+            exact(&contended)
+        );
+    }
+
+    #[test]
+    fn repair_falls_back_when_the_incumbent_does_not_fit_the_mesh() {
+        let tb = calibrated_testbed();
+        let app = apps::video_processing();
+        let sched = DeepScheduler::paper();
+        // Wrong length: stale incumbent from a different application.
+        let stale = Schedule::uniform(app.len() + 1, RegistryChoice::Hub, DEVICE_MEDIUM);
+        let out = sched.incremental_repair(&app, &tb, &stale, usize::MAX);
+        assert!(out.fell_back);
+        assert_eq!(out.schedule, sched.schedule(&app, &tb), "fallback is the full solve");
+    }
+
+    #[test]
+    fn repair_with_a_zero_budget_falls_back_on_a_contended_incumbent() {
+        let mut tb = calibrated_testbed();
+        tb.params.contention_alpha = 2.0;
+        let app = apps::text_processing();
+        let sched = DeepScheduler::paper();
+        // Everything on one route: the wave game wants deviations, and a
+        // zero budget forbids all of them.
+        let uniform = Schedule::uniform(app.len(), RegistryChoice::Hub, DEVICE_MEDIUM);
+        let out = sched.incremental_repair(&app, &tb, &uniform, 0);
+        assert!(out.fell_back, "zero budget must reject the descent");
+        assert_eq!(out.schedule, sched.schedule(&app, &tb));
     }
 
     #[test]

@@ -67,6 +67,35 @@ impl ScenarioOutcome {
             .filter(|m| !m.failed_sources.is_empty())
             .count()
     }
+
+    /// The `p`-th percentile (0–100) of realized per-microservice
+    /// deployment time across every replication — tail behaviour the
+    /// mean hides under bursty failover.
+    pub fn percentile_td(&self, p: f64) -> f64 {
+        let samples: Vec<f64> = self
+            .reports
+            .iter()
+            .flat_map(|r| r.microservices.iter())
+            .map(|m| m.td.as_f64())
+            .collect();
+        percentile(&samples, p)
+    }
+}
+
+/// The `p`-th percentile (0–100) of `samples` by linear interpolation
+/// between closest ranks (the numpy default). Returns 0.0 on an empty
+/// slice; `p` is clamped to [0, 100].
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples are not NaN"));
+    let rank = (p.clamp(0.0, 100.0) / 100.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
 }
 
 /// Build the scenario's testbed with deep-core's calibration applied:
@@ -134,6 +163,17 @@ mod tests {
              [testbed]\nbase = \"paper\"\ncalibrate = true\n",
         )
         .unwrap()
+    }
+
+    #[test]
+    fn percentile_interpolates_between_closest_ranks() {
+        let samples = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(percentile(&samples, 0.0), 1.0);
+        assert_eq!(percentile(&samples, 100.0), 4.0);
+        assert!((percentile(&samples, 50.0) - 2.5).abs() < 1e-12);
+        assert!((percentile(&samples, 25.0) - 1.75).abs() < 1e-12);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
     }
 
     #[test]

@@ -192,6 +192,16 @@ impl FaultModel {
         self
     }
 
+    /// The model with every scripted window dropped — rates and retry
+    /// policy intact. This is the "blind scheduler" view of a scripted
+    /// incident: an executor session that sampled its plan from the full
+    /// model keeps injecting the windows, while estimators reading the
+    /// stripped model price only the rates until the outage is inferred
+    /// from observed failures (the arrival plane's online inference).
+    pub fn without_windows(&self) -> FaultModel {
+        FaultModel { rates: self.rates.clone(), windows: Vec::new(), retry: self.retry }
+    }
+
     /// The rates assigned to `source` (zero when unlisted).
     pub fn rates(&self, source: RegistryId) -> FaultRates {
         self.rates.iter().find(|(id, _)| *id == source).map(|(_, r)| *r).unwrap_or(FaultRates::ZERO)

@@ -211,6 +211,36 @@ pub enum Event {
     RegistryGc { at: f64 },
 }
 
+/// The inter-arrival law of one `[[arrivals]]` stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrivalModel {
+    /// Poisson process: exponential inter-arrival times at `rate`
+    /// arrivals per scenario second (sampled from the scenario's
+    /// splitmix64 seed stream by the arrival plane).
+    Poisson { rate: f64 },
+    /// Fixed inter-arrival gap of `interval` scenario seconds.
+    Deterministic { interval: f64 },
+    /// Explicit arrival times in scenario seconds (sorted,
+    /// non-negative).
+    Trace { times: Vec<f64> },
+}
+
+/// One `[[arrivals]]` entry: a stream of deployment requests for the
+/// scenario's application, admitted by the online arrival plane
+/// (`deep-arrival`) at executor wave barriers. Times are scenario
+/// seconds, multiplied by [`Scenario::time_scale`] like event times.
+/// Multiple entries are merged into one time-ordered request stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrivalSpec {
+    pub model: ArrivalModel,
+    /// Arrivals the stream emits (trace streams derive it from the
+    /// list).
+    pub count: usize,
+    /// Leading arrivals excluded from steady-state statistics (still
+    /// executed — they warm caches and queues).
+    pub warmup: usize,
+}
+
 /// A sweepable scenario parameter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Axis {
@@ -276,6 +306,7 @@ pub struct Scenario {
     pub retry: Option<RetrySpec>,
     pub rates: Vec<RateSpec>,
     pub events: Vec<Event>,
+    pub arrivals: Vec<ArrivalSpec>,
     pub sweep: Vec<SweepAxis>,
 }
 
@@ -409,6 +440,7 @@ impl Scenario {
                 "retry",
                 "rates",
                 "events",
+                "arrivals",
                 "sweep",
             ],
             "the scenario root",
@@ -446,6 +478,7 @@ impl Scenario {
         let retry = Self::parse_retry(&root)?;
         let rates = Self::parse_rates(&root)?;
         let events = Self::parse_events(&root, &testbed)?;
+        let arrivals = Self::parse_arrivals(&root)?;
         let sweep = Self::parse_sweep(&root)?;
 
         let scenario = Scenario {
@@ -459,6 +492,7 @@ impl Scenario {
             retry,
             rates,
             events,
+            arrivals,
             sweep,
         };
         scenario.validate_cross_refs()?;
@@ -653,6 +687,86 @@ impl Scenario {
         Ok(out)
     }
 
+    fn parse_arrivals(root: &BTreeMap<String, Value>) -> Result<Vec<ArrivalSpec>, ScenarioError> {
+        let mut out = Vec::new();
+        for table in sub_tables(root, "arrivals")? {
+            let model = req_str(table, "model", "[[arrivals]]")?;
+            let ctx = format!("[[arrivals]] model = \"{model}\"");
+            let count_warmup = |count: usize| -> Result<(usize, usize), ScenarioError> {
+                if count == 0 {
+                    return invalid(format!("`count` in {ctx} must be at least 1"));
+                }
+                let warmup = opt_index(table, "warmup", &ctx)?.unwrap_or(0);
+                if warmup >= count {
+                    return invalid(format!(
+                        "`warmup` = {warmup} in {ctx} must be below `count` = {count}: at least \
+                         one arrival has to land in the measurement phase"
+                    ));
+                }
+                Ok((count, warmup))
+            };
+            let spec = match model.as_str() {
+                "poisson" => {
+                    check_keys(table, &["model", "rate", "count", "warmup"], &ctx)?;
+                    let rate = req_float(table, "rate", &ctx)?;
+                    if !(rate > 0.0 && rate.is_finite()) {
+                        return invalid(format!(
+                            "`rate` in {ctx} must be a positive finite arrival rate, got {rate}"
+                        ));
+                    }
+                    let (count, warmup) = count_warmup(req_index(table, "count", &ctx)?)?;
+                    ArrivalSpec { model: ArrivalModel::Poisson { rate }, count, warmup }
+                }
+                "deterministic" => {
+                    check_keys(table, &["model", "interval", "count", "warmup"], &ctx)?;
+                    let interval = req_float(table, "interval", &ctx)?;
+                    if !(interval > 0.0 && interval.is_finite()) {
+                        return invalid(format!(
+                            "`interval` in {ctx} must be a positive finite gap, got {interval}"
+                        ));
+                    }
+                    let (count, warmup) = count_warmup(req_index(table, "count", &ctx)?)?;
+                    ArrivalSpec { model: ArrivalModel::Deterministic { interval }, count, warmup }
+                }
+                "trace" => {
+                    check_keys(table, &["model", "times", "warmup"], &ctx)?;
+                    let Some(values) = table.get("times").and_then(|v| v.as_array()) else {
+                        return invalid(format!("`times` in {ctx} must be an array of numbers"));
+                    };
+                    let times: Vec<f64> = values
+                        .iter()
+                        .map(|v| {
+                            v.as_float().ok_or_else(|| {
+                                ScenarioError::Invalid(format!("`times` in {ctx} must be numbers"))
+                            })
+                        })
+                        .collect::<Result<_, _>>()?;
+                    if times.is_empty() {
+                        return invalid(format!("`times` in {ctx} must be non-empty"));
+                    }
+                    if times.iter().any(|t| !(t.is_finite() && *t >= 0.0)) {
+                        return invalid(format!(
+                            "`times` in {ctx} must be non-negative finite seconds"
+                        ));
+                    }
+                    if times.windows(2).any(|w| w[1] < w[0]) {
+                        return invalid(format!("`times` in {ctx} must be sorted ascending"));
+                    }
+                    let (count, warmup) = count_warmup(times.len())?;
+                    ArrivalSpec { model: ArrivalModel::Trace { times }, count, warmup }
+                }
+                other => {
+                    return invalid(format!(
+                        "unknown arrival model `{other}` (expected `poisson`, `deterministic`, \
+                         or `trace`)"
+                    ))
+                }
+            };
+            out.push(spec);
+        }
+        Ok(out)
+    }
+
     fn parse_sweep(root: &BTreeMap<String, Value>) -> Result<Vec<SweepAxis>, ScenarioError> {
         let mut out: Vec<SweepAxis> = Vec::new();
         for table in sub_tables(root, "sweep")? {
@@ -831,6 +945,27 @@ impl Scenario {
                     writeln!(out, "at = {}", f(*at)).unwrap();
                 }
             }
+        }
+        for arrival in &self.arrivals {
+            writeln!(out, "\n[[arrivals]]").unwrap();
+            match &arrival.model {
+                ArrivalModel::Poisson { rate } => {
+                    writeln!(out, "model = \"poisson\"").unwrap();
+                    writeln!(out, "rate = {}", f(*rate)).unwrap();
+                    writeln!(out, "count = {}", arrival.count).unwrap();
+                }
+                ArrivalModel::Deterministic { interval } => {
+                    writeln!(out, "model = \"deterministic\"").unwrap();
+                    writeln!(out, "interval = {}", f(*interval)).unwrap();
+                    writeln!(out, "count = {}", arrival.count).unwrap();
+                }
+                ArrivalModel::Trace { times } => {
+                    writeln!(out, "model = \"trace\"").unwrap();
+                    let times: Vec<String> = times.iter().map(|&t| f(t)).collect();
+                    writeln!(out, "times = [{}]", times.join(", ")).unwrap();
+                }
+            }
+            writeln!(out, "warmup = {}", arrival.warmup).unwrap();
         }
         for sweep in &self.sweep {
             writeln!(out, "\n[[sweep]]").unwrap();
@@ -1076,6 +1211,23 @@ tag = "amd64"
 [[events]]
 kind = "registry-gc"
 at = 20.0
+
+[[arrivals]]
+model = "poisson"
+rate = 0.004
+count = 5
+warmup = 1
+
+[[arrivals]]
+model = "deterministic"
+interval = 250.0
+count = 3
+warmup = 0
+
+[[arrivals]]
+model = "trace"
+times = [0.0, 30.0, 30.0]
+warmup = 1
 "#;
 
     #[test]
@@ -1092,6 +1244,14 @@ at = 20.0
         assert_eq!(s.retry.as_ref().unwrap().max_attempts, 4);
         assert_eq!(s.rates.len(), 1);
         assert_eq!(s.events.len(), 6);
+        assert_eq!(s.arrivals.len(), 3);
+        assert_eq!(s.arrivals[0].model, ArrivalModel::Poisson { rate: 0.004 });
+        assert_eq!((s.arrivals[0].count, s.arrivals[0].warmup), (5, 1));
+        assert_eq!(s.arrivals[1].model, ArrivalModel::Deterministic { interval: 250.0 });
+        // Trace streams derive their count from the list (simultaneous
+        // arrivals are legal — the queue absorbs them).
+        assert_eq!(s.arrivals[2].model, ArrivalModel::Trace { times: vec![0.0, 30.0, 30.0] });
+        assert_eq!((s.arrivals[2].count, s.arrivals[2].warmup), (3, 1));
         assert!(s.sweep.is_empty());
     }
 
@@ -1273,6 +1433,46 @@ values = [0.0, 0.1, 0.4]
         // Unknown app / missing name.
         expect("name = \"x\"\napp = \"mining\"\n", "unknown app");
         expect("app = \"text-processing\"\n", "missing required key `name`");
+        // Arrival streams: unknown model, degenerate laws, warmup that
+        // swallows the measurement phase, unsorted traces.
+        expect(
+            &format!("{base}[[arrivals]]\nmodel = \"bursty\"\ncount = 2\n"),
+            "unknown arrival model",
+        );
+        expect(
+            &format!("{base}[[arrivals]]\nmodel = \"poisson\"\nrate = 0.0\ncount = 2\n"),
+            "must be a positive finite arrival rate",
+        );
+        expect(
+            &format!("{base}[[arrivals]]\nmodel = \"deterministic\"\ninterval = -5.0\ncount = 2\n"),
+            "must be a positive finite gap",
+        );
+        expect(
+            &format!("{base}[[arrivals]]\nmodel = \"poisson\"\nrate = 0.1\ncount = 0\n"),
+            "must be at least 1",
+        );
+        expect(
+            &format!(
+                "{base}[[arrivals]]\nmodel = \"poisson\"\nrate = 0.1\ncount = 3\nwarmup = 3\n"
+            ),
+            "must be below `count`",
+        );
+        expect(
+            &format!("{base}[[arrivals]]\nmodel = \"trace\"\ntimes = []\n"),
+            "must be non-empty",
+        );
+        expect(
+            &format!("{base}[[arrivals]]\nmodel = \"trace\"\ntimes = [10.0, 5.0]\n"),
+            "must be sorted ascending",
+        );
+        expect(
+            &format!("{base}[[arrivals]]\nmodel = \"trace\"\ntimes = [-1.0, 5.0]\n"),
+            "must be non-negative",
+        );
+        expect(
+            &format!("{base}[[arrivals]]\nmodel = \"trace\"\ntimes = [0.0]\ncount = 1\n"),
+            "unknown key `count`",
+        );
     }
 
     #[test]

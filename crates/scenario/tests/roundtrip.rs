@@ -6,7 +6,8 @@
 
 use deep_scenario::toml::{format_value, parse as toml_parse, Value};
 use deep_scenario::{
-    Axis, Event, RateSpec, RetrySpec, Scenario, SweepAxis, Target, TestbedBase, TestbedSpec,
+    ArrivalModel, ArrivalSpec, Axis, Event, RateSpec, RetrySpec, Scenario, SweepAxis, Target,
+    TestbedBase, TestbedSpec,
 };
 use proptest::prelude::*;
 use proptest::strategy::TestRng;
@@ -72,6 +73,35 @@ fn rates(rng: &mut TestRng) -> Vec<RateSpec> {
     out
 }
 
+/// Random arrival streams, valid by construction: positive laws,
+/// sorted non-negative traces, warmup strictly below the count.
+fn arrivals(rng: &mut TestRng) -> Vec<ArrivalSpec> {
+    (0..rng.next_usize(3))
+        .map(|_| {
+            let count = 1 + rng.next_usize(5);
+            let warmup = rng.next_usize(count);
+            match rng.next_usize(3) {
+                0 => ArrivalSpec {
+                    model: ArrivalModel::Poisson { rate: (0.0001f64..10.0).sample(rng) },
+                    count,
+                    warmup,
+                },
+                1 => ArrivalSpec {
+                    model: ArrivalModel::Deterministic { interval: (0.01f64..1000.0).sample(rng) },
+                    count,
+                    warmup,
+                },
+                _ => {
+                    let mut times: Vec<f64> =
+                        (0..count).map(|_| (0.0f64..5000.0).sample(rng)).collect();
+                    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                    ArrivalSpec { model: ArrivalModel::Trace { times }, count, warmup }
+                }
+            }
+        })
+        .collect()
+}
+
 /// Optional sweep axes in canonical order. Mirror-count values stay
 /// ≥ 1 so a `mirror-0` reference elsewhere in the generated scenario
 /// remains valid on every grid point.
@@ -134,6 +164,7 @@ impl Strategy for ScenarioStrategy {
             }),
             rates: rates(rng),
             events,
+            arrivals: arrivals(rng),
             sweep: sweep(rng),
         }
     }

@@ -218,6 +218,26 @@ pub fn execute_with_events(
     cfg: &ExecutorConfig,
     events: &[ChaosEvent],
 ) -> Result<(RunReport, Trace), ExecError> {
+    validate_schedule(testbed, app, schedule)?;
+    let mut exec = OnlineExecutor::new(testbed, cfg, events);
+    let waves = plan_waves(app, cfg.staged_deployment);
+    let mut run = exec.begin_job(app);
+    for (wave_idx, wave) in waves.iter().enumerate() {
+        exec.run_wave(testbed, app, schedule, wave, wave_idx, &mut run)?;
+    }
+    let report = run.into_report(app, schedule, exec.clock());
+    Ok((report, exec.into_trace()))
+}
+
+/// Check that `schedule` covers `app` and that every placement's device
+/// admits its microservice — the up-front validation [`execute`] runs
+/// before touching any state, exposed so the arrival plane can vet each
+/// admission the same way.
+pub fn validate_schedule(
+    testbed: &Testbed,
+    app: &Application,
+    schedule: &Schedule,
+) -> Result<(), ExecError> {
     if schedule.len() != app.len() {
         return Err(ExecError::ScheduleMismatch { app: app.len(), schedule: schedule.len() });
     }
@@ -231,66 +251,324 @@ pub fn execute_with_events(
             });
         }
     }
+    Ok(())
+}
 
-    let mut jitter = Jitter::new(cfg.seed, cfg.jitter);
-    let mut trace = Trace::new();
-    let mut instruments = Instruments::for_testbed(testbed);
-
-    let stage_list = stages(app);
-    let waves: Vec<Vec<MicroserviceId>> = if cfg.staged_deployment {
-        stage_list.iter().map(|s| s.members.clone()).collect()
+/// The deployment waves of `app`: the stage member lists under staged
+/// deployment (paper behaviour), one flat wave otherwise.
+pub fn plan_waves(app: &Application, staged: bool) -> Vec<Vec<MicroserviceId>> {
+    if staged {
+        stages(app).iter().map(|s| s.members.clone()).collect()
     } else {
         vec![app.ids().collect()]
-    };
+    }
+}
 
-    let mut td = vec![Seconds::ZERO; app.len()];
-    let mut tc = vec![Seconds::ZERO; app.len()];
-    let mut tp = vec![Seconds::ZERO; app.len()];
-    let mut downloaded_mb = vec![0.0f64; app.len()];
-    let mut sources = vec![Vec::new(); app.len()];
-    let mut failed_sources = vec![Vec::new(); app.len()];
-    let mut backoff = vec![Seconds::ZERO; app.len()];
-    let mut analytic = vec![Joules::ZERO; app.len()];
-    let mut metered = vec![Joules::ZERO; app.len()];
-    let mut clock = Seconds::ZERO;
+/// Per-job measurement accumulator for one application run on an
+/// [`OnlineExecutor`] timeline. Created at admission via
+/// [`OnlineExecutor::begin_job`], filled wave by wave, and folded into a
+/// [`RunReport`] whose makespan is measured relative to the job's own
+/// start — so a job admitted mid-soak reports the same spans it would
+/// report alone.
+#[derive(Debug)]
+pub struct JobRun {
+    started: Seconds,
+    instruments: bool,
+    td: Vec<Seconds>,
+    tc: Vec<Seconds>,
+    tp: Vec<Seconds>,
+    downloaded_mb: Vec<f64>,
+    sources: Vec<Vec<deep_registry::SourcePull>>,
+    failed_sources: Vec<Vec<RegistryId>>,
+    backoff: Vec<Seconds>,
+    analytic: Vec<Joules>,
+    metered: Vec<Joules>,
+}
 
-    // The standby strategy space, taken before the split borrows below
-    // (owned Copy handles): the executor must register exactly the
-    // sources the scheduler enumerates, or fault-pricing parity breaks.
-    let registry_choices: Vec<RegistryChoice> = testbed.registry_choices();
+impl JobRun {
+    fn new(len: usize, started: Seconds, instruments: bool) -> JobRun {
+        JobRun {
+            started,
+            instruments,
+            td: vec![Seconds::ZERO; len],
+            tc: vec![Seconds::ZERO; len],
+            tp: vec![Seconds::ZERO; len],
+            downloaded_mb: vec![0.0; len],
+            sources: vec![Vec::new(); len],
+            failed_sources: vec![Vec::new(); len],
+            backoff: vec![Seconds::ZERO; len],
+            analytic: vec![Joules::ZERO; len],
+            metered: vec![Joules::ZERO; len],
+        }
+    }
 
-    // Split borrows: devices and the regional registry mutably (caches;
-    // chaos events delete tags and garbage-collect), the rest immutably.
-    let Testbed {
-        ref mut devices,
-        ref hub,
-        ref mut regional,
-        ref mirrors,
-        ref params,
-        ref peer_plane,
-        ref fault_model,
-        ref entries,
-        ref topology,
-    } = *testbed;
+    /// Executor clock when the job began.
+    pub fn started(&self) -> Seconds {
+        self.started
+    }
 
-    // Route parameters for any mesh source (paper registries, peer
-    // sources, mirrors) — `Testbed::source_params` over the split
-    // borrows.
-    let source_params = |choice: RegistryChoice, device: DeviceId, slowdown: f64| -> SourceParams {
-        crate::testbed::source_params_for(mirrors, peer_plane, params, choice, device, slowdown)
-    };
-    // The run's sampled fault schedule, when injection is on. Pulls are
-    // numbered in execution order so the schedule is queryable up front.
-    let fault_plan: Option<FaultPlan> =
-        if cfg.fault_injection { Some(fault_model.plan(cfg.fault_seed)) } else { None };
-    let mut pull_counter: u64 = 0;
+    /// Fold the accumulated measurements into a [`RunReport`]; `end` is
+    /// the executor clock after the job's last wave.
+    pub fn into_report(
+        mut self,
+        app: &Application,
+        schedule: &Schedule,
+        end: Seconds,
+    ) -> RunReport {
+        let microservices = app
+            .ids()
+            .map(|id| {
+                let ms = app.microservice(id);
+                MicroserviceMetrics {
+                    name: ms.name.clone(),
+                    placement: schedule.placement(id),
+                    td: self.td[id.0],
+                    tc: self.tc[id.0],
+                    tp: self.tp[id.0],
+                    downloaded_mb: self.downloaded_mb[id.0],
+                    sources: std::mem::take(&mut self.sources[id.0]),
+                    failed_sources: std::mem::take(&mut self.failed_sources[id.0]),
+                    backoff_total: self.backoff[id.0],
+                    energy: self.analytic[id.0],
+                    metered_energy: if self.instruments {
+                        self.metered[id.0]
+                    } else {
+                        self.analytic[id.0]
+                    },
+                }
+            })
+            .collect();
+        RunReport {
+            application: app.name().to_string(),
+            microservices,
+            makespan: end - self.started,
+        }
+    }
+}
 
-    // The scripted chaos timeline, fired in time order at wave barriers.
-    let mut timeline: Vec<&ChaosEvent> = events.iter().collect();
-    timeline.sort_by(|a, b| a.at.as_f64().total_cmp(&b.at.as_f64()));
-    let mut next_event = 0usize;
+/// The executor's persistent cross-wave state, split out of
+/// [`execute_with_events`] so the arrival plane (the `deep-arrival`
+/// crate) can interleave *multiple* jobs on one continuous timeline:
+/// jitter stream, monitoring trace, energy instruments, the wave clock,
+/// the execution-order pull counter the fault plan indexes, and the
+/// scripted chaos timeline all survive across [`OnlineExecutor::run_wave`]
+/// calls. The fault plan is sampled **once** at session start, so
+/// mutating `testbed.fault_model` between waves (e.g. feeding inferred
+/// outage windows back to the scheduler) never changes what the session
+/// injects. Driving one job's waves straight through reproduces
+/// [`execute_with_events`] byte for byte — the static-parity contract
+/// the arrival plane's regression tests pin.
+pub struct OnlineExecutor {
+    cfg: ExecutorConfig,
+    jitter: Jitter,
+    trace: Trace,
+    instruments: Instruments,
+    clock: Seconds,
+    pull_counter: u64,
+    fault_plan: Option<FaultPlan>,
+    timeline: Vec<ChaosEvent>,
+    next_event: usize,
+}
 
-    for (wave_idx, wave) in waves.iter().enumerate() {
+/// Fire every scripted event due at or before `clock` against the
+/// split-borrowed testbed state. `peer_snapshots` holds the in-flight
+/// wave's gossip snapshots (an eviction retracts the holder's own stale
+/// advertisements); callers firing between waves pass an empty map.
+#[allow(clippy::too_many_arguments)]
+fn fire_scripted_events(
+    timeline: &[ChaosEvent],
+    next_event: &mut usize,
+    clock: Seconds,
+    devices: &mut [crate::device::SimDevice],
+    regional: &mut deep_registry::RegionalRegistry,
+    peer_snapshots: &mut HashMap<usize, Vec<(RegistryId, PeerCacheSource)>>,
+    trace: &mut Trace,
+) -> Result<(), ExecError> {
+    while *next_event < timeline.len() && timeline[*next_event].at.as_f64() <= clock.as_f64() {
+        let event = &timeline[*next_event];
+        *next_event += 1;
+        let label = match &event.kind {
+            ChaosKind::CachePressure { device, keep } => {
+                let evicted = devices[device.0].cache.evict_to(*keep);
+                for victim in &evicted {
+                    for sources in peer_snapshots.values_mut() {
+                        for (id, src) in sources.iter_mut() {
+                            match peer_holder(*id) {
+                                // The holder's own source: the layer is gone.
+                                Some(holder) if holder == *device => {
+                                    src.retract(victim);
+                                }
+                                Some(_) => {}
+                                // Aggregate plane: anonymous fleet source —
+                                // retract only when no other device still
+                                // holds the layer.
+                                None => {
+                                    let held_elsewhere = devices
+                                        .iter()
+                                        .any(|d| d.id != *device && d.cache.contains(victim));
+                                    if !held_elsewhere {
+                                        src.retract(victim);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                format!(
+                    "cache-pressure d{} evicted {} layer(s) (scripted t={})",
+                    device.0,
+                    evicted.len(),
+                    event.at
+                )
+            }
+            ChaosKind::DeleteTag { repository, tag } => {
+                regional.delete_manifest(repository, tag)?;
+                format!("delete-tag {repository}:{tag} (scripted t={})", event.at)
+            }
+            ChaosKind::RegistryGc => {
+                let report = deep_registry::gc_collect(regional)?;
+                format!(
+                    "registry-gc marked {} swept {} released {} B (scripted t={})",
+                    report.marked, report.swept, report.declared_bytes_released, event.at
+                )
+            }
+        };
+        trace.record(clock, TraceKind::ChaosEventFired, event.device(), &label);
+    }
+    Ok(())
+}
+
+impl OnlineExecutor {
+    /// Open a session on `testbed`. Samples the fault plan from the
+    /// *current* `testbed.fault_model` (when `cfg.fault_injection` is
+    /// on) and sorts the chaos timeline; neither is re-read later.
+    pub fn new(testbed: &Testbed, cfg: &ExecutorConfig, events: &[ChaosEvent]) -> OnlineExecutor {
+        let fault_plan: Option<FaultPlan> =
+            if cfg.fault_injection { Some(testbed.fault_model.plan(cfg.fault_seed)) } else { None };
+        let mut timeline: Vec<ChaosEvent> = events.to_vec();
+        timeline.sort_by(|a, b| a.at.as_f64().total_cmp(&b.at.as_f64()));
+        OnlineExecutor {
+            cfg: *cfg,
+            jitter: Jitter::new(cfg.seed, cfg.jitter),
+            trace: Trace::new(),
+            instruments: Instruments::for_testbed(testbed),
+            clock: Seconds::ZERO,
+            pull_counter: 0,
+            fault_plan,
+            timeline,
+            next_event: 0,
+        }
+    }
+
+    /// The session clock (advanced by each wave's pull span and
+    /// execution phases, and by [`OnlineExecutor::advance_to`]).
+    pub fn clock(&self) -> Seconds {
+        self.clock
+    }
+
+    /// Pulls committed so far, in execution order — the index the fault
+    /// plan (and an online [`crate::Schedule`] estimator) continues from.
+    pub fn pulls(&self) -> u64 {
+        self.pull_counter
+    }
+
+    /// Idle fast-forward: advance the clock to `t` (never backwards).
+    /// Chaos events falling in the gap fire at the next wave barrier,
+    /// exactly as they would inside a long wave — or earlier, if the
+    /// caller makes the gap an explicit barrier with
+    /// [`OnlineExecutor::fire_due_events`].
+    pub fn advance_to(&mut self, t: Seconds) {
+        self.clock = self.clock.max(t);
+    }
+
+    /// Fire every scripted chaos event due at or before the current
+    /// clock, outside any wave — an explicit barrier. The arrival plane
+    /// calls this after an idle fast-forward so gap chaos (cache
+    /// evictions, tag deletes, GC) is visible to the next admission's
+    /// scheduling pass instead of landing one wave barrier late.
+    /// Within-wave semantics (gossip-then-fire, stale peer
+    /// advertisements) are unchanged: with no wave in flight there are
+    /// no snapshots to go stale.
+    pub fn fire_due_events(&mut self, testbed: &mut Testbed) -> Result<(), ExecError> {
+        let mut no_snapshots = HashMap::new();
+        fire_scripted_events(
+            &self.timeline,
+            &mut self.next_event,
+            self.clock,
+            &mut testbed.devices,
+            &mut testbed.regional,
+            &mut no_snapshots,
+            &mut self.trace,
+        )
+    }
+
+    /// Start a measurement accumulator for a job admitted *now*.
+    pub fn begin_job(&self, app: &Application) -> JobRun {
+        JobRun::new(app.len(), self.clock, self.cfg.instruments)
+    }
+
+    /// Consume the session, returning its monitoring trace.
+    pub fn into_trace(self) -> Trace {
+        self.trace
+    }
+
+    /// Run one deployment wave of `app` under `schedule` and then its
+    /// members' barrier-ordered execution phases, accumulating
+    /// measurements into `run`. `wave_idx` labels the stage-barrier
+    /// trace record. Callers interleave scheduling between calls — the
+    /// testbed is only borrowed for the duration of the wave.
+    pub fn run_wave(
+        &mut self,
+        testbed: &mut Testbed,
+        app: &Application,
+        schedule: &Schedule,
+        wave: &[MicroserviceId],
+        wave_idx: usize,
+        run: &mut JobRun,
+    ) -> Result<(), ExecError> {
+        // The standby strategy space, taken before the split borrows
+        // below (owned Copy handles): the executor must register exactly
+        // the sources the scheduler enumerates, or fault-pricing parity
+        // breaks.
+        let registry_choices: Vec<RegistryChoice> = testbed.registry_choices();
+
+        // Split borrows on both structs: devices and the regional
+        // registry mutably (caches; chaos events delete tags and
+        // garbage-collect), the session's sampled plan immutably while
+        // its clock, trace, and counters advance.
+        let OnlineExecutor {
+            ref cfg,
+            ref mut jitter,
+            ref mut trace,
+            ref mut instruments,
+            ref mut clock,
+            ref mut pull_counter,
+            ref fault_plan,
+            ref timeline,
+            ref mut next_event,
+        } = *self;
+        let Testbed {
+            ref mut devices,
+            ref hub,
+            ref mut regional,
+            ref mirrors,
+            ref params,
+            ref peer_plane,
+            ref fault_model,
+            ref entries,
+            ref topology,
+        } = *testbed;
+
+        // Route parameters for any mesh source (paper registries, peer
+        // sources, mirrors) — `Testbed::source_params` over the split
+        // borrows.
+        let source_params = |choice: RegistryChoice,
+                             device: DeviceId,
+                             slowdown: f64|
+         -> SourceParams {
+            crate::testbed::source_params_for(mirrors, peer_plane, params, choice, device, slowdown)
+        };
+
         // ---- Deployment wave: concurrent contended pulls. --------------
         // Same-wave contention is charged per *contention resource*
         // (`route_key`): a split pull loads every route its bytes
@@ -323,57 +601,15 @@ pub fn execute_with_events(
         // leaves the wave's snapshots advertising layers the holder no
         // longer has — the stale-advertisement incident sessions must
         // fail over from mid-pull.
-        while next_event < timeline.len() && timeline[next_event].at.as_f64() <= clock.as_f64() {
-            let event = timeline[next_event];
-            next_event += 1;
-            let label = match &event.kind {
-                ChaosKind::CachePressure { device, keep } => {
-                    let evicted = devices[device.0].cache.evict_to(*keep);
-                    for victim in &evicted {
-                        for sources in peer_snapshots.values_mut() {
-                            for (id, src) in sources.iter_mut() {
-                                match peer_holder(*id) {
-                                    // The holder's own source: the layer is gone.
-                                    Some(holder) if holder == *device => {
-                                        src.retract(victim);
-                                    }
-                                    Some(_) => {}
-                                    // Aggregate plane: anonymous fleet source —
-                                    // retract only when no other device still
-                                    // holds the layer.
-                                    None => {
-                                        let held_elsewhere = devices
-                                            .iter()
-                                            .any(|d| d.id != *device && d.cache.contains(victim));
-                                        if !held_elsewhere {
-                                            src.retract(victim);
-                                        }
-                                    }
-                                }
-                            }
-                        }
-                    }
-                    format!(
-                        "cache-pressure d{} evicted {} layer(s) (scripted t={})",
-                        device.0,
-                        evicted.len(),
-                        event.at
-                    )
-                }
-                ChaosKind::DeleteTag { repository, tag } => {
-                    regional.delete_manifest(repository, tag)?;
-                    format!("delete-tag {repository}:{tag} (scripted t={})", event.at)
-                }
-                ChaosKind::RegistryGc => {
-                    let report = deep_registry::gc_collect(regional)?;
-                    format!(
-                        "registry-gc marked {} swept {} released {} B (scripted t={})",
-                        report.marked, report.swept, report.declared_bytes_released, event.at
-                    )
-                }
-            };
-            trace.record(clock, TraceKind::ChaosEventFired, event.device(), &label);
-        }
+        fire_scripted_events(
+            timeline,
+            next_event,
+            *clock,
+            devices,
+            regional,
+            &mut peer_snapshots,
+            trace,
+        )?;
         // Full-registry backend for a strategy handle. Reborrows the
         // regional registry immutably for the rest of the wave (chaos
         // events above hold the mutable borrow).
@@ -423,13 +659,13 @@ pub fn execute_with_events(
                 let contention = params.contention_factor(
                     *route_load.get(&route_key(id, placement.device)).unwrap_or(&0),
                 );
-                match &fault_plan {
-                    Some(plan) => contention * plan.slowdown_at(id, clock),
+                match fault_plan {
+                    Some(plan) => contention * plan.slowdown_at(id, *clock),
                     None => contention,
                 }
             };
-            let pull_idx = pull_counter;
-            pull_counter += 1;
+            let pull_idx = *pull_counter;
+            *pull_counter += 1;
             // Fault wrappers, declared before the mesh that borrows them:
             // the primary draws its per-pull death from the plan, every
             // other full registry rides along as a transient-only
@@ -437,9 +673,9 @@ pub fn execute_with_events(
             // and the wave's peer snapshot is wrapped the same way.
             let primary_faults: Option<PlannedFaults<'_, &dyn Registry>> = fault_plan
                 .as_ref()
-                .map(|plan| PlannedFaults::primary(registry, plan, primary, pull_idx).at(clock));
+                .map(|plan| PlannedFaults::primary(registry, plan, primary, pull_idx).at(*clock));
             let standby_faults: Vec<(RegistryChoice, PlannedFaults<'_, &dyn Registry>)> =
-                match &fault_plan {
+                match fault_plan {
                     Some(plan) => registry_choices
                         .iter()
                         .filter(|&&c| c != placement.registry)
@@ -452,7 +688,7 @@ pub fn execute_with_events(
                                 c.registry_id(),
                                 pull_idx,
                             )
-                            .at(clock);
+                            .at(*clock);
                             (c, wrapped)
                         })
                         .collect(),
@@ -467,7 +703,7 @@ pub fn execute_with_events(
             // anonymous source keeps the PR 4 survivor (transient-only)
             // semantics.
             let peer_faults: Vec<(RegistryId, PlannedFaults<'_, &PeerCacheSource>)> =
-                match &fault_plan {
+                match fault_plan {
                     Some(plan) => peer_entries
                         .iter()
                         .map(|(id, src)| {
@@ -477,7 +713,7 @@ pub fn execute_with_events(
                             };
                             // Peer-uplink kills are scripted as dark
                             // windows on the peer's mesh id.
-                            (*id, wrapped.at(clock))
+                            (*id, wrapped.at(*clock))
                         })
                         .collect(),
                     None => Vec::new(),
@@ -521,7 +757,7 @@ pub fn execute_with_events(
                 // nothing (first attempts succeed, zero backoff).
                 session = session.with_retry(fault_model.retry);
             }
-            trace.record(clock, TraceKind::DeploymentStarted, placement.device, &ms.name);
+            trace.record(*clock, TraceKind::DeploymentStarted, placement.device, &ms.name);
             let outcome = session.pull(&reference, device.arch, &mut device.cache)?;
             // Charge each contention resource the bytes it actually
             // served: a split pull no longer over-penalizes its primary
@@ -533,11 +769,11 @@ pub fn execute_with_events(
                 }
             }
             let t = jitter.apply(outcome.deployment_time());
-            td[id.0] = t;
-            downloaded_mb[id.0] = outcome.downloaded.as_megabytes();
-            sources[id.0] = outcome.per_source;
-            failed_sources[id.0] = outcome.failed_sources;
-            backoff[id.0] = outcome.backoff_total;
+            run.td[id.0] = t;
+            run.downloaded_mb[id.0] = outcome.downloaded.as_megabytes();
+            run.sources[id.0] = outcome.per_source;
+            run.failed_sources[id.0] = outcome.failed_sources;
+            run.backoff[id.0] = outcome.backoff_total;
             completions.schedule_at(t, id);
             // Instrument the deployment phase (deploy + static draw).
             if cfg.instruments {
@@ -548,7 +784,7 @@ pub fn execute_with_events(
         // Deployment is concurrent: drain the completion events in time
         // order (each finish stamped when its pull actually ends), then
         // advance the clock by the wave's longest pull.
-        let wave_start = clock;
+        let wave_start = *clock;
         let mut wave_span = Seconds::ZERO;
         while let Some((t, id)) = completions.next() {
             wave_span = wave_span.max(t);
@@ -560,7 +796,7 @@ pub fn execute_with_events(
                 &ms.name,
             );
         }
-        clock += wave_span;
+        *clock += wave_span;
 
         // ---- Execution: stage members sequential (non-concurrent). -----
         for &id in wave {
@@ -579,23 +815,23 @@ pub fn execute_with_events(
                 transfer += t;
             }
             let transfer = jitter.apply(transfer);
-            trace.record(clock, TraceKind::TransferStarted, placement.device, &ms.name);
-            clock += transfer;
-            trace.record(clock, TraceKind::TransferFinished, placement.device, &ms.name);
+            trace.record(*clock, TraceKind::TransferStarted, placement.device, &ms.name);
+            *clock += transfer;
+            trace.record(*clock, TraceKind::TransferFinished, placement.device, &ms.name);
 
             // Tp. Device parameters are scoped by application because the
             // case studies share microservice names.
             let scoped = format!("{}/{}", app.name(), ms.name);
             let proc = jitter.apply(device.processing_time(&scoped, ms.requirements.cpu));
-            trace.record(clock, TraceKind::ProcessingStarted, placement.device, &ms.name);
-            clock += proc;
-            trace.record(clock, TraceKind::ProcessingFinished, placement.device, &ms.name);
+            trace.record(*clock, TraceKind::ProcessingStarted, placement.device, &ms.name);
+            *clock += proc;
+            trace.record(*clock, TraceKind::ProcessingFinished, placement.device, &ms.name);
 
-            tc[id.0] = transfer;
-            tp[id.0] = proc;
+            run.tc[id.0] = transfer;
+            run.tp[id.0] = proc;
 
             // Analytic energy over all three phases of this microservice.
-            analytic[id.0] = device.energy(&scoped, td[id.0], transfer, proc);
+            run.analytic[id.0] = device.energy(&scoped, run.td[id.0], transfer, proc);
 
             // Instrumented energy: meter transfer + processing here (the
             // deployment slice was metered during the wave); read the
@@ -618,39 +854,18 @@ pub fn execute_with_events(
                 // Deployment slice, analytic reconstruction of the metered
                 // wave share: (deploy + static) × td.
                 let deploy_energy =
-                    (device.power.deploy_watts + device.power.static_watts) * td[id.0];
-                metered[id.0] = exec_energy + deploy_energy;
+                    (device.power.deploy_watts + device.power.static_watts) * run.td[id.0];
+                run.metered[id.0] = exec_energy + deploy_energy;
             }
         }
         trace.record(
-            clock,
+            *clock,
             TraceKind::StageBarrierReleased,
             DeviceId(0),
             &format!("stage-{wave_idx}"),
         );
+        Ok(())
     }
-
-    let microservices = app
-        .ids()
-        .map(|id| {
-            let ms = app.microservice(id);
-            MicroserviceMetrics {
-                name: ms.name.clone(),
-                placement: schedule.placement(id),
-                td: td[id.0],
-                tc: tc[id.0],
-                tp: tp[id.0],
-                downloaded_mb: downloaded_mb[id.0],
-                sources: std::mem::take(&mut sources[id.0]),
-                failed_sources: std::mem::take(&mut failed_sources[id.0]),
-                backoff_total: backoff[id.0],
-                energy: analytic[id.0],
-                metered_energy: if cfg.instruments { metered[id.0] } else { analytic[id.0] },
-            }
-        })
-        .collect();
-
-    Ok((RunReport { application: app.name().to_string(), microservices, makespan: clock }, trace))
 }
 
 #[cfg(test)]
@@ -1061,6 +1276,92 @@ mod tests {
         let (baseline, _) = execute(&mut baseline_tb, &app, &sched(&app), &cfg).unwrap();
         let late = run(0.0); // zero-duration: never active
         assert_eq!(baseline, late, "inactive windows are byte-identical");
+    }
+
+    #[test]
+    fn online_executor_stepwise_matches_execute_byte_for_byte() {
+        // Driving one job's waves by hand through the session API is the
+        // same computation `execute` runs — reports, traces, and final
+        // clock all agree exactly.
+        let app = apps::video_processing();
+        let sched = all_hub_medium(&app);
+        let cfg = ExecutorConfig { seed: 7, jitter: 0.01, ..Default::default() };
+        let mut tb1 = Testbed::paper();
+        let (reference, ref_trace) = execute(&mut tb1, &app, &sched, &cfg).unwrap();
+        let mut tb2 = Testbed::paper();
+        validate_schedule(&tb2, &app, &sched).unwrap();
+        let mut exec = OnlineExecutor::new(&tb2, &cfg, &[]);
+        let mut run = exec.begin_job(&app);
+        for (i, wave) in plan_waves(&app, true).iter().enumerate() {
+            exec.run_wave(&mut tb2, &app, &sched, wave, i, &mut run).unwrap();
+        }
+        assert_eq!(exec.clock(), reference.makespan);
+        assert_eq!(exec.pulls(), app.len() as u64);
+        let report = run.into_report(&app, &sched, exec.clock());
+        assert_eq!(reference, report);
+        let trace = exec.into_trace();
+        assert_eq!(
+            ref_trace.of_kind(TraceKind::DeploymentFinished).count(),
+            trace.of_kind(TraceKind::DeploymentFinished).count()
+        );
+    }
+
+    #[test]
+    fn idle_advance_shifts_the_clock_but_not_job_metrics() {
+        // A job admitted after an idle gap reports the same relative
+        // spans it would report at t = 0: JobRun measures makespan from
+        // its own start, and nothing in a window-free run reads the
+        // absolute clock.
+        let app = apps::text_processing();
+        let sched = all_hub_medium(&app);
+        let cfg = ExecutorConfig::default();
+        let mut tb1 = Testbed::paper();
+        let (reference, _) = execute(&mut tb1, &app, &sched, &cfg).unwrap();
+        let mut tb2 = Testbed::paper();
+        let mut exec = OnlineExecutor::new(&tb2, &cfg, &[]);
+        exec.advance_to(Seconds::new(500.0));
+        assert_eq!(exec.clock(), Seconds::new(500.0));
+        exec.advance_to(Seconds::new(10.0));
+        assert_eq!(exec.clock(), Seconds::new(500.0), "the clock never runs backwards");
+        let mut run = exec.begin_job(&app);
+        assert_eq!(run.started(), Seconds::new(500.0));
+        for (i, wave) in plan_waves(&app, true).iter().enumerate() {
+            exec.run_wave(&mut tb2, &app, &sched, wave, i, &mut run).unwrap();
+        }
+        let report = run.into_report(&app, &sched, exec.clock());
+        assert_eq!(reference, report);
+    }
+
+    #[test]
+    fn fault_plan_is_snapshotted_at_session_start() {
+        // Stripping the scripted window from the testbed's model *after*
+        // the session opened changes nothing about injection: the plan
+        // was sampled at `OnlineExecutor::new`. This is the mechanism the
+        // arrival plane's outage inference relies on — the scheduler's
+        // view of `fault_model` can be edited mid-soak without touching
+        // the incident being injected.
+        let app = apps::text_processing();
+        let sched = Schedule::uniform(app.len(), RegistryChoice::Regional, DEVICE_MEDIUM);
+        let cfg = ExecutorConfig { fault_injection: true, ..Default::default() };
+        let window = deep_registry::OutageWindow::dark(
+            RegistryChoice::Regional.registry_id(),
+            Seconds::ZERO,
+            Seconds::new(1e9),
+        );
+        let mut reference_tb = Testbed::paper();
+        reference_tb.fault_model = reference_tb.fault_model.clone().with_window(window);
+        let (reference, _) = execute(&mut reference_tb, &app, &sched, &cfg).unwrap();
+        let mut tb = Testbed::paper();
+        tb.fault_model = tb.fault_model.clone().with_window(window);
+        let mut exec = OnlineExecutor::new(&tb, &cfg, &[]);
+        tb.fault_model = tb.fault_model.without_windows();
+        let mut run = exec.begin_job(&app);
+        for (i, wave) in plan_waves(&app, true).iter().enumerate() {
+            exec.run_wave(&mut tb, &app, &sched, wave, i, &mut run).unwrap();
+        }
+        let report = run.into_report(&app, &sched, exec.clock());
+        assert_eq!(reference, report, "injection rides the session's snapshot, not the model");
+        assert!(report.microservices.iter().all(|m| !m.failed_sources.is_empty()));
     }
 
     #[test]

@@ -42,7 +42,10 @@ pub mod trace;
 pub use chaos::{ChaosEvent, ChaosKind};
 pub use device::SimDevice;
 pub use engine::Engine;
-pub use executor::{execute, execute_with_events, ExecError, ExecutorConfig};
+pub use executor::{
+    execute, execute_with_events, plan_waves, validate_schedule, ExecError, ExecutorConfig, JobRun,
+    OnlineExecutor,
+};
 pub use jitter::Jitter;
 pub use metrics::{MicroserviceMetrics, RunReport};
 pub use schedule::{Placement, RegistryChoice, Schedule};

@@ -20,7 +20,7 @@ cd "$(dirname "$0")/.."
 CRATES=(
   deep deep-netsim deep-dataflow deep-energy deep-objectstore
   deep-registry deep-game deep-simulator deep-orchestrator deep-scenario
-  deep-core deep-bench
+  deep-core deep-arrival deep-bench
 )
 PKG_FLAGS=()
 for c in "${CRATES[@]}"; do PKG_FLAGS+=(-p "$c"); done
@@ -56,5 +56,11 @@ echo "==> scenario soak smoke (time-scaled chaos timeline through the runner)"
 # the rate + degrade + cache-pressure + registry-gc event kinds all
 # execute on every push.
 cargo run --quiet --release --example scenario_runner -- scenarios/soak_smoke.toml >/dev/null
+
+echo "==> arrival plane smoke (online admissions + incremental repair)"
+# arrival_runner's no-arg default already replays scenarios/arrival_soak.toml
+# (covered by the loop above); this pass re-runs it explicitly so the
+# checked-in arrival fixture stays wired to the example entry point.
+cargo run --quiet --release --example arrival_runner -- scenarios/arrival_soak.toml >/dev/null
 
 echo "tier-1 OK"

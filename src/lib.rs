@@ -20,6 +20,7 @@
 //! | [`orchestrator`] | `deep-orchestrator` | Kubernetes-like pod controller |
 //! | [`scenario`] | `deep-scenario` | TOML chaos/soak scenario DSL |
 //! | [`core`] | `deep-core` | the DEEP scheduler, baselines, experiments |
+//! | [`arrival`] | `deep-arrival` | online arrival plane w/ incremental repair |
 //!
 //! ## Quickstart
 //!
@@ -41,6 +42,7 @@
 //! assert!(report.total_energy().as_f64() > 0.0);
 //! ```
 
+pub use deep_arrival as arrival;
 pub use deep_core as core;
 pub use deep_dataflow as dataflow;
 pub use deep_energy as energy;

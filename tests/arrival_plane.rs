@@ -1,0 +1,162 @@
+//! Arrival-plane contracts pinned at the workspace level:
+//!
+//! 1. **Static parity** — a scenario without `[[arrivals]]` run through
+//!    the online plane is byte-identical (serialized schedule *and*
+//!    per-replication `RunReport`s) to the PR-6 soak path
+//!    [`run_scenario`], on the shipped case studies and on random
+//!    zero-arrival scenarios. The plane is a strict generalization.
+//! 2. **Repair quality** — on the checked-in `arrival_soak.toml` grid,
+//!    incremental repair's steady-state mean `Td` stays within 2% of
+//!    the full re-solve baseline (the acceptance bound; the ≥5× speed
+//!    side is benchmarked in `benches/arrival_soak.rs`).
+//! 3. **Online outage inference** — an operator flying blind into a
+//!    sticky scripted outage recovers: streaks of fatal pulls infer the
+//!    window, later admissions route around it, failover drops.
+
+use deep::arrival::{run_plane, ArrivalPlane, OutageInference, RepairPolicy};
+use deep::core::{run_scenario, scenario_scheduler};
+use deep::scenario::Scenario;
+use proptest::prelude::*;
+
+fn parity(scenario: &Scenario) {
+    let soak = run_scenario(scenario, &scenario_scheduler(scenario));
+    let plane = run_plane(scenario, &ArrivalPlane::default());
+    assert_eq!(plane.jobs.len(), scenario.replications as usize, "one job per replication");
+    for (r, job) in plane.jobs.iter().enumerate() {
+        assert!(!job.warmup, "the synthesized request is measured");
+        assert_eq!(
+            serde_json::to_string(&job.schedule).unwrap(),
+            serde_json::to_string(&soak.schedule).unwrap(),
+            "{} r{r}: plane schedule diverged from the soak path",
+            scenario.name
+        );
+        assert_eq!(
+            serde_json::to_string(&job.report).unwrap(),
+            serde_json::to_string(&soak.reports[r]).unwrap(),
+            "{} r{r}: plane report diverged from the soak path",
+            scenario.name
+        );
+    }
+}
+
+#[test]
+fn zero_arrival_scenarios_reproduce_the_soak_path_on_the_case_studies() {
+    for app in ["text-processing", "video-processing"] {
+        let scenario = Scenario::parse(&format!(
+            "name = \"static-{app}\"\napp = \"{app}\"\nreplications = 2\n\
+             [testbed]\nbase = \"paper\"\ncalibrate = true\nmirrors = 1\n"
+        ))
+        .unwrap();
+        parity(&scenario);
+    }
+    // The shipped soak files are zero-arrival too — the plane must
+    // replay them unchanged, scripted chaos and all.
+    for file in ["soak_smoke.toml", "soak_sticky_outage.toml"] {
+        let path = format!("{}/scenarios/{file}", env!("CARGO_MANIFEST_DIR"));
+        parity(&Scenario::load(&path).unwrap());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn zero_arrival_parity_holds_on_random_scenarios(
+        seed in 0u64..1_000,
+        replications in 1u32..3,
+        video in any::<bool>(),
+        rate in 0.0f64..0.3,
+        outage in any::<bool>(),
+    ) {
+        let app = if video { "video-processing" } else { "text-processing" };
+        let mut doc = format!(
+            "name = \"p\"\napp = \"{app}\"\nseed = {seed}\nreplications = {replications}\n\
+             [testbed]\nbase = \"paper\"\ncalibrate = true\nmirrors = 1\n\
+             [[rates]]\ntarget = \"regional\"\nfatal_per_pull = {rate:?}\n\
+             transient_per_fetch = {rate:?}\n"
+        );
+        if outage {
+            doc.push_str(
+                "[[events]]\nkind = \"outage\"\ntarget = \"mirror-0\"\n\
+                 start = 10.0\nduration = 500.0\n",
+            );
+        }
+        parity(&Scenario::parse(&doc).unwrap());
+    }
+}
+
+#[test]
+fn incremental_repair_matches_full_resolve_steady_state_td_within_two_percent() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios/arrival_soak.toml");
+    let scenario = Scenario::load(path).unwrap();
+    for cell in scenario.expand() {
+        let repair = run_plane(&cell, &ArrivalPlane::default());
+        let full =
+            run_plane(&cell, &ArrivalPlane { policy: RepairPolicy::Full, ..Default::default() });
+        assert_eq!(repair.jobs.len(), full.jobs.len());
+        // The policy must actually repair, not fall back to re-solving
+        // every admission through the back door.
+        assert!(
+            repair.jobs.iter().any(|j| !j.repair.full_solve),
+            "{}: no admission was repaired incrementally",
+            cell.name
+        );
+        let drift = (repair.mean_td() / full.mean_td() - 1.0).abs();
+        assert!(
+            drift <= 0.02,
+            "{}: repair mean Td {:.2} drifted {:.1}% from full re-solve {:.2}",
+            cell.name,
+            repair.mean_td(),
+            drift * 100.0,
+            full.mean_td()
+        );
+    }
+}
+
+#[test]
+fn blind_operators_infer_sticky_outages_online_and_route_around_them() {
+    // Regional dark for the whole run, three well-spaced requests. The
+    // executor injects the window either way; `blind` only strips it
+    // from the scheduler's view. Cache-pressure evictions in the idle
+    // gaps keep every admission a *cold* pull — without them the second
+    // job finds the images cached, downloads nothing, and the window
+    // prices to nothing for blind and inferring operators alike.
+    let scenario = Scenario::parse(
+        "name = \"blind-soak\"\napp = \"text-processing\"\nreplications = 1\n\
+         [testbed]\nbase = \"paper\"\ncalibrate = true\n\
+         [[events]]\nkind = \"outage\"\ntarget = \"regional\"\nstart = 0.0\nduration = 1e9\n\
+         [[events]]\nkind = \"cache-pressure\"\ndevice = 0\nat = 2000.0\nkeep_mb = 0.0\n\
+         [[events]]\nkind = \"cache-pressure\"\ndevice = 1\nat = 2000.0\nkeep_mb = 0.0\n\
+         [[events]]\nkind = \"cache-pressure\"\ndevice = 0\nat = 6000.0\nkeep_mb = 0.0\n\
+         [[events]]\nkind = \"cache-pressure\"\ndevice = 1\nat = 6000.0\nkeep_mb = 0.0\n\
+         [[arrivals]]\nmodel = \"deterministic\"\ninterval = 4000.0\ncount = 3\n",
+    )
+    .unwrap();
+    let blind =
+        run_plane(&scenario, &ArrivalPlane { blind: true, inference: None, ..Default::default() });
+    assert!(
+        blind.failovers() > 0,
+        "a blind scheduler keeps routing into the dark regional registry"
+    );
+    let inferring = run_plane(
+        &scenario,
+        &ArrivalPlane {
+            blind: true,
+            inference: Some(OutageInference::default()),
+            ..Default::default()
+        },
+    );
+    assert!(inferring.failovers() > 0, "the first job still pays the discovery cost");
+    assert!(
+        inferring.failovers() < blind.failovers(),
+        "inference must cut failover: {} vs blind {}",
+        inferring.failovers(),
+        blind.failovers()
+    );
+    // Once the window is inferred, later jobs run clean.
+    let last = inferring.jobs.last().unwrap();
+    assert!(
+        last.report.microservices.iter().all(|m| m.failed_sources.is_empty()),
+        "the final job must route around the inferred window"
+    );
+}

@@ -33,6 +33,7 @@ fn checked_in_scenarios_are_in_canonical_form() {
         "n_regional_sweep.toml",
         "soak_sticky_outage.toml",
         "soak_smoke.toml",
+        "arrival_soak.toml",
     ] {
         let path = format!("{}/scenarios/{file}", env!("CARGO_MANIFEST_DIR"));
         let text = std::fs::read_to_string(&path).expect("scenario file reads");
