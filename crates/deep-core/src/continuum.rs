@@ -51,6 +51,22 @@ pub fn calibrate_continuum(tb: &mut Testbed) {
     }
 }
 
+/// A calibrated synthetic fleet: [`Testbed::synthetic_fleet`] under the
+/// paper calibration — the continuum calibration when the fleet has the
+/// cloud tier (`devices ≥ 3`), the edge-only Table II calibration on the
+/// bare paper pair. The canonical archetypes sit at ids 0/1/2, so the
+/// calibration keys land exactly as on the paper testbeds; fleet clones
+/// inherit their archetype's base speed factor and jittered figures.
+pub fn synthetic_fleet_testbed(devices: usize, registries: usize, seed: u64) -> Testbed {
+    let mut tb = Testbed::synthetic_fleet(devices, registries, seed);
+    if devices >= 3 {
+        calibrate_continuum(&mut tb);
+    } else {
+        calibrate(&mut tb);
+    }
+    tb
+}
+
 /// Rebuild `app` with the given microservices pinned to a device class.
 pub fn pin_microservices(app: &Application, pins: &[(&str, DeviceClass)]) -> Application {
     let mut b = ApplicationBuilder::new(app.name());

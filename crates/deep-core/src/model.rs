@@ -33,8 +33,8 @@ use deep_dataflow::{Application, MicroserviceId};
 use deep_energy::Joules;
 use deep_netsim::{Bandwidth, DataSize, DeviceId, RegistryId, Seconds};
 use deep_registry::{
-    FaultModel, LayerCache, PeerCacheSource, Platform, PullOutcome, PullSession, Reference,
-    RegistryMesh,
+    CatalogEntry, FaultModel, ImageManifest, LayerCache, PeerCacheSource, Platform, PullOutcome,
+    PullSession, Reference, RegistryMesh,
 };
 use deep_simulator::{route_key, Placement, RegistryChoice, Testbed};
 use std::collections::HashMap;
@@ -90,6 +90,91 @@ impl Estimate {
     }
 }
 
+/// Same-wave route contention, sharded per registry source: one dense
+/// per-device lane vector per `RegistryId` instead of a flat
+/// `HashMap<(RegistryId, usize), usize>`.
+///
+/// Both halves of a contention key ([`deep_simulator::route_key`]) have
+/// natural shard structure — the source id picks the shard, the device
+/// slot (pulling device for registry sources, serving holder for peer
+/// uplinks) indexes the lane — so the fleet-scale payoff fan-out reads
+/// loads with one shard lookup plus an array index, no per-candidate key
+/// hashing, and the whole structure is `&self`-shareable across the
+/// rayon workers evaluating different devices of the same wave
+/// (estimates never mutate loads; only commits charge them).
+///
+/// Values are identical to the map they replace, so every estimate that
+/// reads through [`Testbed::params::contention_factor`] sees the same
+/// integers and prices the same floats.
+///
+/// Lanes are created on first charge and *zeroed, not dropped* on wave
+/// barriers (`clear` walks the charged keys only), so steady-state waves
+/// allocate nothing.
+#[derive(Debug, Clone, Default)]
+pub struct RouteLoads {
+    /// Per-source lane vectors, `lane[device_slot] = same-wave load`.
+    shards: HashMap<RegistryId, Vec<usize>>,
+    /// Keys charged since the last clear (0→1 transitions only), for
+    /// O(charged) barrier resets without deallocating lanes.
+    touched: Vec<(RegistryId, usize)>,
+    /// Lane length: one slot per testbed device.
+    slots: usize,
+}
+
+impl RouteLoads {
+    /// Empty load state for a testbed with `slots` devices.
+    pub fn new(slots: usize) -> Self {
+        RouteLoads { shards: HashMap::new(), touched: Vec::new(), slots }
+    }
+
+    /// The load on one contention resource (0 when never charged).
+    pub fn get(&self, key: (RegistryId, usize)) -> usize {
+        debug_assert!(key.1 < self.slots, "device slot out of range");
+        self.shards.get(&key.0).map_or(0, |lane| lane[key.1])
+    }
+
+    /// Charge one more same-wave pull to a contention resource.
+    pub fn charge(&mut self, key: (RegistryId, usize)) {
+        debug_assert!(key.1 < self.slots, "device slot out of range");
+        let lane = self.shards.entry(key.0).or_insert_with(|| vec![0; self.slots]);
+        if lane[key.1] == 0 {
+            self.touched.push(key);
+        }
+        lane[key.1] += 1;
+    }
+
+    /// Set a resource's load outright (carried-in contention).
+    pub fn set(&mut self, key: (RegistryId, usize), load: usize) {
+        debug_assert!(key.1 < self.slots, "device slot out of range");
+        if load == 0 {
+            return;
+        }
+        let lane = self.shards.entry(key.0).or_insert_with(|| vec![0; self.slots]);
+        if lane[key.1] == 0 {
+            self.touched.push(key);
+        }
+        lane[key.1] = load;
+    }
+
+    /// Wave barrier: zero every charged slot, keeping the lanes.
+    pub fn clear(&mut self) {
+        for (source, slot) in self.touched.drain(..) {
+            if let Some(lane) = self.shards.get_mut(&source) {
+                lane[slot] = 0;
+            }
+        }
+    }
+
+    /// Build from the flat map form (the public carry-in API).
+    fn from_map(slots: usize, map: &HashMap<(RegistryId, usize), usize>) -> Self {
+        let mut loads = RouteLoads::new(slots);
+        for (&key, &load) in map {
+            loads.set(key, load);
+        }
+        loads
+    }
+}
+
 /// Walks the application in barrier order, mirroring the executor's cache
 /// and contention state without touching the real testbed.
 pub struct EstimationContext<'t> {
@@ -98,9 +183,9 @@ pub struct EstimationContext<'t> {
     /// Estimated per-device layer caches (cloned cold or warm from the
     /// testbed).
     caches: Vec<LayerCache>,
-    /// Same-wave per-source route loads (`(source, device)`), reset at
-    /// each barrier.
-    route_load: HashMap<(RegistryId, usize), usize>,
+    /// Same-wave per-source route loads, sharded per registry source
+    /// (see [`RouteLoads`]), reset at each barrier.
+    route_load: RouteLoads,
     /// Devices of already-committed microservices (for `Tc`).
     assigned: Vec<Option<Placement>>,
     /// Mirror an executor running with `peer_sharing`: every estimate and
@@ -146,7 +231,23 @@ pub struct EstimationContext<'t> {
     /// [`EstimationContext::with_initial_route_load`]). Consumed by the
     /// first [`EstimationContext::begin_wave`]; later barriers clear as
     /// usual.
-    initial_route_load: Option<HashMap<(RegistryId, usize), usize>>,
+    initial_route_load: Option<RouteLoads>,
+    /// Per-microservice `application/microservice` calibration keys,
+    /// precomputed once — the estimate hot path reads them once per
+    /// `(registry, device)` candidate.
+    scoped: Vec<String>,
+    /// Per-microservice catalog entries, resolved once at construction
+    /// (`None` when the app wasn't yet published; `estimate` then falls
+    /// back to the per-call lookup).
+    entries: Vec<Option<&'t CatalogEntry>>,
+    /// Memoized primary-manifest resolutions keyed
+    /// `(registry, microservice, platform)`, filled by
+    /// [`EstimationContext::prefetch_manifests`]. Estimates and commits
+    /// plan against the memo through [`PullSession::preresolved`] when
+    /// warm and resolve per call otherwise — identically either way: the
+    /// testbed is immutably borrowed for the context's lifetime, so a
+    /// memoized resolution cannot go stale.
+    manifests: HashMap<(RegistryId, usize, Platform), (Reference, ImageManifest)>,
 }
 
 /// The pull mesh one estimated/committed pull runs through: the
@@ -160,7 +261,7 @@ pub struct EstimationContext<'t> {
 /// mutable cache at once.
 fn pull_mesh<'t>(
     testbed: &'t Testbed,
-    route_load: &HashMap<(RegistryId, usize), usize>,
+    route_load: &RouteLoads,
     peers: Option<&'t [(RegistryId, PeerCacheSource)]>,
     registry: RegistryChoice,
     device: DeviceId,
@@ -168,8 +269,7 @@ fn pull_mesh<'t>(
     windows: Option<(&FaultModel, Seconds)>,
 ) -> RegistryMesh<'t> {
     let load = |id: RegistryId| {
-        let contention =
-            testbed.params.contention_factor(*route_load.get(&route_key(id, device)).unwrap_or(&0));
+        let contention = testbed.params.contention_factor(route_load.get(route_key(id, device)));
         // Under scenario pricing, scripted degradation windows slow the
         // affected sources exactly as the executor's clock-gated load
         // factor does (×1.0 outside windows — bit-exact identity).
@@ -216,14 +316,14 @@ fn pull_mesh<'t>(
 /// resource — the executor's accounting: registry buckets load their
 /// download route, peer buckets the serving device's uplink.
 fn charge_routes(
-    route_load: &mut HashMap<(RegistryId, usize), usize>,
+    route_load: &mut RouteLoads,
     testbed: &Testbed,
     outcome: &deep_registry::PullOutcome,
     device: DeviceId,
 ) {
     for bucket in &outcome.per_source {
         if bucket.downloaded >= testbed.params.contention_threshold {
-            *route_load.entry(route_key(bucket.source, device)).or_insert(0) += 1;
+            route_load.charge(route_key(bucket.source, device));
         }
     }
 }
@@ -235,7 +335,7 @@ impl<'t> EstimationContext<'t> {
             testbed,
             app,
             caches: testbed.devices.iter().map(|d| d.cache.clone()).collect(),
-            route_load: HashMap::new(),
+            route_load: RouteLoads::new(testbed.devices.len()),
             assigned: vec![None; app.len()],
             peer_sharing: false,
             peer_snapshots: Vec::new(),
@@ -246,6 +346,48 @@ impl<'t> EstimationContext<'t> {
             wave_exec: Seconds::ZERO,
             pulls_committed: 0,
             initial_route_load: None,
+            scoped: app
+                .ids()
+                .map(|id| format!("{}/{}", app.name(), app.microservice(id).name))
+                .collect(),
+            entries: app
+                .ids()
+                .map(|id| testbed.entry(app.name(), &app.microservice(id).name))
+                .collect(),
+            manifests: HashMap::new(),
+        }
+    }
+
+    /// Memoize the primary-manifest resolutions `id`'s candidate
+    /// estimates will hit: one `resolve` per `(registry, platform)` pair
+    /// instead of one per `(registry, device)` candidate. The regional
+    /// registries re-verify and re-parse the stored manifest bytes on
+    /// every resolve — correct modelling of an OCI pull, but at fleet
+    /// scale the solver prices thousands of counterfactual candidates
+    /// per member and the round-trips dominate the estimate itself.
+    /// Purely an optimisation: warm and cold estimates price bit for
+    /// bit identically.
+    pub fn prefetch_manifests(&mut self, id: MicroserviceId) {
+        let Some(entry) = self.entries[id.0] else { return };
+        let mut archs: Vec<Platform> = Vec::new();
+        for d in &self.testbed.devices {
+            if !archs.contains(&d.arch) {
+                archs.push(d.arch);
+            }
+        }
+        for choice in self.testbed.registry_choices() {
+            for &arch in &archs {
+                let key = (choice.registry_id(), id.0, arch);
+                if self.manifests.contains_key(&key) {
+                    continue;
+                }
+                let reference = self.testbed.reference(entry, choice, arch);
+                // An unpublished variant stays unmemoized: the per-call
+                // resolve then reports it exactly as before.
+                if let Ok(m) = self.testbed.registry(choice).resolve(&reference, arch) {
+                    self.manifests.insert(key, (reference, m));
+                }
+            }
         }
     }
 
@@ -280,8 +422,9 @@ impl<'t> EstimationContext<'t> {
     /// begin-wave/estimate/commit walk prices it); later barriers
     /// clear route load as usual.
     pub fn with_initial_route_load(mut self, load: HashMap<(RegistryId, usize), usize>) -> Self {
-        self.route_load = load.clone();
-        self.initial_route_load = Some(load);
+        let sharded = RouteLoads::from_map(self.testbed.devices.len(), &load);
+        self.route_load = sharded.clone();
+        self.initial_route_load = Some(sharded);
         self
     }
 
@@ -372,11 +515,21 @@ impl<'t> EstimationContext<'t> {
     ) -> Estimate {
         let ms = self.app.microservice(id);
         let dev = self.testbed.device(device);
-        let entry = self
-            .testbed
-            .entry(self.app.name(), &ms.name)
-            .unwrap_or_else(|| panic!("no image published for {}/{}", self.app.name(), ms.name));
-        let reference = self.testbed.reference(entry, registry, dev.arch);
+        let entry = match self.entries[id.0] {
+            Some(e) => e,
+            None => self.testbed.entry(self.app.name(), &ms.name).unwrap_or_else(|| {
+                panic!("no image published for {}/{}", self.app.name(), ms.name)
+            }),
+        };
+        let built;
+        let (reference, preresolved) =
+            match self.manifests.get(&(registry.registry_id(), id.0, dev.arch)) {
+                Some((r, m)) => (r, Some(m)),
+                None => {
+                    built = self.testbed.reference(entry, registry, dev.arch);
+                    (&built, None)
+                }
+            };
         // The executor realises the same mesh under the same route loads,
         // so this estimate and its measurement agree bit for bit (under
         // fault pricing: in expectation over the injected fault plans).
@@ -399,15 +552,18 @@ impl<'t> EstimationContext<'t> {
                 pricing,
                 &mesh,
                 primary,
-                &reference,
+                reference,
                 dev.extract_bw,
                 dev.arch,
                 &self.caches[device.0],
             ),
             None => {
-                let outcome = PullSession::new(&mesh, primary)
-                    .extract_bw(dev.extract_bw)
-                    .estimate(&reference, dev.arch, &self.caches[device.0])
+                let mut session = PullSession::new(&mesh, primary).extract_bw(dev.extract_bw);
+                if let Some(m) = preresolved {
+                    session = session.preresolved(m);
+                }
+                let outcome = session
+                    .estimate(reference, dev.arch, &self.caches[device.0])
                     .expect("catalog images resolve");
                 let td = match faults {
                     None => outcome.deployment_time(),
@@ -423,10 +579,14 @@ impl<'t> EstimationContext<'t> {
                         if p == 0.0 || !primary_serves {
                             expected_happy
                         } else {
-                            let failover = PullSession::new(&mesh, primary)
+                            let mut session = PullSession::new(&mesh, primary)
                                 .extract_bw(dev.extract_bw)
-                                .presume_dead(primary)
-                                .estimate(&reference, dev.arch, &self.caches[device.0])
+                                .presume_dead(primary);
+                            if let Some(m) = preresolved {
+                                session = session.preresolved(m);
+                            }
+                            let failover = session
+                                .estimate(reference, dev.arch, &self.caches[device.0])
                                 .expect("survivors cover the catalog");
                             // The failover branch pays the surviving-source
                             // re-fetch, its expected transient backoff AND the
@@ -457,9 +617,9 @@ impl<'t> EstimationContext<'t> {
                 .device_transfer_time(producer, device, flow.size)
                 .expect("testbed topology covers all devices");
         }
-        let scoped = format!("{}/{}", self.app.name(), ms.name);
-        let tp = dev.processing_time(&scoped, ms.requirements.cpu);
-        let ec = dev.energy(&scoped, td, tc, tp);
+        let scoped = &self.scoped[id.0];
+        let tp = dev.processing_time(scoped, ms.requirements.cpu);
+        let ec = dev.energy(scoped, td, tc, tp);
         Estimate { td, tc, tp, ec, downloaded: outcome.downloaded }
     }
 
@@ -549,18 +709,32 @@ impl<'t> EstimationContext<'t> {
     ) -> deep_registry::PullOutcome {
         let ms = self.app.microservice(id);
         let dev = self.testbed.device(device);
-        let entry = self
-            .testbed
-            .entry(self.app.name(), &ms.name)
-            .unwrap_or_else(|| panic!("no image published for {}/{}", self.app.name(), ms.name));
-        let reference = self.testbed.reference(entry, registry, dev.arch);
+        let entry = match self.entries[id.0] {
+            Some(e) => e,
+            None => self.testbed.entry(self.app.name(), &ms.name).unwrap_or_else(|| {
+                panic!("no image published for {}/{}", self.app.name(), ms.name)
+            }),
+        };
+        let built;
+        let (reference, preresolved) =
+            match self.manifests.get(&(registry.registry_id(), id.0, dev.arch)) {
+                Some((r, m)) => (r, Some(m)),
+                None => {
+                    built = self.testbed.reference(entry, registry, dev.arch);
+                    (&built, None)
+                }
+            };
         let peers = self.peer_sharing.then(|| self.peer_snapshots[device.0].as_slice());
         let windows = self.scenario.map(|_| (&self.testbed.fault_model, self.clock));
         let mesh =
             pull_mesh(self.testbed, &self.route_load, peers, registry, device, false, windows);
-        PullSession::new(&mesh, registry.registry_id())
-            .extract_bw(dev.extract_bw)
-            .estimate(&reference, dev.arch, &self.caches[device.0])
+        let mut session =
+            PullSession::new(&mesh, registry.registry_id()).extract_bw(dev.extract_bw);
+        if let Some(m) = preresolved {
+            session = session.preresolved(m);
+        }
+        session
+            .estimate(reference, dev.arch, &self.caches[device.0])
             .expect("catalog images resolve")
     }
 
@@ -575,15 +749,35 @@ impl<'t> EstimationContext<'t> {
     pub fn commit(&mut self, id: MicroserviceId, placement: Placement) {
         let ms = self.app.microservice(id);
         let dev = self.testbed.device(placement.device);
-        let entry =
-            self.testbed.entry(self.app.name(), &ms.name).expect("estimate() validated the image");
-        let reference = self.testbed.reference(entry, placement.registry, dev.arch);
         let pricing = self.scenario;
         let clock = self.clock;
         // Split borrows: the mesh reads the peer snapshots while the pull
         // mutates the target device's estimated cache.
-        let EstimationContext { testbed, caches, route_load, peer_snapshots, peer_sharing, .. } =
-            self;
+        let EstimationContext {
+            testbed,
+            caches,
+            route_load,
+            peer_snapshots,
+            peer_sharing,
+            entries,
+            manifests,
+            ..
+        } = self;
+        let entry = match entries[id.0] {
+            Some(e) => e,
+            None => {
+                testbed.entry(self.app.name(), &ms.name).expect("estimate() validated the image")
+            }
+        };
+        let built;
+        let (reference, preresolved) =
+            match manifests.get(&(placement.registry.registry_id(), id.0, dev.arch)) {
+                Some((r, m)) => (r, Some(m)),
+                None => {
+                    built = testbed.reference(entry, placement.registry, dev.arch);
+                    (&built, None)
+                }
+            };
         let peers = peer_sharing.then(|| peer_snapshots[placement.device.0].as_slice());
         let windows = pricing.map(|_| (&testbed.fault_model, clock));
         let mesh = pull_mesh(
@@ -595,9 +789,13 @@ impl<'t> EstimationContext<'t> {
             false,
             windows,
         );
-        let outcome = PullSession::new(&mesh, placement.registry.registry_id())
-            .extract_bw(dev.extract_bw)
-            .pull(&reference, dev.arch, &mut caches[placement.device.0])
+        let mut session =
+            PullSession::new(&mesh, placement.registry.registry_id()).extract_bw(dev.extract_bw);
+        if let Some(m) = preresolved {
+            session = session.preresolved(m);
+        }
+        let outcome = session
+            .pull(reference, dev.arch, &mut caches[placement.device.0])
             .expect("catalog images resolve");
         charge_routes(route_load, testbed, &outcome, placement.device);
         if pricing.is_some() {
@@ -616,8 +814,8 @@ impl<'t> EstimationContext<'t> {
                         .expect("testbed topology covers all devices");
                 }
             }
-            let scoped = format!("{}/{}", self.app.name(), ms.name);
-            exec += dev.processing_time(&scoped, ms.requirements.cpu);
+            let scoped = &self.scoped[id.0];
+            exec += dev.processing_time(scoped, ms.requirements.cpu);
             self.wave_exec += exec;
         }
         self.assigned[id.0] = Some(placement);
@@ -626,8 +824,18 @@ impl<'t> EstimationContext<'t> {
 
     /// Admissible devices for a microservice.
     pub fn admissible_devices(&self, id: MicroserviceId) -> Vec<DeviceId> {
+        let mut out = Vec::new();
+        self.admissible_devices_into(id, &mut out);
+        out
+    }
+
+    /// [`EstimationContext::admissible_devices`] into a caller-owned
+    /// buffer — the fleet-scale solve loop re-filters per member per
+    /// round and must not allocate in steady state.
+    pub fn admissible_devices_into(&self, id: MicroserviceId, out: &mut Vec<DeviceId>) {
         let req = &self.app.microservice(id).requirements;
-        self.testbed.devices.iter().filter(|d| d.admits(req)).map(|d| d.id).collect()
+        out.clear();
+        out.extend(self.testbed.devices.iter().filter(|d| d.admits(req)).map(|d| d.id));
     }
 }
 

@@ -35,13 +35,46 @@
 //! paper's two-registry testbed all of this reduces to the seed
 //! hub-vs-regional game exactly (regression-tested in
 //! `tests/mesh_equilibria.rs`).
+//!
+//! ## Two solve paths: dense enumeration vs sparse descent
+//!
+//! The scheduler auto-selects between two equivalent solve paths by
+//! joint strategy-space size (`registries × devices`, threshold
+//! [`DeepScheduler::sparse_threshold`], default
+//! [`DEFAULT_SPARSE_THRESHOLD`]):
+//!
+//! * **Dense (paper-sized, below the threshold)** — stage games build
+//!   the full |R|×|D| bimatrix and run Nashpy-style support enumeration;
+//!   the congestion warm start runs dense best-response dynamics. This
+//!   is the seed path, preserved bit for bit.
+//! * **Sparse (fleet-scale, at or above it)** — stage-game payoffs fan
+//!   out across devices on the rayon pool into a reused flat buffer
+//!   (estimates are `&self`, so one context serves every worker), and
+//!   the equilibrium cell is selected by a single scan replicating the
+//!   dense tie-breaks (support enumeration lists pure equilibria
+//!   row-major and `max_by` keeps the *last* maximum, so the scan keeps
+//!   the last minimal-energy cell registry-major). The warm start runs
+//!   [`CongestionGame::sparse_descent`] — incremental ΔΦ over
+//!   per-resource load counters, trajectory-identical to the dense
+//!   dynamics (proven in `deep-game`'s parity tests) but touching only
+//!   the deviator's resource subset per candidate.
+//!
+//! The joint refinement and equilibrium checks evaluate unilateral
+//! deviations *incrementally* on both paths: a member's payoff depends
+//! only on placements committed strictly before it in the barrier walk,
+//! so one prefix replay per member prices every candidate directly —
+//! float-identical to the seed's full-profile replays at 1/n-th the
+//! walks. A 1,000-device, 10-registry synthetic fleet
+//! ([`crate::continuum::synthetic_fleet_testbed`]) solves in well under
+//! a second (`examples/fleet_scale.rs`, PERF.md).
 
 use crate::model::{EstimationContext, ScenarioPricing};
 use crate::Scheduler;
 use deep_dataflow::{stages, Application, MicroserviceId};
-use deep_game::{support_enumeration, Bimatrix, CongestionGame, Matrix};
-use deep_netsim::{RegistryId, Seconds};
+use deep_game::{support_enumeration, Bimatrix, CongestionGame, DescentWorkspace, Matrix};
+use deep_netsim::{DeviceId, RegistryId, Seconds};
 use deep_simulator::{route_key, Placement, RegistryChoice, Schedule, Testbed};
+use rayon::prelude::*;
 use std::collections::BTreeMap;
 
 /// One strategy's loaded contention keys with their unloaded bucket
@@ -83,8 +116,17 @@ pub struct WaveRouteGame {
 
 impl WaveRouteGame {
     /// Derive the wave's game from the context's current state (call at
-    /// the wave barrier, before committing any member).
-    fn build(ctx: &EstimationContext<'_>, testbed: &Testbed, members: &[MicroserviceId]) -> Self {
+    /// the wave barrier, before committing any member). With `parallel`
+    /// the per-placement pull plans fan out over the rayon pool
+    /// (order-preserving collect; the observed-cost sums still
+    /// accumulate serially in strategy order, so every float matches
+    /// the serial build exactly).
+    fn build(
+        ctx: &EstimationContext<'_>,
+        testbed: &Testbed,
+        members: &[MicroserviceId],
+        parallel: bool,
+    ) -> Self {
         let registries = ctx.registry_choices();
         let threshold = testbed.params.contention_threshold;
         let mut strategies: Vec<Vec<Placement>> = Vec::with_capacity(members.len());
@@ -94,30 +136,39 @@ impl WaveRouteGame {
         let mut plans: Vec<Vec<StrategyLoads>> = Vec::with_capacity(members.len());
         let mut observed: BTreeMap<(RegistryId, usize), (f64, usize)> = BTreeMap::new();
         for &id in members {
-            let mut per_strategy = Vec::new();
             let mut placements = Vec::new();
             for &registry in &registries {
                 for &device in &ctx.admissible_devices(id) {
-                    let outcome = ctx.plan(id, registry, device);
-                    let mut loads = Vec::new();
-                    for bucket in &outcome.per_source {
-                        if bucket.downloaded < threshold {
-                            continue;
-                        }
-                        let key = route_key(bucket.source, device);
-                        let bw = testbed
-                            .source_params(RegistryChoice::mesh(bucket.source), device, 1.0)
-                            .download_bw;
-                        let secs = deep_netsim::transfer_time(bucket.downloaded, bw).as_f64();
-                        let entry = observed.entry(key).or_insert((0.0, 0));
-                        entry.0 += secs;
-                        entry.1 += 1;
-                        loads.push((key, secs));
-                    }
-                    loads.sort_unstable_by_key(|(key, _)| *key);
-                    per_strategy.push(loads);
                     placements.push(Placement { registry, device });
                 }
+            }
+            let strategy_loads = |placement: &Placement| -> StrategyLoads {
+                let outcome = ctx.plan(id, placement.registry, placement.device);
+                let mut loads = Vec::new();
+                for bucket in &outcome.per_source {
+                    if bucket.downloaded < threshold {
+                        continue;
+                    }
+                    let key = route_key(bucket.source, placement.device);
+                    let bw = testbed
+                        .source_params(RegistryChoice::mesh(bucket.source), placement.device, 1.0)
+                        .download_bw;
+                    loads.push((key, deep_netsim::transfer_time(bucket.downloaded, bw).as_f64()));
+                }
+                loads
+            };
+            let mut per_strategy: Vec<StrategyLoads> = if parallel {
+                placements.par_iter().map(strategy_loads).collect()
+            } else {
+                placements.iter().map(strategy_loads).collect()
+            };
+            for loads in &mut per_strategy {
+                for &(key, secs) in loads.iter() {
+                    let entry = observed.entry(key).or_insert((0.0, 0));
+                    entry.0 += secs;
+                    entry.1 += 1;
+                }
+                loads.sort_unstable_by_key(|(key, _)| *key);
             }
             plans.push(per_strategy);
             strategies.push(placements);
@@ -180,6 +231,30 @@ pub struct RepairOutcome {
     pub fell_back: bool,
 }
 
+/// Strategy-space size (`registries × devices`) at which
+/// [`DeepScheduler`] switches from dense support enumeration to the
+/// sparse fleet-scale path. The paper testbeds top out at 5 registries
+/// × 3 devices = 15 cells, comfortably below — so the default
+/// preserves paper-sized behaviour bit for bit while a 1,000-device
+/// fleet (≥ 2,000 cells) always takes the sparse path.
+pub const DEFAULT_SPARSE_THRESHOLD: usize = 64;
+
+/// Reused buffers for the hot solve loop: per-member admissible-device
+/// lists, the flat stage-game payoff grid the rayon workers fill, and
+/// the sparse-descent counters. One workspace serves a whole
+/// [`Scheduler::schedule`] call across members, waves and refinement
+/// rounds; steady state allocates nothing (asserted in this module's
+/// tests via capacity/pointer stability, the gf256 idiom).
+#[derive(Debug, Default)]
+struct FleetWorkspace {
+    /// Admissible devices of the member being solved.
+    devices: Vec<DeviceId>,
+    /// Flat payoff/cost grid, device-major: `payoffs[d * R + r]`.
+    payoffs: Vec<f64>,
+    /// Load counters + dirty queue for the sparse potential descent.
+    descent: DescentWorkspace,
+}
+
 /// The DEEP scheduler.
 #[derive(Debug, Clone)]
 pub struct DeepScheduler {
@@ -233,6 +308,14 @@ pub struct DeepScheduler {
     /// At 0 (the default) pricing is byte-identical to the one-shot
     /// path.
     pub start_pull: u64,
+    /// Joint strategy-space size (`registries × devices`) at which the
+    /// solver switches from dense support enumeration to the sparse
+    /// fleet-scale path (parallel payoff fan-out + sparse potential
+    /// descent). The default ([`DEFAULT_SPARSE_THRESHOLD`]) keeps every
+    /// paper-sized testbed on the dense path bit for bit; set to `1` to
+    /// force sparse everywhere (the parity tests do) or `usize::MAX` to
+    /// force dense.
+    pub sparse_threshold: usize,
 }
 
 impl Default for DeepScheduler {
@@ -246,6 +329,7 @@ impl Default for DeepScheduler {
             congestion_warm_start: true,
             start_clock: Seconds::ZERO,
             start_pull: 0,
+            sparse_threshold: DEFAULT_SPARSE_THRESHOLD,
         }
     }
 }
@@ -298,14 +382,26 @@ impl DeepScheduler {
             .starting_pull(self.start_pull)
     }
 
+    /// Does `testbed`'s joint strategy space put this scheduler on the
+    /// sparse fleet-scale path?
+    fn fleet_scale(&self, testbed: &Testbed) -> bool {
+        testbed.registry_choices().len() * testbed.devices.len() >= self.sparse_threshold
+    }
+
     /// Play the per-microservice stage games in barrier order.
-    fn sequential_assignment(&self, app: &Application, testbed: &Testbed) -> Vec<Placement> {
+    fn sequential_assignment(
+        &self,
+        app: &Application,
+        testbed: &Testbed,
+        ws: &mut FleetWorkspace,
+    ) -> Vec<Placement> {
         let mut ctx = self.context(testbed, app);
         let mut placements: Vec<Option<Placement>> = vec![None; app.len()];
         for stage in stages(app) {
             ctx.begin_wave();
             for &id in &stage.members {
-                let placement = self.stage_game(&ctx, id);
+                ctx.prefetch_manifests(id);
+                let placement = self.stage_game(&ctx, testbed, id, ws);
                 ctx.commit(id, placement);
                 placements[id.0] = Some(placement);
             }
@@ -313,15 +409,27 @@ impl DeepScheduler {
         placements.into_iter().map(|p| p.expect("all stages visited")).collect()
     }
 
-    /// Build and solve one microservice's |R|×|D| common-interest game
-    /// over every mesh registry × admissible device.
-    fn stage_game(&self, ctx: &EstimationContext<'_>, id: MicroserviceId) -> Placement {
+    /// Solve one microservice's |R|×|D| common-interest game over every
+    /// mesh registry × admissible device: dense support enumeration
+    /// below the sparse threshold (the seed path, bit for bit), the
+    /// parallel scan above it.
+    fn stage_game(
+        &self,
+        ctx: &EstimationContext<'_>,
+        testbed: &Testbed,
+        id: MicroserviceId,
+        ws: &mut FleetWorkspace,
+    ) -> Placement {
         let registries = ctx.registry_choices();
-        let devices = ctx.admissible_devices(id);
+        ctx.admissible_devices_into(id, &mut ws.devices);
         assert!(
-            !devices.is_empty(),
+            !ws.devices.is_empty(),
             "no device admits microservice {id}: the testbed cannot host the application"
         );
+        if self.fleet_scale(testbed) {
+            return Self::stage_game_sparse(ctx, id, &registries, ws);
+        }
+        let devices = &ws.devices;
         let payoff = Matrix::from_fn(registries.len(), devices.len(), |r, c| {
             -ctx.estimate(id, registries[r], devices[c]).ec.as_f64()
         });
@@ -339,6 +447,76 @@ impl DeepScheduler {
             })
             .expect("common-interest games always have a pure equilibrium");
         Placement { registry: registries[x.mode()], device: devices[y.mode()] }
+    }
+
+    /// The fleet-scale stage game: payoff evaluation fans out across
+    /// devices on the rayon pool (the context is `&self`-shared — route
+    /// loads, caches and peer snapshots are all read-only during
+    /// estimation), then one serial scan selects the equilibrium cell
+    /// with exactly the dense path's tie-breaks.
+    ///
+    /// Why a scan suffices: in a common-interest game the global payoff
+    /// maximum is always a pure Nash equilibrium, support enumeration
+    /// lists the pure equilibria first in row-major (registry-major)
+    /// order, `max_by` keeps the *last* maximal entry, and `mode()`
+    /// on a pure strategy is the identity — so the dense path selects
+    /// the last global-minimum-energy cell in registry-major order,
+    /// which is what the `<=` scan below keeps. (A degenerate mixed
+    /// equilibrium tying the global optimum to the last bit could in
+    /// principle round elsewhere; the parity suite has never produced
+    /// one.)
+    fn stage_game_sparse(
+        ctx: &EstimationContext<'_>,
+        id: MicroserviceId,
+        registries: &[RegistryChoice],
+        ws: &mut FleetWorkspace,
+    ) -> Placement {
+        Self::candidate_costs(ctx, id, registries, true, ws);
+        let r_count = registries.len();
+        let mut best = (f64::INFINITY, 0usize, 0usize);
+        for ri in 0..r_count {
+            for di in 0..ws.devices.len() {
+                let cost = ws.payoffs[di * r_count + ri];
+                if cost <= best.0 {
+                    best = (cost, ri, di);
+                }
+            }
+        }
+        Placement { registry: registries[best.1], device: ws.devices[best.2] }
+    }
+
+    /// Replay `profile`'s barrier walk up to (but not including)
+    /// `target`'s commit and return the context frozen there.
+    ///
+    /// This is the incremental-deviation keystone: a member's payoff
+    /// depends only on the placements committed *strictly before* it in
+    /// the walk (its own wave's earlier members load this wave's
+    /// routes; earlier waves shape the caches, peer snapshots and
+    /// clock), and its own deviation never changes that prefix. So
+    /// `profile_costs(probe)[target]` for any probe differing from
+    /// `profile` only at `target` equals a direct
+    /// [`EstimationContext::estimate`] against this context —
+    /// float-identical, one `O(members)` walk instead of one per
+    /// candidate.
+    fn context_at<'t>(
+        &self,
+        app: &'t Application,
+        testbed: &'t Testbed,
+        profile: &[Placement],
+        target: MicroserviceId,
+    ) -> EstimationContext<'t> {
+        let mut ctx = self.context(testbed, app);
+        for stage in stages(app) {
+            ctx.begin_wave();
+            for &id in &stage.members {
+                if id == target {
+                    ctx.prefetch_manifests(target);
+                    return ctx;
+                }
+                ctx.commit(id, profile[id.0]);
+            }
+        }
+        unreachable!("target microservice not in the application")
     }
 
     /// Evaluate every microservice's estimated energy under a full
@@ -375,9 +553,10 @@ impl DeepScheduler {
     ) -> Vec<WaveRouteGame> {
         let mut ctx = self.context(testbed, app);
         let mut out = Vec::new();
+        let parallel = self.fleet_scale(testbed);
         for stage in stages(app) {
             ctx.begin_wave();
-            out.push(WaveRouteGame::build(&ctx, testbed, &stage.members));
+            out.push(WaveRouteGame::build(&ctx, testbed, &stage.members, parallel));
             for &id in &stage.members {
                 ctx.commit(id, profile[id.0]);
             }
@@ -396,12 +575,17 @@ impl DeepScheduler {
         app: &Application,
         testbed: &Testbed,
         profile: &[Placement],
+        ws: &mut FleetWorkspace,
     ) -> Vec<Placement> {
         let mut ctx = self.context(testbed, app);
         let mut out = profile.to_vec();
+        let fleet = self.fleet_scale(testbed);
         for stage in stages(app) {
             ctx.begin_wave();
-            let wave = WaveRouteGame::build(&ctx, testbed, &stage.members);
+            for &id in &stage.members {
+                ctx.prefetch_manifests(id);
+            }
+            let wave = WaveRouteGame::build(&ctx, testbed, &stage.members, fleet);
             if !wave.resources.is_empty() {
                 let game = wave.game();
                 let start: Vec<usize> = wave
@@ -410,7 +594,15 @@ impl DeepScheduler {
                     .enumerate()
                     .map(|(p, &id)| wave.strategy_index(p, out[id.0]))
                     .collect();
-                let result = game.best_response_dynamics(start, self.max_refine_passes);
+                // Trajectory-identical engines (deep-game parity tests);
+                // the sparse one touches only the deviator's resource
+                // subset per candidate, which is what makes fleet-sized
+                // strategy spaces affordable.
+                let result = if fleet {
+                    game.sparse_descent(start, self.max_refine_passes, &mut ws.descent)
+                } else {
+                    game.best_response_dynamics(start, self.max_refine_passes)
+                };
                 for (p, &id) in wave.members.iter().enumerate() {
                     out[id.0] = wave.strategies[p][result.profile[p]];
                 }
@@ -488,7 +680,8 @@ impl DeepScheduler {
         let mut ctx = self.context(testbed, app);
         for stage in stages(app) {
             ctx.begin_wave();
-            let wave = WaveRouteGame::build(&ctx, testbed, &stage.members);
+            let wave =
+                WaveRouteGame::build(&ctx, testbed, &stage.members, self.fleet_scale(testbed));
             if !wave.resources.is_empty() {
                 let game = wave.game();
                 let mut current: Vec<usize> = wave
@@ -538,33 +731,44 @@ impl DeepScheduler {
     }
 
     /// Joint best-response refinement to a pure Nash equilibrium.
+    ///
+    /// Candidate deviations are priced incrementally: one prefix replay
+    /// per member ([`DeepScheduler::context_at`]) prices every
+    /// `(registry, device)` candidate with a direct estimate —
+    /// float-identical to the seed's per-candidate full-profile replays
+    /// (the member's payoff never depends on its own or later commits),
+    /// at `O(members)` walks per pass instead of `O(members² ×
+    /// candidates)`. On the fleet-scale path the candidate grid fans
+    /// out across devices on the rayon pool; the selection scan stays
+    /// serial so the dense tie-breaks (first strict improvement in
+    /// registry-major order) are preserved exactly.
     fn refine_joint(
         &self,
         app: &Application,
         testbed: &Testbed,
         mut profile: Vec<Placement>,
+        ws: &mut FleetWorkspace,
     ) -> Vec<Placement> {
         if self.congestion_warm_start {
-            profile = self.potential_warm_start(app, testbed, &profile);
+            profile = self.potential_warm_start(app, testbed, &profile, ws);
         }
         let registries = testbed.registry_choices();
+        let fleet = self.fleet_scale(testbed);
         for _ in 0..self.max_refine_passes {
             let mut changed = false;
             for id in app.ids() {
-                let ctx = self.context(testbed, app);
-                let devices = ctx.admissible_devices(id);
-                drop(ctx);
-                let current_cost = self.profile_costs(app, testbed, &profile)[id.0];
-                let mut best = (current_cost, profile[id.0]);
-                for &registry in &registries {
-                    for &device in &devices {
+                let ctx = self.context_at(app, testbed, &profile, id);
+                let current = profile[id.0];
+                let current_cost = ctx.estimate(id, current.registry, current.device).ec.as_f64();
+                Self::candidate_costs(&ctx, id, &registries, fleet, ws);
+                let mut best = (current_cost, current);
+                for (ri, &registry) in registries.iter().enumerate() {
+                    for (di, &device) in ws.devices.iter().enumerate() {
                         let candidate = Placement { registry, device };
-                        if candidate == profile[id.0] {
+                        if candidate == current {
                             continue;
                         }
-                        let mut probe = profile.clone();
-                        probe[id.0] = candidate;
-                        let cost = self.profile_costs(app, testbed, &probe)[id.0];
+                        let cost = ws.payoffs[di * registries.len() + ri];
                         if cost < best.0 - 1e-9 {
                             best = (cost, candidate);
                         }
@@ -582,6 +786,34 @@ impl DeepScheduler {
         profile
     }
 
+    /// Fill `ws.payoffs` (device-major) with `id`'s estimated energy for
+    /// every registry × admissible device under `ctx`'s committed
+    /// prefix; `ws.devices` is refreshed first. Parallel over devices on
+    /// the fleet path, serial otherwise — same floats either way.
+    fn candidate_costs(
+        ctx: &EstimationContext<'_>,
+        id: MicroserviceId,
+        registries: &[RegistryChoice],
+        parallel: bool,
+        ws: &mut FleetWorkspace,
+    ) {
+        ctx.admissible_devices_into(id, &mut ws.devices);
+        let FleetWorkspace { devices, payoffs, .. } = ws;
+        let r_count = registries.len();
+        payoffs.clear();
+        payoffs.resize(r_count * devices.len(), 0.0);
+        let fill = |(row, &device): (&mut [f64], &DeviceId)| {
+            for (ri, &registry) in registries.iter().enumerate() {
+                row[ri] = ctx.estimate(id, registry, device).ec.as_f64();
+            }
+        };
+        if parallel {
+            payoffs.par_chunks_mut(r_count).zip(devices.par_iter()).for_each(fill);
+        } else {
+            payoffs.chunks_mut(r_count).zip(devices.iter()).for_each(fill);
+        }
+    }
+
     /// Is `schedule` a pure Nash equilibrium of the joint deployment game
     /// under *this* scheduler's configuration (mesh strategy space,
     /// peer-aware payoffs when enabled)?
@@ -594,21 +826,61 @@ impl DeepScheduler {
         let profile: Vec<Placement> = app.ids().map(|id| schedule.placement(id)).collect();
         let registries = testbed.registry_choices();
         for id in app.ids() {
-            let ctx = self.context(testbed, app);
+            // One prefix replay prices every deviation of this member
+            // (float-identical to the seed's per-candidate full
+            // replays; see `context_at`).
+            let ctx = self.context_at(app, testbed, &profile, id);
             let devices = ctx.admissible_devices(id);
-            drop(ctx);
-            let current = self.profile_costs(app, testbed, &profile)[id.0];
+            let p = profile[id.0];
+            let current = ctx.estimate(id, p.registry, p.device).ec.as_f64();
             for &registry in &registries {
                 for &device in &devices {
                     let candidate = Placement { registry, device };
-                    if candidate == profile[id.0] {
+                    if candidate == p {
                         continue;
                     }
-                    let mut probe = profile.clone();
-                    probe[id.0] = candidate;
-                    if self.profile_costs(app, testbed, &probe)[id.0] < current - 1e-9 {
+                    if ctx.estimate(id, registry, device).ec.as_f64() < current - 1e-9 {
                         return false;
                     }
+                }
+            }
+        }
+        true
+    }
+
+    /// Equilibrium check over a seeded sample of unilateral deviations
+    /// instead of the full `registries × devices` grid — the fleet-scale
+    /// verification: at 10³ devices the exhaustive check prices ~10⁴
+    /// candidates per member, while a few dozen seeded samples per
+    /// member already catch a non-equilibrium with overwhelming
+    /// probability (any improving deviation that exists is sampled
+    /// uniformly). Deterministic in `seed` (splitmix64 stream); the
+    /// member's current placement resamples to a no-op.
+    pub fn is_equilibrium_sampled(
+        &self,
+        app: &Application,
+        testbed: &Testbed,
+        schedule: &Schedule,
+        deviations_per_member: usize,
+        seed: u64,
+    ) -> bool {
+        let profile: Vec<Placement> = app.ids().map(|id| schedule.placement(id)).collect();
+        let registries = testbed.registry_choices();
+        let mut state = seed;
+        for id in app.ids() {
+            let ctx = self.context_at(app, testbed, &profile, id);
+            let devices = ctx.admissible_devices(id);
+            let p = profile[id.0];
+            let current = ctx.estimate(id, p.registry, p.device).ec.as_f64();
+            for _ in 0..deviations_per_member {
+                let registry =
+                    registries[(splitmix64(&mut state) % registries.len() as u64) as usize];
+                let device = devices[(splitmix64(&mut state) % devices.len() as u64) as usize];
+                if (Placement { registry, device }) == p {
+                    continue;
+                }
+                if ctx.estimate(id, registry, device).ec.as_f64() < current - 1e-9 {
+                    return false;
                 }
             }
         }
@@ -630,11 +902,27 @@ impl Scheduler for DeepScheduler {
     }
 
     fn schedule(&self, app: &Application, testbed: &Testbed) -> Schedule {
-        let sequential = self.sequential_assignment(app, testbed);
-        let profile =
-            if self.refine { self.refine_joint(app, testbed, sequential) } else { sequential };
+        let mut ws = FleetWorkspace::default();
+        let sequential = self.sequential_assignment(app, testbed, &mut ws);
+        let profile = if self.refine {
+            self.refine_joint(app, testbed, sequential, &mut ws)
+        } else {
+            sequential
+        };
         Schedule::new(profile)
     }
+}
+
+/// The splitmix64 step — the seeded stream behind
+/// [`DeepScheduler::is_equilibrium_sampled`]'s deviation draws and the
+/// synthetic fleet's heterogeneity jitter (no ambient RNG anywhere in
+/// the solve path).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 #[cfg(test)]
@@ -894,6 +1182,84 @@ mod tests {
         let out = sched.incremental_repair(&app, &tb, &uniform, 0);
         assert!(out.fell_back, "zero budget must reject the descent");
         assert_eq!(out.schedule, sched.schedule(&app, &tb));
+    }
+
+    #[test]
+    fn fleet_workspace_reuses_buffers_across_solves() {
+        // The hot fleet loop must not allocate in steady state: after a
+        // warm solve has sized the workspace, a second solve through the
+        // same workspace reuses every buffer in place (the `gf256`
+        // fingerprint idiom — pointer and capacity both pinned).
+        let tb = calibrated_testbed();
+        let app = apps::text_processing();
+        let sched = DeepScheduler { sparse_threshold: 1, ..DeepScheduler::paper() };
+        let mut ws = FleetWorkspace::default();
+        let warm = sched.sequential_assignment(&app, &tb, &mut ws);
+        let warm = sched.refine_joint(&app, &tb, warm, &mut ws);
+        let fp = (
+            ws.payoffs.as_ptr(),
+            ws.payoffs.capacity(),
+            ws.devices.as_ptr(),
+            ws.devices.capacity(),
+        );
+        let again = sched.sequential_assignment(&app, &tb, &mut ws);
+        let again = sched.refine_joint(&app, &tb, again, &mut ws);
+        assert_eq!(warm, again, "workspace reuse must not change the schedule");
+        assert_eq!(
+            fp,
+            (
+                ws.payoffs.as_ptr(),
+                ws.payoffs.capacity(),
+                ws.devices.as_ptr(),
+                ws.devices.capacity()
+            ),
+            "steady-state solve reallocated a workspace buffer"
+        );
+    }
+
+    #[test]
+    fn parallel_candidate_costs_match_serial_exactly() {
+        // fleet.rs::rayon_must_not_change_results, one level down: the
+        // rayon fan-out over devices must price every (registry, device)
+        // candidate bit-for-bit like the serial map.
+        let tb = calibrated_testbed();
+        let sched = DeepScheduler::paper();
+        let registries = tb.registry_choices();
+        for app in apps::case_studies() {
+            let schedule = sched.schedule(&app, &tb);
+            let profile: Vec<Placement> = app.ids().map(|id| schedule.placement(id)).collect();
+            for id in app.ids() {
+                let ctx = sched.context_at(&app, &tb, &profile, id);
+                let mut serial = FleetWorkspace::default();
+                let mut parallel = FleetWorkspace::default();
+                DeepScheduler::candidate_costs(&ctx, id, &registries, false, &mut serial);
+                DeepScheduler::candidate_costs(&ctx, id, &registries, true, &mut parallel);
+                assert_eq!(serial.devices, parallel.devices, "{} {id:?}", app.name());
+                assert_eq!(
+                    serial.payoffs.iter().map(|c| c.to_bits()).collect::<Vec<_>>(),
+                    parallel.payoffs.iter().map(|c| c.to_bits()).collect::<Vec<_>>(),
+                    "{} {id:?}",
+                    app.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_equilibrium_check_agrees_with_exhaustive() {
+        let mut tb = calibrated_testbed();
+        tb.params.contention_alpha = 2.0;
+        let app = apps::text_processing();
+        let sched = DeepScheduler::paper();
+        let equilibrium = sched.schedule(&app, &tb);
+        assert!(sched.is_equilibrium(&app, &tb, &equilibrium));
+        assert!(sched.is_equilibrium_sampled(&app, &tb, &equilibrium, 16, 7));
+        // Everything piled on one contended route: improving deviations
+        // exist for several members, so a 64-draw sample over the small
+        // candidate grid cannot miss all of them.
+        let contended = Schedule::uniform(app.len(), RegistryChoice::Hub, DEVICE_MEDIUM);
+        assert!(!sched.is_equilibrium(&app, &tb, &contended));
+        assert!(!sched.is_equilibrium_sampled(&app, &tb, &contended, 64, 7));
     }
 
     #[test]

@@ -318,6 +318,221 @@ impl<'a> CongestionGame<'a> {
             })
         })
     }
+
+    /// Sparse potential descent: best-response dynamics over incremental
+    /// per-resource load counters, profile-identical to
+    /// [`best_response_dynamics`](Self::best_response_dynamics) but scaling
+    /// with the deviator's resource *subset* instead of the full profile.
+    ///
+    /// Three structural shortcuts, none of which change the trajectory:
+    ///
+    /// * **Incremental ΔΦ.** A unilateral deviation changes Rosenthal's
+    ///   potential by exactly the deviator's cost delta, and the deviator's
+    ///   candidate cost is `Σ_{r ∈ subset} cost(r, load_without_me(r) + 1)`
+    ///   — the live load counters answer that without rebuilding the
+    ///   profile-wide load vector per candidate (`player_cost` is
+    ///   `O(players)` per call; this is `O(|subset|)`). Same integer loads
+    ///   into the same cost closure means bit-identical floats, so every
+    ///   accept/reject decision matches the dense scan.
+    /// * **Indexed best-response queue.** When `p` moves from subset `A` to
+    ///   `B`, only loads on the symmetric difference `A △ B` change, so only
+    ///   players indexed as touching those resources can have gained an
+    ///   improving deviation; everyone else is skipped. Skipping a clean
+    ///   player is a semantic no-op: its candidate landscape is unchanged
+    ///   since it last failed to improve (or moved to its best response), so
+    ///   the dense pass would evaluate and not move.
+    /// * **Early termination on potential convergence.** Once the dirty
+    ///   queue drains — no improving deviation can remain, Φ is at a local
+    ///   minimum — the pass ends with `changed == false` exactly where the
+    ///   dense dynamics would.
+    ///
+    /// `ws` carries the load counters, dirty flags and the resource→player
+    /// index; reusing it across calls on same-shaped games makes the steady
+    /// state allocation-free (the dense path clones the profile once per
+    /// candidate).
+    pub fn sparse_descent(
+        &self,
+        start: Vec<usize>,
+        max_passes: usize,
+        ws: &mut DescentWorkspace,
+    ) -> BestResponseResult {
+        assert_eq!(start.len(), self.players(), "profile length mismatch");
+        for (p, &s) in start.iter().enumerate() {
+            assert!(s < self.strategy_count(p), "start strategy out of range for player {p}");
+        }
+        ws.prepare(self, &start);
+        let mut profile = start;
+        for pass in 0..max_passes {
+            let mut changed = false;
+            // Indexed loop on purpose: the body reads *and* rewrites
+            // `profile[p]` while borrowing `self.uses[p]`, mirroring the
+            // dense dynamics' player walk.
+            #[allow(clippy::needless_range_loop)]
+            for p in 0..self.players() {
+                if !ws.dirty[p] {
+                    continue;
+                }
+                let cur = profile[p];
+                // Current cost at the live loads (p included) — the same
+                // per-subset summation order as `player_cost`.
+                let current: f64 =
+                    self.uses[p][cur].iter().map(|&r| (self.cost)(r, ws.loads[r])).sum();
+                // Lift p out of the counters; every candidate is then
+                // priced as Σ cost(r, load_without_me + 1).
+                for &r in &self.uses[p][cur] {
+                    ws.loads[r] -= 1;
+                }
+                let mut best = (f64::INFINITY, 0usize);
+                for s in 0..self.strategy_count(p) {
+                    let c: f64 =
+                        self.uses[p][s].iter().map(|&r| (self.cost)(r, ws.loads[r] + 1)).sum();
+                    if c < best.0 - 1e-12 {
+                        best = (c, s);
+                    }
+                }
+                if best.0 < current - 1e-12 {
+                    for &r in &self.uses[p][best.1] {
+                        ws.loads[r] += 1;
+                    }
+                    ws.mark_touchers_of_difference(&self.uses[p][cur], &self.uses[p][best.1]);
+                    profile[p] = best.1;
+                    changed = true;
+                } else {
+                    for &r in &self.uses[p][cur] {
+                        ws.loads[r] += 1;
+                    }
+                }
+                // Either p failed to improve, or it now sits at its best
+                // response — both leave it clean until a neighbour on a
+                // shared resource moves.
+                ws.dirty[p] = false;
+            }
+            if !changed {
+                return BestResponseResult { profile, converged: true, passes: pass + 1 };
+            }
+        }
+        BestResponseResult { profile, converged: false, passes: max_passes }
+    }
+}
+
+/// Reusable buffers for [`CongestionGame::sparse_descent`]: per-resource
+/// load counters, per-player dirty flags, and a CSR resource→players index
+/// (which players touch a resource through *any* of their strategies).
+///
+/// A fresh default workspace works for any game; reusing one across solves
+/// of same-shaped games reaches a zero-allocation steady state (asserted in
+/// this module's tests the way `gf256`'s encode-into test pins buffer
+/// reuse).
+#[derive(Debug, Default)]
+pub struct DescentWorkspace {
+    /// Live per-resource loads for the current profile.
+    loads: Vec<usize>,
+    /// Players whose best response may have changed since last evaluated.
+    dirty: Vec<bool>,
+    /// CSR offsets (length `resources + 1`) into `touchers`.
+    toucher_offsets: Vec<usize>,
+    /// CSR payload: players touching each resource, deduplicated.
+    touchers: Vec<usize>,
+    /// Per-resource fill cursor (CSR build) — reused scratch.
+    cursor: Vec<usize>,
+    /// Per-resource dedup stamp (player id + 1) — reused scratch.
+    seen: Vec<usize>,
+}
+
+impl DescentWorkspace {
+    /// New empty workspace (equivalent to `Default::default()`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Size every buffer for `game`, compute `start`'s loads, mark all
+    /// players dirty, and (re)build the resource→players index.
+    fn prepare(&mut self, game: &CongestionGame<'_>, start: &[usize]) {
+        let resources = game.resources;
+        let players = game.players();
+        self.loads.clear();
+        self.loads.resize(resources, 0);
+        for (p, &s) in start.iter().enumerate() {
+            for &r in &game.uses[p][s] {
+                self.loads[r] += 1;
+            }
+        }
+        self.dirty.clear();
+        self.dirty.resize(players, true);
+        // Two-pass CSR build with per-player dedup: a player with
+        // strategies {0,1} and {0,2} touches {0,1,2} once each.
+        self.seen.clear();
+        self.seen.resize(resources, 0);
+        self.toucher_offsets.clear();
+        self.toucher_offsets.resize(resources + 1, 0);
+        for (p, strategies) in game.uses.iter().enumerate() {
+            for subset in strategies {
+                for &r in subset {
+                    if self.seen[r] != p + 1 {
+                        self.seen[r] = p + 1;
+                        self.toucher_offsets[r + 1] += 1;
+                    }
+                }
+            }
+        }
+        for r in 0..resources {
+            self.toucher_offsets[r + 1] += self.toucher_offsets[r];
+        }
+        self.touchers.clear();
+        self.touchers.resize(self.toucher_offsets[resources], 0);
+        self.cursor.clear();
+        self.cursor.extend_from_slice(&self.toucher_offsets[..resources]);
+        self.seen.iter_mut().for_each(|s| *s = 0);
+        for (p, strategies) in game.uses.iter().enumerate() {
+            for subset in strategies {
+                for &r in subset {
+                    if self.seen[r] != p + 1 {
+                        self.seen[r] = p + 1;
+                        self.touchers[self.cursor[r]] = p;
+                        self.cursor[r] += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Mark every indexed toucher of the symmetric difference `a △ b`
+    /// dirty (both subsets strictly increasing — a merge walk). Loads on
+    /// `a ∩ b` are unchanged by the move, so their touchers stay clean.
+    fn mark_touchers_of_difference(&mut self, a: &[usize], b: &[usize]) {
+        let (mut i, mut j) = (0, 0);
+        loop {
+            let changed = match (a.get(i), b.get(j)) {
+                (Some(&ra), Some(&rb)) if ra == rb => {
+                    i += 1;
+                    j += 1;
+                    continue;
+                }
+                (Some(&ra), Some(&rb)) if ra < rb => {
+                    i += 1;
+                    ra
+                }
+                (Some(_), Some(&rb)) => {
+                    j += 1;
+                    rb
+                }
+                (Some(&ra), None) => {
+                    i += 1;
+                    ra
+                }
+                (None, Some(&rb)) => {
+                    j += 1;
+                    rb
+                }
+                (None, None) => break,
+            };
+            for &p in
+                &self.touchers[self.toucher_offsets[changed]..self.toucher_offsets[changed + 1]]
+            {
+                self.dirty[p] = true;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -571,6 +786,107 @@ mod tests {
                 assert!(g.potential(&probe) >= phi - 1e-9);
             }
         }
+    }
+
+    /// Seeded asymmetric congestion game (same generator as the dense
+    /// convergence test) — the fixture for sparse-vs-dense parity.
+    fn randomish_game(seed: u64) -> CongestionGame<'static> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let resources = 3 + (next() % 4) as usize;
+        let players = 2 + (next() % 4) as usize;
+        let uses: Vec<Vec<Vec<usize>>> = (0..players)
+            .map(|_| {
+                (0..2 + (next() % 3) as usize)
+                    .map(|_| {
+                        let mut subset: Vec<usize> =
+                            (0..resources).filter(|_| next() % 2 == 0).collect();
+                        if subset.is_empty() {
+                            subset.push((next() % resources as u64) as usize);
+                        }
+                        subset
+                    })
+                    .collect()
+            })
+            .collect();
+        let weights: Vec<f64> = (0..resources).map(|r| 0.5 + r as f64 * 0.3).collect();
+        CongestionGame::new(resources, uses, move |r, load| weights[r] * (load * load) as f64)
+    }
+
+    #[test]
+    fn sparse_descent_matches_dense_dynamics_exactly() {
+        // The fleet-scale engine must be trajectory-identical to the dense
+        // dynamics, not merely equilibrium-equivalent: same profile, same
+        // convergence flag, same pass count, from every start of the
+        // split-pull fixture and across seeded asymmetric games.
+        let g = split_pull_game();
+        let mut ws = DescentWorkspace::new();
+        for start_code in 0..8 {
+            let start: Vec<usize> = (0..3).map(|p| (start_code >> p) & 1).collect();
+            let dense = g.best_response_dynamics(start.clone(), 100);
+            let sparse = g.sparse_descent(start, 100, &mut ws);
+            assert_eq!(sparse.profile, dense.profile, "start {start_code:03b}");
+            assert_eq!(sparse.converged, dense.converged);
+            assert_eq!(sparse.passes, dense.passes);
+            assert!(g.is_equilibrium(&sparse.profile));
+        }
+        for seed in 0..40u64 {
+            let g = randomish_game(seed);
+            let start: Vec<usize> = (0..g.players()).map(|p| g.strategy_count(p) - 1).collect();
+            let dense = g.best_response_dynamics(start.clone(), 1000);
+            let sparse = g.sparse_descent(start, 1000, &mut ws);
+            assert_eq!(sparse.profile, dense.profile, "seed {seed}");
+            assert_eq!(sparse.converged, dense.converged, "seed {seed}");
+            assert_eq!(sparse.passes, dense.passes, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn sparse_descent_matches_dense_under_a_pass_budget() {
+        // Truncated runs must truncate identically (the scheduler caps
+        // passes with `max_refine_passes`).
+        for seed in 0..10u64 {
+            let g = randomish_game(seed);
+            let start: Vec<usize> = vec![0; g.players()];
+            for budget in 1..4 {
+                let dense = g.best_response_dynamics(start.clone(), budget);
+                let mut ws = DescentWorkspace::new();
+                let sparse = g.sparse_descent(start.clone(), budget, &mut ws);
+                assert_eq!(sparse.profile, dense.profile, "seed {seed} budget {budget}");
+                assert_eq!(sparse.converged, dense.converged, "seed {seed} budget {budget}");
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_descent_reuses_workspace_buffers() {
+        // Steady state must be allocation-free: after a warm-up solve, a
+        // second solve on the same-shaped game must leave every workspace
+        // buffer's pointer and capacity untouched (the gf256 encode-into
+        // idiom — capacity/pointer stability instead of an allocator hook).
+        let g = randomish_game(7);
+        let start: Vec<usize> = vec![0; g.players()];
+        let mut ws = DescentWorkspace::new();
+        let first = g.sparse_descent(start.clone(), 1000, &mut ws);
+        let fingerprint = |ws: &DescentWorkspace| {
+            [
+                (ws.loads.as_ptr() as usize, ws.loads.capacity()),
+                (ws.dirty.as_ptr() as usize, ws.dirty.capacity()),
+                (ws.toucher_offsets.as_ptr() as usize, ws.toucher_offsets.capacity()),
+                (ws.touchers.as_ptr() as usize, ws.touchers.capacity()),
+                (ws.cursor.as_ptr() as usize, ws.cursor.capacity()),
+                (ws.seen.as_ptr() as usize, ws.seen.capacity()),
+            ]
+        };
+        let warm = fingerprint(&ws);
+        let second = g.sparse_descent(start, 1000, &mut ws);
+        assert_eq!(fingerprint(&ws), warm, "steady-state solve must not reallocate");
+        assert_eq!(second.profile, first.profile);
     }
 
     #[test]

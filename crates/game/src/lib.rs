@@ -19,7 +19,11 @@
 //! * [`congestion`] — finite n-player games with exact potential
 //!   (deployment-contention games), solved by best-response iteration;
 //!   includes the explicit Rosenthal form with player-specific resource
-//!   subsets (split pulls loading several source routes at once);
+//!   subsets (split pulls loading several source routes at once), and a
+//!   sparse potential-descent solver ([`CongestionGame::sparse_descent`])
+//!   over incremental per-resource load counters — trajectory-identical
+//!   to the dense dynamics but scaling with loaded resources, not
+//!   enumerated profiles, for fleet-scale strategy spaces;
 //! * [`classic`] — canonical games (prisoner's dilemma, matching pennies,
 //!   ...) used for validation and by the paper's model.
 
@@ -36,7 +40,7 @@ pub mod strategy;
 pub mod support_enum;
 
 pub use bimatrix::Bimatrix;
-pub use congestion::{BestResponseResult, CongestionGame, FiniteGame};
+pub use congestion::{BestResponseResult, CongestionGame, DescentWorkspace, FiniteGame};
 pub use dynamics::{best_response_dynamics, fictitious_play};
 pub use lemke_howson::lemke_howson;
 pub use matrix::Matrix;

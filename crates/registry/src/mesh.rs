@@ -234,6 +234,7 @@ pub struct PullSession<'m, 'a> {
     extract_bw: Bandwidth,
     retry: Option<RetryPolicy>,
     presumed_dead: Vec<RegistryId>,
+    preresolved: Option<&'m ImageManifest>,
 }
 
 impl<'m, 'a> PullSession<'m, 'a> {
@@ -254,7 +255,22 @@ impl<'m, 'a> PullSession<'m, 'a> {
             extract_bw: Bandwidth::infinite(),
             retry: None,
             presumed_dead: Vec::new(),
+            preresolved: None,
         }
+    }
+
+    /// Skip the manifest round-trip: plan against `manifest` as the
+    /// primary's resolution. The caller asserts it is exactly what the
+    /// primary's `resolve(reference, platform)` would return — schedulers
+    /// memoize resolutions across the thousands of counterfactual
+    /// estimates of a solve, where re-resolving (store read, integrity
+    /// hash, JSON parse) would dominate the estimate itself. Incompatible
+    /// with a retry policy: a preresolved session models the retry-free
+    /// single-attempt resolve (attempts = 1, no backoff) bit for bit.
+    pub fn preresolved(mut self, manifest: &'m ImageManifest) -> Self {
+        debug_assert!(self.retry.is_none(), "preresolved manifests bypass the retry channel");
+        self.preresolved = Some(manifest);
+        self
     }
 
     /// Device disk bandwidth for layer extraction.
@@ -319,7 +335,13 @@ impl<'m, 'a> PullSession<'m, 'a> {
         platform: Platform,
         cache: &mut CacheAccess<'_>,
     ) -> Result<PullOutcome, RegistryError> {
-        let (manifest, attempts, mut backoff_total) = self.resolve(reference, platform)?;
+        let (manifest, attempts, mut backoff_total) = match self.preresolved {
+            Some(m) => (std::borrow::Cow::Borrowed(m), 1, Seconds::ZERO),
+            None => {
+                let (m, a, b) = self.resolve(reference, platform)?;
+                (std::borrow::Cow::Owned(m), a, b)
+            }
+        };
 
         let mut cached = DataSize::ZERO;
         let mut cache_hits = 0usize;

@@ -88,6 +88,13 @@ impl SimDevice {
         self
     }
 
+    /// The default architecture speed factor (what
+    /// [`SimDevice::with_base_speed_factor`] set) — cloning an archetype
+    /// into a synthetic fleet carries it over.
+    pub fn base_speed_factor(&self) -> f64 {
+        self.base_speed_factor
+    }
+
     /// Override the speed factor for one microservice.
     pub fn set_speed_factor(&mut self, microservice: &str, f: f64) {
         assert!(f > 0.0, "speed factor must be positive");

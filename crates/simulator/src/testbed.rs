@@ -558,6 +558,101 @@ impl Testbed {
         tb
     }
 
+    /// A seeded synthetic fleet: the calibrated testbed scaled to 10³
+    /// devices for the fleet-scale solver.
+    ///
+    /// Devices 0/1 are the paper pair verbatim (and with `devices ≥ 3`
+    /// device 2 is the continuum cloud), so every calibration that
+    /// targets the canonical ids applies unchanged. Each further device
+    /// clones one of the three archetypes — mostly edge, with every
+    /// 16th slot a cloud-tier server — under splitmix64-jittered
+    /// compute, extraction and power figures (±15 % MI/s and extract
+    /// bandwidth, ±10 % per-phase draw), all drawn from `seed`:
+    /// identical `(devices, registries, seed)` triples build identical
+    /// testbeds.
+    ///
+    /// `registries` counts the full mesh sources: the hub + regional
+    /// pair plus `registries − 2` regional mirrors at seeded site rates
+    /// (7–12 MB/s, 4–6 s overhead). The device mesh keeps the paper's
+    /// LAN between edge devices and the WAN on any cloud leg; fleet
+    /// devices pull the base registries at the small-device route rates
+    /// ([`TestbedParams::route_bandwidth`] is archetype-keyed, not
+    /// per-id — per-device heterogeneity comes from the device figures).
+    pub fn synthetic_fleet(devices: usize, registries: usize, seed: u64) -> Self {
+        assert!(devices >= 2, "a fleet needs at least the paper's device pair");
+        assert!(registries >= 2, "a fleet needs at least the hub + regional pair");
+        fn splitmix64(state: &mut u64) -> u64 {
+            *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = *state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        fn jitter(state: &mut u64, lo: f64, hi: f64) -> f64 {
+            lo + (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64 * (hi - lo)
+        }
+        let mut tb = if devices >= 3 { Self::continuum() } else { Self::paper() };
+        let mut state = seed;
+        for i in tb.devices.len()..devices {
+            // Slot 15 of every 16 is a cloud clone; the rest alternate
+            // the two edge archetypes.
+            let archetype = match i % 16 {
+                15 => DEVICE_CLOUD,
+                k if k % 2 == 0 => DEVICE_MEDIUM,
+                _ => DEVICE_SMALL,
+            };
+            let base = &tb.devices[archetype.0];
+            let compute = jitter(&mut state, 0.85, 1.15);
+            let extract = jitter(&mut state, 0.85, 1.15);
+            let power = jitter(&mut state, 0.9, 1.1);
+            let device = SimDevice::new(
+                DeviceId(i),
+                &format!("fleet-{i}-{}", base.name),
+                base.arch,
+                base.cores,
+                base.mips.scale(compute),
+                base.memory,
+                base.storage,
+                DevicePowerModel::per_phase(
+                    base.power.static_watts.scale(power),
+                    base.power.deploy_watts.scale(power),
+                    base.power.transfer_watts.scale(power),
+                    base.power.process_watts.scale(power),
+                ),
+                base.extract_bw.scale(extract),
+            )
+            .with_base_speed_factor(base.base_speed_factor())
+            .with_class(base.class);
+            tb.devices.push(device);
+        }
+        if devices > tb.topology.device_count() {
+            let cloudish: Vec<bool> =
+                tb.devices.iter().map(|d| d.class == deep_dataflow::DeviceClass::Cloud).collect();
+            let mut builder = TopologyBuilder::new(devices, 2);
+            for a in 0..devices {
+                for b in (a + 1)..devices {
+                    let bw = if cloudish[a] || cloudish[b] { tb.params.wan } else { tb.params.lan };
+                    builder = builder.symmetric_device_link(DeviceId(a), DeviceId(b), bw);
+                }
+                for choice in [RegistryChoice::Hub, RegistryChoice::Regional] {
+                    builder = builder.registry_link(
+                        choice.registry_id(),
+                        DeviceId(a),
+                        tb.params.route_bandwidth(choice, DeviceId(a)),
+                    );
+                }
+            }
+            tb.topology = builder.build().expect("fleet topology is complete by construction");
+            tb.peer_plane = PeerPlane::uniform(devices, tb.params.peer_bw, tb.params.peer_overhead);
+        }
+        for _ in 2..registries {
+            let bw = Bandwidth::megabytes_per_sec(jitter(&mut state, 7.0, 12.0));
+            let overhead = Seconds::new(jitter(&mut state, 4.0, 6.0));
+            tb.add_regional_mirror(bw, overhead);
+        }
+        tb
+    }
+
     /// Catalog entry for `(application, microservice)`, if published.
     pub fn entry(&self, application: &str, microservice: &str) -> Option<&CatalogEntry> {
         self.entries.get(&(application.to_string(), microservice.to_string()))

@@ -1,0 +1,69 @@
+//! Fleet-scale solve grid: the sparse potential-descent path at 10³
+//! devices.
+//!
+//! Builds seeded synthetic fleets over a devices × registries grid
+//! (calibrated continuum archetypes with splitmix64-jittered
+//! heterogeneity, regional mirrors at seeded site rates), schedules a
+//! generated dataflow on each, and prints the solve-time grid. The
+//! headline cell is the ISSUE's acceptance bar: the 1,000-device /
+//! 10-registry fleet must reach a *verified* equilibrium (sampled
+//! unilateral-deviation check) in under a second.
+//!
+//! Schedules are byte-deterministic in the fleet seed; the timing
+//! columns are wall-clock and vary run to run (the criterion curve
+//! lives in `benches/nash_mesh.rs`, recorded in PERF.md).
+//!
+//! Run with `cargo run --release --example fleet_scale`.
+
+use deep::core::{continuum, DeepScheduler, Scheduler, DEFAULT_SPARSE_THRESHOLD};
+use deep::dataflow::DagGenerator;
+use std::time::Instant;
+
+fn main() {
+    let devices = [50usize, 200, 1000];
+    let registries = [2usize, 5, 10];
+    let gen = DagGenerator { stages: 5, width: (2, 4), ..DagGenerator::default() };
+    let app = gen.generate(42);
+    let sched = DeepScheduler::paper();
+
+    println!("Fleet-scale solve grid — app `{}` ({} microservices)", app.name(), app.len());
+    println!("sparse threshold: |R|·|D| ≥ {DEFAULT_SPARSE_THRESHOLD}\n");
+    println!(
+        "{:>8} {:>10} {:>8} {:>12} {:>12} {:>12}",
+        "devices", "registries", "path", "build", "solve", "verify"
+    );
+
+    for &d in &devices {
+        for &r in &registries {
+            let t0 = Instant::now();
+            let mut tb = continuum::synthetic_fleet_testbed(d, r, 42);
+            tb.publish_application(&app);
+            let build = t0.elapsed();
+
+            let path = if tb.registry_choices().len() * tb.devices.len() >= sched.sparse_threshold {
+                "sparse"
+            } else {
+                "dense"
+            };
+            let t1 = Instant::now();
+            let schedule = sched.schedule(&app, &tb);
+            let solve = t1.elapsed();
+
+            let t2 = Instant::now();
+            let verified = sched.is_equilibrium_sampled(&app, &tb, &schedule, 32, 7);
+            let verify = t2.elapsed();
+            assert!(verified, "{d} devices / {r} registries: sampled deviation check failed");
+
+            println!("{d:>8} {r:>10} {path:>8} {build:>12.2?} {solve:>12.2?} {verify:>12.2?}");
+
+            if d == 1000 && r == 10 {
+                let total = solve + verify;
+                println!(
+                    "\nheadline: 1,000-device / 10-registry fleet solved + verified in {total:.2?} \
+                     ({})\n",
+                    if total.as_secs_f64() < 1.0 { "under the 1 s bar" } else { "OVER the 1 s bar" }
+                );
+            }
+        }
+    }
+}

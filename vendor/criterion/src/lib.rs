@@ -157,11 +157,7 @@ impl Criterion {
     }
 
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup {
-            criterion: self,
-            name: name.into(),
-            throughput: None,
-        }
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
     }
 }
 
@@ -273,9 +269,7 @@ mod tests {
         c.bench_function("noop", |b| b.iter(|| 1 + 1));
         let mut group = c.benchmark_group("g");
         group.throughput(Throughput::Bytes(1024));
-        group.bench_with_input(BenchmarkId::from_parameter("p"), &3u32, |b, &x| {
-            b.iter(|| x * 2)
-        });
+        group.bench_with_input(BenchmarkId::from_parameter("p"), &3u32, |b, &x| b.iter(|| x * 2));
         group.finish();
     }
 }

@@ -255,7 +255,9 @@ mod regex {
                 let body: String = chars[pos + 1..close].iter().collect();
                 let (min, max) = match body.split_once(',') {
                     Some((m, "")) => (m.parse().expect("repeat count"), 8),
-                    Some((m, n)) => (m.parse().expect("repeat count"), n.parse().expect("repeat count")),
+                    Some((m, n)) => {
+                        (m.parse().expect("repeat count"), n.parse().expect("repeat count"))
+                    }
                     None => {
                         let n = body.parse().expect("repeat count");
                         (n, n)
@@ -283,7 +285,8 @@ mod regex {
             }
             Node::Literal(c) => out.push(*c),
             Node::Class(ranges) => {
-                let total: usize = ranges.iter().map(|(lo, hi)| *hi as usize - *lo as usize + 1).sum();
+                let total: usize =
+                    ranges.iter().map(|(lo, hi)| *hi as usize - *lo as usize + 1).sum();
                 let mut pick = rng.next_usize(total);
                 for (lo, hi) in ranges {
                     let span = *hi as usize - *lo as usize + 1;
@@ -322,7 +325,9 @@ mod tests {
             assert!(s.chars().next().unwrap().is_ascii_lowercase());
             for part in s.split('/') {
                 assert!(!part.is_empty());
-                assert!(part.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'));
+                assert!(part
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'));
             }
             assert!(s.split('/').count() <= 2);
         }

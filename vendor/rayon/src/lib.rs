@@ -62,6 +62,17 @@ pub mod prelude {
             ParIter(self.iter_mut())
         }
     }
+
+    /// `slice.par_chunks_mut(n)` — rayon's `ParallelSliceMut`.
+    pub trait ParallelSliceMut<T> {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
+            ParIter(self.chunks_mut(chunk_size))
+        }
+    }
 }
 
 #[cfg(test)]

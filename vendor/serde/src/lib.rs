@@ -58,9 +58,9 @@ impl Value {
     /// Sequence element lookup (tuple structs).
     pub fn element(&self, idx: usize) -> Result<&Value, Error> {
         match self {
-            Value::Seq(items) => items
-                .get(idx)
-                .ok_or_else(|| Error(format!("missing tuple element {idx}"))),
+            Value::Seq(items) => {
+                items.get(idx).ok_or_else(|| Error(format!("missing tuple element {idx}")))
+            }
             other => Err(Error(format!("expected sequence, got {other:?}"))),
         }
     }
@@ -306,16 +306,17 @@ impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
 impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
     fn from_value(v: &Value) -> Result<Self, Error> {
         match v {
-            Value::Map(entries) => entries
-                .iter()
-                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
-                .collect(),
+            Value::Map(entries) => {
+                entries.iter().map(|(k, v)| Ok((k.clone(), V::from_value(v)?))).collect()
+            }
             other => Err(Error(format!("expected map, got {other:?}"))),
         }
     }
 }
 
-impl<V: Serialize, S: std::hash::BuildHasher> Serialize for std::collections::HashMap<String, V, S> {
+impl<V: Serialize, S: std::hash::BuildHasher> Serialize
+    for std::collections::HashMap<String, V, S>
+{
     fn to_value(&self) -> Value {
         let mut entries: Vec<(String, Value)> =
             self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect();
@@ -328,10 +329,9 @@ impl<V: Deserialize, S: std::hash::BuildHasher + Default> Deserialize
 {
     fn from_value(v: &Value) -> Result<Self, Error> {
         match v {
-            Value::Map(entries) => entries
-                .iter()
-                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
-                .collect(),
+            Value::Map(entries) => {
+                entries.iter().map(|(k, v)| Ok((k.clone(), V::from_value(v)?))).collect()
+            }
             other => Err(Error(format!("expected map, got {other:?}"))),
         }
     }

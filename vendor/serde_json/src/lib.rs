@@ -279,9 +279,7 @@ impl<'a> Parser<'a> {
                 return Ok(Value::I64(n));
             }
         }
-        text.parse::<f64>()
-            .map(Value::F64)
-            .map_err(|_| Error(format!("bad number {text:?}")))
+        text.parse::<f64>().map(Value::F64).map_err(|_| Error(format!("bad number {text:?}")))
     }
 }
 
