@@ -1,0 +1,77 @@
+//! Gossip round cost: what one wave-barrier epidemic step costs the
+//! executor at fleet scale, and how the bounded mesh materialization
+//! scales with the view size.
+//!
+//! Two altitudes:
+//!
+//! * `barrier_round/*` — one advertise-and-spread barrier over an
+//!   n-device fleet (ad refresh scan + fanout-bounded push/pull
+//!   exchanges). Each iteration clones a fresh plane: rounds converge,
+//!   and a converged plane would measure the no-op refresh path.
+//! * `mesh_view/*` — materializing one pull's bounded view from a
+//!   converged fleet state (select + sort + clone + retraction scan),
+//!   the per-pull price the `view_size` knob bounds.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use deep_netsim::DataSize;
+use deep_registry::{Digest, LayerCache};
+use deep_simulator::GossipPlane;
+
+const FANOUT: u32 = 3;
+
+/// An n-device fleet where every 8th device holds a few layers — enough
+/// non-empty advertisements that views and selections do real work.
+fn fleet_caches(devices: usize) -> Vec<LayerCache> {
+    let mut caches = vec![LayerCache::new(DataSize::gigabytes(64.0)); devices];
+    for (j, cache) in caches.iter_mut().enumerate().step_by(8) {
+        for layer in 0..=(j % 5) {
+            cache.insert(Digest::of(&[(j % 251) as u8, layer as u8]), DataSize::megabytes(40.0));
+        }
+    }
+    caches
+}
+
+fn bench_barrier_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("barrier_round");
+    for &devices in &[50usize, 200, 800] {
+        let caches = fleet_caches(devices);
+        let refs: Vec<&LayerCache> = caches.iter().collect();
+        let plane = GossipPlane::new(devices, FANOUT, 8, 1, 42);
+        group.bench_function(format!("devices_{devices}").as_str(), |b| {
+            b.iter(|| {
+                let mut fresh = plane.clone();
+                fresh.barrier_round(black_box(&refs));
+                black_box(fresh.rounds_run())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_mesh_view(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mesh_view");
+    let devices = 200usize;
+    let caches = fleet_caches(devices);
+    let refs: Vec<&LayerCache> = caches.iter().collect();
+    // A converged plane: every view knows every holder, so view-size
+    // truncation is the only variable between runs.
+    let mut plane = GossipPlane::new(devices, u32::MAX, u32::MAX, 1, 42);
+    plane.barrier_round(&refs);
+    assert!(plane.converged());
+    for &view_size in &[2u32, 8, 32, u32::MAX] {
+        let bounded = {
+            let mut p = GossipPlane::new(devices, u32::MAX, view_size, 1, 42);
+            p.barrier_round(&refs);
+            p
+        };
+        let label =
+            if view_size == u32::MAX { "unbounded".into() } else { format!("view_{view_size}") };
+        group.bench_function(label.as_str(), |b| {
+            b.iter(|| black_box(bounded.mesh_view(black_box(&refs), 3)).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_barrier_round, bench_mesh_view);
+criterion_main!(benches);

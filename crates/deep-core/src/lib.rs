@@ -33,7 +33,14 @@
 //!   of discovering fleet-resident layers at deployment time.
 //!   Estimator and executor stay bit-for-bit parity-tested, and the
 //!   uniform plane reproduces the retained scalar oracle byte for byte
-//!   (`tests/peer_plane.rs`).
+//!   (`tests/peer_plane.rs`). Discovery itself is a knob:
+//!   [`DeepScheduler::peer_discovery`] switches the priced mesh from
+//!   the omniscient per-wave snapshot to the same seeded
+//!   [`deep_simulator::GossipPlane`] the executor runs — bounded
+//!   partial views per pull, epidemic propagation per wave barrier —
+//!   so the equilibrium prices exactly the holders a bounded view will
+//!   actually see; converged gossip reproduces the snapshot byte for
+//!   byte (`tests/gossip_discovery.rs`).
 //! * **Explicit Rosenthal form** — [`nash::WaveRouteGame`] derives each
 //!   wave's `deep_game::CongestionGame` from actual split-pull plans
 //!   (player-specific subsets over routes + uplinks) and the joint

@@ -197,6 +197,13 @@ pub struct EstimationContext<'t> {
     /// the per-pair plane, the single aggregate source under the scalar
     /// oracle).
     peer_snapshots: Vec<Vec<(RegistryId, PeerCacheSource)>>,
+    /// The estimator's image of the executor's gossip discovery plane
+    /// (`None` = omniscient snapshot discovery). Runs the *same*
+    /// epidemic over the estimated caches, seeded identically, so a
+    /// layer gossip hasn't propagated is priced as a layer the
+    /// scheduler cannot count on — and bounded views bound the priced
+    /// mesh exactly as they bound the executed one.
+    gossip: Option<deep_simulator::GossipPlane>,
     /// Price expected deployment time under the testbed's
     /// [`FaultModel`] instead of the happy path: `E[Td]` folds the
     /// primary's per-pull death probability × the failover re-plan cost
@@ -339,6 +346,7 @@ impl<'t> EstimationContext<'t> {
             assigned: vec![None; app.len()],
             peer_sharing: false,
             peer_snapshots: Vec::new(),
+            gossip: None,
             price_faults: false,
             scenario: None,
             clock: Seconds::ZERO,
@@ -436,6 +444,33 @@ impl<'t> EstimationContext<'t> {
         self
     }
 
+    /// Mirror the executor's peer-discovery mode (builder-style): under
+    /// [`deep_simulator::PeerDiscovery::Gossip`] the estimator runs its
+    /// own [`deep_simulator::GossipPlane`] over the estimated caches —
+    /// one barrier round per [`EstimationContext::begin_wave`], exactly
+    /// the executor's cadence — so bounded, lagging views price bounded,
+    /// lagging meshes. `seed` must be the executor's
+    /// [`deep_simulator::ExecutorConfig::seed`] for the partner
+    /// schedules (and therefore the view sequences) to match
+    /// bit for bit. [`deep_simulator::PeerDiscovery::Snapshot`] restores
+    /// the omniscient catalog (the default).
+    pub fn peer_discovery(mut self, discovery: deep_simulator::PeerDiscovery, seed: u64) -> Self {
+        self.gossip = match discovery {
+            deep_simulator::PeerDiscovery::Snapshot => None,
+            deep_simulator::PeerDiscovery::Gossip { fanout, view_size, rounds_per_wave } => {
+                Some(deep_simulator::GossipPlane::new(
+                    self.caches.len(),
+                    fanout,
+                    view_size,
+                    rounds_per_wave,
+                    seed,
+                ))
+            }
+        };
+        self.snapshot_peers();
+        self
+    }
+
     /// Price expected deployment time under the testbed's fault model
     /// (builder-style): estimates return
     /// `E[Td] = (1−p)·(Td_happy + B_happy) + p·(Td_failover + B_failover)`
@@ -471,8 +506,16 @@ impl<'t> EstimationContext<'t> {
             return;
         }
         let caches: Vec<&LayerCache> = self.caches.iter().collect();
-        self.peer_snapshots =
-            (0..self.caches.len()).map(|j| self.testbed.peer_plane.snapshot(&caches, j)).collect();
+        self.peer_snapshots = match self.gossip.as_ref() {
+            // Gossip discovery: each device's mesh is its own (bounded,
+            // possibly lagging) view. Before the first barrier every
+            // view is empty — the executor has not advertised anything
+            // yet either.
+            Some(plane) => (0..self.caches.len()).map(|j| plane.mesh_view(&caches, j)).collect(),
+            None => (0..self.caches.len())
+                .map(|j| self.testbed.peer_plane.snapshot(&caches, j))
+                .collect(),
+        };
     }
 
     /// Open a new deployment wave (stage barrier): route contention
@@ -487,6 +530,14 @@ impl<'t> EstimationContext<'t> {
         match self.initial_route_load.take() {
             Some(load) => self.route_load = load,
             None => self.route_load.clear(),
+        }
+        // Gossip discovery advances exactly one barrier per wave — the
+        // executor's cadence — before the views are materialized.
+        if self.peer_sharing {
+            if let Some(plane) = self.gossip.as_mut() {
+                let caches: Vec<&LayerCache> = self.caches.iter().collect();
+                plane.barrier_round(&caches);
+            }
         }
         self.snapshot_peers();
     }

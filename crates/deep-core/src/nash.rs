@@ -73,7 +73,7 @@ use crate::Scheduler;
 use deep_dataflow::{stages, Application, MicroserviceId};
 use deep_game::{support_enumeration, Bimatrix, CongestionGame, DescentWorkspace, Matrix};
 use deep_netsim::{DeviceId, RegistryId, Seconds};
-use deep_simulator::{route_key, Placement, RegistryChoice, Schedule, Testbed};
+use deep_simulator::{route_key, PeerDiscovery, Placement, RegistryChoice, Schedule, Testbed};
 use rayon::prelude::*;
 use std::collections::BTreeMap;
 
@@ -316,6 +316,19 @@ pub struct DeepScheduler {
     /// force sparse everywhere (the parity tests do) or `usize::MAX` to
     /// force dense.
     pub sparse_threshold: usize,
+    /// How the executor will discover peer holders — mirror of
+    /// [`deep_simulator::ExecutorConfig::peer_discovery`]. Under
+    /// [`PeerDiscovery::Gossip`] the payoffs run the same seeded
+    /// epidemic over the estimated caches: a layer gossip hasn't
+    /// propagated to a puller's (bounded) view is a layer the scheduler
+    /// cannot count on. Only read when `peer_sharing` is on; the
+    /// default ([`PeerDiscovery::Snapshot`]) preserves the omniscient
+    /// pricing byte for byte.
+    pub peer_discovery: PeerDiscovery,
+    /// Seed of the priced gossip plane — must equal the executor's
+    /// [`deep_simulator::ExecutorConfig::seed`] so both partner
+    /// schedules (and therefore both view sequences) match exactly.
+    pub discovery_seed: u64,
 }
 
 impl Default for DeepScheduler {
@@ -330,6 +343,8 @@ impl Default for DeepScheduler {
             start_clock: Seconds::ZERO,
             start_pull: 0,
             sparse_threshold: DEFAULT_SPARSE_THRESHOLD,
+            peer_discovery: PeerDiscovery::Snapshot,
+            discovery_seed: 0,
         }
     }
 }
@@ -376,6 +391,7 @@ impl DeepScheduler {
     fn context<'t>(&self, testbed: &'t Testbed, app: &'t Application) -> EstimationContext<'t> {
         EstimationContext::new(testbed, app)
             .peer_sharing(self.peer_sharing)
+            .peer_discovery(self.peer_discovery, self.discovery_seed)
             .price_faults(self.price_faults)
             .scenario_pricing(self.scenario)
             .at_clock(self.start_clock)

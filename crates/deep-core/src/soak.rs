@@ -120,6 +120,11 @@ pub fn scenario_testbed(scenario: &Scenario) -> Testbed {
 pub fn scenario_scheduler(scenario: &Scenario) -> DeepScheduler {
     DeepScheduler {
         peer_sharing: scenario.peer_sharing,
+        // Mirror the executor's discovery mode (the `[gossip]` section);
+        // `discovery_seed` stays at the default 0, matching the
+        // `ExecutorConfig::seed` that `Scenario::executor_config` leaves
+        // untouched.
+        peer_discovery: scenario.peer_discovery(),
         ..DeepScheduler::scenario_priced(scenario.replications, scenario.seed)
     }
 }

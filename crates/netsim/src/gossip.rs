@@ -1,0 +1,308 @@
+//! Seeded push/pull epidemic dissemination of per-device advertisements.
+//!
+//! DEEP's peer plane (PR 5) hands every pull an *omniscient* snapshot of
+//! which devices hold which layers — a central catalog no real edge
+//! fleet has. This module provides the decentralized alternative in the
+//! EdgePier style (arXiv:2109.12983): each device periodically
+//! *advertises* an opaque payload (for DEEP, the digest set of its layer
+//! cache) under a monotonically increasing **epoch**, and a seeded
+//! push/pull gossip round spreads the freshest epoch of every
+//! advertisement through the fleet. Views are therefore *eventually*
+//! consistent: between the moment a holder's cache changes and the
+//! moment the new epoch reaches a viewer, the viewer acts on a **stale
+//! advertisement** — a holder whose `has_blob` lies. Higher layers must
+//! tolerate that (the registry mesh's mid-pull failover does), which is
+//! exactly the failure model the differential test plane locks down.
+//!
+//! The protocol is deliberately deterministic: partner choice is a pure
+//! function of `(seed, round, device, probe)` via splitmix64, devices
+//! exchange in ascending id order with immediate visibility, and views
+//! are `BTreeMap`s, so the same seed always yields the same view
+//! sequence — the property the simulator's estimator/executor parity
+//! contract builds on. With `fanout >= devices - 1` a single round is a
+//! full all-pairs exchange, so one round converges every view; that
+//! configuration is the bridge back to the omniscient snapshot plane.
+
+use std::collections::BTreeMap;
+
+/// Tuning knobs for a gossip deployment: how many partners each device
+/// exchanges with per round, and how many rounds run per wave barrier.
+/// `view_size` is *not* enforced here — the protocol keeps full
+/// knowledge and lets the consumer bound how much of it a single
+/// decision may use (see the simulator's `GossipPlane`), mirroring how
+/// partial-view protocols cap the membership a node acts on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GossipConfig {
+    /// Exchange partners per device per round (clamped to `devices - 1`).
+    pub fanout: u32,
+    /// Epidemic rounds run at every wave barrier.
+    pub rounds_per_wave: u32,
+    /// Seed for the deterministic partner schedule.
+    pub seed: u64,
+}
+
+/// One device's knowledge of another's advertisement: the epoch it was
+/// published under, plus the payload.
+type Entry<T> = (u64, T);
+
+/// The fleet-wide gossip state: every device's partial view of every
+/// other device's freshest advertisement.
+///
+/// `T` is the advertised payload (DEEP advertises layer-cache digest
+/// sets; the unit tests use plain integers). Payloads travel by clone,
+/// so keep them cheap to copy.
+#[derive(Debug, Clone)]
+pub struct GossipState<T: Clone> {
+    /// `views[viewer][holder] = (epoch, payload)` — what `viewer`
+    /// currently believes `holder` last advertised. A device's own
+    /// freshest advertisement is stored in its own view.
+    views: Vec<BTreeMap<usize, Entry<T>>>,
+    /// `epochs[holder]` — the holder's own advertisement counter;
+    /// 0 means it has never advertised.
+    epochs: Vec<u64>,
+    /// Rounds run so far (feeds the partner schedule).
+    round: u64,
+    seed: u64,
+}
+
+impl<T: Clone> GossipState<T> {
+    /// A fleet of `devices` nodes with empty views.
+    pub fn new(devices: usize, seed: u64) -> Self {
+        GossipState {
+            views: vec![BTreeMap::new(); devices],
+            epochs: vec![0; devices],
+            round: 0,
+            seed,
+        }
+    }
+
+    /// Fleet size.
+    pub fn devices(&self) -> usize {
+        self.views.len()
+    }
+
+    /// Rounds run so far.
+    pub fn rounds_run(&self) -> u64 {
+        self.round
+    }
+
+    /// Publish a fresh advertisement for `holder`: bumps its epoch and
+    /// installs the payload in its own view, whence gossip spreads it.
+    /// Returns the new epoch.
+    pub fn advertise(&mut self, holder: usize, payload: T) -> u64 {
+        self.epochs[holder] += 1;
+        let epoch = self.epochs[holder];
+        self.views[holder].insert(holder, (epoch, payload));
+        epoch
+    }
+
+    /// The holder's own advertisement counter (0 = never advertised).
+    pub fn epoch(&self, holder: usize) -> u64 {
+        self.epochs[holder]
+    }
+
+    /// The holder's own freshest advertisement, if it ever published one.
+    pub fn self_ad(&self, holder: usize) -> Option<&T> {
+        self.views[holder].get(&holder).map(|(_, payload)| payload)
+    }
+
+    /// Everything `viewer` currently knows, in ascending holder order:
+    /// `(holder, epoch, payload)` triples, the viewer's own entry
+    /// included.
+    pub fn known(&self, viewer: usize) -> impl Iterator<Item = (usize, u64, &T)> {
+        self.views[viewer].iter().map(|(&holder, (epoch, payload))| (holder, *epoch, payload))
+    }
+
+    /// True once every device's view carries the freshest epoch of
+    /// every advertisement ever published — from here, further rounds
+    /// change nothing until somebody re-advertises.
+    pub fn converged(&self) -> bool {
+        self.views.iter().all(|view| {
+            self.epochs.iter().enumerate().all(|(holder, &epoch)| {
+                epoch == 0 || view.get(&holder).map(|(e, _)| *e) == Some(epoch)
+            })
+        })
+    }
+
+    /// Run `rounds` push/pull rounds at the given fanout.
+    pub fn run_rounds(&mut self, rounds: u32, fanout: u32) {
+        for _ in 0..rounds {
+            self.run_round(fanout);
+        }
+    }
+
+    /// One epidemic round: every device, in ascending id order, picks
+    /// `fanout` seeded partners and does a symmetric push/pull — both
+    /// sides end up with the freshest epoch of every advertisement
+    /// either knew. Exchanges within a round see each other's effects
+    /// (immediate visibility), which keeps the round deterministic
+    /// without a message buffer and only speeds convergence up.
+    pub fn run_round(&mut self, fanout: u32) {
+        let n = self.views.len();
+        if n >= 2 {
+            let fanout = (fanout as usize).min(n - 1);
+            for device in 0..n {
+                let mut partners: Vec<usize> = Vec::with_capacity(fanout);
+                let mut probe = 0u64;
+                while partners.len() < fanout {
+                    let raw = splitmix64(
+                        self.seed
+                            ^ self.round.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                            ^ (device as u64).wrapping_mul(0xbf58_476d_1ce4_e5b9)
+                            ^ probe.wrapping_mul(0x94d0_49bb_1331_11eb),
+                    );
+                    probe += 1;
+                    let partner = (raw % n as u64) as usize;
+                    if partner != device && !partners.contains(&partner) {
+                        partners.push(partner);
+                    }
+                }
+                for partner in partners {
+                    self.exchange(device, partner);
+                }
+            }
+        }
+        self.round += 1;
+    }
+
+    /// Symmetric push/pull merge: after the exchange, `a` and `b` both
+    /// hold the higher-epoch version of every advertisement either knew.
+    fn exchange(&mut self, a: usize, b: usize) {
+        debug_assert_ne!(a, b);
+        let holders: Vec<usize> = {
+            let mut h: Vec<usize> =
+                self.views[a].keys().chain(self.views[b].keys()).copied().collect();
+            h.sort_unstable();
+            h.dedup();
+            h
+        };
+        for holder in holders {
+            let ea = self.views[a].get(&holder).map(|(e, _)| *e).unwrap_or(0);
+            let eb = self.views[b].get(&holder).map(|(e, _)| *e).unwrap_or(0);
+            if ea > eb {
+                let entry = self.views[a][&holder].clone();
+                self.views[b].insert(holder, entry);
+            } else if eb > ea {
+                let entry = self.views[b][&holder].clone();
+                self.views[a].insert(holder, entry);
+            }
+        }
+    }
+}
+
+/// splitmix64: the repo-standard cheap deterministic mixer.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A fleet where every device has advertised its own id × 100.
+    fn advertised_fleet(n: usize, seed: u64) -> GossipState<u32> {
+        let mut state = GossipState::new(n, seed);
+        for d in 0..n {
+            state.advertise(d, d as u32 * 100);
+        }
+        state
+    }
+
+    fn view_snapshot(state: &GossipState<u32>) -> Vec<Vec<(usize, u64, u32)>> {
+        (0..state.devices()).map(|v| state.known(v).map(|(h, e, p)| (h, e, *p)).collect()).collect()
+    }
+
+    #[test]
+    fn same_seed_yields_the_same_view_sequence() {
+        let mut a = advertised_fleet(16, 7);
+        let mut b = advertised_fleet(16, 7);
+        for _ in 0..6 {
+            a.run_round(2);
+            b.run_round(2);
+            assert_eq!(view_snapshot(&a), view_snapshot(&b));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge_mid_epidemic() {
+        let mut a = advertised_fleet(32, 1);
+        let mut b = advertised_fleet(32, 2);
+        a.run_round(1);
+        b.run_round(1);
+        // One fanout-1 round over 32 devices cannot have converged, and
+        // the two partner schedules disagree somewhere.
+        assert_ne!(view_snapshot(&a), view_snapshot(&b));
+    }
+
+    #[test]
+    fn views_grow_monotonically_and_epochs_never_regress() {
+        let mut state = advertised_fleet(24, 11);
+        let mut prev = view_snapshot(&state);
+        for _ in 0..8 {
+            state.run_round(1);
+            let next = view_snapshot(&state);
+            for (viewer, before) in prev.iter().enumerate() {
+                let after: BTreeMap<usize, (u64, u32)> =
+                    next[viewer].iter().map(|&(h, e, p)| (h, (e, p))).collect();
+                for &(holder, epoch, _) in before {
+                    let (e, _) = after[&holder];
+                    assert!(e >= epoch, "viewer {viewer} lost epoch on holder {holder}");
+                }
+                assert!(after.len() >= before.len(), "viewer {viewer}'s view shrank");
+            }
+            prev = next;
+        }
+    }
+
+    #[test]
+    fn gossip_eventually_converges_to_full_views() {
+        let mut state = advertised_fleet(40, 3);
+        let mut rounds = 0;
+        while !state.converged() {
+            state.run_round(2);
+            rounds += 1;
+            assert!(rounds < 64, "epidemic failed to converge");
+        }
+        for viewer in 0..40 {
+            assert_eq!(state.known(viewer).count(), 40);
+        }
+    }
+
+    #[test]
+    fn all_pairs_fanout_converges_in_one_round() {
+        let mut state = advertised_fleet(17, 99);
+        state.run_round(u32::MAX); // clamped to n - 1
+        assert!(state.converged());
+    }
+
+    #[test]
+    fn readvertising_bumps_the_epoch_and_spreads_the_fresh_payload() {
+        let mut state = advertised_fleet(8, 5);
+        state.run_round(u32::MAX);
+        assert!(state.converged());
+        let epoch = state.advertise(3, 999);
+        assert_eq!(epoch, 2);
+        assert!(!state.converged(), "stale epoch-1 copies remain remote");
+        state.run_round(u32::MAX);
+        assert!(state.converged());
+        for viewer in 0..8 {
+            let (_, epoch, payload) =
+                state.known(viewer).find(|&(h, _, _)| h == 3).expect("holder 3 known");
+            assert_eq!((epoch, *payload), (2, 999));
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_fleets_are_inert() {
+        let mut empty: GossipState<u32> = GossipState::new(0, 1);
+        empty.run_round(4);
+        assert!(empty.converged());
+        let mut solo = advertised_fleet(1, 1);
+        solo.run_round(4);
+        assert!(solo.converged());
+        assert_eq!(solo.known(0).count(), 1);
+    }
+}

@@ -13,13 +13,17 @@
 //! * a [`cdn`] module modelling Docker Hub's CDN-backed distribution
 //!   (geographically-classed points of presence), which is how the paper
 //!   explains Docker Hub's delivery performance;
-//! * transfer-time math shared by every higher layer ([`transfer`]).
+//! * transfer-time math shared by every higher layer ([`transfer`]);
+//! * a seeded push/pull epidemic ([`gossip`]) for decentralized holder
+//!   advertisement — the substrate the simulator's gossip discovery
+//!   plane builds on.
 //!
 //! All quantities are deterministic; stochastic jitter is layered on by the
 //! simulator crate, never here.
 
 pub mod cdn;
 pub mod channel;
+pub mod gossip;
 pub mod latency;
 pub mod topology;
 pub mod transfer;
@@ -27,6 +31,7 @@ pub mod units;
 
 pub use cdn::{CdnModel, PopClass};
 pub use channel::{Channel, ContentionPolicy};
+pub use gossip::{GossipConfig, GossipState};
 pub use latency::LatentLink;
 pub use topology::{DeviceId, RegistryId, Topology, TopologyBuilder, TopologyError};
 pub use transfer::{transfer_time, TransferPlan};

@@ -642,6 +642,13 @@ impl PeerCacheSource {
         }
     }
 
+    /// Every advertised digest, retractions included (a retracted layer
+    /// is still *advertised* — that is what makes it stale). Iteration
+    /// order is unspecified; callers needing determinism must sort.
+    pub fn digests(&self) -> impl Iterator<Item = &Digest> {
+        self.blobs.iter()
+    }
+
     /// Number of distinct layers the peers can serve.
     pub fn len(&self) -> usize {
         self.blobs.len()

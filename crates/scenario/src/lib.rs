@@ -23,6 +23,12 @@
 //! [`Scenario::to_toml`] emits a canonical form such that
 //! parse → serialize → parse is the identity (pinned by proptests).
 //!
+//! A `[gossip]` table switches both the scheduler and the executor
+//! from the omniscient peer snapshot to
+//! [`deep_simulator::PeerDiscovery::Gossip`] (fanout, bounded view
+//! size, epidemic rounds per wave); it requires `peer_sharing = true`
+//! and unlocks the `gossip-view-size` / `gossip-rounds` sweep axes.
+//!
 //! Scenarios also express *sweeps*: [`SweepAxis`] entries expand one
 //! file into the cartesian grid of concrete scenarios
 //! ([`Scenario::expand`]), which is how `examples/fault_sweep.rs` and
@@ -40,7 +46,8 @@ use deep_dataflow::{apps, Application};
 use deep_netsim::{Bandwidth, DataSize, DeviceId, RegistryId, Seconds};
 use deep_registry::{FaultModel, FaultRates, OutageWindow, RetryPolicy};
 use deep_simulator::{
-    peer_source_id, ChaosEvent, ExecutorConfig, Testbed, TestbedParams, REGISTRY_MIRROR_BASE,
+    peer_source_id, ChaosEvent, ExecutorConfig, PeerDiscovery, Testbed, TestbedParams,
+    REGISTRY_MIRROR_BASE,
 };
 use std::collections::BTreeMap;
 use std::fmt;
@@ -183,6 +190,20 @@ pub struct RetrySpec {
     pub base_backoff: f64,
 }
 
+/// The `[gossip]` table: epidemic peer discovery with bounded views
+/// ([`PeerDiscovery::Gossip`]) instead of the omniscient per-wave
+/// snapshot. Requires `peer_sharing = true`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GossipSpec {
+    /// Exchange partners per device per round (clamped to the fleet
+    /// size minus one at runtime).
+    pub fanout: usize,
+    /// Max holder sources one pull's mesh may carry.
+    pub view_size: usize,
+    /// Epidemic rounds per wave barrier.
+    pub rounds_per_wave: usize,
+}
+
 /// One `[[rates]]` entry: a source's sampled failure probabilities.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RateSpec {
@@ -253,6 +274,12 @@ pub enum Axis {
     FaultRate,
     /// Overrides [`TestbedParams::regional_to_small`] (MB/s).
     RegionalToSmallMbps,
+    /// Overrides [`GossipSpec::view_size`] — sweep the bounded-view ×
+    /// propagation frontier. Requires a `[gossip]` section.
+    GossipViewSize,
+    /// Overrides [`GossipSpec::rounds_per_wave`]. Requires a `[gossip]`
+    /// section.
+    GossipRounds,
 }
 
 impl Axis {
@@ -261,6 +288,8 @@ impl Axis {
             Axis::MirrorCount => "mirror-count",
             Axis::FaultRate => "fault-rate",
             Axis::RegionalToSmallMbps => "regional-to-small-mbps",
+            Axis::GossipViewSize => "gossip-view-size",
+            Axis::GossipRounds => "gossip-rounds",
         }
     }
 
@@ -269,9 +298,11 @@ impl Axis {
             "mirror-count" => Ok(Axis::MirrorCount),
             "fault-rate" => Ok(Axis::FaultRate),
             "regional-to-small-mbps" => Ok(Axis::RegionalToSmallMbps),
+            "gossip-view-size" => Ok(Axis::GossipViewSize),
+            "gossip-rounds" => Ok(Axis::GossipRounds),
             _ => invalid(format!(
-                "unknown sweep axis `{text}` (expected `mirror-count`, `fault-rate`, or \
-                 `regional-to-small-mbps`)"
+                "unknown sweep axis `{text}` (expected `mirror-count`, `fault-rate`, \
+                 `regional-to-small-mbps`, `gossip-view-size`, or `gossip-rounds`)"
             )),
         }
     }
@@ -304,6 +335,9 @@ pub struct Scenario {
     pub peer_sharing: bool,
     pub testbed: TestbedSpec,
     pub retry: Option<RetrySpec>,
+    /// Gossip-based peer discovery (`[gossip]`); `None` keeps the
+    /// omniscient snapshot catalog.
+    pub gossip: Option<GossipSpec>,
     pub rates: Vec<RateSpec>,
     pub events: Vec<Event>,
     pub arrivals: Vec<ArrivalSpec>,
@@ -438,6 +472,7 @@ impl Scenario {
                 "peer_sharing",
                 "testbed",
                 "retry",
+                "gossip",
                 "rates",
                 "events",
                 "arrivals",
@@ -476,6 +511,7 @@ impl Scenario {
 
         let testbed = Self::parse_testbed(&root)?;
         let retry = Self::parse_retry(&root)?;
+        let gossip = Self::parse_gossip(&root)?;
         let rates = Self::parse_rates(&root)?;
         let events = Self::parse_events(&root, &testbed)?;
         let arrivals = Self::parse_arrivals(&root)?;
@@ -490,6 +526,7 @@ impl Scenario {
             peer_sharing,
             testbed,
             retry,
+            gossip,
             rates,
             events,
             arrivals,
@@ -560,6 +597,32 @@ impl Scenario {
             return invalid("`base_backoff` in [retry] must be non-negative");
         }
         Ok(Some(RetrySpec { max_attempts, base_backoff }))
+    }
+
+    fn parse_gossip(root: &BTreeMap<String, Value>) -> Result<Option<GossipSpec>, ScenarioError> {
+        let Some(v) = root.get("gossip") else {
+            return Ok(None);
+        };
+        let Some(table) = v.as_table() else {
+            return invalid("`gossip` must be a table (`[gossip]`)");
+        };
+        check_keys(table, &["fanout", "view_size", "rounds_per_wave"], "[gossip]")?;
+        let fanout = req_index(table, "fanout", "[gossip]")?;
+        if fanout == 0 {
+            return invalid("`fanout` in [gossip] must be at least 1");
+        }
+        let view_size = req_index(table, "view_size", "[gossip]")?;
+        if view_size == 0 {
+            return invalid(
+                "`view_size` in [gossip] must be at least 1 (a zero view disables peer \
+                 discovery entirely — drop `peer_sharing` instead)",
+            );
+        }
+        let rounds_per_wave = req_index(table, "rounds_per_wave", "[gossip]")?;
+        if rounds_per_wave == 0 {
+            return invalid("`rounds_per_wave` in [gossip] must be at least 1");
+        }
+        Ok(Some(GossipSpec { fanout, view_size, rounds_per_wave }))
     }
 
     fn parse_rates(root: &BTreeMap<String, Value>) -> Result<Vec<RateSpec>, ScenarioError> {
@@ -791,6 +854,8 @@ impl Scenario {
                     Axis::MirrorCount => v >= 0.0 && v.fract() == 0.0 && v <= 64.0,
                     Axis::FaultRate => (0.0..=1.0).contains(&v),
                     Axis::RegionalToSmallMbps => v > 0.0,
+                    Axis::GossipViewSize => v >= 1.0 && v.fract() == 0.0 && v <= 4096.0,
+                    Axis::GossipRounds => v >= 1.0 && v.fract() == 0.0 && v <= 256.0,
                 };
                 if !ok {
                     return invalid(format!(
@@ -810,6 +875,24 @@ impl Scenario {
     /// Checks that need the whole document: mirror references vs. the
     /// mirror count, and overlapping same-target dark windows.
     fn validate_cross_refs(&self) -> Result<(), ScenarioError> {
+        // Gossip discovery only does anything on the peer plane; a
+        // `[gossip]` section without `peer_sharing` is dead config and
+        // almost certainly a mistake.
+        if self.gossip.is_some() && !self.peer_sharing {
+            return invalid("[gossip] requires `peer_sharing = true`");
+        }
+        // The gossip sweep axes mutate the `[gossip]` section — without
+        // one there is nothing to sweep.
+        for sweep in &self.sweep {
+            if matches!(sweep.axis, Axis::GossipViewSize | Axis::GossipRounds)
+                && self.gossip.is_none()
+            {
+                return invalid(format!(
+                    "sweep axis `{}` requires a [gossip] section",
+                    sweep.axis.as_str()
+                ));
+            }
+        }
         // Mirror targets must exist on every expanded scenario: against
         // the swept counts when a mirror-count axis exists, else against
         // the [testbed] count.
@@ -899,6 +982,12 @@ impl Scenario {
             writeln!(out, "\n[retry]").unwrap();
             writeln!(out, "max_attempts = {}", retry.max_attempts).unwrap();
             writeln!(out, "base_backoff = {}", f(retry.base_backoff)).unwrap();
+        }
+        if let Some(gossip) = &self.gossip {
+            writeln!(out, "\n[gossip]").unwrap();
+            writeln!(out, "fanout = {}", gossip.fanout).unwrap();
+            writeln!(out, "view_size = {}", gossip.view_size).unwrap();
+            writeln!(out, "rounds_per_wave = {}", gossip.rounds_per_wave).unwrap();
         }
         for rate in &self.rates {
             writeln!(out, "\n[[rates]]").unwrap();
@@ -1018,6 +1107,16 @@ impl Scenario {
                 }
             }
             Axis::RegionalToSmallMbps => s.testbed.regional_to_small_mbps = Some(value),
+            Axis::GossipViewSize => {
+                s.gossip.as_mut().expect("validated: gossip axes require [gossip]").view_size =
+                    value as usize;
+            }
+            Axis::GossipRounds => {
+                s.gossip
+                    .as_mut()
+                    .expect("validated: gossip axes require [gossip]")
+                    .rounds_per_wave = value as usize;
+            }
         }
         s
     }
@@ -1137,7 +1236,21 @@ impl Scenario {
             fault_injection: !self.fault_model().is_zero(),
             fault_seed: self.seed.wrapping_add(replication as u64),
             peer_sharing: self.peer_sharing,
+            peer_discovery: self.peer_discovery(),
             ..Default::default()
+        }
+    }
+
+    /// The discovery mode the `[gossip]` section asks for —
+    /// [`PeerDiscovery::Snapshot`] without one.
+    pub fn peer_discovery(&self) -> PeerDiscovery {
+        match &self.gossip {
+            Some(g) => PeerDiscovery::Gossip {
+                fanout: g.fanout as u32,
+                view_size: g.view_size as u32,
+                rounds_per_wave: g.rounds_per_wave as u32,
+            },
+            None => PeerDiscovery::Snapshot,
         }
     }
 

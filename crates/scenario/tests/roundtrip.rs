@@ -6,8 +6,8 @@
 
 use deep_scenario::toml::{format_value, parse as toml_parse, Value};
 use deep_scenario::{
-    ArrivalModel, ArrivalSpec, Axis, Event, RateSpec, RetrySpec, Scenario, SweepAxis, Target,
-    TestbedBase, TestbedSpec,
+    ArrivalModel, ArrivalSpec, Axis, Event, GossipSpec, RateSpec, RetrySpec, Scenario, SweepAxis,
+    Target, TestbedBase, TestbedSpec,
 };
 use proptest::prelude::*;
 use proptest::strategy::TestRng;
@@ -104,8 +104,9 @@ fn arrivals(rng: &mut TestRng) -> Vec<ArrivalSpec> {
 
 /// Optional sweep axes in canonical order. Mirror-count values stay
 /// ≥ 1 so a `mirror-0` reference elsewhere in the generated scenario
-/// remains valid on every grid point.
-fn sweep(rng: &mut TestRng) -> Vec<SweepAxis> {
+/// remains valid on every grid point; the gossip axes are only emitted
+/// when the scenario carries a `[gossip]` section to mutate.
+fn sweep(rng: &mut TestRng, has_gossip: bool) -> Vec<SweepAxis> {
     let mut out = Vec::new();
     if rng.next_u64() & 1 == 1 {
         let n = 1 + rng.next_usize(2);
@@ -128,6 +129,20 @@ fn sweep(rng: &mut TestRng) -> Vec<SweepAxis> {
             values: (0..n).map(|_| (0.5f64..64.0).sample(rng)).collect(),
         });
     }
+    if has_gossip && rng.next_u64() & 1 == 1 {
+        let n = 1 + rng.next_usize(3);
+        out.push(SweepAxis {
+            axis: Axis::GossipViewSize,
+            values: (0..n).map(|_| (1 + rng.next_usize(16)) as f64).collect(),
+        });
+    }
+    if has_gossip && rng.next_u64() & 1 == 1 {
+        let n = 1 + rng.next_usize(3);
+        out.push(SweepAxis {
+            axis: Axis::GossipRounds,
+            values: (0..n).map(|_| (1 + rng.next_usize(8)) as f64).collect(),
+        });
+    }
     out
 }
 
@@ -139,6 +154,15 @@ impl Strategy for ScenarioStrategy {
 
     fn sample(&self, rng: &mut TestRng) -> Scenario {
         let events = (0..rng.next_usize(6)).map(|slot| event(rng, slot)).collect();
+        // A [gossip] section requires peer_sharing; when present it also
+        // unlocks the gossip sweep axes.
+        let peer_sharing = rng.next_u64() & 1 == 1;
+        let gossip = (peer_sharing && rng.next_u64() & 1 == 1).then(|| GossipSpec {
+            fanout: 1 + rng.next_usize(8),
+            view_size: 1 + rng.next_usize(32),
+            rounds_per_wave: 1 + rng.next_usize(4),
+        });
+        let sweep = sweep(rng, gossip.is_some());
         Scenario {
             name: "[a-z][a-z0-9-]{0,10}".sample(rng),
             app: if rng.next_u64() & 1 == 1 { "video-processing" } else { "text-processing" }
@@ -146,7 +170,7 @@ impl Strategy for ScenarioStrategy {
             seed: rng.next_u64() >> 24,
             replications: 1 + rng.next_usize(7) as u32,
             time_scale: (0.001f64..100.0).sample(rng),
-            peer_sharing: rng.next_u64() & 1 == 1,
+            peer_sharing,
             testbed: TestbedSpec {
                 base: if rng.next_u64() & 1 == 1 {
                     TestbedBase::Paper
@@ -162,10 +186,11 @@ impl Strategy for ScenarioStrategy {
                 max_attempts: 1 + rng.next_usize(5),
                 base_backoff: (0.0f64..30.0).sample(rng),
             }),
+            gossip,
             rates: rates(rng),
             events,
             arrivals: arrivals(rng),
-            sweep: sweep(rng),
+            sweep,
         }
     }
 }
@@ -266,6 +291,49 @@ fn hostile_documents_name_the_problem() {
             "name = \"x\"\napp = \"text-processing\"\n\
              [[events]]\nkind = \"registry-gc\"\nat = 0.0\nwhen = 1.0\n",
             "unknown key `when`",
+        ),
+        // Negative gossip fanout.
+        (
+            "name = \"x\"\napp = \"text-processing\"\npeer_sharing = true\n\
+             [gossip]\nfanout = -3\nview_size = 8\nrounds_per_wave = 1\n",
+            "`fanout` in [gossip] must be a non-negative integer",
+        ),
+        // Zero gossip fanout.
+        (
+            "name = \"x\"\napp = \"text-processing\"\npeer_sharing = true\n\
+             [gossip]\nfanout = 0\nview_size = 8\nrounds_per_wave = 1\n",
+            "`fanout` in [gossip] must be at least 1",
+        ),
+        // Zero view size.
+        (
+            "name = \"x\"\napp = \"text-processing\"\npeer_sharing = true\n\
+             [gossip]\nfanout = 2\nview_size = 0\nrounds_per_wave = 1\n",
+            "`view_size` in [gossip] must be at least 1",
+        ),
+        // Unknown key inside [gossip].
+        (
+            "name = \"x\"\napp = \"text-processing\"\npeer_sharing = true\n\
+             [gossip]\nfanout = 2\nview_size = 8\nrounds_per_wave = 1\nttl = 4\n",
+            "unknown key `ttl` in [gossip]",
+        ),
+        // [gossip] without the peer plane it discovers for.
+        (
+            "name = \"x\"\napp = \"text-processing\"\n\
+             [gossip]\nfanout = 2\nview_size = 8\nrounds_per_wave = 1\n",
+            "[gossip] requires `peer_sharing = true`",
+        ),
+        // A gossip sweep axis with no [gossip] section to mutate.
+        (
+            "name = \"x\"\napp = \"text-processing\"\n\
+             [[sweep]]\naxis = \"gossip-view-size\"\nvalues = [2, 4]\n",
+            "sweep axis `gossip-view-size` requires a [gossip] section",
+        ),
+        // Fractional rounds on the gossip-rounds axis.
+        (
+            "name = \"x\"\napp = \"text-processing\"\npeer_sharing = true\n\
+             [gossip]\nfanout = 2\nview_size = 8\nrounds_per_wave = 1\n\
+             [[sweep]]\naxis = \"gossip-rounds\"\nvalues = [1.5]\n",
+            "out-of-range value",
         ),
         // TOML-level breakage keeps its line number.
         ("name = \"x\"\napp = \"text-processing\"\nbroken", "line 3"),

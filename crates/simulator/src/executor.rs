@@ -32,6 +32,37 @@ use deep_registry::{
 use std::collections::HashMap;
 use std::fmt;
 
+/// How pulls discover which fleet peers hold which layers (only
+/// consulted when [`ExecutorConfig::peer_sharing`] is on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PeerDiscovery {
+    /// The omniscient catalog (paper-era behaviour): every wave barrier
+    /// snapshots every *other* device's current cache via
+    /// [`crate::PeerPlane::snapshot`]. The regression oracle for the
+    /// gossip plane.
+    #[default]
+    Snapshot,
+    /// Decentralized epidemic discovery ([`crate::GossipPlane`]): each
+    /// device advertises its cache under an epoch, `rounds_per_wave`
+    /// seeded push/pull rounds (at `fanout` partners per device) run at
+    /// every wave barrier, and a pull's mesh carries at most
+    /// `view_size` holder sources from the *puller's partial view*.
+    /// Layers gossip hasn't propagated are simply absent (and priced as
+    /// absent by the estimator); stale advertisements fail over
+    /// mid-pull. With `fanout >= devices - 1`, one round per wave and
+    /// an unbounded view this reproduces [`PeerDiscovery::Snapshot`]
+    /// byte for byte.
+    Gossip {
+        /// Exchange partners per device per round (clamped to
+        /// `devices - 1`).
+        fanout: u32,
+        /// Max holder sources one pull's mesh may carry.
+        view_size: u32,
+        /// Epidemic rounds per wave barrier.
+        rounds_per_wave: u32,
+    },
+}
+
 /// Executor configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct ExecutorConfig {
@@ -58,6 +89,10 @@ pub struct ExecutorConfig {
     /// model. `false` (paper behaviour) keeps every pull on its
     /// placement's single registry.
     pub peer_sharing: bool,
+    /// How peers are discovered when `peer_sharing` is on: the
+    /// omniscient snapshot catalog (default) or seeded epidemic gossip
+    /// with bounded views. Ignored without `peer_sharing`.
+    pub peer_discovery: PeerDiscovery,
     /// Inject seeded faults sampled from the testbed's
     /// [`Testbed::fault_model`]: every pull's primary source is drawn
     /// dead with its per-pull fatal probability (the session fails the
@@ -82,6 +117,7 @@ impl Default for ExecutorConfig {
             staged_deployment: true,
             instruments: true,
             peer_sharing: false,
+            peer_discovery: PeerDiscovery::Snapshot,
             fault_injection: false,
             fault_seed: 0,
         }
@@ -368,6 +404,12 @@ pub struct OnlineExecutor {
     fault_plan: Option<FaultPlan>,
     timeline: Vec<ChaosEvent>,
     next_event: usize,
+    /// The epidemic discovery plane, present iff `cfg.peer_sharing` with
+    /// [`PeerDiscovery::Gossip`]. Session-scoped, like the fault plan:
+    /// views persist across waves (and across jobs in an online
+    /// session), so discovery lag carries over exactly as it would in a
+    /// long-lived fleet.
+    gossip: Option<crate::gossip::GossipPlane>,
 }
 
 /// Fire every scripted event due at or before `clock` against the
@@ -382,6 +424,7 @@ fn fire_scripted_events(
     devices: &mut [crate::device::SimDevice],
     regional: &mut deep_registry::RegionalRegistry,
     peer_snapshots: &mut HashMap<usize, Vec<(RegistryId, PeerCacheSource)>>,
+    mut gossip: Option<&mut crate::gossip::GossipPlane>,
     trace: &mut Trace,
 ) -> Result<(), ExecError> {
     while *next_event < timeline.len() && timeline[*next_event].at.as_f64() <= clock.as_f64() {
@@ -412,6 +455,17 @@ fn fire_scripted_events(
                                 }
                             }
                         }
+                    }
+                }
+                // Gossip discovery: the holder re-advertises its shrunk
+                // cache *now* (epoch bump), so the stale advertisement
+                // ages out of remote views as later rounds spread the
+                // fresh epoch. The in-flight snapshots above stay stale
+                // on purpose — those pulls pay a failover, never a wrong
+                // estimate.
+                if !evicted.is_empty() {
+                    if let Some(plane) = gossip.as_mut() {
+                        plane.readvertise(*device, &devices[device.0].cache);
                     }
                 }
                 format!(
@@ -447,6 +501,18 @@ impl OnlineExecutor {
             if cfg.fault_injection { Some(testbed.fault_model.plan(cfg.fault_seed)) } else { None };
         let mut timeline: Vec<ChaosEvent> = events.to_vec();
         timeline.sort_by(|a, b| a.at.as_f64().total_cmp(&b.at.as_f64()));
+        let gossip = match (cfg.peer_sharing, cfg.peer_discovery) {
+            (true, PeerDiscovery::Gossip { fanout, view_size, rounds_per_wave }) => {
+                Some(crate::gossip::GossipPlane::new(
+                    testbed.devices.len(),
+                    fanout,
+                    view_size,
+                    rounds_per_wave,
+                    cfg.seed,
+                ))
+            }
+            _ => None,
+        };
         OnlineExecutor {
             cfg: *cfg,
             jitter: Jitter::new(cfg.seed, cfg.jitter),
@@ -457,6 +523,7 @@ impl OnlineExecutor {
             fault_plan,
             timeline,
             next_event: 0,
+            gossip,
         }
     }
 
@@ -498,6 +565,7 @@ impl OnlineExecutor {
             &mut testbed.devices,
             &mut testbed.regional,
             &mut no_snapshots,
+            self.gossip.as_mut(),
             &mut self.trace,
         )
     }
@@ -546,6 +614,7 @@ impl OnlineExecutor {
             ref fault_plan,
             ref timeline,
             ref mut next_event,
+            ref mut gossip,
         } = *self;
         let Testbed {
             ref mut devices,
@@ -584,18 +653,29 @@ impl OnlineExecutor {
         // Snapshots are built only for devices this wave actually deploys
         // to — a fleet wave touching a handful of devices must not pay
         // O(devices²) digest clones.
-        let mut peer_snapshots: HashMap<usize, Vec<(RegistryId, PeerCacheSource)>> =
-            if cfg.peer_sharing {
-                let mut targets: Vec<usize> =
-                    wave.iter().map(|&id| schedule.placement(id).device.0).collect();
-                targets.sort_unstable();
-                targets.dedup();
-                let caches: Vec<&deep_registry::LayerCache> =
-                    devices.iter().map(|d| &d.cache).collect();
-                targets.into_iter().map(|j| (j, peer_plane.snapshot(&caches, j))).collect()
-            } else {
-                HashMap::new()
-            };
+        let mut peer_snapshots: HashMap<usize, Vec<(RegistryId, PeerCacheSource)>> = if cfg
+            .peer_sharing
+        {
+            let mut targets: Vec<usize> =
+                wave.iter().map(|&id| schedule.placement(id).device.0).collect();
+            targets.sort_unstable();
+            targets.dedup();
+            let caches: Vec<&deep_registry::LayerCache> =
+                devices.iter().map(|d| &d.cache).collect();
+            match gossip.as_mut() {
+                // Gossip discovery: advertise-and-spread at the
+                // barrier, then assemble each target's mesh from its
+                // own (bounded, possibly lagging) view.
+                Some(plane) => {
+                    plane.barrier_round(&caches);
+                    targets.into_iter().map(|j| (j, plane.mesh_view(&caches, j))).collect()
+                }
+                // Omniscient snapshot catalog.
+                None => targets.into_iter().map(|j| (j, peer_plane.snapshot(&caches, j))).collect(),
+            }
+        } else {
+            HashMap::new()
+        };
         // ---- Scripted chaos: fire every event whose time has come. -----
         // Events fire *after* the gossip round above, so an eviction
         // leaves the wave's snapshots advertising layers the holder no
@@ -608,6 +688,7 @@ impl OnlineExecutor {
             devices,
             regional,
             &mut peer_snapshots,
+            gossip.as_mut(),
             trace,
         )?;
         // Full-registry backend for a strategy handle. Reborrows the

@@ -1,0 +1,266 @@
+//! Gossip-backed peer discovery: the decentralized replacement for the
+//! executor's omniscient per-wave peer snapshot.
+//!
+//! The snapshot plane ([`crate::testbed::PeerPlane::snapshot`]) hands a
+//! pulling device the *current* cache of every other device — a central
+//! catalog. [`GossipPlane`] replaces it with the epidemic protocol of
+//! [`deep_netsim::gossip`]: each device advertises its layer-cache
+//! digest set (as a [`PeerCacheSource`]) under an epoch, a seeded
+//! push/pull round runs at every wave barrier, and a pull's mesh is
+//! assembled from the *puller's partial view* — bounded to `view_size`
+//! holders, because the `peer_plane` bench prices every extra holder a
+//! session must consider (~0.2 µs each).
+//!
+//! Two kinds of staleness arise, and both must degrade into the mesh's
+//! existing mid-pull failover rather than a wrong answer:
+//!
+//! * **Lag** — a holder warmed a layer but the epoch hasn't reached the
+//!   viewer yet: the viewer simply doesn't count on that holder. The
+//!   scheduler prices this correctly for free, because the estimator
+//!   runs the *same* plane over its mirrored caches.
+//! * **Lies** — a viewer holds an old epoch advertising a layer the
+//!   holder has since evicted. [`GossipPlane::mesh_view`] materializes
+//!   such entries with the dead digests *retracted*: `has_blob` keeps
+//!   answering true (the session plans against the stale advertisement,
+//!   exactly like the cache-pressure chaos path), but the fetch fails
+//!   and the session fails over. Without this, a stale ad would let a
+//!   simulated fetch succeed against bytes that no longer exist.
+//!
+//! With `fanout >= devices - 1` and one round per wave, every barrier
+//! fully re-converges the views, and an unbounded `view_size` makes
+//! `mesh_view` reproduce `PeerPlane::snapshot` holder for holder — the
+//! differential bridge `tests/gossip_discovery.rs` locks down byte for
+//! byte.
+
+use crate::testbed::peer_source_id;
+use deep_netsim::gossip::GossipState;
+use deep_netsim::{DeviceId, RegistryId};
+use deep_registry::{BlobSource, LayerCache, PeerCacheSource};
+
+/// The fleet-wide gossip discovery plane: epidemic state plus the knobs
+/// of [`crate::executor::PeerDiscovery::Gossip`].
+#[derive(Debug, Clone)]
+pub struct GossipPlane {
+    state: GossipState<PeerCacheSource>,
+    fanout: u32,
+    view_size: u32,
+    rounds_per_wave: u32,
+}
+
+impl GossipPlane {
+    /// A fresh plane over `devices` nodes. `fanout` is clamped to
+    /// `devices - 1` per round; `view_size` bounds how many holder
+    /// sources [`Self::mesh_view`] materializes into one pull's mesh.
+    pub fn new(
+        devices: usize,
+        fanout: u32,
+        view_size: u32,
+        rounds_per_wave: u32,
+        seed: u64,
+    ) -> Self {
+        GossipPlane { state: GossipState::new(devices, seed), fanout, view_size, rounds_per_wave }
+    }
+
+    /// The wave-barrier step, mirroring the snapshot plane's "peers
+    /// advertise what they held when the wave began": every device whose
+    /// cache diverged from its own last advertisement re-advertises
+    /// (epoch bump), then `rounds_per_wave` epidemic rounds spread the
+    /// freshest epochs. `caches[j]` is device `j`'s layer cache.
+    pub fn barrier_round(&mut self, caches: &[&LayerCache]) {
+        for (j, cache) in caches.iter().enumerate() {
+            let fresh = match self.state.self_ad(j) {
+                Some(ad) => ad.len() != cache.len() || cache.digests().any(|d| !ad.has_blob(d)),
+                None => true,
+            };
+            if fresh {
+                self.state.advertise(j, PeerCacheSource::for_holder(DeviceId(j), cache));
+            }
+        }
+        self.state.run_rounds(self.rounds_per_wave, self.fanout);
+    }
+
+    /// Immediate re-advertisement after an out-of-band cache change —
+    /// the chaos cache-pressure path. The epoch bump makes every remote
+    /// copy of the old advertisement stale, so it ages out of the fleet
+    /// as subsequent rounds spread the fresh (smaller) one; until then,
+    /// viewers acting on the lie pay a failover, never a wrong estimate.
+    pub fn readvertise(&mut self, holder: DeviceId, cache: &LayerCache) {
+        if holder.0 < self.state.devices() {
+            self.state.advertise(holder.0, PeerCacheSource::for_holder(holder, cache));
+        }
+    }
+
+    /// Materialize the pulling device's bounded mesh view: the holders
+    /// it currently knows of, largest advertisement first, truncated to
+    /// `view_size`, returned in ascending holder order under the same
+    /// [`peer_source_id`] scheme as the snapshot plane (so route keys,
+    /// uplink contention and trace ids are identical across discovery
+    /// modes). Digests a holder advertised but no longer actually holds
+    /// (per `caches`) are retracted in the materialized source: the
+    /// session still *plans* against the stale advertisement, but the
+    /// fetch fails over instead of serving vanished bytes.
+    pub fn mesh_view(
+        &self,
+        caches: &[&LayerCache],
+        target: usize,
+    ) -> Vec<(RegistryId, PeerCacheSource)> {
+        let mut candidates: Vec<(usize, &PeerCacheSource)> = self
+            .state
+            .known(target)
+            .filter(|&(holder, _, ad)| holder != target && !ad.is_empty())
+            .map(|(holder, _, ad)| (holder, ad))
+            .collect();
+        // Deterministic bounded selection: prefer the holders advertising
+        // the most layers (most likely to cover the pull), break ties on
+        // the lower device id.
+        candidates.sort_by(|a, b| b.1.len().cmp(&a.1.len()).then(a.0.cmp(&b.0)));
+        candidates.truncate(self.view_size as usize);
+        // Back to ascending holder order — the snapshot plane's order —
+        // so an unbounded converged view is indistinguishable from it.
+        candidates.sort_by_key(|&(holder, _)| holder);
+        candidates
+            .into_iter()
+            .map(|(holder, ad)| {
+                let mut source = ad.clone();
+                for digest in ad.digests() {
+                    if !caches[holder].contains(digest) {
+                        source.retract(digest);
+                    }
+                }
+                (peer_source_id(DeviceId(holder)), source)
+            })
+            .collect()
+    }
+
+    /// True when every view carries the freshest epoch of every
+    /// advertisement — the regime in which `mesh_view` (unbounded)
+    /// equals the omniscient snapshot.
+    pub fn converged(&self) -> bool {
+        self.state.converged()
+    }
+
+    /// Epidemic rounds run so far.
+    pub fn rounds_run(&self) -> u64 {
+        self.state.rounds_run()
+    }
+
+    /// The configured view bound.
+    pub fn view_size(&self) -> u32 {
+        self.view_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testbed::PeerPlane;
+    use deep_netsim::{Bandwidth, DataSize, Seconds};
+    use deep_registry::Digest;
+
+    fn digest(tag: u8) -> Digest {
+        Digest::of(&[tag])
+    }
+
+    /// Four devices: 0 and 2 warm with distinct layer sets, 1 and 3 cold.
+    fn fleet() -> Vec<LayerCache> {
+        let mut caches = vec![LayerCache::new(DataSize::gigabytes(8.0)); 4];
+        caches[0].insert(digest(1), DataSize::megabytes(10.0));
+        caches[0].insert(digest(2), DataSize::megabytes(10.0));
+        caches[2].insert(digest(3), DataSize::megabytes(10.0));
+        caches
+    }
+
+    fn converged_plane(caches: &[LayerCache]) -> GossipPlane {
+        let mut plane = GossipPlane::new(caches.len(), u32::MAX, u32::MAX, 1, 42);
+        let refs: Vec<&LayerCache> = caches.iter().collect();
+        plane.barrier_round(&refs);
+        assert!(plane.converged());
+        plane
+    }
+
+    #[test]
+    fn converged_unbounded_view_matches_the_omniscient_snapshot() {
+        let caches = fleet();
+        let plane = converged_plane(&caches);
+        let refs: Vec<&LayerCache> = caches.iter().collect();
+        let snapshot_plane =
+            PeerPlane::uniform(4, Bandwidth::megabits_per_sec(100.0), Seconds::ZERO);
+        for target in 0..4 {
+            let gossip = plane.mesh_view(&refs, target);
+            let snapshot = snapshot_plane.snapshot(&refs, target);
+            assert_eq!(gossip.len(), snapshot.len(), "target {target}");
+            for ((gid, gsrc), (sid, ssrc)) in gossip.iter().zip(snapshot.iter()) {
+                assert_eq!(gid, sid);
+                assert_eq!(gsrc.holder(), ssrc.holder());
+                assert_eq!(gsrc.len(), ssrc.len());
+                for d in ssrc.digests() {
+                    assert!(gsrc.has_blob(d));
+                    assert!(gsrc.fetch_blob(d).is_ok(), "no spurious retraction");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_view_keeps_the_largest_advertisements() {
+        let caches = fleet();
+        let plane = {
+            let mut p = GossipPlane::new(4, u32::MAX, 1, 1, 42);
+            let refs: Vec<&LayerCache> = caches.iter().collect();
+            p.barrier_round(&refs);
+            p
+        };
+        let refs: Vec<&LayerCache> = caches.iter().collect();
+        // Device 1 knows holders 0 (2 layers) and 2 (1 layer); a view of
+        // one keeps only the larger advertisement.
+        let view = plane.mesh_view(&refs, 1);
+        assert_eq!(view.len(), 1);
+        assert_eq!(view[0].0, peer_source_id(DeviceId(0)));
+        // The full view is a superset of the bounded one.
+        let full = converged_plane(&caches).mesh_view(&refs, 1);
+        assert_eq!(full.len(), 2);
+        assert!(full.iter().any(|(id, _)| *id == view[0].0));
+    }
+
+    #[test]
+    fn stale_advertisement_is_materialized_as_a_retraction_not_a_serve() {
+        let mut caches = fleet();
+        let plane = converged_plane(&caches);
+        // Holder 0 loses a layer *after* the barrier: remote views still
+        // advertise it, but materialization must retract the dead digest
+        // so the fetch fails over instead of serving vanished bytes.
+        caches[0].evict_to(DataSize::megabytes(10.0));
+        let survivor: Vec<Digest> = caches[0].digests().cloned().collect();
+        assert_eq!(survivor.len(), 1);
+        let refs: Vec<&LayerCache> = caches.iter().collect();
+        let view = plane.mesh_view(&refs, 1);
+        let holder0 = &view.iter().find(|(id, _)| *id == peer_source_id(DeviceId(0))).unwrap().1;
+        assert_eq!(holder0.len(), 2, "stale ad still advertises both layers");
+        for tag in [1u8, 2] {
+            let d = digest(tag);
+            assert!(holder0.has_blob(&d), "stale ad keeps answering has_blob");
+            if survivor.contains(&d) {
+                assert!(holder0.fetch_blob(&d).is_ok());
+            } else {
+                assert!(holder0.fetch_blob(&d).is_err(), "evicted layer fails over");
+            }
+        }
+    }
+
+    #[test]
+    fn readvertisement_ages_the_evicted_layer_out_of_remote_views() {
+        let mut caches = fleet();
+        let mut plane = converged_plane(&caches);
+        caches[0].evict_to(DataSize::ZERO);
+        plane.readvertise(DeviceId(0), &caches[0]);
+        assert!(!plane.converged(), "stale epoch copies remain remote");
+        let refs: Vec<&LayerCache> = caches.iter().collect();
+        plane.barrier_round(&refs);
+        assert!(plane.converged());
+        let view = plane.mesh_view(&refs, 1);
+        assert!(
+            view.iter().all(|(id, _)| *id != peer_source_id(DeviceId(0))),
+            "empty holder no longer advertised anywhere"
+        );
+    }
+}

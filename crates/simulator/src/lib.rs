@@ -22,6 +22,13 @@
 //!   [`Testbed::fault_model`](testbed::Testbed::fault_model) — dead
 //!   primaries fail over onto standby mesh sources, transient bursts
 //!   retry under the model's policy;
+//! * [`gossip`] — the decentralized discovery plane
+//!   ([`GossipPlane`]): epoch-versioned holder advertisements spread by
+//!   seeded epidemic rounds at every wave barrier, bounded per-pull
+//!   views ([`executor::PeerDiscovery::Gossip`]), and stale-ad
+//!   retraction so an evicted layer fails over mid-pull instead of
+//!   serving; with fanout ≥ devices − 1 it reproduces the omniscient
+//!   snapshot byte for byte;
 //! * [`jitter`] — seeded multiplicative noise reproducing run-to-run
 //!   variance (Table II reports ranges, not points);
 //! * [`metrics`] — per-microservice `Td/Tc/Tp/CT/EC` records and run
@@ -33,6 +40,7 @@ pub mod chaos;
 pub mod device;
 pub mod engine;
 pub mod executor;
+pub mod gossip;
 pub mod jitter;
 pub mod metrics;
 pub mod schedule;
@@ -44,8 +52,9 @@ pub use device::SimDevice;
 pub use engine::Engine;
 pub use executor::{
     execute, execute_with_events, plan_waves, validate_schedule, ExecError, ExecutorConfig, JobRun,
-    OnlineExecutor,
+    OnlineExecutor, PeerDiscovery,
 };
+pub use gossip::GossipPlane;
 pub use jitter::Jitter;
 pub use metrics::{MicroserviceMetrics, RunReport};
 pub use schedule::{Placement, RegistryChoice, Schedule};

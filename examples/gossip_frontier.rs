@@ -1,0 +1,139 @@
+//! Gossip discovery frontier: view size × propagation rounds at fleet
+//! scale.
+//!
+//! Builds a seeded 240-device synthetic continuum fleet, warms six
+//! cloud-tier holders with every image of a generated dataflow (both
+//! platforms), and pins the application to the edge tier — so every
+//! placement pays a pull, and the 80 MB/s peer plane beats every
+//! ~8–12 MB/s registry route whenever the puller *knows* a warm holder.
+//! Discovery is the only variable: the omniscient snapshot plane (the
+//! PR 5 baseline) against gossip over a grid of bounded view sizes and
+//! epidemic rounds per wave. Scheduler and executor run the *same*
+//! seeded plane, so each cell's equilibrium prices exactly the partial
+//! views its run will materialize — under-propagated gossip shows up as
+//! wave-one pulls routed to registries, and the realized Td measures
+//! what bounded discovery costs.
+//!
+//! The headline is the ISSUE's acceptance bar: a bounded view of at
+//! most 8 holders must land within 5 % of the omniscient snapshot's
+//! equilibrium Td — bounded views are cheap because the warm holders
+//! dominate every by-size selection; it is *propagation* (rounds per
+//! wave) that buys the convergence.
+//!
+//! Run with `cargo run --release --example gossip_frontier`.
+
+use deep::core::{continuum, DeepScheduler, Scheduler};
+use deep::dataflow::{Application, DagGenerator, DeviceClass};
+use deep::netsim::DeviceId;
+use deep::registry::Platform;
+use deep::simulator::{execute, ExecutorConfig, PeerDiscovery, RegistryChoice, Testbed};
+
+const DEVICES: usize = 240;
+const REGISTRIES: usize = 4;
+const FLEET_SEED: u64 = 42;
+const FANOUT: u32 = 3;
+/// Cloud-tier fleet slots (every 16th device is a cloud clone, plus the
+/// original continuum cloud at id 2) — the warm holders.
+const HOLDERS: [usize; 6] = [2, 15, 31, 47, 63, 79];
+
+/// Warm each holder with every image of `app`, both platforms — fleet
+/// caches able to serve any edge puller's architecture.
+fn warm_holders(tb: &mut Testbed, app: &Application) {
+    for &j in &HOLDERS {
+        let holder = DeviceId(j);
+        let mut cache = tb.device(holder).cache.clone();
+        for id in app.ids() {
+            let ms = app.microservice(id);
+            let entry = tb.entry(app.name(), &ms.name).unwrap().clone();
+            for platform in [Platform::Amd64, Platform::Arm64] {
+                tb.pull_mesh(RegistryChoice::Hub, holder, 1.0)
+                    .session(RegistryChoice::Hub.registry_id())
+                    .pull(&entry.hub_reference(platform), platform, &mut cache)
+                    .unwrap();
+            }
+        }
+        tb.device_mut(holder).cache = cache;
+        // The frontier is meaningless if the holder evicted anything:
+        // every advertised layer must really be servable.
+        for id in app.ids() {
+            let ms = app.microservice(id);
+            let entry = tb.entry(app.name(), &ms.name).unwrap();
+            for platform in [Platform::Amd64, Platform::Arm64] {
+                for layer in &entry.manifest(platform).layers {
+                    assert!(
+                        tb.device(holder).cache.contains(&layer.digest),
+                        "holder {j} evicted a warm layer — shrink the app"
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn realized(app: &Application, discovery: PeerDiscovery) -> (f64, f64) {
+    let mut tb = continuum::synthetic_fleet_testbed(DEVICES, REGISTRIES, FLEET_SEED);
+    tb.publish_application(app);
+    warm_holders(&mut tb, app);
+    let scheduler =
+        DeepScheduler { peer_sharing: true, peer_discovery: discovery, ..DeepScheduler::default() };
+    let schedule = scheduler.schedule(app, &tb);
+    let cfg =
+        ExecutorConfig { peer_sharing: true, peer_discovery: discovery, ..Default::default() };
+    let (report, _) = execute(&mut tb, app, &schedule, &cfg).unwrap();
+    (report.microservices.iter().map(|m| m.td.as_f64()).sum(), report.peer_downloaded_mb())
+}
+
+fn main() {
+    let gen = DagGenerator { stages: 5, width: (2, 4), ..DagGenerator::default() };
+    let base = gen.generate(42);
+    // Pin every microservice to the edge tier: the warm cloud holders
+    // can serve bytes but never host, so the peer plane is always in
+    // play and discovery quality is the only variable.
+    let pins: Vec<(&str, DeviceClass)> =
+        base.ids().map(|id| (base.microservice(id).name.as_str(), DeviceClass::Edge)).collect();
+    let app = continuum::pin_microservices(&base, &pins);
+    println!(
+        "Gossip discovery frontier — app `{}` ({} microservices, edge-pinned), {DEVICES} devices \
+         / {REGISTRIES} registries, {} warm cloud holders, fanout {FANOUT}",
+        app.name(),
+        app.len(),
+        HOLDERS.len()
+    );
+
+    let (omniscient, omni_peer_mb) = realized(&app, PeerDiscovery::Snapshot);
+    assert!(omni_peer_mb > 1_000.0, "the omniscient equilibrium must ride the peer plane");
+    println!("\nomniscient snapshot plane: Td {omniscient:.2} s, {omni_peer_mb:.0} MB via peers\n");
+    println!(
+        "{:>10} {:>8} {:>12} {:>12} {:>9}",
+        "view_size", "rounds", "Td (s)", "peer MB", "vs omni"
+    );
+
+    let mut best_small_view = f64::INFINITY;
+    for &view_size in &[2u32, 4, 8] {
+        for &rounds_per_wave in &[1u32, 2, 4] {
+            let (td, peer_mb) = realized(
+                &app,
+                PeerDiscovery::Gossip { fanout: FANOUT, view_size, rounds_per_wave },
+            );
+            let delta = (td / omniscient - 1.0) * 100.0;
+            println!(
+                "{view_size:>10} {rounds_per_wave:>8} {td:>12.2} {peer_mb:>12.0} {delta:>+8.2}%"
+            );
+            if view_size <= 8 {
+                best_small_view = best_small_view.min(td);
+            }
+        }
+    }
+
+    let best_delta = (best_small_view / omniscient - 1.0) * 100.0;
+    println!(
+        "\nheadline: best bounded view (≤ 8 holders) Td {best_small_view:.2} s, {best_delta:+.2} % \
+         vs omniscient ({})",
+        if best_delta.abs() <= 5.0 { "within the 5 % bar" } else { "OVER the 5 % bar" }
+    );
+    assert!(
+        best_delta.abs() <= 5.0,
+        "a bounded view of ≤ 8 holders must reach within 5 % of the omniscient snapshot \
+         (got {best_delta:+.2} %)"
+    );
+}

@@ -57,6 +57,12 @@ echo "==> scenario soak smoke (time-scaled chaos timeline through the runner)"
 # execute on every push.
 cargo run --quiet --release --example scenario_runner -- scenarios/soak_smoke.toml >/dev/null
 
+echo "==> gossip discovery smoke (epidemic peer views through the runner)"
+# gossip_frontier.rs (covered by the loop above) is the fleet-scale
+# frontier; this pass replays the checked-in gossip scenario so the
+# [gossip] DSL section and its sweep axes execute on every push.
+cargo run --quiet --release --example scenario_runner -- scenarios/gossip_frontier.toml >/dev/null
+
 echo "==> arrival plane smoke (online admissions + incremental repair)"
 # arrival_runner's no-arg default already replays scenarios/arrival_soak.toml
 # (covered by the loop above); this pass re-runs it explicitly so the

@@ -1,0 +1,420 @@
+//! Gossip-based peer discovery: the differential test plane.
+//!
+//! The contracts that let the epidemic discovery plane replace the
+//! omniscient snapshot without changing the game:
+//!
+//! 1. **Snapshot parity** — a *converged* gossip configuration
+//!    (all-pairs fanout, unbounded view, one round per wave) reproduces
+//!    the `PeerPlane::PerPair` snapshot plane byte for byte: serialized
+//!    Schedules are identical and serialized RunReports are identical,
+//!    across the case studies, a mirrored registry mesh, and a proptest
+//!    population of generated applications — with fault-aware pricing
+//!    riding along.
+//! 2. **Estimator/executor bit-for-bit under bounded views** — with a
+//!    tiny fanout and a one-holder view the estimation context runs the
+//!    *same* seeded plane over its mirrored caches and still predicts
+//!    exactly what the executor measures, lag and all.
+//! 3. **Protocol properties** — seeded determinism, monotone epidemic
+//!    growth (more rounds only add knowledge, epochs never regress),
+//!    all-pairs one-round convergence, and bounded views that are
+//!    subsets of the full view.
+//! 4. **Staleness safety** — a lying advertisement (the holder died, or
+//!    chaos evicted its cache after the barrier) never panics and never
+//!    serves vanished bytes: the pull pays the mesh's mid-pull failover,
+//!    and the chaos path's epoch bump ages the stale ad out of the
+//!    fleet's views.
+
+use deep::core::{DeepScheduler, EstimationContext, Scheduler};
+use deep::dataflow::{self, apps, Application};
+use deep::netsim::gossip::GossipState;
+use deep::netsim::{Bandwidth, DataSize, DeviceId, Seconds};
+use deep::registry::{Digest, FaultModel, FaultRates, LayerCache, Platform};
+use deep::simulator::{
+    execute, execute_with_events, peer_source_id, ChaosEvent, ExecutorConfig, GossipPlane,
+    PeerDiscovery, Placement, RegistryChoice, RunReport, Schedule, Testbed, TraceKind,
+    DEVICE_CLOUD, DEVICE_MEDIUM, DEVICE_SMALL,
+};
+use proptest::prelude::*;
+
+/// A calibrated continuum testbed (the peer plane needs same-arch
+/// devices: medium and cloud are both amd64).
+fn continuum() -> Testbed {
+    deep::core::continuum_testbed()
+}
+
+/// The discovery configuration guaranteed to re-converge at every wave
+/// barrier: all-pairs fanout (clamped to `devices - 1`), an unbounded
+/// view, one epidemic round per wave — the snapshot-parity regime.
+fn converged_gossip() -> PeerDiscovery {
+    PeerDiscovery::Gossip { fanout: u32::MAX, view_size: u32::MAX, rounds_per_wave: 1 }
+}
+
+/// Warm `holder`'s cache with every image of `app` for both platforms —
+/// a fleet cache able to serve amd64 and arm64 pullers alike.
+fn warm_holder_both_arches(tb: &mut Testbed, app: &Application, holder: DeviceId) {
+    let mut cache = tb.device(holder).cache.clone();
+    for id in app.ids() {
+        let ms = app.microservice(id);
+        let entry = tb.entry(app.name(), &ms.name).unwrap().clone();
+        for platform in [Platform::Amd64, Platform::Arm64] {
+            let reference = entry.hub_reference(platform);
+            tb.pull_mesh(RegistryChoice::Hub, holder, 1.0)
+                .session(RegistryChoice::Hub.registry_id())
+                .pull(&reference, platform, &mut cache)
+                .unwrap();
+        }
+    }
+    tb.device_mut(holder).cache = cache;
+}
+
+// ---------------------------------------------------------------------
+// 1. Snapshot parity: converged gossip ≡ omniscient snapshot plane.
+// ---------------------------------------------------------------------
+
+/// Schedule with the peer-aware (and optionally fault-aware) scheduler
+/// on a warm continuum fleet — optionally with a regional mirror in the
+/// mesh — then execute the redeploy onto the cloud tier, once per
+/// discovery mode, and compare byte for byte.
+fn assert_snapshot_parity(app: &Application, fault_aware: bool, mirrored: bool) {
+    let run = |discovery: PeerDiscovery| -> (Schedule, RunReport) {
+        let mut tb = continuum();
+        tb.publish_application(app);
+        if mirrored {
+            tb.add_regional_mirror(Bandwidth::megabytes_per_sec(11.0), Seconds::new(4.0));
+        }
+        if fault_aware {
+            tb.fault_model = FaultModel::default().with_source(
+                RegistryChoice::Regional.registry_id(),
+                FaultRates { fatal_per_pull: 0.2, transient_per_fetch: 0.1 },
+            );
+        }
+        // Warm the fleet: the medium edge device runs the app first.
+        let warm = Schedule::uniform(app.len(), RegistryChoice::Hub, DEVICE_MEDIUM);
+        execute(&mut tb, app, &warm, &ExecutorConfig::default()).unwrap();
+        let scheduler = DeepScheduler {
+            peer_sharing: true,
+            price_faults: fault_aware,
+            peer_discovery: discovery,
+            ..DeepScheduler::default()
+        };
+        let schedule = scheduler.schedule(app, &tb);
+        let cfg =
+            ExecutorConfig { peer_sharing: true, peer_discovery: discovery, ..Default::default() };
+        let (report, _) = execute(&mut tb, app, &schedule, &cfg).unwrap();
+        (schedule, report)
+    };
+    let (schedule_snap, report_snap) = run(PeerDiscovery::Snapshot);
+    let (schedule_gsp, report_gsp) = run(converged_gossip());
+    assert_eq!(
+        serde_json::to_string(&schedule_gsp).unwrap(),
+        serde_json::to_string(&schedule_snap).unwrap(),
+        "{}: converged gossip changed the schedule",
+        app.name()
+    );
+    assert_eq!(
+        serde_json::to_string(&report_gsp).unwrap(),
+        serde_json::to_string(&report_snap).unwrap(),
+        "{}: converged gossip changed the RunReport",
+        app.name()
+    );
+}
+
+#[test]
+fn case_studies_gossip_snapshot_parity() {
+    for app in apps::case_studies() {
+        assert_snapshot_parity(&app, false, false);
+        assert_snapshot_parity(&app, true, false);
+    }
+}
+
+#[test]
+fn mirrored_mesh_gossip_snapshot_parity() {
+    // A regional mirror widens the registry side of the mesh; the peer
+    // side's discovery mode must stay invisible across it too.
+    for app in apps::case_studies() {
+        assert_snapshot_parity(&app, false, true);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Generated applications reproduce the snapshot stack byte for
+    /// byte under converged gossip. (The vendored proptest seeds each
+    /// case deterministically from the test name, so this sweep is
+    /// fixed-seed in CI.)
+    #[test]
+    fn generated_apps_gossip_snapshot_parity(seed in 0u64..500) {
+        let app = dataflow::DagGenerator::default().generate(seed);
+        assert_snapshot_parity(&app, false, false);
+    }
+}
+
+// ---------------------------------------------------------------------
+// 2. Estimator/executor bit-for-bit under a *bounded* view.
+// ---------------------------------------------------------------------
+
+#[test]
+fn estimator_matches_executor_under_a_bounded_view() {
+    // A one-holder view, fanout one, one round per wave: the epidemic
+    // is slow and the views are partial — some waves genuinely cannot
+    // count on the warm holder yet. The estimation context runs the
+    // same seeded plane over its mirrored caches, so every lag the
+    // executor experiences is priced identically.
+    let app = apps::video_processing();
+    let discovery = PeerDiscovery::Gossip { fanout: 1, view_size: 1, rounds_per_wave: 1 };
+    let mut tb = continuum();
+    warm_holder_both_arches(&mut tb, &app, DEVICE_CLOUD);
+    tb.set_peer_uplink(DEVICE_CLOUD, Bandwidth::megabytes_per_sec(20.0));
+    let mut placements =
+        vec![Placement { registry: RegistryChoice::Hub, device: DEVICE_MEDIUM }; app.len()];
+    placements[app.by_name("transcode").unwrap().0] =
+        Placement { registry: RegistryChoice::Regional, device: DEVICE_SMALL };
+    placements[app.by_name("la-train").unwrap().0] =
+        Placement { registry: RegistryChoice::Regional, device: DEVICE_SMALL };
+    let schedule = Schedule::new(placements);
+    let mut predictions = Vec::new();
+    {
+        let mut ctx =
+            EstimationContext::new(&tb, &app).peer_sharing(true).peer_discovery(discovery, 0);
+        for stage in dataflow::stages(&app) {
+            ctx.begin_wave();
+            for &id in &stage.members {
+                let p = schedule.placement(id);
+                predictions.push(ctx.estimate(id, p.registry, p.device));
+                ctx.commit(id, p);
+            }
+        }
+    }
+    let cfg =
+        ExecutorConfig { peer_sharing: true, peer_discovery: discovery, ..Default::default() };
+    let (report, _) = execute(&mut tb, &app, &schedule, &cfg).unwrap();
+    for (est, measured) in predictions.iter().zip(&report.microservices) {
+        assert_eq!(est.td, measured.td, "{}: td", measured.name);
+        assert_eq!(est.ec, measured.energy, "{}: ec", measured.name);
+    }
+}
+
+// ---------------------------------------------------------------------
+// 3. Protocol properties of the epidemic itself.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The same seed replays the same epidemic: every view, epoch and
+    /// payload is identical across two independent runs.
+    #[test]
+    fn gossip_is_seeded_deterministic(
+        devices in 2usize..12,
+        seed in any::<u64>(),
+        fanout in 1u32..4,
+        rounds in 1u32..6,
+    ) {
+        let build = || {
+            let mut state = GossipState::new(devices, seed);
+            for d in 0..devices {
+                state.advertise(d, (d as u32) * 7 + 1);
+            }
+            state.run_rounds(rounds, fanout);
+            state
+        };
+        let (a, b) = (build(), build());
+        for viewer in 0..devices {
+            let va: Vec<(usize, u64, u32)> = a.known(viewer).map(|(h, e, p)| (h, e, *p)).collect();
+            let vb: Vec<(usize, u64, u32)> = b.known(viewer).map(|(h, e, p)| (h, e, *p)).collect();
+            prop_assert_eq!(va, vb, "viewer {} diverged under one seed", viewer);
+        }
+    }
+
+    /// Epidemic growth is monotone: running more rounds only ever adds
+    /// holders to a view or refreshes their epochs — never forgets, and
+    /// never regresses an epoch. One all-pairs round from any partial
+    /// state converges every view onto the freshest epoch of every ad
+    /// (the full view is a superset of every bounded-fanout view).
+    #[test]
+    fn more_rounds_only_grow_views_and_never_regress_epochs(
+        devices in 2usize..12,
+        seed in any::<u64>(),
+        fanout in 1u32..4,
+        rounds in 1u32..6,
+    ) {
+        let mut state = GossipState::new(devices, seed);
+        for d in 0..devices {
+            state.advertise(d, d as u32);
+        }
+        state.run_rounds(rounds, fanout);
+        let before: Vec<Vec<(usize, u64)>> =
+            (0..devices).map(|v| state.known(v).map(|(h, e, _)| (h, e)).collect()).collect();
+        state.run_rounds(1, u32::MAX);
+        prop_assert!(state.converged(), "an all-pairs round converges the fleet");
+        for (viewer, partial) in before.iter().enumerate() {
+            let full: std::collections::BTreeMap<usize, u64> =
+                state.known(viewer).map(|(h, e, _)| (h, e)).collect();
+            prop_assert_eq!(full.len(), devices, "converged view knows every holder");
+            for &(holder, epoch) in partial {
+                let fresh = full.get(&holder).copied();
+                prop_assert!(fresh >= Some(epoch), "epoch regressed for holder {}", holder);
+            }
+        }
+    }
+}
+
+/// A bounded mesh view is always a subset of the unbounded view over
+/// the same epidemic state, and never exceeds its configured size.
+#[test]
+fn bounded_mesh_views_are_subsets_of_the_full_view() {
+    let mut caches = vec![LayerCache::new(DataSize::gigabytes(8.0)); 6];
+    for (j, cache) in caches.iter_mut().enumerate() {
+        // Distinct advertisement sizes so the bounded selection has
+        // real choices to make.
+        for layer in 0..=j {
+            cache.insert(Digest::of(&[j as u8, layer as u8]), DataSize::megabytes(5.0));
+        }
+    }
+    let refs: Vec<&LayerCache> = caches.iter().collect();
+    let plane_at = |view_size: u32| {
+        let mut plane = GossipPlane::new(6, u32::MAX, view_size, 1, 7);
+        plane.barrier_round(&refs);
+        plane
+    };
+    let full: Vec<_> =
+        plane_at(u32::MAX).mesh_view(&refs, 0).into_iter().map(|(id, _)| id).collect();
+    assert_eq!(full.len(), 5, "unbounded view sees every other holder");
+    for view_size in 1..=6u32 {
+        let bounded: Vec<_> =
+            plane_at(view_size).mesh_view(&refs, 0).into_iter().map(|(id, _)| id).collect();
+        assert!(bounded.len() <= view_size as usize);
+        assert!(
+            bounded.iter().all(|id| full.contains(id)),
+            "view {view_size}: bounded holders {bounded:?} not a subset of {full:?}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// 4. Staleness safety: lying ads fail over, and age out.
+// ---------------------------------------------------------------------
+
+#[test]
+fn gossip_churn_kills_one_holder_not_the_plane() {
+    // The peer-churn contract of tests/peer_plane.rs, under gossip
+    // discovery: two warm holders, the medium one drawn fatally dead
+    // for every pull. Its converged advertisement is a lie the session
+    // plans against — the pull must fail over to the *surviving small
+    // holder*, never panic, and report exactly the dead holder.
+    let app = apps::text_processing();
+    let mut tb = continuum();
+    let warm = Schedule::uniform(app.len(), RegistryChoice::Hub, DEVICE_MEDIUM);
+    execute(&mut tb, &app, &warm, &ExecutorConfig::default()).unwrap();
+    let mut small_cache = tb.device(DEVICE_SMALL).cache.clone();
+    for id in app.ids() {
+        let ms = app.microservice(id);
+        let entry = tb.entry(app.name(), &ms.name).unwrap().clone();
+        tb.pull_mesh(RegistryChoice::Hub, DEVICE_SMALL, 1.0)
+            .session(RegistryChoice::Hub.registry_id())
+            .pull(&entry.hub_reference(Platform::Amd64), Platform::Amd64, &mut small_cache)
+            .unwrap();
+    }
+    tb.device_mut(DEVICE_SMALL).cache = small_cache;
+    let dead_holder = peer_source_id(DEVICE_MEDIUM);
+    tb.fault_model = FaultModel::default()
+        .with_source(dead_holder, FaultRates { fatal_per_pull: 1.0, transient_per_fetch: 0.0 });
+    let schedule = Schedule::uniform(app.len(), RegistryChoice::Hub, DEVICE_CLOUD);
+    let cfg = ExecutorConfig {
+        peer_sharing: true,
+        fault_injection: true,
+        peer_discovery: converged_gossip(),
+        ..Default::default()
+    };
+    let (report, _) = execute(&mut tb, &app, &schedule, &cfg).unwrap();
+    let survivor = peer_source_id(DEVICE_SMALL);
+    let mut failovers = 0;
+    for m in &report.microservices {
+        assert!(
+            m.sources.iter().all(|s| s.source != dead_holder),
+            "{}: the dead holder served bytes: {:?}",
+            m.name,
+            m.sources
+        );
+        if m.failed_sources.is_empty() {
+            continue;
+        }
+        failovers += 1;
+        assert_eq!(m.failed_sources, vec![dead_holder], "{}: exactly the holder died", m.name);
+        assert!(
+            m.sources.iter().any(|s| s.source == survivor),
+            "{}: the surviving holder carries the failover: {:?}",
+            m.name,
+            m.sources
+        );
+    }
+    assert!(failovers >= 2, "the run exercised per-holder failovers");
+    assert_eq!(
+        report.downloaded_by_peer().iter().map(|(d, _)| *d).collect::<Vec<_>>(),
+        vec![DEVICE_SMALL],
+        "only the survivor served"
+    );
+    assert!(report.peer_downloaded_mb() > 1_000.0, "the plane as a whole kept serving");
+}
+
+#[test]
+fn post_eviction_pull_pays_failover_and_the_stale_ad_ages_out() {
+    // The cache-pressure chaos event fires *after* the wave's gossip
+    // round: the wave's pulls planned onto a now-stale advertisement
+    // must fail over mid-pull to the registry and still land every
+    // layer — and the event's epoch bump (readvertisement) must age
+    // the evicted holder out of the fleet's views, so later waves stop
+    // planning on it instead of mis-estimating.
+    let app = apps::video_processing();
+    let all_hub = |device| Schedule::uniform(app.len(), RegistryChoice::Hub, device);
+    let run = |events: &[ChaosEvent]| {
+        let mut tb = continuum();
+        tb.publish_application(&app);
+        execute(&mut tb, &app, &all_hub(DEVICE_MEDIUM), &ExecutorConfig::default()).unwrap();
+        let cfg = ExecutorConfig {
+            peer_sharing: true,
+            peer_discovery: converged_gossip(),
+            ..Default::default()
+        };
+        let out = execute_with_events(&mut tb, &app, &all_hub(DEVICE_CLOUD), &cfg, events).unwrap();
+        (out, tb)
+    };
+    // Baseline: the peer serves the fleet-resident training stack; its
+    // trace locates the training wave's start on the clock.
+    let ((baseline, trace), _) = run(&[]);
+    assert!(!baseline.downloaded_by_peer().is_empty(), "baseline rides the peer");
+    let train_wave = trace
+        .of_kind(TraceKind::DeploymentStarted)
+        .find(|e| e.label == "ha-train")
+        .expect("training wave traced")
+        .at;
+    let events = [ChaosEvent::cache_pressure(train_wave, DEVICE_MEDIUM, DataSize::ZERO)];
+    let ((report, chaos_trace), tb) = run(&events);
+    let peer_id = peer_source_id(DEVICE_MEDIUM);
+    assert!(
+        report.microservices.iter().any(|m| m.failed_sources.contains(&peer_id)),
+        "some pull hit the stale advertisement and failed over"
+    );
+    // The training wave itself got nothing from the evicted peer.
+    let ha = report.metrics("ha-train").unwrap();
+    assert!(ha.failed_sources.contains(&peer_id), "{:?}", ha.failed_sources);
+    assert!(ha.sources.iter().all(|b| b.source != peer_id), "{:?}", ha.sources);
+    let dl = |r: &RunReport| -> f64 { r.microservices.iter().map(|m| m.downloaded_mb).sum() };
+    assert!((dl(&report) - dl(&baseline)).abs() < 1e-6, "every layer still landed");
+    let td = |r: &RunReport| -> f64 { r.microservices.iter().map(|m| m.td.as_f64()).sum() };
+    assert!(td(&report) > td(&baseline), "failover cost is visible in Td");
+    assert_eq!(chaos_trace.of_kind(TraceKind::ChaosEventFired).count(), 1);
+    assert!(tb.device(DEVICE_MEDIUM).cache.is_empty(), "the eviction really happened");
+    // The age-out: after the event's epoch bump and the next barrier
+    // round, no view still advertises the emptied holder.
+    let caches: Vec<&LayerCache> = (0..3).map(|j| &tb.device(DeviceId(j)).cache).collect();
+    let mut plane = GossipPlane::new(3, u32::MAX, u32::MAX, 1, 0);
+    plane.barrier_round(&caches);
+    plane.readvertise(DEVICE_MEDIUM, &tb.device(DEVICE_MEDIUM).cache);
+    plane.barrier_round(&caches);
+    assert!(
+        plane.mesh_view(&caches, DEVICE_CLOUD.0).iter().all(|(id, _)| *id != peer_id),
+        "the emptied holder aged out of the cloud's view"
+    );
+}

@@ -34,6 +34,7 @@ fn checked_in_scenarios_are_in_canonical_form() {
         "soak_sticky_outage.toml",
         "soak_smoke.toml",
         "arrival_soak.toml",
+        "gossip_frontier.toml",
     ] {
         let path = format!("{}/scenarios/{file}", env!("CARGO_MANIFEST_DIR"));
         let text = std::fs::read_to_string(&path).expect("scenario file reads");
