@@ -2,15 +2,22 @@
 //! executor at fleet scale, and how the bounded mesh materialization
 //! scales with the view size.
 //!
-//! Two altitudes:
+//! Three altitudes:
 //!
 //! * `barrier_round/*` — one advertise-and-spread barrier over an
 //!   n-device fleet (ad refresh scan + fanout-bounded push/pull
 //!   exchanges). Each iteration clones a fresh plane: rounds converge,
 //!   and a converged plane would measure the no-op refresh path.
-//! * `mesh_view/*` — materializing one pull's bounded view from a
-//!   converged fleet state (select + sort + clone + retraction scan),
-//!   the per-pull price the `view_size` knob bounds.
+//! * `barrier_round_unchanged/*` — the steady-state barrier on a fleet
+//!   whose caches have not moved since the last wave: the delta plane's
+//!   stale counters turn every exchange into an O(1) no-op, so this is
+//!   the price the executor pays at *every* wave of a quiet soak.
+//! * `mesh_view/*` — one pull's bounded view off the plane. The delta
+//!   backend replays its generation-keyed cached view (the common case:
+//!   nothing moved since the wave's barrier); `mesh_view_rebuild/*`
+//!   forces the materialization path (partial selection + retraction
+//!   scan) through the retained clone-based oracle backend, which
+//!   shares the same `materialize` routine but caches nothing.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use deep_netsim::DataSize;
@@ -33,7 +40,7 @@ fn fleet_caches(devices: usize) -> Vec<LayerCache> {
 
 fn bench_barrier_round(c: &mut Criterion) {
     let mut group = c.benchmark_group("barrier_round");
-    for &devices in &[50usize, 200, 800] {
+    for &devices in &[50usize, 200, 800, 1600] {
         let caches = fleet_caches(devices);
         let refs: Vec<&LayerCache> = caches.iter().collect();
         let plane = GossipPlane::new(devices, FANOUT, 8, 1, 42);
@@ -48,19 +55,55 @@ fn bench_barrier_round(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_barrier_round_unchanged(c: &mut Criterion) {
+    let mut group = c.benchmark_group("barrier_round_unchanged");
+    for &devices in &[200usize, 800] {
+        let caches = fleet_caches(devices);
+        let refs: Vec<&LayerCache> = caches.iter().collect();
+        // Warm the plane past convergence so every further barrier sees
+        // an unchanged fleet: no cache diverged, every partner pair is
+        // mutually up to date.
+        let mut plane = GossipPlane::new(devices, FANOUT, 8, 1, 42);
+        for _ in 0..8 {
+            plane.barrier_round(&refs);
+        }
+        group.bench_function(format!("devices_{devices}").as_str(), |b| {
+            b.iter(|| {
+                plane.barrier_round(black_box(&refs));
+                black_box(plane.rounds_run())
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_mesh_view(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mesh_view");
     let devices = 200usize;
     let caches = fleet_caches(devices);
     let refs: Vec<&LayerCache> = caches.iter().collect();
-    // A converged plane: every view knows every holder, so view-size
-    // truncation is the only variable between runs.
-    let mut plane = GossipPlane::new(devices, u32::MAX, u32::MAX, 1, 42);
-    plane.barrier_round(&refs);
-    assert!(plane.converged());
+    // Cached replay: the delta backend materializes once per (target,
+    // generation) and clones the stored view on every further call.
+    let mut group = c.benchmark_group("mesh_view");
     for &view_size in &[2u32, 8, 32, u32::MAX] {
-        let bounded = {
+        let mut bounded = {
             let mut p = GossipPlane::new(devices, u32::MAX, view_size, 1, 42);
+            p.barrier_round(&refs);
+            p
+        };
+        let label =
+            if view_size == u32::MAX { "unbounded".into() } else { format!("view_{view_size}") };
+        group.bench_function(label.as_str(), |b| {
+            b.iter(|| black_box(bounded.mesh_view(black_box(&refs), 3)).len())
+        });
+    }
+    group.finish();
+    // Forced materialization: the clone-based oracle backend shares the
+    // `materialize` routine (partial selection included) but caches
+    // nothing, so every call pays the full select + retraction scan.
+    let mut group = c.benchmark_group("mesh_view_rebuild");
+    for &view_size in &[2u32, 8, 32, u32::MAX] {
+        let mut bounded = {
+            let mut p = GossipPlane::new_oracle(devices, u32::MAX, view_size, 1, 42);
             p.barrier_round(&refs);
             p
         };
@@ -73,5 +116,5 @@ fn bench_mesh_view(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_barrier_round, bench_mesh_view);
+criterion_group!(benches, bench_barrier_round, bench_barrier_round_unchanged, bench_mesh_view);
 criterion_main!(benches);

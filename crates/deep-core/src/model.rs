@@ -38,6 +38,7 @@ use deep_registry::{
 };
 use deep_simulator::{route_key, Placement, RegistryChoice, Testbed};
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// Simulation-in-the-loop pricing of a scripted scenario: `E[Td]` is a
 /// Monte-Carlo expectation over the *exact* fault plans the scenario's
@@ -255,6 +256,19 @@ pub struct EstimationContext<'t> {
     /// testbed is immutably borrowed for the context's lifetime, so a
     /// memoized resolution cannot go stale.
     manifests: HashMap<(RegistryId, usize, Platform), (Reference, ImageManifest)>,
+    /// Memoized scenario-pricing fatal-draw counts keyed
+    /// `(pull number, primary)`. The Monte-Carlo death frequency of a
+    /// candidate depends only on the pull number it would commit as and
+    /// which source is primary — not on the device, the mesh, or the
+    /// clock — so a fleet solver evaluating thousands of `(registry,
+    /// device)` candidates for one member pays the `draws`-long seed
+    /// walk once per distinct `(pull, primary)`, not once per
+    /// candidate. Behind a mutex because the solver fans
+    /// [`EstimationContext::estimate`] out over rayon through `&self`;
+    /// contention is negligible (one lock per estimate, held for a map
+    /// probe). Sound across commits because the pull number is in the
+    /// key, and cleared if the pricing itself is rebound.
+    fatal_memo: Mutex<HashMap<(u64, RegistryId), u32>>,
 }
 
 /// The pull mesh one estimated/committed pull runs through: the
@@ -363,6 +377,7 @@ impl<'t> EstimationContext<'t> {
                 .map(|id| testbed.entry(app.name(), &app.microservice(id).name))
                 .collect(),
             manifests: HashMap::new(),
+            fatal_memo: Mutex::new(HashMap::new()),
         }
     }
 
@@ -466,6 +481,15 @@ impl<'t> EstimationContext<'t> {
                     seed,
                 ))
             }
+            deep_simulator::PeerDiscovery::GossipOracle { fanout, view_size, rounds_per_wave } => {
+                Some(deep_simulator::GossipPlane::new_oracle(
+                    self.caches.len(),
+                    fanout,
+                    view_size,
+                    rounds_per_wave,
+                    seed,
+                ))
+            }
         };
         self.snapshot_peers();
         self
@@ -494,6 +518,9 @@ impl<'t> EstimationContext<'t> {
     /// [`EstimationContext::price_faults`] when set.
     pub fn scenario_pricing(mut self, pricing: Option<ScenarioPricing>) -> Self {
         self.scenario = pricing;
+        // The memo is keyed on (pull, primary) under one fixed pricing;
+        // rebinding the pricing invalidates every cached count.
+        self.fatal_memo.lock().expect("fatal memo poisoned").clear();
         self
     }
 
@@ -506,15 +533,16 @@ impl<'t> EstimationContext<'t> {
             return;
         }
         let caches: Vec<&LayerCache> = self.caches.iter().collect();
-        self.peer_snapshots = match self.gossip.as_ref() {
+        let count = caches.len();
+        self.peer_snapshots = match self.gossip.as_mut() {
             // Gossip discovery: each device's mesh is its own (bounded,
             // possibly lagging) view. Before the first barrier every
             // view is empty — the executor has not advertised anything
-            // yet either.
-            Some(plane) => (0..self.caches.len()).map(|j| plane.mesh_view(&caches, j)).collect(),
-            None => (0..self.caches.len())
-                .map(|j| self.testbed.peer_plane.snapshot(&caches, j))
-                .collect(),
+            // yet either. (`&mut` for the plane's materialized-view
+            // cache: a steady-state wave re-snapshots the whole fleet
+            // from cached views instead of rebuilding n of them.)
+            Some(plane) => (0..count).map(|j| plane.mesh_view(&caches, j)).collect(),
+            None => (0..count).map(|j| self.testbed.peer_plane.snapshot(&caches, j)).collect(),
         };
     }
 
@@ -722,16 +750,20 @@ impl<'t> EstimationContext<'t> {
         } else {
             // The *empirical* death frequency of this pull number over
             // the exact fault plans the scenario's replications draw —
-            // simulation in the loop, not the analytic rate.
+            // simulation in the loop, not the analytic rate. Batched
+            // through [`FaultModel::fatal_draws`] (same keyed hash
+            // chain as a per-draw plan walk, bit-identical, minus
+            // `draws` clones of the rate tables) and memoized per
+            // `(pull, primary)`: every candidate device of one member
+            // shares the count.
             let draws = pricing.draws.max(1);
-            let fatal = (0..draws)
-                .filter(|&d| {
-                    model
-                        .plan(pricing.seed.wrapping_add(u64::from(d)))
-                        .pull_fatal(self.pulls_committed, primary)
+            let fatal = {
+                let mut memo = self.fatal_memo.lock().expect("fatal memo poisoned");
+                *memo.entry((self.pulls_committed, primary)).or_insert_with(|| {
+                    model.fatal_draws(pricing.seed, draws, self.pulls_committed, primary)
                 })
-                .count();
-            fatal as f64 / f64::from(draws)
+            };
+            f64::from(fatal) / f64::from(draws)
         };
         let td = if p == 0.0 {
             expected_happy
@@ -1344,6 +1376,128 @@ mod tests {
             (priced.as_f64() - expected).abs() < 1e-9,
             "MC E[Td] {priced} vs reconstruction {expected} (p̂ = {p_hat})"
         );
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(8))]
+
+        /// The pattern-memo differential: memoized scenario pricing must
+        /// equal the naive per-draw plan loop float for float. The
+        /// memoized `E[Td]` is reconstructed from first principles —
+        /// `p̂` recounted with the PR 9 per-draw `FaultModel::plan` walk,
+        /// the happy branch extracted from a fatal-free twin testbed,
+        /// the failover branch from a dark-primary twin — under a
+        /// jittered retry policy, a scripted dark window on the standby
+        /// and a degradation window on the primary, across commits
+        /// (fresh pull numbers re-enter the memo) and repeated
+        /// estimates (warm hits must replay bit for bit).
+        #[test]
+        fn memoized_scenario_pricing_matches_the_naive_per_draw_loop(
+            seed in proptest::prelude::any::<u64>(),
+            draws in 1u32..48,
+            fatal in 0.05f64..0.95,
+        ) {
+            use deep_registry::{FaultModel, FaultRates, OutageWindow, RetryPolicy};
+            let regional = RegistryChoice::Regional.registry_id();
+            let hub = RegistryChoice::Hub.registry_id();
+            let retry = RetryPolicy {
+                base_backoff: Seconds::new(0.5),
+                ..RetryPolicy::default()
+            }
+            .with_jitter(0.4, seed ^ 0xA5A5);
+            let model = |primary_fatal: f64, primary_dark: bool| {
+                // Both scripted channels exercised: the primary regional
+                // is degraded over the early waves (and scripted fully
+                // dark in the failover twin — the p̂ = 1 path), the
+                // standby hub degraded too so the failover branch prices
+                // through a windowed survivor. No window may take the
+                // *standby* fully dark while the primary can die, or the
+                // failover branch would have no survivors at all.
+                let mut m = FaultModel::default()
+                    .with_source(
+                        regional,
+                        FaultRates { fatal_per_pull: primary_fatal, transient_per_fetch: 0.2 },
+                    )
+                    .with_retry(retry)
+                    .with_window(OutageWindow::degraded(hub, Seconds::ZERO, Seconds::new(5.0), 0.7))
+                    .with_window(OutageWindow::degraded(
+                        regional,
+                        Seconds::ZERO,
+                        Seconds::new(5.0),
+                        0.5,
+                    ));
+                if primary_dark {
+                    m = m.with_window(OutageWindow::dark(
+                        regional,
+                        Seconds::ZERO,
+                        Seconds::new(1e9),
+                    ));
+                }
+                m
+            };
+            let build = |primary_fatal: f64, primary_dark: bool| {
+                let mut tb = calibrated_testbed();
+                tb.fault_model = model(primary_fatal, primary_dark);
+                tb
+            };
+            let tb = build(fatal, false);
+            let tb_happy = build(0.0, false); // p = 0 ⇒ td IS the happy branch
+            let tb_failover = build(fatal, true); // p = 1 ⇒ td IS the failover branch
+            let app = apps::text_processing();
+            let pricing = ScenarioPricing { draws, seed };
+            let mut priced = EstimationContext::new(&tb, &app).scenario_pricing(Some(pricing));
+            let mut happy = EstimationContext::new(&tb_happy, &app).scenario_pricing(Some(pricing));
+            let mut failover =
+                EstimationContext::new(&tb_failover, &app).scenario_pricing(Some(pricing));
+            let mut pull = 0u64;
+            for stage in deep_dataflow::stages(&app) {
+                priced.begin_wave();
+                happy.begin_wave();
+                failover.begin_wave();
+                for &id in &stage.members {
+                    for device in [DEVICE_MEDIUM, DEVICE_SMALL] {
+                        let est = priced.estimate(id, RegistryChoice::Regional, device);
+                        let td = est.td;
+                        // Warm memo hit: bit-for-bit replay.
+                        let again = priced.estimate(id, RegistryChoice::Regional, device).td;
+                        assert_eq!(td.as_f64().to_bits(), again.as_f64().to_bits());
+                        let h = happy.estimate(id, RegistryChoice::Regional, device).td;
+                        let f = failover.estimate(id, RegistryChoice::Regional, device).td;
+                        let reconstructed = if est.downloaded == deep_netsim::DataSize::ZERO {
+                            // Fully cached: the primary serves no bytes,
+                            // its death is free, and every twin prices
+                            // the identical happy branch.
+                            h.as_f64()
+                        } else {
+                            // The naive PR 9 loop: one full plan per draw.
+                            let count = (0..draws)
+                                .filter(|&d| {
+                                    tb.fault_model
+                                        .plan(seed.wrapping_add(u64::from(d)))
+                                        .pull_fatal(pull, regional)
+                                })
+                                .count();
+                            let p_naive = count as f64 / f64::from(draws);
+                            if p_naive == 0.0 {
+                                h.as_f64()
+                            } else {
+                                (1.0 - p_naive) * h.as_f64() + p_naive * f.as_f64()
+                            }
+                        };
+                        assert_eq!(
+                            td.as_f64().to_bits(),
+                            reconstructed.to_bits(),
+                            "pull {pull} device {device:?}: memoized {td} vs naive {reconstructed}"
+                        );
+                    }
+                    let p = Placement { registry: RegistryChoice::Hub, device: DEVICE_MEDIUM };
+                    priced.commit(id, p);
+                    happy.commit(id, p);
+                    failover.commit(id, p);
+                    pull += 1;
+                }
+            }
+        }
     }
 
     #[test]

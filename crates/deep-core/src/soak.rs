@@ -134,6 +134,18 @@ pub fn scenario_scheduler(scenario: &Scenario) -> DeepScheduler {
 /// `scenario.replications` times over the fault-seed stream with the
 /// scenario's chaos-event timeline. Replications run in parallel;
 /// reports come back in seed order, so the outcome is deterministic.
+///
+/// Each replication executes against a *replica of the scheduling
+/// testbed* rather than a from-scratch rebuild: `scheduler.schedule`
+/// takes the testbed by shared reference, so it is still pristine when
+/// the replications fan out, and the scenario build is deterministic —
+/// a replica and a rebuild are the same bytes (the differential test
+/// below keeps the rebuild as its oracle). [`Testbed::replica`] forks
+/// registry storage rather than sharing handles, so chaos events
+/// (tag deletes, GC sweeps, cache pressure) in one replication never
+/// leak into another. At fleet scale the rebuild (TOML walk, catalog
+/// publication, calibration) dominated every replication worker's
+/// profile; the replica is a flat copy of the warmed structures.
 pub fn run_scenario(scenario: &Scenario, scheduler: &dyn Scheduler) -> ScenarioOutcome {
     let tb = scenario_testbed(scenario);
     let app = scenario.application();
@@ -142,7 +154,7 @@ pub fn run_scenario(scenario: &Scenario, scheduler: &dyn Scheduler) -> ScenarioO
     let reports: Vec<RunReport> = (0..scenario.replications)
         .into_par_iter()
         .map(|r| {
-            let mut run_tb = scenario_testbed(scenario);
+            let mut run_tb = tb.replica();
             let cfg = scenario.executor_config(r);
             let (report, _) = execute_with_events(&mut run_tb, &app, &schedule, &cfg, &events)
                 .expect("scenario executes");
@@ -202,6 +214,51 @@ mod tests {
             assert_eq!(
                 serde_json::to_string(report).unwrap(),
                 serde_json::to_string(&baseline_report).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn cloned_replication_testbeds_match_per_replication_rebuilds_byte_for_byte() {
+        // The replication fan-out clones the scheduling testbed instead
+        // of rebuilding it per replication; this oracle IS the rebuild
+        // — same scenario, same scheduler, fresh `scenario_testbed` per
+        // replication — and every serialized report must agree byte for
+        // byte. A chaos-heavy scenario so the runs exercise eviction,
+        // windows and fault sampling, not just the happy path (the hub
+        // window is a degradation, not a blackout: with the regional
+        // fatally flaky, pricing still needs one live failover source).
+        let scenario = Scenario::parse(
+            "name = \"chaotic\"\napp = \"text-processing\"\nreplications = 3\nseed = 7\n\
+             peer_sharing = true\n\
+             [testbed]\nbase = \"paper\"\ncalibrate = true\n\
+             [[rates]]\ntarget = \"regional\"\nfatal_per_pull = 0.4\ntransient_per_fetch = 0.2\n\
+             [[events]]\nkind = \"degrade\"\ntarget = \"hub\"\nstart = 0.0\nduration = 30.0\n\
+             factor = 0.3\n\
+             [[events]]\nkind = \"cache-pressure\"\ndevice = 0\nat = 1.0\nkeep_mb = 0.0\n",
+        )
+        .unwrap();
+        let scheduler = scenario_scheduler(&scenario);
+        let fast = run_scenario(&scenario, &scheduler);
+        // The rebuild oracle (the pre-PR-10 implementation, verbatim).
+        let tb = scenario_testbed(&scenario);
+        let app = scenario.application();
+        let schedule = scheduler.schedule(&app, &tb);
+        let events = scenario.chaos_events();
+        assert_eq!(
+            serde_json::to_string(&fast.schedule).unwrap(),
+            serde_json::to_string(&schedule).unwrap()
+        );
+        for r in 0..scenario.replications {
+            let mut run_tb = scenario_testbed(&scenario);
+            let cfg = scenario.executor_config(r);
+            let (report, _) =
+                deep_simulator::execute_with_events(&mut run_tb, &app, &schedule, &cfg, &events)
+                    .unwrap();
+            assert_eq!(
+                serde_json::to_string(&fast.reports[r as usize]).unwrap(),
+                serde_json::to_string(&report).unwrap(),
+                "replication {r} diverged from the rebuild oracle"
             );
         }
     }

@@ -1,4 +1,5 @@
-//! Seeded push/pull epidemic dissemination of per-device advertisements.
+//! Seeded push/pull epidemic dissemination of per-device advertisements,
+//! exchanged as **epoch-vector deltas**.
 //!
 //! DEEP's peer plane (PR 5) hands every pull an *omniscient* snapshot of
 //! which devices hold which layers — a central catalog no real edge
@@ -7,23 +8,49 @@
 //! *advertises* an opaque payload (for DEEP, the digest set of its layer
 //! cache) under a monotonically increasing **epoch**, and a seeded
 //! push/pull gossip round spreads the freshest epoch of every
-//! advertisement through the fleet. Views are therefore *eventually*
-//! consistent: between the moment a holder's cache changes and the
-//! moment the new epoch reaches a viewer, the viewer acts on a **stale
-//! advertisement** — a holder whose `has_blob` lies. Higher layers must
-//! tolerate that (the registry mesh's mid-pull failover does), which is
-//! exactly the failure model the differential test plane locks down.
+//! advertisement through the fleet.
 //!
-//! The protocol is deliberately deterministic: partner choice is a pure
-//! function of `(seed, round, device, probe)` via splitmix64, devices
-//! exchange in ascending id order with immediate visibility, and views
-//! are `BTreeMap`s, so the same seed always yields the same view
-//! sequence — the property the simulator's estimator/executor parity
-//! contract builds on. With `fanout >= devices - 1` a single round is a
-//! full all-pairs exchange, so one round converges every view; that
-//! configuration is the bridge back to the omniscient snapshot plane.
-
-use std::collections::BTreeMap;
+//! ## What an exchange ships
+//!
+//! The PR 9 protocol merged full views: every exchange collected the
+//! union of both partners' known holders into a fresh key vector and
+//! *cloned* each winning `(epoch, payload)` entry across — at fleet
+//! scale the payload clones dominated the barrier
+//! (`barrier_round/devices_800` spent ~288 ms copying advertisement
+//! maps). The protocol is now anti-entropy over **version vectors**:
+//!
+//! * each viewer's knowledge is a dense per-holder epoch vector
+//!   (`known[viewer][holder]`, 0 = never heard of it) — the
+//!   version-vector *summary* both sides of an exchange compare first;
+//! * the *delta* is only the advertisements one side holds strictly
+//!   newer than the other: the exchange copies the winning epoch
+//!   numbers across (plain `u64` stores, symmetric max-merge) and never
+//!   touches a payload, because payloads live once in a shared
+//!   per-holder store keyed by epoch;
+//! * a per-viewer staleness counter (`# holders whose freshest epoch
+//!   this viewer lacks`) short-circuits the exchange entirely when both
+//!   partners are fully fresh — a barrier over an unchanged fleet is a
+//!   no-op that allocates nothing, with partner selection running out
+//!   of the reusable [`GossipWorkspace`] scratch buffer.
+//!
+//! Everything observable is unchanged: the same seeded partner schedule
+//! (a pure splitmix64 function of `(seed, round, device, probe)`),
+//! ascending-id exchange order with immediate visibility, max-epoch
+//! merge semantics, and `known()` views in ascending holder order. The
+//! clone-based PR 9 implementation is retained verbatim in
+//! [`oracle`] and the differential plane pins the two view sequences
+//! (and the Schedules/RunReports built on them) byte for byte — so
+//! convergence behaviour and the snapshot bridge (`fanout >= devices -
+//! 1` converges in one round, reproducing the omniscient plane) carry
+//! over unchanged.
+//!
+//! Views remain *eventually* consistent: between the moment a holder's
+//! cache changes and the moment the new epoch reaches a viewer, the
+//! viewer acts on a **stale advertisement** — a holder whose `has_blob`
+//! lies. Higher layers must tolerate that (the registry mesh's mid-pull
+//! failover does), which is exactly the failure model the differential
+//! test plane locks down; superseded payloads stay addressable in the
+//! store for as long as any viewer still references their epoch.
 
 /// Tuning knobs for a gossip deployment: how many partners each device
 /// exchanges with per round, and how many rounds run per wave barrier.
@@ -41,44 +68,75 @@ pub struct GossipConfig {
     pub seed: u64,
 }
 
-/// One device's knowledge of another's advertisement: the epoch it was
-/// published under, plus the payload.
-type Entry<T> = (u64, T);
+/// Reusable per-round scratch buffers for the exchange schedule. One
+/// workspace lives inside each [`GossipState`] and is reused across
+/// every round: after the first round has sized it, partner selection
+/// allocates nothing — which is what makes a steady-state wave barrier
+/// over an unchanged fleet allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct GossipWorkspace {
+    /// The partner picks of the device currently exchanging.
+    partners: Vec<usize>,
+}
 
 /// The fleet-wide gossip state: every device's partial view of every
-/// other device's freshest advertisement.
+/// other device's freshest advertisement, held as epoch vectors over a
+/// shared payload store.
 ///
 /// `T` is the advertised payload (DEEP advertises layer-cache digest
-/// sets; the unit tests use plain integers). Payloads travel by clone,
-/// so keep them cheap to copy.
+/// sets; the unit tests use plain integers). Payloads are stored once
+/// per `(holder, epoch)` and never cloned by the protocol — `T: Clone`
+/// remains on the API only so consumers can materialize owned copies of
+/// what [`GossipState::known`] lends them.
 #[derive(Debug, Clone)]
 pub struct GossipState<T: Clone> {
-    /// `views[viewer][holder] = (epoch, payload)` — what `viewer`
-    /// currently believes `holder` last advertised. A device's own
-    /// freshest advertisement is stored in its own view.
-    views: Vec<BTreeMap<usize, Entry<T>>>,
+    /// `store[holder]` — the holder's live advertisement payloads in
+    /// ascending epoch order. Superseded epochs are pruned as soon as
+    /// no viewer's vector references them (checked on each
+    /// re-advertisement, which already scans the holder's column).
+    store: Vec<Vec<(u64, T)>>,
+    /// Dense viewer-major epoch matrix: `known[viewer * n + holder]` is
+    /// the freshest epoch `viewer` holds of `holder`'s advertisement
+    /// (0 = never heard of it). This is the version-vector summary an
+    /// exchange compares.
+    known: Vec<u64>,
     /// `epochs[holder]` — the holder's own advertisement counter;
     /// 0 means it has never advertised.
     epochs: Vec<u64>,
+    /// `stale[viewer]` — how many holders have advertised an epoch this
+    /// viewer has not yet received. 0 means the viewer is fully fresh;
+    /// two fully-fresh partners short-circuit their exchange.
+    stale: Vec<u32>,
     /// Rounds run so far (feeds the partner schedule).
     round: u64,
     seed: u64,
+    /// Bumped on every observable view movement (an advertisement or an
+    /// epoch landing in some viewer's vector) — consumers key
+    /// materialized-view caches on it. Deliberately *not* advanced by
+    /// no-op rounds.
+    generation: u64,
+    /// Per-round scratch (partner picks), reused across rounds.
+    workspace: GossipWorkspace,
 }
 
 impl<T: Clone> GossipState<T> {
     /// A fleet of `devices` nodes with empty views.
     pub fn new(devices: usize, seed: u64) -> Self {
         GossipState {
-            views: vec![BTreeMap::new(); devices],
+            store: vec![Vec::new(); devices],
+            known: vec![0; devices * devices],
             epochs: vec![0; devices],
+            stale: vec![0; devices],
             round: 0,
             seed,
+            generation: 0,
+            workspace: GossipWorkspace::default(),
         }
     }
 
     /// Fleet size.
     pub fn devices(&self) -> usize {
-        self.views.len()
+        self.store.len()
     }
 
     /// Rounds run so far.
@@ -86,13 +144,45 @@ impl<T: Clone> GossipState<T> {
         self.round
     }
 
+    /// Monotone counter of observable view movement: advances whenever
+    /// an advertisement is published or an exchange lands a fresher
+    /// epoch in some viewer's vector, and *only* then. Two equal
+    /// generations bracket a span in which every view (and every
+    /// payload it references) was bit-identical — the invalidation key
+    /// for materialized-view caches.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
     /// Publish a fresh advertisement for `holder`: bumps its epoch and
-    /// installs the payload in its own view, whence gossip spreads it.
-    /// Returns the new epoch.
+    /// installs the payload in the shared store (and the holder's own
+    /// vector), whence gossip spreads it. Returns the new epoch.
     pub fn advertise(&mut self, holder: usize, payload: T) -> u64 {
-        self.epochs[holder] += 1;
-        let epoch = self.epochs[holder];
-        self.views[holder].insert(holder, (epoch, payload));
+        let n = self.devices();
+        let previous = self.epochs[holder];
+        let epoch = previous + 1;
+        self.epochs[holder] = epoch;
+        // Every viewer that was fresh on this holder just went stale
+        // (viewers already lagging were counted when they fell behind).
+        // The same column scan finds the oldest epoch any viewer still
+        // references, which bounds what the store must keep.
+        let mut min_referenced = epoch;
+        for viewer in 0..n {
+            if viewer == holder {
+                continue;
+            }
+            let held = self.known[viewer * n + holder];
+            if held == previous {
+                self.stale[viewer] += 1;
+            }
+            if held > 0 {
+                min_referenced = min_referenced.min(held);
+            }
+        }
+        self.known[holder * n + holder] = epoch;
+        self.store[holder].retain(|&(e, _)| e >= min_referenced);
+        self.store[holder].push((epoch, payload));
+        self.generation += 1;
         epoch
     }
 
@@ -103,25 +193,36 @@ impl<T: Clone> GossipState<T> {
 
     /// The holder's own freshest advertisement, if it ever published one.
     pub fn self_ad(&self, holder: usize) -> Option<&T> {
-        self.views[holder].get(&holder).map(|(_, payload)| payload)
+        self.store[holder].last().map(|(_, payload)| payload)
+    }
+
+    /// The stored payload of `(holder, epoch)` — present for every epoch
+    /// some viewer's vector references.
+    fn payload(&self, holder: usize, epoch: u64) -> &T {
+        let ads = &self.store[holder];
+        match ads.binary_search_by_key(&epoch, |&(e, _)| e) {
+            Ok(i) => &ads[i].1,
+            Err(_) => unreachable!("viewer references epoch {epoch} pruned from holder {holder}"),
+        }
     }
 
     /// Everything `viewer` currently knows, in ascending holder order:
     /// `(holder, epoch, payload)` triples, the viewer's own entry
     /// included.
     pub fn known(&self, viewer: usize) -> impl Iterator<Item = (usize, u64, &T)> {
-        self.views[viewer].iter().map(|(&holder, (epoch, payload))| (holder, *epoch, payload))
+        let n = self.devices();
+        (0..n).filter_map(move |holder| {
+            let epoch = self.known[viewer * n + holder];
+            (epoch > 0).then(|| (holder, epoch, self.payload(holder, epoch)))
+        })
     }
 
     /// True once every device's view carries the freshest epoch of
     /// every advertisement ever published — from here, further rounds
-    /// change nothing until somebody re-advertises.
+    /// change nothing until somebody re-advertises. O(devices): the
+    /// staleness counters carry the answer.
     pub fn converged(&self) -> bool {
-        self.views.iter().all(|view| {
-            self.epochs.iter().enumerate().all(|(holder, &epoch)| {
-                epoch == 0 || view.get(&holder).map(|(e, _)| *e) == Some(epoch)
-            })
-        })
+        self.stale.iter().all(|&s| s == 0)
     }
 
     /// Run `rounds` push/pull rounds at the given fanout.
@@ -136,15 +237,19 @@ impl<T: Clone> GossipState<T> {
     /// sides end up with the freshest epoch of every advertisement
     /// either knew. Exchanges within a round see each other's effects
     /// (immediate visibility), which keeps the round deterministic
-    /// without a message buffer and only speeds convergence up.
+    /// without a message buffer and only speeds convergence up. Partner
+    /// selection runs out of the reused [`GossipWorkspace`]; on an
+    /// unchanged fleet (every staleness counter 0) the round performs
+    /// no stores and no allocations.
     pub fn run_round(&mut self, fanout: u32) {
-        let n = self.views.len();
+        let n = self.devices();
         if n >= 2 {
             let fanout = (fanout as usize).min(n - 1);
+            let mut ws = std::mem::take(&mut self.workspace);
             for device in 0..n {
-                let mut partners: Vec<usize> = Vec::with_capacity(fanout);
+                ws.partners.clear();
                 let mut probe = 0u64;
-                while partners.len() < fanout {
+                while ws.partners.len() < fanout {
                     let raw = splitmix64(
                         self.seed
                             ^ self.round.wrapping_mul(0x9e37_79b9_7f4a_7c15)
@@ -153,39 +258,56 @@ impl<T: Clone> GossipState<T> {
                     );
                     probe += 1;
                     let partner = (raw % n as u64) as usize;
-                    if partner != device && !partners.contains(&partner) {
-                        partners.push(partner);
+                    if partner != device && !ws.partners.contains(&partner) {
+                        ws.partners.push(partner);
                     }
                 }
-                for partner in partners {
+                for &partner in &ws.partners {
                     self.exchange(device, partner);
                 }
             }
+            self.workspace = ws;
         }
         self.round += 1;
     }
 
-    /// Symmetric push/pull merge: after the exchange, `a` and `b` both
-    /// hold the higher-epoch version of every advertisement either knew.
+    /// Symmetric anti-entropy merge: compare the two epoch vectors and
+    /// copy each advertisement's higher epoch across — after the
+    /// exchange, `a` and `b` both hold the freshest version of every
+    /// advertisement either knew. Ships only the delta (holders whose
+    /// epochs differ), touches no payload, and short-circuits to a
+    /// no-op when both partners are fully fresh.
     fn exchange(&mut self, a: usize, b: usize) {
         debug_assert_ne!(a, b);
-        let holders: Vec<usize> = {
-            let mut h: Vec<usize> =
-                self.views[a].keys().chain(self.views[b].keys()).copied().collect();
-            h.sort_unstable();
-            h.dedup();
-            h
-        };
-        for holder in holders {
-            let ea = self.views[a].get(&holder).map(|(e, _)| *e).unwrap_or(0);
-            let eb = self.views[b].get(&holder).map(|(e, _)| *e).unwrap_or(0);
-            if ea > eb {
-                let entry = self.views[a][&holder].clone();
-                self.views[b].insert(holder, entry);
-            } else if eb > ea {
-                let entry = self.views[b][&holder].clone();
-                self.views[a].insert(holder, entry);
+        if self.stale[a] == 0 && self.stale[b] == 0 {
+            // Both partners already hold every freshest epoch: their
+            // vectors are necessarily identical, nothing to ship.
+            return;
+        }
+        let n = self.devices();
+        let mut moved = false;
+        for holder in 0..n {
+            let ea = self.known[a * n + holder];
+            let eb = self.known[b * n + holder];
+            if ea == eb {
+                continue;
             }
+            let freshest = self.epochs[holder];
+            if ea > eb {
+                self.known[b * n + holder] = ea;
+                if ea == freshest {
+                    self.stale[b] -= 1;
+                }
+            } else {
+                self.known[a * n + holder] = eb;
+                if eb == freshest {
+                    self.stale[a] -= 1;
+                }
+            }
+            moved = true;
+        }
+        if moved {
+            self.generation += 1;
         }
     }
 }
@@ -198,9 +320,136 @@ fn splitmix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// The PR 9 clone-based protocol, retained **verbatim** as the
+/// differential-test oracle: full-map views merged by cloning winning
+/// `(epoch, payload)` entries across on every exchange. Same partner
+/// schedule, same merge semantics, same observable view sequence — the
+/// delta implementation above must match it byte for byte, which the
+/// proptest differential plane (here and in `tests/gossip_discovery.rs`)
+/// locks down. Not part of the supported API.
+#[doc(hidden)]
+pub mod oracle {
+    use std::collections::BTreeMap;
+
+    /// One device's knowledge of another's advertisement.
+    type Entry<T> = (u64, T);
+
+    /// The clone-based gossip state (PR 9 implementation).
+    #[derive(Debug, Clone)]
+    pub struct GossipState<T: Clone> {
+        views: Vec<BTreeMap<usize, Entry<T>>>,
+        epochs: Vec<u64>,
+        round: u64,
+        seed: u64,
+    }
+
+    impl<T: Clone> GossipState<T> {
+        pub fn new(devices: usize, seed: u64) -> Self {
+            GossipState {
+                views: vec![BTreeMap::new(); devices],
+                epochs: vec![0; devices],
+                round: 0,
+                seed,
+            }
+        }
+
+        pub fn devices(&self) -> usize {
+            self.views.len()
+        }
+
+        pub fn rounds_run(&self) -> u64 {
+            self.round
+        }
+
+        pub fn advertise(&mut self, holder: usize, payload: T) -> u64 {
+            self.epochs[holder] += 1;
+            let epoch = self.epochs[holder];
+            self.views[holder].insert(holder, (epoch, payload));
+            epoch
+        }
+
+        pub fn epoch(&self, holder: usize) -> u64 {
+            self.epochs[holder]
+        }
+
+        pub fn self_ad(&self, holder: usize) -> Option<&T> {
+            self.views[holder].get(&holder).map(|(_, payload)| payload)
+        }
+
+        pub fn known(&self, viewer: usize) -> impl Iterator<Item = (usize, u64, &T)> {
+            self.views[viewer].iter().map(|(&holder, (epoch, payload))| (holder, *epoch, payload))
+        }
+
+        pub fn converged(&self) -> bool {
+            self.views.iter().all(|view| {
+                self.epochs.iter().enumerate().all(|(holder, &epoch)| {
+                    epoch == 0 || view.get(&holder).map(|(e, _)| *e) == Some(epoch)
+                })
+            })
+        }
+
+        pub fn run_rounds(&mut self, rounds: u32, fanout: u32) {
+            for _ in 0..rounds {
+                self.run_round(fanout);
+            }
+        }
+
+        pub fn run_round(&mut self, fanout: u32) {
+            let n = self.views.len();
+            if n >= 2 {
+                let fanout = (fanout as usize).min(n - 1);
+                for device in 0..n {
+                    let mut partners: Vec<usize> = Vec::with_capacity(fanout);
+                    let mut probe = 0u64;
+                    while partners.len() < fanout {
+                        let raw = super::splitmix64(
+                            self.seed
+                                ^ self.round.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                                ^ (device as u64).wrapping_mul(0xbf58_476d_1ce4_e5b9)
+                                ^ probe.wrapping_mul(0x94d0_49bb_1331_11eb),
+                        );
+                        probe += 1;
+                        let partner = (raw % n as u64) as usize;
+                        if partner != device && !partners.contains(&partner) {
+                            partners.push(partner);
+                        }
+                    }
+                    for partner in partners {
+                        self.exchange(device, partner);
+                    }
+                }
+            }
+            self.round += 1;
+        }
+
+        fn exchange(&mut self, a: usize, b: usize) {
+            debug_assert_ne!(a, b);
+            let holders: Vec<usize> = {
+                let mut h: Vec<usize> =
+                    self.views[a].keys().chain(self.views[b].keys()).copied().collect();
+                h.sort_unstable();
+                h.dedup();
+                h
+            };
+            for holder in holders {
+                let ea = self.views[a].get(&holder).map(|(e, _)| *e).unwrap_or(0);
+                let eb = self.views[b].get(&holder).map(|(e, _)| *e).unwrap_or(0);
+                if ea > eb {
+                    let entry = self.views[a][&holder].clone();
+                    self.views[b].insert(holder, entry);
+                } else if eb > ea {
+                    let entry = self.views[b][&holder].clone();
+                    self.views[a].insert(holder, entry);
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     /// A fleet where every device has advertised its own id × 100.
     fn advertised_fleet(n: usize, seed: u64) -> GossipState<u32> {
@@ -245,7 +494,7 @@ mod tests {
             state.run_round(1);
             let next = view_snapshot(&state);
             for (viewer, before) in prev.iter().enumerate() {
-                let after: BTreeMap<usize, (u64, u32)> =
+                let after: std::collections::BTreeMap<usize, (u64, u32)> =
                     next[viewer].iter().map(|&(h, e, p)| (h, (e, p))).collect();
                 for &(holder, epoch, _) in before {
                     let (e, _) = after[&holder];
@@ -304,5 +553,134 @@ mod tests {
         solo.run_round(4);
         assert!(solo.converged());
         assert_eq!(solo.known(0).count(), 1);
+    }
+
+    #[test]
+    fn superseded_payloads_stay_addressable_while_referenced() {
+        // Viewer 1 learns epoch 1 of holder 0, then holder 0
+        // re-advertises twice before gossip reaches viewer 1 again: the
+        // viewer's view must keep materializing the *old* payload (the
+        // stale-advertisement contract) until a round refreshes it.
+        let mut state = GossipState::new(4, 21);
+        state.advertise(0, 10);
+        state.run_round(u32::MAX);
+        state.advertise(0, 20);
+        state.advertise(0, 30);
+        let (_, epoch, payload) = state.known(1).find(|&(h, _, _)| h == 0).unwrap();
+        assert_eq!((epoch, *payload), (1, 10), "stale epoch still serves its payload");
+        state.run_round(u32::MAX);
+        let (_, epoch, payload) = state.known(1).find(|&(h, _, _)| h == 0).unwrap();
+        assert_eq!((epoch, *payload), (3, 30));
+    }
+
+    #[test]
+    fn fully_referenced_readvertisement_prunes_the_store() {
+        // Once every viewer has moved past an epoch, the next
+        // advertisement drops it from the store.
+        let mut state = advertised_fleet(6, 13);
+        state.run_round(u32::MAX);
+        for _ in 0..3 {
+            state.advertise(2, 7);
+            state.run_round(u32::MAX);
+        }
+        assert!(state.converged());
+        state.advertise(2, 8);
+        assert_eq!(state.store[2].len(), 2, "only the referenced epoch and the fresh one remain");
+    }
+
+    #[test]
+    fn generation_moves_with_views_and_rests_with_them() {
+        let mut state = advertised_fleet(8, 17);
+        let g0 = state.generation();
+        state.run_round(u32::MAX);
+        assert!(state.generation() > g0, "spreading ads moves the generation");
+        let g1 = state.generation();
+        state.run_round(u32::MAX);
+        assert_eq!(state.generation(), g1, "a converged round moves nothing");
+        state.advertise(3, 1);
+        assert!(state.generation() > g1, "a re-advertisement moves it again");
+    }
+
+    #[test]
+    fn unchanged_fleet_rounds_reuse_the_workspace_in_place() {
+        // The gf256 fingerprint idiom: after a warm round has sized the
+        // partner scratch, steady-state rounds reuse it in place.
+        let mut state = advertised_fleet(32, 9);
+        state.run_rounds(16, 3);
+        assert!(state.converged());
+        let fp = (state.workspace.partners.as_ptr(), state.workspace.partners.capacity());
+        state.run_rounds(8, 3);
+        assert_eq!(
+            fp,
+            (state.workspace.partners.as_ptr(), state.workspace.partners.capacity()),
+            "steady-state round reallocated the partner scratch"
+        );
+    }
+
+    /// Drive the delta state and the PR 9 clone-based oracle through the
+    /// same script and compare every observable after every step.
+    fn assert_matches_oracle(devices: usize, seed: u64, script: &[(u8, usize, u32)]) {
+        let mut delta: GossipState<u32> = GossipState::new(devices, seed);
+        let mut reference: oracle::GossipState<u32> = oracle::GossipState::new(devices, seed);
+        for &(op, device, arg) in script {
+            match op {
+                0 => {
+                    let payload = device as u32 ^ arg;
+                    assert_eq!(
+                        delta.advertise(device, payload),
+                        reference.advertise(device, payload)
+                    );
+                }
+                _ => {
+                    delta.run_round(arg);
+                    reference.run_round(arg);
+                }
+            }
+            assert_eq!(delta.converged(), reference.converged());
+            assert_eq!(delta.rounds_run(), reference.rounds_run());
+            for viewer in 0..devices {
+                let d: Vec<(usize, u64, u32)> =
+                    delta.known(viewer).map(|(h, e, p)| (h, e, *p)).collect();
+                let r: Vec<(usize, u64, u32)> =
+                    reference.known(viewer).map(|(h, e, p)| (h, e, *p)).collect();
+                assert_eq!(d, r, "viewer {viewer} diverged from the clone-based oracle");
+                assert_eq!(delta.self_ad(viewer), reference.self_ad(viewer));
+                assert_eq!(delta.epoch(viewer), reference.epoch(viewer));
+            }
+        }
+    }
+
+    #[test]
+    fn delta_exchange_matches_the_clone_based_oracle_on_a_fixed_script() {
+        assert_matches_oracle(
+            9,
+            42,
+            &[(0, 0, 1), (0, 3, 2), (1, 0, 1), (0, 3, 5), (1, 0, 2), (0, 8, 1), (1, 0, u32::MAX)],
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Random advertise/round interleavings: the epoch-vector delta
+        /// protocol and the PR 9 clone-based oracle produce identical
+        /// view sequences, epochs, self-ads and convergence verdicts at
+        /// every step.
+        #[test]
+        fn delta_exchange_is_byte_identical_to_the_clone_based_oracle(
+            devices in 2usize..14,
+            seed in any::<u64>(),
+            raw in proptest::collection::vec(any::<u64>(), 1..24),
+        ) {
+            // Decode each word into (op, device, fanout): even words
+            // advertise, odd words run a round at fanout 1..=4.
+            let script: Vec<(u8, usize, u32)> = raw
+                .into_iter()
+                .map(|x| {
+                    ((x & 1) as u8, ((x >> 1) % devices as u64) as usize, 1 + ((x >> 32) % 4) as u32)
+                })
+                .collect();
+            assert_matches_oracle(devices, seed, &script);
+        }
     }
 }

@@ -52,14 +52,14 @@ pub struct ObjectMeta {
     pub etag: u64,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct ObjectRecord {
     data: Bytes,
     etag: u64,
 }
 
 /// One S3 bucket: an ordered key → object map.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Bucket {
     objects: BTreeMap<String, ObjectRecord>,
 }
@@ -98,6 +98,23 @@ impl ObjectStore {
     /// The paper's example provisioning: 100 GB.
     pub fn paper_default() -> Self {
         Self::with_capacity(DataSize::gigabytes(100.0))
+    }
+
+    /// An independent deep copy of the store's current state. Unlike
+    /// [`Clone`] — which hands out another handle to the *same* server
+    /// — the fork owns its own buckets: mutations on either side are
+    /// invisible to the other. Object bodies are refcounted
+    /// [`Bytes`], so the copy is proportional to the number of objects,
+    /// not their payload bytes. This is what lets a soak harness stamp
+    /// out per-replication registries from one built prototype.
+    pub fn fork(&self) -> ObjectStore {
+        let inner = self.inner.read();
+        ObjectStore {
+            inner: Arc::new(RwLock::new(Inner {
+                buckets: inner.buckets.clone(),
+                capacity: inner.capacity,
+            })),
+        }
     }
 
     /// Provisioned capacity.

@@ -240,6 +240,26 @@ impl FaultModel {
         self.rates.iter().all(|(_, r)| r.is_zero()) && self.windows.is_empty()
     }
 
+    /// Count how many of `draws` seeded realisations draw `source`
+    /// fatally dead for pull number `pull`, where realisation `d` is the
+    /// plan sampled with seed `seed + d` — bit-identical to building
+    /// each [`FaultPlan`] and asking [`FaultPlan::pull_fatal`], because
+    /// both run the same keyed hash chain, but without cloning the
+    /// model's rate and window tables `draws` times. This is the batch
+    /// query behind scenario-priced scheduling: the Monte-Carlo death
+    /// probability of a candidate primary is `fatal_draws / draws`.
+    pub fn fatal_draws(&self, seed: u64, draws: u32, pull: u64, source: RegistryId) -> u32 {
+        let p = self.rates(source).fatal_per_pull;
+        if p == 0.0 {
+            return 0;
+        }
+        (0..draws)
+            .filter(|&d| {
+                keyed_unit(seed.wrapping_add(u64::from(d)), SALT_FATAL, pull, source, 0) < p
+            })
+            .count() as u32
+    }
+
     /// Sample the model into a reproducible fault schedule.
     pub fn plan(&self, seed: u64) -> FaultPlan {
         FaultPlan {
@@ -282,6 +302,17 @@ impl FaultModel {
 /// Salt separating the fatal draw stream from the transient one.
 const SALT_FATAL: u64 = 0xF417_A1D0_0DEA_D5ED;
 const SALT_TRANSIENT: u64 = 0x7247_51E7_0B0F_FED5;
+
+/// The keyed unit draw in `[0, 1)` both [`FaultPlan::unit`] and the
+/// planless batch query [`FaultModel::fatal_draws`] run — one hash
+/// chain, so the two paths are bit-identical by construction.
+fn keyed_unit(seed: u64, salt: u64, pull: u64, source: RegistryId, fetch: u64) -> f64 {
+    let mut h = splitmix64(seed ^ salt);
+    h = splitmix64(h ^ pull.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    h = splitmix64(h ^ (source.0 as u64));
+    h = splitmix64(h ^ fetch);
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
 
 /// A deterministic seeded sampling of a [`FaultModel`]: the reproducible
 /// fault schedule one run injects. Queries are pure functions of
@@ -332,11 +363,7 @@ impl FaultPlan {
 
     /// A unit draw in `[0, 1)` from the keyed splitmix64 stream.
     fn unit(&self, salt: u64, pull: u64, source: RegistryId, fetch: u64) -> f64 {
-        let mut h = splitmix64(self.seed ^ salt);
-        h = splitmix64(h ^ pull.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        h = splitmix64(h ^ (source.0 as u64));
-        h = splitmix64(h ^ fetch);
-        (h >> 11) as f64 / (1u64 << 53) as f64
+        keyed_unit(self.seed, salt, pull, source, fetch)
     }
 
     /// Is `source` fatally dead for pull number `pull` (when primary)?
@@ -729,6 +756,34 @@ mod tests {
         assert_eq!(out.failed_sources, vec![HUB]);
         assert_eq!(out.per_source.len(), 1);
         assert_eq!(out.per_source[0].source, REGIONAL);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+
+        /// The planless batch query counts exactly what a per-draw loop
+        /// over freshly-sampled plans counts — the bit-identity the
+        /// scenario-priced scheduler's memoized pricing rests on.
+        #[test]
+        fn fatal_draws_matches_the_per_draw_plan_loop(
+            seed in proptest::prelude::any::<u64>(),
+            draws in 0u32..96,
+            pull in 0u64..512,
+            fatal in 0.0f64..=1.0,
+        ) {
+            let model = FaultModel::default().with_source(
+                REGIONAL,
+                FaultRates { fatal_per_pull: fatal, transient_per_fetch: 0.1 },
+            );
+            for source in [REGIONAL, HUB] {
+                let naive = (0..draws)
+                    .filter(|&d| {
+                        model.plan(seed.wrapping_add(u64::from(d))).pull_fatal(pull, source)
+                    })
+                    .count() as u32;
+                assert_eq!(model.fatal_draws(seed, draws, pull, source), naive);
+            }
+        }
     }
 
     #[test]

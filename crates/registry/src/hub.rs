@@ -16,7 +16,8 @@ use deep_netsim::{Bandwidth, CdnModel};
 use std::collections::{HashMap, HashSet};
 
 /// Docker Hub: manifests by `(repository, tag)`, blobs by digest, CDN in
-/// front.
+/// front. `Clone` is a true deep copy (plain maps, no shared handles).
+#[derive(Clone)]
 pub struct HubRegistry {
     host: String,
     manifests: HashMap<(String, String), ImageManifest>,

@@ -57,6 +57,14 @@ impl RegionalRegistry {
         &self.store
     }
 
+    /// An independent deep copy of this registry: same host, same objects,
+    /// but a freshly forked store. Mutations (tag deletes, GC sweeps) on
+    /// either side never leak to the other — unlike cloning the store
+    /// handle, which shares storage.
+    pub fn fork(&self) -> RegionalRegistry {
+        RegionalRegistry { host: self.host.clone(), store: self.store.fork() }
+    }
+
     /// Publish a catalog entry (both platform manifests).
     pub fn publish(&mut self, entry: &CatalogEntry) -> Result<(), RegistryError> {
         for m in &entry.manifests {

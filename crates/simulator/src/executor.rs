@@ -61,6 +61,22 @@ pub enum PeerDiscovery {
         /// Epidemic rounds per wave barrier.
         rounds_per_wave: u32,
     },
+    /// The PR 9 clone-based gossip exchange, kept alive solely as the
+    /// differential oracle for [`PeerDiscovery::Gossip`]'s epoch-vector
+    /// delta engine: same partner schedule, same merge semantics, same
+    /// views — the test planes run the full scheduler/executor pipeline
+    /// under both and pin the serialized Schedules and RunReports byte
+    /// for byte. Not part of the supported API.
+    #[doc(hidden)]
+    GossipOracle {
+        /// Exchange partners per device per round (clamped to
+        /// `devices - 1`).
+        fanout: u32,
+        /// Max holder sources one pull's mesh may carry.
+        view_size: u32,
+        /// Epidemic rounds per wave barrier.
+        rounds_per_wave: u32,
+    },
 }
 
 /// Executor configuration.
@@ -504,6 +520,15 @@ impl OnlineExecutor {
         let gossip = match (cfg.peer_sharing, cfg.peer_discovery) {
             (true, PeerDiscovery::Gossip { fanout, view_size, rounds_per_wave }) => {
                 Some(crate::gossip::GossipPlane::new(
+                    testbed.devices.len(),
+                    fanout,
+                    view_size,
+                    rounds_per_wave,
+                    cfg.seed,
+                ))
+            }
+            (true, PeerDiscovery::GossipOracle { fanout, view_size, rounds_per_wave }) => {
+                Some(crate::gossip::GossipPlane::new_oracle(
                     testbed.devices.len(),
                     fanout,
                     view_size,

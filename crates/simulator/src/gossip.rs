@@ -26,22 +26,51 @@
 //!   and the session fails over. Without this, a stale ad would let a
 //!   simulated fetch succeed against bytes that no longer exist.
 //!
+//! Materialized views are cached per target and keyed on the gossip
+//! state's [generation](deep_netsim::gossip::GossipState::generation):
+//! between two barriers of an unchanged fleet no epoch moves, so every
+//! re-materialization would rebuild the identical holder list — the
+//! cache hands back the stored copy instead. Any advertisement or view
+//! movement bumps the generation and invalidates every cached view;
+//! out-of-band cache mutations (the chaos path) go through
+//! [`GossipPlane::readvertise`], which is itself an epoch bump. Bounded
+//! views use an O(n) partial selection (`select_nth_unstable_by`) in
+//! place of a full sort — the (len desc, holder asc) comparator is a
+//! total order over the unique holders, so the selected top-k set is
+//! exactly the full sort's prefix.
+//!
 //! With `fanout >= devices - 1` and one round per wave, every barrier
 //! fully re-converges the views, and an unbounded `view_size` makes
 //! `mesh_view` reproduce `PeerPlane::snapshot` holder for holder — the
 //! differential bridge `tests/gossip_discovery.rs` locks down byte for
-//! byte.
+//! byte, against both the omniscient snapshot and the PR 9 clone-based
+//! exchange (retained as [`deep_netsim::gossip::oracle`]).
 
 use crate::testbed::peer_source_id;
-use deep_netsim::gossip::GossipState;
+use deep_netsim::gossip::{oracle, GossipState};
 use deep_netsim::{DeviceId, RegistryId};
 use deep_registry::{BlobSource, LayerCache, PeerCacheSource};
+
+/// A materialized mesh view, remembered until the gossip generation it
+/// was built under moves.
+type CachedView = Option<(u64, Vec<(RegistryId, PeerCacheSource)>)>;
+
+/// The two exchange engines a plane can run on. Everything observable —
+/// partner schedule, merge semantics, view order — is identical; the
+/// delta backend ships epoch-vector diffs and caches materialized
+/// views, the oracle backend is the PR 9 clone-and-merge kept alive for
+/// differential testing.
+#[derive(Debug, Clone)]
+enum Backend {
+    Delta { state: GossipState<PeerCacheSource>, views: Vec<CachedView> },
+    Oracle(oracle::GossipState<PeerCacheSource>),
+}
 
 /// The fleet-wide gossip discovery plane: epidemic state plus the knobs
 /// of [`crate::executor::PeerDiscovery::Gossip`].
 #[derive(Debug, Clone)]
 pub struct GossipPlane {
-    state: GossipState<PeerCacheSource>,
+    backend: Backend,
     fanout: u32,
     view_size: u32,
     rounds_per_wave: u32,
@@ -58,25 +87,76 @@ impl GossipPlane {
         rounds_per_wave: u32,
         seed: u64,
     ) -> Self {
-        GossipPlane { state: GossipState::new(devices, seed), fanout, view_size, rounds_per_wave }
+        GossipPlane {
+            backend: Backend::Delta {
+                state: GossipState::new(devices, seed),
+                views: vec![None; devices],
+            },
+            fanout,
+            view_size,
+            rounds_per_wave,
+        }
+    }
+
+    /// A plane running the PR 9 clone-based exchange — the differential
+    /// oracle behind `PeerDiscovery::GossipOracle`. Same observable
+    /// behaviour as [`Self::new`], kept only so the test planes can run
+    /// the full scheduler/executor pipeline on both engines.
+    #[doc(hidden)]
+    pub fn new_oracle(
+        devices: usize,
+        fanout: u32,
+        view_size: u32,
+        rounds_per_wave: u32,
+        seed: u64,
+    ) -> Self {
+        GossipPlane {
+            backend: Backend::Oracle(oracle::GossipState::new(devices, seed)),
+            fanout,
+            view_size,
+            rounds_per_wave,
+        }
     }
 
     /// The wave-barrier step, mirroring the snapshot plane's "peers
     /// advertise what they held when the wave began": every device whose
     /// cache diverged from its own last advertisement re-advertises
     /// (epoch bump), then `rounds_per_wave` epidemic rounds spread the
-    /// freshest epochs. `caches[j]` is device `j`'s layer cache.
+    /// freshest epochs. `caches[j]` is device `j`'s layer cache. On an
+    /// unchanged fleet nothing re-advertises and every round
+    /// short-circuits — the barrier allocates nothing and the cached
+    /// mesh views stay live.
     pub fn barrier_round(&mut self, caches: &[&LayerCache]) {
-        for (j, cache) in caches.iter().enumerate() {
-            let fresh = match self.state.self_ad(j) {
-                Some(ad) => ad.len() != cache.len() || cache.digests().any(|d| !ad.has_blob(d)),
-                None => true,
-            };
-            if fresh {
-                self.state.advertise(j, PeerCacheSource::for_holder(DeviceId(j), cache));
+        match &mut self.backend {
+            Backend::Delta { state, .. } => {
+                for (j, cache) in caches.iter().enumerate() {
+                    let fresh = match state.self_ad(j) {
+                        Some(ad) => {
+                            ad.len() != cache.len() || cache.digests().any(|d| !ad.has_blob(d))
+                        }
+                        None => true,
+                    };
+                    if fresh {
+                        state.advertise(j, PeerCacheSource::for_holder(DeviceId(j), cache));
+                    }
+                }
+                state.run_rounds(self.rounds_per_wave, self.fanout);
+            }
+            Backend::Oracle(state) => {
+                for (j, cache) in caches.iter().enumerate() {
+                    let fresh = match state.self_ad(j) {
+                        Some(ad) => {
+                            ad.len() != cache.len() || cache.digests().any(|d| !ad.has_blob(d))
+                        }
+                        None => true,
+                    };
+                    if fresh {
+                        state.advertise(j, PeerCacheSource::for_holder(DeviceId(j), cache));
+                    }
+                }
+                state.run_rounds(self.rounds_per_wave, self.fanout);
             }
         }
-        self.state.run_rounds(self.rounds_per_wave, self.fanout);
     }
 
     /// Immediate re-advertisement after an out-of-band cache change —
@@ -84,9 +164,21 @@ impl GossipPlane {
     /// copy of the old advertisement stale, so it ages out of the fleet
     /// as subsequent rounds spread the fresh (smaller) one; until then,
     /// viewers acting on the lie pay a failover, never a wrong estimate.
+    /// (The bump also moves the generation, invalidating every cached
+    /// mesh view — which is why out-of-band mutations must come through
+    /// here.)
     pub fn readvertise(&mut self, holder: DeviceId, cache: &LayerCache) {
-        if holder.0 < self.state.devices() {
-            self.state.advertise(holder.0, PeerCacheSource::for_holder(holder, cache));
+        match &mut self.backend {
+            Backend::Delta { state, .. } => {
+                if holder.0 < state.devices() {
+                    state.advertise(holder.0, PeerCacheSource::for_holder(holder, cache));
+                }
+            }
+            Backend::Oracle(state) => {
+                if holder.0 < state.devices() {
+                    state.advertise(holder.0, PeerCacheSource::for_holder(holder, cache));
+                }
+            }
         }
     }
 
@@ -99,55 +191,99 @@ impl GossipPlane {
     /// (per `caches`) are retracted in the materialized source: the
     /// session still *plans* against the stale advertisement, but the
     /// fetch fails over instead of serving vanished bytes.
+    ///
+    /// Views are cached per target for as long as the gossip generation
+    /// holds still: between barriers of an unchanged fleet this is a
+    /// clone of the stored vector, not a rebuild.
     pub fn mesh_view(
-        &self,
+        &mut self,
         caches: &[&LayerCache],
         target: usize,
     ) -> Vec<(RegistryId, PeerCacheSource)> {
-        let mut candidates: Vec<(usize, &PeerCacheSource)> = self
-            .state
-            .known(target)
-            .filter(|&(holder, _, ad)| holder != target && !ad.is_empty())
-            .map(|(holder, _, ad)| (holder, ad))
-            .collect();
-        // Deterministic bounded selection: prefer the holders advertising
-        // the most layers (most likely to cover the pull), break ties on
-        // the lower device id.
-        candidates.sort_by(|a, b| b.1.len().cmp(&a.1.len()).then(a.0.cmp(&b.0)));
-        candidates.truncate(self.view_size as usize);
-        // Back to ascending holder order — the snapshot plane's order —
-        // so an unbounded converged view is indistinguishable from it.
-        candidates.sort_by_key(|&(holder, _)| holder);
-        candidates
-            .into_iter()
-            .map(|(holder, ad)| {
-                let mut source = ad.clone();
-                for digest in ad.digests() {
-                    if !caches[holder].contains(digest) {
-                        source.retract(digest);
+        let view_size = self.view_size;
+        match &mut self.backend {
+            Backend::Delta { state, views } => {
+                let generation = state.generation();
+                if let Some((built_at, view)) = &views[target] {
+                    if *built_at == generation {
+                        return view.clone();
                     }
                 }
-                (peer_source_id(DeviceId(holder)), source)
-            })
-            .collect()
+                let view = materialize(state.known(target), view_size, caches, target);
+                views[target] = Some((generation, view.clone()));
+                view
+            }
+            Backend::Oracle(state) => materialize(state.known(target), view_size, caches, target),
+        }
     }
 
     /// True when every view carries the freshest epoch of every
     /// advertisement — the regime in which `mesh_view` (unbounded)
     /// equals the omniscient snapshot.
     pub fn converged(&self) -> bool {
-        self.state.converged()
+        match &self.backend {
+            Backend::Delta { state, .. } => state.converged(),
+            Backend::Oracle(state) => state.converged(),
+        }
     }
 
     /// Epidemic rounds run so far.
     pub fn rounds_run(&self) -> u64 {
-        self.state.rounds_run()
+        match &self.backend {
+            Backend::Delta { state, .. } => state.rounds_run(),
+            Backend::Oracle(state) => state.rounds_run(),
+        }
     }
 
     /// The configured view bound.
     pub fn view_size(&self) -> u32 {
         self.view_size
     }
+}
+
+/// Shared view materialization over either backend's `known` iterator:
+/// bounded deterministic selection (largest advertisement first, ties to
+/// the lower device id), ascending-holder output, stale digests
+/// retracted against the live `caches`.
+fn materialize<'a>(
+    known: impl Iterator<Item = (usize, u64, &'a PeerCacheSource)>,
+    view_size: u32,
+    caches: &[&LayerCache],
+    target: usize,
+) -> Vec<(RegistryId, PeerCacheSource)> {
+    let mut candidates: Vec<(usize, &PeerCacheSource)> = known
+        .filter(|&(holder, _, ad)| holder != target && !ad.is_empty())
+        .map(|(holder, _, ad)| (holder, ad))
+        .collect();
+    // Deterministic bounded selection: prefer the holders advertising
+    // the most layers (most likely to cover the pull), break ties on
+    // the lower device id. Holders are unique, so the comparator is a
+    // total order and an O(n) partial selection keeps exactly the set a
+    // full sort-and-truncate would — without sorting the n - k holders
+    // the bound is about to discard.
+    let k = view_size as usize;
+    if k == 0 {
+        candidates.clear();
+    } else if k < candidates.len() {
+        candidates
+            .select_nth_unstable_by(k - 1, |a, b| b.1.len().cmp(&a.1.len()).then(a.0.cmp(&b.0)));
+        candidates.truncate(k);
+    }
+    // Ascending holder order — the snapshot plane's order — so an
+    // unbounded converged view is indistinguishable from it.
+    candidates.sort_unstable_by_key(|&(holder, _)| holder);
+    candidates
+        .into_iter()
+        .map(|(holder, ad)| {
+            let mut source = ad.clone();
+            for digest in ad.digests() {
+                if !caches[holder].contains(digest) {
+                    source.retract(digest);
+                }
+            }
+            (peer_source_id(DeviceId(holder)), source)
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -181,7 +317,7 @@ mod tests {
     #[test]
     fn converged_unbounded_view_matches_the_omniscient_snapshot() {
         let caches = fleet();
-        let plane = converged_plane(&caches);
+        let mut plane = converged_plane(&caches);
         let refs: Vec<&LayerCache> = caches.iter().collect();
         let snapshot_plane =
             PeerPlane::uniform(4, Bandwidth::megabits_per_sec(100.0), Seconds::ZERO);
@@ -204,7 +340,7 @@ mod tests {
     #[test]
     fn bounded_view_keeps_the_largest_advertisements() {
         let caches = fleet();
-        let plane = {
+        let mut plane = {
             let mut p = GossipPlane::new(4, u32::MAX, 1, 1, 42);
             let refs: Vec<&LayerCache> = caches.iter().collect();
             p.barrier_round(&refs);
@@ -223,9 +359,86 @@ mod tests {
     }
 
     #[test]
+    fn partial_selection_pins_the_full_sorts_view_at_every_bound() {
+        // Many holders with colliding advertisement sizes: for every
+        // view bound, the O(n) partial selection must keep exactly the
+        // holders a stable full sort under (len desc, holder asc) keeps
+        // — the PR 9 selection, pinned contents-for-contents.
+        let n = 17;
+        let mut caches = vec![LayerCache::new(DataSize::gigabytes(8.0)); n];
+        for (holder, cache) in caches.iter_mut().enumerate().skip(1) {
+            // Sizes 1..=4 repeating, so ties abound.
+            for layer in 0..(1 + (holder - 1) % 4) {
+                cache.insert(Digest::of(&[holder as u8, layer as u8]), DataSize::megabytes(5.0));
+            }
+        }
+        let refs: Vec<&LayerCache> = caches.iter().collect();
+        let target = 0;
+        for bound in 0..=n as u32 {
+            let mut plane = GossipPlane::new(n, u32::MAX, bound, 1, 7);
+            plane.barrier_round(&refs);
+            assert!(plane.converged());
+            let view = plane.mesh_view(&refs, target);
+            // Reference: the PR 9 full sort-and-truncate.
+            let mut reference: Vec<(usize, usize)> = caches
+                .iter()
+                .enumerate()
+                .filter(|&(holder, cache)| holder != target && !cache.is_empty())
+                .map(|(holder, cache)| (holder, cache.len()))
+                .collect();
+            reference.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            reference.truncate(bound as usize);
+            reference.sort_by_key(|&(holder, _)| holder);
+            assert_eq!(
+                view.iter().map(|(id, _)| *id).collect::<Vec<_>>(),
+                reference
+                    .iter()
+                    .map(|&(holder, _)| peer_source_id(DeviceId(holder)))
+                    .collect::<Vec<_>>(),
+                "bound {bound}"
+            );
+            for ((_, src), &(holder, len)) in view.iter().zip(&reference) {
+                assert_eq!(src.holder(), Some(DeviceId(holder)));
+                assert_eq!(src.len(), len, "bound {bound} holder {holder}");
+            }
+        }
+    }
+
+    #[test]
+    fn cached_views_replay_until_an_epoch_moves_then_rebuild() {
+        let caches = fleet();
+        let mut plane = converged_plane(&caches);
+        let refs: Vec<&LayerCache> = caches.iter().collect();
+        let first = plane.mesh_view(&refs, 1);
+        // A barrier over the unchanged fleet moves no epoch: the cached
+        // view replays bit-identically.
+        plane.barrier_round(&refs);
+        let replay = plane.mesh_view(&refs, 1);
+        assert_eq!(first.len(), replay.len());
+        for ((id_a, src_a), (id_b, src_b)) in first.iter().zip(replay.iter()) {
+            assert_eq!(id_a, id_b);
+            assert_eq!(src_a.holder(), src_b.holder());
+            assert_eq!(src_a.len(), src_b.len());
+        }
+        // An out-of-band eviction + readvertise moves the generation;
+        // the next materialization must see the fresh state, not the
+        // cached copy.
+        let mut caches = fleet();
+        caches[0].evict_to(DataSize::ZERO);
+        plane.readvertise(DeviceId(0), &caches[0]);
+        let refs: Vec<&LayerCache> = caches.iter().collect();
+        plane.barrier_round(&refs);
+        let fresh = plane.mesh_view(&refs, 1);
+        assert!(
+            fresh.iter().all(|(id, _)| *id != peer_source_id(DeviceId(0))),
+            "cached view outlived the epoch movement"
+        );
+    }
+
+    #[test]
     fn stale_advertisement_is_materialized_as_a_retraction_not_a_serve() {
         let mut caches = fleet();
-        let plane = converged_plane(&caches);
+        let mut plane = converged_plane(&caches);
         // Holder 0 loses a layer *after* the barrier: remote views still
         // advertise it, but materialization must retract the dead digest
         // so the fetch fails over instead of serving vanished bytes.
@@ -262,5 +475,28 @@ mod tests {
             view.iter().all(|(id, _)| *id != peer_source_id(DeviceId(0))),
             "empty holder no longer advertised anywhere"
         );
+    }
+
+    #[test]
+    fn oracle_backend_materializes_identical_views() {
+        let caches = fleet();
+        let refs: Vec<&LayerCache> = caches.iter().collect();
+        let mut delta = GossipPlane::new(4, 2, 2, 1, 42);
+        let mut reference = GossipPlane::new_oracle(4, 2, 2, 1, 42);
+        for _ in 0..3 {
+            delta.barrier_round(&refs);
+            reference.barrier_round(&refs);
+            assert_eq!(delta.converged(), reference.converged());
+            for target in 0..4 {
+                let d = delta.mesh_view(&refs, target);
+                let r = reference.mesh_view(&refs, target);
+                assert_eq!(d.len(), r.len(), "target {target}");
+                for ((id_d, src_d), (id_r, src_r)) in d.iter().zip(r.iter()) {
+                    assert_eq!(id_d, id_r);
+                    assert_eq!(src_d.holder(), src_r.holder());
+                    assert_eq!(src_d.len(), src_r.len());
+                }
+            }
+        }
     }
 }

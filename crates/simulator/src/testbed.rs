@@ -352,6 +352,18 @@ pub struct RegionalMirror {
     pub overhead: Seconds,
 }
 
+impl RegionalMirror {
+    /// An independent deep copy (registry storage forked, not shared).
+    pub fn fork(&self) -> RegionalMirror {
+        RegionalMirror {
+            choice: self.choice,
+            registry: self.registry.fork(),
+            download_bw: self.download_bw,
+            overhead: self.overhead,
+        }
+    }
+}
+
 /// Route parameters for any mesh source, over split borrows: the executor
 /// destructures the testbed (devices mutably, the rest shared), so this
 /// logic lives where both it and [`Testbed::source_params`] can call it —
@@ -834,6 +846,25 @@ impl Testbed {
     /// Mutable device by id.
     pub fn device_mut(&mut self, id: DeviceId) -> &mut SimDevice {
         &mut self.devices[id.0]
+    }
+
+    /// An independent deep copy of the whole testbed: devices, caches,
+    /// topology, registries and mirrors (storage *forked*, never shared —
+    /// chaos events delete tags and GC blobs, so replications running in
+    /// parallel must not alias registry state), peer plane, fault model
+    /// and catalog entries. Two replicas evolve with no cross-talk.
+    pub fn replica(&self) -> Testbed {
+        Testbed {
+            devices: self.devices.clone(),
+            topology: self.topology.clone(),
+            hub: self.hub.clone(),
+            regional: self.regional.fork(),
+            mirrors: self.mirrors.iter().map(RegionalMirror::fork).collect(),
+            params: self.params,
+            peer_plane: self.peer_plane.clone(),
+            fault_model: self.fault_model.clone(),
+            entries: self.entries.clone(),
+        }
     }
 
     /// Reset all device caches (fresh testbed between trials).

@@ -23,6 +23,11 @@
 //!    serves vanished bytes: the pull pays the mesh's mid-pull failover,
 //!    and the chaos path's epoch bump ages the stale ad out of the
 //!    fleet's views.
+//! 5. **Delta/oracle backend parity** — the epoch-vector delta plane
+//!    (PR 10) reproduces the retained clone-based exchange
+//!    ([`PeerDiscovery::GossipOracle`]) byte for byte through the whole
+//!    pipeline: same Schedules, same RunReports, under bounded views,
+//!    fault pricing, and chaos timelines alike.
 
 use deep::core::{DeepScheduler, EstimationContext, Scheduler};
 use deep::dataflow::{self, apps, Application};
@@ -289,6 +294,99 @@ fn bounded_mesh_views_are_subsets_of_the_full_view() {
             bounded.iter().all(|id| full.contains(id)),
             "view {view_size}: bounded holders {bounded:?} not a subset of {full:?}"
         );
+    }
+}
+
+// ---------------------------------------------------------------------
+// 5. Delta/oracle backend parity through the full pipeline.
+// ---------------------------------------------------------------------
+
+/// Schedule and execute under the delta plane and under the retained
+/// clone-based oracle with the *same* gossip parameters, and require
+/// byte-identical Schedules and RunReports. Unlike the snapshot-parity
+/// suite this runs *bounded, slow* epidemics too — the regime where the
+/// delta exchange and view cache actually have partial state to get
+/// wrong — and threads a chaos timeline through both backends.
+fn assert_backend_parity(
+    app: &Application,
+    fanout: u32,
+    view_size: u32,
+    rounds_per_wave: u32,
+    fault_aware: bool,
+    events: &[ChaosEvent],
+) {
+    let run = |discovery: PeerDiscovery| -> (Schedule, RunReport) {
+        let mut tb = continuum();
+        tb.publish_application(app);
+        if fault_aware {
+            tb.fault_model = FaultModel::default().with_source(
+                RegistryChoice::Regional.registry_id(),
+                FaultRates { fatal_per_pull: 0.2, transient_per_fetch: 0.1 },
+            );
+        }
+        let warm = Schedule::uniform(app.len(), RegistryChoice::Hub, DEVICE_MEDIUM);
+        execute(&mut tb, app, &warm, &ExecutorConfig::default()).unwrap();
+        let scheduler = DeepScheduler {
+            peer_sharing: true,
+            price_faults: fault_aware,
+            peer_discovery: discovery,
+            ..DeepScheduler::default()
+        };
+        let schedule = scheduler.schedule(app, &tb);
+        let cfg =
+            ExecutorConfig { peer_sharing: true, peer_discovery: discovery, ..Default::default() };
+        let (report, _) = execute_with_events(&mut tb, app, &schedule, &cfg, events).unwrap();
+        (schedule, report)
+    };
+    let (schedule_delta, report_delta) =
+        run(PeerDiscovery::Gossip { fanout, view_size, rounds_per_wave });
+    let (schedule_oracle, report_oracle) =
+        run(PeerDiscovery::GossipOracle { fanout, view_size, rounds_per_wave });
+    assert_eq!(
+        serde_json::to_string(&schedule_delta).unwrap(),
+        serde_json::to_string(&schedule_oracle).unwrap(),
+        "{} (fanout {fanout}, view {view_size}): delta backend changed the schedule",
+        app.name()
+    );
+    assert_eq!(
+        serde_json::to_string(&report_delta).unwrap(),
+        serde_json::to_string(&report_oracle).unwrap(),
+        "{} (fanout {fanout}, view {view_size}): delta backend changed the RunReport",
+        app.name()
+    );
+}
+
+#[test]
+fn case_studies_delta_matches_the_clone_based_oracle() {
+    // Converged, bounded-view, and starved-epidemic regimes, with and
+    // without fault pricing.
+    for app in apps::case_studies() {
+        assert_backend_parity(&app, u32::MAX, u32::MAX, 1, false, &[]);
+        assert_backend_parity(&app, 2, 2, 1, true, &[]);
+        assert_backend_parity(&app, 1, 1, 1, false, &[]);
+    }
+}
+
+#[test]
+fn chaos_timelines_delta_matches_the_clone_based_oracle() {
+    // Cache-pressure chaos drives the eviction → readvertise → age-out
+    // path: the delta backend's epoch bump and view-cache invalidation
+    // must replay exactly what the clone-based exchange does.
+    let app = apps::video_processing();
+    let events = [ChaosEvent::cache_pressure(Seconds::new(1.0), DEVICE_MEDIUM, DataSize::ZERO)];
+    assert_backend_parity(&app, u32::MAX, u32::MAX, 1, false, &events);
+    assert_backend_parity(&app, 2, 2, 1, false, &events);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Generated applications under a bounded view: the delta plane and
+    /// the clone-based oracle stay byte-identical across the population.
+    #[test]
+    fn generated_apps_delta_matches_the_clone_based_oracle(seed in 0u64..500) {
+        let app = dataflow::DagGenerator::default().generate(seed);
+        assert_backend_parity(&app, 2, 2, 1, false, &[]);
     }
 }
 
